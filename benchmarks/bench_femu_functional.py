@@ -1,0 +1,48 @@
+"""Functional-simulator benches: bit-accurate execution throughput.
+
+Times the full functional execution of a 4K NTT kernel (every lane of
+every instruction computed with 128-bit modular arithmetic) and the
+reference/numpy baselines, giving a live software-NTT comparison series.
+"""
+
+import random
+
+from repro.baselines.cpu_ntt import numpy_ntt_forward
+from repro.femu import FunctionalSimulator
+from repro.ntt.reference import ntt_forward
+from repro.ntt.twiddles import TwiddleTable
+from repro.spiral.kernels import generate_ntt_program
+
+N = 4096
+
+
+def test_bench_femu_4k_ntt(benchmark):
+    program = generate_ntt_program(N, q_bits=128)
+    table = TwiddleTable.for_ring(N, q_bits=128)
+    rng = random.Random(1)
+    values = [rng.randrange(table.q) for _ in range(N)]
+    expected = ntt_forward(values, table)
+
+    def execute():
+        sim = FunctionalSimulator(program)
+        sim.write_region(program.input_region, values)
+        sim.run()
+        return sim.read_region(program.output_region)
+
+    output = benchmark.pedantic(execute, rounds=1, iterations=1)
+    assert output == expected
+
+
+def test_bench_reference_ntt_128bit(benchmark):
+    table = TwiddleTable.for_ring(N, q_bits=128)
+    rng = random.Random(2)
+    values = [rng.randrange(table.q) for _ in range(N)]
+    benchmark(ntt_forward, values, table)
+
+
+def test_bench_numpy_ntt_64bit_class(benchmark):
+    table = TwiddleTable.for_ring(N, q_bits=30)
+    rng = random.Random(3)
+    values = [rng.randrange(table.q) for _ in range(N)]
+    out = benchmark(numpy_ntt_forward, values, table)
+    assert out.tolist() == ntt_forward(values, table)

@@ -1,0 +1,20 @@
+"""Fig. 3 bench: the full (HPLEs, banks) area-latency sweep for 64K NTT."""
+
+from repro.eval.fig3 import pareto_frontier, print_fig3, run_fig3
+
+
+def test_bench_fig3_design_space(benchmark):
+    points = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    assert len(points) == 28
+    frontier = pareto_frontier(points)
+    labels = {(p.hples, p.banks) for p in frontier}
+    # The paper's best design and its neighbours sit on the frontier.
+    assert (128, 128) in labels
+    assert (64, 64) in labels
+    assert (256, 256) in labels
+    # The minimum-area corner is Pareto too.
+    assert (4, 32) in labels
+    # Runtime spans two orders of magnitude across the grid.
+    runtimes = [p.runtime_us for p in points]
+    assert max(runtimes) / min(runtimes) > 30
+    print_fig3(points)

@@ -1,0 +1,14 @@
+"""Fig. 4 bench: the performance-per-area heat map and its three claims."""
+
+from repro.eval.fig4 import claims, print_fig4, run_fig4
+
+
+def test_bench_fig4_heatmap(benchmark):
+    grid = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    results = claims(grid)
+    assert results["best design is (128, 128)"]
+    assert results["at 128 HPLEs, P/A peaks at 128 banks"]
+    assert results["at 128 banks, P/A peaks at 128 HPLEs"]
+    # The paper's scale: peak P/A is in the thousands.
+    assert 5000 < max(grid.values()) < 12000
+    print_fig4(grid)

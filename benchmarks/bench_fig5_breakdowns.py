@@ -1,0 +1,39 @@
+"""Fig. 5 bench: area breakdown sweeps (a, b) and the energy model (c)."""
+
+import pytest
+
+from repro.eval.fig5 import (
+    PAPER_ENERGY_SPLIT,
+    PAPER_ENERGY_TOTAL_UJ,
+    run_fig5a,
+    run_fig5b,
+    run_fig5c,
+)
+from repro.hw.energy import ntt_energy_breakdown
+
+
+def test_bench_fig5a_bank_sweep(benchmark):
+    breakdowns = benchmark(run_fig5a)
+    totals = [bd.total for bd in breakdowns.values()]
+    assert totals == sorted(totals)
+    assert breakdowns[128].total == pytest.approx(20.5, abs=0.05)
+
+
+def test_bench_fig5b_hple_sweep(benchmark):
+    breakdowns = benchmark(run_fig5b)
+    # LAW engine area doubles with HPLEs (paper section VI-C).
+    assert breakdowns[128].law / breakdowns[64].law == pytest.approx(2.0)
+    # VRF jumps 1.5x-2x per doubling.
+    assert 1.4 <= breakdowns[128].vrf / breakdowns[64].vrf <= 2.1
+
+
+def test_bench_fig5c_energy(benchmark, kernel_64k):
+    energy = benchmark(ntt_energy_breakdown, kernel_64k)
+    assert energy.total == pytest.approx(PAPER_ENERGY_TOTAL_UJ, rel=0.01)
+    for name, expected in PAPER_ENERGY_SPLIT.items():
+        assert energy.percentages()[name] == pytest.approx(expected, abs=0.4)
+
+
+def test_bench_fig5c_power(kernel_64k, best_config):
+    energy, power = run_fig5c()
+    assert 6.5 <= power <= 9.0  # paper: 7.44 W at its 6.7 us runtime

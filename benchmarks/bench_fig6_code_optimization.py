@@ -1,0 +1,23 @@
+"""Fig. 6 bench: optimized vs unoptimized 64K NTT across HPLE counts."""
+
+from repro.eval.fig6 import average_speedup, print_fig6, run_fig6
+from repro.perf.engine import CycleSimulator
+
+
+def test_bench_fig6_sweep(benchmark):
+    rows = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    avg = average_speedup(rows)
+    # Paper: hardware-aware code averages 1.8x faster.
+    assert 1.5 <= avg <= 2.2, avg
+    # Speedup grows with parallelism (more HPLEs = more exposed stalls).
+    speedups = [r.speedup for r in rows]
+    assert speedups[-1] > speedups[0]
+    # The unoptimized program's shuffles wait far longer at the busyboard.
+    for row in rows:
+        assert row.si_wait_unopt > row.si_wait_opt
+    print_fig6(rows)
+
+
+def test_bench_simulate_unoptimized_64k(benchmark, kernel_64k_unopt, best_config):
+    report = benchmark(CycleSimulator(best_config).run, kernel_64k_unopt)
+    assert report.cycles > 0

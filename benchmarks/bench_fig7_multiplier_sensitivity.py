@@ -1,0 +1,21 @@
+"""Fig. 7 bench: multiplier latency x initiation-interval sensitivity."""
+
+from repro.eval.fig7 import IIS, LATENCIES, ii2_increase_pct, print_fig7, run_fig7
+
+
+def test_bench_fig7_sweep(benchmark):
+    grid = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    assert len(grid) == len(LATENCIES) * len(IIS)
+    # Paper: II=2 costs only ~16% because shuffles bottleneck the NTT.
+    assert 10 <= ii2_increase_pct(grid) <= 25
+    # Latency is nearly free (fully pipelined units).
+    lat_spread = grid[(8, 1)] / grid[(2, 1)]
+    assert lat_spread < 1.05
+    # Cycles are monotone in II at fixed latency.
+    for lat in LATENCIES:
+        series = [grid[(lat, ii)] for ii in IIS]
+        assert series == sorted(series)
+    # The paper's range: ~12K to ~30K cycles across the sweep.
+    assert grid[(2, 1)] < 13000
+    assert grid[(8, 7)] > 25000
+    print_fig7(grid)

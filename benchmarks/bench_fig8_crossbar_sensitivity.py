@@ -1,0 +1,21 @@
+"""Fig. 8 bench: load/store and shuffle crossbar latency sensitivity."""
+
+from repro.eval.fig8 import (
+    LATENCIES,
+    ls_latency_increase_pct,
+    print_fig8,
+    run_fig8,
+    shuffle_latency_increase_pct,
+)
+
+
+def test_bench_fig8_sweep(benchmark):
+    grid = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    assert len(grid) == len(LATENCIES) ** 2
+    # Both sensitivities are small (the paper's central takeaway): a +6
+    # cycle latency swing moves total cycles by only a few percent.
+    assert ls_latency_increase_pct(grid) < 5.0
+    assert shuffle_latency_increase_pct(grid) < 6.0
+    # Cycles stay in the paper's 11K-ish band across the whole sweep.
+    assert all(9_000 < c < 12_500 for c in grid.values())
+    print_fig8(grid)

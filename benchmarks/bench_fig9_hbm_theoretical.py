@@ -1,0 +1,19 @@
+"""Fig. 9 bench: runtime vs theoretical latency and HBM2 streaming."""
+
+from repro.eval.fig9 import print_fig9, run_fig9
+
+
+def test_bench_fig9_series(benchmark):
+    rows = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    ratios = {r.n: r.ratio for r in rows}
+    # Small rings are dependency-bound (paper: 3.86x at 1K), large rings
+    # approach the ideal (paper: 1.38x at 64K).
+    assert ratios[1024] > 3.0
+    assert ratios[65536] < 1.6
+    assert ratios[1024] > ratios[4096] > ratios[65536]
+    # Every size's HBM load fits behind the NTT (the paper's conclusion).
+    assert all(r.hbm_fits for r in rows)
+    # 16K matches the F1-comparison runtime (~1500 ns).
+    r16k = next(r for r in rows if r.n == 16384)
+    assert 1.3 <= r16k.runtime_us <= 1.7
+    print_fig9(rows)

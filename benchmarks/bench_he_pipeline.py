@@ -1,0 +1,47 @@
+"""Beyond-paper bench: HE primitives composed from RPU kernels.
+
+Covers the RNS ciphertext-multiply pipeline (2 forward NTTs + pointwise +
+inverse per tower), batched multi-tower kernels (the MRF use case), and
+the bottleneck analyzer's verdicts.
+"""
+
+import pytest
+
+from repro.eval.he_pipeline import print_he_pipeline, run_batched_towers, run_he_pipeline
+from repro.perf.analysis import analyze_critical_path
+from repro.perf.config import RpuConfig
+from repro.spiral.kernels import generate_ntt_program
+
+
+def test_bench_he_multiply_pipeline(benchmark):
+    data = benchmark.pedantic(run_he_pipeline, rounds=1, iterations=1)
+    cost = data["per_tower"]
+    # NTTs dominate the primitive (the paper's 94%-of-multiply motivation).
+    ntt_share = (2 * cost.forward_us + cost.inverse_us) / cost.total_us
+    assert ntt_share > 0.75
+    assert data["hbm_hidden"]
+    assert data["multiplies_per_second"] > 1000
+    print_he_pipeline(data)
+
+
+def test_bench_batched_towers(benchmark):
+    rows = benchmark.pedantic(run_batched_towers, rounds=1, iterations=1)
+    by_n = {r["n"]: r for r in rows}
+    # Small dependence-bound rings benefit from cross-tower interleaving...
+    assert by_n[1024]["speedup"] > 1.3
+    assert by_n[2048]["speedup"] > 1.2
+    # ...while large rings pay the shared-register-file rectangle penalty.
+    assert by_n[16384]["speedup"] < 1.1
+    # Speedup decreases monotonically with ring size (the crossover).
+    speedups = [r["speedup"] for r in rows]
+    assert speedups == sorted(speedups, reverse=True)
+
+
+def test_bench_critical_path_64k(benchmark):
+    program = generate_ntt_program(65536)
+    report = benchmark.pedantic(
+        analyze_critical_path, args=(program, RpuConfig()),
+        rounds=1, iterations=1,
+    )
+    # Section VI-F: shuffles bottleneck the 64K NTT on (128, 128).
+    assert report.bottleneck_pipe == "SI"

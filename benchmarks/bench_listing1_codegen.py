@@ -1,0 +1,30 @@
+"""Listing 1 bench: full SPIRAL-style generation of the 1K NTT kernel.
+
+Measures the uncached end-to-end pipeline (breakdown -> forwarding ->
+scheduling -> allocation -> emission) and validates the structural
+properties the paper's listing exhibits.
+"""
+
+from repro.eval.listing1 import structural_checks
+from repro.spiral.kernels import generate_ntt_program
+
+
+def test_bench_generate_1k_kernel(benchmark):
+    program = benchmark(
+        generate_ntt_program.__wrapped__, 1024, "forward", 512, 128
+    )
+    assert all(structural_checks(program).values())
+
+
+def test_bench_generate_64k_kernel(benchmark):
+    program = benchmark.pedantic(
+        generate_ntt_program.__wrapped__,
+        args=(65536, "forward", 512, 128),
+        rounds=1,
+        iterations=1,
+    )
+    from repro.isa.opcodes import InstructionClass
+
+    counts = program.class_counts()
+    assert counts[InstructionClass.CI] == 1024
+    assert counts[InstructionClass.SI] == 1920

@@ -1,0 +1,24 @@
+"""Table I bench: encode/decode throughput over a full 64K kernel.
+
+Verifies the 17-instruction ISA round-trips bit-exactly at scale while
+measuring encoder/decoder performance.
+"""
+
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.eval.table1 import run_table1
+
+
+def test_bench_encode_decode_64k_kernel(benchmark, kernel_64k):
+    body = kernel_64k.instructions
+
+    def roundtrip():
+        words = [encode_instruction(i) for i in body]
+        return [decode_instruction(w) for w in words]
+
+    decoded = benchmark(roundtrip)
+    assert decoded == body
+
+
+def test_bench_table1_rows(benchmark):
+    rows = benchmark(run_table1)
+    assert len(rows) == 17 and all(ok for _, _, ok in rows)

@@ -1,0 +1,20 @@
+"""Validation bench: analytic simulator vs the beat-accurate machine."""
+
+from repro.eval.validation import mean_accuracy_pct, print_validation, run_validation
+from repro.rtl.machine import BeatAccurateMachine
+
+
+def test_bench_validation_suite(benchmark):
+    rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    accuracy = mean_accuracy_pct(rows)
+    # Paper: simulator matched RTL within 97%.
+    assert accuracy >= 97.0
+    print_validation(rows)
+
+
+def test_bench_beat_machine_16k(benchmark, kernel_16k, best_config):
+    cycles = benchmark.pedantic(
+        BeatAccurateMachine(best_config).run, args=(kernel_16k,),
+        rounds=1, iterations=1,
+    )
+    assert cycles > 0

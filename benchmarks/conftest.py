@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Kernels are generated once per session so the timed sections measure
+simulation/model work, not (cached) code generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.common import kernel
+from repro.perf.config import RpuConfig
+
+
+@pytest.fixture(scope="session")
+def kernel_64k():
+    return kernel(65536, "forward", True, 128)
+
+
+@pytest.fixture(scope="session")
+def kernel_64k_unopt():
+    return kernel(65536, "forward", False, 128)
+
+
+@pytest.fixture(scope="session")
+def kernel_16k():
+    return kernel(16384, "forward", True, 128)
+
+
+@pytest.fixture(scope="session")
+def best_config():
+    return RpuConfig(num_hples=128, vdm_banks=128)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Polynomial multiplication run end-to-end on the simulated RPU.
+
+The core RLWE primitive -- multiplication in Z_q[x]/(x^n + 1) -- executed
+the way an accelerated HE library would do it: two forward NTT kernels and
+one inverse kernel on the RPU (bit-accurate functional simulation), with
+the pointwise product in between, validated against the schoolbook result.
+Also prints the timing/energy a real (128, 128) RPU would spend.
+
+Run:  python examples/polymul_on_rpu.py
+"""
+
+import random
+
+from repro.core.rpu import Rpu
+from repro.femu import FunctionalSimulator
+from repro.hw.hbm import hbm_transfer_us
+from repro.ntt.naive import naive_negacyclic_convolution
+from repro.ntt.twiddles import TwiddleTable
+from repro.perf.config import RpuConfig
+from repro.spiral import generate_ntt_program
+
+N = 2048
+Q_BITS = 64  # keeps the schoolbook cross-check fast; the RPU default is 128
+
+
+def run_kernel(program, values):
+    sim = FunctionalSimulator(program)
+    sim.write_region(program.input_region, values)
+    sim.run()
+    return sim.read_region(program.output_region)
+
+
+def main() -> None:
+    table = TwiddleTable.for_ring(N, q_bits=Q_BITS)
+    q = table.q
+    rng = random.Random(1)
+    a = [rng.randrange(q) for _ in range(N)]
+    b = [rng.randrange(q) for _ in range(N)]
+    print(f"Multiplying two degree-{N} polynomials mod a "
+          f"{q.bit_length()}-bit prime, entirely via RPU kernels...\n")
+
+    fwd = generate_ntt_program(N, "forward", q=q, q_bits=Q_BITS)
+    inv = generate_ntt_program(N, "inverse", q=q, q_bits=Q_BITS)
+
+    a_hat = run_kernel(fwd, a)
+    b_hat = run_kernel(fwd, b)
+    product_hat = [x * y % q for x, y in zip(a_hat, b_hat)]
+    product = run_kernel(inv, product_hat)
+
+    expected = naive_negacyclic_convolution(a, b, q)
+    assert product == expected
+    print("RPU result == schoolbook negacyclic convolution: PASS")
+
+    rpu = Rpu(RpuConfig(num_hples=128, vdm_banks=128))
+    fwd_result = rpu.run(fwd)
+    inv_result = rpu.run(inv)
+    total_us = 2 * fwd_result.runtime_us + inv_result.runtime_us
+    total_uj = 2 * fwd_result.energy.total + inv_result.energy.total
+    print(f"\nOn the (128, 128) RPU this polynomial multiply costs:")
+    print(f"  forward NTT:  {fwd_result.cycles} cycles x2  "
+          f"({fwd_result.runtime_us:.3f} us each)")
+    print(f"  inverse NTT:  {inv_result.cycles} cycles  "
+          f"({inv_result.runtime_us:.3f} us)")
+    print(f"  total:        {total_us:.3f} us, {total_uj:.2f} uJ "
+          f"(+ pointwise multiplies)")
+    print(f"  HBM streaming of operands: {3 * hbm_transfer_us(N):.3f} us "
+          f"at 512 GB/s -- overlappable (Fig. 9)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: generate an NTT kernel, run it on the RPU, read the models.
+
+This is the 60-second tour of the public API:
+
+1. ``generate_ntt_program`` -- the SPIRAL-style backend emits a B512 kernel.
+2. ``Rpu(...).run(program, verify=True)`` -- cycle-accurate timing plus a
+   functional execution checked against the reference NTT.
+3. The result carries runtime, area, energy and power from the calibrated
+   hardware models.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Rpu, RpuConfig
+from repro.isa.assembler import format_instruction
+from repro.spiral import generate_ntt_program
+
+
+def main() -> None:
+    n = 4096
+    print(f"Generating the {n}-point, 128-bit forward NTT kernel...")
+    program = generate_ntt_program(n)
+    print(f"  {program.summary()}")
+    print(f"  passes (rectangle blocking): {program.metadata['passes']}")
+    print(f"  forwarded loads: {program.metadata.get('forwarded_loads', 0)}, "
+          f"spills: {program.metadata['spill_slots']}")
+
+    print("\nFirst instructions of the kernel:")
+    for inst in program.instructions[:8]:
+        print("    " + format_instruction(inst))
+
+    print("\nRunning on the paper's best design, the (128, 128) RPU...")
+    rpu = Rpu(RpuConfig(num_hples=128, vdm_banks=128))
+    result = rpu.run(program, verify=True)
+    print(result.summary())
+
+    report = result.report
+    print(f"\n  cycles:             {report.cycles}")
+    print(f"  theoretical bound:  {report.theoretical_cycles(n):.0f} cycles "
+          f"(paper's n*log2(n)/HPLEs)")
+    print(f"  ratio:              {report.cycles / report.theoretical_cycles(n):.2f}x")
+    print(f"  pipe utilization:   {result.report.utilization()}")
+
+    print("\nHeadline context: the 64K NTT on this design takes "
+          "~6 us in 20.5 mm^2 -- see `python -m repro.eval.run_all`.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""RNS tower batching: putting the Modulus Register File to work.
+
+The paper adds an MRF so the modulus can change "at the instruction
+granularity, enabling the potential to process different towers
+simultaneously" (section IV-B5).  This example quantifies that potential:
+one batched kernel computes two towers' NTTs under two different primes,
+interleaved so each tower's dependence stalls are filled with the other
+tower's work -- then shows where batching wins and where the shared
+register file makes serial execution better.
+
+Run:  python examples/rns_tower_batching.py
+"""
+
+import random
+
+from repro.femu import FunctionalSimulator
+from repro.ntt.reference import ntt_forward
+from repro.ntt.twiddles import TwiddleTable
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator
+from repro.spiral import (
+    generate_batched_ntt_program,
+    generate_ntt_program,
+    tower_regions,
+)
+
+CONFIG = RpuConfig(num_hples=128, vdm_banks=128)
+
+
+def main() -> None:
+    n = 2048
+    print(f"Batched 2-tower {n}-point NTT (two distinct 128-bit primes)...")
+    program = generate_batched_ntt_program(n, num_towers=2, q_bits=128)
+    moduli = program.metadata["moduli"]
+    print(f"  tower moduli: m1 <- {moduli[1]}")
+    print(f"                m2 <- {moduli[2]}")
+    print(f"  {program.summary()}")
+
+    # Functional check: both towers transform correctly in one run.
+    rng = random.Random(7)
+    sim = FunctionalSimulator(program)
+    inputs = {}
+    for k, (in_region, _) in enumerate(tower_regions(program)):
+        q = moduli[k + 1]
+        inputs[k] = [rng.randrange(q) for _ in range(n)]
+        sim.write_region(in_region, inputs[k])
+    sim.run()
+    for k, (_, out_region) in enumerate(tower_regions(program)):
+        table = TwiddleTable.for_ring(n, moduli[k + 1])
+        assert sim.read_region(out_region) == ntt_forward(inputs[k], table)
+    print("  both towers match the reference NTT: PASS")
+
+    # Performance: batched vs serial across ring sizes.
+    print("\nBatched vs two serial kernels on the (128, 128) RPU:")
+    print(f"{'n':>8} {'batched':>9} {'2x serial':>10} {'speedup':>8}  verdict")
+    for size in (1024, 2048, 4096, 8192, 16384):
+        batched = generate_batched_ntt_program(size, num_towers=2, q_bits=128)
+        single = generate_ntt_program(size, q_bits=128)
+        cb = CycleSimulator(CONFIG).run(batched).cycles
+        cs = 2 * CycleSimulator(CONFIG).run(single).cycles
+        verdict = "batching wins" if cs > cb else "serial wins"
+        print(f"{size:>8} {cb:>9} {cs:>10} {cs / cb:>8.2f}  {verdict}")
+    print(
+        "\nSmall, dependence-bound rings gain most from cross-tower "
+        "interleaving; past ~8K the towers' shared register file forces "
+        "shallower rectangles and serial execution takes over."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""A tour of the SPIRAL-style backend: what each optimization buys.
+
+Generates the same 8K NTT four ways -- naive, +scheduling, +forwarding,
+full pipeline -- and shows assembly excerpts plus simulated cycles on the
+(128, 128) RPU, reproducing the mechanism behind the paper's Fig. 6.
+
+Run:  python examples/spiral_codegen_tour.py
+"""
+
+from repro.isa.assembler import format_instruction
+from repro.isa.opcodes import InstructionClass
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator
+from repro.spiral import generate_ntt_program
+
+N = 8192
+CONFIG = RpuConfig(num_hples=128, vdm_banks=128)
+
+
+def describe(title: str, program) -> int:
+    report = CycleSimulator(CONFIG).run(program)
+    counts = program.class_counts()
+    stalls = report.stall_cycles
+    print(f"\n--- {title}")
+    print(f"  instructions: CI={counts[InstructionClass.CI]} "
+          f"SI={counts[InstructionClass.SI]} LSI={counts[InstructionClass.LSI]}")
+    print(f"  cycles: {report.cycles}  ({report.runtime_us:.2f} us)")
+    print(f"  busyboard stalls: RAW={stalls['busyboard_raw']} "
+          f"WAW={stalls['busyboard_waw']} queue={stalls['queue_full']}")
+    return report.cycles
+
+
+def main() -> None:
+    print(f"{N}-point, 128-bit forward NTT on the (128, 128) RPU")
+
+    unopt = generate_ntt_program(N, optimize=False)
+    naive_cycles = describe(
+        "Unoptimized (per-pair emission, immediate register reuse)", unopt
+    )
+    print("  head of the kernel (note shuffle right after its butterfly):")
+    for inst in unopt.instructions[16:22]:
+        print("      " + format_instruction(inst))
+
+    opt = generate_ntt_program(N, optimize=True)
+    opt_cycles = describe(
+        "Optimized (list-scheduled, store-to-load forwarded, round-robin "
+        "registers)", opt
+    )
+    print("  head of the kernel (independent work interleaved):")
+    for inst in opt.instructions[16:22]:
+        print("      " + format_instruction(inst))
+    print(f"  store-to-load forwarded loads: "
+          f"{opt.metadata.get('forwarded_loads', 0)}")
+
+    print(f"\nSpeedup from hardware-aware code generation: "
+          f"{naive_cycles / opt_cycles:.2f}x")
+    print("The paper reports 1.8x on average across HPLE counts (Fig. 6).")
+
+    print("\nRectangle (register blocking) ablation on the same ring:")
+    for depth in (2, 3, 4):
+        program = generate_ntt_program(N, rect_depth=depth)
+        report = CycleSimulator(CONFIG).run(program)
+        passes = program.metadata["passes"]
+        print(f"  rect_depth={depth}: passes={passes} "
+              f"LSI={program.class_counts()[InstructionClass.LSI]} "
+              f"cycles={report.cycles}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro: a full reproduction of "RPU: The Ring Processing Unit" (ISPASS 2023).
+
+The package re-implements, from scratch and in Python, every system the paper
+describes or depends on:
+
+* :mod:`repro.isa` -- the B512 vector ISA (encoding, assembler, programs).
+* :mod:`repro.femu` -- a functional simulator executing B512 programs.
+* :mod:`repro.perf` -- the configurable cycle-level RPU simulator.
+* :mod:`repro.spiral` -- a SPIRAL-style backend generating optimized NTT
+  kernels for the RPU.
+* :mod:`repro.modmath`, :mod:`repro.ntt`, :mod:`repro.rns`,
+  :mod:`repro.rlwe` -- the ring-processing substrates (modular arithmetic,
+  reference NTTs, residue number system, RLWE-based workloads).
+* :mod:`repro.hw` -- calibrated area / frequency / energy / HBM / CPU / F1
+  models used for the paper's evaluation figures.
+* :mod:`repro.eval` -- one driver per paper table and figure.
+* :mod:`repro.core` -- the :class:`~repro.core.rpu.Rpu` facade tying it all
+  together.
+
+Quickstart::
+
+    from repro import Rpu, RpuConfig
+    from repro.spiral import generate_ntt_program
+
+    program = generate_ntt_program(4096)
+    rpu = Rpu(RpuConfig(num_hples=128, vdm_banks=128))
+    result = rpu.run(program, verify=True)
+    print(result.cycles, result.runtime_us)
+"""
+
+__all__ = ["Rpu", "RpuRunResult", "RpuConfig"]
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """Lazy top-level re-exports so subpackages stay independently importable."""
+    if name in ("Rpu", "RpuRunResult"):
+        from repro.core.rpu import Rpu, RpuRunResult
+
+        return {"Rpu": Rpu, "RpuRunResult": RpuRunResult}[name]
+    if name == "RpuConfig":
+        from repro.perf.config import RpuConfig
+
+        return RpuConfig
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,22 @@
+"""Executable CPU baselines.
+
+The paper benchmarks OpenFHE NTTs on a 32-core EPYC 7502; we cannot rerun
+that testbed, so :mod:`repro.hw.cpu_model` carries the calibrated model
+while this package provides *live* baselines measured on the host machine:
+a vectorized numpy NTT for 64-bit-class moduli and the pure-Python
+reference for wide moduli.  Benchmarks report both model and measurement.
+"""
+
+from repro.baselines.cpu_ntt import (
+    measure_python_ntt_us,
+    numpy_ntt_forward,
+    numpy_ntt_inverse,
+    measure_numpy_ntt_us,
+)
+
+__all__ = [
+    "numpy_ntt_forward",
+    "numpy_ntt_inverse",
+    "measure_numpy_ntt_us",
+    "measure_python_ntt_us",
+]

@@ -1,0 +1,99 @@
+"""Vectorized CPU NTT baselines.
+
+``numpy_ntt_forward``/``inverse`` implement the Longa-Naehrig iterative
+transforms with numpy slice arithmetic for moduli below 2^31 (products fit
+int64), standing in for OpenFHE's native 64-bit path.  The pure-Python
+reference transform stands in for the multi-precision 128-bit path.  Both
+are cross-checked against :mod:`repro.ntt.reference` in the tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.ntt.reference import ntt_forward
+from repro.ntt.twiddles import TwiddleTable
+
+
+def _as_array(values, q: int) -> np.ndarray:
+    if q >= 1 << 31:
+        raise ValueError("numpy path requires q < 2^31 (products must fit int64)")
+    a = np.asarray(values, dtype=np.int64)
+    if a.ndim != 1:
+        raise ValueError("expected a 1-D coefficient vector")
+    if ((a < 0) | (a >= q)).any():
+        raise ValueError("coefficients must be canonical residues")
+    return a
+
+
+def numpy_ntt_forward(values, table: TwiddleTable) -> np.ndarray:
+    """Forward negacyclic NTT (natural in, bit-reversed out), vectorized."""
+    n, q = table.n, table.q
+    a = _as_array(values, q).copy()
+    psi_rev = np.asarray(table.psi_rev, dtype=np.int64)
+    t = n
+    m = 1
+    while m < n:
+        t //= 2
+        # All m blocks share the stage structure; twiddles differ per block.
+        for i in range(m):
+            j1 = 2 * i * t
+            s = psi_rev[m + i]
+            u = a[j1 : j1 + t].copy()  # copy: the slice is overwritten below
+            v = a[j1 + t : j1 + 2 * t] * s % q
+            a[j1 : j1 + t] = (u + v) % q
+            a[j1 + t : j1 + 2 * t] = (u - v) % q
+        m *= 2
+    return a
+
+
+def numpy_ntt_inverse(values, table: TwiddleTable) -> np.ndarray:
+    """Inverse negacyclic NTT (bit-reversed in, natural out), vectorized."""
+    n, q = table.n, table.q
+    a = _as_array(values, q).copy()
+    psi_inv_rev = np.asarray(table.psi_inv_rev, dtype=np.int64)
+    t = 1
+    m = n
+    while m > 1:
+        h = m // 2
+        j1 = 0
+        for i in range(h):
+            s = psi_inv_rev[h + i]
+            u = a[j1 : j1 + t].copy()  # copy: the slice is overwritten below
+            v = a[j1 + t : j1 + 2 * t].copy()
+            a[j1 : j1 + t] = (u + v) % q
+            a[j1 + t : j1 + 2 * t] = (u - v) * s % q
+            j1 += 2 * t
+        t *= 2
+        m = h
+    return a * table.n_inv % q
+
+
+def measure_numpy_ntt_us(n: int, q_bits: int = 30, repeats: int = 3) -> float:
+    """Best-of-N wall time of one numpy forward NTT on this host."""
+    table = TwiddleTable.for_ring(n, q_bits=q_bits)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, table.q, size=n, dtype=np.int64)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        numpy_ntt_forward(a, table)
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e6
+
+
+def measure_python_ntt_us(n: int, q_bits: int = 128, repeats: int = 1) -> float:
+    """Wall time of the pure-Python (multi-precision) forward NTT."""
+    table = TwiddleTable.for_ring(n, q_bits=q_bits)
+    import random
+
+    rng = random.Random(0)
+    a = [rng.randrange(table.q) for _ in range(n)]
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        ntt_forward(a, table)
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e6

@@ -1,0 +1,5 @@
+"""Top-level facade tying the reproduction together."""
+
+from repro.core.rpu import Rpu, RpuRunResult
+
+__all__ = ["Rpu", "RpuRunResult"]

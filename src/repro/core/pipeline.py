@@ -1,0 +1,156 @@
+"""Multi-kernel pipelines: HE primitives as a real runtime would run them.
+
+The paper evaluates single NTT kernels; an HE library composes them.
+:class:`RpuPipeline` stitches generated kernels into complete primitives --
+negacyclic polynomial multiplication (2 forward NTTs, a pointwise multiply,
+an inverse NTT) and RNS ciphertext-tower sweeps -- executing each stage
+functionally (bit-accurate) and accumulating cycle/energy costs, including
+the Fig. 9 question of whether HBM2 streaming hides behind compute when
+stages are double-buffered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.femu import FunctionalSimulator
+from repro.hw.energy import ntt_energy_breakdown
+from repro.hw.hbm import hbm_transfer_us
+from repro.isa.program import Program
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator
+from repro.spiral.kernels import generate_ntt_program
+from repro.spiral.pointwise import b_region, generate_pointwise_program
+
+
+@dataclass
+class StageCost:
+    """One kernel execution inside a pipeline."""
+
+    name: str
+    cycles: int
+    runtime_us: float
+    energy_uj: float
+
+
+@dataclass
+class PipelineResult:
+    """Aggregate outcome of a multi-kernel primitive."""
+
+    output: list[int]
+    stages: list[StageCost] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(s.cycles for s in self.stages)
+
+    @property
+    def total_runtime_us(self) -> float:
+        return sum(s.runtime_us for s in self.stages)
+
+    @property
+    def total_energy_uj(self) -> float:
+        return sum(s.energy_uj for s in self.stages)
+
+    def hbm_streamed_runtime_us(self, n: int) -> float:
+        """Runtime with operand streaming double-buffered behind compute.
+
+        Per stage, the effective time is max(compute, HBM transfer of one
+        ring); the paper's Fig. 9 shows compute dominates at 512 GB/s.
+        """
+        transfer = hbm_transfer_us(n)
+        return sum(max(s.runtime_us, transfer) for s in self.stages)
+
+    def summary(self) -> str:
+        lines = [
+            f"{s.name:<28} {s.cycles:>8} cycles  {s.runtime_us:>8.3f} us  "
+            f"{s.energy_uj:>7.2f} uJ"
+            for s in self.stages
+        ]
+        lines.append(
+            f"{'total':<28} {self.total_cycles:>8} cycles  "
+            f"{self.total_runtime_us:>8.3f} us  "
+            f"{self.total_energy_uj:>7.2f} uJ"
+        )
+        return "\n".join(lines)
+
+
+class RpuPipeline:
+    """Runs composed primitives on one RPU configuration."""
+
+    def __init__(self, config: RpuConfig | None = None, q_bits: int = 128):
+        self.config = config or RpuConfig()
+        self.q_bits = q_bits
+        self._sim = CycleSimulator(self.config)
+
+    def _run_stage(
+        self,
+        program: Program,
+        inputs: dict,
+        result: PipelineResult,
+    ) -> list[int]:
+        femu = FunctionalSimulator(program)
+        for region, values in inputs.items():
+            femu.write_region(region, values)
+        femu.run()
+        report = self._sim.run(program)
+        result.stages.append(
+            StageCost(
+                name=program.name,
+                cycles=report.cycles,
+                runtime_us=report.runtime_us,
+                energy_uj=ntt_energy_breakdown(program).total,
+            )
+        )
+        return femu.read_region(program.output_region)
+
+    def negacyclic_polymul(
+        self,
+        a: Sequence[int],
+        b: Sequence[int],
+        q: int | None = None,
+    ) -> PipelineResult:
+        """c = a * b in Z_q[x]/(x^n + 1), entirely via RPU kernels."""
+        n = len(a)
+        if len(b) != n:
+            raise ValueError("operands must have equal length")
+        vlen = self.config.vlen
+        fwd = generate_ntt_program(
+            n, "forward", vlen=vlen, q_bits=self.q_bits, q=q
+        )
+        inv = generate_ntt_program(
+            n, "inverse", vlen=vlen, q_bits=self.q_bits, q=q
+        )
+        modulus = fwd.metadata["modulus"]
+        pw = generate_pointwise_program(
+            n, "mul", vlen=vlen, q_bits=self.q_bits, q=modulus
+        )
+        result = PipelineResult(output=[])
+        a_hat = self._run_stage(fwd, {fwd.input_region: list(a)}, result)
+        b_hat = self._run_stage(fwd, {fwd.input_region: list(b)}, result)
+        prod_hat = self._run_stage(
+            pw, {pw.input_region: a_hat, b_region(pw): b_hat}, result
+        )
+        result.output = self._run_stage(
+            inv, {inv.input_region: prod_hat}, result
+        )
+        return result
+
+    def rns_polymul(
+        self,
+        a_towers: Sequence[Sequence[int]],
+        b_towers: Sequence[Sequence[int]],
+        moduli: Sequence[int],
+    ) -> list[PipelineResult]:
+        """Limb-wise polynomial multiply across RNS towers (Fig. 1 flow).
+
+        Each tower runs independently -- on real silicon, back to back on
+        one RPU or spread over several; costs are reported per tower.
+        """
+        if not len(a_towers) == len(b_towers) == len(moduli):
+            raise ValueError("tower/modulus counts must agree")
+        return [
+            self.negacyclic_polymul(a, b, q=q)
+            for a, b, q in zip(a_towers, b_towers, moduli)
+        ]

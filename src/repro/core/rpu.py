@@ -1,0 +1,139 @@
+"""The :class:`Rpu` facade: one object, the whole system.
+
+Combines the cycle-level simulator (runtime), the functional simulator
+(results + validation against the reference NTT), and the hardware models
+(area, energy, power) behind a single ``run`` call -- the way a downstream
+user consumes this reproduction.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.femu import FunctionalSimulator
+from repro.hw.area import AreaBreakdown, rpu_area_breakdown
+from repro.hw.energy import EnergyBreakdown, ntt_energy_breakdown
+from repro.isa.program import Program
+from repro.ntt.reference import ntt_forward, ntt_inverse
+from repro.ntt.twiddles import TwiddleTable
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator, PerformanceReport
+
+
+@dataclass
+class RpuRunResult:
+    """Everything one kernel execution produces.
+
+    Attributes:
+        report: cycle-level performance report.
+        area: modelled silicon area of the configured design.
+        energy: modelled energy of this kernel execution.
+        output: VDM output region contents (only when inputs were supplied).
+        verified: True when the output matched the reference transform.
+    """
+
+    report: PerformanceReport
+    area: AreaBreakdown
+    energy: EnergyBreakdown
+    output: list[int] | None = None
+    verified: bool | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.report.cycles
+
+    @property
+    def runtime_us(self) -> float:
+        return self.report.runtime_us
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy.average_power_w(self.report.runtime_us)
+
+    def summary(self) -> str:
+        lines = [
+            self.report.summary(),
+            f"  area {self.area.total:.1f} mm^2, energy "
+            f"{self.energy.total:.2f} uJ, avg power "
+            f"{self.average_power_w:.2f} W",
+        ]
+        if self.verified is not None:
+            lines.append(f"  functional check: {'PASS' if self.verified else 'FAIL'}")
+        return "\n".join(lines)
+
+
+class Rpu:
+    """A configured Ring Processing Unit.
+
+    Example::
+
+        rpu = Rpu(RpuConfig(num_hples=128, vdm_banks=128))
+        program = generate_ntt_program(65536)
+        result = rpu.run(program, verify=True)
+    """
+
+    def __init__(self, config: RpuConfig | None = None) -> None:
+        self.config = config or RpuConfig()
+        self._cycle_sim = CycleSimulator(self.config)
+
+    def area(self, mult_ii: int | None = None) -> AreaBreakdown:
+        """Silicon area of this configuration."""
+        ii = self.config.mult_ii if mult_ii is None else mult_ii
+        return rpu_area_breakdown(
+            self.config.num_hples, self.config.vdm_banks, mult_ii=ii,
+            vlen=self.config.vlen,
+        )
+
+    def run(
+        self,
+        program: Program,
+        input_values: Sequence[int] | None = None,
+        verify: bool = False,
+        seed: int = 0,
+    ) -> RpuRunResult:
+        """Simulate a kernel.
+
+        Args:
+            program: the B512 kernel to run.
+            input_values: data for the program's input region; triggers a
+                functional execution whose output is returned.
+            verify: generate a random input, execute functionally, and check
+                the output against the reference NTT (requires NTT-kernel
+                metadata, which SPIRAL-generated programs carry).
+            seed: RNG seed for ``verify``.
+        """
+        report = self._cycle_sim.run(program)
+        result = RpuRunResult(
+            report=report,
+            area=self.area(),
+            energy=ntt_energy_breakdown(program),
+            metadata=dict(program.metadata),
+        )
+        values = input_values
+        expected = None
+        if verify:
+            n = program.metadata.get("n")
+            direction = program.metadata.get("direction")
+            q = program.metadata.get("modulus")
+            if not (n and direction and q):
+                raise ValueError("verify requires NTT metadata on the program")
+            table = TwiddleTable.for_ring(n, q=q)
+            rng = random.Random(seed)
+            if direction == "forward":
+                values = [rng.randrange(q) for _ in range(n)]
+                expected = ntt_forward(values, table)
+            else:
+                plain = [rng.randrange(q) for _ in range(n)]
+                values = ntt_forward(plain, table)
+                expected = plain
+        if values is not None:
+            femu = FunctionalSimulator(program)
+            femu.write_region(program.input_region, values)
+            femu.run()
+            result.output = femu.read_region(program.output_region)
+            if expected is not None:
+                result.verified = result.output == expected
+        return result

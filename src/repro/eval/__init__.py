@@ -1,0 +1,18 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning structured results and a
+``print_*`` helper emitting the same rows/series the paper reports, with
+paper-reported values alongside for direct comparison.  The benchmark
+harness under ``benchmarks/`` wraps these, and ``python -m
+repro.eval.run_all`` regenerates the full EXPERIMENTS.md dataset.
+"""
+
+from repro.eval.common import (
+    BANK_SWEEP,
+    HPLE_SWEEP,
+    RING_SIZES,
+    kernel,
+    simulate,
+)
+
+__all__ = ["BANK_SWEEP", "HPLE_SWEEP", "RING_SIZES", "kernel", "simulate"]

@@ -1,0 +1,70 @@
+"""Shared experiment plumbing: sweeps, cached kernels, formatting."""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.isa.program import Program
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator, PerformanceReport
+from repro.spiral.kernels import generate_ntt_program
+
+HPLE_SWEEP = (4, 8, 16, 32, 64, 128, 256)
+BANK_SWEEP = (32, 64, 128, 256)
+RING_SIZES = (1024, 2048, 4096, 8192, 16384, 32768, 65536)
+BEST_CONFIG = RpuConfig(num_hples=128, vdm_banks=128)
+
+NTT_64K = 65536
+
+
+@functools.lru_cache(maxsize=None)
+def kernel(
+    n: int = NTT_64K,
+    direction: str = "forward",
+    optimize: bool = True,
+    q_bits: int = 128,
+) -> Program:
+    """The cached kernel most experiments run (64K forward, optimized)."""
+    return generate_ntt_program(
+        n, direction=direction, optimize=optimize, q_bits=q_bits
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def simulate(program_key: tuple, config: RpuConfig) -> PerformanceReport:
+    """Cached cycle simulation keyed by (kernel params, config)."""
+    program = kernel(*program_key)
+    return CycleSimulator(config).run(program)
+
+
+def simulate_program(program: Program, config: RpuConfig) -> PerformanceReport:
+    """Uncached escape hatch for ad-hoc programs."""
+    return CycleSimulator(config).run(program)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured scalar."""
+
+    name: str
+    paper: float
+    measured: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.paper if self.paper else float("nan")
+
+    def row(self) -> str:
+        return (
+            f"{self.name:<44} paper={self.paper:>10.4g} "
+            f"measured={self.measured:>10.4g} {self.unit:<6} "
+            f"(x{self.ratio:.2f})"
+        )
+
+
+def print_comparisons(title: str, comparisons: list[Comparison]) -> None:
+    print(f"\n== {title} ==")
+    for c in comparisons:
+        print("  " + c.row())

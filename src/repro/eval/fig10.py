@@ -1,0 +1,74 @@
+"""Figure 10: RPU speedup over the CPU for 64-bit and 128-bit data.
+
+Paper envelope: 545x (1K) to 1484x (64K) against 128-bit CPU NTTs, and
+77x to 205x against 64-bit CPU NTTs while still running the RPU at 128-bit.
+CPU runtimes come from the calibrated EPYC model; an optional live numpy
+measurement column is provided by :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.common import BEST_CONFIG, simulate
+from repro.hw.cpu_model import cpu_ntt_runtime_us
+
+SIZES = (1024, 4096, 16384, 65536)
+PAPER_SPEEDUP_128 = {1024: 545.0, 65536: 1484.0}
+PAPER_SPEEDUP_64 = {1024: 77.0, 65536: 205.0}
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    n: int
+    rpu_us: float
+    cpu128_us: float
+    cpu64_us: float
+
+    @property
+    def speedup_128(self) -> float:
+        return self.cpu128_us / self.rpu_us
+
+    @property
+    def speedup_64(self) -> float:
+        return self.cpu64_us / self.rpu_us
+
+
+def run_fig10() -> list[Fig10Row]:
+    rows = []
+    for n in SIZES:
+        report = simulate((n, "forward", True, 128), BEST_CONFIG)
+        rows.append(
+            Fig10Row(
+                n=n,
+                rpu_us=report.runtime_us,
+                cpu128_us=cpu_ntt_runtime_us(n, 128),
+                cpu64_us=cpu_ntt_runtime_us(n, 64),
+            )
+        )
+    return rows
+
+
+def print_fig10(rows: list[Fig10Row] | None = None) -> None:
+    rows = rows or run_fig10()
+    print("\n== Fig. 10: RPU speedup over CPU ==")
+    print(
+        f"{'n':>7} {'RPU_us':>9} {'CPU128_us':>11} {'CPU64_us':>10} "
+        f"{'speedup128':>11} {'speedup64':>10}"
+    )
+    for r in rows:
+        print(
+            f"{r.n:>7} {r.rpu_us:>9.3f} {r.cpu128_us:>11.1f} "
+            f"{r.cpu64_us:>10.1f} {r.speedup_128:>11.0f} {r.speedup_64:>10.0f}"
+        )
+    lo, hi = rows[0], rows[-1]
+    print(
+        f"128-bit envelope: {lo.speedup_128:.0f}x .. {hi.speedup_128:.0f}x "
+        f"(paper: {PAPER_SPEEDUP_128[1024]:.0f}x .. "
+        f"{PAPER_SPEEDUP_128[65536]:.0f}x)"
+    )
+    print(
+        f"64-bit envelope: {lo.speedup_64:.0f}x .. {hi.speedup_64:.0f}x "
+        f"(paper: {PAPER_SPEEDUP_64[1024]:.0f}x .. "
+        f"{PAPER_SPEEDUP_64[65536]:.0f}x)"
+    )

@@ -1,0 +1,75 @@
+"""Figure 3: 64K NTT area-latency trade-off over (HPLEs, banks).
+
+Sweeps the full grid, reports runtime (us) and area (mm^2) per design
+point, and extracts the Pareto frontier.  The paper's observation that
+Pareto points have #HPLEs equal to or twice #banks is checked explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.common import BANK_SWEEP, HPLE_SWEEP, NTT_64K, simulate
+from repro.hw.area import rpu_area_breakdown
+from repro.perf.config import RpuConfig
+
+PAPER_PARETO = (
+    (256, 256), (256, 128), (128, 128), (128, 64), (64, 128), (64, 64),
+    (64, 32), (32, 128), (32, 64), (32, 32), (16, 64), (16, 32), (8, 64),
+    (8, 32), (4, 32),
+)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    hples: int
+    banks: int
+    runtime_us: float
+    area_mm2: float
+
+    @property
+    def label(self) -> str:
+        return f"({self.hples}, {self.banks})"
+
+
+def run_fig3(n: int = NTT_64K) -> list[DesignPoint]:
+    points = []
+    for h in HPLE_SWEEP:
+        for b in BANK_SWEEP:
+            config = RpuConfig(num_hples=h, vdm_banks=b)
+            report = simulate((n, "forward", True, 128), config)
+            area = rpu_area_breakdown(h, b).total
+            points.append(DesignPoint(h, b, report.runtime_us, area))
+    return points
+
+
+def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Points not dominated in both runtime and area."""
+    frontier = []
+    for p in points:
+        dominated = any(
+            q.runtime_us <= p.runtime_us
+            and q.area_mm2 <= p.area_mm2
+            and (q.runtime_us < p.runtime_us or q.area_mm2 < p.area_mm2)
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: p.runtime_us)
+
+
+def print_fig3(points: list[DesignPoint] | None = None) -> None:
+    points = points or run_fig3()
+    print("\n== Fig. 3: 64K NTT area-latency trade-off ==")
+    print(f"{'design':>12} {'runtime_us':>12} {'area_mm2':>10}")
+    for p in sorted(points, key=lambda p: (p.hples, p.banks)):
+        print(f"{p.label:>12} {p.runtime_us:>12.2f} {p.area_mm2:>10.2f}")
+    frontier = pareto_frontier(points)
+    print("Pareto frontier:", ", ".join(p.label for p in frontier))
+    ratio_ok = sum(
+        1 for p in frontier if p.hples in (p.banks, 2 * p.banks)
+    )
+    print(
+        f"Pareto points with HPLEs == banks or 2x banks: "
+        f"{ratio_ok}/{len(frontier)} (paper: 'most')"
+    )

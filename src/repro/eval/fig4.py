@@ -1,0 +1,52 @@
+"""Figure 4: performance-per-area heat map over (HPLEs, banks).
+
+P/A = 1 / (runtime_seconds * area_mm2); the paper's peak is ~7K at
+(128, 128) with (64, 64) close behind, and P/A falls off along both axes
+past 128 (crossbar area and front-end bubbles respectively).
+"""
+
+from __future__ import annotations
+
+from repro.eval.common import BANK_SWEEP, HPLE_SWEEP, NTT_64K, simulate
+from repro.hw.area import rpu_area_breakdown
+from repro.perf.config import RpuConfig
+
+PAPER_BEST = (128, 128)
+PAPER_SECOND = (64, 64)
+
+
+def run_fig4(n: int = NTT_64K) -> dict[tuple[int, int], float]:
+    grid = {}
+    for h in HPLE_SWEEP:
+        for b in BANK_SWEEP:
+            report = simulate((n, "forward", True, 128), RpuConfig(h, b))
+            area = rpu_area_breakdown(h, b).total
+            grid[(h, b)] = 1.0 / (report.runtime_us * 1e-6 * area)
+    return grid
+
+
+def claims(grid: dict[tuple[int, int], float]) -> dict[str, bool]:
+    """The paper's three P/A statements, checked against our grid."""
+    best = max(grid, key=grid.get)
+    row_128 = [grid[(128, b)] for b in BANK_SWEEP]
+    col_128 = [grid[(h, 128)] for h in HPLE_SWEEP]
+    return {
+        "best design is (128, 128)": best == PAPER_BEST,
+        "at 128 HPLEs, P/A peaks at 128 banks": max(
+            range(len(BANK_SWEEP)), key=lambda i: row_128[i]
+        ) == BANK_SWEEP.index(128),
+        "at 128 banks, P/A peaks at 128 HPLEs": max(
+            range(len(HPLE_SWEEP)), key=lambda i: col_128[i]
+        ) == HPLE_SWEEP.index(128),
+    }
+
+
+def print_fig4(grid: dict[tuple[int, int], float] | None = None) -> None:
+    grid = grid or run_fig4()
+    print("\n== Fig. 4: performance per area (1 / (s * mm^2)) ==")
+    header = "HPLEs\\banks"
+    print(f"{header:>12}" + "".join(f"{b:>9}" for b in BANK_SWEEP))
+    for h in HPLE_SWEEP:
+        print(f"{h:>12}" + "".join(f"{grid[(h, b)]:>9.0f}" for b in BANK_SWEEP))
+    for claim, ok in claims(grid).items():
+        print(f"  claim: {claim}: {'PASS' if ok else 'FAIL'}")

@@ -1,0 +1,77 @@
+"""Figure 5: area breakdowns (a: bank sweep, b: HPLE sweep) and the 64K
+NTT energy breakdown (c) on the (128, 128) RPU."""
+
+from __future__ import annotations
+
+from repro.eval.common import (
+    BANK_SWEEP,
+    BEST_CONFIG,
+    Comparison,
+    HPLE_SWEEP,
+    NTT_64K,
+    kernel,
+    print_comparisons,
+    simulate,
+)
+from repro.hw.area import AreaBreakdown, rpu_area_breakdown
+from repro.hw.energy import EnergyBreakdown, ntt_energy_breakdown
+
+PAPER_ENERGY_TOTAL_UJ = 49.18
+PAPER_ENERGY_SPLIT = {
+    "LAW Engine": 66.7,
+    "VRF": 19.3,
+    "VDM": 10.5,
+    "Vector Crossbar": 2.3,
+    "Shuffle Crossbar": 1.0,
+    "IM": 0.1,
+}
+PAPER_AVG_POWER_W = 7.44
+
+
+def run_fig5a(hples: int = 128) -> dict[int, AreaBreakdown]:
+    return {b: rpu_area_breakdown(hples, b) for b in BANK_SWEEP}
+
+
+def run_fig5b(banks: int = 128) -> dict[int, AreaBreakdown]:
+    return {h: rpu_area_breakdown(h, banks) for h in HPLE_SWEEP}
+
+
+def run_fig5c(n: int = NTT_64K) -> tuple[EnergyBreakdown, float]:
+    """Energy breakdown plus the average power at the measured runtime."""
+    program = kernel(n)
+    energy = ntt_energy_breakdown(program)
+    report = simulate((n, "forward", True, 128), BEST_CONFIG)
+    return energy, energy.average_power_w(report.runtime_us)
+
+
+def print_fig5() -> None:
+    print("\n== Fig. 5a: area breakdown vs VDM banks (128 HPLEs) ==")
+    header = f"{'banks':>6}"
+    components = list(rpu_area_breakdown(128, 32).as_dict())
+    print(header + "".join(f"{c:>18}" for c in components) + f"{'total':>10}")
+    for b, bd in run_fig5a().items():
+        d = bd.as_dict()
+        print(
+            f"{b:>6}"
+            + "".join(f"{d[c]:>18.3f}" for c in components)
+            + f"{bd.total:>10.2f}"
+        )
+    print("\n== Fig. 5b: area breakdown vs HPLEs (128 banks) ==")
+    print(f"{'HPLEs':>6}" + "".join(f"{c:>18}" for c in components) + f"{'total':>10}")
+    for h, bd in run_fig5b().items():
+        d = bd.as_dict()
+        print(
+            f"{h:>6}"
+            + "".join(f"{d[c]:>18.3f}" for c in components)
+            + f"{bd.total:>10.2f}"
+        )
+    energy, power = run_fig5c()
+    comparisons = [
+        Comparison("64K NTT total energy", PAPER_ENERGY_TOTAL_UJ, energy.total, "uJ"),
+        Comparison("average power", PAPER_AVG_POWER_W, power, "W"),
+    ]
+    for name, paper_pct in PAPER_ENERGY_SPLIT.items():
+        comparisons.append(
+            Comparison(f"energy share: {name}", paper_pct, energy.percentages()[name], "%")
+        )
+    print_comparisons("Fig. 5c: 64K NTT energy on (128, 128)", comparisons)

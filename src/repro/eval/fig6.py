@@ -1,0 +1,72 @@
+"""Figure 6: optimized vs unoptimized 64K NTT, sweeping HPLEs at 128 banks.
+
+The paper reports the hardware-aware SPIRAL program averaging 1.8x faster,
+and gives the shuffle busyboard-wait contrast at 256 HPLEs as the
+mechanism.  We reproduce the sweep with the two code generators and report
+the same wait statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.common import HPLE_SWEEP, NTT_64K, simulate
+from repro.isa.opcodes import InstructionClass
+from repro.perf.config import RpuConfig
+
+PAPER_AVG_SPEEDUP = 1.8
+
+
+@dataclass(frozen=True)
+class OptRow:
+    hples: int
+    optimized_us: float
+    unoptimized_us: float
+    si_wait_opt: int
+    si_wait_unopt: int
+
+    @property
+    def speedup(self) -> float:
+        return self.unoptimized_us / self.optimized_us
+
+
+def run_fig6(n: int = NTT_64K, banks: int = 128) -> list[OptRow]:
+    rows = []
+    for h in HPLE_SWEEP:
+        config = RpuConfig(num_hples=h, vdm_banks=banks)
+        opt = simulate((n, "forward", True, 128), config)
+        unopt = simulate((n, "forward", False, 128), config)
+        rows.append(
+            OptRow(
+                hples=h,
+                optimized_us=opt.runtime_us,
+                unoptimized_us=unopt.runtime_us,
+                si_wait_opt=opt.pipe_stats[InstructionClass.SI].total_dispatch_wait,
+                si_wait_unopt=unopt.pipe_stats[
+                    InstructionClass.SI
+                ].total_dispatch_wait,
+            )
+        )
+    return rows
+
+
+def average_speedup(rows: list[OptRow]) -> float:
+    return sum(r.speedup for r in rows) / len(rows)
+
+
+def print_fig6(rows: list[OptRow] | None = None) -> None:
+    rows = rows or run_fig6()
+    print("\n== Fig. 6: optimized vs unoptimized 64K NTT (128 banks) ==")
+    print(
+        f"{'HPLEs':>6} {'opt_us':>10} {'unopt_us':>10} {'speedup':>8} "
+        f"{'SI wait opt':>12} {'SI wait unopt':>14}"
+    )
+    for r in rows:
+        print(
+            f"{r.hples:>6} {r.optimized_us:>10.1f} {r.unoptimized_us:>10.1f} "
+            f"{r.speedup:>8.2f} {r.si_wait_opt:>12} {r.si_wait_unopt:>14}"
+        )
+    print(
+        f"average speedup: {average_speedup(rows):.2f}x "
+        f"(paper: {PAPER_AVG_SPEEDUP}x)"
+    )

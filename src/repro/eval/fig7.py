@@ -1,0 +1,46 @@
+"""Figure 7: RPU sensitivity to multiplier latency and initiation interval.
+
+The paper's takeaways: latency is nearly free (everything is pipelined),
+II=2 costs only ~16% (shuffles are the bottleneck, section VI-F), and
+cycles grow steeply with larger II.
+"""
+
+from __future__ import annotations
+
+from repro.eval.common import NTT_64K, simulate
+from repro.perf.config import RpuConfig
+
+LATENCIES = (2, 3, 4, 5, 6, 7, 8)
+IIS = (1, 2, 3, 4, 5, 6, 7)
+PAPER_II2_INCREASE_PCT = 16.0
+
+
+def run_fig7(n: int = NTT_64K) -> dict[tuple[int, int], int]:
+    grid = {}
+    for lat in LATENCIES:
+        for ii in IIS:
+            config = RpuConfig(mult_latency=lat, mult_ii=ii)
+            grid[(lat, ii)] = simulate((n, "forward", True, 128), config).cycles
+    return grid
+
+
+def ii2_increase_pct(grid: dict[tuple[int, int], int]) -> float:
+    base = grid[(5, 1)]
+    return (grid[(5, 2)] / base - 1) * 100
+
+
+def print_fig7(grid: dict[tuple[int, int], int] | None = None) -> None:
+    grid = grid or run_fig7()
+    print("\n== Fig. 7: 64K NTT cycles vs multiplier latency x II (128,128) ==")
+    header = "lat\\II"
+    print(f"{header:>8}" + "".join(f"{ii:>9}" for ii in IIS))
+    for lat in LATENCIES:
+        print(f"{lat:>8}" + "".join(f"{grid[(lat, ii)]:>9}" for ii in IIS))
+    print(
+        f"II=2 cycle increase: {ii2_increase_pct(grid):.0f}% "
+        f"(paper: ~{PAPER_II2_INCREASE_PCT:.0f}%)"
+    )
+    lat_spread = max(grid[(lat, 1)] for lat in LATENCIES) / min(
+        grid[(lat, 1)] for lat in LATENCIES
+    )
+    print(f"latency sensitivity at II=1: {(lat_spread - 1) * 100:.1f}% spread")

@@ -1,0 +1,49 @@
+"""Figure 8: RPU sensitivity to vector-crossbar (load/store) and shuffle-
+crossbar latency on the (128, 128) design.
+
+Paper claims: raising LS latency from 4 to 10 costs ~1.7% cycles; shuffle
+latency is flat up to 7 and then marginal -- i.e. the RPU is more sensitive
+to load/store latency even though NTT has more shuffles.
+"""
+
+from __future__ import annotations
+
+from repro.eval.common import NTT_64K, simulate
+from repro.perf.config import RpuConfig
+
+LATENCIES = (4, 5, 6, 7, 8, 9, 10)
+PAPER_LS_4_TO_10_PCT = 1.7
+
+
+def run_fig8(n: int = NTT_64K) -> dict[tuple[int, int], int]:
+    grid = {}
+    for ls in LATENCIES:
+        for sh in LATENCIES:
+            config = RpuConfig(ls_latency=ls, shuffle_latency=sh)
+            grid[(ls, sh)] = simulate((n, "forward", True, 128), config).cycles
+    return grid
+
+
+def ls_latency_increase_pct(grid: dict[tuple[int, int], int]) -> float:
+    return (grid[(10, 4)] / grid[(4, 4)] - 1) * 100
+
+
+def shuffle_latency_increase_pct(grid: dict[tuple[int, int], int]) -> float:
+    return (grid[(4, 10)] / grid[(4, 4)] - 1) * 100
+
+
+def print_fig8(grid: dict[tuple[int, int], int] | None = None) -> None:
+    grid = grid or run_fig8()
+    print("\n== Fig. 8: 64K NTT cycles vs LS latency x shuffle latency ==")
+    header = "LS\\shuf"
+    print(f"{header:>8}" + "".join(f"{sh:>9}" for sh in LATENCIES))
+    for ls in LATENCIES:
+        print(f"{ls:>8}" + "".join(f"{grid[(ls, sh)]:>9}" for sh in LATENCIES))
+    print(
+        f"LS latency 4->10: +{ls_latency_increase_pct(grid):.1f}% cycles "
+        f"(paper: +{PAPER_LS_4_TO_10_PCT}%)"
+    )
+    print(
+        f"shuffle latency 4->10: +{shuffle_latency_increase_pct(grid):.1f}% cycles "
+        f"(paper: marginal)"
+    )

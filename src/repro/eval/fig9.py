@@ -1,0 +1,79 @@
+"""Figure 9: NTT runtime vs the theoretical bound and HBM2 transfer times.
+
+For each ring size the paper reports the RPU runtime, its ratio over the
+ideal ``n*log2(n) / (HPLEs * f)`` latency (3.86x at 1K shrinking to 1.38x
+at 64K), and whether a 512 GB/s HBM2 can stream the next ring (load) and
+the previous result (store) behind execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.common import BEST_CONFIG, RING_SIZES, simulate
+from repro.hw.hbm import hbm_transfer_us
+
+PAPER_RATIOS = {
+    1024: 3.86,
+    2048: 2.35,
+    4096: 1.71,
+    8192: 1.488,
+    16384: 1.42,
+    32768: 1.39,
+    65536: 1.38,
+}
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    n: int
+    runtime_us: float
+    theoretical_us: float
+    hbm_load_us: float
+    hbm_store_us: float
+    paper_ratio: float
+
+    @property
+    def ratio(self) -> float:
+        return self.runtime_us / self.theoretical_us
+
+    @property
+    def hbm_fits(self) -> bool:
+        """Whether one-direction streaming fits behind the NTT."""
+        return self.hbm_load_us <= self.runtime_us
+
+
+def run_fig9() -> list[Fig9Row]:
+    rows = []
+    for n in RING_SIZES:
+        report = simulate((n, "forward", True, 128), BEST_CONFIG)
+        rows.append(
+            Fig9Row(
+                n=n,
+                runtime_us=report.runtime_us,
+                theoretical_us=report.theoretical_runtime_us(n),
+                hbm_load_us=hbm_transfer_us(n),
+                hbm_store_us=hbm_transfer_us(n),
+                paper_ratio=PAPER_RATIOS[n],
+            )
+        )
+    return rows
+
+
+def print_fig9(rows: list[Fig9Row] | None = None) -> None:
+    rows = rows or run_fig9()
+    print("\n== Fig. 9: NTT vs theoretical latency and HBM2 (128, 128) ==")
+    print(
+        f"{'n':>7} {'NTT_us':>9} {'ideal_us':>9} {'ratio':>7} {'paper':>7} "
+        f"{'HBM_load_us':>12} {'HBM_store_us':>13} {'overlapped?':>12}"
+    )
+    for r in rows:
+        print(
+            f"{r.n:>7} {r.runtime_us:>9.3f} {r.theoretical_us:>9.3f} "
+            f"{r.ratio:>7.2f} {r.paper_ratio:>7.2f} {r.hbm_load_us:>12.3f} "
+            f"{r.hbm_store_us:>13.3f} {str(r.hbm_fits):>12}"
+        )
+    print(
+        "paper conclusion: 512 GB/s HBM2 satisfies the off-chip bandwidth "
+        "requirement across sizes"
+    )

@@ -1,0 +1,128 @@
+"""Beyond-paper experiment: a full HE multiply primitive on the RPU.
+
+The paper evaluates single NTT kernels; production HE multiplies a
+ciphertext of L RNS towers, each needing forward NTTs, a pointwise
+multiply and an inverse NTT.  This driver composes generated kernels into
+that primitive and reports per-tower and total cost on the (128, 128)
+design -- including whether HBM2 streaming stays hidden (the Fig. 9
+question at primitive scale) and the equivalent still-encrypted
+"ops per second" the accelerator would sustain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.common import BEST_CONFIG, simulate
+from repro.hw.hbm import hbm_transfer_us
+from repro.perf.engine import CycleSimulator
+from repro.spiral.kernels import generate_ntt_program
+from repro.spiral.pointwise import generate_pointwise_program
+
+
+@dataclass(frozen=True)
+class PrimitiveCost:
+    """Cost of one n-point negacyclic multiply (one RNS tower)."""
+
+    n: int
+    forward_us: float
+    pointwise_us: float
+    inverse_us: float
+
+    @property
+    def total_us(self) -> float:
+        return 2 * self.forward_us + self.pointwise_us + self.inverse_us
+
+
+def tower_cost(n: int) -> PrimitiveCost:
+    fwd = simulate((n, "forward", True, 128), BEST_CONFIG)
+    inv = simulate((n, "inverse", True, 128), BEST_CONFIG)
+    pw_program = generate_pointwise_program(n, "mul", q_bits=128)
+    pw = CycleSimulator(BEST_CONFIG).run(pw_program)
+    return PrimitiveCost(
+        n=n,
+        forward_us=fwd.runtime_us,
+        pointwise_us=pw.runtime_us,
+        inverse_us=inv.runtime_us,
+    )
+
+
+def run_he_pipeline(
+    n: int = 16384, towers: int = 8
+) -> dict:
+    """An L-tower ciphertext multiply (e.g. ~1600-bit Q as 128-bit limbs)."""
+    cost = tower_cost(n)
+    total_us = towers * cost.total_us
+    # Streaming: each tower moves 3 operand rings in and 1 out.
+    hbm_us = towers * 4 * hbm_transfer_us(n)
+    return {
+        "n": n,
+        "towers": towers,
+        "per_tower": cost,
+        "total_us": total_us,
+        "hbm_us": hbm_us,
+        "hbm_hidden": hbm_us <= total_us,
+        "multiplies_per_second": 1e6 / total_us,
+    }
+
+
+def run_batched_towers(
+    sizes: tuple[int, ...] = (1024, 2048, 4096, 16384), num_towers: int = 2
+) -> list[dict]:
+    """Batched multi-tower kernels vs serial single-tower kernels.
+
+    The MRF's raison d'etre (section IV-B5): modulus switching at
+    instruction granularity lets independent towers share the pipelines.
+    Small, dependence-bound rings benefit most (other towers' work fills
+    the bubbles); past ~8K the shared register file forces shallower
+    rectangles and serial execution wins -- a crossover the paper's MRF
+    discussion implies but does not quantify.
+    """
+    from repro.spiral.batched import generate_batched_ntt_program
+
+    rows = []
+    for n in sizes:
+        batched = generate_batched_ntt_program(
+            n, num_towers=num_towers, q_bits=128
+        )
+        serial = simulate((n, "forward", True, 128), BEST_CONFIG)
+        batched_report = CycleSimulator(BEST_CONFIG).run(batched)
+        rows.append(
+            {
+                "n": n,
+                "towers": num_towers,
+                "batched_cycles": batched_report.cycles,
+                "serial_cycles": num_towers * serial.cycles,
+                "speedup": num_towers * serial.cycles / batched_report.cycles,
+            }
+        )
+    return rows
+
+
+def print_he_pipeline(data: dict | None = None) -> None:
+    data = data or run_he_pipeline()
+    cost = data["per_tower"]
+    print("\n== Beyond the paper: RNS ciphertext multiply on (128, 128) ==")
+    print(
+        f"ring degree {data['n']}, {data['towers']} towers of 128-bit limbs "
+        f"(~{data['towers'] * 128}-bit Q)"
+    )
+    print(
+        f"  per tower: 2 x forward {cost.forward_us:.2f} us + pointwise "
+        f"{cost.pointwise_us:.2f} us + inverse {cost.inverse_us:.2f} us "
+        f"= {cost.total_us:.2f} us"
+    )
+    print(f"  primitive total: {data['total_us']:.1f} us "
+          f"({data['multiplies_per_second']:.0f} encrypted multiplies/s)")
+    print(
+        f"  HBM2 traffic {data['hbm_us']:.1f} us -- "
+        f"{'hidden behind compute' if data['hbm_hidden'] else 'EXPOSED'}"
+    )
+    print("  batched 2-tower kernels (per-instruction MRF switching):")
+    for row in run_batched_towers():
+        verdict = "batching wins" if row["speedup"] > 1 else "serial wins"
+        print(
+            f"    n={row['n']:>6}: {row['batched_cycles']:>6} vs "
+            f"{row['serial_cycles']:>6} serial cycles -> "
+            f"{row['speedup']:.2f}x ({verdict})"
+        )

@@ -1,0 +1,42 @@
+"""The paper's headline claim (abstract / conclusion):
+
+an RPU with 128 VDM banks and 128 HPLEs executes a 128-bit 64K NTT in
+6.7 us using 20.5 mm^2 of GF 12nm, a 1485x speedup over a CPU.
+"""
+
+from __future__ import annotations
+
+from repro.eval.common import (
+    BEST_CONFIG,
+    Comparison,
+    NTT_64K,
+    print_comparisons,
+    simulate,
+)
+from repro.hw.area import rpu_area_breakdown
+from repro.hw.cpu_model import rpu_speedup_over_cpu
+
+PAPER_RUNTIME_US = 6.7
+PAPER_AREA_MM2 = 20.5
+PAPER_SPEEDUP = 1485.0
+PAPER_CYCLES = int(PAPER_RUNTIME_US * 1.68 * 1000)  # ~11.2K at 1.68 GHz
+
+
+def run_headline() -> list[Comparison]:
+    report = simulate((NTT_64K, "forward", True, 128), BEST_CONFIG)
+    area = rpu_area_breakdown(128, 128).total
+    return [
+        Comparison("64K 128-bit NTT runtime", PAPER_RUNTIME_US, report.runtime_us, "us"),
+        Comparison("64K NTT cycles", PAPER_CYCLES, report.cycles, "cyc"),
+        Comparison("RPU area", PAPER_AREA_MM2, area, "mm^2"),
+        Comparison(
+            "speedup over 128-bit CPU NTT",
+            PAPER_SPEEDUP,
+            rpu_speedup_over_cpu(NTT_64K, report.runtime_us, bits=128),
+            "x",
+        ),
+    ]
+
+
+def print_headline() -> None:
+    print_comparisons("Headline: 64K NTT on the (128, 128) RPU", run_headline())

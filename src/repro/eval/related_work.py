@@ -1,0 +1,64 @@
+"""Section VII comparisons: F1 and the V100 GPU."""
+
+from __future__ import annotations
+
+from repro.eval.common import BEST_CONFIG, Comparison, print_comparisons, simulate
+from repro.hw.area import rpu_area_breakdown
+from repro.hw.f1_model import (
+    F1_AREA_MM2,
+    F1_MAX_POLY_DEGREE,
+    F1_NTT_16K_NS,
+    PAPER_RPU_AREA_MM2,
+    PAPER_RPU_NTT_16K_NS,
+    f1_advantage,
+)
+from repro.hw.gpu_model import gpu_comparison
+
+
+def run_f1_comparison() -> dict:
+    report = simulate((16384, "forward", True, 128), BEST_CONFIG)
+    rpu_ns = report.runtime_us * 1e3
+    rpu_area = rpu_area_breakdown(128, 128).hple_total
+    return {
+        "f1_ntt_16k_ns": F1_NTT_16K_NS,
+        "f1_area_mm2": F1_AREA_MM2,
+        "rpu_ntt_16k_ns": rpu_ns,
+        "rpu_area_mm2": rpu_area,
+        "f1_throughput_per_area_advantage": f1_advantage(rpu_ns, rpu_area),
+        "f1_latency_based_advantage": f1_advantage(
+            rpu_ns, rpu_area, pipelined=False
+        ),
+        "f1_max_poly_degree": F1_MAX_POLY_DEGREE,
+    }
+
+
+def print_related_work() -> None:
+    data = run_f1_comparison()
+    comparisons = [
+        Comparison(
+            "RPU 16K NTT runtime", PAPER_RPU_NTT_16K_NS, data["rpu_ntt_16k_ns"], "ns"
+        ),
+        Comparison(
+            "RPU HPLE+VRF area", PAPER_RPU_AREA_MM2, data["rpu_area_mm2"], "mm^2"
+        ),
+        Comparison(
+            "F1 throughput/area advantage", 2.0,
+            data["f1_throughput_per_area_advantage"], "x",
+        ),
+    ]
+    print_comparisons("Section VII: F1 comparison (16K NTT)", comparisons)
+    print(
+        f"  F1 fixed numbers: {data['f1_ntt_16k_ns']:.0f} ns latency, "
+        f"{data['f1_area_mm2']} mm^2, max degree "
+        f"{data['f1_max_poly_degree']} (RPU: unlimited)"
+    )
+    print(
+        f"  latency-based (non-pipelined) comparison: F1/RPU = "
+        f"{data['f1_latency_based_advantage']:.2f}x (RPU ahead)"
+    )
+    gpu = gpu_comparison()
+    print(
+        f"  GPU (V100, 64K 30-bit NTT): RPU {gpu.rpu_speedup:.0f}x faster, "
+        f"{gpu.area_ratio:.0f}x less area, {gpu.power_ratio:.0f}x less power "
+        f"(paper: 6x / 40x / 40x)"
+    )

@@ -1,0 +1,42 @@
+"""Regenerate every paper table and figure: ``python -m repro.eval.run_all``.
+
+Prints the full reproduction dataset (the source of EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.eval.fig3 import print_fig3
+from repro.eval.fig4 import print_fig4
+from repro.eval.fig5 import print_fig5
+from repro.eval.fig6 import print_fig6
+from repro.eval.fig7 import print_fig7
+from repro.eval.fig8 import print_fig8
+from repro.eval.fig9 import print_fig9
+from repro.eval.fig10 import print_fig10
+from repro.eval.he_pipeline import print_he_pipeline
+from repro.eval.headline import print_headline
+from repro.eval.listing1 import print_listing1
+from repro.eval.related_work import print_related_work
+from repro.eval.table1 import print_table1
+from repro.eval.validation import print_validation
+
+
+def main() -> None:
+    print_table1()
+    print_listing1()
+    print_fig3()
+    print_fig4()
+    print_fig5()
+    print_fig6()
+    print_fig7()
+    print_fig8()
+    print_fig9()
+    print_fig10()
+    print_validation()
+    print_related_work()
+    print_headline()
+    print_he_pipeline()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Table I: the B512 ISA encoding.
+
+Prints one encoded example per architecturally distinct instruction (all
+17), with the field split of the paper's table, and round-trips each
+through the encoder/decoder.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import format_instruction
+from repro.isa.addressing import AddressMode
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.instructions import (
+    Instruction,
+    bflyct,
+    bflygs,
+    halt,
+    pkhi,
+    pklo,
+    sload,
+    unpkhi,
+    unpklo,
+    vbcast,
+    vload,
+    vsadd,
+    vsmul,
+    vssub,
+    vstore,
+    vvadd,
+    vvmul,
+    vvsub,
+)
+
+
+def all_17_instructions() -> list[Instruction]:
+    """One representative of each of the 17 B512 instructions."""
+    return [
+        vload(60, 1, 0, AddressMode.LINEAR, 0),
+        vstore(21, 2, 16, AddressMode.STRIDED, 1),
+        sload(1, 0, 0),
+        vbcast(19, 3, 1),
+        vvadd(58, 60, 59, 1),
+        vvsub(57, 60, 59, 1),
+        vvmul(59, 20, 19, 1),
+        vsadd(10, 11, 2, 1),
+        vssub(12, 13, 2, 1),
+        vsmul(14, 15, 2, 1),
+        bflyct(58, 57, 60, 20, 19, 1),
+        bflygs(48, 47, 50, 30, 29, 1),
+        unpklo(56, 58, 57),
+        unpkhi(55, 58, 57),
+        pklo(54, 58, 57),
+        pkhi(53, 58, 57),
+        halt(),
+    ]
+
+
+def run_table1() -> list[tuple[str, int, bool]]:
+    rows = []
+    for inst in all_17_instructions():
+        word = encode_instruction(inst)
+        rows.append((format_instruction(inst), word, decode_instruction(word) == inst))
+    return rows
+
+
+def print_table1() -> None:
+    rows = run_table1()
+    print("\n== Table I: B512 ISA (17 instructions, 64-bit encoding) ==")
+    print(f"{'assembly':<48} {'word (hex)':>18} {'roundtrip':>10}")
+    for text, word, ok in rows:
+        print(f"{text:<48} {word:>#18x} {'PASS' if ok else 'FAIL':>10}")
+    print(f"distinct instructions: {len(rows)} (paper: 17)")

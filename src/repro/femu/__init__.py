@@ -1,0 +1,13 @@
+"""Functional B512 simulator.
+
+Plays the role of the paper's C++ functional simulator: executes a
+:class:`~repro.isa.program.Program` instruction-by-instruction over explicit
+VDM/SDM/VRF/SRF/ARF/MRF state and produces the final memory image, which the
+test-suite compares against the reference NTT (the paper compared against
+OpenFHE outputs).
+"""
+
+from repro.femu.executor import FunctionalSimulator, SimulationFault
+from repro.femu.state import MachineState
+
+__all__ = ["FunctionalSimulator", "MachineState", "SimulationFault"]

@@ -1,0 +1,67 @@
+"""Architectural state of a B512 machine.
+
+All four register files and both data memories, with bounds checking on
+every access.  Element width is arbitrary-precision here (Python ints); the
+128-bit datapath limit is enforced by the modulus checks in the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+NUM_REGS = 64
+
+
+@dataclass
+class MachineState:
+    """VDM, SDM and the four register files.
+
+    Attributes:
+        vlen: elements per vector register.
+        vdm_size: vector data memory size in elements (128-bit words).
+        sdm_size: scalar data memory size in words.
+    """
+
+    vlen: int = 512
+    vdm_size: int = 262_144  # 4 MiB of 16-byte words, the instantiated VDM
+    sdm_size: int = 2_048  # 32 KiB of 16-byte words
+    vdm: list[int] = field(init=False)
+    sdm: list[int] = field(init=False)
+    vrf: list[list[int]] = field(init=False)
+    srf: list[int] = field(init=False)
+    arf: list[int] = field(init=False)
+    mrf: list[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.vlen < 2 or self.vlen % 2 != 0:
+            raise ValueError("vlen must be an even integer >= 2")
+        self.vdm = [0] * self.vdm_size
+        self.sdm = [0] * self.sdm_size
+        self.vrf = [[0] * self.vlen for _ in range(NUM_REGS)]
+        self.srf = [0] * NUM_REGS
+        self.arf = [0] * NUM_REGS
+        self.mrf = [0] * NUM_REGS
+
+    def read_vdm(self, addresses: list[int]) -> list[int]:
+        """Gather elements; raises IndexError outside the memory."""
+        size = self.vdm_size
+        for a in addresses:
+            if not 0 <= a < size:
+                raise IndexError(f"VDM address {a} outside [0, {size})")
+        vdm = self.vdm
+        return [vdm[a] for a in addresses]
+
+    def write_vdm(self, addresses: list[int], values: list[int]) -> None:
+        """Scatter elements; raises IndexError outside the memory."""
+        size = self.vdm_size
+        for a in addresses:
+            if not 0 <= a < size:
+                raise IndexError(f"VDM address {a} outside [0, {size})")
+        vdm = self.vdm
+        for a, v in zip(addresses, values):
+            vdm[a] = v
+
+    def read_sdm(self, address: int) -> int:
+        if not 0 <= address < self.sdm_size:
+            raise IndexError(f"SDM address {address} outside [0, {self.sdm_size})")
+        return self.sdm[address]

@@ -1,0 +1,52 @@
+"""Calibrated hardware models (the paper's EDA-flow substitute).
+
+The paper derives area, frequency and energy from Synopsys DC synthesis in
+GF 12nm plus a commercial SRAM compiler.  We cannot run those tools, so this
+package provides analytical models calibrated to every number the paper
+publishes (see DESIGN.md section 5 for the anchor list):
+
+* :mod:`repro.hw.frequency` -- VDM-limited clock (1.29/1.53/1.68 GHz).
+* :mod:`repro.hw.sram` -- SRAM macro area from the paper's two published
+  macro data points.
+* :mod:`repro.hw.area` -- per-component RPU area (Figs. 3, 4, 5a, 5b).
+* :mod:`repro.hw.energy` -- per-component energy (Fig. 5c, 49.18 uJ total).
+* :mod:`repro.hw.hbm` -- HBM2 transfer model (Fig. 9).
+* :mod:`repro.hw.cpu_model` -- EPYC 7502 NTT runtime model (Fig. 10).
+* :mod:`repro.hw.f1_model`, :mod:`repro.hw.gpu_model` -- related-work
+  comparison points (section VII).
+"""
+
+from repro.hw.frequency import rpu_frequency_ghz, vdm_frequency_ghz
+
+_LAZY = {
+    "AreaBreakdown": ("repro.hw.area", "AreaBreakdown"),
+    "rpu_area_breakdown": ("repro.hw.area", "rpu_area_breakdown"),
+    "EnergyBreakdown": ("repro.hw.energy", "EnergyBreakdown"),
+    "ntt_energy_breakdown": ("repro.hw.energy", "ntt_energy_breakdown"),
+    "cpu_ntt_runtime_us": ("repro.hw.cpu_model", "cpu_ntt_runtime_us"),
+    "hbm_transfer_us": ("repro.hw.hbm", "hbm_transfer_us"),
+    "HBM2_BANDWIDTH_GB_S": ("repro.hw.hbm", "HBM2_BANDWIDTH_GB_S"),
+}
+
+
+def __getattr__(name: str):
+    """Lazy imports keep frequency usable before sibling models load."""
+    if name in _LAZY:
+        import importlib
+
+        module, attr = _LAZY[name]
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module 'repro.hw' has no attribute {name!r}")
+
+
+__all__ = [
+    "AreaBreakdown",
+    "rpu_area_breakdown",
+    "EnergyBreakdown",
+    "ntt_energy_breakdown",
+    "rpu_frequency_ghz",
+    "vdm_frequency_ghz",
+    "cpu_ntt_runtime_us",
+    "hbm_transfer_us",
+    "HBM2_BANDWIDTH_GB_S",
+]

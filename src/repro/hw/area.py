@@ -1,0 +1,153 @@
+"""RPU area model: per-component mm^2 for any (HPLEs, banks) design point.
+
+Calibration anchors (all from the paper, reproduced by the test suite):
+
+* total area at (128 HPLEs, 128 banks) = **20.5 mm^2** (headline);
+* HPLE datapath + VRF at 128 HPLEs = **12.61 mm^2** (F1 comparison, VII);
+* VRF slice macros follow the published 512 B / 256 B points (VI-C);
+* (4, 256) totals ~2.5x (4, 32) (VI-B);
+* bank doublings at 128 HPLEs add ~10-24% total area (VI-C);
+* SBAR roughly triples per HPLE doubling and is ~5x going 128->256 (VI-C);
+* VBAR stays minimal below 64 banks and then doubles per doubling (VI-C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.sram import dm_macro_area_um2, rf_macro_area_um2
+
+VDM_BYTES = 4 * 1024 * 1024
+IM_BYTES = 512 * 1024
+IM_MACROS = 8
+SDM_BYTES = 32 * 1024
+VLEN = 512
+ELEMENT_BYTES = 16
+REGS_PER_VRF_MACRO = 4
+VRF_MACROS_PER_SLICE = 16
+
+# LAW engine datapath (GF 12nm, per HPLE, um^2).  The modular multiplier
+# dominates; a larger initiation interval buys a smaller multiplier
+# (section VI-F takeaway 1).
+MULTIPLIER_AREA_UM2 = 55_450.0
+ADDSUB_AREA_UM2 = 6_000.0
+COMPARATOR_AREA_UM2 = 1_000.0
+
+# Crossbar coefficients (um^2), closing the 20.5 mm^2 calibration.
+VBAR_COEFF_UM2 = 50.76
+SBAR_COEFF_UM2 = 150.0
+
+SCALAR_LOGIC_UM2 = 5_000.0
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Component areas in mm^2 (the Fig. 5a/5b stack)."""
+
+    im: float
+    vdm: float
+    vrf: float
+    law: float
+    vbar: float
+    sbar: float
+    scalar: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.im + self.vdm + self.vrf + self.law + self.vbar + self.sbar
+            + self.scalar
+        )
+
+    @property
+    def hple_total(self) -> float:
+        """VRF + LAW: the 'HPLE and VRF' area used in the F1 comparison."""
+        return self.vrf + self.law
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "IM": self.im,
+            "VDM": self.vdm,
+            "VRF": self.vrf,
+            "LAW Engine": self.law,
+            "Vector Crossbar": self.vbar,
+            "Shuffle Crossbar": self.sbar,
+            "Scalar Unit": self.scalar,
+        }
+
+
+def multiplier_area_um2(mult_ii: int = 1) -> float:
+    """Multiplier area shrinks with initiation interval (less unrolling)."""
+    if mult_ii < 1:
+        raise ValueError("initiation interval must be >= 1")
+    return MULTIPLIER_AREA_UM2 * mult_ii ** -0.75
+
+
+def law_engine_area_um2(mult_ii: int = 1) -> float:
+    """One LAW engine: multiplier, adder, subtractor, two comparators."""
+    return (
+        multiplier_area_um2(mult_ii)
+        + 2 * ADDSUB_AREA_UM2
+        + 2 * COMPARATOR_AREA_UM2
+    )
+
+
+def vrf_slice_area_um2(num_hples: int, vlen: int = VLEN) -> float:
+    """One VRF slice: 16 single-port macros, 4 registers stacked per macro."""
+    words_per_macro = vlen * REGS_PER_VRF_MACRO // num_hples
+    macro_bytes = words_per_macro * ELEMENT_BYTES
+    return VRF_MACROS_PER_SLICE * rf_macro_area_um2(macro_bytes)
+
+
+def vdm_area_um2(vdm_banks: int, vdm_bytes: int = VDM_BYTES) -> float:
+    """Banked VDM: per-bank periphery overhead makes fine banking costly."""
+    bank_bytes = vdm_bytes // vdm_banks
+    return vdm_banks * dm_macro_area_um2(bank_bytes)
+
+
+def vbar_area_um2(vdm_banks: int, num_hples: int) -> float:
+    """Vector crossbar between banks and VRF slices.
+
+    Area grows with the port product (banks x slices) and slightly
+    super-linearly with total port count, matching the paper's "more than
+    doubles" observations.
+    """
+    ports = vdm_banks * num_hples
+    return VBAR_COEFF_UM2 * ports * math.log2(ports) / 14.0
+
+
+def sbar_area_um2(num_hples: int) -> float:
+    """Shuffle crossbar across VRF slices.
+
+    ~H^1.585 (tripling per doubling) with an extra quadratic penalty as the
+    slice count approaches 256, reproducing the paper's 5x jump from 128 to
+    256 HPLEs.
+    """
+    return (
+        SBAR_COEFF_UM2
+        * num_hples ** 1.585
+        * (1.0 + (num_hples / 256.0) ** 2)
+    )
+
+
+def scalar_unit_area_um2() -> float:
+    """SDM plus the three 64-entry scalar register files (SRF/ARF/MRF)."""
+    reg_file = rf_macro_area_um2(64 * ELEMENT_BYTES)
+    return dm_macro_area_um2(SDM_BYTES) + 3 * reg_file + SCALAR_LOGIC_UM2
+
+
+def rpu_area_breakdown(
+    num_hples: int, vdm_banks: int, mult_ii: int = 1, vlen: int = VLEN
+) -> AreaBreakdown:
+    """Full RPU area at a design point, in mm^2."""
+    um2 = 1e-6  # um^2 -> mm^2
+    return AreaBreakdown(
+        im=IM_MACROS * dm_macro_area_um2(IM_BYTES // IM_MACROS) * um2,
+        vdm=vdm_area_um2(vdm_banks) * um2,
+        vrf=num_hples * vrf_slice_area_um2(num_hples, vlen) * um2,
+        law=num_hples * law_engine_area_um2(mult_ii) * um2,
+        vbar=vbar_area_um2(vdm_banks, num_hples) * um2,
+        sbar=sbar_area_um2(num_hples) * um2,
+        scalar=scalar_unit_area_um2() * um2,
+    )

@@ -1,0 +1,38 @@
+"""CPU baseline model: OpenFHE NTT on a 32-core 2.5 GHz AMD EPYC 7502.
+
+We do not have the authors' testbed; the model is the paper's own data
+inverted.  NTT runtime on the CPU scales as ``c * n * log2(n)`` with a
+per-butterfly constant depending on the operand width: 128-bit residues
+fall off the 64-bit datapath (multi-precision arithmetic), costing ~7x over
+64-bit.  Constants are fitted to the paper's Fig. 10 endpoints (545-1484x
+speedup for 128-bit, 77-205x for 64-bit, against the 6.7 us 64K NTT).
+
+:mod:`repro.baselines` additionally *measures* real CPU NTTs on the host
+machine for a live, independent sanity series.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Nanoseconds per (n * log2 n) unit of NTT work on the EPYC 7502.
+CPU_NS_PER_OP = {
+    128: 9.6,  # multi-precision modmul path
+    64: 1.35,  # native 64-bit path
+}
+
+
+def cpu_ntt_runtime_us(n: int, bits: int = 128) -> float:
+    """Modelled OpenFHE NTT runtime on the paper's CPU."""
+    if bits not in CPU_NS_PER_OP:
+        raise ValueError(f"no CPU calibration for {bits}-bit operands")
+    if n < 2:
+        raise ValueError("ring degree must be >= 2")
+    return CPU_NS_PER_OP[bits] * n * math.log2(n) * 1e-3
+
+
+def rpu_speedup_over_cpu(n: int, rpu_runtime_us: float, bits: int = 128) -> float:
+    """Fig. 10's y-axis: CPU runtime / RPU runtime."""
+    if rpu_runtime_us <= 0:
+        raise ValueError("RPU runtime must be positive")
+    return cpu_ntt_runtime_us(n, bits) / rpu_runtime_us

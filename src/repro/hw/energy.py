@@ -1,0 +1,113 @@
+"""RPU energy model (Fig. 5c).
+
+Per-event energies are calibrated so a 64K NTT on the (128, 128) RPU
+dissipates the paper's 49.18 uJ with its component split (LAW 66.7%, VRF
+19.3%, VDM 10.5%, VBAR 2.3%, SBAR 1.0%, IM 0.1%), and so one 128-bit
+modular multiplier run at 1.68 GHz draws the paper's ~104 mW.  Event counts
+come from the actual generated program, so other ring sizes and code
+versions scale physically (more loads -> more VDM/VBAR energy, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+# Per-event energies in picojoules.
+ENERGY_PJ = {
+    "law_mul": 60.0,  # one 128-bit modular multiply (~101 mW at 1.68 GHz)
+    "law_addsub": 1.28,  # one modular add or subtract
+    "vrf_access": 1.506,  # one 128-bit VRF read or write
+    "vdm_access": 7.18,  # one 128-bit VDM bank access
+    "vbar_transfer": 1.57,  # one element through the vector crossbar
+    "sbar_transfer": 0.50,  # one element through the shuffle crossbar
+    "im_fetch": 11.3,  # one 64-bit instruction fetch
+}
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Component energies in microjoules."""
+
+    law: float
+    vrf: float
+    vdm: float
+    vbar: float
+    sbar: float
+    im: float
+
+    @property
+    def total(self) -> float:
+        return self.law + self.vrf + self.vdm + self.vbar + self.sbar + self.im
+
+    def percentages(self) -> dict[str, float]:
+        t = self.total
+        return {
+            "LAW Engine": 100 * self.law / t,
+            "VRF": 100 * self.vrf / t,
+            "VDM": 100 * self.vdm / t,
+            "Vector Crossbar": 100 * self.vbar / t,
+            "Shuffle Crossbar": 100 * self.sbar / t,
+            "IM": 100 * self.im / t,
+        }
+
+    def average_power_w(self, runtime_us: float) -> float:
+        """Average power over a kernel execution."""
+        return self.total / runtime_us  # uJ / us == W
+
+
+def ntt_energy_breakdown(program: Program) -> EnergyBreakdown:
+    """Energy of one kernel execution, from its static instruction stream.
+
+    The kernel's dynamic and static instruction streams coincide (no
+    control flow in B512), so counting the program body is exact.
+    """
+    vlen = program.vlen
+    muls = addsubs = vrf = vdm = vbar = sbar = 0
+    fetches = 0
+    for inst in program.instructions:
+        op = inst.opcode
+        fetches += 1
+        if op is Opcode.HALT:
+            continue
+        if op in (Opcode.VLOAD, Opcode.VSTORE):
+            vdm += vlen
+            vbar += vlen
+            vrf += vlen
+        elif op is Opcode.VBCAST:
+            vbar += vlen
+            vrf += vlen
+        elif op is Opcode.SLOAD:
+            pass  # scalar path, negligible
+        elif op is Opcode.BFLY:
+            muls += vlen
+            addsubs += 2 * vlen
+            vrf += 5 * vlen  # 3 reads + 2 writes
+        elif op in (Opcode.VVMUL, Opcode.VSMUL):
+            muls += vlen
+            vrf += 3 * vlen if op is Opcode.VVMUL else 2 * vlen
+        elif op in (Opcode.VVADD, Opcode.VVSUB):
+            addsubs += vlen
+            vrf += 3 * vlen
+        elif op in (Opcode.VSADD, Opcode.VSSUB):
+            addsubs += vlen
+            vrf += 2 * vlen
+        else:  # shuffles
+            sbar += vlen
+            vrf += 3 * vlen  # 2 reads + 1 write
+    pj = ENERGY_PJ
+    return EnergyBreakdown(
+        law=(muls * pj["law_mul"] + addsubs * pj["law_addsub"]) * 1e-6,
+        vrf=vrf * pj["vrf_access"] * 1e-6,
+        vdm=vdm * pj["vdm_access"] * 1e-6,
+        vbar=vbar * pj["vbar_transfer"] * 1e-6,
+        sbar=sbar * pj["sbar_transfer"] * 1e-6,
+        im=fetches * pj["im_fetch"] * 1e-6,
+    )
+
+
+def multiplier_power_mw(frequency_ghz: float, mult_ii: int = 1) -> float:
+    """Power of one busy modular multiplier (the paper reports ~104 mW)."""
+    return ENERGY_PJ["law_mul"] * frequency_ghz / mult_ii

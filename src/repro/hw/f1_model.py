@@ -1,0 +1,72 @@
+"""F1 comparison model (section VII).
+
+The paper compares one RPU against one F1 compute cluster on a 16K NTT,
+counting only F1's NTT functional unit and register file, with F1's 32-bit
+area scaled by 4x to match the RPU's 128-bit datapath (multipliers scale
+quadratically with word size, so 4x is called conservative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Paper-reported F1 numbers after the 128-bit scaling.
+F1_NTT_16K_NS = 2864.0
+F1_AREA_MM2 = 11.32
+F1_MAX_POLY_DEGREE = 16384
+F1_NATIVE_BITS = 32
+
+# F1's NTT functional unit is fully pipelined and can overlap NTTs, so its
+# *throughput* beats 1/latency.  The paper does not publish the initiation
+# interval; this value is inferred from its "F1's throughput/area is 2x more
+# than RPU" statement combined with the four raw numbers above.
+F1_NTT_16K_INITIATION_NS = 835.0
+
+# Paper-reported RPU numbers for the same comparison.
+PAPER_RPU_NTT_16K_NS = 1500.0
+PAPER_RPU_AREA_MM2 = 12.61
+
+
+@dataclass(frozen=True)
+class ThroughputPerArea:
+    """NTTs/second/mm^2, the comparison's figure of merit."""
+
+    runtime_ns: float
+    area_mm2: float
+
+    @property
+    def value(self) -> float:
+        return 1e9 / self.runtime_ns / self.area_mm2
+
+
+def f1_throughput_per_area(pipelined: bool = True) -> ThroughputPerArea:
+    """F1's figure of merit.
+
+    ``pipelined=True`` uses the inferred initiation interval (the paper's
+    framing); ``pipelined=False`` uses raw latency, under which the RPU
+    actually wins -- both are reported by the evaluation driver.
+    """
+    interval = F1_NTT_16K_INITIATION_NS if pipelined else F1_NTT_16K_NS
+    return ThroughputPerArea(interval, F1_AREA_MM2)
+
+
+def rpu_throughput_per_area(
+    rpu_ntt_16k_ns: float = PAPER_RPU_NTT_16K_NS,
+    rpu_area_mm2: float = PAPER_RPU_AREA_MM2,
+) -> ThroughputPerArea:
+    """RPU side; callers pass measured runtime + modelled HPLE+VRF area."""
+    return ThroughputPerArea(rpu_ntt_16k_ns, rpu_area_mm2)
+
+
+def f1_advantage(
+    rpu_ntt_16k_ns: float, rpu_area_mm2: float, pipelined: bool = True
+) -> float:
+    """How much higher F1's throughput/area is (paper: ~2x).
+
+    F1 wins on this metric but supports only rings up to 16K and 32-bit
+    words; the RPU is unrestricted -- the paper's qualitative conclusion.
+    """
+    return (
+        f1_throughput_per_area(pipelined).value
+        / rpu_throughput_per_area(rpu_ntt_16k_ns, rpu_area_mm2).value
+    )

@@ -1,0 +1,45 @@
+"""Clock frequency model.
+
+The RPU runs a single clock domain limited by the VDM SRAM macros (section
+IV-B3): larger banks mean slower macros.  The paper reports 1.29 GHz at 32
+banks, 1.53 GHz at 64, and 1.68 GHz at 128 and 256 banks (logic synthesized
+at 2 GHz is never the limiter).
+"""
+
+from __future__ import annotations
+
+LOGIC_LIMIT_GHZ = 2.0
+"""Synthesis target for the RPU logic (section VI-A)."""
+
+_VDM_FREQ_BY_BANKS = {32: 1.29, 64: 1.53, 128: 1.68, 256: 1.68}
+
+
+def vdm_frequency_ghz(vdm_banks: int) -> float:
+    """Achievable VDM frequency for a 4 MiB VDM split into ``vdm_banks``.
+
+    Exact paper values at the evaluated bank counts; other power-of-two
+    counts interpolate on the neighbouring published points (clamped to the
+    1.68 GHz plateau where small macros stop being the limiter).
+    """
+    if vdm_banks in _VDM_FREQ_BY_BANKS:
+        return _VDM_FREQ_BY_BANKS[vdm_banks]
+    if vdm_banks < 32:
+        return _VDM_FREQ_BY_BANKS[32]
+    if vdm_banks > 256:
+        return _VDM_FREQ_BY_BANKS[256]
+    below = max(b for b in _VDM_FREQ_BY_BANKS if b <= vdm_banks)
+    above = min(b for b in _VDM_FREQ_BY_BANKS if b >= vdm_banks)
+    if below == above:
+        return _VDM_FREQ_BY_BANKS[below]
+    # Log-linear between published points.
+    import math
+
+    t = (math.log2(vdm_banks) - math.log2(below)) / (
+        math.log2(above) - math.log2(below)
+    )
+    return _VDM_FREQ_BY_BANKS[below] * (1 - t) + _VDM_FREQ_BY_BANKS[above] * t
+
+
+def rpu_frequency_ghz(vdm_banks: int) -> float:
+    """The RPU clock: min(VDM limit, logic limit)."""
+    return min(vdm_frequency_ghz(vdm_banks), LOGIC_LIMIT_GHZ)

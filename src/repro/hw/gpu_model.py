@@ -1,0 +1,37 @@
+"""GPU comparison constants (section VII).
+
+The paper cites Ozerk et al.: a 64K 30-bit NTT on a V100 is ~6x slower
+than the 128-bit RPU, while the V100 spends ~40x the area and ~40x the
+power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+V100_AREA_MM2 = 815.0
+V100_TDP_W = 300.0
+V100_64K_NTT_SLOWDOWN_VS_RPU = 6.0
+V100_NTT_BITS = 30
+
+RPU_AREA_MM2 = 20.5
+RPU_AVG_POWER_W = 7.44
+
+
+@dataclass(frozen=True)
+class GpuComparison:
+    """The three ratios the paper quotes."""
+
+    rpu_speedup: float
+    area_ratio: float
+    power_ratio: float
+
+
+def gpu_comparison(
+    rpu_area_mm2: float = RPU_AREA_MM2, rpu_power_w: float = RPU_AVG_POWER_W
+) -> GpuComparison:
+    return GpuComparison(
+        rpu_speedup=V100_64K_NTT_SLOWDOWN_VS_RPU,
+        area_ratio=V100_AREA_MM2 / rpu_area_mm2,
+        power_ratio=V100_TDP_W / rpu_power_w,
+    )

@@ -1,0 +1,28 @@
+"""Off-chip HBM2 model (Fig. 9).
+
+The paper assumes a 512 GB/s HBM2 stack (as in F1 and A100) feeding the
+VDM, and asks whether loading the ring and storing the result can be double
+buffered behind NTT execution.
+"""
+
+from __future__ import annotations
+
+HBM2_BANDWIDTH_GB_S = 512.0
+ELEMENT_BYTES = 16  # 128-bit elements
+
+
+def hbm_transfer_us(
+    num_elements: int,
+    element_bytes: int = ELEMENT_BYTES,
+    bandwidth_gb_s: float = HBM2_BANDWIDTH_GB_S,
+) -> float:
+    """Time to stream ``num_elements`` elements at full bandwidth."""
+    if num_elements < 0:
+        raise ValueError("element count must be non-negative")
+    bytes_total = num_elements * element_bytes
+    return bytes_total / (bandwidth_gb_s * 1e9) * 1e6
+
+
+def hbm_fits_behind_ntt(n: int, ntt_runtime_us: float) -> bool:
+    """Can the next ring load overlap the current NTT (double buffering)?"""
+    return hbm_transfer_us(n) <= ntt_runtime_us

@@ -1,0 +1,94 @@
+"""B512: the paper's 17-instruction vector ISA for ring processing.
+
+The ISA has 64-bit instructions (Table I of the paper), a vector length of
+512, four register files of 64 entries each (vector, scalar, address,
+modulus), and three instruction classes executed by the RPU's three
+decoupled pipelines:
+
+* **LSI** -- load/store: ``VLOAD``/``VSTORE`` with four addressing modes
+  (LINEAR, STRIDED, STRIDED_SKIP, REPEATED), ``SLOAD`` for scalars and
+  ``VBCAST`` to replicate a scalar-memory word across a vector register.
+* **CI** -- compute: vector-vector and vector-scalar modular add, subtract
+  and multiply, plus the fused butterfly (``BFLY`` with a CT/GS variant bit).
+* **SI** -- shuffle: ``UNPKLO``/``UNPKHI``/``PKLO``/``PKHI`` register-register
+  vector breaking, the B512 analogue of x86 pack/unpack.
+
+This package provides the instruction model, the bit-exact 64-bit
+encoder/decoder, a textual assembler/disassembler, and the
+:class:`~repro.isa.program.Program` container consumed by both the
+functional (:mod:`repro.femu`) and cycle-level (:mod:`repro.perf`)
+simulators.
+"""
+
+from repro.isa.addressing import AddressMode, element_addresses
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.instructions import (
+    Instruction,
+    InstructionClass,
+    bflyct,
+    bflygs,
+    halt,
+    pkhi,
+    pklo,
+    sload,
+    unpkhi,
+    unpklo,
+    vbcast,
+    vload,
+    vsadd,
+    vsmul,
+    vssub,
+    vstore,
+    vvadd,
+    vvmul,
+    vvsub,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.program import DataSegment, Program, RegionSpec
+
+__all__ = [
+    "AddressMode",
+    "element_addresses",
+    "Opcode",
+    "Instruction",
+    "InstructionClass",
+    "Program",
+    "DataSegment",
+    "RegionSpec",
+    "encode_instruction",
+    "decode_instruction",
+    "vload",
+    "vstore",
+    "sload",
+    "vbcast",
+    "vvadd",
+    "vvsub",
+    "vvmul",
+    "vsadd",
+    "vssub",
+    "vsmul",
+    "bflyct",
+    "bflygs",
+    "unpklo",
+    "unpkhi",
+    "pklo",
+    "pkhi",
+    "halt",
+]
+
+VLEN = 512
+"""Architectural vector length (elements per vector register)."""
+
+NUM_VREGS = 64
+NUM_SREGS = 64
+NUM_AREGS = 64
+NUM_MREGS = 64
+
+VDM_MAX_BYTES = 32 * 1024 * 1024
+"""Maximum vector data memory the ISA can address (32 MiB)."""
+
+SDM_MAX_BYTES = 16 * 1024 * 1024
+"""Maximum scalar data memory (16 MiB)."""
+
+ELEMENT_BYTES = 16
+"""128-bit data type: 16 bytes per element."""

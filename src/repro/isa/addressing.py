@@ -1,0 +1,56 @@
+"""The four vector load/store addressing modes of B512.
+
+Table I encodes MODE and VALUE fields that together implement four patterns;
+the paper highlights STRIDED_SKIP and REPEATED as the modes that make NTT
+data movement efficient.  Addresses are in *elements* (128-bit words).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AddressMode(enum.IntEnum):
+    """MODE field values."""
+
+    LINEAR = 0
+    STRIDED = 1
+    STRIDED_SKIP = 2
+    REPEATED = 3
+
+
+def element_addresses(
+    mode: AddressMode, value: int, base: int, vlen: int
+) -> list[int]:
+    """Element addresses touched by a vector load/store.
+
+    Args:
+        mode: one of the four addressing modes.
+        value: the VALUE field; strides and block sizes are ``2**value``.
+        base: effective base element address (ARF[RM] + instruction offset).
+        vlen: vector length (512 architecturally; smaller in unit tests).
+
+    Returns:
+        ``vlen`` element indices, in lane order.
+
+    Mode semantics for lane ``j`` with ``v = 2**value``:
+
+    * LINEAR:        ``base + j``
+    * STRIDED:       ``base + j*v``          (gather/scatter with stride v)
+    * STRIDED_SKIP:  ``base + (j // v)*2v + (j % v)``  — transfer ``v``
+      consecutive elements, skip the next ``v``, repeat (the paper's
+      "transferring each 2^VALUE and skipping other 2^VALUE").
+    * REPEATED:      ``base + (j % v)``      (replicate a v-element block)
+    """
+    if value < 0 or value > 63:
+        raise ValueError("VALUE field must be in [0, 63]")
+    v = 1 << value
+    if mode == AddressMode.LINEAR:
+        return [base + j for j in range(vlen)]
+    if mode == AddressMode.STRIDED:
+        return [base + j * v for j in range(vlen)]
+    if mode == AddressMode.STRIDED_SKIP:
+        return [base + (j // v) * 2 * v + (j % v) for j in range(vlen)]
+    if mode == AddressMode.REPEATED:
+        return [base + (j % v) for j in range(vlen)]
+    raise ValueError(f"unknown addressing mode {mode}")

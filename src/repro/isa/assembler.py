@@ -1,0 +1,198 @@
+"""Textual assembler / disassembler for B512.
+
+The syntax mirrors the SPIRAL-generated C intrinsics of the paper's
+Listing 1, but in assembly form::
+
+    vload    v60, a1, 0, linear, 0
+    vbcast   v19, a3, 1
+    bflyct   v58, v57, v60, v59, v19, m1
+    unpklo   v56, v58, v57
+    vstore   v21, a2, 16, strided, 1
+    halt
+
+Register operands are written ``v<n>`` (vector), ``s<n>`` (scalar),
+``a<n>`` (address), ``m<n>`` (modulus).  Comments start with ``#`` or
+``//``; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from repro.isa.addressing import AddressMode
+from repro.isa.instructions import (
+    BFLY_CT,
+    Instruction,
+    bflyct,
+    bflygs,
+    halt,
+    pkhi,
+    pklo,
+    sload,
+    unpkhi,
+    unpklo,
+    vbcast,
+    vload,
+    vsadd,
+    vsmul,
+    vssub,
+    vstore,
+    vvadd,
+    vvmul,
+    vvsub,
+)
+from repro.isa.opcodes import Opcode
+
+_MODE_NAMES = {m.name.lower(): m for m in AddressMode}
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly text, with a line number."""
+
+
+def _reg(token: str, prefix: str, line_no: int) -> int:
+    token = token.strip().rstrip(",")
+    if not token.startswith(prefix) or not token[len(prefix) :].isdigit():
+        raise AssemblyError(
+            f"line {line_no}: expected {prefix}-register, got {token!r}"
+        )
+    return int(token[len(prefix) :])
+
+
+def _int(token: str, line_no: int) -> int:
+    token = token.strip().rstrip(",")
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"line {line_no}: expected integer, got {token!r}") from exc
+
+
+def _mode(token: str, line_no: int) -> AddressMode:
+    token = token.strip().rstrip(",").lower()
+    if token not in _MODE_NAMES:
+        raise AssemblyError(f"line {line_no}: unknown addressing mode {token!r}")
+    return _MODE_NAMES[token]
+
+
+def parse_line(line: str, line_no: int = 0) -> Instruction | None:
+    """Parse one line of assembly; returns None for blanks/comments."""
+    text = line.split("#", 1)[0].split("//", 1)[0].strip()
+    if not text:
+        return None
+    parts = text.replace(",", " ").split()
+    op, args = parts[0].lower(), parts[1:]
+
+    def need(count: int) -> None:
+        if len(args) != count:
+            raise AssemblyError(
+                f"line {line_no}: {op} expects {count} operands, got {len(args)}"
+            )
+
+    if op == "halt":
+        need(0)
+        return halt()
+    if op in ("vload", "vstore"):
+        if len(args) not in (3, 5):
+            raise AssemblyError(f"line {line_no}: {op} expects 3 or 5 operands")
+        vd = _reg(args[0], "v", line_no)
+        rm = _reg(args[1], "a", line_no)
+        offset = _int(args[2], line_no)
+        mode = _mode(args[3], line_no) if len(args) == 5 else AddressMode.LINEAR
+        value = _int(args[4], line_no) if len(args) == 5 else 0
+        maker = vload if op == "vload" else vstore
+        return maker(vd, rm, offset, mode, value)
+    if op == "sload":
+        need(3)
+        return sload(
+            _reg(args[0], "s", line_no),
+            _reg(args[1], "a", line_no),
+            _int(args[2], line_no),
+        )
+    if op == "vbcast":
+        need(3)
+        return vbcast(
+            _reg(args[0], "v", line_no),
+            _reg(args[1], "a", line_no),
+            _int(args[2], line_no),
+        )
+    if op in ("vvadd", "vvsub", "vvmul"):
+        need(4)
+        maker = {"vvadd": vvadd, "vvsub": vvsub, "vvmul": vvmul}[op]
+        return maker(
+            _reg(args[0], "v", line_no),
+            _reg(args[1], "v", line_no),
+            _reg(args[2], "v", line_no),
+            _reg(args[3], "m", line_no),
+        )
+    if op in ("vsadd", "vssub", "vsmul"):
+        need(4)
+        maker = {"vsadd": vsadd, "vssub": vssub, "vsmul": vsmul}[op]
+        return maker(
+            _reg(args[0], "v", line_no),
+            _reg(args[1], "v", line_no),
+            _reg(args[2], "s", line_no),
+            _reg(args[3], "m", line_no),
+        )
+    if op in ("bflyct", "bflygs"):
+        need(6)
+        maker = bflyct if op == "bflyct" else bflygs
+        return maker(
+            _reg(args[0], "v", line_no),
+            _reg(args[1], "v", line_no),
+            _reg(args[2], "v", line_no),
+            _reg(args[3], "v", line_no),
+            _reg(args[4], "v", line_no),
+            _reg(args[5], "m", line_no),
+        )
+    if op in ("unpklo", "unpkhi", "pklo", "pkhi"):
+        need(3)
+        maker = {"unpklo": unpklo, "unpkhi": unpkhi, "pklo": pklo, "pkhi": pkhi}[op]
+        return maker(
+            _reg(args[0], "v", line_no),
+            _reg(args[1], "v", line_no),
+            _reg(args[2], "v", line_no),
+        )
+    raise AssemblyError(f"line {line_no}: unknown mnemonic {op!r}")
+
+
+def assemble(text: str) -> list[Instruction]:
+    """Assemble a multi-line program."""
+    out = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        inst = parse_line(line, line_no)
+        if inst is not None:
+            out.append(inst)
+    return out
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Disassemble one instruction to canonical text."""
+    op = inst.opcode
+    if op is Opcode.HALT:
+        return "halt"
+    if op in (Opcode.VLOAD, Opcode.VSTORE):
+        return (
+            f"{op.name.lower():<8}v{inst.vd}, a{inst.rm}, {inst.offset}, "
+            f"{inst.mode.name.lower()}, {inst.value}"
+        )
+    if op is Opcode.SLOAD:
+        return f"sload   s{inst.rt}, a{inst.rm}, {inst.offset}"
+    if op is Opcode.VBCAST:
+        return f"vbcast  v{inst.vd}, a{inst.rm}, {inst.offset}"
+    if op.is_vector_scalar:
+        return (
+            f"{op.name.lower():<8}v{inst.vd}, v{inst.vs}, s{inst.rt}, m{inst.rm}"
+        )
+    if op is Opcode.BFLY:
+        name = "bflyct" if inst.bfly_variant == BFLY_CT else "bflygs"
+        return (
+            f"{name:<8}v{inst.vd}, v{inst.vd1}, v{inst.vs}, v{inst.vt}, "
+            f"v{inst.vt1}, m{inst.rm}"
+        )
+    if op in (Opcode.VVADD, Opcode.VVSUB, Opcode.VVMUL):
+        return f"{op.name.lower():<8}v{inst.vd}, v{inst.vs}, v{inst.vt}, m{inst.rm}"
+    # Shuffles.
+    return f"{op.name.lower():<8}v{inst.vd}, v{inst.vs}, v{inst.vt}"
+
+
+def disassemble(instructions: list[Instruction]) -> str:
+    """Disassemble a whole kernel to text that re-assembles identically."""
+    return "\n".join(format_instruction(i) for i in instructions)

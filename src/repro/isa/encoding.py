@@ -1,0 +1,120 @@
+"""Bit-exact 64-bit encoding of B512 instructions (Table I of the paper).
+
+Field layout (bit ranges inclusive, matching the paper's table header)::
+
+    [63:55] [54:49] [48]  [47:44] [43:24]  [23:18] [17:12] [11:6] [5:0]
+    VD1     VT1     BFLY  Opcode  Address  VD      VS/Mode VT/RT  RM
+                                                           /Value
+
+* Load/store instructions use Address, VD (dest or store-source), Mode in
+  the VS slot, Value in the VT slot and RM as the ARF base register; SLOAD
+  puts its SRF destination in the RT slot.
+* Compute instructions use VD/VS/VT(+RT for vector-scalar), RM as the MRF
+  modulus register; butterflies additionally use VD1, VT1 and the BFLY bit
+  as the CT/GS variant selector.
+* Shuffles use VD/VS/VT only.
+"""
+
+from __future__ import annotations
+
+from repro.isa.addressing import AddressMode
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import InstructionClass, Opcode
+
+_VD1_SHIFT = 55
+_VT1_SHIFT = 49
+_BFLY_SHIFT = 48
+_OPCODE_SHIFT = 44
+_ADDR_SHIFT = 24
+_VD_SHIFT = 18
+_VS_SHIFT = 12
+_VT_SHIFT = 6
+_RM_SHIFT = 0
+
+_MASK6 = 0x3F
+_MASK20 = 0xFFFFF
+
+
+def encode_instruction(inst: Instruction) -> int:
+    """Encode to the 64-bit machine word."""
+    word = (inst.opcode.value & 0xF) << _OPCODE_SHIFT
+    klass = inst.instruction_class
+    if klass is InstructionClass.LSI:
+        word |= (inst.offset & _MASK20) << _ADDR_SHIFT
+        word |= ((inst.rm or 0) & _MASK6) << _RM_SHIFT
+        if inst.opcode is Opcode.SLOAD:
+            word |= ((inst.rt or 0) & _MASK6) << _VT_SHIFT
+        else:
+            word |= ((inst.vd or 0) & _MASK6) << _VD_SHIFT
+            word |= (inst.mode.value & _MASK6) << _VS_SHIFT
+            word |= (inst.value & _MASK6) << _VT_SHIFT
+    elif klass is InstructionClass.CI:
+        word |= ((inst.vd or 0) & _MASK6) << _VD_SHIFT
+        word |= ((inst.vs or 0) & _MASK6) << _VS_SHIFT
+        word |= ((inst.rm or 0) & _MASK6) << _RM_SHIFT
+        if inst.opcode.is_vector_scalar:
+            word |= ((inst.rt or 0) & _MASK6) << _VT_SHIFT
+        else:
+            word |= ((inst.vt or 0) & _MASK6) << _VT_SHIFT
+        if inst.opcode is Opcode.BFLY:
+            word |= ((inst.vd1 or 0) & _MASK6) << _VD1_SHIFT
+            word |= ((inst.vt1 or 0) & _MASK6) << _VT1_SHIFT
+            word |= (inst.bfly_variant & 1) << _BFLY_SHIFT
+    elif klass is InstructionClass.SI:
+        word |= ((inst.vd or 0) & _MASK6) << _VD_SHIFT
+        word |= ((inst.vs or 0) & _MASK6) << _VS_SHIFT
+        word |= ((inst.vt or 0) & _MASK6) << _VT_SHIFT
+    # CTRL (HALT) encodes as the bare opcode.
+    return word
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 64-bit machine word back into an :class:`Instruction`."""
+    if not 0 <= word < 1 << 64:
+        raise ValueError("machine words are 64 bits")
+    opcode = Opcode((word >> _OPCODE_SHIFT) & 0xF)
+    klass = opcode.instruction_class
+    if klass is InstructionClass.CTRL:
+        return Instruction(opcode)
+    if klass is InstructionClass.LSI:
+        offset = (word >> _ADDR_SHIFT) & _MASK20
+        rm = (word >> _RM_SHIFT) & _MASK6
+        if opcode is Opcode.SLOAD:
+            rt = (word >> _VT_SHIFT) & _MASK6
+            return Instruction(opcode, rt=rt, rm=rm, offset=offset)
+        vd = (word >> _VD_SHIFT) & _MASK6
+        mode = AddressMode((word >> _VS_SHIFT) & _MASK6)
+        value = (word >> _VT_SHIFT) & _MASK6
+        return Instruction(
+            opcode, vd=vd, rm=rm, offset=offset, mode=mode, value=value
+        )
+    if klass is InstructionClass.CI:
+        vd = (word >> _VD_SHIFT) & _MASK6
+        vs = (word >> _VS_SHIFT) & _MASK6
+        rm = (word >> _RM_SHIFT) & _MASK6
+        if opcode.is_vector_scalar:
+            rt = (word >> _VT_SHIFT) & _MASK6
+            return Instruction(opcode, vd=vd, vs=vs, rt=rt, rm=rm)
+        vt = (word >> _VT_SHIFT) & _MASK6
+        if opcode is Opcode.BFLY:
+            vd1 = (word >> _VD1_SHIFT) & _MASK6
+            vt1 = (word >> _VT1_SHIFT) & _MASK6
+            variant = (word >> _BFLY_SHIFT) & 1
+            return Instruction(
+                opcode, vd=vd, vd1=vd1, vs=vs, vt=vt, vt1=vt1, rm=rm,
+                bfly_variant=variant,
+            )
+        return Instruction(opcode, vd=vd, vs=vs, vt=vt, rm=rm)
+    # SI
+    vd = (word >> _VD_SHIFT) & _MASK6
+    vs = (word >> _VS_SHIFT) & _MASK6
+    vt = (word >> _VT_SHIFT) & _MASK6
+    return Instruction(opcode, vd=vd, vs=vs, vt=vt)
+
+
+def encode_program_words(instructions: list[Instruction]) -> list[int]:
+    """Encode a whole kernel; the 512 KiB IM holds up to 65,536 words."""
+    words = [encode_instruction(i) for i in instructions]
+    if len(words) * 8 > 512 * 1024:
+        raise ValueError("kernel exceeds the 512 KiB instruction memory")
+    return words

@@ -1,0 +1,193 @@
+"""Binary program images: what the host RISC-V core loads into the RPU.
+
+The paper's launch flow stores kernels in the 512 KiB instruction memory
+and materializes constants into VDM/SDM before issuing the start command.
+This module serializes a complete :class:`~repro.isa.program.Program` --
+instruction words plus data segments, register preloads and region
+contracts -- into a self-describing binary image, and loads it back
+bit-exactly.  Useful for shipping kernels between tools (see
+``python -m repro.isa.tool``).
+
+Format (little-endian):
+
+* magic ``B512IMG1`` (8 bytes)
+* header: vlen, instruction count, segment counts, region/preload counts
+* instruction words (8 bytes each, the Table I encoding)
+* segments / preloads / regions, each with a varint-free fixed layout
+  (element values are 16-byte unsigned integers -- the 128-bit datapath)
+* a UTF-8 name + JSON-free metadata subset (integers only)
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.program import DataSegment, Program, RegionSpec
+
+MAGIC = b"B512IMG1"
+_ELEMENT_BYTES = 16
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return _U32.pack(len(raw)) + raw
+
+
+def _unpack_str(buf: memoryview, offset: int) -> tuple[str, int]:
+    (length,) = _U32.unpack_from(buf, offset)
+    offset += 4
+    text = bytes(buf[offset : offset + length]).decode("utf-8")
+    return text, offset + length
+
+
+def _pack_values(values: tuple[int, ...]) -> bytes:
+    out = bytearray(_U32.pack(len(values)))
+    for v in values:
+        if not 0 <= v < 1 << 128:
+            raise ValueError("element values must fit 128 bits")
+        out += v.to_bytes(_ELEMENT_BYTES, "little")
+    return bytes(out)
+
+
+def _unpack_values(buf: memoryview, offset: int) -> tuple[tuple[int, ...], int]:
+    (count,) = _U32.unpack_from(buf, offset)
+    offset += 4
+    values = []
+    for _ in range(count):
+        values.append(int.from_bytes(buf[offset : offset + _ELEMENT_BYTES], "little"))
+        offset += _ELEMENT_BYTES
+    return tuple(values), offset
+
+
+def _pack_segment(seg: DataSegment) -> bytes:
+    return _pack_str(seg.name) + _U64.pack(seg.base) + _pack_values(seg.values)
+
+
+def _unpack_segment(buf: memoryview, offset: int) -> tuple[DataSegment, int]:
+    name, offset = _unpack_str(buf, offset)
+    (base,) = _U64.unpack_from(buf, offset)
+    offset += 8
+    values, offset = _unpack_values(buf, offset)
+    return DataSegment(name, base, values), offset
+
+
+def _pack_region(region: RegionSpec | None) -> bytes:
+    if region is None:
+        return _U32.pack(0)
+    return (
+        _U32.pack(1)
+        + _pack_str(region.name)
+        + _U64.pack(region.base)
+        + _U64.pack(region.length)
+        + _pack_str(region.layout)
+    )
+
+
+def _unpack_region(buf: memoryview, offset: int) -> tuple[RegionSpec | None, int]:
+    (present,) = _U32.unpack_from(buf, offset)
+    offset += 4
+    if not present:
+        return None, offset
+    name, offset = _unpack_str(buf, offset)
+    (base,) = _U64.unpack_from(buf, offset)
+    (length,) = _U64.unpack_from(buf, offset + 8)
+    offset += 16
+    layout, offset = _unpack_str(buf, offset)
+    return RegionSpec(name, base, length, layout), offset
+
+
+def _pack_preload(preload: dict[int, int]) -> bytes:
+    out = bytearray(_U32.pack(len(preload)))
+    for idx, value in sorted(preload.items()):
+        out += _U32.pack(idx)
+        out += value.to_bytes(_ELEMENT_BYTES, "little")
+    return bytes(out)
+
+
+def _unpack_preload(buf: memoryview, offset: int) -> tuple[dict[int, int], int]:
+    (count,) = _U32.unpack_from(buf, offset)
+    offset += 4
+    preload = {}
+    for _ in range(count):
+        (idx,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        preload[idx] = int.from_bytes(buf[offset : offset + _ELEMENT_BYTES], "little")
+        offset += _ELEMENT_BYTES
+    return preload, offset
+
+
+def save_image(program: Program) -> bytes:
+    """Serialize a program to a binary image."""
+    words = [encode_instruction(i) for i in program.instructions]
+    out = bytearray(MAGIC)
+    out += _U32.pack(program.vlen)
+    out += _U32.pack(len(words))
+    out += _U64.pack(program.extra_vdm_words)
+    for w in words:
+        out += _U64.pack(w)
+    out += _pack_str(program.name)
+    out += _U32.pack(len(program.vdm_segments))
+    for seg in program.vdm_segments:
+        out += _pack_segment(seg)
+    out += _U32.pack(len(program.sdm_segments))
+    for seg in program.sdm_segments:
+        out += _pack_segment(seg)
+    out += _pack_preload(program.arf_init)
+    out += _pack_preload(program.mrf_init)
+    out += _pack_preload(program.srf_init)
+    out += _pack_region(program.input_region)
+    out += _pack_region(program.output_region)
+    return bytes(out)
+
+
+def load_image(data: bytes) -> Program:
+    """Deserialize a binary image back into a :class:`Program`."""
+    if data[: len(MAGIC)] != MAGIC:
+        raise ValueError("not a B512 program image (bad magic)")
+    buf = memoryview(data)
+    offset = len(MAGIC)
+    (vlen,) = _U32.unpack_from(buf, offset)
+    (count,) = _U32.unpack_from(buf, offset + 4)
+    offset += 8
+    (extra_vdm,) = _U64.unpack_from(buf, offset)
+    offset += 8
+    instructions = []
+    for _ in range(count):
+        (word,) = _U64.unpack_from(buf, offset)
+        instructions.append(decode_instruction(word))
+        offset += 8
+    name, offset = _unpack_str(buf, offset)
+    vdm_segments = []
+    (nseg,) = _U32.unpack_from(buf, offset)
+    offset += 4
+    for _ in range(nseg):
+        seg, offset = _unpack_segment(buf, offset)
+        vdm_segments.append(seg)
+    sdm_segments = []
+    (nseg,) = _U32.unpack_from(buf, offset)
+    offset += 4
+    for _ in range(nseg):
+        seg, offset = _unpack_segment(buf, offset)
+        sdm_segments.append(seg)
+    arf, offset = _unpack_preload(buf, offset)
+    mrf, offset = _unpack_preload(buf, offset)
+    srf, offset = _unpack_preload(buf, offset)
+    input_region, offset = _unpack_region(buf, offset)
+    output_region, offset = _unpack_region(buf, offset)
+    return Program(
+        name=name,
+        instructions=instructions,
+        vlen=vlen,
+        vdm_segments=vdm_segments,
+        sdm_segments=sdm_segments,
+        arf_init=arf,
+        mrf_init=mrf,
+        srf_init=srf,
+        input_region=input_region,
+        output_region=output_region,
+        extra_vdm_words=extra_vdm,
+        metadata={"loaded_from_image": True},
+    )

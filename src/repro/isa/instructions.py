@@ -1,0 +1,236 @@
+"""Instruction model and builder functions for B512.
+
+A single :class:`Instruction` dataclass covers all three instruction formats
+of Table I; the builder functions (``vload``, ``bflyct``, ``unpklo``, ...)
+are the programmer-facing surface and validate field ranges eagerly, so a
+malformed instruction fails at construction rather than deep inside a
+simulator run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.addressing import AddressMode
+from repro.isa.opcodes import InstructionClass, Opcode
+
+_REG_COUNT = 64
+_OFFSET_BITS = 20
+
+# BFLY variant-bit values.
+BFLY_CT = 0
+BFLY_GS = 1
+
+
+def _check_reg(name: str, index: int | None) -> None:
+    if index is not None and not 0 <= index < _REG_COUNT:
+        raise ValueError(f"{name} register index {index} out of range [0, 64)")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One 64-bit B512 instruction.
+
+    Field usage by class (unused fields stay None and encode as zero):
+
+    * LSI: ``vd`` (vector dest / store source), ``rt`` (scalar dest for
+      SLOAD), ``rm`` (ARF base register), ``offset`` (20-bit element
+      offset), ``mode`` + ``value`` (addressing mode).
+    * CI:  ``vd``/``vs``/``vt`` (+ ``vd1``/``vt1`` for BFLY), ``rt`` (SRF
+      operand for vector-scalar forms), ``rm`` (MRF modulus register),
+      ``bfly_variant`` (CT or GS).
+    * SI:  ``vd``/``vs``/``vt``.
+    """
+
+    opcode: Opcode
+    vd: int | None = None
+    vs: int | None = None
+    vt: int | None = None
+    vd1: int | None = None
+    vt1: int | None = None
+    rt: int | None = None
+    rm: int | None = None
+    offset: int = 0
+    mode: AddressMode = AddressMode.LINEAR
+    value: int = 0
+    bfly_variant: int = BFLY_CT
+
+    def __post_init__(self) -> None:
+        for name in ("vd", "vs", "vt", "vd1", "vt1", "rt", "rm"):
+            _check_reg(name, getattr(self, name))
+        if not 0 <= self.offset < (1 << _OFFSET_BITS):
+            raise ValueError(f"offset {self.offset} exceeds 20 bits")
+        if not 0 <= self.value < 64:
+            raise ValueError("VALUE field must fit 6 bits")
+        if self.bfly_variant not in (BFLY_CT, BFLY_GS):
+            raise ValueError("bfly_variant must be BFLY_CT or BFLY_GS")
+
+    @property
+    def instruction_class(self) -> InstructionClass:
+        return self.opcode.instruction_class
+
+    @property
+    def mnemonic(self) -> str:
+        if self.opcode is Opcode.BFLY:
+            return "bflyct" if self.bfly_variant == BFLY_CT else "bflygs"
+        return self.opcode.name.lower()
+
+    def vector_sources(self) -> tuple[int, ...]:
+        """Vector registers read (busyboard RAW tracking)."""
+        op = self.opcode
+        if op is Opcode.VSTORE:
+            return (self.vd,)
+        if op in (Opcode.VVADD, Opcode.VVSUB, Opcode.VVMUL):
+            return (self.vs, self.vt)
+        if op in (Opcode.VSADD, Opcode.VSSUB, Opcode.VSMUL):
+            return (self.vs,)
+        if op is Opcode.BFLY:
+            return (self.vs, self.vt, self.vt1)
+        if op in (Opcode.UNPKLO, Opcode.UNPKHI, Opcode.PKLO, Opcode.PKHI):
+            return (self.vs, self.vt)
+        return ()
+
+    def vector_dests(self) -> tuple[int, ...]:
+        """Vector registers written (busyboard WAW/RAW tracking)."""
+        op = self.opcode
+        if op in (Opcode.VLOAD, Opcode.VBCAST):
+            return (self.vd,)
+        if op in (
+            Opcode.VVADD,
+            Opcode.VVSUB,
+            Opcode.VVMUL,
+            Opcode.VSADD,
+            Opcode.VSSUB,
+            Opcode.VSMUL,
+        ):
+            return (self.vd,)
+        if op is Opcode.BFLY:
+            return (self.vd, self.vd1)
+        if op in (Opcode.UNPKLO, Opcode.UNPKHI, Opcode.PKLO, Opcode.PKHI):
+            return (self.vd,)
+        return ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        from repro.isa.assembler import format_instruction
+
+        return format_instruction(self)
+
+
+# ---------------------------------------------------------------------------
+# Builder functions (the public assembly surface).
+# ---------------------------------------------------------------------------
+
+
+def vload(
+    vd: int,
+    rm: int,
+    offset: int = 0,
+    mode: AddressMode = AddressMode.LINEAR,
+    value: int = 0,
+) -> Instruction:
+    """Load 512 elements from VDM[ARF[rm] + offset ...] into VRF[vd]."""
+    return Instruction(
+        Opcode.VLOAD, vd=vd, rm=rm, offset=offset, mode=mode, value=value
+    )
+
+
+def vstore(
+    vd: int,
+    rm: int,
+    offset: int = 0,
+    mode: AddressMode = AddressMode.LINEAR,
+    value: int = 0,
+) -> Instruction:
+    """Store VRF[vd] to VDM[ARF[rm] + offset ...] (vd is the *source*)."""
+    return Instruction(
+        Opcode.VSTORE, vd=vd, rm=rm, offset=offset, mode=mode, value=value
+    )
+
+
+def sload(rt: int, rm: int, offset: int = 0) -> Instruction:
+    """Load one SDM word into SRF[rt]."""
+    return Instruction(Opcode.SLOAD, rt=rt, rm=rm, offset=offset)
+
+
+def vbcast(vd: int, rm: int, offset: int = 0) -> Instruction:
+    """Broadcast one SDM word across all lanes of VRF[vd]."""
+    return Instruction(Opcode.VBCAST, vd=vd, rm=rm, offset=offset)
+
+
+def vvadd(vd: int, vs: int, vt: int, rm: int) -> Instruction:
+    """VRF[vd] = VRF[vs] + VRF[vt] mod MRF[rm], lanewise."""
+    return Instruction(Opcode.VVADD, vd=vd, vs=vs, vt=vt, rm=rm)
+
+
+def vvsub(vd: int, vs: int, vt: int, rm: int) -> Instruction:
+    """VRF[vd] = VRF[vs] - VRF[vt] mod MRF[rm], lanewise."""
+    return Instruction(Opcode.VVSUB, vd=vd, vs=vs, vt=vt, rm=rm)
+
+
+def vvmul(vd: int, vs: int, vt: int, rm: int) -> Instruction:
+    """VRF[vd] = VRF[vs] * VRF[vt] mod MRF[rm], lanewise."""
+    return Instruction(Opcode.VVMUL, vd=vd, vs=vs, vt=vt, rm=rm)
+
+
+def vsadd(vd: int, vs: int, rt: int, rm: int) -> Instruction:
+    """VRF[vd] = VRF[vs] + SRF[rt] mod MRF[rm]."""
+    return Instruction(Opcode.VSADD, vd=vd, vs=vs, rt=rt, rm=rm)
+
+
+def vssub(vd: int, vs: int, rt: int, rm: int) -> Instruction:
+    """VRF[vd] = VRF[vs] - SRF[rt] mod MRF[rm]."""
+    return Instruction(Opcode.VSSUB, vd=vd, vs=vs, rt=rt, rm=rm)
+
+
+def vsmul(vd: int, vs: int, rt: int, rm: int) -> Instruction:
+    """VRF[vd] = VRF[vs] * SRF[rt] mod MRF[rm]."""
+    return Instruction(Opcode.VSMUL, vd=vd, vs=vs, rt=rt, rm=rm)
+
+
+def bflyct(vd: int, vd1: int, vs: int, vt: int, vt1: int, rm: int) -> Instruction:
+    """Cooley-Tukey butterfly:
+
+    VRF[vd]  = VRF[vs] + VRF[vt]*VRF[vt1] mod MRF[rm]
+    VRF[vd1] = VRF[vs] - VRF[vt]*VRF[vt1] mod MRF[rm]
+    """
+    return Instruction(
+        Opcode.BFLY, vd=vd, vd1=vd1, vs=vs, vt=vt, vt1=vt1, rm=rm,
+        bfly_variant=BFLY_CT,
+    )
+
+
+def bflygs(vd: int, vd1: int, vs: int, vt: int, vt1: int, rm: int) -> Instruction:
+    """Gentleman-Sande butterfly:
+
+    VRF[vd]  = VRF[vs] + VRF[vt] mod MRF[rm]
+    VRF[vd1] = (VRF[vs] - VRF[vt]) * VRF[vt1] mod MRF[rm]
+    """
+    return Instruction(
+        Opcode.BFLY, vd=vd, vd1=vd1, vs=vs, vt=vt, vt1=vt1, rm=rm,
+        bfly_variant=BFLY_GS,
+    )
+
+
+def unpklo(vd: int, vs: int, vt: int) -> Instruction:
+    """Interleave the first halves of VRF[vs] and VRF[vt] into VRF[vd]."""
+    return Instruction(Opcode.UNPKLO, vd=vd, vs=vs, vt=vt)
+
+
+def unpkhi(vd: int, vs: int, vt: int) -> Instruction:
+    """Interleave the second halves of VRF[vs] and VRF[vt] into VRF[vd]."""
+    return Instruction(Opcode.UNPKHI, vd=vd, vs=vs, vt=vt)
+
+
+def pklo(vd: int, vs: int, vt: int) -> Instruction:
+    """Even-indexed lanes of VRF[vs] then of VRF[vt] into VRF[vd]."""
+    return Instruction(Opcode.PKLO, vd=vd, vs=vs, vt=vt)
+
+
+def pkhi(vd: int, vs: int, vt: int) -> Instruction:
+    """Odd-indexed lanes of VRF[vs] then of VRF[vt] into VRF[vd]."""
+    return Instruction(Opcode.PKHI, vd=vd, vs=vs, vt=vt)
+
+
+def halt() -> Instruction:
+    """End of kernel; the front-end stops fetching."""
+    return Instruction(Opcode.HALT)

@@ -1,0 +1,81 @@
+"""B512 opcodes and instruction classes.
+
+The paper fixes the ISA at 17 instructions with a 4-bit opcode field and a
+dedicated butterfly bit (Table I).  We realize that as 16 opcode values where
+the ``BFLY`` opcode's variant bit selects Cooley-Tukey or Gentleman-Sande,
+giving exactly 17 architecturally distinct instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstructionClass(enum.Enum):
+    """Which decoupled pipeline executes the instruction (section IV-A)."""
+
+    LSI = "load/store"
+    CI = "compute"
+    SI = "shuffle"
+    CTRL = "control"
+
+
+class Opcode(enum.IntEnum):
+    """4-bit opcode values, grouped by instruction class."""
+
+    HALT = 0
+    # --- Load/store instructions (LSI) ---
+    VLOAD = 1
+    VSTORE = 2
+    SLOAD = 3
+    VBCAST = 4
+    # --- Compute instructions (CI) ---
+    VVADD = 5
+    VVSUB = 6
+    VVMUL = 7
+    VSADD = 8
+    VSSUB = 9
+    VSMUL = 10
+    BFLY = 11
+    # --- Shuffle instructions (SI) ---
+    UNPKLO = 12
+    UNPKHI = 13
+    PKLO = 14
+    PKHI = 15
+
+    @property
+    def instruction_class(self) -> InstructionClass:
+        return _CLASS_OF[self]
+
+    @property
+    def is_vector_scalar(self) -> bool:
+        """True for CIs whose second operand comes from the SRF."""
+        return self in (Opcode.VSADD, Opcode.VSSUB, Opcode.VSMUL)
+
+    @property
+    def uses_multiplier(self) -> bool:
+        """True when the LAW modular multiplier is on the critical path."""
+        return self in (Opcode.VVMUL, Opcode.VSMUL, Opcode.BFLY)
+
+
+_CLASS_OF = {
+    Opcode.HALT: InstructionClass.CTRL,
+    Opcode.VLOAD: InstructionClass.LSI,
+    Opcode.VSTORE: InstructionClass.LSI,
+    Opcode.SLOAD: InstructionClass.LSI,
+    Opcode.VBCAST: InstructionClass.LSI,
+    Opcode.VVADD: InstructionClass.CI,
+    Opcode.VVSUB: InstructionClass.CI,
+    Opcode.VVMUL: InstructionClass.CI,
+    Opcode.VSADD: InstructionClass.CI,
+    Opcode.VSSUB: InstructionClass.CI,
+    Opcode.VSMUL: InstructionClass.CI,
+    Opcode.BFLY: InstructionClass.CI,
+    Opcode.UNPKLO: InstructionClass.SI,
+    Opcode.UNPKHI: InstructionClass.SI,
+    Opcode.PKLO: InstructionClass.SI,
+    Opcode.PKHI: InstructionClass.SI,
+}
+
+ALL_MNEMONICS = 17
+"""Architecturally distinct instructions: 15 non-BFLY opcodes + BFLYCT/BFLYGS."""

@@ -1,0 +1,118 @@
+"""The B512 program container.
+
+A :class:`Program` bundles a kernel's instruction stream with everything the
+paper's "launch code" (section V) sets up before the RPU starts: VDM/SDM
+data segments (twiddle tables, constants), address/modulus/scalar register
+preloads, and descriptors of where the kernel expects its input and leaves
+its output.  Both simulators consume this container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import InstructionClass, Opcode
+
+
+@dataclass(frozen=True)
+class DataSegment:
+    """A named constant region materialized into VDM or SDM at launch."""
+
+    name: str
+    base: int
+    values: tuple[int, ...]
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.values)
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Where a kernel reads its input / writes its output.
+
+    ``layout`` documents the element ordering contract, e.g. ``"natural"``
+    or ``"bit-reversed"`` for NTT kernels.
+    """
+
+    name: str
+    base: int
+    length: int
+    layout: str = "natural"
+
+
+@dataclass
+class Program:
+    """A complete, launchable B512 kernel.
+
+    Attributes:
+        name: human-readable kernel name (e.g. ``"ntt_fwd_65536_opt"``).
+        instructions: the kernel body; a trailing HALT is appended by
+            :meth:`finalize` if missing.
+        vlen: vector length the kernel was generated for (512
+            architecturally; unit tests shrink it).
+        vdm_segments / sdm_segments: constant data to materialize.
+        arf_init / mrf_init / srf_init: register-file preloads.
+        input_region / output_region: data contracts for callers.
+        metadata: free-form generator annotations (ring degree, direction,
+            optimization level, rectangle depth, ...).
+    """
+
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+    vlen: int = 512
+    vdm_segments: list[DataSegment] = field(default_factory=list)
+    sdm_segments: list[DataSegment] = field(default_factory=list)
+    arf_init: dict[int, int] = field(default_factory=dict)
+    mrf_init: dict[int, int] = field(default_factory=dict)
+    srf_init: dict[int, int] = field(default_factory=dict)
+    input_region: RegionSpec | None = None
+    output_region: RegionSpec | None = None
+    extra_vdm_words: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def finalize(self) -> "Program":
+        """Append HALT if absent and sanity-check segment overlaps."""
+        if not self.instructions or self.instructions[-1].opcode is not Opcode.HALT:
+            from repro.isa.instructions import halt
+
+            self.instructions.append(halt())
+        spans = sorted(
+            (seg.base, seg.end, seg.name) for seg in self.vdm_segments
+        )
+        for (b0, e0, n0), (b1, e1, n1) in zip(spans, spans[1:]):
+            if b1 < e0:
+                raise ValueError(f"VDM segments {n0!r} and {n1!r} overlap")
+        return self
+
+    def class_counts(self) -> dict[InstructionClass, int]:
+        """Instruction mix: the paper quotes these for the 64K NTT (VI-F)."""
+        counts = {klass: 0 for klass in InstructionClass}
+        for inst in self.instructions:
+            counts[inst.instruction_class] += 1
+        return counts
+
+    def count(self, klass: InstructionClass) -> int:
+        return self.class_counts()[klass]
+
+    @property
+    def vdm_words_needed(self) -> int:
+        """Minimum VDM size (in elements) the kernel touches statically."""
+        top = 0
+        for seg in self.vdm_segments:
+            top = max(top, seg.end)
+        for region in (self.input_region, self.output_region):
+            if region is not None:
+                top = max(top, region.base + region.length)
+        return top + self.extra_vdm_words
+
+    def summary(self) -> str:
+        """One-line description used by examples and benchmarks."""
+        counts = self.class_counts()
+        return (
+            f"{self.name}: {len(self.instructions)} instructions "
+            f"(CI={counts[InstructionClass.CI]}, "
+            f"SI={counts[InstructionClass.SI]}, "
+            f"LSI={counts[InstructionClass.LSI]})"
+        )

@@ -1,0 +1,123 @@
+"""B512 kernel tooling: ``python -m repro.isa.tool <command>``.
+
+Commands:
+
+* ``gen N [--direction forward|inverse] [--unopt] [-o FILE]`` -- generate
+  an NTT kernel (optionally writing a binary image);
+* ``dis FILE`` -- disassemble a binary image;
+* ``stat FILE`` -- instruction mix, segments and region contracts;
+* ``sim FILE [--hples H --banks B]`` -- cycle-simulate an image.
+
+The objdump/readelf of the RPU world, built on
+:mod:`repro.isa.image` and the simulators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.isa.assembler import format_instruction
+from repro.isa.image import load_image, save_image
+from repro.isa.opcodes import InstructionClass
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.spiral.kernels import generate_ntt_program
+
+    program = generate_ntt_program(
+        args.n,
+        direction=args.direction,
+        optimize=not args.unopt,
+        q_bits=args.q_bits,
+    )
+    print(program.summary())
+    if args.output:
+        with open(args.output, "wb") as f:
+            f.write(save_image(program))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _load(path: str):
+    with open(path, "rb") as f:
+        return load_image(f.read())
+
+
+def _cmd_dis(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    print(f"# {program.name} (vlen={program.vlen})")
+    for index, inst in enumerate(program.instructions):
+        print(f"{index:6d}:  {format_instruction(inst)}")
+    return 0
+
+
+def _cmd_stat(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    counts = program.class_counts()
+    print(program.summary())
+    for klass in InstructionClass:
+        print(f"  {klass.name:<5} {counts[klass]}")
+    for seg in program.vdm_segments:
+        print(f"  VDM segment {seg.name!r}: base={seg.base} len={len(seg.values)}")
+    for seg in program.sdm_segments:
+        print(f"  SDM segment {seg.name!r}: base={seg.base} len={len(seg.values)}")
+    for label, region in (
+        ("input", program.input_region),
+        ("output", program.output_region),
+    ):
+        if region:
+            print(
+                f"  {label}: base={region.base} len={region.length} "
+                f"layout={region.layout}"
+            )
+    print(f"  VDM footprint: {program.vdm_words_needed} elements")
+    return 0
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    from repro.perf.config import RpuConfig
+    from repro.perf.engine import CycleSimulator
+
+    program = _load(args.file)
+    config = RpuConfig(
+        num_hples=args.hples, vdm_banks=args.banks, vlen=program.vlen
+    )
+    report = CycleSimulator(config).run(program)
+    print(report.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.isa.tool", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate an NTT kernel")
+    gen.add_argument("n", type=int)
+    gen.add_argument("--direction", default="forward",
+                     choices=("forward", "inverse"))
+    gen.add_argument("--unopt", action="store_true")
+    gen.add_argument("--q-bits", type=int, default=128)
+    gen.add_argument("-o", "--output")
+    gen.set_defaults(func=_cmd_gen)
+
+    dis = sub.add_parser("dis", help="disassemble a kernel image")
+    dis.add_argument("file")
+    dis.set_defaults(func=_cmd_dis)
+
+    stat = sub.add_parser("stat", help="kernel statistics")
+    stat.add_argument("file")
+    stat.set_defaults(func=_cmd_stat)
+
+    sim = sub.add_parser("sim", help="cycle-simulate a kernel image")
+    sim.add_argument("file")
+    sim.add_argument("--hples", type=int, default=128)
+    sim.add_argument("--banks", type=int, default=128)
+    sim.set_defaults(func=_cmd_sim)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

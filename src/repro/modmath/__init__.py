@@ -1,0 +1,42 @@
+"""Modular arithmetic substrate for ring processing.
+
+This package models the Large-Arithmetic-Word (LAW) operations that the RPU's
+HPLEs implement in hardware: modular addition, subtraction, multiplication
+(plain, Barrett-reduced, Montgomery-domain), together with the number theory
+needed to build NTT-friendly prime fields (Miller-Rabin primality, primitive
+roots, 2n-th roots of unity for negacyclic transforms).
+"""
+
+from repro.modmath.arith import (
+    mod_add,
+    mod_inv,
+    mod_mul,
+    mod_neg,
+    mod_pow,
+    mod_sub,
+)
+from repro.modmath.barrett import BarrettReducer
+from repro.modmath.montgomery import MontgomeryDomain
+from repro.modmath.primes import (
+    find_ntt_prime,
+    find_primitive_root,
+    find_root_of_unity,
+    is_prime,
+    minimal_2nth_root,
+)
+
+__all__ = [
+    "mod_add",
+    "mod_sub",
+    "mod_neg",
+    "mod_mul",
+    "mod_pow",
+    "mod_inv",
+    "BarrettReducer",
+    "MontgomeryDomain",
+    "is_prime",
+    "find_ntt_prime",
+    "find_primitive_root",
+    "find_root_of_unity",
+    "minimal_2nth_root",
+]

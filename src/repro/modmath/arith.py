@@ -1,0 +1,75 @@
+"""Scalar modular arithmetic over Z_q.
+
+These functions are the software semantics of the RPU LAW engine's datapath
+units: one modular adder, one modular subtractor, one modular multiplier and
+two comparators per HPLE (paper section IV-B1).  Operands are canonical
+residues in ``[0, q)``; every function validates that contract because the
+hardware, too, only guarantees correct results for canonical inputs.
+"""
+
+from __future__ import annotations
+
+
+def _check_operand(value: int, modulus: int) -> None:
+    if modulus <= 1:
+        raise ValueError(f"modulus must be > 1, got {modulus}")
+    if not 0 <= value < modulus:
+        raise ValueError(f"operand {value} not a canonical residue mod {modulus}")
+
+
+def mod_add(a: int, b: int, q: int) -> int:
+    """Modular addition: the LAW adder (one conditional subtract of q)."""
+    _check_operand(a, q)
+    _check_operand(b, q)
+    s = a + b
+    return s - q if s >= q else s
+
+
+def mod_sub(a: int, b: int, q: int) -> int:
+    """Modular subtraction: the LAW subtractor (one conditional add of q)."""
+    _check_operand(a, q)
+    _check_operand(b, q)
+    d = a - b
+    return d + q if d < 0 else d
+
+
+def mod_neg(a: int, q: int) -> int:
+    """Additive inverse in Z_q."""
+    _check_operand(a, q)
+    return 0 if a == 0 else q - a
+
+
+def mod_mul(a: int, b: int, q: int) -> int:
+    """Modular multiplication (the 128-bit LAW multiplier's semantics)."""
+    _check_operand(a, q)
+    _check_operand(b, q)
+    return a * b % q
+
+
+def mod_pow(base: int, exponent: int, q: int) -> int:
+    """Modular exponentiation by repeated squaring."""
+    _check_operand(base % q, q)
+    if exponent < 0:
+        return mod_pow(mod_inv(base, q), -exponent, q)
+    return pow(base, exponent, q)
+
+
+def mod_inv(a: int, q: int) -> int:
+    """Multiplicative inverse via the extended Euclidean algorithm.
+
+    Raises:
+        ZeroDivisionError: if ``a`` is not invertible mod ``q``.
+    """
+    _check_operand(a, q)
+    if a == 0:
+        raise ZeroDivisionError("0 has no multiplicative inverse")
+    # Extended Euclid, iterative to keep recursion limits out of the picture.
+    old_r, r = a, q
+    old_s, s = 1, 0
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+    if old_r != 1:
+        raise ZeroDivisionError(f"{a} is not invertible mod {q} (gcd={old_r})")
+    return old_s % q

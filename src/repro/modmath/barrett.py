@@ -1,0 +1,74 @@
+"""Barrett reduction: a shift-and-multiply modular multiplier model.
+
+Hardware modular multipliers avoid a true wide division; Barrett reduction
+replaces ``x mod q`` with two multiplications by a precomputed reciprocal and
+at most two correction subtractions.  The RPU's LAW multiplier is a pipelined
+unit of exactly this family; :class:`BarrettReducer` reproduces its
+bit-accurate behaviour and also exposes the operation counts that the
+hardware energy model (:mod:`repro.hw.energy`) charges per multiply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BarrettReducer:
+    """Bit-accurate Barrett modular reducer/multiplier for a fixed modulus.
+
+    Args:
+        modulus: the prime (or odd composite) modulus q, 2 < q < 2**word_bits.
+        word_bits: datapath word size; the RPU instantiates 128.
+
+    The precomputed factor is ``mu = floor(4**k / q)`` with ``k`` the bit
+    length of q, following the classic HAC 14.42 formulation.
+    """
+
+    modulus: int
+    word_bits: int = 128
+    k: int = field(init=False)
+    mu: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.modulus <= 2:
+            raise ValueError("modulus must be > 2")
+        if self.modulus >= 1 << self.word_bits:
+            raise ValueError(
+                f"modulus needs {self.modulus.bit_length()} bits, datapath "
+                f"is {self.word_bits}"
+            )
+        self.k = self.modulus.bit_length()
+        self.mu = (1 << (2 * self.k)) // self.modulus
+
+    def reduce(self, x: int) -> int:
+        """Reduce ``0 <= x < q**2`` to ``x mod q`` without division.
+
+        Mirrors the hardware sequence: a high multiply by mu, a low multiply
+        by q, and up to two conditional subtractions.
+        """
+        if not 0 <= x < self.modulus * self.modulus:
+            raise ValueError("Barrett input must lie in [0, q^2)")
+        q_hat = ((x >> (self.k - 1)) * self.mu) >> (self.k + 1)
+        r = x - q_hat * self.modulus
+        # At most two correction steps; assert the classic bound holds.
+        corrections = 0
+        while r >= self.modulus:
+            r -= self.modulus
+            corrections += 1
+        assert corrections <= 2, "Barrett bound violated"
+        return r
+
+    def mul(self, a: int, b: int) -> int:
+        """Modular multiply with Barrett reduction."""
+        if not (0 <= a < self.modulus and 0 <= b < self.modulus):
+            raise ValueError("operands must be canonical residues")
+        return self.reduce(a * b)
+
+    def operation_counts(self) -> dict[str, int]:
+        """Primitive-op cost of one modular multiply (for energy modelling).
+
+        Returns a dict of wide-multiplier and adder invocations: one full
+        ``a*b`` product, two reduction multiplies, and two subtractions.
+        """
+        return {"wide_mul": 3, "wide_addsub": 2}

@@ -1,0 +1,74 @@
+"""Montgomery-domain modular multiplication.
+
+The alternative multiplier IP considered in the RPU design space (the paper
+sweeps multiplier latency and initiation interval in Fig. 7 without fixing
+one implementation).  Montgomery multiplication trades two conversions for a
+division-free inner loop, which hardware implements as a (latency, II)
+pipelined unit; :class:`MontgomeryDomain` provides the bit-accurate
+semantics used by tests to cross-check :class:`~repro.modmath.barrett.\
+BarrettReducer` and the plain ``%`` operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.modmath.arith import mod_inv
+
+
+@dataclass
+class MontgomeryDomain:
+    """Montgomery arithmetic for an odd modulus q with R = 2**r_bits.
+
+    Attributes:
+        modulus: odd modulus q.
+        r_bits: bit width of R; must satisfy R > q.  Defaults to the word
+            size rounded up to q's bit length.
+    """
+
+    modulus: int
+    r_bits: int = 0
+    r_mask: int = field(init=False)
+    q_inv_neg: int = field(init=False)
+    r2: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.modulus <= 2 or self.modulus % 2 == 0:
+            raise ValueError("Montgomery requires an odd modulus > 2")
+        if self.r_bits == 0:
+            self.r_bits = self.modulus.bit_length()
+        if (1 << self.r_bits) <= self.modulus:
+            raise ValueError("R must exceed the modulus")
+        r = 1 << self.r_bits
+        self.r_mask = r - 1
+        # -q^{-1} mod R
+        self.q_inv_neg = (-mod_inv(self.modulus % r, r)) % r
+        self.r2 = (r * r) % self.modulus
+
+    def to_mont(self, a: int) -> int:
+        """Map a canonical residue into the Montgomery domain (a*R mod q)."""
+        return self.redc(a * self.r2)
+
+    def from_mont(self, a_mont: int) -> int:
+        """Map a Montgomery-domain value back to a canonical residue."""
+        return self.redc(a_mont)
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction REDC(t) = t * R^{-1} mod q for t < q*R."""
+        if not 0 <= t < self.modulus << self.r_bits:
+            raise ValueError("REDC input out of range [0, q*R)")
+        m = (t & self.r_mask) * self.q_inv_neg & self.r_mask
+        u = (t + m * self.modulus) >> self.r_bits
+        return u - self.modulus if u >= self.modulus else u
+
+    def mul(self, a_mont: int, b_mont: int) -> int:
+        """Multiply two Montgomery-domain values, result in the domain."""
+        return self.redc(a_mont * b_mont)
+
+    def mod_mul(self, a: int, b: int) -> int:
+        """Plain-domain modular multiply routed through Montgomery form."""
+        return self.from_mont(self.mul(self.to_mont(a), self.to_mont(b)))
+
+    def operation_counts(self) -> dict[str, int]:
+        """Primitive-op cost of one in-domain multiply (energy modelling)."""
+        return {"wide_mul": 3, "wide_addsub": 2}

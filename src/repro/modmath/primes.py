@@ -1,0 +1,221 @@
+"""NTT-friendly prime fields: primality, generation, and roots of unity.
+
+RLWE rings Z_q[x]/(x^n + 1) need a prime q with q ≡ 1 (mod 2n) so that a
+primitive 2n-th root of unity ψ exists (the negacyclic twiddle base).  The
+RPU operates on up-to-128-bit q (paper section III-A); this module generates
+such primes at any width, finds generators and roots of unity, and factors
+group orders with trial division plus Brent's variant of Pollard's rho.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+
+from repro.modmath.arith import mod_inv, mod_pow
+from repro.util.bits import ilog2, is_power_of_two
+
+# Deterministic Miller-Rabin bases valid for all n < 3.317e24 (> 2^81);
+# beyond that we add fixed pseudo-random bases, which keeps the test
+# deterministic run-to-run while making failure probability negligible.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+_MR_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+_EXTRA_BASE_COUNT = 16
+
+
+def is_prime(n: int) -> bool:
+    """Miller-Rabin primality test, deterministic below 2^81."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+
+    def witnesses() -> list[int]:
+        bases = list(_MR_BASES)
+        if n >= 1 << 81:
+            rng = random.Random(n)  # seeded by n: deterministic per input
+            bases += [rng.randrange(2, n - 2) for _ in range(_EXTRA_BASE_COUNT)]
+        return bases
+
+    for a in witnesses():
+        a %= n
+        if a in (0, 1, n - 1):
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@functools.lru_cache(maxsize=None)
+def find_ntt_prime(bits: int, n: int) -> int:
+    """Find the largest prime q with exactly ``bits`` bits and q ≡ 1 mod 2n.
+
+    The search walks candidates ``q = k * 2n + 1`` downward from 2^bits so
+    that the field is as wide as the datapath allows (the paper's evaluation
+    uses "128-bit" moduli).  Results are cached: parameter setup dominates
+    small-test runtime otherwise.
+    """
+    if not is_power_of_two(n):
+        raise ValueError("ring degree n must be a power of two")
+    step = 2 * n
+    if bits <= ilog2(step) + 1:
+        raise ValueError(f"{bits}-bit prime cannot satisfy q ≡ 1 mod {step}")
+    hi = (1 << bits) - 1
+    k = (hi - 1) // step
+    while k > 0:
+        q = k * step + 1
+        if q < 1 << (bits - 1):
+            break
+        if is_prime(q):
+            return q
+        k -= 1
+    raise ValueError(f"no {bits}-bit prime ≡ 1 mod {step} found")
+
+
+def _pollard_brent(n: int, rng: random.Random) -> int:
+    """Brent's cycle-finding Pollard rho; returns a non-trivial factor."""
+    if n % 2 == 0:
+        return 2
+    while True:
+        y = rng.randrange(1, n)
+        c = rng.randrange(1, n)
+        m = 128
+        g, r, q = 1, 1, 1
+        x = ys = y
+        while g == 1:
+            x = y
+            for _ in range(r):
+                y = (y * y + c) % n
+            k = 0
+            while k < r and g == 1:
+                ys = y
+                for _ in range(min(m, r - k)):
+                    y = (y * y + c) % n
+                    q = q * abs(x - y) % n
+                import math
+
+                g = math.gcd(q, n)
+                k += m
+            r *= 2
+        if g == n:
+            import math
+
+            g = 1
+            while g == 1:
+                ys = (ys * ys + c) % n
+                g = math.gcd(abs(x - ys), n)
+        if g != n:
+            return g
+
+
+def factorize(n: int) -> dict[int, int]:
+    """Full prime factorization as ``{prime: exponent}``.
+
+    Trial division over small primes first (NTT-prime group orders are
+    2-smooth by construction, so this almost always finishes the job), then
+    Pollard-Brent recursion for any residual composite.
+    """
+    if n <= 0:
+        raise ValueError("factorize expects a positive integer")
+    factors: dict[int, int] = {}
+
+    def record(p: int) -> None:
+        factors[p] = factors.get(p, 0) + 1
+
+    for p in _SMALL_PRIMES:
+        while n % p == 0:
+            record(p)
+            n //= p
+    # Continue trial division a little beyond the hard-coded table.
+    d = _SMALL_PRIMES[-1] + 2
+    while d * d <= n and d < 100_000:
+        while n % d == 0:
+            record(d)
+            n //= d
+        d += 2
+    if n == 1:
+        return factors
+    stack = [n]
+    rng = random.Random(0xB512)
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            record(m)
+            continue
+        f = _pollard_brent(m, rng)
+        stack.append(f)
+        stack.append(m // f)
+    return factors
+
+
+@functools.lru_cache(maxsize=None)
+def find_primitive_root(q: int) -> int:
+    """Smallest generator of the multiplicative group of Z_q (q prime)."""
+    if not is_prime(q):
+        raise ValueError("primitive roots are only computed for prime moduli")
+    order = q - 1
+    prime_factors = list(factorize(order))
+    for g in range(2, q):
+        if all(mod_pow(g, order // p, q) != 1 for p in prime_factors):
+            return g
+    raise ArithmeticError(f"no primitive root found for {q}")  # pragma: no cover
+
+
+def find_root_of_unity(order: int, q: int) -> int:
+    """A primitive ``order``-th root of unity in Z_q.
+
+    Requires ``order | q - 1``.  The returned root w satisfies w^order = 1
+    and w^(order/p) != 1 for every prime p dividing order.
+    """
+    if (q - 1) % order != 0:
+        raise ValueError(f"{order} does not divide q-1 for q={q}")
+    g = find_primitive_root(q)
+    w = mod_pow(g, (q - 1) // order, q)
+    assert mod_pow(w, order, q) == 1
+    return w
+
+
+def minimal_2nth_root(n: int, q: int) -> int:
+    """The smallest primitive 2n-th root of unity ψ in Z_q.
+
+    Matching OpenFHE's convention of using the *minimal* root makes our
+    reference twiddle tables reproducible, which the functional-validation
+    tests rely on.  ψ satisfies ψ^n = -1 (the negacyclic property).
+    """
+    if not is_power_of_two(n):
+        raise ValueError("n must be a power of two")
+    order = 2 * n
+    w = find_root_of_unity(order, q)
+    # All primitive 2n-th roots are w^j with j odd; scan for the minimum.
+    w2 = w * w % q
+    best = w
+    current = w
+    for _ in range(n - 1):
+        current = current * w2 % q
+        if current < best:
+            best = current
+    assert mod_pow(best, n, q) == q - 1, "psi^n must equal -1"
+    return best
+
+
+def inverse_root(root: int, q: int) -> int:
+    """Inverse of a root of unity (convenience wrapper)."""
+    return mod_inv(root, q)

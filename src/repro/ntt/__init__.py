@@ -1,0 +1,32 @@
+"""Number Theoretic Transform substrate.
+
+Provides the reference transforms that play the role OpenFHE plays in the
+paper: ground truth for validating SPIRAL-generated B512 programs and the
+functional simulator.
+
+* :mod:`repro.ntt.reference` -- iterative Cooley-Tukey forward /
+  Gentleman-Sande inverse negacyclic NTT (the Longa-Naehrig formulation with
+  bit-reversed twiddle tables).
+* :mod:`repro.ntt.naive` -- O(n^2) transforms used to validate the reference.
+* :mod:`repro.ntt.pease` -- the constant-geometry (Pease / Korn-Lambiotte)
+  dataflow that the RPU kernels vectorize, at array level.
+* :mod:`repro.ntt.twiddles` -- ψ tables (bit-reversed order) per (n, q).
+* :mod:`repro.ntt.polymul` -- negacyclic polynomial multiplication via NTT.
+"""
+
+from repro.ntt.naive import naive_negacyclic_convolution, naive_negacyclic_ntt
+from repro.ntt.pease import pease_ntt_forward, pease_ntt_inverse
+from repro.ntt.polymul import negacyclic_polymul
+from repro.ntt.reference import ntt_forward, ntt_inverse
+from repro.ntt.twiddles import TwiddleTable
+
+__all__ = [
+    "TwiddleTable",
+    "ntt_forward",
+    "ntt_inverse",
+    "naive_negacyclic_ntt",
+    "naive_negacyclic_convolution",
+    "pease_ntt_forward",
+    "pease_ntt_inverse",
+    "negacyclic_polymul",
+]

@@ -1,0 +1,72 @@
+"""Quadratic-time transforms: the ground truth beneath the ground truth.
+
+The iterative reference NTT is itself validated against these O(n^2)
+implementations (for small n), closing the loop the paper closes with
+OpenFHE test vectors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.ntt.twiddles import TwiddleTable
+
+
+def naive_negacyclic_ntt(values: Sequence[int], table: TwiddleTable) -> list[int]:
+    """Direct evaluation: out[k] = sum_j a[j] * psi^(j*(2k+1)) mod q.
+
+    Output is in *natural* frequency order; compose with the bit-reversal
+    permutation to compare against :func:`repro.ntt.reference.ntt_forward`.
+    """
+    n, q, psi = table.n, table.q, table.psi
+    if len(values) != n:
+        raise ValueError(f"expected {n} coefficients, got {len(values)}")
+    out = []
+    for k in range(n):
+        base = pow(psi, 2 * k + 1, q)
+        acc = 0
+        term = 1  # psi^(j*(2k+1)) built incrementally
+        for j in range(n):
+            acc = (acc + values[j] * term) % q
+            term = term * base % q
+        out.append(acc)
+    return out
+
+
+def naive_negacyclic_convolution(
+    a: Sequence[int], b: Sequence[int], q: int
+) -> list[int]:
+    """Schoolbook multiplication in Z_q[x]/(x^n + 1).
+
+    The x^n = -1 wraparound is what distinguishes the negacyclic ring from a
+    plain cyclic convolution; HE ciphertext polynomials live here.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("operands must have equal length")
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            k = i + j
+            prod = ai * bj
+            if k < n:
+                out[k] = (out[k] + prod) % q
+            else:
+                out[k - n] = (out[k - n] - prod) % q
+    return out
+
+
+def naive_cyclic_convolution(a: Sequence[int], b: Sequence[int], q: int) -> list[int]:
+    """Schoolbook multiplication in Z_q[x]/(x^n - 1) (for DFT sanity tests)."""
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("operands must have equal length")
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            out[(i + j) % n] = (out[(i + j) % n] + ai * bj) % q
+    return out

@@ -1,0 +1,188 @@
+"""Constant-geometry (Pease / Korn-Lambiotte) NTT dataflow, at array level.
+
+This module is the mathematical heart of the RPU reproduction.  The paper's
+SPIRAL backend re-formulates the radix-2 NTT with the Korn-Lambiotte /
+Pease breakdown so that *every* stage performs identical work:
+
+* butterflies always pair position ``p`` with position ``p + n/2`` — on the
+  RPU that is a lane-aligned butterfly between vector register ``j`` and
+  vector register ``j + m/2`` (m = n/512 architectural vectors);
+* stages are separated by one global perfect shuffle (the stride permutation
+  ``L^n_{n/2}``) — on the RPU that is one ``UNPKLO`` + one ``UNPKHI`` per
+  vector pair (2 shuffle instructions per output pair);
+* the shuffle after the final stage is folded into stride-2 stores, exactly
+  as in the paper's Listing 1 (``_vstores_512x128i(..., 2)``).
+
+For a 64K-point NTT this yields 16 stages x 64 butterflies = **1024 compute
+instructions** and 15 stages x 128 shuffles = **1920 shuffle instructions**,
+the instruction mix the paper reports in section VI-F.
+
+Closed forms (derived by tracking the position->reference-index permutation,
+which after ``s`` interleaves is a right bit-rotation by ``s``):
+
+* the twiddle for stage ``s`` at pair-position ``p`` is
+  ``psi_rev[2**s + (p mod 2**s)]`` — per-stage twiddle vectors are periodic
+  with period ``2**s``, so early stages broadcast a scalar, middle stages
+  use one REPEATED-mode load per stage, and late stages read contiguous
+  slices of the single ``psi_rev`` table;
+* the final value at position ``p`` is reference output element
+  ``rotl1(p)`` — a stride-2 interleaving, hence stride-2 stores.
+
+Everything here is validated against :mod:`repro.ntt.reference` by the test
+suite; :mod:`repro.spiral.ntt_codegen` consumes the same closed forms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.ntt.twiddles import TwiddleTable
+from repro.util.bits import ilog2
+
+
+def pease_twiddle_index(stage: int, pair_position: int) -> int:
+    """Index into psi_rev for the butterfly at ``pair_position`` of ``stage``.
+
+    ``stage`` counts from 0 (first); ``pair_position`` ranges over [0, n/2).
+    """
+    return (1 << stage) + (pair_position & ((1 << stage) - 1))
+
+
+def pease_output_index(position: int, n: int) -> int:
+    """Reference-output index held at ``position`` after the final stage.
+
+    This is a 1-bit left rotation of the log2(n)-bit position — i.e. the
+    final layout interleaves the low and high halves with stride 2, which is
+    why generated kernels finish with stride-2 stores.
+    """
+    k = ilog2(n)
+    return ((position << 1) | (position >> (k - 1))) & (n - 1)
+
+
+def interleave(values: list) -> list:
+    """The inter-stage perfect shuffle: out[2i]=in[i], out[2i+1]=in[n/2+i]."""
+    n = len(values)
+    half = n // 2
+    out = [None] * n
+    for i in range(half):
+        out[2 * i] = values[i]
+        out[2 * i + 1] = values[half + i]
+    return out
+
+
+def pack(values: list) -> list:
+    """Inverse of :func:`interleave`: out[i]=in[2i], out[n/2+i]=in[2i+1]."""
+    n = len(values)
+    half = n // 2
+    out = [None] * n
+    for i in range(half):
+        out[i] = values[2 * i]
+        out[half + i] = values[2 * i + 1]
+    return out
+
+
+def stage_permutation(stage: int, n: int) -> list[int]:
+    """Position -> reference-index map in effect during ``stage``.
+
+    After ``s`` interleaves the map is a right rotation of the position's
+    log2(n) bits by ``s``.  Exposed for the symbolic verification tests and
+    for the code generator's assertions.
+    """
+    k = ilog2(n)
+    mask = n - 1
+
+    def rotr(p: int) -> int:
+        return ((p >> stage) | (p << (k - stage))) & mask
+
+    return [rotr(p) for p in range(n)]
+
+
+def verify_alignment(n: int) -> None:
+    """Assert the Pease pairing/twiddle closed forms for ring degree ``n``.
+
+    Checks, for every stage s and pair position p, that the two positions
+    (p, p+n/2) hold reference indices (j, j+t) forming a valid CT butterfly
+    of stage s, and that the closed-form twiddle index matches the reference
+    algorithm's ``m + j // (2t)``.
+    """
+    k = ilog2(n)
+    half = n // 2
+    perm = list(range(n))
+    for s in range(k):
+        m = 1 << s
+        t = n >> (s + 1)
+        for p in range(half):
+            j = perm[p]
+            if perm[p + half] != j + t:
+                raise AssertionError(
+                    f"stage {s}, position {p}: partner misaligned "
+                    f"({perm[p + half]} != {j + t})"
+                )
+            expected = m + j // (2 * t)
+            actual = pease_twiddle_index(s, p)
+            if expected != actual:
+                raise AssertionError(
+                    f"stage {s}, position {p}: twiddle {actual} != {expected}"
+                )
+        if s != k - 1:
+            perm = interleave(perm)
+    for p in range(n):
+        if perm[p] != pease_output_index(p, n):
+            raise AssertionError(f"final layout mismatch at position {p}")
+
+
+def pease_ntt_forward(values: Sequence[int], table: TwiddleTable) -> list[int]:
+    """Forward negacyclic NTT via the constant-geometry dataflow.
+
+    Bit-for-bit equal to :func:`repro.ntt.reference.ntt_forward` (natural
+    input, bit-reversed output); the loop structure mirrors the generated
+    B512 kernels one-to-one.
+    """
+    n, q = table.n, table.q
+    if len(values) != n:
+        raise ValueError(f"expected {n} coefficients, got {len(values)}")
+    k = ilog2(n)
+    half = n // 2
+    y = list(values)
+    for s in range(k):
+        nxt = [0] * n
+        for p in range(half):
+            tw = table.psi_rev[pease_twiddle_index(s, p)]
+            u = y[p]
+            v = y[p + half] * tw % q
+            nxt[p] = (u + v) % q
+            nxt[p + half] = (u - v) % q
+        y = interleave(nxt) if s != k - 1 else nxt
+    out = [0] * n
+    for p in range(n):
+        out[pease_output_index(p, n)] = y[p]
+    return out
+
+
+def pease_ntt_inverse(values: Sequence[int], table: TwiddleTable) -> list[int]:
+    """Inverse negacyclic NTT via the reversed constant-geometry dataflow.
+
+    Bit-reversed input, natural output.  Stages run s = k-1 .. 0 with
+    Gentleman-Sande butterflies and psi-inverse twiddles; the pack shuffle
+    (inverse of the forward interleave) sits between stages; the n^{-1}
+    scaling is applied at the end, as the generated kernels do with a final
+    vector-scalar multiply pass.
+    """
+    n, q = table.n, table.q
+    if len(values) != n:
+        raise ValueError(f"expected {n} coefficients, got {len(values)}")
+    k = ilog2(n)
+    half = n // 2
+    # Gather the forward kernel's storage layout back into position space.
+    y = [values[pease_output_index(p, n)] for p in range(n)]
+    for s in range(k - 1, -1, -1):
+        nxt = [0] * n
+        for p in range(half):
+            tw = table.psi_inv_rev[pease_twiddle_index(s, p)]
+            u = y[p]
+            v = y[p + half]
+            nxt[p] = (u + v) % q
+            nxt[p + half] = (u - v) * tw % q
+        y = pack(nxt) if s != 0 else nxt
+    n_inv = table.n_inv
+    return [x * n_inv % q for x in y]

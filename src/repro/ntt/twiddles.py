@@ -1,0 +1,77 @@
+"""Twiddle factor tables for negacyclic NTTs.
+
+The tables follow the Longa-Naehrig convention used throughout the lattice
+crypto world (and by OpenFHE): ``psi_rev[i] = psi ** bit_reverse(i)`` so the
+iterative transforms walk them sequentially.  The RPU's SPIRAL backend lays
+exactly these tables out in VDM; twiddle vector loads in generated kernels
+are contiguous slices of ``psi_rev`` (see repro.spiral.ntt_codegen).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.modmath.arith import mod_inv
+from repro.modmath.primes import find_ntt_prime, minimal_2nth_root
+from repro.util.bits import bit_reverse, ilog2
+
+
+@dataclass(frozen=True)
+class TwiddleTable:
+    """All constants a forward+inverse negacyclic NTT needs for (n, q).
+
+    Attributes:
+        n: ring degree (power of two).
+        q: prime modulus with q ≡ 1 (mod 2n).
+        psi: the minimal primitive 2n-th root of unity (psi^n = -1).
+        psi_rev: tuple of n entries, ``psi_rev[i] = psi^bitrev(i, log2 n)``.
+        psi_inv_rev: entrywise inverses of ``psi_rev``.
+        n_inv: n^{-1} mod q, the inverse-transform scaling factor.
+    """
+
+    n: int
+    q: int
+    psi: int
+    psi_rev: tuple[int, ...]
+    psi_inv_rev: tuple[int, ...]
+    n_inv: int
+
+    @staticmethod
+    @functools.lru_cache(maxsize=None)
+    def for_ring(n: int, q: int | None = None, q_bits: int = 128) -> "TwiddleTable":
+        """Build (and cache) the table for ring degree ``n``.
+
+        Args:
+            n: power-of-two ring degree.
+            q: modulus; when None, the canonical ``q_bits``-bit NTT prime for
+               this degree is generated (the paper's 128-bit default).
+            q_bits: width used when generating q.
+        """
+        if q is None:
+            q = find_ntt_prime(q_bits, n)
+        bits = ilog2(n)
+        psi = minimal_2nth_root(n, q)
+        psi_inv = mod_inv(psi, q)
+        powers = [1] * n
+        inv_powers = [1] * n
+        for i in range(1, n):
+            powers[i] = powers[i - 1] * psi % q
+            inv_powers[i] = inv_powers[i - 1] * psi_inv % q
+        psi_rev = tuple(powers[bit_reverse(i, bits)] for i in range(n))
+        psi_inv_rev = tuple(inv_powers[bit_reverse(i, bits)] for i in range(n))
+        return TwiddleTable(
+            n=n,
+            q=q,
+            psi=psi,
+            psi_rev=psi_rev,
+            psi_inv_rev=psi_inv_rev,
+            n_inv=mod_inv(n, q),
+        )
+
+    def validate(self) -> None:
+        """Cheap self-checks used by the property tests."""
+        assert pow(self.psi, 2 * self.n, self.q) == 1
+        assert pow(self.psi, self.n, self.q) == self.q - 1
+        assert self.psi_rev[0] == 1
+        assert self.n * self.n_inv % self.q == 1

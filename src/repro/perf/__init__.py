@@ -1,0 +1,18 @@
+"""Cycle-level RPU performance simulator.
+
+Models the microarchitecture of section IV: an in-order front-end with
+busyboard dependence tracking dispatching into three decoupled pipelines
+(load/store through the VBAR and banked VDM, compute across the HPLEs,
+shuffle through the SBAR).  Instructions issue in order per pipeline but
+complete out of order across pipelines, exactly as the paper describes.
+
+The simulator is configuration-driven (:class:`~repro.perf.config.RpuConfig`)
+to support the paper's design-space exploration: HPLE count, VDM banking,
+multiplier latency/II, crossbar latencies, queue depths, and the busyboard
+policy are all parameters.
+"""
+
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator, PerformanceReport
+
+__all__ = ["RpuConfig", "CycleSimulator", "PerformanceReport"]

@@ -1,0 +1,106 @@
+"""Bottleneck analysis over traced simulations.
+
+Answers the question the paper's sensitivity studies circle around (VI-F):
+*what actually bounds a kernel's runtime on a given configuration?*
+The critical chain is extracted by walking "bound by" links backward from
+the last-completing instruction; summarizing the chain's stall causes and
+pipe membership names the bottleneck (shuffle throughput for the 64K NTT
+on (128, 128), load/store bandwidth at low bank counts, the multiplier at
+high II, ...).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import InstructionClass
+from repro.isa.program import Program
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator, InstructionTiming
+
+
+@dataclass
+class CriticalPathReport:
+    """The binding chain of one simulated kernel execution."""
+
+    chain: list[InstructionTiming]
+    cause_histogram: dict[str, int] = field(default_factory=dict)
+    pipe_histogram: dict[str, int] = field(default_factory=dict)
+    total_cycles: int = 0
+
+    @property
+    def bottleneck_pipe(self) -> str:
+        """Pipe holding the plurality of critical-chain instructions."""
+        return max(self.pipe_histogram, key=self.pipe_histogram.get)
+
+    @property
+    def dominant_cause(self) -> str:
+        return max(self.cause_histogram, key=self.cause_histogram.get)
+
+    def summary(self) -> str:
+        return (
+            f"critical chain: {len(self.chain)} instructions over "
+            f"{self.total_cycles} cycles; bottleneck pipe "
+            f"{self.bottleneck_pipe} ({self.pipe_histogram}); "
+            f"dominant binding cause {self.dominant_cause} "
+            f"({self.cause_histogram})"
+        )
+
+
+def analyze_critical_path(
+    program: Program, config: RpuConfig
+) -> CriticalPathReport:
+    """Trace the kernel and extract its binding chain."""
+    report = CycleSimulator(config).run(program, trace=True)
+    trace = report.trace
+    if not trace:
+        return CriticalPathReport(chain=[], total_cycles=0)
+    by_index = {t.index: t for t in trace}
+    last = max(trace, key=lambda t: t.completion)
+    chain: list[InstructionTiming] = []
+    seen: set[int] = set()
+    node: InstructionTiming | None = last
+    while node is not None and node.index not in seen:
+        chain.append(node)
+        seen.add(node.index)
+        node = by_index.get(node.bound_by) if node.bound_by is not None else None
+    chain.reverse()
+    causes = Counter(t.stall_cause for t in chain)
+    pipes = Counter(t.pipe.name for t in chain)
+    return CriticalPathReport(
+        chain=chain,
+        cause_histogram=dict(causes),
+        pipe_histogram=dict(pipes),
+        total_cycles=report.cycles,
+    )
+
+
+def utilization_verdict(program: Program, config: RpuConfig) -> str:
+    """One-line resource verdict from pipe utilizations.
+
+    The classic roofline-style summary: a pipe above ~70% utilization is
+    the throughput bound; otherwise latency/dependences dominate.
+    """
+    report = CycleSimulator(config).run(program)
+    util = report.utilization()
+    pipe, value = max(util.items(), key=lambda kv: kv[1])
+    if value >= 0.7:
+        return f"throughput-bound on the {pipe} pipeline ({value:.0%} busy)"
+    return (
+        f"latency/dependence-bound (peak pipe utilization {pipe} at "
+        f"{value:.0%})"
+    )
+
+
+def export_trace_csv(program: Program, config: RpuConfig) -> str:
+    """The per-instruction timeline as CSV text (for external tooling)."""
+    report = CycleSimulator(config).run(program, trace=True)
+    lines = ["index,mnemonic,pipe,dispatch,issue,completion,occupancy,stall_cause,stall_cycles,bound_by"]
+    for t in report.trace or []:
+        lines.append(
+            f"{t.index},{t.mnemonic},{t.pipe.name},{t.dispatch},{t.issue},"
+            f"{t.completion},{t.occupancy},{t.stall_cause},{t.stall_cycles},"
+            f"{'' if t.bound_by is None else t.bound_by}"
+        )
+    return "\n".join(lines)

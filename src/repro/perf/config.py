@@ -1,0 +1,95 @@
+"""RPU configuration: every knob the paper's design space explores.
+
+Defaults correspond to the paper's best design point: 128 HPLEs, 128 VDM
+banks (20.5 mm^2, 1.68 GHz), a fully-pipelined II=1 modular multiplier, and
+the crossbar latencies at the low end of the Fig. 8 sweep ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.hw.frequency import rpu_frequency_ghz
+from repro.util.bits import is_power_of_two
+
+
+@dataclass(frozen=True)
+class RpuConfig:
+    """A point in the RPU design space.
+
+    Attributes:
+        num_hples: parallel HPLE lanes (the paper sweeps 4..256).
+        vdm_banks: VDM banks (32..256); also sets the clock.
+        vlen: architectural vector length (512).
+        mult_latency: modular-multiplier pipeline depth in cycles (Fig. 7
+            sweeps 2..8).
+        mult_ii: multiplier initiation interval (Fig. 7 sweeps 1..7).
+        addsub_latency: modular adder/subtractor pipeline depth.
+        ls_latency: VBAR + VDM access latency (Fig. 8 sweeps 4..10).
+        shuffle_latency: SBAR latency (Fig. 8 sweeps 4..10).
+        queue_depth: entries per decoupled instruction queue.
+        dispatch_width: front-end dispatch throughput (1, in-order).
+        busyboard_track_sources: if True, source registers are also marked
+            busy until completion (stricter policy; ablation knob).  The
+            default models operand capture at dispatch.
+        vrf_group_conflict: model the 4-registers-per-SRAM VRF port
+            conflicts (section IV-B1).
+        vdm_swizzle: XOR-fold bank hashing instead of plain modulo
+            interleaving (ablation knob; the paper stripes data so plain
+            modulo rarely conflicts).
+        frequency_ghz: clock override; None derives it from vdm_banks.
+    """
+
+    num_hples: int = 128
+    vdm_banks: int = 128
+    vlen: int = 512
+    mult_latency: int = 5
+    mult_ii: int = 1
+    addsub_latency: int = 2
+    ls_latency: int = 6
+    shuffle_latency: int = 4
+    queue_depth: int = 16
+    dispatch_width: int = 1
+    busyboard_track_sources: bool = False
+    vrf_group_conflict: bool = True
+    vdm_swizzle: bool = False
+    frequency_ghz: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("num_hples", "vdm_banks", "vlen"):
+            v = getattr(self, name)
+            if not is_power_of_two(v):
+                raise ValueError(f"{name} must be a power of two, got {v}")
+        if self.num_hples > self.vlen:
+            raise ValueError("more HPLEs than vector elements is meaningless")
+        for name in (
+            "mult_latency",
+            "mult_ii",
+            "addsub_latency",
+            "ls_latency",
+            "shuffle_latency",
+            "queue_depth",
+            "dispatch_width",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def clock_ghz(self) -> float:
+        """Effective clock: VDM-limited unless overridden."""
+        if self.frequency_ghz is not None:
+            return self.frequency_ghz
+        return rpu_frequency_ghz(self.vdm_banks)
+
+    @property
+    def lanes_per_hple(self) -> int:
+        """Vector elements each HPLE processes per instruction."""
+        return -(-self.vlen // self.num_hples)
+
+    def label(self) -> str:
+        """The paper's "(HPLEs, banks)" notation."""
+        return f"({self.num_hples}, {self.vdm_banks})"
+
+    def with_changes(self, **kwargs) -> "RpuConfig":
+        """A modified copy (configs are frozen)."""
+        return replace(self, **kwargs)

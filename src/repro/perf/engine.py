@@ -1,0 +1,348 @@
+"""The cycle-level simulator core.
+
+Models the RPU pipeline analytically, one instruction at a time, in program
+order -- possible because the front-end is in-order and each decoupled
+pipeline issues in order, so every instruction's dispatch/issue/completion
+time is a max over already-computed quantities:
+
+* **fetch/decode**: ``dispatch_width`` instructions per cycle, in order;
+* **busyboard**: dispatch waits until no source (RAW) or destination (WAW)
+  vector register is marked busy; destinations stay busy until writeback.
+  With ``busyboard_track_sources`` the stricter policy of marking sources
+  until completion (adding WAR stalls) can be modelled;
+* **queues**: each pipeline has ``queue_depth`` slots; a slot frees when the
+  instruction issues to its unit;
+* **units**: fully pipelined with per-instruction *occupancy* (initiation
+  interval at the unit level) and *latency*:
+
+  - compute: ``ceil(vlen/HPLEs)`` elements per lane, times the multiplier II
+    for multiplier ops; butterflies pay multiplier + adder latency;
+  - shuffle: the SBAR moves one element per VRF slice per cycle;
+  - load/store: the banked VDM serves one element per bank per cycle, so
+    occupancy is the maximum per-bank hit count of the access pattern
+    (stride-aware, computed from the real addresses), floored by the VBAR's
+    one-write-port-per-slice limit;
+  - VRF port conflicts: operands mapped to the same 4-register SRAM
+    serialize, scaling occupancy (avoided by SPIRAL's placement).
+
+Completion is out of order across pipelines, matching section IV-A.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.isa.addressing import element_addresses
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import InstructionClass, Opcode
+from repro.isa.program import Program
+from repro.perf.config import RpuConfig
+from repro.util.bits import ceil_div
+
+_PIPES = (InstructionClass.LSI, InstructionClass.CI, InstructionClass.SI)
+
+STALL_NONE = "none"
+STALL_RAW = "busyboard_raw"
+STALL_WAW = "busyboard_waw"
+STALL_WAR = "busyboard_war"
+STALL_QUEUE = "queue_full"
+
+
+@dataclass
+class PipeStats:
+    """Per-pipeline accounting."""
+
+    instructions: int = 0
+    busy_cycles: int = 0
+    total_dispatch_wait: int = 0
+    max_dispatch_wait: int = 0
+    last_completion: int = 0
+
+    def utilization(self, cycles: int) -> float:
+        return self.busy_cycles / cycles if cycles else 0.0
+
+
+@dataclass
+class InstructionTiming:
+    """Per-instruction event times (collected when tracing is enabled)."""
+
+    index: int
+    mnemonic: str
+    pipe: InstructionClass
+    dispatch: int
+    issue: int
+    completion: int
+    occupancy: int
+    stall_cause: str
+    stall_cycles: int
+    bound_by: int | None  # instruction index that limited dispatch/issue
+
+
+@dataclass
+class PerformanceReport:
+    """Everything a benchmark needs from one simulated kernel run."""
+
+    program_name: str
+    config: RpuConfig
+    cycles: int
+    dispatched: int
+    pipe_stats: dict[InstructionClass, PipeStats]
+    stall_cycles: dict[str, int]
+    trace: list[InstructionTiming] | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def runtime_us(self) -> float:
+        """Wall-clock kernel time at the configuration's clock."""
+        return self.cycles / (self.config.clock_ghz * 1e3)
+
+    def theoretical_cycles(self, n: int) -> float:
+        """The paper's ideal-compute bound: n*log2(n) / HPLEs (Fig. 9)."""
+        import math
+
+        return n * math.log2(n) / self.config.num_hples
+
+    def theoretical_runtime_us(self, n: int) -> float:
+        return self.theoretical_cycles(n) / (self.config.clock_ghz * 1e3)
+
+    def utilization(self) -> dict[str, float]:
+        return {
+            pipe.name: stats.utilization(self.cycles)
+            for pipe, stats in self.pipe_stats.items()
+        }
+
+    def summary(self) -> str:
+        util = self.utilization()
+        stalls = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.stall_cycles.items()) if v
+        )
+        return (
+            f"{self.program_name} on {self.config.label()}: "
+            f"{self.cycles} cycles ({self.runtime_us:.2f} us at "
+            f"{self.config.clock_ghz:.2f} GHz); util LSI={util['LSI']:.0%} "
+            f"CI={util['CI']:.0%} SI={util['SI']:.0%}; stalls: {stalls or '-'}"
+        )
+
+
+class CycleSimulator:
+    """Simulates one program on one configuration."""
+
+    def __init__(self, config: RpuConfig) -> None:
+        self.config = config
+        self._ls_occ_cache: dict = {}
+
+    # -- occupancy models ---------------------------------------------------
+    def _bank_of(self, address: int) -> int:
+        banks = self.config.vdm_banks
+        if self.config.vdm_swizzle:
+            folded = address
+            hashed = 0
+            while folded:
+                hashed ^= folded
+                folded >>= banks.bit_length() - 1
+            return hashed % banks
+        return address % banks
+
+    def _ls_occupancy(self, inst: Instruction) -> int:
+        cfg = self.config
+        if inst.opcode is Opcode.SLOAD:
+            return 1
+        if inst.opcode is Opcode.VBCAST:
+            # One SDM read fanned out through the VBAR to every slice.
+            return ceil_div(cfg.vlen, cfg.num_hples)
+        key = (
+            inst.mode,
+            inst.value,
+            inst.offset if cfg.vdm_swizzle else inst.offset % cfg.vdm_banks,
+        )
+        occ = self._ls_occ_cache.get(key)
+        if occ is None:
+            addresses = set(
+                element_addresses(inst.mode, inst.value, inst.offset, cfg.vlen)
+            )
+            per_bank: dict[int, int] = defaultdict(int)
+            for a in addresses:
+                per_bank[self._bank_of(a)] += 1
+            bank_occ = max(per_bank.values())
+            # The VBAR delivers at most one element per VRF slice per cycle.
+            slice_occ = ceil_div(cfg.vlen, cfg.num_hples)
+            occ = max(bank_occ, slice_occ)
+            self._ls_occ_cache[key] = occ
+        return occ
+
+    def _group_conflict_factor(self, inst: Instruction) -> int:
+        """Max operands sharing one 4-register VRF SRAM (serialized access)."""
+        if not self.config.vrf_group_conflict:
+            return 1
+        regs = set(inst.vector_sources()) | set(inst.vector_dests())
+        per_group: dict[int, int] = defaultdict(int)
+        for r in regs:
+            per_group[r // 4] += 1
+        return max(per_group.values(), default=1)
+
+    def _ci_occupancy(self, inst: Instruction) -> int:
+        cfg = self.config
+        per_lane = ceil_div(cfg.vlen, cfg.num_hples)
+        ii = cfg.mult_ii if inst.opcode.uses_multiplier else 1
+        return per_lane * ii * self._group_conflict_factor(inst)
+
+    def _si_occupancy(self, inst: Instruction) -> int:
+        cfg = self.config
+        per_lane = ceil_div(cfg.vlen, cfg.num_hples)
+        return per_lane * self._group_conflict_factor(inst)
+
+    def _latency(self, inst: Instruction) -> int:
+        cfg = self.config
+        klass = inst.instruction_class
+        if klass is InstructionClass.LSI:
+            return cfg.ls_latency
+        if klass is InstructionClass.SI:
+            return cfg.shuffle_latency
+        if inst.opcode is Opcode.BFLY:
+            return cfg.mult_latency + cfg.addsub_latency
+        if inst.opcode.uses_multiplier:
+            return cfg.mult_latency
+        return cfg.addsub_latency
+
+    def _occupancy(self, inst: Instruction) -> int:
+        klass = inst.instruction_class
+        if klass is InstructionClass.LSI:
+            return self._ls_occupancy(inst)
+        if klass is InstructionClass.CI:
+            return self._ci_occupancy(inst)
+        return self._si_occupancy(inst)
+
+    # -- the simulation ------------------------------------------------------
+    def run(self, program: Program, trace: bool = False) -> PerformanceReport:
+        """Simulate; returns the performance report (no data is computed).
+
+        With ``trace=True`` the report carries per-instruction event times
+        and the "bound by" links that :mod:`repro.perf.analysis` follows to
+        extract the critical chain.
+        """
+        cfg = self.config
+        if program.vlen != cfg.vlen:
+            raise ValueError(
+                f"program built for vlen={program.vlen}, config has {cfg.vlen}"
+            )
+        write_clear: dict[int, tuple[int, int]] = defaultdict(lambda: (0, -1))
+        read_clear: dict[int, tuple[int, int]] = defaultdict(lambda: (0, -1))
+        sreg_clear: dict[int, tuple[int, int]] = defaultdict(lambda: (0, -1))
+        unit_free = {p: 0 for p in _PIPES}
+        unit_last = {p: -1 for p in _PIPES}
+        issue_log: dict[InstructionClass, list[tuple[int, int]]] = {
+            p: [] for p in _PIPES
+        }
+        pipe_stats = {p: PipeStats() for p in _PIPES}
+        stalls = {
+            STALL_RAW: 0,
+            STALL_WAW: 0,
+            STALL_WAR: 0,
+            STALL_QUEUE: 0,
+        }
+        timings: list[InstructionTiming] | None = [] if trace else None
+        next_fetch = 0
+        makespan = 0
+        dispatched = 0
+
+        for index, inst in enumerate(program.instructions):
+            if inst.opcode is Opcode.HALT:
+                break
+            pipe = inst.instruction_class
+            stats = pipe_stats[pipe]
+
+            srcs = inst.vector_sources()
+            dsts = inst.vector_dests()
+            raw_ready, raw_src = max(
+                (write_clear[r] for r in srcs), default=(0, -1)
+            )
+            waw_ready, waw_src = max(
+                (write_clear[r] for r in dsts), default=(0, -1)
+            )
+            war_ready, war_src = 0, -1
+            if cfg.busyboard_track_sources:
+                war_ready, war_src = max(
+                    (read_clear[r] for r in dsts), default=(0, -1)
+                )
+            # Scalar dependences (SRF) piggyback on the scoreboard.
+            if inst.opcode.is_vector_scalar:
+                s_ready, s_src = sreg_clear[inst.rt]
+                if s_ready > raw_ready:
+                    raw_ready, raw_src = s_ready, s_src
+
+            queued = len(issue_log[pipe])
+            queue_ready, queue_src = 0, -1
+            if queued >= cfg.queue_depth:
+                queue_ready, queue_src = issue_log[pipe][
+                    queued - cfg.queue_depth
+                ]
+
+            dispatch = max(next_fetch, raw_ready, waw_ready, war_ready, queue_ready)
+            wait = dispatch - next_fetch
+            cause = STALL_NONE
+            bound_by = index - 1 if index else None
+            if wait > 0:
+                cause, worst, bound_by = STALL_QUEUE, queue_ready, queue_src
+                for candidate, name, src in (
+                    (raw_ready, STALL_RAW, raw_src),
+                    (waw_ready, STALL_WAW, waw_src),
+                    (war_ready, STALL_WAR, war_src),
+                ):
+                    if candidate > worst:
+                        worst, cause, bound_by = candidate, name, src
+                stalls[cause] += wait
+                stats.total_dispatch_wait += wait
+                stats.max_dispatch_wait = max(stats.max_dispatch_wait, wait)
+            next_fetch = dispatch + 1  # dispatch_width = 1 per cycle
+
+            issue = max(dispatch + 1, unit_free[pipe])
+            if issue == unit_free[pipe] and unit_free[pipe] > dispatch + 1:
+                cause = "unit_busy"
+                bound_by = unit_last[pipe]
+            occupancy = self._occupancy(inst)
+            completion = issue + occupancy + self._latency(inst)
+            unit_free[pipe] = issue + occupancy
+            unit_last[pipe] = index
+            issue_log[pipe].append((issue, index))
+
+            for r in dsts:
+                write_clear[r] = (completion, index)
+            if cfg.busyboard_track_sources:
+                for r in srcs:
+                    if completion > read_clear[r][0]:
+                        read_clear[r] = (completion, index)
+            if inst.opcode is Opcode.SLOAD:
+                sreg_clear[inst.rt] = (completion, index)
+
+            stats.instructions += 1
+            stats.busy_cycles += occupancy
+            stats.last_completion = max(stats.last_completion, completion)
+            makespan = max(makespan, completion)
+            dispatched += 1
+            if timings is not None:
+                timings.append(
+                    InstructionTiming(
+                        index=index,
+                        mnemonic=inst.mnemonic,
+                        pipe=pipe,
+                        dispatch=dispatch,
+                        issue=issue,
+                        completion=completion,
+                        occupancy=occupancy,
+                        stall_cause=cause,
+                        stall_cycles=wait,
+                        bound_by=bound_by if bound_by != -1 else None,
+                    )
+                )
+
+        return PerformanceReport(
+            program_name=program.name,
+            config=cfg,
+            cycles=makespan,
+            dispatched=dispatched,
+            pipe_stats=pipe_stats,
+            stall_cycles=stalls,
+            trace=timings,
+            metadata=dict(program.metadata),
+        )

@@ -1,0 +1,35 @@
+"""RLWE-based workloads: the applications that motivate the RPU.
+
+The paper's introduction frames the RPU around two RLWE families --
+homomorphic encryption (BGV/CKKS-style) and post-quantum cryptography
+(CRYSTALS-Kyber).  This package implements working small-scale versions of
+both on top of the :mod:`repro.ntt` / :mod:`repro.rns` substrates:
+
+* :mod:`repro.rlwe.ring` -- elements of Z_q[x]/(x^n + 1) with NTT-backed
+  multiplication;
+* :mod:`repro.rlwe.sampling` -- ternary, centered-binomial and uniform
+  samplers;
+* :mod:`repro.rlwe.bfv` -- a BFV-style somewhat-homomorphic scheme with
+  encrypt/decrypt, homomorphic add, plaintext and ciphertext multiply,
+  base-T relinearization, and exact noise-budget measurement;
+* :mod:`repro.rlwe.ckks` -- a CKKS-style approximate scheme with the
+  canonical embedding and a genuine modulus-chain rescale;
+* :mod:`repro.rlwe.kyber` -- a Kyber-style IND-CPA KEM over the classic
+  q = 7681 NTT-friendly ring.
+"""
+
+from repro.rlwe.bfv import BfvCiphertext, BfvContext, BfvKeys
+from repro.rlwe.ckks import CkksCiphertext, CkksContext, CkksParameters
+from repro.rlwe.kyber import KyberContext
+from repro.rlwe.ring import RingElement
+
+__all__ = [
+    "RingElement",
+    "BfvContext",
+    "BfvKeys",
+    "BfvCiphertext",
+    "CkksContext",
+    "CkksParameters",
+    "CkksCiphertext",
+    "KyberContext",
+]

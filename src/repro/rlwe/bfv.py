@@ -1,0 +1,242 @@
+"""A BFV-style somewhat-homomorphic encryption scheme.
+
+Implements the textbook Brakerski/Fan-Vercauteren construction over
+R_q = Z_q[x]/(x^n + 1) with plaintext ring R_t:
+
+* ``keygen``: ternary secret s; public key (b, a) with b = -(a*s + e);
+* ``encrypt``: ct = (b*u + e1 + delta*m, a*u + e2) with delta = floor(q/t);
+* ``decrypt``: m = round(t/q * (c0 + c1*s)) mod t;
+* ``add``: component-wise;
+* ``multiply_plain``: scale-free plaintext multiplication;
+* ``multiply``: the tensor product over the *integers* followed by t/q
+  rescaling (exact big-int arithmetic -- Python is our multi-precision
+  unit), yielding a 3-component ciphertext;
+* ``relinearize``: base-T key switching back to 2 components.
+
+This is the workload class (Fig. 1 of the paper) whose inner loops -- the
+NTTs -- the RPU accelerates.  Parameters here are demonstration-scale, not
+production security levels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.modmath.primes import find_ntt_prime
+from repro.ntt.naive import naive_negacyclic_convolution
+from repro.rlwe.ring import RingElement
+from repro.rlwe.sampling import centered_binomial_poly, ternary_poly, uniform_poly
+from repro.util.bits import is_power_of_two
+
+
+@dataclass(frozen=True)
+class BfvParameters:
+    """Scheme parameters.
+
+    Attributes:
+        n: ring degree.
+        q: ciphertext modulus (NTT-friendly prime).
+        t: plaintext modulus (small).
+        eta: noise parameter for the centered-binomial error.
+        relin_base: the base T used for relinearization key digits.
+    """
+
+    n: int
+    q: int
+    t: int
+    eta: int = 3
+    relin_base: int = 1 << 8
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n):
+            raise ValueError("n must be a power of two")
+        if self.t < 2 or self.t >= self.q:
+            raise ValueError("need 2 <= t < q")
+
+    @property
+    def delta(self) -> int:
+        return self.q // self.t
+
+    @staticmethod
+    def demo(n: int = 64, q_bits: int = 60, t: int = 257) -> "BfvParameters":
+        return BfvParameters(n=n, q=find_ntt_prime(q_bits, n), t=t)
+
+
+@dataclass(frozen=True)
+class BfvKeys:
+    secret: RingElement
+    public: tuple[RingElement, RingElement]
+    relin: tuple[tuple[RingElement, RingElement], ...]
+
+
+@dataclass(frozen=True)
+class BfvCiphertext:
+    """A ciphertext of 2 (fresh) or 3 (post-multiply) components."""
+
+    components: tuple[RingElement, ...]
+    params: BfvParameters
+
+    def __add__(self, other: "BfvCiphertext") -> "BfvCiphertext":
+        if self.params != other.params:
+            raise ValueError("parameter mismatch")
+        if len(self.components) != len(other.components):
+            raise ValueError("component count mismatch")
+        return BfvCiphertext(
+            tuple(a + b for a, b in zip(self.components, other.components)),
+            self.params,
+        )
+
+
+class BfvContext:
+    """Key generation and the homomorphic evaluation API."""
+
+    def __init__(self, params: BfvParameters, seed: int = 0) -> None:
+        self.params = params
+        self._rng = random.Random(seed)
+
+    # -- helpers ------------------------------------------------------------
+    def _noise(self) -> RingElement:
+        return centered_binomial_poly(
+            self.params.n, self.params.q, self.params.eta, self._rng
+        )
+
+    def keygen(self) -> BfvKeys:
+        p = self.params
+        s = ternary_poly(p.n, p.q, self._rng)
+        a = uniform_poly(p.n, p.q, self._rng)
+        e = self._noise()
+        b = -(a * s + e)
+        relin = []
+        s2 = s * s
+        power = 1
+        while power < p.q:
+            ai = uniform_poly(p.n, p.q, self._rng)
+            ei = self._noise()
+            bi = -(ai * s + ei) + s2 * power
+            relin.append((bi, ai))
+            power *= p.relin_base
+        return BfvKeys(secret=s, public=(b, a), relin=tuple(relin))
+
+    def encode(self, values: list[int]) -> RingElement:
+        p = self.params
+        if len(values) > p.n:
+            raise ValueError("message longer than the ring degree")
+        padded = list(values) + [0] * (p.n - len(values))
+        return RingElement(tuple(v % p.t for v in padded), p.q)
+
+    def decode(self, plain: RingElement) -> list[int]:
+        return [c % self.params.t for c in plain.coefficients]
+
+    def encrypt(self, keys: BfvKeys, message: RingElement) -> BfvCiphertext:
+        p = self.params
+        b, a = keys.public
+        u = ternary_poly(p.n, p.q, self._rng)
+        e1, e2 = self._noise(), self._noise()
+        scaled = message * p.delta
+        c0 = b * u + e1 + scaled
+        c1 = a * u + e2
+        return BfvCiphertext((c0, c1), p)
+
+    def decrypt(self, keys: BfvKeys, ct: BfvCiphertext) -> RingElement:
+        p = self.params
+        s = keys.secret
+        acc = RingElement.zero(p.n, p.q)
+        s_power = RingElement.from_list([1] + [0] * (p.n - 1), p.q)
+        for comp in ct.components:
+            acc = acc + comp * s_power
+            s_power = s_power * s
+        # Round t/q * coefficient, per-coefficient on centered values.
+        out = []
+        for c in acc.centered():
+            out.append(round(c * p.t / p.q) % p.t)
+        return RingElement(tuple(out), p.q)
+
+    def noise_budget_bits(self, keys: BfvKeys, ct: BfvCiphertext) -> int:
+        """Remaining noise budget in bits (0 means decryption may fail).
+
+        Measured exactly, SEAL-style: the invariant noise is the distance
+        between the decryption phase and the nearest lattice point
+        delta * m; the budget is how many more bits of noise the ciphertext
+        can absorb before rounding flips.
+        """
+        p = self.params
+        s = keys.secret
+        acc = RingElement.zero(p.n, p.q)
+        s_power = RingElement.from_list([1] + [0] * (p.n - 1), p.q)
+        for comp in ct.components:
+            acc = acc + comp * s_power
+            s_power = s_power * s
+        message = self.decrypt(keys, ct)
+        noise = acc - message * p.delta
+        worst = max(abs(c) for c in noise.centered())
+        if worst == 0:
+            worst = 1
+        # Rounding flips once noise reaches delta/2.
+        budget = (p.delta // 2).bit_length() - worst.bit_length() - 1
+        return max(0, budget)
+
+    # -- homomorphic ops ----------------------------------------------------
+    def add(self, x: BfvCiphertext, y: BfvCiphertext) -> BfvCiphertext:
+        return x + y
+
+    def multiply_plain(self, ct: BfvCiphertext, plain: RingElement) -> BfvCiphertext:
+        return BfvCiphertext(
+            tuple(c * plain for c in ct.components), self.params
+        )
+
+    def multiply(self, x: BfvCiphertext, y: BfvCiphertext) -> BfvCiphertext:
+        """Ciphertext-ciphertext multiply: exact tensor + t/q rescale."""
+        p = self.params
+        if len(x.components) != 2 or len(y.components) != 2:
+            raise ValueError("multiply expects fresh 2-component ciphertexts")
+        cx = [c.centered() for c in x.components]
+        cy = [c.centered() for c in y.components]
+        big = 1 << 128  # headroom modulus for the exact integer convolution
+
+        def conv(a: list[int], b: list[int]) -> list[int]:
+            raw = naive_negacyclic_convolution(
+                [v % big for v in a], [v % big for v in b], big
+            )
+            return [v - big if v > big // 2 else v for v in raw]
+
+        d0 = conv(cx[0], cy[0])
+        d1 = [
+            u + v
+            for u, v in zip(conv(cx[0], cy[1]), conv(cx[1], cy[0]))
+        ]
+        d2 = conv(cx[1], cy[1])
+
+        def rescale(values: list[int]) -> RingElement:
+            return RingElement(
+                tuple(round(v * p.t / p.q) % p.q for v in values), p.q
+            )
+
+        return BfvCiphertext((rescale(d0), rescale(d1), rescale(d2)), p)
+
+    def relinearize(self, keys: BfvKeys, ct: BfvCiphertext) -> BfvCiphertext:
+        """Key-switch a 3-component ciphertext back to 2 components."""
+        p = self.params
+        if len(ct.components) != 3:
+            raise ValueError("relinearize expects a 3-component ciphertext")
+        c0, c1, c2 = ct.components
+        digits = _base_decompose(c2, p.relin_base)
+        new0, new1 = c0, c1
+        for digit, (b_i, a_i) in zip(digits, keys.relin):
+            new0 = new0 + b_i * digit
+            new1 = new1 + a_i * digit
+        return BfvCiphertext((new0, new1), p)
+
+
+def _base_decompose(element: RingElement, base: int) -> list[RingElement]:
+    """Digit-decompose every coefficient: sum_i base^i * digit_i == c."""
+    q = element.modulus
+    levels = []
+    remaining = list(element.coefficients)
+    power = 1
+    while power < q:
+        digits = [c % base for c in remaining]
+        remaining = [c // base for c in remaining]
+        levels.append(RingElement(tuple(d % q for d in digits), q))
+        power *= base
+    return levels

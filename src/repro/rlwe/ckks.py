@@ -1,0 +1,287 @@
+"""A CKKS-style approximate-arithmetic HE scheme with a modulus chain.
+
+The paper names CKKS alongside BGV as the RLWE schemes the RPU serves
+(section II-A): CKKS packs n/2 complex numbers into one ring element via
+the canonical embedding and computes on them approximately.  This module
+implements the genuine construction at demonstration scale:
+
+* a **modulus chain** ``Q_L = p_0 * p_1 * ... * p_L`` of NTT-friendly
+  primes -- rescaling divides by the level's prime (a divisor of the
+  modulus, which is what makes the wrap-around arithmetic consistent) and
+  steps one level down, exactly like production CKKS;
+* ``encode``/``decode`` via the canonical embedding (evaluation at the
+  primitive 2n-th roots, conjugate-symmetric packing, fixed-point scale);
+* ``encrypt``/``decrypt``/``add``/``multiply``/``relinearize``/``rescale``
+  with exact big-integer ring arithmetic (keys generated at the top level
+  reduce consistently to every lower level because each level's modulus
+  divides the top modulus).
+
+Scales are tracked per ciphertext as exact rationals-in-float form (the
+SEAL convention), since the chain primes only approximate 2^delta_bits.
+Every inner loop is negacyclic polynomial arithmetic -- the RPU workload.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ntt.naive import naive_negacyclic_convolution
+from repro.rlwe.ring import RingElement
+from repro.rlwe.sampling import centered_binomial_poly, ternary_poly, uniform_poly
+from repro.rns.basis import RnsBasis
+from repro.util.bits import is_power_of_two
+
+
+def _ring_mul(a: RingElement, b: RingElement) -> RingElement:
+    """Negacyclic multiply valid for composite moduli (exact integers)."""
+    q = a.modulus
+    product = naive_negacyclic_convolution(
+        list(a.coefficients), list(b.coefficients), q
+    )
+    return RingElement(tuple(product), q)
+
+
+@dataclass(frozen=True)
+class CkksParameters:
+    """Demonstration-scale CKKS parameters (not a production security level).
+
+    Attributes:
+        n: ring degree; the scheme packs n/2 complex slots.
+        primes: the modulus chain p_0 .. p_L (p_0 is the base level that
+            is never rescaled away; p_1..p_L are ~2^delta_bits each).
+        delta_bits: the working fixed-point scale (log2).
+        eta: centered-binomial noise parameter.
+        relin_base: digit base for relinearization keys.
+    """
+
+    n: int
+    primes: tuple[int, ...]
+    delta_bits: int = 35
+    eta: int = 3
+    relin_base: int = 1 << 16
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n) or self.n < 4:
+            raise ValueError("n must be a power of two >= 4")
+        if len(self.primes) < 2:
+            raise ValueError("the chain needs a base prime plus >= 1 level")
+
+    @property
+    def levels(self) -> int:
+        """Number of rescales available (multiplicative depth)."""
+        return len(self.primes) - 1
+
+    @property
+    def delta(self) -> int:
+        return 1 << self.delta_bits
+
+    @property
+    def slots(self) -> int:
+        return self.n // 2
+
+    def modulus_at(self, level: int) -> int:
+        if not 0 <= level <= self.levels:
+            raise ValueError(f"level must be in [0, {self.levels}]")
+        q = 1
+        for p in self.primes[: level + 1]:
+            q *= p
+        return q
+
+    @staticmethod
+    def demo(
+        n: int = 64, delta_bits: int = 35, levels: int = 2, base_bits: int = 45
+    ) -> "CkksParameters":
+        """Generate a chain: one ~base_bits prime + `levels` ~delta_bits."""
+        base = RnsBasis.generate(1, base_bits, n).moduli
+        scale_primes = RnsBasis.generate(levels, delta_bits + 1, n).moduli
+        return CkksParameters(
+            n=n, primes=base + scale_primes, delta_bits=delta_bits
+        )
+
+
+@dataclass(frozen=True)
+class CkksKeys:
+    secret: RingElement  # at the top modulus; reduces to every level
+    public: tuple[RingElement, RingElement]
+    relin: tuple[tuple[RingElement, RingElement], ...]
+
+
+@dataclass(frozen=True)
+class CkksCiphertext:
+    components: tuple[RingElement, ...]
+    scale: float
+    level: int
+    params: CkksParameters
+
+
+def _reduce(element: RingElement, q: int) -> RingElement:
+    """Reduce a top-level element to a divisor modulus (consistent wraps)."""
+    return RingElement(tuple(c % q for c in element.coefficients), q)
+
+
+class CkksContext:
+    """Key generation, encoding and homomorphic evaluation."""
+
+    def __init__(self, params: CkksParameters, seed: int = 0) -> None:
+        self.params = params
+        self._rng = random.Random(seed)
+        n = params.n
+        angles = np.pi * (2 * np.arange(n) + 1) / n
+        self._roots = np.exp(1j * angles)
+        self._vandermonde = np.vander(self._roots, n, increasing=True)
+
+    # -- canonical embedding --------------------------------------------
+    def encode(
+        self, values, level: int | None = None, scale: float | None = None
+    ) -> RingElement:
+        """Pack up to n/2 complex numbers into a scaled ring element."""
+        p = self.params
+        level = p.levels if level is None else level
+        scale = float(p.delta) if scale is None else scale
+        q = p.modulus_at(level)
+        z = np.asarray(list(values), dtype=np.complex128)
+        if z.size > p.slots:
+            raise ValueError(f"at most {p.slots} slots")
+        z = np.concatenate([z, np.zeros(p.slots - z.size)])
+        full = np.concatenate([z, np.conj(z[::-1])])
+        coeffs = np.linalg.solve(self._vandermonde, full)
+        scaled = np.rint(coeffs.real * scale).astype(object)
+        return RingElement(tuple(int(c) % q for c in scaled), q)
+
+    def decode(self, plain: RingElement, scale: float):
+        """Recover the n/2 complex slots (approximately)."""
+        p = self.params
+        centered = np.array(plain.centered(), dtype=np.float64)
+        evaluated = self._vandermonde @ centered
+        return evaluated[: p.slots] / scale
+
+    # -- keys ---------------------------------------------------------------
+    def _noise(self, q: int) -> RingElement:
+        return centered_binomial_poly(self.params.n, q, self.params.eta, self._rng)
+
+    def keygen(self) -> CkksKeys:
+        p = self.params
+        q_top = p.modulus_at(p.levels)
+        s = ternary_poly(p.n, q_top, self._rng)
+        a = uniform_poly(p.n, q_top, self._rng)
+        b = -(_ring_mul(a, s) + self._noise(q_top))
+        relin = []
+        s2 = _ring_mul(s, s)
+        power = 1
+        while power < q_top:
+            ai = uniform_poly(p.n, q_top, self._rng)
+            bi = -(_ring_mul(ai, s) + self._noise(q_top)) + s2 * power
+            relin.append((bi, ai))
+            power *= p.relin_base
+        return CkksKeys(secret=s, public=(b, a), relin=tuple(relin))
+
+    # -- encryption -----------------------------------------------------------
+    def encrypt(self, keys: CkksKeys, plain: RingElement) -> CkksCiphertext:
+        p = self.params
+        q_top = p.modulus_at(p.levels)
+        if plain.modulus != q_top:
+            raise ValueError("encrypt expects a top-level plaintext")
+        b, a = keys.public
+        u = ternary_poly(p.n, q_top, self._rng)
+        c0 = _ring_mul(b, u) + self._noise(q_top) + plain
+        c1 = _ring_mul(a, u) + self._noise(q_top)
+        return CkksCiphertext((c0, c1), float(p.delta), p.levels, p)
+
+    def decrypt(self, keys: CkksKeys, ct: CkksCiphertext) -> RingElement:
+        p = self.params
+        q = p.modulus_at(ct.level)
+        s = _reduce(keys.secret, q)
+        acc = RingElement.zero(p.n, q)
+        s_power = RingElement.from_list([1] + [0] * (p.n - 1), q)
+        for comp in ct.components:
+            acc = acc + _ring_mul(comp, s_power)
+            s_power = _ring_mul(s_power, s)
+        return acc
+
+    def decrypt_decode(self, keys: CkksKeys, ct: CkksCiphertext):
+        return self.decode(self.decrypt(keys, ct), ct.scale)
+
+    # -- homomorphic ops ----------------------------------------------------
+    def add(self, x: CkksCiphertext, y: CkksCiphertext) -> CkksCiphertext:
+        if x.level != y.level:
+            raise ValueError("operands must sit at the same level")
+        if not math.isclose(x.scale, y.scale, rel_tol=1e-9):
+            raise ValueError("operands must share a scale")
+        return CkksCiphertext(
+            tuple(a + b for a, b in zip(x.components, y.components)),
+            x.scale,
+            x.level,
+            x.params,
+        )
+
+    def multiply(self, x: CkksCiphertext, y: CkksCiphertext) -> CkksCiphertext:
+        """Tensor multiply: scales multiply; relinearize + rescale after."""
+        p = self.params
+        if x.level != y.level:
+            raise ValueError("operands must sit at the same level")
+        if len(x.components) != 2 or len(y.components) != 2:
+            raise ValueError("multiply expects 2-component ciphertexts")
+        q = p.modulus_at(x.level)
+        cx = [c.centered() for c in x.components]
+        cy = [c.centered() for c in y.components]
+        big = 1 << (2 * q.bit_length() + p.n.bit_length() + 4)
+
+        def conv(a, b):
+            raw = naive_negacyclic_convolution(
+                [v % big for v in a], [v % big for v in b], big
+            )
+            return RingElement(
+                tuple((v - big if v > big // 2 else v) % q for v in raw), q
+            )
+
+        d0 = conv(cx[0], cy[0])
+        d1 = conv(cx[0], cy[1]) + conv(cx[1], cy[0])
+        d2 = conv(cx[1], cy[1])
+        return CkksCiphertext((d0, d1, d2), x.scale * y.scale, x.level, p)
+
+    def relinearize(self, keys: CkksKeys, ct: CkksCiphertext) -> CkksCiphertext:
+        if len(ct.components) != 3:
+            raise ValueError("relinearize expects a 3-component ciphertext")
+        from repro.rlwe.bfv import _base_decompose
+
+        p = self.params
+        q = p.modulus_at(ct.level)
+        c0, c1, c2 = ct.components
+        new0, new1 = c0, c1
+        for digit, (b_i, a_i) in zip(
+            _base_decompose(c2, p.relin_base), keys.relin
+        ):
+            new0 = new0 + _ring_mul(_reduce(b_i, q), digit)
+            new1 = new1 + _ring_mul(_reduce(a_i, q), digit)
+        return CkksCiphertext((new0, new1), ct.scale, ct.level, p)
+
+    def rescale(self, ct: CkksCiphertext) -> CkksCiphertext:
+        """Divide by the level's prime and drop one level.
+
+        Because the prime divides the current modulus, the division is
+        consistent with the modular wrap-around (the fundamental reason
+        CKKS uses a modulus chain rather than dividing by 2^delta).
+        """
+        p = self.params
+        if ct.level == 0:
+            raise ValueError("no levels left to rescale")
+        prime = p.primes[ct.level]
+        q_next = p.modulus_at(ct.level - 1)
+        half = prime // 2
+
+        def shrink(element: RingElement) -> RingElement:
+            return RingElement(
+                tuple(((c + half) // prime) % q_next for c in element.centered()),
+                q_next,
+            )
+
+        return CkksCiphertext(
+            tuple(shrink(c) for c in ct.components),
+            ct.scale / prime,
+            ct.level - 1,
+            p,
+        )

@@ -1,0 +1,156 @@
+"""A Kyber-style module-LWE KEM (the paper's PQC motivation).
+
+Follows the CRYSTALS-Kyber construction at module rank k over
+R_q = Z_q[x]/(x^256 + 1) with the classic fully-NTT-friendly prime
+q = 7681 (the original Kyber/NewHope modulus, which admits a complete
+negacyclic NTT: q ≡ 1 mod 2n).  Compression parameters are chosen with
+comfortable correctness margins; this is a working demonstration of the
+ring workload, not a constant-time production KEM.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.rlwe.ring import RingElement
+from repro.rlwe.sampling import centered_binomial_poly, uniform_poly
+
+N = 256
+Q = 7681  # 7681 = 30 * 256 + 1 = 15 * 512 + 1: supports the negacyclic NTT
+ETA = 2
+DU = 11  # ciphertext compression bits for the u vector
+DV = 5  # ciphertext compression bits for v
+
+
+def _compress(x: int, d: int) -> int:
+    return round(x * (1 << d) / Q) % (1 << d)
+
+
+def _decompress(x: int, d: int) -> int:
+    return round(x * Q / (1 << d)) % Q
+
+
+def _compress_poly(p: RingElement, d: int) -> list[int]:
+    return [_compress(c, d) for c in p.coefficients]
+
+
+def _decompress_poly(values: list[int], d: int) -> RingElement:
+    return RingElement(tuple(_decompress(v, d) for v in values), Q)
+
+
+@dataclass(frozen=True)
+class KyberPublicKey:
+    seed_a: int
+    t: tuple[RingElement, ...]
+
+
+@dataclass(frozen=True)
+class KyberSecretKey:
+    s: tuple[RingElement, ...]
+
+
+@dataclass(frozen=True)
+class KyberCiphertext:
+    u: tuple[tuple[int, ...], ...]  # compressed
+    v: tuple[int, ...]  # compressed
+
+
+class KyberContext:
+    """Keygen / encapsulate / decapsulate at module rank ``k``."""
+
+    def __init__(self, k: int = 2, seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError("module rank must be >= 1")
+        self.k = k
+        self._rng = random.Random(seed)
+
+    def _matrix(self, seed_a: int) -> list[list[RingElement]]:
+        """Expand the public matrix A from a seed (deterministic)."""
+        rng = random.Random(seed_a)
+        return [
+            [uniform_poly(N, Q, rng) for _ in range(self.k)]
+            for _ in range(self.k)
+        ]
+
+    def keygen(self) -> tuple[KyberPublicKey, KyberSecretKey]:
+        seed_a = self._rng.getrandbits(64)
+        a = self._matrix(seed_a)
+        s = tuple(centered_binomial_poly(N, Q, ETA, self._rng) for _ in range(self.k))
+        e = tuple(centered_binomial_poly(N, Q, ETA, self._rng) for _ in range(self.k))
+        t = tuple(
+            sum(
+                (a[i][j] * s[j] for j in range(self.k)),
+                RingElement.zero(N, Q),
+            )
+            + e[i]
+            for i in range(self.k)
+        )
+        return KyberPublicKey(seed_a, t), KyberSecretKey(s)
+
+    def encapsulate(
+        self, pk: KyberPublicKey
+    ) -> tuple[KyberCiphertext, bytes]:
+        """Returns (ciphertext, 32-byte shared secret)."""
+        message_bits = [self._rng.getrandbits(1) for _ in range(N)]
+        ct = self._encrypt(pk, message_bits)
+        return ct, _derive_secret(message_bits)
+
+    def decapsulate(self, sk: KyberSecretKey, ct: KyberCiphertext) -> bytes:
+        bits = self._decrypt(sk, ct)
+        return _derive_secret(bits)
+
+    # -- IND-CPA core --------------------------------------------------------
+    def _encrypt(
+        self, pk: KyberPublicKey, message_bits: list[int]
+    ) -> KyberCiphertext:
+        if len(message_bits) != N:
+            raise ValueError(f"message must be {N} bits")
+        a = self._matrix(pk.seed_a)
+        r = tuple(centered_binomial_poly(N, Q, ETA, self._rng) for _ in range(self.k))
+        e1 = tuple(
+            centered_binomial_poly(N, Q, ETA, self._rng) for _ in range(self.k)
+        )
+        e2 = centered_binomial_poly(N, Q, ETA, self._rng)
+        # u = A^T r + e1
+        u = tuple(
+            sum(
+                (a[i][j] * r[i] for i in range(self.k)),
+                RingElement.zero(N, Q),
+            )
+            + e1[j]
+            for j in range(self.k)
+        )
+        # v = t . r + e2 + round(q/2) * m
+        v = sum(
+            (pk.t[i] * r[i] for i in range(self.k)), RingElement.zero(N, Q)
+        ) + e2
+        half_q = (Q + 1) // 2
+        scaled_m = RingElement(
+            tuple(half_q * b % Q for b in message_bits), Q
+        )
+        v = v + scaled_m
+        return KyberCiphertext(
+            u=tuple(tuple(_compress_poly(ui, DU)) for ui in u),
+            v=tuple(_compress_poly(v, DV)),
+        )
+
+    def _decrypt(self, sk: KyberSecretKey, ct: KyberCiphertext) -> list[int]:
+        u = [_decompress_poly(list(ui), DU) for ui in ct.u]
+        v = _decompress_poly(list(ct.v), DV)
+        inner = sum(
+            (sk.s[i] * u[i] for i in range(self.k)), RingElement.zero(N, Q)
+        )
+        noisy = v - inner
+        bits = []
+        for c in noisy.centered():
+            bits.append(1 if abs(c) > Q // 4 else 0)
+        return bits
+
+
+def _derive_secret(bits: list[int]) -> bytes:
+    packed = bytes(
+        sum(bits[8 * i + j] << j for j in range(8)) for i in range(len(bits) // 8)
+    )
+    return hashlib.sha3_256(packed).digest()

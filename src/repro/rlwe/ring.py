@@ -1,0 +1,84 @@
+"""Ring elements of R_q = Z_q[x]/(x^n + 1).
+
+Multiplication runs through the negacyclic NTT (O(n log n)); tests
+cross-check against the schoolbook convolution.  Elements are immutable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.ntt.polymul import negacyclic_polymul
+from repro.ntt.twiddles import TwiddleTable
+from repro.util.bits import is_power_of_two
+
+
+@dataclass(frozen=True)
+class RingElement:
+    """An element of Z_q[x]/(x^n + 1) in coefficient form."""
+
+    coefficients: tuple[int, ...]
+    modulus: int
+
+    def __post_init__(self) -> None:
+        n = len(self.coefficients)
+        if not is_power_of_two(n):
+            raise ValueError("ring degree must be a power of two")
+        if any(not 0 <= c < self.modulus for c in self.coefficients):
+            raise ValueError("coefficients must be canonical residues")
+
+    @staticmethod
+    def from_list(values: Sequence[int], q: int) -> "RingElement":
+        return RingElement(tuple(v % q for v in values), q)
+
+    @staticmethod
+    def zero(n: int, q: int) -> "RingElement":
+        return RingElement((0,) * n, q)
+
+    @property
+    def n(self) -> int:
+        return len(self.coefficients)
+
+    def _check(self, other: "RingElement") -> None:
+        if self.modulus != other.modulus or self.n != other.n:
+            raise ValueError("ring mismatch")
+
+    def __add__(self, other: "RingElement") -> "RingElement":
+        self._check(other)
+        q = self.modulus
+        return RingElement(
+            tuple((a + b) % q for a, b in zip(self.coefficients, other.coefficients)),
+            q,
+        )
+
+    def __sub__(self, other: "RingElement") -> "RingElement":
+        self._check(other)
+        q = self.modulus
+        return RingElement(
+            tuple((a - b) % q for a, b in zip(self.coefficients, other.coefficients)),
+            q,
+        )
+
+    def __neg__(self) -> "RingElement":
+        q = self.modulus
+        return RingElement(tuple((-c) % q for c in self.coefficients), q)
+
+    def __mul__(self, other: "RingElement | int") -> "RingElement":
+        q = self.modulus
+        if isinstance(other, int):
+            s = other % q
+            return RingElement(tuple(c * s % q for c in self.coefficients), q)
+        self._check(other)
+        table = TwiddleTable.for_ring(self.n, q)
+        product = negacyclic_polymul(
+            list(self.coefficients), list(other.coefficients), table
+        )
+        return RingElement(tuple(product), q)
+
+    __rmul__ = __mul__
+
+    def centered(self) -> list[int]:
+        """Coefficients lifted to the centered range (-q/2, q/2]."""
+        q = self.modulus
+        return [c - q if c > q // 2 else c for c in self.coefficients]

@@ -1,0 +1,35 @@
+"""Noise and secret samplers used by RLWE schemes.
+
+All samplers take an explicit ``random.Random`` so keys, ciphertexts and
+tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.rlwe.ring import RingElement
+
+
+def uniform_poly(n: int, q: int, rng: random.Random) -> RingElement:
+    """Uniformly random ring element (the 'a' of an RLWE sample)."""
+    return RingElement(tuple(rng.randrange(q) for _ in range(n)), q)
+
+
+def ternary_poly(n: int, q: int, rng: random.Random) -> RingElement:
+    """Coefficients uniform in {-1, 0, 1}: the usual secret distribution."""
+    coeffs = tuple((rng.randrange(3) - 1) % q for _ in range(n))
+    return RingElement(coeffs, q)
+
+
+def centered_binomial_poly(
+    n: int, q: int, eta: int, rng: random.Random
+) -> RingElement:
+    """CBD_eta noise (Kyber's distribution): sum of eta coin differences."""
+    coeffs = []
+    for _ in range(n):
+        value = sum(rng.getrandbits(1) for _ in range(eta)) - sum(
+            rng.getrandbits(1) for _ in range(eta)
+        )
+        coeffs.append(value % q)
+    return RingElement(tuple(coeffs), q)

@@ -1,0 +1,13 @@
+"""Residue Number System (RNS) substrate.
+
+Implements the Fig. 1 flow of the paper: a wide ciphertext modulus Q is
+split into pairwise-coprime NTT-friendly limbs q_i ("towers"); polynomial
+arithmetic then proceeds limb-wise and independently, which is what lets a
+128-bit datapath serve moduli of thousands of bits (e.g. a 1600-bit Q as 13
+x 128-bit towers, per section II-B).
+"""
+
+from repro.rns.basis import RnsBasis
+from repro.rns.tower import RnsPolynomial
+
+__all__ = ["RnsBasis", "RnsPolynomial"]

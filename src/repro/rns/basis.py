@@ -1,0 +1,112 @@
+"""RNS bases: pairwise-coprime moduli with CRT composition.
+
+An :class:`RnsBasis` holds L NTT-friendly primes q_0..q_{L-1}; integers in
+[0, Q) with Q = prod(q_i) map to residue vectors and back via the Chinese
+Remainder Theorem.  Each limb is guaranteed to support a negacyclic NTT of
+the requested ring degree (q_i ≡ 1 mod 2n).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.modmath.arith import mod_inv
+from repro.modmath.primes import find_ntt_prime, is_prime
+from repro.util.bits import is_power_of_two
+
+
+@dataclass
+class RnsBasis:
+    """A list of pairwise-coprime NTT-friendly primes and CRT constants.
+
+    Attributes:
+        moduli: the limb primes q_i.
+        ring_degree: the polynomial degree n every limb must support.
+    """
+
+    moduli: tuple[int, ...]
+    ring_degree: int
+    modulus_product: int = field(init=False)
+    _crt_weights: tuple[int, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.moduli:
+            raise ValueError("an RNS basis needs at least one limb")
+        if not is_power_of_two(self.ring_degree):
+            raise ValueError("ring degree must be a power of two")
+        for i, q in enumerate(self.moduli):
+            if not is_prime(q):
+                raise ValueError(f"limb {i} ({q}) is not prime")
+            if (q - 1) % (2 * self.ring_degree) != 0:
+                raise ValueError(
+                    f"limb {i} ({q}) is not NTT-friendly for n={self.ring_degree}"
+                )
+        for i, qi in enumerate(self.moduli):
+            for qj in self.moduli[i + 1 :]:
+                if math.gcd(qi, qj) != 1:
+                    raise ValueError("limbs must be pairwise coprime")
+        big_q = 1
+        for q in self.moduli:
+            big_q *= q
+        self.modulus_product = big_q
+        weights = []
+        for q in self.moduli:
+            partial = big_q // q
+            weights.append(partial * mod_inv(partial % q, q))
+        self._crt_weights = tuple(weights)
+
+    @staticmethod
+    def generate(
+        num_limbs: int, limb_bits: int, ring_degree: int
+    ) -> "RnsBasis":
+        """Generate a basis of ``num_limbs`` distinct ``limb_bits``-bit primes.
+
+        Walks the NTT-prime search downward so every limb is distinct.
+        """
+        moduli: list[int] = []
+        step = 2 * ring_degree
+        hi = (1 << limb_bits) - 1
+        k = (hi - 1) // step
+        while len(moduli) < num_limbs and k > 0:
+            q = k * step + 1
+            if q >= 1 << (limb_bits - 1) and is_prime(q):
+                moduli.append(q)
+            k -= 1
+        if len(moduli) < num_limbs:
+            raise ValueError(
+                f"could not find {num_limbs} {limb_bits}-bit primes for "
+                f"n={ring_degree}"
+            )
+        return RnsBasis(tuple(moduli), ring_degree)
+
+    @staticmethod
+    def single(limb_bits: int, ring_degree: int) -> "RnsBasis":
+        """The degenerate one-limb basis (non-RNS computation, section II-B)."""
+        return RnsBasis((find_ntt_prime(limb_bits, ring_degree),), ring_degree)
+
+    @property
+    def num_limbs(self) -> int:
+        return len(self.moduli)
+
+    def decompose(self, value: int) -> tuple[int, ...]:
+        """Map an integer in [0, Q) to its residue vector."""
+        if not 0 <= value < self.modulus_product:
+            raise ValueError("value outside [0, Q)")
+        return tuple(value % q for q in self.moduli)
+
+    def compose(self, residues: tuple[int, ...] | list[int]) -> int:
+        """CRT-reconstruct the integer in [0, Q) from its residues."""
+        if len(residues) != self.num_limbs:
+            raise ValueError("residue count does not match basis size")
+        acc = 0
+        for r, w in zip(residues, self._crt_weights):
+            acc += r * w
+        return acc % self.modulus_product
+
+    def centered_compose(self, residues: tuple[int, ...] | list[int]) -> int:
+        """CRT-reconstruct into the centered range (-Q/2, Q/2]."""
+        value = self.compose(residues)
+        if value > self.modulus_product // 2:
+            value -= self.modulus_product
+        return value

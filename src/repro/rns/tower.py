@@ -1,0 +1,93 @@
+"""RNS polynomials: one residue polynomial ("tower") per limb.
+
+During HE multiplication each tower operates independently (paper Fig. 1);
+:class:`RnsPolynomial` provides exactly that limb-parallel arithmetic,
+including NTT-domain conversion per limb, and CRT reconstruction back to
+wide-integer coefficients.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.ntt.polymul import negacyclic_polymul
+from repro.ntt.twiddles import TwiddleTable
+from repro.rns.basis import RnsBasis
+
+
+@dataclass
+class RnsPolynomial:
+    """A ring element represented limb-wise over an :class:`RnsBasis`.
+
+    Attributes:
+        basis: the RNS basis.
+        towers: one coefficient list per limb, each reduced mod its q_i.
+    """
+
+    basis: RnsBasis
+    towers: list[list[int]]
+
+    def __post_init__(self) -> None:
+        if len(self.towers) != self.basis.num_limbs:
+            raise ValueError("tower count must equal the number of limbs")
+        n = self.basis.ring_degree
+        for tower, q in zip(self.towers, self.basis.moduli):
+            if len(tower) != n:
+                raise ValueError("every tower must have ring_degree coefficients")
+            if any(not 0 <= c < q for c in tower):
+                raise ValueError("tower coefficients must be canonical residues")
+
+    @staticmethod
+    def from_coefficients(
+        coefficients: Sequence[int], basis: RnsBasis
+    ) -> "RnsPolynomial":
+        """Decompose wide-integer coefficients into residue towers."""
+        if len(coefficients) != basis.ring_degree:
+            raise ValueError("coefficient count must equal the ring degree")
+        towers = [[c % q for c in coefficients] for q in basis.moduli]
+        return RnsPolynomial(basis, towers)
+
+    def to_coefficients(self) -> list[int]:
+        """CRT-reconstruct wide coefficients in [0, Q)."""
+        return [
+            self.basis.compose([t[i] for t in self.towers])
+            for i in range(self.basis.ring_degree)
+        ]
+
+    def _tables(self) -> list[TwiddleTable]:
+        n = self.basis.ring_degree
+        return [TwiddleTable.for_ring(n, q) for q in self.basis.moduli]
+
+    def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Limb-wise addition."""
+        self._check_compatible(other)
+        towers = [
+            [(a + b) % q for a, b in zip(ta, tb)]
+            for ta, tb, q in zip(self.towers, other.towers, self.basis.moduli)
+        ]
+        return RnsPolynomial(self.basis, towers)
+
+    def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Limb-wise subtraction."""
+        self._check_compatible(other)
+        towers = [
+            [(a - b) % q for a, b in zip(ta, tb)]
+            for ta, tb, q in zip(self.towers, other.towers, self.basis.moduli)
+        ]
+        return RnsPolynomial(self.basis, towers)
+
+    def mul(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Limb-wise negacyclic multiplication (each tower via its own NTT)."""
+        self._check_compatible(other)
+        towers = [
+            negacyclic_polymul(ta, tb, table)
+            for ta, tb, table in zip(self.towers, other.towers, self._tables())
+        ]
+        return RnsPolynomial(self.basis, towers)
+
+    def _check_compatible(self, other: "RnsPolynomial") -> None:
+        if self.basis.moduli != other.basis.moduli:
+            raise ValueError("operands use different RNS bases")
+        if self.basis.ring_degree != other.basis.ring_degree:
+            raise ValueError("operands use different ring degrees")

@@ -1,0 +1,14 @@
+"""Beat-accurate reference machine (the RTL/Palladium stand-in).
+
+The paper validates its C++ simulator against a full RTL implementation
+emulated on a Palladium system, reporting 97% performance accuracy.  We
+cannot tape out, so this package provides a second, structurally different
+timing implementation: an explicit cycle-by-cycle state machine with real
+queues, unit occupancy counters and writeback events.
+:mod:`repro.eval.validation` runs both models over a kernel suite and
+reports their agreement.
+"""
+
+from repro.rtl.machine import BeatAccurateMachine
+
+__all__ = ["BeatAccurateMachine"]

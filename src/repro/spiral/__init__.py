@@ -1,0 +1,32 @@
+"""SPIRAL-style program generation backend for the RPU.
+
+Reproduces the paper's section V: NTT kernels are derived from the
+Pease / Korn-Lambiotte constant-geometry breakdown (see
+:mod:`repro.ntt.pease`), blocked into register-resident "rectangles",
+optimized with store-to-load forwarding, a greedy list scheduler and a
+round-robin, VRF-placement-aware register allocator, then emitted as B512
+:class:`~repro.isa.program.Program` objects.
+
+Two optimization levels reproduce Fig. 6:
+
+* ``optimize=True`` (default) -- the full pipeline above;
+* ``optimize=False`` -- the "unoptimized program" baseline: identical
+  dataflow, but registers are drawn from a tiny immediately-reused pool and
+  no instruction scheduling is performed, so the busyboard serializes
+  nearly everything.
+"""
+
+from repro.spiral.batched import generate_batched_ntt_program, tower_regions
+from repro.spiral.kernels import (
+    expected_instruction_counts,
+    generate_ntt_program,
+)
+from repro.spiral.pointwise import generate_pointwise_program
+
+__all__ = [
+    "generate_ntt_program",
+    "generate_batched_ntt_program",
+    "generate_pointwise_program",
+    "tower_regions",
+    "expected_instruction_counts",
+]

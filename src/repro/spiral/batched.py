@@ -1,0 +1,154 @@
+"""Batched multi-tower NTT kernels.
+
+The paper's scalar unit includes a Modulus Register File precisely so the
+RPU can "process different towers simultaneously" (section IV-B5): RNS
+ciphertexts consist of several residue polynomials, each under its own
+prime, and their NTTs are completely independent.  This generator places
+L such NTTs in one instruction stream -- each tower in a private VDM
+region, twiddle table, MRF slot and SRF slot -- interleaved round-robin so
+that one tower's dependence stalls are filled with another tower's work.
+
+The win is measurable: on the (128, 128) RPU a 2-tower batched kernel
+finishes faster than two back-to-back single-tower kernels because the
+decoupled pipelines stay fed across tower boundaries.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+
+from repro.isa.program import Program, RegionSpec
+from repro.ntt.twiddles import TwiddleTable
+from repro.rns.basis import RnsBasis
+from repro.spiral.emit import emit_program
+from repro.spiral.forwarding import forward_stores_to_loads
+from repro.spiral.ir import IrKernel
+from repro.spiral.kernels import generate_ntt_program  # noqa: F401 (API kin)
+from repro.spiral.ntt_codegen import (
+    build_forward_kernel,
+    build_inverse_kernel,
+)
+from repro.spiral.regalloc import allocate_registers
+from repro.spiral.schedule import schedule_ops
+
+REGIONS_PER_TOWER = 4  # buf0, buf1, twiddles, (shared headroom)
+
+
+def _relocate_virtuals(kernel: IrKernel, offset: int) -> None:
+    """Shift all virtual ids so merged kernels stay SSA."""
+    if offset == 0:
+        return
+    kernel.ops = [
+        op.clone(
+            defs=tuple(d + offset for d in op.defs),
+            uses=tuple(u + offset for u in op.uses),
+        )
+        for op in kernel.ops
+    ]
+    scalars = kernel.metadata.get("scalar_virtuals", set())
+    kernel.metadata["scalar_virtuals"] = {s + offset for s in scalars}
+    kernel.next_virtual += offset
+
+
+@functools.lru_cache(maxsize=None)
+def generate_batched_ntt_program(
+    n: int,
+    num_towers: int = 2,
+    direction: str = "forward",
+    vlen: int = 512,
+    q_bits: int = 128,
+    optimize: bool = True,
+    rect_depth: int = 3,
+    schedule_window: int = 96,
+) -> Program:
+    """Generate one kernel computing ``num_towers`` independent NTTs.
+
+    Tower ``k`` transforms the ring under its own prime q_k (a generated
+    RNS basis), reading input region k and writing output region k; the
+    regions are carried in ``program.metadata['tower_regions']``.
+
+    ``rect_depth`` defaults lower than the single-tower generator because
+    the register file is shared across towers.
+    """
+    if num_towers < 1 or num_towers > 8:
+        raise ValueError("supported tower counts: 1..8")
+    basis = RnsBasis.generate(num_towers, q_bits, n)
+    builder = (
+        build_forward_kernel if direction == "forward" else build_inverse_kernel
+    )
+    towers: list[IrKernel] = []
+    offset = 0
+    for k, q in enumerate(basis.moduli):
+        table = TwiddleTable.for_ring(n, q)
+        kern = builder(
+            table,
+            vlen=vlen,
+            rect_depth=rect_depth,
+            vdm_base=k * REGIONS_PER_TOWER * n,
+            sdm_base=2 * k,
+            mreg=k + 1,
+        )
+        _relocate_virtuals(kern, offset)
+        offset = kern.next_virtual
+        towers.append(kern)
+
+    merged = IrKernel(
+        n=n,
+        vlen=vlen,
+        direction=direction,
+        modulus=basis.moduli[0],
+        next_virtual=offset,
+        metadata={
+            "n": n,
+            "vlen": vlen,
+            "direction": direction,
+            "num_towers": num_towers,
+            "rect_depth": rect_depth,
+            "moduli": {k + 1: q for k, q in enumerate(basis.moduli)},
+            "scalar_virtuals": set().union(
+                *(t.metadata.get("scalar_virtuals", set()) for t in towers)
+            ),
+        },
+    )
+    # Round-robin interleave: tower 0's op, tower 1's op, ... so independent
+    # work from other towers hides each tower's dependence latency even
+    # before the list scheduler runs.
+    for group in itertools.zip_longest(*(t.ops for t in towers)):
+        merged.ops.extend(op for op in group if op is not None)
+    for t in towers:
+        merged.vdm_segments.extend(t.vdm_segments)
+        merged.sdm_values.extend(t.sdm_values)
+    merged.input_base = towers[0].input_base
+    merged.output_base = towers[0].output_base
+    merged.input_layout = towers[0].input_layout
+    merged.output_layout = towers[0].output_layout
+    merged.validate_ssa()
+
+    spill_base = num_towers * REGIONS_PER_TOWER * n
+    if optimize:
+        forward_stores_to_loads(merged)
+        schedule_ops(merged, window=schedule_window)
+        allocation = allocate_registers(
+            merged, reuse_policy="fifo", group_aware=True, spill_base=spill_base
+        )
+    else:
+        allocation = allocate_registers(
+            merged, reuse_policy="lifo", group_aware=False, spill_base=spill_base
+        )
+    name = f"ntt_{direction}_{n}_x{num_towers}towers"
+    program = emit_program(merged, allocation, name)
+    program.metadata["optimized"] = optimize
+    program.metadata["tower_regions"] = [
+        (
+            RegionSpec(f"input_{k}", t.input_base, n, t.input_layout),
+            RegionSpec(f"output_{k}", t.output_base, n, t.output_layout),
+        )
+        for k, t in enumerate(towers)
+    ]
+    return program
+
+
+def tower_regions(program: Program) -> list[tuple[RegionSpec, RegionSpec]]:
+    """Per-tower (input, output) regions of a batched program."""
+    return program.metadata["tower_regions"]

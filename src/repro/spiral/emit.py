@@ -1,0 +1,130 @@
+"""Lowering: allocated IR -> executable B512 :class:`Program`.
+
+Address bases are split across the ARF exactly as the paper motivates the
+ARF ("moving the location of stored data in the VDM without changing
+instructions"): one address register per n-element region -- ping-pong
+data buffers, twiddle table and spill area per tower -- with a0 reserved
+for scalar memory.  Moduli land in the MRF slot each op names, so batched
+multi-tower kernels switch modulus per instruction.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    Instruction,
+    bflyct,
+    bflygs,
+    pkhi,
+    pklo,
+    sload,
+    unpkhi,
+    unpklo,
+    vbcast,
+    vload,
+    vsadd,
+    vsmul,
+    vssub,
+    vstore,
+    vvadd,
+    vvmul,
+    vvsub,
+)
+from repro.isa.program import DataSegment, Program, RegionSpec
+from repro.spiral.ir import IrKernel, IrKind, IrOp
+from repro.spiral.regalloc import AllocationResult
+
+# ARF register assignments (ARF[0] doubles as the SDM base).
+AREG_SDM = 0
+_MAX_REGIONS = 63
+
+_VV_MAKERS = {"add": vvadd, "sub": vvsub, "mul": vvmul}
+_VS_MAKERS = {"add": vsadd, "sub": vssub, "mul": vsmul}
+_SHUF_MAKERS = {"unpklo": unpklo, "unpkhi": unpkhi, "pklo": pklo, "pkhi": pkhi}
+
+
+def _region_of(base: int, n: int) -> int:
+    return base // n
+
+
+def _lower_op(op: IrOp, n: int) -> Instruction:
+    if op.kind in (IrKind.VLOAD, IrKind.VSTORE):
+        region, offset = divmod(op.base, n)
+        if region >= _MAX_REGIONS:
+            raise ValueError("kernel uses more VDM regions than the ARF holds")
+        areg = 1 + region
+        if op.kind is IrKind.VLOAD:
+            return vload(op.defs[0], areg, offset, op.mode, op.value)
+        return vstore(op.uses[0], areg, offset, op.mode, op.value)
+    if op.kind is IrKind.VBCAST:
+        return vbcast(op.defs[0], AREG_SDM, op.sdm_addr)
+    if op.kind is IrKind.SLOAD:
+        return sload(op.sreg_def, AREG_SDM, op.sdm_addr)
+    if op.kind is IrKind.BFLY:
+        maker = bflyct if op.subop == "ct" else bflygs
+        return maker(
+            op.defs[0], op.defs[1], op.uses[0], op.uses[1], op.uses[2], op.mreg
+        )
+    if op.kind is IrKind.VVOP:
+        return _VV_MAKERS[op.subop](op.defs[0], op.uses[0], op.uses[1], op.mreg)
+    if op.kind is IrKind.VSOP:
+        return _VS_MAKERS[op.subop](op.defs[0], op.uses[0], op.srf, op.mreg)
+    if op.kind is IrKind.SHUF:
+        return _SHUF_MAKERS[op.subop](op.defs[0], op.uses[0], op.uses[1])
+    raise ValueError(f"cannot lower {op.kind}")  # pragma: no cover
+
+
+def emit_program(
+    kernel: IrKernel, allocation: AllocationResult, name: str
+) -> Program:
+    """Produce the final executable container."""
+    n = kernel.n
+    instructions = [_lower_op(op, n) for op in allocation.ops]
+
+    regions_used = {0}
+    spill_top = 0
+    for op in allocation.ops:
+        if op.kind in (IrKind.VLOAD, IrKind.VSTORE):
+            regions_used.add(_region_of(op.base, n))
+            if op.subop in ("spill", "reload"):
+                spill_top = max(spill_top, op.base + kernel.vlen)
+    for _, seg_base, seg_values in kernel.vdm_segments:
+        regions_used.add(_region_of(seg_base, n))
+    arf_init = {AREG_SDM: 0}
+    for region in sorted(regions_used):
+        arf_init[1 + region] = region * n
+
+    moduli = kernel.metadata.get("moduli", {1: kernel.modulus})
+    segment_top = max(
+        (base + len(values) for _, base, values in kernel.vdm_segments),
+        default=0,
+    )
+    extra = max(0, spill_top - segment_top)
+
+    program = Program(
+        name=name,
+        instructions=instructions,
+        vlen=kernel.vlen,
+        vdm_segments=[
+            DataSegment(seg_name, base, values)
+            for seg_name, base, values in kernel.vdm_segments
+        ],
+        sdm_segments=[DataSegment("constants", 0, tuple(kernel.sdm_values))],
+        arf_init=arf_init,
+        mrf_init=dict(moduli),
+        input_region=RegionSpec(
+            "input", kernel.input_base, n, kernel.input_layout
+        ),
+        output_region=RegionSpec(
+            "output", kernel.output_base, n, kernel.output_layout
+        ),
+        extra_vdm_words=extra,
+        metadata=dict(
+            kernel.metadata,
+            spill_slots=allocation.spill_slots,
+            spill_stores=allocation.spill_stores,
+            spill_loads=allocation.spill_loads,
+            peak_live_registers=allocation.peak_live,
+            modulus=kernel.modulus,
+        ),
+    )
+    return program.finalize()

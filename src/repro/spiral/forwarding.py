@@ -1,0 +1,76 @@
+"""Store-to-load forwarding on the virtual-register IR.
+
+One of the three kernel optimizations the paper lists for SPIRAL-generated
+code (section V).  When a pass stores a vector and the next pass reloads the
+same address shortly after, the reload is deleted and its consumers are
+rewritten to use the still-live register.  A distance limit keeps the
+transformation from blowing up register pressure (a forwarded value must
+stay live from the store to the last rewritten use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spiral.ir import IrKernel, IrKind
+
+
+@dataclass
+class ForwardingResult:
+    forwarded_loads: int
+    kernel: IrKernel
+
+
+def forward_stores_to_loads(kernel: IrKernel, max_distance: int = 48) -> int:
+    """Rewrite the kernel in place; returns the number of loads removed.
+
+    A load is forwarded when a prior store with the *identical* addressing
+    signature (base, mode, value) is still valid -- i.e. no later store
+    touched any of the same vector-sized address buckets -- and is at most
+    ``max_distance`` ops away.
+    """
+    vlen = kernel.vlen
+    # (base, mode, value) -> (op index, source virtual)
+    live_stores: dict[tuple, tuple[int, int]] = {}
+    bucket_signatures: dict[int, set[tuple]] = {}
+    replacement: dict[int, int] = {}
+    removed: set[int] = set()
+
+    def buckets_of(op) -> range:
+        lo, hi = op.address_span(vlen)
+        return range(lo // vlen, hi // vlen + 1)
+
+    for index, op in enumerate(kernel.ops):
+        if op.kind is IrKind.VSTORE:
+            signature = (op.base, op.mode, op.value)
+            src = op.uses[0]
+            src = replacement.get(src, src)
+            for bucket in buckets_of(op):
+                for stale in bucket_signatures.get(bucket, ()):  # invalidate
+                    live_stores.pop(stale, None)
+                bucket_signatures[bucket] = set()
+            live_stores[signature] = (index, src)
+            for bucket in buckets_of(op):
+                bucket_signatures.setdefault(bucket, set()).add(signature)
+        elif op.kind is IrKind.VLOAD:
+            signature = (op.base, op.mode, op.value)
+            hit = live_stores.get(signature)
+            if hit is not None and index - hit[0] <= max_distance:
+                replacement[op.defs[0]] = hit[1]
+                removed.add(index)
+
+    if not removed:
+        return 0
+
+    new_ops = []
+    for index, op in enumerate(kernel.ops):
+        if index in removed:
+            continue
+        if any(u in replacement for u in op.uses):
+            op = op.clone(
+                uses=tuple(replacement.get(u, u) for u in op.uses)
+            )
+        new_ops.append(op)
+    kernel.ops = new_ops
+    kernel.metadata["forwarded_loads"] = len(removed)
+    return len(removed)

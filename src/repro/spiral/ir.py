@@ -1,0 +1,126 @@
+"""Virtual-register IR used by the SPIRAL-style code generator.
+
+The generator first builds kernels over an unbounded supply of *virtual*
+vector values; scheduling and store-to-load forwarding operate on this IR,
+and only then does register allocation map virtuals onto the 64 physical
+VRF registers (inserting spills if ever needed).  The IR is deliberately
+close to B512 -- every op lowers to exactly one instruction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.isa.addressing import AddressMode
+
+
+class IrKind(enum.Enum):
+    VLOAD = "vload"
+    VSTORE = "vstore"
+    VBCAST = "vbcast"
+    SLOAD = "sload"
+    BFLY = "bfly"
+    VVOP = "vvop"  # vvadd/vvsub/vvmul, selected by `subop`
+    VSOP = "vsop"  # vsadd/vssub/vsmul
+    SHUF = "shuf"  # unpklo/unpkhi/pklo/pkhi, selected by `subop`
+
+
+# Pipeline class of each kind (mirrors Opcode.instruction_class).
+LSI_KINDS = {IrKind.VLOAD, IrKind.VSTORE, IrKind.VBCAST, IrKind.SLOAD}
+CI_KINDS = {IrKind.BFLY, IrKind.VVOP, IrKind.VSOP}
+SI_KINDS = {IrKind.SHUF}
+
+
+@dataclass
+class IrOp:
+    """One IR operation.
+
+    Attributes:
+        kind: the operation family.
+        subop: disambiguates within a family ("ct"/"gs" for BFLY,
+            "add"/"sub"/"mul" for VVOP/VSOP, "unpklo"... for SHUF).
+        defs: virtual values defined (BFLY defines two: sum, diff).
+        uses: virtual values read (BFLY: hi, lo, twiddle).
+        base: absolute VDM element address for VLOAD/VSTORE.
+        mode/value: addressing mode fields for VLOAD/VSTORE.
+        sdm_addr: SDM word address for VBCAST/SLOAD.
+        srf: SRF register operand for VSOP (allocated statically).
+        sreg_def: SRF register defined by SLOAD.
+        mreg: MRF register naming the modulus for compute ops; batched
+            multi-tower kernels give each tower its own (the ISA's
+            "modulus changing at the instruction granularity").
+    """
+
+    kind: IrKind
+    subop: str = ""
+    defs: tuple[int, ...] = ()
+    uses: tuple[int, ...] = ()
+    base: int = 0
+    mode: AddressMode = AddressMode.LINEAR
+    value: int = 0
+    sdm_addr: int = 0
+    srf: int = 0
+    sreg_def: int = 0
+    mreg: int = 1
+
+    def addresses(self, vlen: int) -> list[int]:
+        """Element addresses touched (VLOAD/VSTORE only)."""
+        from repro.isa.addressing import element_addresses
+
+        return element_addresses(self.mode, self.value, self.base, vlen)
+
+    def address_span(self, vlen: int) -> tuple[int, int]:
+        """Conservative [lo, hi] address interval touched."""
+        addrs = self.addresses(vlen)
+        return min(addrs), max(addrs)
+
+    def clone(self, **changes) -> "IrOp":
+        return replace(self, **changes)
+
+
+@dataclass
+class IrKernel:
+    """An IR kernel plus the constants its lowering needs.
+
+    Attributes:
+        ops: the op list in emission order (pre- or post-scheduling).
+        n / vlen / direction: transform parameters.
+        modulus: the prime q.
+        vdm_segments: (name, base, tuple-of-values) constant regions.
+        sdm_values: SDM image as a dense list from address 0.
+        next_virtual: virtual id watermark (for passes that add values).
+        input_base/output_base/input_layout/output_layout: region contracts.
+        metadata: generator annotations carried into the Program.
+    """
+
+    ops: list[IrOp] = field(default_factory=list)
+    n: int = 0
+    vlen: int = 512
+    direction: str = "forward"
+    modulus: int = 0
+    vdm_segments: list[tuple[str, int, tuple[int, ...]]] = field(default_factory=list)
+    sdm_values: list[int] = field(default_factory=list)
+    next_virtual: int = 0
+    input_base: int = 0
+    output_base: int = 0
+    input_layout: str = "natural"
+    output_layout: str = "bit-reversed"
+    metadata: dict = field(default_factory=dict)
+
+    def new_virtual(self) -> int:
+        v = self.next_virtual
+        self.next_virtual += 1
+        return v
+
+    def validate_ssa(self) -> None:
+        """Every virtual defined exactly once, and before any use."""
+        defined: set[int] = set()
+        for i, op in enumerate(self.ops):
+            for u in op.uses:
+                if u not in defined:
+                    raise AssertionError(f"op {i} uses undefined virtual {u}")
+            for d in op.defs:
+                if d in defined:
+                    raise AssertionError(f"op {i} redefines virtual {d}")
+                defined.add(d)

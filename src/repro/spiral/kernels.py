@@ -1,0 +1,102 @@
+"""Top-level kernel generation API (the NTTX equivalent).
+
+``generate_ntt_program`` is what examples, tests and benchmarks call; it
+runs the full SPIRAL-style pipeline (build -> forward stores to loads ->
+list-schedule -> allocate -> emit) and caches the result per parameter set,
+since benchmark sweeps reuse kernels across dozens of RPU configurations.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.isa.program import Program
+from repro.ntt.twiddles import TwiddleTable
+from repro.spiral.emit import emit_program
+from repro.spiral.forwarding import forward_stores_to_loads
+from repro.spiral.ntt_codegen import (
+    build_forward_kernel,
+    build_inverse_kernel,
+    plan_passes,
+)
+from repro.spiral.regalloc import allocate_registers
+from repro.spiral.schedule import schedule_ops
+from repro.util.bits import ilog2
+
+
+
+@functools.lru_cache(maxsize=None)
+def generate_ntt_program(
+    n: int,
+    direction: str = "forward",
+    vlen: int = 512,
+    q_bits: int = 128,
+    q: int | None = None,
+    optimize: bool = True,
+    rect_depth: int = 4,
+    schedule_window: int = 48,
+) -> Program:
+    """Generate a complete B512 NTT kernel.
+
+    Args:
+        n: ring degree (power of two, >= 2*vlen).
+        direction: "forward" (natural in, bit-reversed out) or "inverse".
+        vlen: vector length (512 architecturally).
+        q_bits / q: modulus selection (the paper's default is 128-bit).
+        optimize: True for the SPIRAL-optimized program, False for the
+            Fig. 6 "unoptimized" baseline (identical dataflow, naive
+            register use, no scheduling).
+        rect_depth: log2 of the rectangle block size in vectors.
+        schedule_window: list-scheduler reordering window.
+
+    Returns:
+        A finalized :class:`~repro.isa.program.Program`.
+    """
+    table = TwiddleTable.for_ring(n, q=q, q_bits=q_bits)
+    builder = build_forward_kernel if direction == "forward" else build_inverse_kernel
+    kernel = builder(table, vlen=vlen, rect_depth=rect_depth, naive_order=not optimize)
+    kernel.validate_ssa()
+    if optimize:
+        forward_stores_to_loads(kernel)
+        schedule_ops(kernel, window=schedule_window)
+        allocation = allocate_registers(
+            kernel, reuse_policy="fifo", group_aware=True
+        )
+    else:
+        # Same dataflow and instruction counts, but dependency-dense order,
+        # immediate register reuse and no scheduling: Fig. 6's baseline.
+        allocation = allocate_registers(
+            kernel, reuse_policy="lifo", group_aware=False
+        )
+    suffix = "opt" if optimize else "unopt"
+    name = f"ntt_{direction}_{n}_{suffix}"
+    program = emit_program(kernel, allocation, name)
+    program.metadata["optimized"] = optimize
+    return program
+
+
+def expected_instruction_counts(
+    n: int, vlen: int = 512, direction: str = "forward", rect_depth: int = 4
+) -> dict[str, int]:
+    """Closed-form instruction mix for a generated kernel.
+
+    For the paper's 64K forward NTT this returns CI=1024, SI=1920 (section
+    VI-F).  Tests assert the generator matches these counts exactly.
+    """
+    m = n // vlen
+    k = ilog2(n)
+    ci = k * (m // 2)
+    si = (k - 1) * m
+    depths = plan_passes(k, m, min(rect_depth, ilog2(m)))
+    data_lsi = 2 * m * len(depths)
+    twiddle_lsi = 0
+    for s in range(k):
+        if (1 << s) <= vlen:
+            twiddle_lsi += 1  # hoisted once per pass containing the stage
+        else:
+            twiddle_lsi += m // 2  # one per butterfly vector
+    lsi = data_lsi + twiddle_lsi
+    if direction == "inverse":
+        ci += m  # final n^{-1} scaling pass
+        lsi += 1  # SLOAD of n^{-1}
+    return {"ci": ci, "si": si, "lsi": lsi, "total": ci + si + lsi + 1}

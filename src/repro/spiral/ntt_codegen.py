@@ -1,0 +1,455 @@
+"""Builds B512 NTT kernels over the constant-geometry breakdown.
+
+The generator walks the Pease dataflow of :mod:`repro.ntt.pease` at
+*vector* granularity:
+
+* every stage performs ``m/2`` lane-aligned butterflies between position
+  vector ``j`` and position vector ``j + m/2`` (m = n/vlen vectors);
+* every stage but the last is followed by the global interleave, realized
+  as one ``UNPKLO`` + one ``UNPKHI`` per butterfly (forward) or preceded by
+  ``PKLO``/``PKHI`` (inverse);
+* the final permutation is folded into stride-2 stores (forward) or
+  stride-2 loads (inverse), matching the paper's Listing 1.
+
+Register pressure is managed with the paper's "rectangles": the butterfly
+network is blocked depth-first into groups of ``2^d`` vectors that stay
+register-resident for ``d`` stages, streaming through ping-pong VDM buffers
+between passes.  Rings up to ``2^rect_depth`` vectors (8K points at
+vlen=512) run as a single fully-resident pass, which is precisely where the
+paper observes its Fig. 10 slope change.
+
+Twiddle access exploits the closed form ``psi_rev[2^s + (p mod 2^s)]``:
+
+* stage 0 broadcasts one scalar (``VBCAST``),
+* stages with period < vlen use one REPEATED-mode load per pass,
+* the period == vlen stage uses one LINEAR load per pass,
+* later stages read contiguous ``psi_rev`` slices, one LINEAR load per
+  butterfly vector.
+"""
+
+from __future__ import annotations
+
+from repro.isa.addressing import AddressMode
+from repro.ntt.pease import pease_twiddle_index
+from repro.ntt.twiddles import TwiddleTable
+from repro.util.bits import ilog2, is_power_of_two
+
+from repro.spiral.ir import IrKernel, IrKind, IrOp
+
+# VDM layout multipliers (bases are multiples of n, the ring degree).
+BUF0 = 0
+BUF1 = 1
+TWIDDLE = 2
+SPILL = 3
+
+# SDM word addresses.
+SDM_N_INV = 0
+SDM_STAGE0_TW = 1
+
+# SRF register statically holding n^{-1} for the inverse kernel.
+SRF_N_INV = 1
+
+
+class CodegenError(ValueError):
+    """Unsupported transform parameters."""
+
+
+def plan_passes(total_stages: int, num_vectors: int, rect_depth: int) -> list[int]:
+    """Split the stage sequence into register-resident pass depths.
+
+    A single pass handles everything when the whole ring fits in the VRF
+    working set (``num_vectors <= 2^rect_depth``); otherwise passes of depth
+    ``rect_depth`` (with a short tail) stream blocks through VDM.
+    """
+    if num_vectors <= (1 << rect_depth):
+        return [total_stages]
+    depths = []
+    remaining = total_stages
+    while remaining > 0:
+        depths.append(min(rect_depth, remaining))
+        remaining -= depths[-1]
+    return depths
+
+
+def _twiddle_period_fits(stage: int, vlen: int) -> bool:
+    """True when the stage's twiddle vector is shared by all butterflies."""
+    return (1 << stage) <= vlen
+
+
+class _Builder:
+    """Shared state while constructing one kernel.
+
+    ``vdm_base``/``sdm_base``/``mreg`` relocate the kernel into a private
+    address/modulus space, which is how batched multi-tower programs place
+    several independent NTTs in one instruction stream (the MRF's
+    per-instruction modulus selection, section IV-B5).
+    """
+
+    def __init__(
+        self,
+        table: TwiddleTable,
+        vlen: int,
+        rect_depth: int,
+        direction: str,
+        vdm_base: int = 0,
+        sdm_base: int = 0,
+        mreg: int = 1,
+    ) -> None:
+        n = table.n
+        if not is_power_of_two(vlen) or vlen < 2:
+            raise CodegenError("vlen must be a power of two >= 2")
+        if n % vlen != 0 or n // vlen < 2:
+            raise CodegenError(
+                f"ring degree {n} needs at least 2 vectors of length {vlen}"
+            )
+        if direction not in ("forward", "inverse"):
+            raise CodegenError(f"unknown direction {direction!r}")
+        self.table = table
+        self.n = n
+        self.vlen = vlen
+        self.m = n // vlen
+        self.k = ilog2(n)
+        self.rect_depth = min(rect_depth, ilog2(self.m))
+        self.direction = direction
+        self.vdm_base = vdm_base
+        self.sdm_base = sdm_base
+        self.mreg = mreg
+        self.tw_base = vdm_base + TWIDDLE * n
+        tw = table.psi_rev if direction == "forward" else table.psi_inv_rev
+        self.kernel = IrKernel(
+            n=n,
+            vlen=vlen,
+            direction=direction,
+            modulus=table.q,
+            vdm_segments=[
+                (f"twiddles_m{mreg}", self.tw_base, tuple(tw))
+            ],
+            sdm_values=[table.n_inv, tw[1]],
+            metadata={
+                "n": n,
+                "vlen": vlen,
+                "direction": direction,
+                "rect_depth": self.rect_depth,
+                "moduli": {mreg: table.q},
+                "sdm_base": sdm_base,
+            },
+        )
+        self.scalar_virtuals: set[int] = set()
+
+    # -- small op-emission helpers ----------------------------------------
+    def _emit(self, op: IrOp) -> None:
+        self.kernel.ops.append(op)
+
+    def _vload(self, base: int, mode=AddressMode.LINEAR, value: int = 0) -> int:
+        v = self.kernel.new_virtual()
+        self._emit(
+            IrOp(IrKind.VLOAD, defs=(v,), base=base, mode=mode, value=value)
+        )
+        return v
+
+    def _vstore(self, src: int, base: int, mode=AddressMode.LINEAR, value: int = 0):
+        self._emit(
+            IrOp(IrKind.VSTORE, uses=(src,), base=base, mode=mode, value=value)
+        )
+
+    def _vbcast(self, sdm_addr: int) -> int:
+        v = self.kernel.new_virtual()
+        self._emit(IrOp(IrKind.VBCAST, defs=(v,), sdm_addr=sdm_addr))
+        return v
+
+    def _bfly(self, variant: str, hi: int, lo: int, tw: int) -> tuple[int, int]:
+        s = self.kernel.new_virtual()
+        d = self.kernel.new_virtual()
+        self._emit(
+            IrOp(
+                IrKind.BFLY, subop=variant, defs=(s, d), uses=(hi, lo, tw),
+                mreg=self.mreg,
+            )
+        )
+        return s, d
+
+    def _shuf(self, subop: str, a: int, b: int) -> int:
+        v = self.kernel.new_virtual()
+        self._emit(IrOp(IrKind.SHUF, subop=subop, defs=(v,), uses=(a, b)))
+        return v
+
+    def _vsmul(self, src: int, srf: int, scalar_dep: int) -> int:
+        v = self.kernel.new_virtual()
+        self._emit(
+            IrOp(
+                IrKind.VSOP,
+                subop="mul",
+                defs=(v,),
+                uses=(src, scalar_dep),
+                srf=srf,
+                mreg=self.mreg,
+            )
+        )
+        return v
+
+    # -- twiddle materialization -------------------------------------------
+    def _load_stage_twiddle_shared(self, stage: int) -> int:
+        """One register serves every butterfly of the stage (period<=vlen)."""
+        vlen = self.vlen
+        if stage == 0:
+            return self._vbcast(self.sdm_base + SDM_STAGE0_TW)
+        period = 1 << stage
+        if period < vlen:
+            return self._vload(
+                self.tw_base + period, AddressMode.REPEATED, stage
+            )
+        assert period == vlen
+        return self._vload(self.tw_base + vlen)
+
+    def _load_pair_twiddle(self, stage: int, pair_vec: int) -> int:
+        """Contiguous psi_rev slice for one butterfly vector (period>vlen)."""
+        vlen = self.vlen
+        period = 1 << stage
+        offset = (pair_vec * vlen) % period
+        base = self.tw_base + period + offset
+        # The closed form says lane l reads psi_rev[2^s + offset + l]:
+        first = pease_twiddle_index(stage, pair_vec * vlen)
+        assert base == self.tw_base + first
+        return self._vload(base)
+
+
+def build_forward_kernel(
+    table: TwiddleTable,
+    vlen: int = 512,
+    rect_depth: int = 4,
+    naive_order: bool = False,
+    vdm_base: int = 0,
+    sdm_base: int = 0,
+    mreg: int = 1,
+) -> IrKernel:
+    """Forward NTT: natural-order input, bit-reversed output.
+
+    ``naive_order=True`` emits each butterfly immediately followed by its
+    two shuffles (the microarchitecture-oblivious order of Fig. 6's
+    unoptimized program); the default groups all butterflies of a stage
+    before the shuffles, giving the busyboard room to breathe.
+    """
+    b = _Builder(
+        table, vlen, rect_depth, "forward",
+        vdm_base=vdm_base, sdm_base=sdm_base, mreg=mreg,
+    )
+    n, m, k, vlen = b.n, b.m, b.k, b.vlen
+    depths = plan_passes(k, m, b.rect_depth)
+    bufs = (vdm_base + BUF0 * n, vdm_base + BUF1 * n)
+    stage0 = 0
+    for pass_index, depth in enumerate(depths):
+        stages = range(stage0, stage0 + depth)
+        stage0 += depth
+        in_base = bufs[pass_index % 2]
+        out_base = bufs[(pass_index + 1) % 2]
+        shared_tw = {
+            s: b._load_stage_twiddle_shared(s)
+            for s in stages
+            if _twiddle_period_fits(s, vlen)
+        }
+        num_blocks = 1 if len(depths) == 1 else m >> depth
+        block_size = m if len(depths) == 1 else 1 << depth
+        for blk in range(num_blocks):
+            if num_blocks == 1:
+                live = list(range(m))
+            else:
+                live = [blk + i * num_blocks for i in range(block_size)]
+            pos2val = {j: b._vload(in_base + j * vlen) for j in live}
+            for s in stages:
+                pairs = sorted(j for j in pos2val if j < m // 2)
+                assert all(j + m // 2 in pos2val for j in pairs)
+                last_stage = s == k - 1
+                new_pos2val: dict[int, int] = {}
+                bfly_out: dict[int, tuple[int, int]] = {}
+                for j in pairs:
+                    tw = (
+                        shared_tw[s]
+                        if s in shared_tw
+                        else b._load_pair_twiddle(s, j)
+                    )
+                    hi, lo = b._bfly("ct", pos2val[j], pos2val[j + m // 2], tw)
+                    bfly_out[j] = (hi, lo)
+                    if naive_order and not last_stage:
+                        new_pos2val[2 * j] = b._shuf("unpklo", hi, lo)
+                        new_pos2val[2 * j + 1] = b._shuf("unpkhi", hi, lo)
+                if not last_stage:
+                    if not naive_order:
+                        for j in pairs:
+                            hi, lo = bfly_out[j]
+                            new_pos2val[2 * j] = b._shuf("unpklo", hi, lo)
+                            new_pos2val[2 * j + 1] = b._shuf("unpkhi", hi, lo)
+                    pos2val = new_pos2val
+                else:
+                    pos2val = {}
+                    for j, (hi, lo) in bfly_out.items():
+                        pos2val[j] = hi
+                        pos2val[j + m // 2] = lo
+            if stage0 == k and stages[-1] == k - 1:
+                # Final pass: fold the last interleave into stride-2 stores.
+                for j, val in sorted(pos2val.items()):
+                    if j < m // 2:
+                        base = out_base + 2 * j * vlen
+                    else:
+                        base = out_base + 2 * (j - m // 2) * vlen + 1
+                    b._vstore(val, base, AddressMode.STRIDED, 1)
+            else:
+                for j, val in sorted(pos2val.items()):
+                    b._vstore(val, out_base + j * vlen)
+    kernel = b.kernel
+    kernel.input_base = bufs[0]
+    kernel.output_base = bufs[len(depths) % 2]
+    kernel.input_layout = "natural"
+    kernel.output_layout = "bit-reversed"
+    kernel.metadata["passes"] = depths
+    return kernel
+
+
+def build_inverse_kernel(
+    table: TwiddleTable,
+    vlen: int = 512,
+    rect_depth: int = 4,
+    naive_order: bool = False,
+    vdm_base: int = 0,
+    sdm_base: int = 0,
+    mreg: int = 1,
+) -> IrKernel:
+    """Inverse NTT: bit-reversed input, natural output, n^{-1} folded in."""
+    b = _Builder(
+        table, vlen, rect_depth, "inverse",
+        vdm_base=vdm_base, sdm_base=sdm_base, mreg=mreg,
+    )
+    n, m, k, vlen = b.n, b.m, b.k, b.vlen
+    depths = plan_passes(k, m, b.rect_depth)
+    bufs = (vdm_base + BUF0 * n, vdm_base + BUF1 * n)
+
+    # n^{-1} is loaded into the SRF once; the scalar dependence is modelled
+    # with a virtual value that the allocator treats as non-vector.  The
+    # SRF slot mirrors the MRF slot so batched towers never collide.
+    srf_n_inv = mreg if mreg != 1 else SRF_N_INV
+    n_inv_virt = b.kernel.new_virtual()
+    b.scalar_virtuals.add(n_inv_virt)
+    b._emit(
+        IrOp(
+            IrKind.SLOAD,
+            defs=(n_inv_virt,),
+            sdm_addr=sdm_base + SDM_N_INV,
+            sreg_def=srf_n_inv,
+        )
+    )
+
+    stage_top = k  # stages processed descending: k-1 .. 0
+    for pass_index, depth in enumerate(depths):
+        stages = list(range(stage_top - 1, stage_top - depth - 1, -1))
+        stage_top -= depth
+        in_base = bufs[pass_index % 2]
+        out_base = bufs[(pass_index + 1) % 2]
+        leading_pack = pass_index > 0
+        shared_tw = {
+            s: b._load_stage_twiddle_shared(s)
+            for s in stages
+            if _twiddle_period_fits(s, vlen)
+        }
+        num_blocks = 1 if len(depths) == 1 else m >> depth
+        for blk in range(num_blocks):
+            live = _inverse_block_inputs(
+                blk, depth, m, pass_index, single=num_blocks == 1
+            )
+            pos2val: dict[int, int] = {}
+            for j in live:
+                if pass_index == 0:
+                    # Gather the forward kernel's stride-2 output layout.
+                    if j < m // 2:
+                        base = in_base + 2 * j * vlen
+                    else:
+                        base = in_base + 2 * (j - m // 2) * vlen + 1
+                    pos2val[j] = b._vload(base, AddressMode.STRIDED, 1)
+                else:
+                    pos2val[j] = b._vload(in_base + j * vlen)
+            if leading_pack:
+                pos2val = _emit_pack(b, pos2val, m)
+            for idx, s in enumerate(stages):
+                pairs = sorted(j for j in pos2val if j < m // 2)
+                assert all(j + m // 2 in pos2val for j in pairs)
+                will_pack = idx != len(stages) - 1
+                out: dict[int, int] = {}
+                packed: dict[int, int] = {}
+                for j in pairs:
+                    tw = (
+                        shared_tw[s]
+                        if s in shared_tw
+                        else b._load_pair_twiddle(s, j)
+                    )
+                    hi, lo = b._bfly("gs", pos2val[j], pos2val[j + m // 2], tw)
+                    out[j] = hi
+                    out[j + m // 2] = lo
+                    if naive_order and will_pack:
+                        # Emit each pack as soon as both inputs exist: the
+                        # dependency-dense order of the unoptimized program.
+                        for x in (j, j + m // 2):
+                            e = x - (x % 2)
+                            if e in out and e + 1 in out and e // 2 not in packed:
+                                packed[e // 2] = b._shuf(
+                                    "pklo", out[e], out[e + 1]
+                                )
+                                packed[e // 2 + m // 2] = b._shuf(
+                                    "pkhi", out[e], out[e + 1]
+                                )
+                if will_pack:
+                    pos2val = packed if naive_order else _emit_pack(b, out, m)
+                else:
+                    pos2val = out
+            if stage_top == 0:
+                # Last pass: scale by n^{-1} before the natural-order stores.
+                pos2val = {
+                    j: b._vsmul(v, srf_n_inv, n_inv_virt)
+                    for j, v in sorted(pos2val.items())
+                }
+            for j, val in sorted(pos2val.items()):
+                b._vstore(val, out_base + j * vlen)
+    kernel = b.kernel
+    kernel.input_base = bufs[0]
+    kernel.output_base = bufs[len(depths) % 2]
+    kernel.input_layout = "bit-reversed"
+    kernel.output_layout = "natural"
+    kernel.metadata["passes"] = depths
+    kernel.metadata["scalar_virtuals"] = set(b.scalar_virtuals)
+    return kernel
+
+
+def _inverse_block_inputs(
+    blk: int, depth: int, m: int, pass_index: int, single: bool
+) -> list[int]:
+    """Position vectors an inverse-direction rectangle must load.
+
+    Pass 0 rectangles (no leading pack) consume the "paired split" set
+    {c*2^(d-1) + u + i*m/2}; later rectangles (leading pack) consume 2^d
+    consecutive vectors.  Derived in DESIGN.md from reversing the forward
+    rectangle dataflow.
+    """
+    if single:
+        return list(range(m))
+    if pass_index == 0:
+        half_blk = 1 << (depth - 1)
+        return [
+            blk * half_blk + u + i * (m // 2)
+            for i in (0, 1)
+            for u in range(half_blk)
+        ]
+    size = 1 << depth
+    return list(range(blk * size, (blk + 1) * size))
+
+
+def _emit_pack(b: _Builder, pos2val: dict[int, int], m: int) -> dict[int, int]:
+    """The inverse-direction inter-stage shuffle: PKLO/PKHI per pair.
+
+    Consumes consecutive position pairs (2j, 2j+1) and produces positions
+    (j, j + m/2).
+    """
+    out: dict[int, int] = {}
+    evens = sorted(j for j in pos2val if j % 2 == 0)
+    for e in evens:
+        assert e + 1 in pos2val, f"pack input {e + 1} not live"
+        j = e // 2
+        out[j] = b._shuf("pklo", pos2val[e], pos2val[e + 1])
+        out[j + m // 2] = b._shuf("pkhi", pos2val[e], pos2val[e + 1])
+    return out

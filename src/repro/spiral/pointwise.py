@@ -1,0 +1,91 @@
+"""Pointwise (Hadamard) kernels: the NTT-domain multiply and add.
+
+Completes the RPU-side instruction set for a full negacyclic polynomial
+multiplication: after two forward NTTs, the ciphertext-tower product is a
+lanewise ``VVMUL`` sweep over the transformed vectors.  These kernels are
+trivial dataflow but exercise the vector-vector compute path (and the
+VVADD path used by HE additions) end to end.
+
+Layout: operand A at element 0, operand B at ``n``, result at ``2n``.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.isa.instructions import halt, vload, vstore, vvadd, vvmul
+from repro.isa.program import Program, RegionSpec
+from repro.modmath.primes import find_ntt_prime
+from repro.util.bits import is_power_of_two
+
+_OPS = {"mul": vvmul, "add": vvadd}
+
+
+@functools.lru_cache(maxsize=None)
+def generate_pointwise_program(
+    n: int,
+    op: str = "mul",
+    vlen: int = 512,
+    q_bits: int = 128,
+    q: int | None = None,
+) -> Program:
+    """Generate ``out[i] = a[i] (op) b[i] mod q`` over ``n`` elements.
+
+    Emitted with software pipelining in mind: the loads of vector ``i+1``
+    are interleaved with the compute/store of vector ``i`` so all three
+    RPU pipelines stay busy.
+    """
+    if op not in _OPS:
+        raise ValueError(f"unsupported pointwise op {op!r}")
+    if not is_power_of_two(n) or n % vlen != 0:
+        raise ValueError("n must be a power of two and a multiple of vlen")
+    if q is None:
+        q = find_ntt_prime(q_bits, n)
+    maker = _OPS[op]
+    m = n // vlen
+
+    def regs(i: int) -> tuple[int, int, int]:
+        # Rotate over 4 register groups x (a, b, out) so consecutive
+        # iterations never collide on the busyboard, and place the three
+        # operands in distinct reg//4 VRF SRAMs (no port conflicts).
+        slot = i % 4
+        return slot * 4, slot * 4 + 1, 16 + slot * 4
+
+    instructions = []
+    # Software pipelining: prefetch iteration i+1's operands before the
+    # store of iteration i, so the in-order load/store queue never blocks
+    # loads behind a store that waits on the multiplier.
+    ra0, rb0, _ = regs(0)
+    instructions.append(vload(ra0, 1, 0))
+    instructions.append(vload(rb0, 2, 0))
+    for i in range(m):
+        ra, rb, ro = regs(i)
+        if i + 1 < m:
+            na, nb, _ = regs(i + 1)
+            instructions.append(vload(na, 1, (i + 1) * vlen))
+            instructions.append(vload(nb, 2, (i + 1) * vlen))
+        instructions.append(maker(ro, ra, rb, 1))
+        instructions.append(vstore(ro, 3, i * vlen))
+    instructions.append(halt())
+    return Program(
+        name=f"pointwise_{op}_{n}",
+        instructions=instructions,
+        vlen=vlen,
+        arf_init={1: 0, 2: n, 3: 2 * n},
+        mrf_init={1: q},
+        input_region=RegionSpec("a", 0, n, "any"),
+        output_region=RegionSpec("out", 2 * n, n, "any"),
+        metadata={
+            "kernel": "pointwise",
+            "op": op,
+            "n": n,
+            "vlen": vlen,
+            "modulus": q,
+            "b_region": RegionSpec("b", n, n, "any"),
+        },
+    ).finalize()
+
+
+def b_region(program: Program) -> RegionSpec:
+    """The second operand's region (the Program container has one input)."""
+    return program.metadata["b_region"]

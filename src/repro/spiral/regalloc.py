@@ -1,0 +1,202 @@
+"""Register allocation for B512 kernels.
+
+Maps SSA virtual values onto the 64 physical VRF registers.  Two policies
+reproduce the paper's optimized/unoptimized split (Fig. 6):
+
+* **optimized** -- round-robin (FIFO) reuse over the full register file, so
+  a freed register is recycled as *late* as possible; combined with the
+  list scheduler this keeps the busyboard quiet.  Allocation is also
+  VRF-placement-aware: the VRF stacks four registers per single-port SRAM
+  (section IV-B1), so the allocator steers an instruction's operands into
+  distinct register groups to avoid port conflicts ("data placement in the
+  VRF ... handled by SPIRAL").
+* **naive** -- a tiny pool recycled LIFO (immediately), the hallmark of
+  microarchitecture-oblivious code: every instruction collides with its
+  neighbours on the busyboard.
+
+Spilling: SSA values are immutable, so a spilled value is stored once and
+any later eviction is free; reloads are plain vector loads from a dedicated
+spill region.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.isa.addressing import AddressMode
+from repro.spiral.ir import IrKernel, IrKind, IrOp
+from repro.spiral.ntt_codegen import SPILL
+
+
+@dataclass
+class AllocationResult:
+    """Physical-register op list plus allocation statistics."""
+
+    ops: list[IrOp]
+    spill_slots: int = 0
+    spill_stores: int = 0
+    spill_loads: int = 0
+    peak_live: int = 0
+    group_conflicts_avoided: int = 0
+
+
+@dataclass
+class _AllocState:
+    free: deque = field(default_factory=deque)
+    reg_of: dict[int, int] = field(default_factory=dict)  # virt -> reg
+    virt_of: dict[int, int] = field(default_factory=dict)  # reg -> virt
+    spill_slot: dict[int, int] = field(default_factory=dict)
+    in_memory: set[int] = field(default_factory=set)
+
+
+def allocate_registers(
+    kernel: IrKernel,
+    num_regs: int = 64,
+    pool_size: int | None = None,
+    reuse_policy: str = "fifo",
+    group_aware: bool = True,
+    group_size: int = 4,
+    spill_base: int | None = None,
+) -> AllocationResult:
+    """Allocate physical registers; returns rewritten ops and statistics.
+
+    Args:
+        kernel: the (scheduled) IR kernel; not modified.
+        num_regs: architectural VRF size (64).
+        pool_size: restrict allocation to the first ``pool_size`` registers
+            (the unoptimized generator passes 8).
+        reuse_policy: "fifo" recycles registers as late as possible,
+            "lifo" immediately (naive).
+        group_aware: steer operands of one op into distinct reg//group_size
+            groups (the 4-registers-per-SRAM VRF constraint).
+    """
+    scalars: set[int] = kernel.metadata.get("scalar_virtuals", set())
+    limit = num_regs if pool_size is None else min(pool_size, num_regs)
+
+    # Precompute use positions of every vector virtual.
+    use_positions: dict[int, deque[int]] = {}
+    for index, op in enumerate(kernel.ops):
+        for u in op.uses:
+            if u not in scalars:
+                use_positions.setdefault(u, deque()).append(index)
+
+    state = _AllocState(free=deque(range(limit)))
+    result = AllocationResult(ops=[])
+    out = result.ops
+    if spill_base is None:
+        spill_base = SPILL * kernel.n
+
+    def next_use(virt: int, after: int) -> int:
+        uses = use_positions.get(virt)
+        while uses and uses[0] <= after:
+            uses.popleft()
+        return uses[0] if uses else 1 << 60
+
+    def take_free(exclude_groups: set[int]) -> int | None:
+        if not state.free:
+            return None
+        if reuse_policy == "lifo":
+            # Naive: most recently freed first, no group awareness.
+            return state.free.pop()
+        if group_aware and exclude_groups:
+            for i, reg in enumerate(state.free):
+                if reg // group_size not in exclude_groups:
+                    del state.free[i]
+                    if i > 0:
+                        result.group_conflicts_avoided += 1
+                    return reg
+        return state.free.popleft()
+
+    def spill_victim(index: int, protected: set[int]) -> int:
+        victim = None
+        victim_dist = -1
+        for virt, reg in state.reg_of.items():
+            if reg in protected:
+                continue
+            dist = next_use(virt, index)
+            if dist > victim_dist:
+                victim_dist = dist
+                victim = virt
+        assert victim is not None, "no spillable register"
+        reg = state.reg_of.pop(victim)
+        del state.virt_of[reg]
+        if victim not in state.in_memory:
+            slot = state.spill_slot.setdefault(victim, len(state.spill_slot))
+            out.append(
+                IrOp(
+                    IrKind.VSTORE,
+                    subop="spill",
+                    uses=(reg,),
+                    base=spill_base + slot * kernel.vlen,
+                    mode=AddressMode.LINEAR,
+                )
+            )
+            state.in_memory.add(victim)
+            result.spill_stores += 1
+        return reg
+
+    def assign(virt: int, index: int, exclude_groups: set[int], protected: set[int]) -> int:
+        reg = take_free(exclude_groups)
+        if reg is None:
+            reg = spill_victim(index, protected)
+        state.reg_of[virt] = reg
+        state.virt_of[reg] = virt
+        result.peak_live = max(result.peak_live, len(state.reg_of))
+        return reg
+
+    def release_if_dead(virt: int, index: int) -> None:
+        if virt in state.reg_of and next_use(virt, index) >= 1 << 60:
+            reg = state.reg_of.pop(virt)
+            del state.virt_of[reg]
+            if reuse_policy == "lifo":
+                state.free.append(reg)
+            else:
+                state.free.append(reg)  # FIFO: popped from the left later
+
+    for index, op in enumerate(kernel.ops):
+        vector_uses = [u for u in op.uses if u not in scalars]
+        protected: set[int] = set()
+        # Reload any spilled operands first.
+        for u in vector_uses:
+            if u not in state.reg_of:
+                assert u in state.in_memory, f"virtual {u} lost"
+                groups = {
+                    state.reg_of[x] // group_size
+                    for x in vector_uses
+                    if x in state.reg_of
+                }
+                reg = assign(u, index, groups, protected)
+                slot = state.spill_slot[u]
+                out.append(
+                    IrOp(
+                        IrKind.VLOAD,
+                        subop="reload",
+                        defs=(reg,),
+                        base=spill_base + slot * kernel.vlen,
+                        mode=AddressMode.LINEAR,
+                    )
+                )
+                result.spill_loads += 1
+            protected.add(state.reg_of[u])
+        use_regs = tuple(state.reg_of[u] for u in vector_uses)
+        use_groups = {r // group_size for r in use_regs}
+        # Free operands whose last use is this op *before* assigning defs,
+        # matching hardware (reads happen before the writeback).
+        for u in vector_uses:
+            release_if_dead(u, index)
+        def_regs = []
+        for d in op.defs:
+            if d in scalars:
+                continue
+            reg = assign(d, index, use_groups, protected | set(def_regs))
+            def_regs.append(reg)
+            use_groups.add(reg // group_size)
+        out.append(op.clone(defs=tuple(def_regs), uses=use_regs))
+        # Defs that are never read (shouldn't happen, but stay safe).
+        for d in op.defs:
+            if d not in scalars:
+                release_if_dead(d, index)
+
+    result.spill_slots = len(state.spill_slot)
+    return result

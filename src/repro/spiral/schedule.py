@@ -1,0 +1,149 @@
+"""Greedy list scheduler for B512 kernels.
+
+The RPU front-end stalls whenever a decoded instruction's registers are
+busy (the busyboard has no renaming), so performance hinges on putting
+distance between producers and consumers while keeping all three decoupled
+queues fed.  This pass reorders the IR within a bounded window:
+
+* dependence edges: SSA value flow plus memory ordering at vector-bucket
+  granularity (store->load RAW, load->store WAR, store->store WAW);
+* priority: critical-path height, so long dependence chains start early;
+* a sliding window bounds how far ops migrate from program order, which in
+  turn bounds the register pressure the allocator sees.
+
+This is the automated stand-in for SPIRAL's "interleave independent
+instructions / greedy instruction scheduler" step (section V), and the only
+difference between the paper's optimized and unoptimized Fig. 6 programs
+besides register assignment.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+
+from repro.spiral.ir import IrKernel, IrKind, IrOp
+
+
+def build_dependencies(kernel: IrKernel) -> list[set[int]]:
+    """Return preds[i] = indices op i must follow."""
+    vlen = kernel.vlen
+    preds: list[set[int]] = [set() for _ in kernel.ops]
+    last_def: dict[int, int] = {}
+    last_store_in_bucket: dict[int, int] = {}
+    readers_since_store: dict[int, list[int]] = defaultdict(list)
+
+    for i, op in enumerate(kernel.ops):
+        for u in op.uses:
+            if u in last_def:
+                preds[i].add(last_def[u])
+        for d in op.defs:
+            last_def[d] = i
+        if op.kind in (IrKind.VLOAD, IrKind.VSTORE):
+            lo, hi = op.address_span(vlen)
+            buckets = range(lo // vlen, hi // vlen + 1)
+            if op.kind is IrKind.VLOAD:
+                for b in buckets:
+                    if b in last_store_in_bucket:
+                        preds[i].add(last_store_in_bucket[b])
+                    readers_since_store[b].append(i)
+            else:
+                for b in buckets:
+                    if b in last_store_in_bucket:
+                        preds[i].add(last_store_in_bucket[b])
+                    for r in readers_since_store[b]:
+                        preds[i].add(r)
+                    readers_since_store[b] = []
+                    last_store_in_bucket[b] = i
+        preds[i].discard(i)
+    return preds
+
+
+def critical_path_heights(preds: list[set[int]]) -> list[int]:
+    """Longest path from each op to any sink, counting ops."""
+    count = len(preds)
+    succs: list[list[int]] = [[] for _ in range(count)]
+    for i, ps in enumerate(preds):
+        for p in ps:
+            succs[p].append(i)
+    heights = [1] * count
+    for i in range(count - 1, -1, -1):
+        if succs[i]:
+            heights[i] = 1 + max(heights[s] for s in succs[i])
+    return heights
+
+
+def schedule_ops(kernel: IrKernel, window: int = 48) -> None:
+    """Reorder ``kernel.ops`` in place (stable for equal priorities).
+
+    Ops may only be hoisted while their original index stays within
+    ``window`` of the earliest unscheduled op, which keeps locality (and
+    register pressure) under control while still interleaving independent
+    butterflies, shuffles and loads across neighbouring blocks.
+    """
+    ops = kernel.ops
+    count = len(ops)
+    if count <= 2:
+        return
+    preds = build_dependencies(kernel)
+    heights = critical_path_heights(preds)
+    succs: list[list[int]] = [[] for _ in range(count)]
+    indegree = [0] * count
+    for i, ps in enumerate(preds):
+        indegree[i] = len(ps)
+        for p in ps:
+            succs[p].append(i)
+
+    scheduled: list[IrOp] = []
+    done = [False] * count
+    # Min-heap keyed by (-height, original index): favour the critical path,
+    # break ties in program order.
+    ready: list[tuple[int, int]] = []
+    deferred: list[tuple[int, int]] = []  # ready but outside the window
+    for i in range(count):
+        if indegree[i] == 0:
+            heapq.heappush(ready, (-heights[i], i))
+    next_unscheduled = 0
+
+    while len(scheduled) < count:
+        while next_unscheduled < count and done[next_unscheduled]:
+            next_unscheduled += 1
+        limit = next_unscheduled + window
+        # Re-admit deferred ops that the advancing window now covers.
+        still_deferred = []
+        for item in deferred:
+            if item[1] < limit:
+                heapq.heappush(ready, item)
+            else:
+                still_deferred.append(item)
+        deferred = still_deferred
+
+        chosen = None
+        spill = []
+        while ready:
+            candidate = heapq.heappop(ready)
+            if candidate[1] >= limit:
+                spill.append(candidate)
+                continue
+            chosen = candidate
+            break
+        deferred.extend(spill)
+        if chosen is None:
+            # Window exhausted; schedule the earliest ready op regardless.
+            deferred.sort(key=lambda item: item[1])
+            chosen = deferred.pop(0)
+        index = chosen[1]
+        done[index] = True
+        scheduled.append(ops[index])
+        for s in succs[index]:
+            indegree[s] -= 1
+            if indegree[s] == 0:
+                item = (-heights[s], s)
+                if s < limit:
+                    heapq.heappush(ready, item)
+                else:
+                    deferred.append(item)
+
+    kernel.ops = scheduled
+    kernel.metadata["scheduled"] = True
+    kernel.metadata["schedule_window"] = window

@@ -1,0 +1,17 @@
+"""Small shared utilities: powers of two, bit reversal, argument checking."""
+
+from repro.util.bits import (
+    bit_reverse,
+    bit_reverse_permutation,
+    ceil_div,
+    ilog2,
+    is_power_of_two,
+)
+
+__all__ = [
+    "bit_reverse",
+    "bit_reverse_permutation",
+    "ceil_div",
+    "ilog2",
+    "is_power_of_two",
+]

@@ -1,0 +1,52 @@
+"""Bit-manipulation helpers used across the ISA, NTT, and simulator layers.
+
+These are deliberately tiny, dependency-free functions: the NTT code paths
+call them in hot-ish loops and the ISA encoder relies on their exactness.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Return log2 of a positive power of two.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)
+
+
+def bit_reverse(index: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``index``.
+
+    ``bit_reverse(0b0011, 4) == 0b1100``.  Used for NTT input/output
+    orderings (the RPU's SPIRAL kernels produce bit-reversed outputs that the
+    inverse kernels consume).
+    """
+    if index < 0 or index >= (1 << bits):
+        raise ValueError(f"index {index} does not fit in {bits} bits")
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (index & 1)
+        index >>= 1
+    return result
+
+
+def bit_reverse_permutation(n: int) -> list[int]:
+    """Return the length-``n`` bit-reversal permutation (n a power of two)."""
+    bits = ilog2(n)
+    return [bit_reverse(i, bits) for i in range(n)]

@@ -1,0 +1,30 @@
+"""Shared fixtures: small rings and kernels reused across test modules."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ntt.twiddles import TwiddleTable
+
+
+@pytest.fixture(scope="session")
+def small_table() -> TwiddleTable:
+    """A 64-point ring with a 30-bit modulus (fast scalar arithmetic)."""
+    return TwiddleTable.for_ring(64, q_bits=30)
+
+
+@pytest.fixture(scope="session")
+def tiny_table() -> TwiddleTable:
+    """A 16-point ring for exhaustive-ish checks."""
+    return TwiddleTable.for_ring(16, q_bits=20)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(0xB512)
+
+
+def random_poly(table: TwiddleTable, rng: random.Random) -> list[int]:
+    return [rng.randrange(table.q) for _ in range(table.n)]

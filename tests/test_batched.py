@@ -1,0 +1,123 @@
+"""Tests for batched multi-tower NTT kernels (the MRF use case)."""
+
+import random
+
+import pytest
+
+from repro.femu import FunctionalSimulator
+from repro.isa.opcodes import Opcode
+from repro.ntt.reference import ntt_forward
+from repro.ntt.twiddles import TwiddleTable
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator
+from repro.spiral.batched import generate_batched_ntt_program, tower_regions
+from repro.spiral.kernels import generate_ntt_program
+
+Q_BITS = 25
+N = 128
+VLEN = 8
+
+
+@pytest.fixture(scope="module")
+def batched_fwd():
+    return generate_batched_ntt_program(
+        N, num_towers=2, vlen=VLEN, q_bits=Q_BITS, rect_depth=2
+    )
+
+
+class TestBatchedFunctional:
+    def _run(self, program, tower_inputs):
+        sim = FunctionalSimulator(program)
+        for (in_region, _), values in zip(tower_regions(program), tower_inputs):
+            sim.write_region(in_region, values)
+        sim.run()
+        return [
+            sim.read_region(out_region)
+            for _, out_region in tower_regions(program)
+        ]
+
+    def test_each_tower_transforms_under_its_own_modulus(self, batched_fwd, rng):
+        moduli = batched_fwd.metadata["moduli"]
+        inputs = [
+            [rng.randrange(moduli[k + 1]) for _ in range(N)] for k in range(2)
+        ]
+        outputs = self._run(batched_fwd, inputs)
+        for k in range(2):
+            table = TwiddleTable.for_ring(N, moduli[k + 1])
+            assert outputs[k] == ntt_forward(inputs[k], table), f"tower {k}"
+
+    def test_moduli_are_distinct(self, batched_fwd):
+        moduli = list(batched_fwd.metadata["moduli"].values())
+        assert len(set(moduli)) == len(moduli)
+
+    def test_inverse_direction(self, rng):
+        program = generate_batched_ntt_program(
+            N, num_towers=2, direction="inverse", vlen=VLEN, q_bits=Q_BITS,
+            rect_depth=2,
+        )
+        moduli = program.metadata["moduli"]
+        plains = [
+            [rng.randrange(moduli[k + 1]) for _ in range(N)] for k in range(2)
+        ]
+        inputs = [
+            ntt_forward(p, TwiddleTable.for_ring(N, moduli[k + 1]))
+            for k, p in enumerate(plains)
+        ]
+        outputs = self._run(program, inputs)
+        assert outputs == plains
+
+    def test_three_towers(self, rng):
+        program = generate_batched_ntt_program(
+            N, num_towers=3, vlen=VLEN, q_bits=Q_BITS, rect_depth=2
+        )
+        moduli = program.metadata["moduli"]
+        inputs = [
+            [rng.randrange(moduli[k + 1]) for _ in range(N)] for k in range(3)
+        ]
+        outputs = self._run(program, inputs)
+        for k in range(3):
+            table = TwiddleTable.for_ring(N, moduli[k + 1])
+            assert outputs[k] == ntt_forward(inputs[k], table)
+
+    def test_tower_count_validated(self):
+        with pytest.raises(ValueError):
+            generate_batched_ntt_program(N, num_towers=0, vlen=VLEN, q_bits=Q_BITS)
+        with pytest.raises(ValueError):
+            generate_batched_ntt_program(N, num_towers=9, vlen=VLEN, q_bits=Q_BITS)
+
+
+class TestBatchedStructure:
+    def test_uses_multiple_mrf_slots(self, batched_fwd):
+        mregs = {
+            i.rm
+            for i in batched_fwd.instructions
+            if i.opcode is Opcode.BFLY
+        }
+        assert mregs == {1, 2}
+
+    def test_mrf_preloads_match_metadata(self, batched_fwd):
+        assert batched_fwd.mrf_init == batched_fwd.metadata["moduli"]
+
+    def test_instruction_count_is_sum_of_towers(self, batched_fwd):
+        single = generate_ntt_program(
+            N, vlen=VLEN, q_bits=Q_BITS, rect_depth=2, optimize=False
+        )
+        from repro.isa.opcodes import InstructionClass
+
+        batched_ci = batched_fwd.count(InstructionClass.CI)
+        single_ci = single.count(InstructionClass.CI)
+        assert batched_ci == 2 * single_ci
+
+
+class TestBatchedPerformance:
+    def test_batching_beats_serial_execution(self):
+        # The point of the MRF: independent towers fill each other's stalls.
+        config = RpuConfig(num_hples=8, vdm_banks=16, vlen=VLEN, frequency_ghz=1.0)
+        batched = generate_batched_ntt_program(
+            512, num_towers=2, vlen=VLEN, q_bits=Q_BITS, rect_depth=2
+        )
+        single = generate_ntt_program(
+            512, vlen=VLEN, q_bits=Q_BITS, rect_depth=2
+        )
+        sim = CycleSimulator(config)
+        assert sim.run(batched).cycles < 2 * sim.run(single).cycles

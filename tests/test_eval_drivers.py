@@ -1,0 +1,68 @@
+"""Tests for the experiment drivers (small-scale where possible)."""
+
+import pytest
+
+from repro.eval.fig3 import DesignPoint, pareto_frontier
+from repro.eval.fig9 import PAPER_RATIOS
+from repro.eval.listing1 import run_listing1, structural_checks
+from repro.eval.table1 import all_17_instructions, run_table1
+
+
+class TestTable1Driver:
+    def test_all_roundtrip(self):
+        rows = run_table1()
+        assert len(rows) == 17
+        assert all(ok for _, _, ok in rows)
+
+    def test_covers_every_class(self):
+        from repro.isa.opcodes import InstructionClass
+
+        classes = {i.instruction_class for i in all_17_instructions()}
+        assert classes == set(InstructionClass)
+
+
+class TestListing1Driver:
+    def test_structure_matches_paper(self):
+        program = run_listing1()
+        checks = structural_checks(program)
+        assert all(checks.values()), checks
+
+    def test_1k_instruction_mix(self):
+        # 1K NTT: 10 stages x 1 butterfly, 9 stages x 2 shuffles.
+        from repro.isa.opcodes import InstructionClass
+
+        program = run_listing1()
+        counts = program.class_counts()
+        assert counts[InstructionClass.CI] == 10
+        assert counts[InstructionClass.SI] == 18
+
+
+class TestParetoLogic:
+    def test_frontier_extraction(self):
+        pts = [
+            DesignPoint(4, 32, 100.0, 5.0),
+            DesignPoint(8, 32, 50.0, 6.0),
+            DesignPoint(16, 32, 60.0, 7.0),  # dominated by the 50/6 point
+            DesignPoint(32, 32, 10.0, 20.0),
+        ]
+        frontier = pareto_frontier(pts)
+        assert DesignPoint(16, 32, 60.0, 7.0) not in frontier
+        assert len(frontier) == 3
+
+    def test_duplicate_points_not_self_dominated(self):
+        pts = [DesignPoint(4, 32, 1.0, 1.0), DesignPoint(8, 64, 1.0, 1.0)]
+        assert len(pareto_frontier(pts)) == 2
+
+
+class TestPaperConstants:
+    def test_fig9_ratio_table_complete(self):
+        assert set(PAPER_RATIOS) == {1024, 2048, 4096, 8192, 16384, 32768, 65536}
+        values = [PAPER_RATIOS[n] for n in sorted(PAPER_RATIOS)]
+        assert values == sorted(values, reverse=True)
+
+    def test_headline_constants(self):
+        from repro.eval.headline import PAPER_AREA_MM2, PAPER_RUNTIME_US, PAPER_SPEEDUP
+
+        assert PAPER_RUNTIME_US == 6.7
+        assert PAPER_AREA_MM2 == 20.5
+        assert PAPER_SPEEDUP == 1485.0

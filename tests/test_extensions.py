@@ -1,0 +1,226 @@
+"""Tests for the beyond-paper extensions: pointwise kernels, multi-kernel
+pipelines, noise budgets, program images, the CLI, and bottleneck
+analysis."""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import RpuPipeline
+from repro.femu import FunctionalSimulator
+from repro.isa.image import load_image, save_image
+from repro.isa.opcodes import InstructionClass
+from repro.isa.tool import main as tool_main
+from repro.modmath.primes import find_ntt_prime
+from repro.ntt.naive import naive_negacyclic_convolution
+from repro.perf.analysis import (
+    analyze_critical_path,
+    export_trace_csv,
+    utilization_verdict,
+)
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator
+from repro.rlwe.bfv import BfvContext, BfvParameters
+from repro.spiral.kernels import generate_ntt_program
+from repro.spiral.pointwise import b_region, generate_pointwise_program
+
+Q_BITS = 30
+SMALL = RpuConfig(num_hples=8, vdm_banks=8, vlen=16, frequency_ghz=1.0)
+
+
+class TestPointwiseKernels:
+    @pytest.mark.parametrize("op,fn", [("mul", lambda x, y, q: x * y % q),
+                                       ("add", lambda x, y, q: (x + y) % q)])
+    def test_functional(self, op, fn, rng):
+        n, vlen = 128, 16
+        q = find_ntt_prime(Q_BITS, n)
+        program = generate_pointwise_program(n, op, vlen=vlen, q=q)
+        a = [rng.randrange(q) for _ in range(n)]
+        b = [rng.randrange(q) for _ in range(n)]
+        sim = FunctionalSimulator(program)
+        sim.write_region(program.input_region, a)
+        sim.write_region(b_region(program), b)
+        sim.run()
+        assert sim.read_region(program.output_region) == [
+            fn(x, y, q) for x, y in zip(a, b)
+        ]
+
+    def test_pipelined_emission_overlaps(self):
+        # The rotated register scheme keeps RAW stalls modest: the kernel
+        # should run much faster than fully serialized execution.
+        n, vlen = 256, 16
+        program = generate_pointwise_program(n, "mul", vlen=vlen, q_bits=Q_BITS)
+        report = CycleSimulator(SMALL).run(program)
+        body = [i for i in program.instructions][:-1]
+        serial = sum(
+            CycleSimulator(SMALL)._occupancy(i) + CycleSimulator(SMALL)._latency(i)
+            for i in body
+        )
+        assert report.cycles < 0.7 * serial
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            generate_pointwise_program(64, "xor", vlen=16, q_bits=Q_BITS)
+
+
+class TestRpuPipeline:
+    def test_polymul_matches_schoolbook(self, rng):
+        n = 128
+        q = find_ntt_prime(Q_BITS, n)
+        a = [rng.randrange(q) for _ in range(n)]
+        b = [rng.randrange(q) for _ in range(n)]
+        pipeline = RpuPipeline(SMALL, q_bits=Q_BITS)
+        result = pipeline.negacyclic_polymul(a, b, q=q)
+        assert result.output == naive_negacyclic_convolution(a, b, q)
+        assert len(result.stages) == 4
+        assert result.total_cycles == sum(s.cycles for s in result.stages)
+        assert result.total_runtime_us > 0
+        assert "total" in result.summary()
+
+    def test_streamed_runtime_at_least_compute(self, rng):
+        n = 128
+        q = find_ntt_prime(Q_BITS, n)
+        a = [rng.randrange(q) for _ in range(n)]
+        pipeline = RpuPipeline(SMALL, q_bits=Q_BITS)
+        result = pipeline.negacyclic_polymul(a, a, q=q)
+        assert result.hbm_streamed_runtime_us(n) >= result.total_runtime_us
+
+    def test_rns_towers(self, rng):
+        n = 64
+        moduli = [find_ntt_prime(20, n), find_ntt_prime(21, n)]
+        a_towers = [[rng.randrange(q) for _ in range(n)] for q in moduli]
+        b_towers = [[rng.randrange(q) for _ in range(n)] for q in moduli]
+        pipeline = RpuPipeline(
+            RpuConfig(num_hples=4, vdm_banks=4, vlen=8, frequency_ghz=1.0),
+            q_bits=20,
+        )
+        results = pipeline.rns_polymul(a_towers, b_towers, moduli)
+        for result, a, b, q in zip(results, a_towers, b_towers, moduli):
+            assert result.output == naive_negacyclic_convolution(a, b, q)
+
+    def test_mismatched_lengths_rejected(self):
+        pipeline = RpuPipeline(SMALL, q_bits=Q_BITS)
+        with pytest.raises(ValueError):
+            pipeline.negacyclic_polymul([0] * 64, [0] * 128)
+
+
+class TestNoiseBudget:
+    @pytest.fixture(scope="class")
+    def ctx_keys(self):
+        params = BfvParameters.demo(n=32, q_bits=55, t=257)
+        ctx = BfvContext(params, seed=3)
+        return ctx, ctx.keygen()
+
+    def test_fresh_budget_positive(self, ctx_keys):
+        ctx, keys = ctx_keys
+        ct = ctx.encrypt(keys, ctx.encode([1, 2, 3]))
+        assert ctx.noise_budget_bits(keys, ct) > 10
+
+    def test_add_consumes_little(self, ctx_keys):
+        ctx, keys = ctx_keys
+        ct = ctx.encrypt(keys, ctx.encode([1]))
+        fresh = ctx.noise_budget_bits(keys, ct)
+        summed = ctx.add(ct, ctx.encrypt(keys, ctx.encode([2])))
+        assert ctx.noise_budget_bits(keys, summed) >= fresh - 2
+
+    def test_multiply_consumes_much(self, ctx_keys):
+        ctx, keys = ctx_keys
+        ct = ctx.encrypt(keys, ctx.encode([3, 1, 4]))
+        fresh = ctx.noise_budget_bits(keys, ct)
+        prod = ctx.multiply(ct, ct)
+        after = ctx.noise_budget_bits(keys, prod)
+        assert after < fresh
+
+    def test_relinearization_cost_bounded(self, ctx_keys):
+        ctx, keys = ctx_keys
+        ct = ctx.encrypt(keys, ctx.encode([2, 2]))
+        prod = ctx.multiply(ct, ct)
+        relin = ctx.relinearize(keys, prod)
+        # Relinearization adds bounded noise; decryption must still work.
+        assert ctx.decode(ctx.decrypt(keys, relin)) == ctx.decode(
+            ctx.decrypt(keys, prod)
+        )
+
+
+class TestProgramImages:
+    def test_roundtrip_ntt_kernel(self):
+        program = generate_ntt_program(256, vlen=16, q_bits=Q_BITS)
+        clone = load_image(save_image(program))
+        assert clone.instructions == program.instructions
+        assert clone.vlen == program.vlen
+        assert clone.vdm_segments == program.vdm_segments
+        assert clone.sdm_segments == program.sdm_segments
+        assert clone.arf_init == program.arf_init
+        assert clone.mrf_init == program.mrf_init
+        assert clone.input_region == program.input_region
+        assert clone.output_region == program.output_region
+        assert clone.extra_vdm_words == program.extra_vdm_words
+
+    def test_loaded_image_still_executes_correctly(self, rng):
+        from repro.ntt.reference import ntt_forward
+        from repro.ntt.twiddles import TwiddleTable
+
+        program = generate_ntt_program(128, vlen=16, q_bits=Q_BITS)
+        clone = load_image(save_image(program))
+        q = program.metadata["modulus"]
+        table = TwiddleTable.for_ring(128, q=q)
+        a = [rng.randrange(q) for _ in range(128)]
+        sim = FunctionalSimulator(clone)
+        sim.write_region(clone.input_region, a)
+        sim.run()
+        assert sim.read_region(clone.output_region) == ntt_forward(a, table)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            load_image(b"NOTANIMG" + b"\x00" * 64)
+
+
+class TestCliTool:
+    def test_gen_dis_stat_sim(self, tmp_path, capsys):
+        path = str(tmp_path / "k.b512")
+        assert tool_main(["gen", "1024", "--q-bits", "30", "-o", path]) == 0
+        assert tool_main(["dis", path]) == 0
+        assert tool_main(["stat", path]) == 0
+        assert tool_main(["sim", path]) == 0
+        out = capsys.readouterr().out
+        assert "ntt_forward_1024_opt" in out
+        assert "vbcast" in out
+        assert "cycles" in out
+
+
+class TestBottleneckAnalysis:
+    def test_64k_is_shuffle_bound(self):
+        # Section VI-F: "SIs create bottleneck" for the 64K NTT.
+        program = generate_ntt_program(65536)
+        report = analyze_critical_path(program, RpuConfig())
+        assert report.bottleneck_pipe == "SI"
+        assert report.total_cycles > 0
+        assert len(report.chain) > 100
+        assert "bottleneck pipe SI" in report.summary()
+
+    def test_low_banks_is_ls_bound(self):
+        program = generate_ntt_program(65536)
+        verdict = utilization_verdict(
+            program, RpuConfig(num_hples=256, vdm_banks=32)
+        )
+        assert "LSI" in verdict
+
+    def test_chain_is_causally_ordered(self):
+        # Binding is causal at dispatch: each chain element dispatches
+        # strictly after the instruction that bound it.
+        program = generate_ntt_program(1024, vlen=16, q_bits=Q_BITS)
+        report = analyze_critical_path(program, SMALL)
+        dispatches = [t.dispatch for t in report.chain]
+        assert all(b > a for a, b in zip(dispatches, dispatches[1:]))
+
+    def test_trace_csv(self):
+        program = generate_ntt_program(256, vlen=16, q_bits=Q_BITS)
+        csv = export_trace_csv(program, SMALL)
+        lines = csv.splitlines()
+        assert lines[0].startswith("index,mnemonic,pipe")
+        assert len(lines) == len(program.instructions)  # body + header - halt
+
+    def test_trace_disabled_by_default(self):
+        program = generate_ntt_program(256, vlen=16, q_bits=Q_BITS)
+        report = CycleSimulator(SMALL).run(program)
+        assert report.trace is None

@@ -1,0 +1,237 @@
+"""Functional simulator tests: per-opcode semantics and fault injection."""
+
+import pytest
+
+from repro.femu import FunctionalSimulator, SimulationFault
+from repro.isa.addressing import AddressMode
+from repro.isa.instructions import (
+    bflyct,
+    bflygs,
+    pkhi,
+    pklo,
+    sload,
+    unpkhi,
+    unpklo,
+    vbcast,
+    vload,
+    vsadd,
+    vsmul,
+    vssub,
+    vstore,
+    vvadd,
+    vvmul,
+    vvsub,
+)
+from repro.isa.program import DataSegment, Program, RegionSpec
+
+Q = 97
+VLEN = 8
+
+
+def make_program(instructions, vdm_data=(), sdm_data=(), vdm_len=64):
+    return Program(
+        name="test",
+        instructions=list(instructions),
+        vlen=VLEN,
+        vdm_segments=[DataSegment("data", 0, tuple(vdm_data))] if vdm_data else [],
+        sdm_segments=[DataSegment("consts", 0, tuple(sdm_data))] if sdm_data else [],
+        arf_init={0: 0, 1: 0},
+        mrf_init={1: Q},
+        input_region=RegionSpec("in", 0, vdm_len),
+        output_region=RegionSpec("out", 0, vdm_len),
+    ).finalize()
+
+
+def run(instructions, vdm_data=(), sdm_data=()):
+    prog = make_program(instructions, vdm_data, sdm_data)
+    sim = FunctionalSimulator(prog, vdm_size=64)
+    sim.run()
+    return sim
+
+
+class TestLoadsStores:
+    def test_linear_roundtrip(self):
+        data = list(range(1, 9)) + [0] * 8
+        sim = run(
+            [vload(3, 1, 0), vstore(3, 1, 8)],
+            vdm_data=data,
+        )
+        assert sim.state.vdm[8:16] == list(range(1, 9))
+
+    def test_strided_load(self):
+        data = list(range(16))
+        sim = run([vload(0, 1, 0, AddressMode.STRIDED, 1)], vdm_data=data)
+        assert sim.state.vrf[0] == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_strided_skip_load(self):
+        data = list(range(16))
+        sim = run([vload(0, 1, 0, AddressMode.STRIDED_SKIP, 1)], vdm_data=data)
+        assert sim.state.vrf[0] == [0, 1, 4, 5, 8, 9, 12, 13]
+
+    def test_repeated_load(self):
+        data = list(range(16))
+        sim = run([vload(0, 1, 0, AddressMode.REPEATED, 2)], vdm_data=data)
+        assert sim.state.vrf[0] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_strided_store_scatter(self):
+        data = list(range(1, 9)) + [0] * 24
+        sim = run(
+            [vload(0, 1, 0), vstore(0, 1, 16, AddressMode.STRIDED, 1)],
+            vdm_data=data,
+        )
+        assert sim.state.vdm[16:32:2] == list(range(1, 9))
+
+    def test_sload_and_vbcast(self):
+        sim = run(
+            [sload(5, 0, 1), vbcast(2, 0, 0)],
+            vdm_data=[0],
+            sdm_data=[42, 7],
+        )
+        assert sim.state.srf[5] == 7
+        assert sim.state.vrf[2] == [42] * VLEN
+
+    def test_out_of_bounds_load_raises(self):
+        prog = make_program([vload(0, 1, 60)], vdm_data=[0])
+        sim = FunctionalSimulator(prog, vdm_size=64)
+        with pytest.raises(IndexError):
+            sim.run()
+
+
+class TestCompute:
+    def _with_regs(self, instructions, regs):
+        prog = make_program(instructions, vdm_data=[0])
+        sim = FunctionalSimulator(prog, vdm_size=64)
+        for idx, values in regs.items():
+            sim.state.vrf[idx] = list(values)
+        sim.run()
+        return sim
+
+    def test_vvadd_sub_mul(self):
+        a = [10, 20, 30, 40, 50, 60, 70, 80]
+        b = [90, 91, 92, 93, 94, 95, 96, 1]
+        sim = self._with_regs(
+            [vvadd(2, 0, 1, 1), vvsub(3, 0, 1, 1), vvmul(4, 0, 1, 1)],
+            {0: a, 1: b},
+        )
+        assert sim.state.vrf[2] == [(x + y) % Q for x, y in zip(a, b)]
+        assert sim.state.vrf[3] == [(x - y) % Q for x, y in zip(a, b)]
+        assert sim.state.vrf[4] == [x * y % Q for x, y in zip(a, b)]
+
+    def test_vector_scalar_ops(self):
+        a = [10, 20, 30, 40, 50, 60, 70, 80]
+        prog = make_program(
+            [sload(2, 0, 0), vsadd(3, 0, 2, 1), vssub(4, 0, 2, 1), vsmul(5, 0, 2, 1)],
+            vdm_data=[0],
+            sdm_data=[13],
+        )
+        sim = FunctionalSimulator(prog, vdm_size=64)
+        sim.state.vrf[0] = list(a)
+        sim.run()
+        assert sim.state.vrf[3] == [(x + 13) % Q for x in a]
+        assert sim.state.vrf[4] == [(x - 13) % Q for x in a]
+        assert sim.state.vrf[5] == [x * 13 % Q for x in a]
+
+    def test_bflyct_semantics(self):
+        a = [1, 2, 3, 4, 5, 6, 7, 8]
+        b = [8, 7, 6, 5, 4, 3, 2, 1]
+        w = [3] * VLEN
+        sim = self._with_regs([bflyct(3, 4, 0, 1, 2, 1)], {0: a, 1: b, 2: w})
+        assert sim.state.vrf[3] == [(x + 3 * y) % Q for x, y in zip(a, b)]
+        assert sim.state.vrf[4] == [(x - 3 * y) % Q for x, y in zip(a, b)]
+
+    def test_bflygs_semantics(self):
+        a = [1, 2, 3, 4, 5, 6, 7, 8]
+        b = [8, 7, 6, 5, 4, 3, 2, 1]
+        w = [3] * VLEN
+        sim = self._with_regs([bflygs(3, 4, 0, 1, 2, 1)], {0: a, 1: b, 2: w})
+        assert sim.state.vrf[3] == [(x + y) % Q for x, y in zip(a, b)]
+        assert sim.state.vrf[4] == [(x - y) * 3 % Q for x, y in zip(a, b)]
+
+    def test_non_canonical_operand_faults(self):
+        sim_prog = make_program([vvadd(2, 0, 1, 1)], vdm_data=[0])
+        sim = FunctionalSimulator(sim_prog, vdm_size=64)
+        sim.state.vrf[0] = [Q] * VLEN  # not canonical
+        sim.state.vrf[1] = [0] * VLEN
+        with pytest.raises(SimulationFault):
+            sim.run()
+
+    def test_bad_modulus_faults(self):
+        prog = make_program([vvadd(2, 0, 1, 1)], vdm_data=[0])
+        prog.mrf_init[1] = 0
+        sim = FunctionalSimulator(prog, vdm_size=64)
+        with pytest.raises(SimulationFault):
+            sim.run()
+
+    def test_non_canonical_scalar_faults(self):
+        prog = make_program(
+            [sload(2, 0, 0), vsmul(3, 0, 2, 1)], vdm_data=[0], sdm_data=[Q + 5]
+        )
+        sim = FunctionalSimulator(prog, vdm_size=64)
+        with pytest.raises(SimulationFault):
+            sim.run()
+
+
+class TestShuffles:
+    def _shuffle(self, maker):
+        prog = make_program([maker(2, 0, 1)], vdm_data=[0])
+        sim = FunctionalSimulator(prog, vdm_size=64)
+        sim.state.vrf[0] = [0, 1, 2, 3, 4, 5, 6, 7]
+        sim.state.vrf[1] = [10, 11, 12, 13, 14, 15, 16, 17]
+        sim.run()
+        return sim.state.vrf[2]
+
+    def test_unpklo(self):
+        assert self._shuffle(unpklo) == [0, 10, 1, 11, 2, 12, 3, 13]
+
+    def test_unpkhi(self):
+        assert self._shuffle(unpkhi) == [4, 14, 5, 15, 6, 16, 7, 17]
+
+    def test_pklo(self):
+        assert self._shuffle(pklo) == [0, 2, 4, 6, 10, 12, 14, 16]
+
+    def test_pkhi(self):
+        assert self._shuffle(pkhi) == [1, 3, 5, 7, 11, 13, 15, 17]
+
+    def test_pack_unpack_inverse(self):
+        # unpklo/unpkhi undo pklo/pkhi as a register-pair permutation.
+        prog = make_program(
+            [pklo(2, 0, 1), pkhi(3, 0, 1), unpklo(4, 2, 3), unpkhi(5, 2, 3)],
+            vdm_data=[0],
+        )
+        sim = FunctionalSimulator(prog, vdm_size=64)
+        sim.state.vrf[0] = list(range(8))
+        sim.state.vrf[1] = list(range(8, 16))
+        sim.run()
+        assert sim.state.vrf[4] == list(range(8))
+        assert sim.state.vrf[5] == list(range(8, 16))
+
+
+class TestRegions:
+    def test_region_io(self):
+        prog = make_program([vload(0, 1, 0), vstore(0, 1, 8)], vdm_data=[0] * 16)
+        prog = Program(
+            name=prog.name,
+            instructions=prog.instructions,
+            vlen=prog.vlen,
+            vdm_segments=prog.vdm_segments,
+            arf_init=prog.arf_init,
+            mrf_init=prog.mrf_init,
+            input_region=RegionSpec("in", 0, 8),
+            output_region=RegionSpec("out", 8, 8),
+        )
+        sim = FunctionalSimulator(prog, vdm_size=64)
+        sim.write_region(prog.input_region, list(range(8)))
+        sim.run()
+        assert sim.read_region(prog.output_region) == list(range(8))
+
+    def test_wrong_region_size_rejected(self):
+        prog = make_program([vload(0, 1, 0)], vdm_data=[0] * 16)
+        sim = FunctionalSimulator(prog, vdm_size=64)
+        with pytest.raises(ValueError):
+            sim.write_region(prog.input_region, [1, 2, 3])
+
+    def test_stats_collection(self):
+        sim = run([vload(0, 1, 0), vstore(0, 1, 8)], vdm_data=[0] * 16)
+        assert sim.stats.executed == 2
+        assert sim.stats.vdm_reads == VLEN
+        assert sim.stats.vdm_writes == VLEN

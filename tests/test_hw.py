@@ -1,0 +1,179 @@
+"""Hardware model tests: every paper calibration anchor."""
+
+import pytest
+
+from repro.hw.area import (
+    law_engine_area_um2,
+    multiplier_area_um2,
+    rpu_area_breakdown,
+)
+from repro.hw.cpu_model import cpu_ntt_runtime_us, rpu_speedup_over_cpu
+from repro.hw.energy import multiplier_power_mw, ntt_energy_breakdown
+from repro.hw.f1_model import f1_advantage, f1_throughput_per_area
+from repro.hw.frequency import rpu_frequency_ghz, vdm_frequency_ghz
+from repro.hw.gpu_model import gpu_comparison
+from repro.hw.hbm import hbm_fits_behind_ntt, hbm_transfer_us
+from repro.hw.sram import rf_macro_area_um2, rf_macro_density_kb_per_mm2
+from repro.spiral.kernels import generate_ntt_program
+
+
+class TestSram:
+    def test_paper_macro_points_exact(self):
+        # Section VI-C: 512 B -> 2010 um^2, 256 B -> 1818 um^2.
+        assert rf_macro_area_um2(512) == pytest.approx(2010)
+        assert rf_macro_area_um2(256) == pytest.approx(1818)
+
+    def test_paper_densities(self):
+        assert rf_macro_density_kb_per_mm2(512) == pytest.approx(255, rel=0.05)
+        assert rf_macro_density_kb_per_mm2(256) == pytest.approx(140, rel=0.05)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            rf_macro_area_um2(0)
+
+
+class TestArea:
+    def test_headline_total(self):
+        # 20.5 mm^2 at (128, 128).
+        assert rpu_area_breakdown(128, 128).total == pytest.approx(20.5, abs=0.05)
+
+    def test_f1_comparison_area(self):
+        # HPLE + VRF = 12.61 mm^2 (section VII).
+        assert rpu_area_breakdown(128, 128).hple_total == pytest.approx(
+            12.61, abs=0.05
+        )
+
+    def test_4_256_vs_4_32(self):
+        # Section VI-B: (4, 256) needs ~2.5x the area of (4, 32).
+        ratio = rpu_area_breakdown(4, 256).total / rpu_area_breakdown(4, 32).total
+        assert ratio == pytest.approx(2.5, abs=0.15)
+
+    def test_bank_doubling_increments(self):
+        # Section VI-C: 10%-24% per doubling at 128 HPLEs (ours: 7-24%).
+        totals = [rpu_area_breakdown(128, b).total for b in (32, 64, 128, 256)]
+        increments = [b / a - 1 for a, b in zip(totals, totals[1:])]
+        assert all(0.05 <= inc <= 0.25 for inc in increments)
+        assert increments == sorted(increments)
+
+    def test_sbar_scaling(self):
+        # Triples per HPLE doubling; ~5x for 128 -> 256.
+        sbar = {h: rpu_area_breakdown(h, 128).sbar for h in (32, 64, 128, 256)}
+        assert sbar[64] / sbar[32] == pytest.approx(3, abs=0.6)
+        assert sbar[256] / sbar[128] == pytest.approx(5, abs=0.6)
+
+    def test_vbar_grows_with_banks(self):
+        vbar = [rpu_area_breakdown(128, b).vbar for b in (32, 64, 128, 256)]
+        assert vbar == sorted(vbar)
+        assert vbar[-1] / vbar[-2] >= 2.0  # doubles beyond 64 banks
+
+    def test_vrf_jump_per_hple_doubling(self):
+        # Paper: VRF jumps 1.5x-2x per HPLE doubling (smaller macros).
+        vrf = [rpu_area_breakdown(h, 128).vrf for h in (32, 64, 128, 256)]
+        for a, b in zip(vrf, vrf[1:]):
+            assert 1.4 <= b / a <= 2.1
+
+    def test_multiplier_area_shrinks_with_ii(self):
+        assert multiplier_area_um2(2) < multiplier_area_um2(1)
+        assert law_engine_area_um2(2) < law_engine_area_um2(1)
+
+    def test_breakdown_dict(self):
+        bd = rpu_area_breakdown(64, 64)
+        assert set(bd.as_dict()) == {
+            "IM", "VDM", "VRF", "LAW Engine", "Vector Crossbar",
+            "Shuffle Crossbar", "Scalar Unit",
+        }
+        assert bd.total == pytest.approx(sum(bd.as_dict().values()))
+
+
+class TestFrequency:
+    def test_paper_points(self):
+        assert vdm_frequency_ghz(32) == 1.29
+        assert vdm_frequency_ghz(64) == 1.53
+        assert vdm_frequency_ghz(128) == 1.68
+        assert vdm_frequency_ghz(256) == 1.68
+
+    def test_interpolation_monotone(self):
+        freqs = [vdm_frequency_ghz(b) for b in (16, 32, 48, 64, 96, 128, 512)]
+        assert freqs == sorted(freqs)
+
+    def test_logic_cap(self):
+        assert rpu_frequency_ghz(128) <= 2.0
+
+
+class TestEnergy:
+    @pytest.fixture(scope="class")
+    def energy_64k(self):
+        return ntt_energy_breakdown(generate_ntt_program(65536))
+
+    def test_total(self, energy_64k):
+        assert energy_64k.total == pytest.approx(49.18, rel=0.01)
+
+    def test_split(self, energy_64k):
+        pct = energy_64k.percentages()
+        paper = {
+            "LAW Engine": 66.7, "VRF": 19.3, "VDM": 10.5,
+            "Vector Crossbar": 2.3, "Shuffle Crossbar": 1.0, "IM": 0.1,
+        }
+        for name, expected in paper.items():
+            assert pct[name] == pytest.approx(expected, abs=0.4)
+
+    def test_multiplier_power(self):
+        # Paper: ~104 mW per 128-bit modular multiplier.
+        assert multiplier_power_mw(1.68) == pytest.approx(104, rel=0.1)
+
+    def test_average_power_scale(self, energy_64k):
+        # 49 uJ over ~6 us ~ 8 W (paper: 7.44 W at 6.7 us).
+        assert 6.0 <= energy_64k.average_power_w(6.04) <= 9.0
+
+
+class TestHbm:
+    def test_transfer_time(self):
+        # 64K x 16 B = 1 MiB at 512 GB/s ~ 2.05 us.
+        assert hbm_transfer_us(65536) == pytest.approx(2.048, rel=0.01)
+
+    def test_overlap_predicate(self):
+        assert hbm_fits_behind_ntt(65536, 6.04)
+        assert not hbm_fits_behind_ntt(65536, 1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hbm_transfer_us(-1)
+
+
+class TestCpuModel:
+    def test_nlogn_scaling(self):
+        assert cpu_ntt_runtime_us(2048, 128) / cpu_ntt_runtime_us(
+            1024, 128
+        ) == pytest.approx(2 * 11 / 10, rel=0.01)
+
+    def test_paper_envelope(self):
+        # Against the paper's 6.7 us RPU runtime, the model lands within
+        # the published speedup envelope.
+        assert rpu_speedup_over_cpu(65536, 6.7, 128) == pytest.approx(
+            1484, rel=0.05
+        )
+        assert rpu_speedup_over_cpu(65536, 6.7, 64) == pytest.approx(205, rel=0.05)
+
+    def test_unknown_width_rejected(self):
+        with pytest.raises(ValueError):
+            cpu_ntt_runtime_us(1024, 32)
+
+
+class TestRelatedWorkModels:
+    def test_f1_advantage_near_paper(self):
+        # With the paper's own RPU numbers the pipelined comparison ~2x.
+        assert f1_advantage(1500.0, 12.61) == pytest.approx(2.0, abs=0.15)
+
+    def test_latency_based_favors_rpu(self):
+        assert f1_advantage(1500.0, 12.61, pipelined=False) < 1.0
+
+    def test_f1_throughput_value(self):
+        assert f1_throughput_per_area(pipelined=False).value == pytest.approx(
+            1e9 / 2864 / 11.32
+        )
+
+    def test_gpu_ratios(self):
+        gpu = gpu_comparison()
+        assert gpu.rpu_speedup == 6.0
+        assert gpu.area_ratio == pytest.approx(40, rel=0.05)
+        assert gpu.power_ratio == pytest.approx(40, rel=0.05)

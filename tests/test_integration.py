@@ -1,0 +1,115 @@
+"""End-to-end integration tests across module boundaries.
+
+These exercise the full paper workflow: SPIRAL codegen -> functional
+execution -> cycle simulation -> hardware models, plus a complete
+NTT-domain polynomial multiplication running every data-touching step on
+the simulated RPU.
+"""
+
+import random
+
+import pytest
+
+from repro.core.rpu import Rpu
+from repro.femu import FunctionalSimulator
+from repro.hw.hbm import hbm_transfer_us
+from repro.ntt.naive import naive_negacyclic_convolution
+from repro.ntt.twiddles import TwiddleTable
+from repro.perf.config import RpuConfig
+from repro.spiral.kernels import generate_ntt_program
+
+N = 256
+VLEN = 16
+Q_BITS = 30
+
+
+@pytest.fixture(scope="module")
+def table():
+    return TwiddleTable.for_ring(N, q_bits=Q_BITS)
+
+
+def config(**kw):
+    base = dict(num_hples=8, vdm_banks=8, vlen=VLEN, frequency_ghz=1.0)
+    base.update(kw)
+    return RpuConfig(**base)
+
+
+def run_on_rpu(program, values):
+    sim = FunctionalSimulator(program)
+    sim.write_region(program.input_region, values)
+    sim.run()
+    return sim.read_region(program.output_region)
+
+
+class TestPolynomialMultiplicationOnRpu:
+    def test_full_he_style_polymul(self, table, rng):
+        """forward NTT x2 on the RPU, pointwise mul, inverse on the RPU."""
+        q = table.q
+        a = [rng.randrange(q) for _ in range(N)]
+        b = [rng.randrange(q) for _ in range(N)]
+        fwd = generate_ntt_program(
+            N, "forward", vlen=VLEN, q_bits=Q_BITS, rect_depth=2
+        )
+        inv = generate_ntt_program(
+            N, "inverse", vlen=VLEN, q_bits=Q_BITS, rect_depth=2
+        )
+        a_hat = run_on_rpu(fwd, a)
+        b_hat = run_on_rpu(fwd, b)
+        prod_hat = [x * y % q for x, y in zip(a_hat, b_hat)]
+        result = run_on_rpu(inv, prod_hat)
+        assert result == naive_negacyclic_convolution(a, b, q)
+
+
+class TestFacadeEndToEnd:
+    def test_verified_run_with_all_models(self):
+        program = generate_ntt_program(N, vlen=VLEN, q_bits=Q_BITS, rect_depth=2)
+        result = Rpu(config()).run(program, verify=True)
+        assert result.verified
+        # Cross-model consistency: energy, area and timing all populated
+        # and mutually consistent.
+        assert result.energy.total > 0
+        assert result.area.total > 0
+        assert result.report.theoretical_cycles(N) <= result.cycles
+
+    def test_double_buffering_analysis(self):
+        # The Fig. 9 overlap question, end to end at small scale.
+        program = generate_ntt_program(N, vlen=VLEN, q_bits=Q_BITS, rect_depth=2)
+        result = Rpu(RpuConfig(num_hples=16, vdm_banks=128, vlen=VLEN)).run(
+            program
+        )
+        assert hbm_transfer_us(N) < result.runtime_us * 100  # sane magnitudes
+
+
+class TestDeterminism:
+    def test_codegen_deterministic(self):
+        a = generate_ntt_program.__wrapped__(N, vlen=VLEN, q_bits=Q_BITS)
+        b = generate_ntt_program.__wrapped__(N, vlen=VLEN, q_bits=Q_BITS)
+        assert a.instructions == b.instructions
+
+    def test_simulation_deterministic(self):
+        program = generate_ntt_program(N, vlen=VLEN, q_bits=Q_BITS)
+        from repro.perf.engine import CycleSimulator
+
+        r1 = CycleSimulator(config()).run(program)
+        r2 = CycleSimulator(config()).run(program)
+        assert r1.cycles == r2.cycles
+        assert r1.stall_cycles == r2.stall_cycles
+
+
+class TestScaleMatrix:
+    """The generator/femu/perf stack over a grid of shapes in one go."""
+
+    @pytest.mark.parametrize("n,vlen", [(64, 4), (128, 8), (512, 32)])
+    @pytest.mark.parametrize("direction", ["forward", "inverse"])
+    def test_verify_matrix(self, n, vlen, direction):
+        program = generate_ntt_program(
+            n, direction, vlen=vlen, q_bits=Q_BITS, rect_depth=3
+        )
+        cfg = RpuConfig(
+            num_hples=max(2, vlen // 2),
+            vdm_banks=4,
+            vlen=vlen,
+            frequency_ghz=1.0,
+        )
+        result = Rpu(cfg).run(program, verify=True)
+        assert result.verified, f"{direction} n={n} vlen={vlen}"

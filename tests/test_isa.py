@@ -1,0 +1,214 @@
+"""Tests for the B512 ISA: encoding, assembler, addressing, program."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import VLEN
+from repro.isa.addressing import AddressMode, element_addresses
+from repro.isa.assembler import (
+    AssemblyError,
+    assemble,
+    disassemble,
+    format_instruction,
+    parse_line,
+)
+from repro.isa.encoding import (
+    decode_instruction,
+    encode_instruction,
+    encode_program_words,
+)
+from repro.isa.instructions import (
+    bflyct,
+    bflygs,
+    halt,
+    pkhi,
+    pklo,
+    sload,
+    unpkhi,
+    unpklo,
+    vbcast,
+    vload,
+    vsadd,
+    vsmul,
+    vssub,
+    vstore,
+    vvadd,
+    vvmul,
+    vvsub,
+)
+from repro.isa.opcodes import InstructionClass, Opcode
+from repro.isa.program import DataSegment, Program, RegionSpec
+from repro.eval.table1 import all_17_instructions
+
+
+class TestOpcodes:
+    def test_exactly_17_distinct_instructions(self):
+        assert len(all_17_instructions()) == 17
+        assert len({format_instruction(i) for i in all_17_instructions()}) == 17
+
+    def test_classes(self):
+        assert Opcode.VLOAD.instruction_class is InstructionClass.LSI
+        assert Opcode.BFLY.instruction_class is InstructionClass.CI
+        assert Opcode.PKHI.instruction_class is InstructionClass.SI
+        assert Opcode.HALT.instruction_class is InstructionClass.CTRL
+
+    def test_multiplier_usage(self):
+        assert Opcode.BFLY.uses_multiplier
+        assert Opcode.VVMUL.uses_multiplier
+        assert not Opcode.VVADD.uses_multiplier
+
+
+class TestEncoding:
+    def test_roundtrip_all_17(self):
+        for inst in all_17_instructions():
+            word = encode_instruction(inst)
+            assert 0 <= word < 1 << 64
+            assert decode_instruction(word) == inst
+
+    @given(st.data())
+    @settings(max_examples=80)
+    def test_roundtrip_random_fields(self, data):
+        regs = st.integers(0, 63)
+        kind = data.draw(st.sampled_from(["ls", "ci", "bfly", "si", "vs"]))
+        if kind == "ls":
+            inst = vload(
+                data.draw(regs),
+                data.draw(regs),
+                data.draw(st.integers(0, (1 << 20) - 1)),
+                data.draw(st.sampled_from(list(AddressMode))),
+                data.draw(st.integers(0, 15)),
+            )
+        elif kind == "ci":
+            inst = vvmul(*(data.draw(regs) for _ in range(4)))
+        elif kind == "bfly":
+            maker = data.draw(st.sampled_from([bflyct, bflygs]))
+            inst = maker(*(data.draw(regs) for _ in range(6)))
+        elif kind == "vs":
+            inst = vsadd(*(data.draw(regs) for _ in range(4)))
+        else:
+            inst = pklo(*(data.draw(regs) for _ in range(3)))
+        assert decode_instruction(encode_instruction(inst)) == inst
+
+    def test_bfly_variant_bit(self):
+        ct = bflyct(1, 2, 3, 4, 5, 6)
+        gs = bflygs(1, 2, 3, 4, 5, 6)
+        assert encode_instruction(ct) != encode_instruction(gs)
+        assert (encode_instruction(gs) >> 48) & 1 == 1
+
+    def test_im_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            encode_program_words([halt()] * (65_537))
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            vload(64, 0)
+        with pytest.raises(ValueError):
+            vvadd(0, 0, 0, 64)
+
+    def test_offset_range_checked(self):
+        with pytest.raises(ValueError):
+            vload(0, 0, 1 << 20)
+
+
+class TestAddressing:
+    def test_linear(self):
+        assert element_addresses(AddressMode.LINEAR, 0, 100, 4) == [
+            100, 101, 102, 103,
+        ]
+
+    def test_strided(self):
+        assert element_addresses(AddressMode.STRIDED, 1, 0, 4) == [0, 2, 4, 6]
+
+    def test_strided_skip(self):
+        # Move 2^1 = 2 elements, skip 2, repeat.
+        assert element_addresses(AddressMode.STRIDED_SKIP, 1, 0, 8) == [
+            0, 1, 4, 5, 8, 9, 12, 13,
+        ]
+
+    def test_repeated(self):
+        assert element_addresses(AddressMode.REPEATED, 1, 10, 6) == [
+            10, 11, 10, 11, 10, 11,
+        ]
+
+    @given(
+        st.sampled_from(list(AddressMode)),
+        st.integers(0, 6),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=60)
+    def test_address_count_and_bounds(self, mode, value, base):
+        addrs = element_addresses(mode, value, base, 16)
+        assert len(addrs) == 16
+        assert all(a >= base for a in addrs)
+
+    def test_value_range(self):
+        with pytest.raises(ValueError):
+            element_addresses(AddressMode.STRIDED, 64, 0, 4)
+
+
+class TestAssembler:
+    def test_roundtrip_all_17(self):
+        text = disassemble(all_17_instructions())
+        assert assemble(text) == all_17_instructions()
+
+    def test_comments_and_blanks(self):
+        program = assemble(
+            """
+            # full line comment
+            vload v1, a0, 0  // trailing comment
+
+            halt
+            """
+        )
+        assert len(program) == 2
+        assert program[0].opcode is Opcode.VLOAD
+
+    def test_short_ls_form(self):
+        inst = parse_line("vload v1, a2, 5")
+        assert inst.mode is AddressMode.LINEAR and inst.offset == 5
+
+    def test_errors(self):
+        with pytest.raises(AssemblyError):
+            parse_line("vload s1, a2, 5", 3)
+        with pytest.raises(AssemblyError):
+            parse_line("frobnicate v1, v2", 1)
+        with pytest.raises(AssemblyError):
+            parse_line("vvadd v1, v2, v3", 1)  # missing modulus register
+        with pytest.raises(AssemblyError):
+            parse_line("vload v1, a2, 5, diagonal, 2", 1)
+
+
+class TestProgram:
+    def test_finalize_appends_halt(self):
+        p = Program("t", [vload(0, 0, 0)]).finalize()
+        assert p.instructions[-1].opcode is Opcode.HALT
+
+    def test_finalize_idempotent_halt(self):
+        p = Program("t", [halt()]).finalize()
+        assert sum(1 for i in p.instructions if i.opcode is Opcode.HALT) == 1
+
+    def test_segment_overlap_rejected(self):
+        p = Program(
+            "t",
+            [halt()],
+            vdm_segments=[
+                DataSegment("a", 0, (1, 2, 3)),
+                DataSegment("b", 2, (4,)),
+            ],
+        )
+        with pytest.raises(ValueError):
+            p.finalize()
+
+    def test_class_counts_and_words(self):
+        p = Program(
+            "t",
+            [vload(0, 0, 0), vvadd(1, 0, 0, 1), pklo(2, 0, 1), halt()],
+            input_region=RegionSpec("in", 0, 1024),
+            extra_vdm_words=64,
+        )
+        counts = p.class_counts()
+        assert counts[InstructionClass.LSI] == 1
+        assert counts[InstructionClass.CI] == 1
+        assert counts[InstructionClass.SI] == 1
+        assert p.vdm_words_needed == 1024 + 64
+        assert "CI=1" in p.summary()

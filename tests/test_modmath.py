@@ -1,0 +1,152 @@
+"""Unit and property tests for the modular arithmetic substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.modmath.arith import mod_add, mod_inv, mod_mul, mod_neg, mod_pow, mod_sub
+from repro.modmath.barrett import BarrettReducer
+from repro.modmath.montgomery import MontgomeryDomain
+from repro.modmath.primes import (
+    factorize,
+    find_ntt_prime,
+    find_primitive_root,
+    find_root_of_unity,
+    is_prime,
+    minimal_2nth_root,
+)
+
+Q = 998244353  # classic NTT prime: 119 * 2^23 + 1
+
+residues = st.integers(0, Q - 1)
+
+
+class TestScalarOps:
+    @given(residues, residues)
+    def test_add_sub_roundtrip(self, a, b):
+        assert mod_sub(mod_add(a, b, Q), b, Q) == a
+
+    @given(residues)
+    def test_neg(self, a):
+        assert mod_add(a, mod_neg(a, Q), Q) == 0
+
+    @given(residues, residues)
+    def test_mul_matches_python(self, a, b):
+        assert mod_mul(a, b, Q) == a * b % Q
+
+    @given(st.integers(1, Q - 1))
+    def test_inverse(self, a):
+        assert mod_mul(a, mod_inv(a, Q), Q) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            mod_inv(0, Q)
+
+    def test_non_canonical_rejected(self):
+        with pytest.raises(ValueError):
+            mod_add(Q, 1, Q)
+        with pytest.raises(ValueError):
+            mod_mul(-1, 1, Q)
+
+    @given(residues, st.integers(-20, 20))
+    def test_pow_negative_exponent(self, a, e):
+        if a == 0 and e < 0:
+            return
+        expected = pow(pow(a, abs(e), Q), 1, Q)
+        if e < 0 and a != 0:
+            expected = pow(mod_inv(a, Q), abs(e), Q)
+        assert mod_pow(a, e, Q) == expected
+
+
+class TestBarrett:
+    @given(residues, residues)
+    @settings(max_examples=60)
+    def test_matches_native(self, a, b):
+        br = BarrettReducer(Q, word_bits=32)
+        assert br.mul(a, b) == a * b % Q
+
+    def test_128bit_modulus(self):
+        q = find_ntt_prime(128, 1024)
+        br = BarrettReducer(q)
+        a = q - 12345
+        b = q - 67890
+        assert br.mul(a, b) == a * b % q
+
+    def test_input_range_checked(self):
+        br = BarrettReducer(Q, word_bits=32)
+        with pytest.raises(ValueError):
+            br.reduce(Q * Q)
+        with pytest.raises(ValueError):
+            br.mul(Q, 1)
+
+    def test_modulus_must_fit_datapath(self):
+        with pytest.raises(ValueError):
+            BarrettReducer((1 << 40) + 1, word_bits=32)
+
+
+class TestMontgomery:
+    @given(residues, residues)
+    @settings(max_examples=60)
+    def test_matches_native(self, a, b):
+        md = MontgomeryDomain(Q)
+        assert md.mod_mul(a, b) == a * b % Q
+
+    def test_domain_roundtrip(self):
+        md = MontgomeryDomain(Q)
+        for a in (0, 1, 2, Q - 1, Q // 2):
+            assert md.from_mont(md.to_mont(a)) == a
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            MontgomeryDomain(64)
+
+    def test_agrees_with_barrett(self):
+        q = find_ntt_prime(64, 256)
+        md, br = MontgomeryDomain(q), BarrettReducer(q, word_bits=64)
+        for a, b in [(123456789, 987654321), (q - 1, q - 1), (0, 5)]:
+            assert md.mod_mul(a, b) == br.mul(a, b)
+
+
+class TestPrimes:
+    def test_is_prime_small(self):
+        primes = {2, 3, 5, 7, 11, 13, 97, 7681, 998244353}
+        for p in primes:
+            assert is_prime(p)
+        for c in (0, 1, 4, 9, 91, 7680, 998244355):
+            assert not is_prime(c)
+
+    def test_find_ntt_prime_properties(self):
+        for bits, n in [(20, 64), (30, 1024), (60, 4096), (128, 65536)]:
+            q = find_ntt_prime(bits, n)
+            assert q.bit_length() == bits
+            assert (q - 1) % (2 * n) == 0
+            assert is_prime(q)
+
+    def test_factorize(self):
+        assert factorize(2 * 2 * 3 * 7 * 7 * 13) == {2: 2, 3: 1, 7: 2, 13: 1}
+        q = find_ntt_prime(40, 256)
+        f = factorize(q - 1)
+        product = 1
+        for p, e in f.items():
+            assert is_prime(p)
+            product *= p**e
+        assert product == q - 1
+
+    def test_primitive_root(self):
+        g = find_primitive_root(Q)
+        assert pow(g, Q - 1, Q) == 1
+        assert pow(g, (Q - 1) // 2, Q) != 1
+
+    def test_root_of_unity_order(self):
+        w = find_root_of_unity(2048, Q)
+        assert pow(w, 2048, Q) == 1
+        assert pow(w, 1024, Q) != 1
+
+    def test_minimal_2nth_root_negacyclic(self):
+        q = find_ntt_prime(30, 128)
+        psi = minimal_2nth_root(128, q)
+        assert pow(psi, 128, q) == q - 1  # psi^n == -1
+        assert pow(psi, 256, q) == 1
+
+    def test_root_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            find_root_of_unity(3, 257)

@@ -1,0 +1,185 @@
+"""Tests for the reference, naive and Pease NTT implementations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ntt.naive import (
+    naive_cyclic_convolution,
+    naive_negacyclic_convolution,
+    naive_negacyclic_ntt,
+)
+from repro.ntt.pease import (
+    interleave,
+    pack,
+    pease_ntt_forward,
+    pease_ntt_inverse,
+    pease_output_index,
+    pease_twiddle_index,
+    stage_permutation,
+    verify_alignment,
+)
+from repro.ntt.polymul import negacyclic_polymul, pointwise_mul
+from repro.ntt.reference import ntt_forward, ntt_inverse, to_natural_order
+from repro.ntt.twiddles import TwiddleTable
+from repro.util.bits import bit_reverse_permutation
+
+from tests.conftest import random_poly
+
+
+class TestTwiddleTable:
+    def test_validation(self, small_table):
+        small_table.validate()
+
+    def test_cached(self):
+        a = TwiddleTable.for_ring(64, q_bits=30)
+        b = TwiddleTable.for_ring(64, q_bits=30)
+        assert a is b
+
+    def test_psi_rev_layout(self, tiny_table):
+        t = tiny_table
+        perm = bit_reverse_permutation(t.n)
+        powers = [pow(t.psi, i, t.q) for i in range(t.n)]
+        assert list(t.psi_rev) == [powers[perm[i]] for i in range(t.n)]
+
+
+class TestReferenceNtt:
+    def test_roundtrip(self, small_table, rng):
+        a = random_poly(small_table, rng)
+        assert ntt_inverse(ntt_forward(a, small_table), small_table) == a
+
+    def test_matches_naive(self, tiny_table, rng):
+        a = random_poly(tiny_table, rng)
+        fwd = ntt_forward(a, tiny_table)
+        nat = naive_negacyclic_ntt(a, tiny_table)
+        assert to_natural_order(fwd) == nat
+
+    def test_linearity(self, small_table, rng):
+        t = small_table
+        a = random_poly(t, rng)
+        b = random_poly(t, rng)
+        summed = [(x + y) % t.q for x, y in zip(a, b)]
+        fa, fb = ntt_forward(a, t), ntt_forward(b, t)
+        assert ntt_forward(summed, t) == [
+            (x + y) % t.q for x, y in zip(fa, fb)
+        ]
+
+    def test_wrong_length_rejected(self, small_table):
+        with pytest.raises(ValueError):
+            ntt_forward([0] * 3, small_table)
+        with pytest.raises(ValueError):
+            ntt_inverse([0] * 3, small_table)
+
+    @given(st.integers(0, 2**30))
+    @settings(max_examples=20)
+    def test_constant_polynomial(self, seed):
+        t = TwiddleTable.for_ring(16, q_bits=20)
+        c = seed % t.q
+        fwd = ntt_forward([c] + [0] * 15, t)
+        # A constant polynomial transforms to the constant everywhere.
+        assert fwd == [c] * 16
+
+
+class TestConvolution:
+    def test_polymul_matches_schoolbook(self, small_table, rng):
+        t = small_table
+        a = random_poly(t, rng)
+        b = random_poly(t, rng)
+        assert negacyclic_polymul(a, b, t) == naive_negacyclic_convolution(
+            a, b, t.q
+        )
+
+    def test_negacyclic_wraparound_sign(self, tiny_table):
+        t = tiny_table
+        # x^(n-1) * x = x^n = -1.
+        a = [0] * t.n
+        a[t.n - 1] = 1
+        b = [0] * t.n
+        b[1] = 1
+        out = naive_negacyclic_convolution(a, b, t.q)
+        assert out[0] == t.q - 1
+        assert all(c == 0 for c in out[1:])
+
+    def test_cyclic_differs_from_negacyclic(self, tiny_table):
+        t = tiny_table
+        a = [1] * t.n
+        cyc = naive_cyclic_convolution(a, a, t.q)
+        neg = naive_negacyclic_convolution(a, a, t.q)
+        assert cyc != neg
+
+    def test_pointwise_checks_length(self):
+        with pytest.raises(ValueError):
+            pointwise_mul([1, 2], [1], 17)
+
+
+class TestPease:
+    @pytest.mark.parametrize("n", [4, 8, 16, 64, 256, 1024])
+    def test_alignment_closed_forms(self, n):
+        verify_alignment(n)
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_forward_equals_reference(self, n, rng):
+        t = TwiddleTable.for_ring(n, q_bits=30)
+        a = [rng.randrange(t.q) for _ in range(n)]
+        assert pease_ntt_forward(a, t) == ntt_forward(a, t)
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_inverse_equals_reference(self, n, rng):
+        t = TwiddleTable.for_ring(n, q_bits=30)
+        a = [rng.randrange(t.q) for _ in range(n)]
+        fwd = ntt_forward(a, t)
+        assert pease_ntt_inverse(fwd, t) == a
+
+    def test_interleave_pack_inverse(self):
+        values = list(range(32))
+        assert pack(interleave(values)) == values
+        assert interleave(pack(values)) == values
+
+    def test_stage_permutation_rotation(self):
+        n = 16
+        assert stage_permutation(0, n) == list(range(n))
+        perm1 = stage_permutation(1, n)
+        # One interleave = right rotation of position bits.
+        expected = list(range(n))
+        expected = interleave(expected)
+        # perm maps position -> reference index held there.
+        assert perm1 == expected
+
+    def test_twiddle_index_period(self):
+        # Stage s twiddles repeat with period 2^s across pair positions.
+        for s in range(6):
+            period = 1 << s
+            base = [pease_twiddle_index(s, p) for p in range(period)]
+            for p in range(64):
+                assert pease_twiddle_index(s, p) == base[p % period]
+
+    def test_output_index_is_stride2(self):
+        n = 64
+        for p in range(n // 2):
+            assert pease_output_index(p, n) == 2 * p
+        for p in range(n // 2, n):
+            assert pease_output_index(p, n) == 2 * (p - n // 2) + 1
+
+
+class TestPropertyBased:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_random_ring(self, data):
+        n = data.draw(st.sampled_from([16, 32, 64]))
+        t = TwiddleTable.for_ring(n, q_bits=25)
+        a = data.draw(
+            st.lists(st.integers(0, t.q - 1), min_size=n, max_size=n)
+        )
+        assert ntt_inverse(ntt_forward(a, t), t) == a
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_convolution_theorem(self, data):
+        n = 32
+        t = TwiddleTable.for_ring(n, q_bits=25)
+        a = data.draw(st.lists(st.integers(0, t.q - 1), min_size=n, max_size=n))
+        b = data.draw(st.lists(st.integers(0, t.q - 1), min_size=n, max_size=n))
+        via_ntt = negacyclic_polymul(a, b, t)
+        direct = naive_negacyclic_convolution(a, b, t.q)
+        assert via_ntt == direct

@@ -1,0 +1,216 @@
+"""Cycle-level simulator tests: occupancy laws, stalls, scaling trends."""
+
+import pytest
+
+from repro.isa.addressing import AddressMode
+from repro.isa.instructions import (
+    bflyct,
+    pklo,
+    vload,
+    vstore,
+    vvadd,
+    vvmul,
+)
+from repro.isa.program import Program, RegionSpec
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator
+from repro.spiral.kernels import generate_ntt_program
+
+Q_BITS = 30
+
+
+def tiny_config(**kw):
+    defaults = dict(num_hples=4, vdm_banks=4, vlen=8, frequency_ghz=1.0)
+    defaults.update(kw)
+    return RpuConfig(**defaults)
+
+
+def program_of(instructions, vlen=8):
+    return Program(
+        "t", list(instructions), vlen=vlen,
+        input_region=RegionSpec("in", 0, vlen),
+    ).finalize()
+
+
+class TestConfig:
+    def test_clock_follows_banks(self):
+        assert RpuConfig(vdm_banks=32).clock_ghz == pytest.approx(1.29)
+        assert RpuConfig(vdm_banks=64).clock_ghz == pytest.approx(1.53)
+        assert RpuConfig(vdm_banks=128).clock_ghz == pytest.approx(1.68)
+        assert RpuConfig(vdm_banks=256).clock_ghz == pytest.approx(1.68)
+
+    def test_override(self):
+        assert RpuConfig(frequency_ghz=2.0).clock_ghz == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RpuConfig(num_hples=3)
+        with pytest.raises(ValueError):
+            RpuConfig(num_hples=1024, vlen=512)
+        with pytest.raises(ValueError):
+            RpuConfig(mult_ii=0)
+
+    def test_label_and_lanes(self):
+        cfg = RpuConfig(num_hples=64, vdm_banks=128)
+        assert cfg.label() == "(64, 128)"
+        assert cfg.lanes_per_hple == 8
+
+
+class TestOccupancy:
+    def test_ci_occupancy_scales_with_ii(self):
+        sim = CycleSimulator(tiny_config(mult_ii=3))
+        inst = vvmul(0, 4, 8, 1)
+        assert sim._ci_occupancy(inst) == 2 * 3  # 8/4 lanes * II
+
+    def test_addsub_ignores_multiplier_ii(self):
+        sim = CycleSimulator(tiny_config(mult_ii=3))
+        assert sim._ci_occupancy(vvadd(0, 4, 8, 1)) == 2
+
+    def test_group_conflicts_penalize(self):
+        sim = CycleSimulator(tiny_config())
+        conflicted = vvmul(0, 1, 2, 1)  # regs 0,1,2 share group 0
+        clean = vvmul(0, 4, 8, 1)
+        assert sim._ci_occupancy(conflicted) == 3 * sim._ci_occupancy(clean)
+
+    def test_group_conflicts_disabled(self):
+        sim = CycleSimulator(tiny_config(vrf_group_conflict=False))
+        assert sim._ci_occupancy(vvmul(0, 1, 2, 1)) == sim._ci_occupancy(
+            vvmul(0, 4, 8, 1)
+        )
+
+    def test_linear_load_occupancy(self):
+        sim = CycleSimulator(tiny_config())
+        assert sim._ls_occupancy(vload(0, 1, 0)) == 2  # 8 elems / 4 banks
+
+    def test_strided_load_bank_conflicts(self):
+        # Stride 2 hits only even banks: twice the per-bank pressure.
+        sim = CycleSimulator(tiny_config())
+        inst = vload(0, 1, 0, AddressMode.STRIDED, 1)
+        assert sim._ls_occupancy(inst) == 4
+
+    def test_stride_equal_banks_serializes(self):
+        # Stride 4 with 4 banks: every element lands in one bank.
+        sim = CycleSimulator(tiny_config())
+        inst = vload(0, 1, 0, AddressMode.STRIDED, 2)
+        assert sim._ls_occupancy(inst) == 8
+
+    def test_swizzle_spreads_strided_accesses(self):
+        plain = CycleSimulator(tiny_config())
+        swizzled = CycleSimulator(tiny_config(vdm_swizzle=True))
+        inst = vload(0, 1, 0, AddressMode.STRIDED, 2)
+        assert swizzled._ls_occupancy(inst) <= plain._ls_occupancy(inst)
+
+    def test_vbar_slice_limit(self):
+        # More banks than HPLEs: delivery limited by slice write ports.
+        sim = CycleSimulator(tiny_config(num_hples=2, vdm_banks=8))
+        assert sim._ls_occupancy(vload(0, 1, 0)) == 4  # 8/2 slices
+
+
+class TestPipelineModel:
+    def test_independent_ops_overlap_across_pipes(self):
+        # One LSI + one CI + one SI with no shared registers: the makespan
+        # must be far below the serial sum.
+        prog = program_of(
+            [vload(0, 1, 0), vvadd(8, 4, 12, 1), pklo(16, 20, 24)]
+        )
+        report = CycleSimulator(tiny_config()).run(prog)
+        serial = 3 + (2 + 6) + (2 + 2) + (2 + 4)
+        assert report.cycles < serial
+
+    def test_dependent_ops_serialize(self):
+        dep = program_of([vload(0, 1, 0), vvadd(8, 0, 12, 1)])
+        indep = program_of([vload(0, 1, 0), vvadd(8, 4, 12, 1)])
+        sim = CycleSimulator(tiny_config())
+        assert sim.run(dep).cycles > sim.run(indep).cycles
+        assert sim.run(dep).stall_cycles["busyboard_raw"] > 0
+
+    def test_waw_detected(self):
+        prog = program_of([vload(0, 1, 0), vvadd(0, 4, 12, 1)])
+        report = CycleSimulator(tiny_config()).run(prog)
+        assert report.stall_cycles["busyboard_waw"] > 0
+
+    def test_war_only_with_strict_busyboard(self):
+        prog = program_of([vvadd(8, 0, 12, 1), vload(0, 1, 0)])
+        relaxed = CycleSimulator(tiny_config()).run(prog)
+        strict = CycleSimulator(
+            tiny_config(busyboard_track_sources=True)
+        ).run(prog)
+        assert relaxed.stall_cycles["busyboard_war"] == 0
+        assert strict.stall_cycles["busyboard_war"] > 0
+        assert strict.cycles >= relaxed.cycles
+
+    def test_queue_backpressure(self):
+        # Many independent loads: a depth-1 queue forces serialization.
+        loads = [vload(i % 32, 1, 0) for i in range(32)]
+        deep = CycleSimulator(tiny_config(queue_depth=16)).run(
+            program_of(loads)
+        )
+        shallow = CycleSimulator(tiny_config(queue_depth=1)).run(
+            program_of(loads)
+        )
+        assert shallow.cycles >= deep.cycles
+        assert shallow.stall_cycles["queue_full"] > 0
+
+    def test_report_fields(self):
+        prog = program_of([vload(0, 1, 0)])
+        report = CycleSimulator(tiny_config()).run(prog)
+        assert report.dispatched == 1
+        assert report.runtime_us > 0
+        assert set(report.utilization()) == {"LSI", "CI", "SI"}
+        assert "t on (4, 4)" in report.summary()
+
+    def test_vlen_mismatch_rejected(self):
+        prog = program_of([vload(0, 1, 0)], vlen=16)
+        with pytest.raises(ValueError):
+            CycleSimulator(tiny_config()).run(prog)
+
+
+class TestKernelTrends:
+    """Macro-level sanity on real generated kernels (small ring)."""
+
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        return generate_ntt_program(512, vlen=16, q_bits=Q_BITS, rect_depth=3)
+
+    def config(self, **kw):
+        base = dict(num_hples=8, vdm_banks=8, vlen=16, frequency_ghz=1.0)
+        base.update(kw)
+        return RpuConfig(**base)
+
+    def test_more_hples_faster(self, kernel):
+        slow = CycleSimulator(self.config(num_hples=2)).run(kernel)
+        fast = CycleSimulator(self.config(num_hples=16)).run(kernel)
+        assert fast.cycles < slow.cycles
+
+    def test_more_banks_not_slower(self, kernel):
+        few = CycleSimulator(self.config(vdm_banks=2)).run(kernel)
+        many = CycleSimulator(self.config(vdm_banks=16)).run(kernel)
+        assert many.cycles <= few.cycles
+
+    def test_ii_monotone(self, kernel):
+        cycles = [
+            CycleSimulator(self.config(mult_ii=ii)).run(kernel).cycles
+            for ii in (1, 2, 4)
+        ]
+        assert cycles == sorted(cycles)
+
+    def test_latency_mild_vs_ii(self, kernel):
+        base = CycleSimulator(self.config()).run(kernel).cycles
+        lat = CycleSimulator(self.config(mult_latency=10)).run(kernel).cycles
+        ii = CycleSimulator(self.config(mult_ii=4)).run(kernel).cycles
+        assert (lat - base) < (ii - base)
+
+    def test_compute_lower_bound(self, kernel):
+        # Cycles can never beat CI work / HPLE throughput.
+        config = self.config()
+        report = CycleSimulator(config).run(kernel)
+        ci_work = report.pipe_stats[
+            list(report.pipe_stats)[1]
+        ].busy_cycles
+        assert report.cycles >= ci_work
+
+    def test_optimized_beats_unoptimized(self):
+        opt = generate_ntt_program(512, vlen=16, q_bits=Q_BITS, optimize=True)
+        unopt = generate_ntt_program(512, vlen=16, q_bits=Q_BITS, optimize=False)
+        sim = CycleSimulator(self.config())
+        assert sim.run(opt).cycles < sim.run(unopt).cycles

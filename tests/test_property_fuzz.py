@@ -1,0 +1,164 @@
+"""Cross-cutting property tests: randomized parameters over whole stacks.
+
+These complement the per-module suites with end-to-end invariants --
+any generated kernel must compute the reference transform, any config must
+respect timing monotonicity laws, any instruction must survive
+format->parse->encode->decode.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.femu import FunctionalSimulator
+from repro.isa.assembler import format_instruction, parse_line
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.instructions import (
+    bflyct,
+    bflygs,
+    pkhi,
+    pklo,
+    unpkhi,
+    unpklo,
+    vload,
+    vsadd,
+    vsmul,
+    vssub,
+    vstore,
+    vvadd,
+    vvmul,
+    vvsub,
+)
+from repro.isa.addressing import AddressMode
+from repro.ntt.reference import ntt_forward, ntt_inverse
+from repro.ntt.twiddles import TwiddleTable
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator
+from repro.spiral.kernels import generate_ntt_program
+
+Q_BITS = 25
+
+_SHAPES = [
+    (32, 4, 2),
+    (64, 4, 2),
+    (64, 8, 3),
+    (128, 8, 2),
+    (128, 16, 3),
+    (256, 8, 2),
+    (256, 32, 4),
+    (512, 16, 2),
+]
+
+
+def _run(program, values):
+    sim = FunctionalSimulator(program)
+    sim.write_region(program.input_region, values)
+    sim.run()
+    return sim.read_region(program.output_region)
+
+
+class TestCodegenFuzz:
+    @given(
+        shape=st.sampled_from(_SHAPES),
+        direction=st.sampled_from(["forward", "inverse"]),
+        optimize=st.booleans(),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_kernel_matches_reference(self, shape, direction, optimize, seed):
+        n, vlen, depth = shape
+        table = TwiddleTable.for_ring(n, q_bits=Q_BITS)
+        rng = random.Random(seed)
+        plain = [rng.randrange(table.q) for _ in range(n)]
+        program = generate_ntt_program(
+            n, direction, vlen=vlen, q_bits=Q_BITS, optimize=optimize,
+            rect_depth=depth,
+        )
+        if direction == "forward":
+            assert _run(program, plain) == ntt_forward(plain, table)
+        else:
+            transformed = ntt_forward(plain, table)
+            assert _run(program, transformed) == plain
+
+    @given(
+        shape=st.sampled_from(_SHAPES),
+        window=st.sampled_from([1, 8, 32, 64]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_schedule_window_never_breaks_correctness(self, shape, window):
+        n, vlen, depth = shape
+        table = TwiddleTable.for_ring(n, q_bits=Q_BITS)
+        rng = random.Random(window)
+        plain = [rng.randrange(table.q) for _ in range(n)]
+        program = generate_ntt_program(
+            n, vlen=vlen, q_bits=Q_BITS, rect_depth=depth,
+            schedule_window=window,
+        )
+        assert _run(program, plain) == ntt_forward(plain, table)
+
+
+class TestTimingLaws:
+    @given(
+        hples=st.sampled_from([2, 4, 8]),
+        banks=st.sampled_from([2, 4, 8, 16]),
+        ii=st.integers(1, 4),
+        queue=st.sampled_from([1, 4, 16]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_cycle_count_laws(self, hples, banks, ii, queue):
+        program = generate_ntt_program(256, vlen=8, q_bits=Q_BITS, rect_depth=2)
+        config = RpuConfig(
+            num_hples=hples, vdm_banks=banks, vlen=8, mult_ii=ii,
+            queue_depth=queue, frequency_ghz=1.0,
+        )
+        report = CycleSimulator(config).run(program)
+        # Law 1: the makespan covers the busiest pipe's work.
+        busiest = max(s.busy_cycles for s in report.pipe_stats.values())
+        assert report.cycles >= busiest
+        # Law 2: at one instruction per cycle, dispatch alone needs this.
+        assert report.cycles >= report.dispatched
+        # Law 3: deeper queues never hurt.
+        deeper = CycleSimulator(config.with_changes(queue_depth=queue + 8)).run(
+            program
+        )
+        assert deeper.cycles <= report.cycles
+        # Law 4: a slower multiplier never helps.
+        slower = CycleSimulator(config.with_changes(mult_ii=ii + 1)).run(program)
+        assert slower.cycles >= report.cycles
+
+
+class TestInstructionFuzz:
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_assembly_and_encoding_roundtrips(self, data):
+        regs = st.integers(0, 63)
+        maker = data.draw(
+            st.sampled_from(
+                ["vload", "vstore", "vv", "vs", "bfly", "shuf"]
+            )
+        )
+        if maker in ("vload", "vstore"):
+            fn = vload if maker == "vload" else vstore
+            inst = fn(
+                data.draw(regs),
+                data.draw(regs),
+                data.draw(st.integers(0, (1 << 20) - 1)),
+                data.draw(st.sampled_from(list(AddressMode))),
+                data.draw(st.integers(0, 20)),
+            )
+        elif maker == "vv":
+            fn = data.draw(st.sampled_from([vvadd, vvsub, vvmul]))
+            inst = fn(*(data.draw(regs) for _ in range(4)))
+        elif maker == "vs":
+            fn = data.draw(st.sampled_from([vsadd, vssub, vsmul]))
+            inst = fn(*(data.draw(regs) for _ in range(4)))
+        elif maker == "bfly":
+            fn = data.draw(st.sampled_from([bflyct, bflygs]))
+            inst = fn(*(data.draw(regs) for _ in range(6)))
+        else:
+            fn = data.draw(st.sampled_from([unpklo, unpkhi, pklo, pkhi]))
+            inst = fn(*(data.draw(regs) for _ in range(3)))
+        # Text roundtrip.
+        assert parse_line(format_instruction(inst)) == inst
+        # Binary roundtrip.
+        assert decode_instruction(encode_instruction(inst)) == inst

@@ -1,0 +1,191 @@
+"""RLWE workload tests: ring algebra, BFV scheme, Kyber-style KEM."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.modmath.primes import find_ntt_prime
+from repro.ntt.naive import naive_negacyclic_convolution
+from repro.rlwe.bfv import BfvContext, BfvParameters
+from repro.rlwe.kyber import DU, DV, KyberContext, N, Q, _compress, _decompress
+from repro.rlwe.ring import RingElement
+from repro.rlwe.sampling import centered_binomial_poly, ternary_poly, uniform_poly
+
+RING_N = 16
+RING_Q = find_ntt_prime(20, RING_N)
+
+
+def rand_elem(rng):
+    return RingElement(tuple(rng.randrange(RING_Q) for _ in range(RING_N)), RING_Q)
+
+
+class TestRingElement:
+    def test_add_sub_neg(self, rng):
+        a, b = rand_elem(rng), rand_elem(rng)
+        assert (a + b) - b == a
+        assert a + (-a) == RingElement.zero(RING_N, RING_Q)
+
+    def test_mul_matches_schoolbook(self, rng):
+        a, b = rand_elem(rng), rand_elem(rng)
+        want = naive_negacyclic_convolution(
+            list(a.coefficients), list(b.coefficients), RING_Q
+        )
+        assert list((a * b).coefficients) == want
+
+    def test_scalar_mul(self, rng):
+        a = rand_elem(rng)
+        assert (a * 3).coefficients == tuple(
+            c * 3 % RING_Q for c in a.coefficients
+        )
+        assert 3 * a == a * 3
+
+    def test_centered_range(self, rng):
+        a = rand_elem(rng)
+        for c in a.centered():
+            assert -RING_Q // 2 <= c <= RING_Q // 2 + 1
+
+    def test_ring_mismatch_rejected(self, rng):
+        a = rand_elem(rng)
+        other = RingElement.zero(RING_N, find_ntt_prime(21, RING_N))
+        with pytest.raises(ValueError):
+            a + other
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_mul_commutative_distributive(self, data):
+        rng = random.Random(data.draw(st.integers(0, 1000)))
+        a, b, c = rand_elem(rng), rand_elem(rng), rand_elem(rng)
+        assert a * b == b * a
+        assert a * (b + c) == a * b + a * c
+
+
+class TestSampling:
+    def test_ternary_support(self, rng):
+        p = ternary_poly(64, RING_Q, rng)
+        assert set(p.centered()) <= {-1, 0, 1}
+
+    def test_cbd_bounds(self, rng):
+        p = centered_binomial_poly(64, RING_Q, 3, rng)
+        assert all(-3 <= c <= 3 for c in p.centered())
+
+    def test_uniform_canonical(self, rng):
+        p = uniform_poly(64, RING_Q, rng)
+        assert all(0 <= c < RING_Q for c in p.coefficients)
+
+
+@pytest.fixture(scope="module")
+def bfv():
+    params = BfvParameters.demo(n=32, q_bits=50, t=257)
+    ctx = BfvContext(params, seed=11)
+    return ctx, ctx.keygen()
+
+
+class TestBfv:
+    def test_encrypt_decrypt(self, bfv):
+        ctx, keys = bfv
+        msg = ctx.encode([1, 2, 3, 255, 0, 77])
+        assert ctx.decode(ctx.decrypt(keys, ctx.encrypt(keys, msg)))[:6] == [
+            1, 2, 3, 255, 0, 77,
+        ]
+
+    def test_fresh_ciphertexts_differ(self, bfv):
+        ctx, keys = bfv
+        msg = ctx.encode([9])
+        c1, c2 = ctx.encrypt(keys, msg), ctx.encrypt(keys, msg)
+        assert c1.components[0] != c2.components[0]
+
+    def test_homomorphic_add(self, bfv):
+        ctx, keys = bfv
+        a, b = [10, 20, 30], [5, 6, 7]
+        ca = ctx.encrypt(keys, ctx.encode(a))
+        cb = ctx.encrypt(keys, ctx.encode(b))
+        out = ctx.decode(ctx.decrypt(keys, ctx.add(ca, cb)))
+        assert out[:3] == [15, 26, 37]
+
+    def test_multiply_plain(self, bfv):
+        ctx, keys = bfv
+        ct = ctx.encrypt(keys, ctx.encode([2, 3]))
+        out = ctx.decode(ctx.decrypt(keys, ctx.multiply_plain(ct, ctx.encode([4]))))
+        assert out[:2] == [8, 12]
+
+    def test_ciphertext_multiply_and_relinearize(self, bfv):
+        ctx, keys = bfv
+        t = ctx.params.t
+        a = [3, 1, 4, 1, 5]
+        b = [2, 7, 1, 8]
+        want = naive_negacyclic_convolution(
+            a + [0] * (32 - len(a)), b + [0] * (32 - len(b)), t
+        )
+        ca = ctx.encrypt(keys, ctx.encode(a))
+        cb = ctx.encrypt(keys, ctx.encode(b))
+        prod = ctx.multiply(ca, cb)
+        assert len(prod.components) == 3
+        assert ctx.decode(ctx.decrypt(keys, prod)) == want
+        relin = ctx.relinearize(keys, prod)
+        assert len(relin.components) == 2
+        assert ctx.decode(ctx.decrypt(keys, relin)) == want
+
+    def test_add_shape_mismatch_rejected(self, bfv):
+        ctx, keys = bfv
+        ca = ctx.encrypt(keys, ctx.encode([1]))
+        cb = ctx.encrypt(keys, ctx.encode([1]))
+        prod = ctx.multiply(ca, cb)
+        with pytest.raises(ValueError):
+            ctx.add(ca, prod)
+
+    def test_relinearize_requires_three(self, bfv):
+        ctx, keys = bfv
+        ct = ctx.encrypt(keys, ctx.encode([1]))
+        with pytest.raises(ValueError):
+            ctx.relinearize(keys, ct)
+
+    def test_message_too_long_rejected(self, bfv):
+        ctx, _ = bfv
+        with pytest.raises(ValueError):
+            ctx.encode([0] * 33)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BfvParameters(n=12, q=97, t=7)
+        with pytest.raises(ValueError):
+            BfvParameters(n=16, q=97, t=97)
+
+
+class TestKyber:
+    def test_kem_roundtrip(self):
+        ctx = KyberContext(k=2, seed=5)
+        pk, sk = ctx.keygen()
+        for _ in range(5):
+            ct, ss_enc = ctx.encapsulate(pk)
+            assert ctx.decapsulate(sk, ct) == ss_enc
+
+    def test_rank3(self):
+        ctx = KyberContext(k=3, seed=5)
+        pk, sk = ctx.keygen()
+        ct, ss = ctx.encapsulate(pk)
+        assert ctx.decapsulate(sk, ct) == ss
+
+    def test_wrong_key_fails(self):
+        ctx = KyberContext(k=2, seed=5)
+        pk, _ = ctx.keygen()
+        _, sk2 = KyberContext(k=2, seed=6).keygen()
+        ct, ss = ctx.encapsulate(pk)
+        assert ctx.decapsulate(sk2, ct) != ss
+
+    def test_compression_error_bounded(self):
+        for d in (DU, DV):
+            for x in range(0, Q, 97):
+                err = min(
+                    abs(_decompress(_compress(x, d), d) - x),
+                    Q - abs(_decompress(_compress(x, d), d) - x),
+                )
+                assert err <= Q // (1 << (d + 1)) + 1
+
+    def test_q_is_ntt_friendly(self):
+        # The classic q=7681 supports the full negacyclic NTT at n=256.
+        assert (Q - 1) % (2 * N) == 0
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ValueError):
+            KyberContext(k=0)

@@ -1,0 +1,258 @@
+"""Code generator tests: functional equivalence, instruction counts,
+optimization passes, register allocation."""
+
+import random
+
+import pytest
+
+from repro.femu import FunctionalSimulator
+from repro.isa.addressing import AddressMode
+from repro.isa.opcodes import InstructionClass, Opcode
+from repro.ntt.reference import ntt_forward
+from repro.ntt.twiddles import TwiddleTable
+from repro.spiral.forwarding import forward_stores_to_loads
+from repro.spiral.kernels import expected_instruction_counts, generate_ntt_program
+from repro.spiral.ntt_codegen import (
+    CodegenError,
+    build_forward_kernel,
+    build_inverse_kernel,
+    plan_passes,
+)
+from repro.spiral.regalloc import allocate_registers
+from repro.spiral.schedule import build_dependencies, schedule_ops
+
+Q_BITS = 30
+
+
+def run_kernel(program, input_values):
+    sim = FunctionalSimulator(program)
+    sim.write_region(program.input_region, input_values)
+    sim.run()
+    return sim.read_region(program.output_region)
+
+
+def check_roundtrip(n, vlen, rect_depth, optimize, seed=0):
+    table = TwiddleTable.for_ring(n, q_bits=Q_BITS)
+    rng = random.Random(seed)
+    a = [rng.randrange(table.q) for _ in range(n)]
+    fwd_prog = generate_ntt_program(
+        n, "forward", vlen=vlen, q_bits=Q_BITS, optimize=optimize,
+        rect_depth=rect_depth,
+    )
+    fwd = run_kernel(fwd_prog, a)
+    assert fwd == ntt_forward(a, table)
+    inv_prog = generate_ntt_program(
+        n, "inverse", vlen=vlen, q_bits=Q_BITS, optimize=optimize,
+        rect_depth=rect_depth,
+    )
+    assert run_kernel(inv_prog, fwd) == a
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize(
+        "n,vlen,depth",
+        [(16, 4, 2), (32, 8, 2), (64, 8, 2), (128, 16, 3), (256, 16, 2),
+         (512, 32, 4), (1024, 64, 3)],
+    )
+    def test_optimized(self, n, vlen, depth):
+        check_roundtrip(n, vlen, depth, optimize=True)
+
+    @pytest.mark.parametrize("n,vlen,depth", [(64, 8, 2), (256, 16, 2)])
+    def test_unoptimized(self, n, vlen, depth):
+        check_roundtrip(n, vlen, depth, optimize=False)
+
+    def test_single_pass_vs_multi_pass_same_result(self):
+        n, vlen = 128, 8  # m=16: depth 4 -> single pass, depth 2 -> blocked
+        table = TwiddleTable.for_ring(n, q_bits=Q_BITS)
+        a = [random.Random(3).randrange(table.q) for _ in range(n)]
+        single = generate_ntt_program(n, vlen=vlen, q_bits=Q_BITS, rect_depth=4)
+        multi = generate_ntt_program(n, vlen=vlen, q_bits=Q_BITS, rect_depth=2)
+        assert run_kernel(single, a) == run_kernel(multi, a)
+        assert len(single.metadata["passes"]) == 1
+        assert len(multi.metadata["passes"]) > 1
+
+
+class TestInstructionCounts:
+    def test_paper_64k_counts(self):
+        # Section VI-F: the 64K NTT has 1024 CIs and 1920 SIs.
+        exp = expected_instruction_counts(65536, 512)
+        assert exp["ci"] == 1024
+        assert exp["si"] == 1920
+
+    @pytest.mark.parametrize("n,vlen,depth", [(64, 8, 2), (256, 16, 2), (512, 16, 3)])
+    def test_generated_counts_match_closed_form(self, n, vlen, depth):
+        exp = expected_instruction_counts(n, vlen, "forward", depth)
+        prog = generate_ntt_program(
+            n, vlen=vlen, q_bits=Q_BITS, optimize=False, rect_depth=depth
+        )
+        counts = prog.class_counts()
+        assert counts[InstructionClass.CI] == exp["ci"]
+        assert counts[InstructionClass.SI] == exp["si"]
+        assert counts[InstructionClass.LSI] == exp["lsi"]
+
+    def test_optimized_never_adds_loads(self):
+        n, vlen, depth = 256, 16, 2
+        exp = expected_instruction_counts(n, vlen, "forward", depth)
+        prog = generate_ntt_program(
+            n, vlen=vlen, q_bits=Q_BITS, optimize=True, rect_depth=depth
+        )
+        assert prog.count(InstructionClass.LSI) <= exp["lsi"]
+
+    def test_inverse_counts(self):
+        n, vlen, depth = 256, 16, 2
+        exp = expected_instruction_counts(n, vlen, "inverse", depth)
+        prog = generate_ntt_program(
+            n, "inverse", vlen=vlen, q_bits=Q_BITS, optimize=False,
+            rect_depth=depth,
+        )
+        counts = prog.class_counts()
+        assert counts[InstructionClass.CI] == exp["ci"]
+        assert counts[InstructionClass.SI] == exp["si"]
+
+
+class TestKernelStructure:
+    def test_final_stores_are_stride2(self):
+        prog = generate_ntt_program(64, vlen=8, q_bits=Q_BITS, rect_depth=2)
+        stores = [
+            i
+            for i in prog.instructions
+            if i.opcode is Opcode.VSTORE and i.mode is AddressMode.STRIDED
+        ]
+        assert stores, "forward kernel must end with stride-2 stores"
+        assert all(s.value == 1 for s in stores)
+
+    def test_inverse_loads_are_stride2(self):
+        prog = generate_ntt_program(
+            64, "inverse", vlen=8, q_bits=Q_BITS, rect_depth=2
+        )
+        loads = [
+            i
+            for i in prog.instructions
+            if i.opcode is Opcode.VLOAD and i.mode is AddressMode.STRIDED
+        ]
+        assert loads, "inverse kernel must open with stride-2 loads"
+
+    def test_forward_has_broadcast_stage(self):
+        prog = generate_ntt_program(64, vlen=8, q_bits=Q_BITS)
+        assert any(i.opcode is Opcode.VBCAST for i in prog.instructions)
+
+    def test_repeated_mode_twiddles(self):
+        prog = generate_ntt_program(64, vlen=8, q_bits=Q_BITS)
+        assert any(
+            i.opcode is Opcode.VLOAD and i.mode is AddressMode.REPEATED
+            for i in prog.instructions
+        )
+
+    def test_rejects_bad_parameters(self):
+        table = TwiddleTable.for_ring(16, q_bits=20)
+        with pytest.raises(CodegenError):
+            build_forward_kernel(table, vlen=16)  # only one vector
+        with pytest.raises(CodegenError):
+            build_forward_kernel(table, vlen=3)
+
+
+class TestPassPlanning:
+    def test_single_pass_when_resident(self):
+        assert plan_passes(13, 16, 4) == [13]
+
+    def test_blocked_when_large(self):
+        assert plan_passes(16, 128, 4) == [4, 4, 4, 4]
+        assert plan_passes(15, 64, 4) == [4, 4, 4, 3]
+
+    def test_paper_8k_boundary(self):
+        # 8K (16 vectors) is the largest fully register-resident ring.
+        assert plan_passes(13, 8192 // 512, 4) == [13]
+        assert len(plan_passes(14, 16384 // 512, 4)) > 1
+
+
+class TestOptimizationPasses:
+    def _kernel(self, n=256, vlen=16, depth=2):
+        table = TwiddleTable.for_ring(n, q_bits=Q_BITS)
+        return build_forward_kernel(table, vlen=vlen, rect_depth=depth)
+
+    def test_forwarding_removes_loads(self):
+        kernel = self._kernel()
+        before = len(kernel.ops)
+        removed = forward_stores_to_loads(kernel)
+        assert removed > 0
+        assert len(kernel.ops) == before - removed
+        kernel.validate_ssa()
+
+    def test_forwarding_distance_limit(self):
+        kernel = self._kernel()
+        assert forward_stores_to_loads(kernel, max_distance=0) == 0
+
+    def test_schedule_respects_dependencies(self):
+        kernel = self._kernel()
+        schedule_ops(kernel, window=32)
+        kernel.validate_ssa()  # SSA order implies dependency order
+
+    def test_schedule_separates_producers_consumers(self):
+        kernel = self._kernel()
+        preds_before = build_dependencies(kernel)
+        gaps_before = [
+            i - p for i, ps in enumerate(preds_before) for p in ps
+        ]
+        schedule_ops(kernel, window=32)
+        preds_after = build_dependencies(kernel)
+        gaps_after = [i - p for i, ps in enumerate(preds_after) for p in ps]
+        avg = lambda xs: sum(xs) / len(xs)
+        assert avg(gaps_after) >= avg(gaps_before) * 0.9
+
+
+class TestRegisterAllocation:
+    def _allocated(self, pool=None, policy="fifo"):
+        kernel = self._make_kernel()
+        return allocate_registers(
+            kernel, pool_size=pool, reuse_policy=policy
+        )
+
+    @staticmethod
+    def _make_kernel():
+        table = TwiddleTable.for_ring(128, q_bits=Q_BITS)
+        return build_forward_kernel(table, vlen=8, rect_depth=2)
+
+    def test_register_bounds(self):
+        result = self._allocated()
+        for op in result.ops:
+            for r in op.defs + op.uses:
+                assert 0 <= r < 64
+
+    def test_pool_restriction(self):
+        result = self._allocated(pool=8)
+        for op in result.ops:
+            for r in op.defs + op.uses:
+                assert r < 8
+
+    def test_spilling_preserves_correctness(self):
+        # A 6-register pool forces heavy spilling; output must not change.
+        prog = generate_ntt_program(64, vlen=8, q_bits=Q_BITS, rect_depth=2)
+        table = TwiddleTable.for_ring(64, q_bits=Q_BITS)
+        a = [random.Random(9).randrange(table.q) for _ in range(64)]
+        expected = ntt_forward(a, table)
+
+        from repro.spiral.emit import emit_program
+        from repro.spiral.ntt_codegen import build_forward_kernel
+
+        kernel = build_forward_kernel(table, vlen=8, rect_depth=2)
+        allocation = allocate_registers(kernel, pool_size=6)
+        assert allocation.spill_stores > 0
+        spilled = emit_program(kernel, allocation, "spill_test")
+        assert run_kernel(spilled, a) == expected
+
+    def test_group_aware_reduces_conflicts(self):
+        kernel = self._make_kernel()
+        aware = allocate_registers(kernel, group_aware=True)
+        assert aware.group_conflicts_avoided >= 0
+
+        def conflicts(ops):
+            total = 0
+            for op in ops:
+                regs = set(op.defs) | set(op.uses)
+                groups = [r // 4 for r in regs]
+                total += len(groups) - len(set(groups))
+            return total
+
+        kernel2 = self._make_kernel()
+        naive = allocate_registers(kernel2, group_aware=False, reuse_policy="lifo")
+        assert conflicts(aware.ops) <= conflicts(naive.ops)

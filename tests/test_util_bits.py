@@ -1,0 +1,73 @@
+"""Unit tests for repro.util.bits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import (
+    bit_reverse,
+    bit_reverse_permutation,
+    ceil_div,
+    ilog2,
+    is_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for v in (0, -1, -2, 3, 5, 6, 7, 9, 12, 1023):
+            assert not is_power_of_two(v)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for k in range(25):
+            assert ilog2(1 << k) == k
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            ilog2(12)
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestCeilDiv:
+    def test_values(self):
+        assert ceil_div(0, 4) == 0
+        assert ceil_div(1, 4) == 1
+        assert ceil_div(4, 4) == 1
+        assert ceil_div(5, 4) == 2
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_float_ceiling(self, a, b):
+        assert ceil_div(a, b) == -(-a // b)
+
+
+class TestBitReverse:
+    def test_known(self):
+        assert bit_reverse(0b0011, 4) == 0b1100
+        assert bit_reverse(0b0001, 4) == 0b1000
+        assert bit_reverse(0, 4) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_reverse(16, 4)
+        with pytest.raises(ValueError):
+            bit_reverse(-1, 4)
+
+    @given(st.integers(1, 12), st.data())
+    def test_involution(self, bits, data):
+        i = data.draw(st.integers(0, (1 << bits) - 1))
+        assert bit_reverse(bit_reverse(i, bits), bits) == i
+
+    def test_permutation_is_bijective(self):
+        for n in (2, 4, 8, 64, 256):
+            perm = bit_reverse_permutation(n)
+            assert sorted(perm) == list(range(n))

@@ -1,0 +1,136 @@
+"""Cross-model validation (RTL stand-in), the Rpu facade, and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_ntt import (
+    measure_numpy_ntt_us,
+    numpy_ntt_forward,
+    numpy_ntt_inverse,
+)
+from repro.core.rpu import Rpu
+from repro.ntt.reference import ntt_forward
+from repro.ntt.twiddles import TwiddleTable
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator
+from repro.rtl.machine import BeatAccurateMachine
+from repro.spiral.kernels import generate_ntt_program
+
+Q_BITS = 30
+
+
+@pytest.fixture(scope="module")
+def small_kernel():
+    return generate_ntt_program(256, vlen=16, q_bits=Q_BITS, rect_depth=2)
+
+
+def small_config(**kw):
+    base = dict(num_hples=8, vdm_banks=8, vlen=16, frequency_ghz=1.0)
+    base.update(kw)
+    return RpuConfig(**base)
+
+
+class TestBeatAccurateValidation:
+    @pytest.mark.parametrize("queue_depth", [2, 16])
+    def test_agreement_default_policy(self, small_kernel, queue_depth):
+        config = small_config(queue_depth=queue_depth)
+        analytic = CycleSimulator(config).run(small_kernel).cycles
+        beat = BeatAccurateMachine(config).run(small_kernel)
+        accuracy = min(analytic, beat) / max(analytic, beat)
+        assert accuracy >= 0.97  # the paper's own validation bar
+
+    def test_agreement_across_shapes(self, small_kernel):
+        for h, b in [(2, 4), (4, 8), (16, 16)]:
+            config = small_config(num_hples=h, vdm_banks=b)
+            analytic = CycleSimulator(config).run(small_kernel).cycles
+            beat = BeatAccurateMachine(config).run(small_kernel)
+            assert min(analytic, beat) / max(analytic, beat) >= 0.97
+
+    def test_agreement_unoptimized(self):
+        kernel = generate_ntt_program(
+            256, vlen=16, q_bits=Q_BITS, optimize=False, rect_depth=2
+        )
+        config = small_config()
+        analytic = CycleSimulator(config).run(kernel).cycles
+        beat = BeatAccurateMachine(config).run(kernel)
+        assert min(analytic, beat) / max(analytic, beat) >= 0.97
+
+    def test_nonconvergence_guard(self, small_kernel):
+        with pytest.raises(RuntimeError):
+            BeatAccurateMachine(small_config()).run(small_kernel, max_cycles=3)
+
+
+class TestRpuFacade:
+    def test_run_with_verification(self, small_kernel):
+        rpu = Rpu(small_config())
+        result = rpu.run(small_kernel, verify=True)
+        assert result.verified is True
+        assert result.cycles > 0
+        assert result.runtime_us > 0
+        assert result.area.total > 0
+        assert result.energy.total > 0
+        assert "functional check: PASS" in result.summary()
+
+    def test_run_inverse_verification(self):
+        kernel = generate_ntt_program(
+            256, "inverse", vlen=16, q_bits=Q_BITS, rect_depth=2
+        )
+        result = Rpu(small_config()).run(kernel, verify=True)
+        assert result.verified is True
+
+    def test_run_with_explicit_input(self, small_kernel, rng):
+        q = small_kernel.metadata["modulus"]
+        table = TwiddleTable.for_ring(256, q=q)
+        a = [rng.randrange(q) for _ in range(256)]
+        result = Rpu(small_config()).run(small_kernel, input_values=a)
+        assert result.output == ntt_forward(a, table)
+        assert result.verified is None
+
+    def test_timing_only_run(self, small_kernel):
+        result = Rpu(small_config()).run(small_kernel)
+        assert result.output is None
+        assert result.average_power_w > 0
+
+    def test_default_config_is_best_design(self):
+        rpu = Rpu()
+        assert rpu.config.num_hples == 128
+        assert rpu.config.vdm_banks == 128
+        assert rpu.area().total == pytest.approx(20.5, abs=0.05)
+
+    def test_verify_requires_metadata(self):
+        from repro.isa.instructions import vload
+        from repro.isa.program import Program, RegionSpec
+
+        plain = Program(
+            "p", [vload(0, 1, 0)], vlen=16,
+            input_region=RegionSpec("in", 0, 16),
+        ).finalize()
+        with pytest.raises(ValueError):
+            Rpu(small_config()).run(plain, verify=True)
+
+
+class TestNumpyBaseline:
+    def test_matches_reference(self, rng):
+        table = TwiddleTable.for_ring(128, q_bits=Q_BITS)
+        a = [rng.randrange(table.q) for _ in range(128)]
+        assert numpy_ntt_forward(a, table).tolist() == ntt_forward(a, table)
+
+    def test_roundtrip(self, rng):
+        table = TwiddleTable.for_ring(64, q_bits=25)
+        a = np.array([rng.randrange(table.q) for _ in range(64)])
+        assert np.array_equal(
+            numpy_ntt_inverse(numpy_ntt_forward(a, table), table), a
+        )
+
+    def test_wide_modulus_rejected(self):
+        table = TwiddleTable.for_ring(64, q_bits=60)
+        with pytest.raises(ValueError):
+            numpy_ntt_forward([0] * 64, table)
+
+    def test_non_canonical_rejected(self):
+        table = TwiddleTable.for_ring(64, q_bits=25)
+        with pytest.raises(ValueError):
+            numpy_ntt_forward([-1] * 64, table)
+
+    def test_measurement_returns_positive(self):
+        assert measure_numpy_ntt_us(1024, repeats=1) > 0
