@@ -1,0 +1,19 @@
+# Developer entry points.  The repo is pure Python (src layout); every
+# target just sets PYTHONPATH and drives pytest.
+
+PY := PYTHONPATH=src python
+
+.PHONY: check check-slow bench-femu eval
+
+check:  ## tier-1: the fast suite, including the FEMU differential tests
+	$(PY) -m pytest -x -q
+
+check-slow:  ## tier-1 plus the exhaustive differential/fuzz sweeps
+	$(PY) -m pytest -x -q --slow
+
+bench-femu:  ## FEMU backend benches; writes the speedup metric to JSON
+	$(PY) -m pytest benchmarks/bench_femu_functional.py -q \
+		--benchmark-json=femu_bench.json
+
+eval:  ## regenerate every paper table/figure (plus backend comparison)
+	$(PY) -m repro.eval.run_all

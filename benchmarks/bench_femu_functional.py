@@ -1,48 +1,117 @@
 """Functional-simulator benches: bit-accurate execution throughput.
 
-Times the full functional execution of a 4K NTT kernel (every lane of
-every instruction computed with 128-bit modular arithmetic) and the
-reference/numpy baselines, giving a live software-NTT comparison series.
+Times the full functional execution of a 4K NTT kernel on both FEMU
+backends (scalar interpreter vs numpy engine), the batched execution of
+8 independent polynomials, and the reference/numpy baselines.  The
+batch benches emit a ``scalar_vs_vectorized_speedup`` metric into the
+pytest-benchmark JSON (``--benchmark-json``) via ``extra_info``; the
+int64-path bench asserts the >= 5x speedup the vectorized backend exists
+to deliver.
 """
 
 import random
 
 from repro.baselines.cpu_ntt import numpy_ntt_forward
-from repro.femu import FunctionalSimulator
+from repro.eval.femu_backends import random_batch, time_scalar_vs_batched
+from repro.femu import BatchExecutor, make_simulator
 from repro.ntt.reference import ntt_forward
 from repro.ntt.twiddles import TwiddleTable
 from repro.spiral.kernels import generate_ntt_program
 
 N = 4096
+BATCH = 8
 
 
-def test_bench_femu_4k_ntt(benchmark):
+def _random_rows(table, count, seed):
+    rng = random.Random(seed)
+    return [
+        [rng.randrange(table.q) for _ in range(table.n)] for _ in range(count)
+    ]
+
+
+def _run_vectorized_batch(program, rows):
+    ex = BatchExecutor(program, batch=len(rows))
+    ex.write_region(program.input_region, rows)
+    ex.run()
+    return ex.read_region(program.output_region)
+
+
+def _batch_speedup(benchmark, q_bits, repeats=3):
+    """Scalar loop vs one BatchExecutor pass; speedup into extra_info.
+
+    Uses the shared eval harness with best-of-``repeats`` timing so a
+    noisy co-tenant burst cannot flip the gated ratio (observed once in
+    CI-like conditions).
+    """
+    program = generate_ntt_program(N, q_bits=q_bits)
+    table = TwiddleTable.for_ring(N, q_bits=q_bits)
+    rows = random_batch(program, table.q, BATCH, seed=q_bits)
+
+    scalar_s, vectorized_s, bit_exact = time_scalar_vs_batched(
+        program, rows, repeats=repeats
+    )
+    assert bit_exact  # bit-exact, not just fast
+
+    # Report the vectorized pass as the benchmark's timed section so the
+    # JSON carries a proper distribution for it alongside the metric.
+    benchmark.pedantic(
+        _run_vectorized_batch, args=(program, rows), rounds=1, iterations=1
+    )
+    speedup = scalar_s / vectorized_s
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["q_bits"] = q_bits
+    benchmark.extra_info["scalar_s"] = round(scalar_s, 6)
+    benchmark.extra_info["vectorized_s"] = round(vectorized_s, 6)
+    benchmark.extra_info["scalar_vs_vectorized_speedup"] = round(speedup, 2)
+    return speedup
+
+
+def test_bench_femu_4k_ntt(benchmark, femu_backend):
+    """One 4K NTT at the paper's 128-bit modulus, per backend."""
     program = generate_ntt_program(N, q_bits=128)
     table = TwiddleTable.for_ring(N, q_bits=128)
-    rng = random.Random(1)
-    values = [rng.randrange(table.q) for _ in range(N)]
+    values = _random_rows(table, 1, seed=1)[0]
     expected = ntt_forward(values, table)
 
     def execute():
-        sim = FunctionalSimulator(program)
+        sim = make_simulator(program, backend=femu_backend)
         sim.write_region(program.input_region, values)
         sim.run()
         return sim.read_region(program.output_region)
 
     output = benchmark.pedantic(execute, rounds=1, iterations=1)
+    benchmark.extra_info["backend"] = femu_backend
     assert output == expected
+
+
+def test_bench_femu_batch8_int64_speedup(benchmark):
+    """Batch-8 4K NTT, 30-bit modulus: the all-C int64 fast path.
+
+    Acceptance gate: one batched pass must beat 8 scalar runs by >= 5x.
+    """
+    speedup = _batch_speedup(benchmark, q_bits=30)
+    assert speedup >= 5.0, f"vectorized batch speedup {speedup:.2f}x < 5x"
+
+
+def test_bench_femu_batch8_128bit(benchmark):
+    """Batch-8 4K NTT at 128 bits: object lanes, reported not gated.
+
+    Arbitrary-precision numpy lanes carry the same per-element Python-int
+    cost as the scalar loop, so this path is roughly at parity today; the
+    metric tracks whether that ever regresses or improves.
+    """
+    _batch_speedup(benchmark, q_bits=128)
 
 
 def test_bench_reference_ntt_128bit(benchmark):
     table = TwiddleTable.for_ring(N, q_bits=128)
-    rng = random.Random(2)
-    values = [rng.randrange(table.q) for _ in range(N)]
+    values = _random_rows(table, 1, seed=2)[0]
     benchmark(ntt_forward, values, table)
 
 
 def test_bench_numpy_ntt_64bit_class(benchmark):
     table = TwiddleTable.for_ring(N, q_bits=30)
-    rng = random.Random(3)
-    values = [rng.randrange(table.q) for _ in range(N)]
+    values = _random_rows(table, 1, seed=3)[0]
     out = benchmark(numpy_ntt_forward, values, table)
     assert out.tolist() == ntt_forward(values, table)

@@ -30,3 +30,15 @@ def kernel_16k():
 @pytest.fixture(scope="session")
 def best_config():
     return RpuConfig(num_hples=128, vdm_banks=128)
+
+
+@pytest.fixture(params=["scalar", "vectorized"])
+def femu_backend(request):
+    """Run a functional bench once per FEMU backend.
+
+    The two backends are bit-exact (tests/test_vectorized_femu.py), so
+    parametrized benches compare pure wall-clock; the JSON report carries
+    one entry per backend plus the explicit speedup metric emitted by
+    bench_femu_functional.
+    """
+    return request.param

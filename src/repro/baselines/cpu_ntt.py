@@ -1,10 +1,14 @@
 """Vectorized CPU NTT baselines.
 
-``numpy_ntt_forward``/``inverse`` implement the Longa-Naehrig iterative
+``numpy_ntt_forward``/``inverse`` expose the Longa-Naehrig iterative
 transforms with numpy slice arithmetic for moduli below 2^31 (products fit
 int64), standing in for OpenFHE's native 64-bit path.  The pure-Python
 reference transform stands in for the multi-precision 128-bit path.  Both
 are cross-checked against :mod:`repro.ntt.reference` in the tests.
+
+The butterfly sweeps themselves live in :mod:`repro.ntt.vectorized` (the
+batched row transforms); this module is the single-polynomial, int64-only
+facade that the CPU-comparison figures historically used.
 """
 
 from __future__ import annotations
@@ -15,60 +19,30 @@ import numpy as np
 
 from repro.ntt.reference import ntt_forward
 from repro.ntt.twiddles import TwiddleTable
+from repro.ntt.vectorized import batch_ntt_forward, batch_ntt_inverse
 
 
 def _as_array(values, q: int) -> np.ndarray:
+    # Canonicality is validated inside the batched transforms; this facade
+    # only enforces its historical int64-path contract.
     if q >= 1 << 31:
         raise ValueError("numpy path requires q < 2^31 (products must fit int64)")
     a = np.asarray(values, dtype=np.int64)
     if a.ndim != 1:
         raise ValueError("expected a 1-D coefficient vector")
-    if ((a < 0) | (a >= q)).any():
-        raise ValueError("coefficients must be canonical residues")
     return a
 
 
 def numpy_ntt_forward(values, table: TwiddleTable) -> np.ndarray:
     """Forward negacyclic NTT (natural in, bit-reversed out), vectorized."""
-    n, q = table.n, table.q
-    a = _as_array(values, q).copy()
-    psi_rev = np.asarray(table.psi_rev, dtype=np.int64)
-    t = n
-    m = 1
-    while m < n:
-        t //= 2
-        # All m blocks share the stage structure; twiddles differ per block.
-        for i in range(m):
-            j1 = 2 * i * t
-            s = psi_rev[m + i]
-            u = a[j1 : j1 + t].copy()  # copy: the slice is overwritten below
-            v = a[j1 + t : j1 + 2 * t] * s % q
-            a[j1 : j1 + t] = (u + v) % q
-            a[j1 + t : j1 + 2 * t] = (u - v) % q
-        m *= 2
-    return a
+    a = _as_array(values, table.q)
+    return batch_ntt_forward(a[np.newaxis, :], table)[0]
 
 
 def numpy_ntt_inverse(values, table: TwiddleTable) -> np.ndarray:
     """Inverse negacyclic NTT (bit-reversed in, natural out), vectorized."""
-    n, q = table.n, table.q
-    a = _as_array(values, q).copy()
-    psi_inv_rev = np.asarray(table.psi_inv_rev, dtype=np.int64)
-    t = 1
-    m = n
-    while m > 1:
-        h = m // 2
-        j1 = 0
-        for i in range(h):
-            s = psi_inv_rev[h + i]
-            u = a[j1 : j1 + t].copy()  # copy: the slice is overwritten below
-            v = a[j1 + t : j1 + 2 * t].copy()
-            a[j1 : j1 + t] = (u + v) % q
-            a[j1 + t : j1 + 2 * t] = (u - v) * s % q
-            j1 += 2 * t
-        t *= 2
-        m = h
-    return a * table.n_inv % q
+    a = _as_array(values, table.q)
+    return batch_ntt_inverse(a[np.newaxis, :], table)[0]
 
 
 def measure_numpy_ntt_us(n: int, q_bits: int = 30, repeats: int = 3) -> float:

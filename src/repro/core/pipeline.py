@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.femu import FunctionalSimulator
+from repro.femu import make_simulator
 from repro.hw.energy import ntt_energy_breakdown
 from repro.hw.hbm import hbm_transfer_us
 from repro.isa.program import Program
@@ -77,11 +77,22 @@ class PipelineResult:
 
 
 class RpuPipeline:
-    """Runs composed primitives on one RPU configuration."""
+    """Runs composed primitives on one RPU configuration.
 
-    def __init__(self, config: RpuConfig | None = None, q_bits: int = 128):
+    ``backend`` selects the FEMU backend every stage executes on
+    (:data:`repro.femu.FEMU_BACKENDS`); the two backends are bit-exact, so
+    this only changes wall-clock time, never outputs.
+    """
+
+    def __init__(
+        self,
+        config: RpuConfig | None = None,
+        q_bits: int = 128,
+        backend: str = "scalar",
+    ):
         self.config = config or RpuConfig()
         self.q_bits = q_bits
+        self.backend = backend
         self._sim = CycleSimulator(self.config)
 
     def _run_stage(
@@ -90,7 +101,7 @@ class RpuPipeline:
         inputs: dict,
         result: PipelineResult,
     ) -> list[int]:
-        femu = FunctionalSimulator(program)
+        femu = make_simulator(program, backend=self.backend)
         for region, values in inputs.items():
             femu.write_region(region, values)
         femu.run()

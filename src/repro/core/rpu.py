@@ -12,7 +12,7 @@ import random
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.femu import FunctionalSimulator
+from repro.femu import make_simulator
 from repro.hw.area import AreaBreakdown, rpu_area_breakdown
 from repro.hw.energy import EnergyBreakdown, ntt_energy_breakdown
 from repro.isa.program import Program
@@ -93,6 +93,7 @@ class Rpu:
         input_values: Sequence[int] | None = None,
         verify: bool = False,
         seed: int = 0,
+        backend: str = "scalar",
     ) -> RpuRunResult:
         """Simulate a kernel.
 
@@ -104,6 +105,8 @@ class Rpu:
                 the output against the reference NTT (requires NTT-kernel
                 metadata, which SPIRAL-generated programs carry).
             seed: RNG seed for ``verify``.
+            backend: FEMU backend for the functional execution
+                (:data:`repro.femu.FEMU_BACKENDS`); both are bit-exact.
         """
         report = self._cycle_sim.run(program)
         result = RpuRunResult(
@@ -130,7 +133,7 @@ class Rpu:
                 values = ntt_forward(plain, table)
                 expected = plain
         if values is not None:
-            femu = FunctionalSimulator(program)
+            femu = make_simulator(program, backend=backend)
             femu.write_region(program.input_region, values)
             femu.run()
             result.output = femu.read_region(program.output_region)

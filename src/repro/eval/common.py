@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import functools
+from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.femu import FEMU_BACKENDS, make_simulator
 from repro.isa.program import Program
 from repro.perf.config import RpuConfig
 from repro.perf.engine import CycleSimulator, PerformanceReport
@@ -41,6 +43,22 @@ def simulate(program_key: tuple, config: RpuConfig) -> PerformanceReport:
 def simulate_program(program: Program, config: RpuConfig) -> PerformanceReport:
     """Uncached escape hatch for ad-hoc programs."""
     return CycleSimulator(config).run(program)
+
+
+def run_functional(
+    program: Program, values: Sequence[int], backend: str = "scalar"
+) -> list[int]:
+    """One functional kernel execution on the chosen FEMU backend.
+
+    The switchboard the fig drivers and benchmarks use: same program, same
+    input, ``backend`` in :data:`repro.femu.FEMU_BACKENDS` -- both backends
+    are bit-exact, so drivers may pick whichever is faster for the modulus
+    at hand (vectorized for sub-31-bit sweeps, either for 128-bit).
+    """
+    sim = make_simulator(program, backend=backend)
+    sim.write_region(program.input_region, values)
+    sim.run()
+    return sim.read_region(program.output_region)
 
 
 @dataclass(frozen=True)

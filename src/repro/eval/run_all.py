@@ -13,6 +13,7 @@ from repro.eval.fig7 import print_fig7
 from repro.eval.fig8 import print_fig8
 from repro.eval.fig9 import print_fig9
 from repro.eval.fig10 import print_fig10
+from repro.eval.femu_backends import print_femu_backends
 from repro.eval.he_pipeline import print_he_pipeline
 from repro.eval.headline import print_headline
 from repro.eval.listing1 import print_listing1
@@ -36,6 +37,7 @@ def main() -> None:
     print_related_work()
     print_headline()
     print_he_pipeline()
+    print_femu_backends()
 
 
 if __name__ == "__main__":

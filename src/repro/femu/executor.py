@@ -1,37 +1,43 @@
-"""The functional executor: bit-accurate B512 semantics.
+"""The scalar functional executor: bit-accurate B512 semantics.
 
 Every SPIRAL-generated kernel runs through here before any performance
 number is reported, mirroring the paper's methodology ("all codes generated
 by SPIRAL run through the functional simulator and match OpenFHE's
 output").
+
+This is the *reference* backend: one Python loop per instruction, one
+arbitrary-precision int per lane.  The instruction semantics themselves
+live in :mod:`repro.femu.semantics`, shared with the throughput-oriented
+numpy backend in :mod:`repro.femu.vectorized`; the differential tests prove
+the two bit-exact on every kernel shape.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field
 
+from repro.femu.semantics import (
+    VS_EXPR,
+    VV_EXPR,
+    ExecutionStats,
+    SimulationFault,
+    apply_launch_state,
+    bfly,
+    count_instruction,
+    noncanonical_scalar_fault,
+    noncanonical_vector_fault,
+    require_modulus,
+    resolve_sdm_size,
+    resolve_vdm_size,
+    shuffle_permutation,
+)
 from repro.femu.state import MachineState
 from repro.isa.addressing import element_addresses
-from repro.isa.instructions import BFLY_CT, Instruction
-from repro.isa.opcodes import InstructionClass, Opcode
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
 from repro.isa.program import Program, RegionSpec
 
-
-class SimulationFault(RuntimeError):
-    """A kernel violated an architectural contract (bad modulus, range...)."""
-
-
-@dataclass
-class ExecutionStats:
-    """Dynamic instruction statistics gathered during a functional run."""
-
-    executed: int = 0
-    by_class: dict[InstructionClass, int] = field(
-        default_factory=lambda: {k: 0 for k in InstructionClass}
-    )
-    vdm_reads: int = 0
-    vdm_writes: int = 0
+__all__ = ["ExecutionStats", "FunctionalSimulator", "SimulationFault"]
 
 
 class FunctionalSimulator:
@@ -47,36 +53,22 @@ class FunctionalSimulator:
 
     def __init__(self, program: Program, vdm_size: int | None = None) -> None:
         self.program = program
-        needed = program.vdm_words_needed
-        size = vdm_size if vdm_size is not None else max(needed, 1)
-        if size < needed:
-            raise ValueError(
-                f"VDM of {size} words cannot hold program needing {needed}"
-            )
-        sdm_needed = max(
-            (seg.end for seg in program.sdm_segments), default=0
-        )
         self.state = MachineState(
-            vlen=program.vlen, vdm_size=size, sdm_size=max(sdm_needed, 2048)
+            vlen=program.vlen,
+            vdm_size=resolve_vdm_size(program, vdm_size),
+            sdm_size=resolve_sdm_size(program),
         )
         self.stats = ExecutionStats()
-        self._apply_launch_state()
-
-    # -- launch-code duties (paper section V) -----------------------------
-    def _apply_launch_state(self) -> None:
-        for seg in self.program.vdm_segments:
-            self.state.write_vdm(
+        apply_launch_state(
+            program,
+            lambda seg: self.state.write_vdm(
                 list(range(seg.base, seg.end)), list(seg.values)
-            )
-        for seg in self.program.sdm_segments:
-            for i, v in enumerate(seg.values):
-                self.state.sdm[seg.base + i] = v
-        for idx, val in self.program.arf_init.items():
-            self.state.arf[idx] = val
-        for idx, val in self.program.mrf_init.items():
-            self.state.mrf[idx] = val
-        for idx, val in self.program.srf_init.items():
-            self.state.srf[idx] = val
+            ),
+            self.state.sdm,
+            self.state.arf,
+            self.state.mrf,
+            self.state.srf,
+        )
 
     def write_region(self, region: RegionSpec | None, values: Sequence[int]) -> None:
         """Place caller data into a VDM region before running."""
@@ -109,27 +101,19 @@ class FunctionalSimulator:
         return self.stats
 
     def _modulus(self, inst: Instruction) -> int:
-        q = self.state.mrf[inst.rm]
-        if q <= 1:
-            raise SimulationFault(
-                f"MRF[{inst.rm}] = {q} is not a usable modulus ({inst})"
-            )
-        return q
+        return require_modulus(self.state.mrf[inst.rm], inst)
 
     def _check_canonical(self, reg: int, q: int) -> list[int]:
         values = self.state.vrf[reg]
         for v in values:
             if not 0 <= v < q:
-                raise SimulationFault(
-                    f"VRF[{reg}] holds non-canonical residue {v} for q={q}"
-                )
+                raise noncanonical_vector_fault(reg, v, q)
         return values
 
     def _execute(self, inst: Instruction) -> None:
         state = self.state
         op = inst.opcode
-        self.stats.executed += 1
-        self.stats.by_class[inst.instruction_class] += 1
+        count_instruction(self.stats, inst)
 
         if op is Opcode.VLOAD:
             base = state.arf[inst.rm] + inst.offset
@@ -146,71 +130,34 @@ class FunctionalSimulator:
         elif op is Opcode.VBCAST:
             word = state.read_sdm(state.arf[inst.rm] + inst.offset)
             state.vrf[inst.vd] = [word] * state.vlen
-        elif op in (Opcode.VVADD, Opcode.VVSUB, Opcode.VVMUL):
+        elif op in VV_EXPR:
             q = self._modulus(inst)
             a = self._check_canonical(inst.vs, q)
             b = self._check_canonical(inst.vt, q)
-            if op is Opcode.VVADD:
-                state.vrf[inst.vd] = [(x + y) % q for x, y in zip(a, b)]
-            elif op is Opcode.VVSUB:
-                state.vrf[inst.vd] = [(x - y) % q for x, y in zip(a, b)]
-            else:
-                state.vrf[inst.vd] = [x * y % q for x, y in zip(a, b)]
-        elif op in (Opcode.VSADD, Opcode.VSSUB, Opcode.VSMUL):
+            expr = VV_EXPR[op]
+            state.vrf[inst.vd] = [expr(x, y, q) for x, y in zip(a, b)]
+        elif op in VS_EXPR:
             q = self._modulus(inst)
             a = self._check_canonical(inst.vs, q)
             s = state.srf[inst.rt]
             if not 0 <= s < q:
-                raise SimulationFault(
-                    f"SRF[{inst.rt}] = {s} is not canonical for q={q}"
-                )
-            if op is Opcode.VSADD:
-                state.vrf[inst.vd] = [(x + s) % q for x in a]
-            elif op is Opcode.VSSUB:
-                state.vrf[inst.vd] = [(x - s) % q for x in a]
-            else:
-                state.vrf[inst.vd] = [x * s % q for x in a]
+                raise noncanonical_scalar_fault(inst.rt, s, q)
+            expr = VS_EXPR[op]
+            state.vrf[inst.vd] = [expr(x, s, q) for x in a]
         elif op is Opcode.BFLY:
             q = self._modulus(inst)
             a = self._check_canonical(inst.vs, q)
             b = self._check_canonical(inst.vt, q)
             w = self._check_canonical(inst.vt1, q)
-            if inst.bfly_variant == BFLY_CT:
-                hi = [0] * state.vlen
-                lo = [0] * state.vlen
-                for i in range(state.vlen):
-                    prod = b[i] * w[i] % q
-                    hi[i] = (a[i] + prod) % q
-                    lo[i] = (a[i] - prod) % q
-            else:  # Gentleman-Sande
-                hi = [0] * state.vlen
-                lo = [0] * state.vlen
-                for i in range(state.vlen):
-                    hi[i] = (a[i] + b[i]) % q
-                    lo[i] = (a[i] - b[i]) * w[i] % q
+            hi = [0] * state.vlen
+            lo = [0] * state.vlen
+            for i in range(state.vlen):
+                hi[i], lo[i] = bfly(inst.bfly_variant, a[i], b[i], w[i], q)
             state.vrf[inst.vd] = hi
             state.vrf[inst.vd1] = lo
         elif op in (Opcode.UNPKLO, Opcode.UNPKHI, Opcode.PKLO, Opcode.PKHI):
-            a = state.vrf[inst.vs]
-            b = state.vrf[inst.vt]
-            half = state.vlen // 2
-            out = [0] * state.vlen
-            if op is Opcode.UNPKLO:
-                for i in range(half):
-                    out[2 * i] = a[i]
-                    out[2 * i + 1] = b[i]
-            elif op is Opcode.UNPKHI:
-                for i in range(half):
-                    out[2 * i] = a[half + i]
-                    out[2 * i + 1] = b[half + i]
-            elif op is Opcode.PKLO:
-                for i in range(half):
-                    out[i] = a[2 * i]
-                    out[half + i] = b[2 * i]
-            else:  # PKHI
-                for i in range(half):
-                    out[i] = a[2 * i + 1]
-                    out[half + i] = b[2 * i + 1]
-            state.vrf[inst.vd] = out
+            concat = state.vrf[inst.vs] + state.vrf[inst.vt]
+            perm = shuffle_permutation(op, state.vlen)
+            state.vrf[inst.vd] = [concat[p] for p in perm]
         else:  # pragma: no cover - HALT handled by run()
             raise SimulationFault(f"unexpected opcode {op}")

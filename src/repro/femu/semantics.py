@@ -1,0 +1,206 @@
+"""Backend-independent B512 instruction semantics.
+
+Both FEMU backends -- the scalar interpreter
+(:class:`~repro.femu.executor.FunctionalSimulator`) and the numpy batch
+engine (:mod:`repro.femu.vectorized`) -- execute the same architectural
+contract.  This module is that contract, factored out so the two
+interpreters cannot drift: the arithmetic expressions, the shuffle
+permutations, the fault messages and the statistics accounting all live
+here, written polymorphically so one definition serves Python ints (scalar
+lanes) and numpy arrays (whole vectors / batches) alike.
+
+The differential suite in ``tests/test_vectorized_femu.py`` additionally
+proves the two backends bit-exact on every generated kernel shape, but the
+first line of defence is that there is only one place semantics are
+defined.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import BFLY_CT, Instruction
+from repro.isa.opcodes import InstructionClass, Opcode
+
+
+class SimulationFault(RuntimeError):
+    """A kernel violated an architectural contract (bad modulus, range...)."""
+
+
+@dataclass
+class ExecutionStats:
+    """Dynamic instruction statistics gathered during a functional run.
+
+    Both backends produce identical stats for the same program: a
+    :class:`~repro.femu.vectorized.BatchExecutor` pass counts each
+    instruction once regardless of the batch width, exactly like one scalar
+    run, so stats stay comparable across backends.
+    """
+
+    executed: int = 0
+    by_class: dict[InstructionClass, int] = field(
+        default_factory=lambda: {k: 0 for k in InstructionClass}
+    )
+    vdm_reads: int = 0
+    vdm_writes: int = 0
+
+
+def count_instruction(stats: ExecutionStats, inst: Instruction) -> None:
+    """Charge one dynamic instruction to the stats (shared by backends)."""
+    stats.executed += 1
+    stats.by_class[inst.instruction_class] += 1
+
+
+# ---------------------------------------------------------------------------
+# Compute semantics.
+#
+# Every expression below is polymorphic: ``a``/``b`` may be Python ints (one
+# lane) or numpy int64/object arrays (a vector, or a whole batch).  For
+# canonical residues ``0 <= x < q`` Python's ``%`` and numpy's ``%`` agree
+# on every intermediate (including the negative dividends produced by
+# subtraction), which is what makes the vectorized backend bit-exact.
+# ---------------------------------------------------------------------------
+
+VV_EXPR = {
+    Opcode.VVADD: lambda a, b, q: (a + b) % q,
+    Opcode.VVSUB: lambda a, b, q: (a - b) % q,
+    Opcode.VVMUL: lambda a, b, q: a * b % q,
+}
+"""Vector-vector compute ops: lanewise ``a (op) b mod q``."""
+
+VS_EXPR = {
+    Opcode.VSADD: lambda a, s, q: (a + s) % q,
+    Opcode.VSSUB: lambda a, s, q: (a - s) % q,
+    Opcode.VSMUL: lambda a, s, q: a * s % q,
+}
+"""Vector-scalar compute ops: lanewise ``a (op) SRF[rt] mod q``."""
+
+
+def bfly(variant: int, a, b, w, q):
+    """Butterfly semantics; returns ``(hi, lo)``.
+
+    Cooley-Tukey: ``hi = a + b*w``, ``lo = a - b*w`` (all mod q).
+    Gentleman-Sande: ``hi = a + b``, ``lo = (a - b) * w`` (all mod q).
+    """
+    if variant == BFLY_CT:
+        # The product stays unreduced: (a ± b*w) % q is identical to
+        # (a ± (b*w % q)) % q, and for int64 lanes q < 2^31 keeps the
+        # intermediate below 2^62, so one reduction pass is saved.
+        prod = b * w
+        return (a + prod) % q, (a - prod) % q
+    return (a + b) % q, (a - b) * w % q
+
+
+SHUFFLE_OPS = (Opcode.UNPKLO, Opcode.UNPKHI, Opcode.PKLO, Opcode.PKHI)
+
+
+@functools.lru_cache(maxsize=None)
+def shuffle_permutation(op: Opcode, vlen: int) -> tuple[int, ...]:
+    """Lane permutation of a shuffle, as indices into ``a ++ b``.
+
+    The result ``perm`` satisfies ``out[j] = (a ++ b)[perm[j]]`` where
+    ``a ++ b`` is the 2*vlen-element concatenation of the two source
+    registers.  Expressing all four shuffles as one gather lets the scalar
+    backend loop it and the vectorized backend fancy-index it from the same
+    table.
+    """
+    half = vlen // 2
+    perm = [0] * vlen
+    if op is Opcode.UNPKLO:
+        for i in range(half):
+            perm[2 * i] = i
+            perm[2 * i + 1] = vlen + i
+    elif op is Opcode.UNPKHI:
+        for i in range(half):
+            perm[2 * i] = half + i
+            perm[2 * i + 1] = vlen + half + i
+    elif op is Opcode.PKLO:
+        for i in range(half):
+            perm[i] = 2 * i
+            perm[half + i] = vlen + 2 * i
+    elif op is Opcode.PKHI:
+        for i in range(half):
+            perm[i] = 2 * i + 1
+            perm[half + i] = vlen + 2 * i + 1
+    else:
+        raise ValueError(f"{op} is not a shuffle opcode")
+    return tuple(perm)
+
+
+# ---------------------------------------------------------------------------
+# Architectural checks and their (backend-identical) fault messages.
+# ---------------------------------------------------------------------------
+
+
+def require_modulus(q: int, inst: Instruction) -> int:
+    """Validate MRF[rm] as a usable modulus; fault exactly like either backend."""
+    if q <= 1:
+        raise SimulationFault(
+            f"MRF[{inst.rm}] = {q} is not a usable modulus ({inst})"
+        )
+    return q
+
+
+def noncanonical_vector_fault(reg: int, value: int, q: int) -> SimulationFault:
+    """Fault for a vector operand lane outside ``[0, q)``."""
+    return SimulationFault(
+        f"VRF[{reg}] holds non-canonical residue {value} for q={q}"
+    )
+
+
+def noncanonical_scalar_fault(rt: int, value: int, q: int) -> SimulationFault:
+    """Fault for an SRF operand outside ``[0, q)``."""
+    return SimulationFault(f"SRF[{rt}] = {value} is not canonical for q={q}")
+
+
+def vdm_bounds_error(address: int, size: int) -> IndexError:
+    """Out-of-memory access error, shared so messages match exactly."""
+    return IndexError(f"VDM address {address} outside [0, {size})")
+
+
+def sdm_bounds_error(address: int, size: int) -> IndexError:
+    """Scalar-memory access error, shared so messages match exactly."""
+    return IndexError(f"SDM address {address} outside [0, {size})")
+
+
+def resolve_vdm_size(program, vdm_size: int | None) -> int:
+    """Validate/derive the VDM allocation for a program (both backends)."""
+    needed = program.vdm_words_needed
+    size = vdm_size if vdm_size is not None else max(needed, 1)
+    if size < needed:
+        raise ValueError(
+            f"VDM of {size} words cannot hold program needing {needed}"
+        )
+    return size
+
+
+SDM_MIN_WORDS = 2_048
+"""Default scalar-memory allocation (32 KiB of 16-byte words)."""
+
+
+def resolve_sdm_size(program) -> int:
+    """SDM allocation: the program's static footprint, floored at default."""
+    needed = max((seg.end for seg in program.sdm_segments), default=0)
+    return max(needed, SDM_MIN_WORDS)
+
+
+def apply_launch_state(program, write_vdm_segment, sdm, arf, mrf, srf) -> None:
+    """Launch-code duties (paper section V), shared by both backends.
+
+    Materializes SDM segments and the ARF/MRF/SRF preloads directly into
+    the given mutable sequences; VDM segments go through
+    ``write_vdm_segment(segment)`` since the two backends store vector
+    memory differently (flat list vs batched array).
+    """
+    for seg in program.vdm_segments:
+        write_vdm_segment(seg)
+    for seg in program.sdm_segments:
+        for i, v in enumerate(seg.values):
+            sdm[seg.base + i] = v
+    for idx, val in program.arf_init.items():
+        arf[idx] = val
+    for idx, val in program.mrf_init.items():
+        mrf[idx] = val
+    for idx, val in program.srf_init.items():
+        srf[idx] = val

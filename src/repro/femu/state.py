@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.femu.semantics import sdm_bounds_error, vdm_bounds_error
+
 NUM_REGS = 64
 
 
@@ -47,7 +49,7 @@ class MachineState:
         size = self.vdm_size
         for a in addresses:
             if not 0 <= a < size:
-                raise IndexError(f"VDM address {a} outside [0, {size})")
+                raise vdm_bounds_error(a, size)
         vdm = self.vdm
         return [vdm[a] for a in addresses]
 
@@ -56,12 +58,12 @@ class MachineState:
         size = self.vdm_size
         for a in addresses:
             if not 0 <= a < size:
-                raise IndexError(f"VDM address {a} outside [0, {size})")
+                raise vdm_bounds_error(a, size)
         vdm = self.vdm
         for a, v in zip(addresses, values):
             vdm[a] = v
 
     def read_sdm(self, address: int) -> int:
         if not 0 <= address < self.sdm_size:
-            raise IndexError(f"SDM address {address} outside [0, {self.sdm_size})")
+            raise sdm_bounds_error(address, self.sdm_size)
         return self.sdm[address]

@@ -1,0 +1,337 @@
+"""Numpy-backed FEMU backend: vectorized and batched functional execution.
+
+:class:`BatchExecutor` interprets the same :class:`~repro.isa.program.Program`
+objects as the scalar :class:`~repro.femu.executor.FunctionalSimulator`, but
+holds each vector register and the VDM as ``(batch, ...)`` numpy arrays, so
+
+* each instruction's vlen-wide element loop becomes one array expression,
+  and
+* B independent inputs (an RNS tower's residue polynomials, or B user
+  requests) flow through the instruction stream in a *single pass* -- the
+  per-instruction decode/dispatch overhead is paid once, not B times.
+
+:class:`VectorizedSimulator` is the batch-of-one facade with the exact
+``write_region``/``run``/``read_region`` surface of the scalar simulator.
+
+Element representation follows :mod:`repro.modmath.vectorized`: int64 lanes
+when every program modulus stays below 2^31 (the all-C fast path), object
+(arbitrary-precision) lanes for the paper's 128-bit moduli.  Both are
+bit-exact with the scalar backend -- the semantics come from the same
+shared table (:mod:`repro.femu.semantics`), and ``tests/test_vectorized_femu.py``
+proves equality element-for-element on every generated kernel shape.
+
+Scalar machine state (SRF/ARF/MRF and the SDM) carries no batch axis: B512
+has no scalar-store instruction, so scalar state depends only on the
+program, never on the vector data, and is provably identical across batch
+lanes.  This is also why vector load/store addresses can be computed once
+per static instruction and cached: the ARF is launch-time constant.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.femu.semantics import (
+    VS_EXPR,
+    VV_EXPR,
+    ExecutionStats,
+    SimulationFault,
+    apply_launch_state,
+    bfly,
+    count_instruction,
+    noncanonical_scalar_fault,
+    noncanonical_vector_fault,
+    require_modulus,
+    resolve_sdm_size,
+    resolve_vdm_size,
+    sdm_bounds_error,
+    shuffle_permutation,
+    vdm_bounds_error,
+)
+from repro.femu.state import NUM_REGS
+from repro.isa.addressing import AddressMode, element_addresses_array
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program, RegionSpec
+from repro.modmath.vectorized import INT64_MODULUS_LIMIT, fits_int64
+
+__all__ = ["BatchExecutor", "VectorizedSimulator"]
+
+
+@functools.lru_cache(maxsize=None)
+def _shuffle_index(op: Opcode, vlen: int) -> np.ndarray:
+    """The shared shuffle permutation, materialized once as an index array."""
+    return np.array(shuffle_permutation(op, vlen), dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class _AddressPlan:
+    """Pre-resolved addresses of one static vector load/store.
+
+    ``gather`` is the lane-ordered address vector.  ``scatter_addrs`` /
+    ``scatter_lanes`` realize the scalar backend's sequential last-write-wins
+    scatter even when an addressing mode (REPEATED) maps several lanes to
+    one address: only the last lane per address is materialized.
+    """
+
+    gather: np.ndarray
+    scatter_addrs: np.ndarray
+    scatter_lanes: np.ndarray
+    count: int
+
+
+class BatchExecutor:
+    """Executes one program over ``batch`` independent VDM/VRF lane sets.
+
+    Usage::
+
+        ex = BatchExecutor(program, batch=8)
+        ex.write_region(program.input_region, eight_coefficient_lists)
+        ex.run()
+        outs = ex.read_region(program.output_region)   # 8 result lists
+
+    Stats are per program pass (identical to one scalar run), regardless of
+    the batch width.
+    """
+
+    def __init__(
+        self, program: Program, batch: int = 1, vdm_size: int | None = None
+    ) -> None:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.program = program
+        self.batch = batch
+        self.vlen = program.vlen
+        self.vdm_size = resolve_vdm_size(program, vdm_size)
+        self.sdm_size = resolve_sdm_size(program)
+        self.stats = ExecutionStats()
+        self._dtype = self._select_dtype(program)
+        self.vdm = np.zeros((batch, self.vdm_size), dtype=self._dtype)
+        self.vrf: list[np.ndarray] = [
+            np.zeros((batch, self.vlen), dtype=self._dtype)
+            for _ in range(NUM_REGS)
+        ]
+        self.sdm = [0] * self.sdm_size
+        self.srf = [0] * NUM_REGS
+        self.arf = [0] * NUM_REGS
+        self.mrf = [0] * NUM_REGS
+        self._plans: dict[Instruction, _AddressPlan] = {}
+        apply_launch_state(
+            program,
+            self._write_vdm_segment,
+            self.sdm,
+            self.arf,
+            self.mrf,
+            self.srf,
+        )
+
+    # -- representation ----------------------------------------------------
+    @staticmethod
+    def _select_dtype(program: Program) -> np.dtype:
+        """int64 lanes iff every program constant provably fits them."""
+        moduli = list(program.mrf_init.values())
+        data = [
+            v
+            for seg in (*program.vdm_segments, *program.sdm_segments)
+            for v in seg.values
+        ]
+        data.extend(program.srf_init.values())
+        if all(q < INT64_MODULUS_LIMIT for q in moduli) and fits_int64(*data):
+            return np.dtype(np.int64)
+        return np.dtype(object)
+
+    def _promote_to_object(self) -> None:
+        """Switch state to arbitrary-precision lanes (caller data overflow)."""
+        if self._dtype == np.dtype(object):
+            return
+        self._dtype = np.dtype(object)
+        self.vdm = self.vdm.astype(object)
+        self.vrf = [r.astype(object) for r in self.vrf]
+
+    def _write_vdm_segment(self, seg) -> None:
+        """VDM launch hook for the shared ``apply_launch_state``."""
+        self.vdm[:, seg.base : seg.end] = np.array(
+            seg.values, dtype=self._dtype
+        )
+
+    # -- region I/O --------------------------------------------------------
+    def write_region(
+        self, region: RegionSpec | None, rows: Sequence[Sequence[int]]
+    ) -> None:
+        """Place ``batch`` input rows into a VDM region before running."""
+        if region is None:
+            raise ValueError("program has no such region")
+        if len(rows) != self.batch:
+            raise ValueError(
+                f"expected {self.batch} input rows, got {len(rows)}"
+            )
+        for values in rows:
+            if len(values) != region.length:
+                raise ValueError(
+                    f"region {region.name!r} holds {region.length} elements, "
+                    f"got {len(values)}"
+                )
+        if self._dtype == np.dtype(np.int64) and not all(
+            fits_int64(*values) for values in rows
+        ):
+            self._promote_to_object()
+        self.vdm[:, region.base : region.base + region.length] = np.array(
+            [list(values) for values in rows], dtype=self._dtype
+        )
+
+    def read_region(self, region: RegionSpec | None) -> list[list[int]]:
+        """Read a VDM region after running; one Python-int row per batch."""
+        if region is None:
+            raise ValueError("program has no such region")
+        out = self.vdm[:, region.base : region.base + region.length]
+        return [list(map(int, row)) for row in out.tolist()]
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> ExecutionStats:
+        """Execute until HALT (or the end of the instruction list)."""
+        for inst in self.program.instructions:
+            if inst.opcode is Opcode.HALT:
+                break
+            self._execute(inst)
+        return self.stats
+
+    def _address_plan(self, inst: Instruction) -> _AddressPlan:
+        """Addresses of a load/store, bounds-checked and cached.
+
+        Safe to cache per static instruction because the ARF (the only
+        base-address state) is written exclusively by launch code.
+        """
+        plan = self._plans.get(inst)
+        if plan is not None:
+            return plan
+        base = self.arf[inst.rm] + inst.offset
+        gather = element_addresses_array(inst.mode, inst.value, base, self.vlen)
+        bad = (gather < 0) | (gather >= self.vdm_size)
+        if bad.any():  # report the first offender in lane order
+            raise vdm_bounds_error(
+                int(gather[np.nonzero(bad)[0][0]]), self.vdm_size
+            )
+        if gather.dtype != np.dtype(np.int64):
+            gather = gather.astype(np.int64)  # all in-range => fits
+        if inst.mode is AddressMode.REPEATED:
+            # Sequential scatter semantics: the last lane hitting an address
+            # wins, so keep exactly that lane per distinct address.  Only
+            # REPEATED can map two lanes to one address.
+            last_lane = {int(a): j for j, a in enumerate(gather)}
+            scatter_addrs = np.array(list(last_lane.keys()), dtype=np.int64)
+            scatter_lanes = np.array(list(last_lane.values()), dtype=np.int64)
+        else:
+            scatter_addrs = gather
+            scatter_lanes = np.arange(self.vlen, dtype=np.int64)
+        plan = _AddressPlan(
+            gather=gather,
+            scatter_addrs=scatter_addrs,
+            scatter_lanes=scatter_lanes,
+            count=len(gather),
+        )
+        self._plans[inst] = plan
+        return plan
+
+    def _read_sdm(self, address: int) -> int:
+        if not 0 <= address < self.sdm_size:
+            raise sdm_bounds_error(address, self.sdm_size)
+        return self.sdm[address]
+
+    def _modulus(self, inst: Instruction) -> int:
+        return require_modulus(self.mrf[inst.rm], inst)
+
+    def _check_canonical(self, reg: int, q: int) -> np.ndarray:
+        values = self.vrf[reg]
+        # min/max reductions make the common (all-canonical) case two
+        # allocation-free passes; the fault path may be as slow as it likes.
+        if values.min() < 0 or values.max() >= q:
+            bad = (values < 0) | (values >= q)
+            # Row-major first offender: for batch==1 this is exactly the
+            # lane the scalar backend reports.
+            first = values[bad].flat[0]
+            raise noncanonical_vector_fault(reg, int(first), q)
+        return values
+
+    def _execute(self, inst: Instruction) -> None:
+        op = inst.opcode
+        count_instruction(self.stats, inst)
+
+        if op is Opcode.VLOAD:
+            plan = self._address_plan(inst)
+            self.vrf[inst.vd] = self.vdm[:, plan.gather]
+            self.stats.vdm_reads += plan.count
+        elif op is Opcode.VSTORE:
+            plan = self._address_plan(inst)
+            source = self.vrf[inst.vd]
+            self.vdm[:, plan.scatter_addrs] = source[:, plan.scatter_lanes]
+            self.stats.vdm_writes += plan.count
+        elif op is Opcode.SLOAD:
+            self.srf[inst.rt] = self._read_sdm(self.arf[inst.rm] + inst.offset)
+        elif op is Opcode.VBCAST:
+            word = self._read_sdm(self.arf[inst.rm] + inst.offset)
+            self.vrf[inst.vd] = np.full(
+                (self.batch, self.vlen), word, dtype=self._dtype
+            )
+        elif op in VV_EXPR:
+            q = self._modulus(inst)
+            a = self._check_canonical(inst.vs, q)
+            b = self._check_canonical(inst.vt, q)
+            self.vrf[inst.vd] = VV_EXPR[op](a, b, q)
+        elif op in VS_EXPR:
+            q = self._modulus(inst)
+            a = self._check_canonical(inst.vs, q)
+            s = self.srf[inst.rt]
+            if not 0 <= s < q:
+                raise noncanonical_scalar_fault(inst.rt, s, q)
+            self.vrf[inst.vd] = VS_EXPR[op](a, s, q)
+        elif op is Opcode.BFLY:
+            q = self._modulus(inst)
+            a = self._check_canonical(inst.vs, q)
+            b = self._check_canonical(inst.vt, q)
+            w = self._check_canonical(inst.vt1, q)
+            hi, lo = bfly(inst.bfly_variant, a, b, w, q)
+            self.vrf[inst.vd] = hi
+            self.vrf[inst.vd1] = lo
+        elif op in (Opcode.UNPKLO, Opcode.UNPKHI, Opcode.PKLO, Opcode.PKHI):
+            concat = np.concatenate(
+                (self.vrf[inst.vs], self.vrf[inst.vt]), axis=1
+            )
+            self.vrf[inst.vd] = concat[:, _shuffle_index(op, self.vlen)]
+        else:  # pragma: no cover - HALT handled by run()
+            raise SimulationFault(f"unexpected opcode {op}")
+
+
+class VectorizedSimulator:
+    """Drop-in numpy replacement for the scalar :class:`FunctionalSimulator`.
+
+    Same constructor and ``write_region``/``run``/``read_region`` surface,
+    same faults, bit-identical outputs and execution stats -- just one
+    array expression per instruction instead of a Python loop per lane.
+    For multi-input throughput use :class:`BatchExecutor` directly.
+    """
+
+    def __init__(self, program: Program, vdm_size: int | None = None) -> None:
+        self.program = program
+        self._engine = BatchExecutor(program, batch=1, vdm_size=vdm_size)
+
+    @property
+    def stats(self) -> ExecutionStats:
+        return self._engine.stats
+
+    def write_region(self, region: RegionSpec | None, values: Sequence[int]) -> None:
+        """Place caller data into a VDM region before running."""
+        if region is None:
+            raise ValueError("program has no such region")
+        self._engine.write_region(region, [values])
+
+    def read_region(self, region: RegionSpec | None) -> list[int]:
+        """Read a VDM region after running."""
+        return self._engine.read_region(region)[0]
+
+    def run(self) -> ExecutionStats:
+        """Execute until HALT (or the end of the instruction list)."""
+        return self._engine.run()

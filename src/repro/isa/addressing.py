@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import enum
 
+import numpy as np
+
 
 class AddressMode(enum.IntEnum):
     """MODE field values."""
@@ -53,4 +55,38 @@ def element_addresses(
         return [base + (j // v) * 2 * v + (j % v) for j in range(vlen)]
     if mode == AddressMode.REPEATED:
         return [base + (j % v) for j in range(vlen)]
+    raise ValueError(f"unknown addressing mode {mode}")
+
+
+def element_addresses_array(
+    mode: AddressMode, value: int, base: int, vlen: int
+) -> np.ndarray:
+    """Numpy form of :func:`element_addresses` (same modes, same lanes).
+
+    Used by the vectorized FEMU backend; since ``v`` is a power of two the
+    div/mod of the scalar formulas become shifts/masks over one ``arange``.
+    Kept in this module, next to the scalar definition, so the two address
+    generators cannot drift apart unnoticed (the differential tests compare
+    them through full kernel runs in every mode).
+
+    Extreme VALUE/base fields whose addresses could wrap int64 fall back to
+    the exact scalar formulas and return object (Python-int) lanes -- never
+    silently wrapped addresses.
+    """
+    if value < 0 or value > 63:
+        raise ValueError("VALUE field must be in [0, 63]")
+    if value + max((vlen - 1).bit_length(), 1) >= 62 or abs(base) >= 1 << 61:
+        return np.array(
+            element_addresses(mode, value, base, vlen), dtype=object
+        )
+    v = 1 << value
+    lanes = np.arange(vlen, dtype=np.int64)
+    if mode == AddressMode.LINEAR:
+        return base + lanes
+    if mode == AddressMode.STRIDED:
+        return base + lanes * v
+    if mode == AddressMode.STRIDED_SKIP:
+        return base + (lanes >> value) * 2 * v + (lanes & (v - 1))
+    if mode == AddressMode.REPEATED:
+        return base + (lanes & (v - 1))
     raise ValueError(f"unknown addressing mode {mode}")

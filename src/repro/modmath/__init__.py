@@ -24,6 +24,18 @@ from repro.modmath.primes import (
     is_prime,
     minimal_2nth_root,
 )
+from repro.modmath.vectorized import (
+    INT64_MODULUS_LIMIT,
+    dtype_for_modulus,
+    residue_array,
+    residue_matrix,
+    vec_barrett_reduce,
+    vec_mod_add,
+    vec_mod_mul,
+    vec_mod_sub,
+    vec_montgomery_mul,
+    vec_montgomery_redc,
+)
 
 __all__ = [
     "mod_add",
@@ -39,4 +51,14 @@ __all__ = [
     "find_primitive_root",
     "find_root_of_unity",
     "minimal_2nth_root",
+    "INT64_MODULUS_LIMIT",
+    "dtype_for_modulus",
+    "residue_array",
+    "residue_matrix",
+    "vec_mod_add",
+    "vec_mod_sub",
+    "vec_mod_mul",
+    "vec_barrett_reduce",
+    "vec_montgomery_redc",
+    "vec_montgomery_mul",
 ]

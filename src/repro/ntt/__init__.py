@@ -12,6 +12,9 @@ functional simulator.
   dataflow that the RPU kernels vectorize, at array level.
 * :mod:`repro.ntt.twiddles` -- ψ tables (bit-reversed order) per (n, q).
 * :mod:`repro.ntt.polymul` -- negacyclic polynomial multiplication via NTT.
+* :mod:`repro.ntt.vectorized` -- batched numpy transforms: a (B, n) matrix
+  of rows, each under its own modulus, in one pass (bit-identical to the
+  scalar reference row-for-row).
 """
 
 from repro.ntt.naive import naive_negacyclic_convolution, naive_negacyclic_ntt
@@ -19,6 +22,11 @@ from repro.ntt.pease import pease_ntt_forward, pease_ntt_inverse
 from repro.ntt.polymul import negacyclic_polymul
 from repro.ntt.reference import ntt_forward, ntt_inverse
 from repro.ntt.twiddles import TwiddleTable
+from repro.ntt.vectorized import (
+    batch_negacyclic_polymul,
+    batch_ntt_forward,
+    batch_ntt_inverse,
+)
 
 __all__ = [
     "TwiddleTable",
@@ -29,4 +37,7 @@ __all__ = [
     "pease_ntt_forward",
     "pease_ntt_inverse",
     "negacyclic_polymul",
+    "batch_ntt_forward",
+    "batch_ntt_inverse",
+    "batch_negacyclic_polymul",
 ]

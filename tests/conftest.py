@@ -1,4 +1,10 @@
-"""Shared fixtures: small rings and kernels reused across test modules."""
+"""Shared fixtures: small rings and kernels reused across test modules.
+
+Also wires the ``--slow`` opt-in: the fast differential suite runs by
+default (it is part of tier-1); exhaustive sweeps are marked
+``@pytest.mark.slow`` and skipped unless ``--slow`` is passed
+(``make check-slow`` runs both).
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,32 @@ import random
 import pytest
 
 from repro.ntt.twiddles import TwiddleTable
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help="also run the exhaustive (slow) differential/fuzz sweeps",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: exhaustive sweep, opt-in via --slow"
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if config.getoption("--slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow sweep; enable with --slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture(scope="session")

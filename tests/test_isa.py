@@ -212,3 +212,32 @@ class TestProgram:
         assert counts[InstructionClass.SI] == 1
         assert p.vdm_words_needed == 1024 + 64
         assert "CI=1" in p.summary()
+
+
+class TestArrayAddressing:
+    """element_addresses_array must match the scalar generator lane-for-lane."""
+
+    def test_all_modes_match_scalar(self):
+        from repro.isa.addressing import element_addresses_array
+
+        for mode in AddressMode:
+            for value in (0, 1, 2, 5):
+                for base in (0, 7, 1000):
+                    for vlen in (2, 8, 16):
+                        assert element_addresses_array(
+                            mode, value, base, vlen
+                        ).tolist() == element_addresses(mode, value, base, vlen)
+
+    def test_extreme_fields_never_wrap(self):
+        # VALUE/base combinations whose strided addresses exceed int64 must
+        # fall back to exact Python-int lanes, not wrap silently.
+        from repro.isa.addressing import element_addresses_array
+
+        for mode in (AddressMode.STRIDED, AddressMode.STRIDED_SKIP):
+            for value in (60, 62, 63):
+                out = element_addresses_array(mode, value, 0, 4)
+                assert out.tolist() == element_addresses(mode, value, 0, 4)
+                assert all(a >= 0 for a in out.tolist())
+        huge_base = 1 << 62
+        out = element_addresses_array(AddressMode.LINEAR, 0, huge_base, 4)
+        assert out.tolist() == [huge_base + j for j in range(4)]

@@ -150,3 +150,121 @@ class TestPrimes:
     def test_root_requires_divisibility(self):
         with pytest.raises(ValueError):
             find_root_of_unity(3, 257)
+
+
+class TestVectorizedHelpers:
+    """Array helpers must agree with the scalar LAW operations bit-for-bit."""
+
+    def test_vec_mod_ops_match_scalar(self):
+        import random
+
+        from repro.modmath.vectorized import (
+            residue_array,
+            vec_mod_add,
+            vec_mod_mul,
+            vec_mod_sub,
+        )
+
+        for q in (Q, find_ntt_prime(128, 64)):
+            rng = random.Random(q % 1009)
+            a = [rng.randrange(q) for _ in range(64)]
+            b = [rng.randrange(q) for _ in range(64)]
+            va, vb = residue_array(a, q), residue_array(b, q)
+            assert vec_mod_add(va, vb, q).tolist() == [
+                mod_add(x, y, q) for x, y in zip(a, b)
+            ]
+            assert vec_mod_sub(va, vb, q).tolist() == [
+                mod_sub(x, y, q) for x, y in zip(a, b)
+            ]
+            assert vec_mod_mul(va, vb, q).tolist() == [
+                mod_mul(x, y, q) for x, y in zip(a, b)
+            ]
+
+    def test_residue_array_rejects_non_canonical(self):
+        from repro.modmath.vectorized import residue_array
+
+        with pytest.raises(ValueError):
+            residue_array([0, Q], Q)
+        with pytest.raises(ValueError):
+            residue_array([-1, 0], Q)
+
+    def test_residue_matrix_dtype_selection(self):
+        import numpy as np
+
+        from repro.modmath.vectorized import residue_matrix
+
+        small, _ = residue_matrix([[1, 2], [3, 4]], [17, 19])
+        assert small.dtype == np.dtype(np.int64)
+        big_q = find_ntt_prime(128, 2)
+        big, q_col = residue_matrix([[1, 2], [3, 4]], [17, big_q])
+        assert big.dtype == np.dtype(object)
+        assert q_col.shape == (2, 1)
+
+    def test_vec_barrett_matches_scalar(self):
+        import random
+
+        from repro.modmath.vectorized import vec_barrett_reduce
+
+        for q in (97, 998244353, find_ntt_prime(128, 64)):
+            reducer = BarrettReducer(q)
+            rng = random.Random(q % 4099)
+            xs = [rng.randrange(q * q) for _ in range(128)]
+            out = vec_barrett_reduce(xs, reducer)
+            assert [int(v) for v in out] == [reducer.reduce(x) for x in xs]
+
+    def test_vec_barrett_rejects_out_of_range(self):
+        from repro.modmath.vectorized import vec_barrett_reduce
+
+        reducer = BarrettReducer(97)
+        with pytest.raises(ValueError):
+            vec_barrett_reduce([97 * 97], reducer)
+
+    def test_vec_montgomery_matches_scalar(self):
+        import random
+
+        from repro.modmath.vectorized import (
+            vec_montgomery_mul,
+            vec_montgomery_redc,
+        )
+
+        for q in (97, 998244353, find_ntt_prime(128, 64)):
+            dom = MontgomeryDomain(q)
+            rng = random.Random(q % 4099)
+            ts = [rng.randrange(q << dom.r_bits) for _ in range(128)]
+            out = vec_montgomery_redc(ts, dom)
+            assert [int(v) for v in out] == [dom.redc(t) for t in ts]
+            a = [dom.to_mont(rng.randrange(q)) for _ in range(64)]
+            b = [dom.to_mont(rng.randrange(q)) for _ in range(64)]
+            prod = vec_montgomery_mul(a, b, dom)
+            assert [int(v) for v in prod] == [
+                dom.mul(x, y) for x, y in zip(a, b)
+            ]
+
+    def test_vec_montgomery_wide_r_bits_matches_scalar(self):
+        # q fits int64 but R = 2^32 does not leave int64 headroom for the
+        # (t & r_mask) * q_inv_neg intermediate; must take object lanes.
+        import random
+
+        from repro.modmath.vectorized import (
+            vec_montgomery_mul,
+            vec_montgomery_redc,
+        )
+
+        dom = MontgomeryDomain(2**31 - 1, r_bits=32)
+        rng = random.Random(99)
+        ts = [rng.randrange(dom.modulus << dom.r_bits) for _ in range(256)]
+        assert [int(v) for v in vec_montgomery_redc(ts, dom)] == [
+            dom.redc(t) for t in ts
+        ]
+        a = [dom.to_mont(rng.randrange(dom.modulus)) for _ in range(64)]
+        b = [dom.to_mont(rng.randrange(dom.modulus)) for _ in range(64)]
+        assert [int(v) for v in vec_montgomery_mul(a, b, dom)] == [
+            dom.mul(x, y) for x, y in zip(a, b)
+        ]
+
+    def test_vec_montgomery_mul_rejects_out_of_domain(self):
+        from repro.modmath.vectorized import vec_montgomery_mul
+
+        dom = MontgomeryDomain(97)
+        with pytest.raises(ValueError):
+            vec_montgomery_mul([97], [1], dom)

@@ -23,6 +23,11 @@ from repro.ntt.pease import (
 from repro.ntt.polymul import negacyclic_polymul, pointwise_mul
 from repro.ntt.reference import ntt_forward, ntt_inverse, to_natural_order
 from repro.ntt.twiddles import TwiddleTable
+from repro.ntt.vectorized import (
+    batch_negacyclic_polymul,
+    batch_ntt_forward,
+    batch_ntt_inverse,
+)
 from repro.util.bits import bit_reverse_permutation
 
 from tests.conftest import random_poly
@@ -183,3 +188,67 @@ class TestPropertyBased:
         via_ntt = negacyclic_polymul(a, b, t)
         direct = naive_negacyclic_convolution(a, b, t.q)
         assert via_ntt == direct
+
+
+class TestBatchedVectorized:
+    """Batched numpy transforms vs the scalar reference, row for row."""
+
+    def test_batch_forward_matches_reference(self):
+        for q_bits in (25, 128):
+            n = 32
+            table = TwiddleTable.for_ring(n, q_bits=q_bits)
+            rng = random.Random(q_bits)
+            rows = [[rng.randrange(table.q) for _ in range(n)] for _ in range(5)]
+            out = batch_ntt_forward(rows, table)
+            assert out.tolist() == [ntt_forward(r, table) for r in rows]
+
+    def test_batch_inverse_roundtrip(self):
+        n = 64
+        table = TwiddleTable.for_ring(n, q_bits=25)
+        rng = random.Random(7)
+        rows = [[rng.randrange(table.q) for _ in range(n)] for _ in range(4)]
+        fwd = batch_ntt_forward(rows, table)
+        assert batch_ntt_inverse(fwd, table).tolist() == rows
+
+    def test_batch_per_row_moduli(self):
+        # Each row under its own prime -- the RNS-tower case -- including a
+        # mix of int64-eligible and 128-bit moduli (object lanes).
+        n = 32
+        from repro.modmath.primes import find_ntt_prime
+
+        tables = [
+            TwiddleTable.for_ring(n, q_bits=20),
+            TwiddleTable.for_ring(n, q_bits=25),
+            TwiddleTable.for_ring(n, q=find_ntt_prime(128, n)),
+        ]
+        rng = random.Random(11)
+        rows = [[rng.randrange(t.q) for _ in range(n)] for t in tables]
+        out = batch_ntt_forward(rows, tables)
+        assert out.tolist() == [
+            ntt_forward(r, t) for r, t in zip(rows, tables)
+        ]
+        back = batch_ntt_inverse(out.tolist(), tables)
+        assert back.tolist() == rows
+
+    def test_batch_polymul_matches_scalar(self):
+        n = 32
+        tables = [
+            TwiddleTable.for_ring(n, q_bits=20),
+            TwiddleTable.for_ring(n, q_bits=25),
+        ]
+        rng = random.Random(13)
+        a = [[rng.randrange(t.q) for _ in range(n)] for t in tables]
+        b = [[rng.randrange(t.q) for _ in range(n)] for t in tables]
+        out = batch_negacyclic_polymul(a, b, tables)
+        assert out.tolist() == [
+            negacyclic_polymul(ra, rb, t) for ra, rb, t in zip(a, b, tables)
+        ]
+
+    def test_batch_rejects_bad_shapes(self):
+        table = TwiddleTable.for_ring(16, q_bits=20)
+        with pytest.raises(ValueError):
+            batch_ntt_forward([[0] * 16], [table, table])  # table count
+        with pytest.raises(ValueError):
+            batch_ntt_forward([[0] * 8], table)  # row length vs table.n
+        with pytest.raises(ValueError):
+            batch_ntt_forward([[table.q] + [0] * 15], table)  # non-canonical

@@ -8,9 +8,10 @@ format->parse->encode->decode.
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.femu import FunctionalSimulator
+from repro.femu import BatchExecutor, FunctionalSimulator, make_simulator
 from repro.isa.assembler import format_instruction, parse_line
 from repro.isa.encoding import decode_instruction, encode_instruction
 from repro.isa.instructions import (
@@ -50,11 +51,11 @@ _SHAPES = [
 ]
 
 
-def _run(program, values):
-    sim = FunctionalSimulator(program)
+def _run(program, values, backend="scalar"):
+    sim = make_simulator(program, backend=backend)
     sim.write_region(program.input_region, values)
     sim.run()
-    return sim.read_region(program.output_region)
+    return sim.read_region(program.output_region), sim.stats
 
 
 class TestCodegenFuzz:
@@ -75,10 +76,10 @@ class TestCodegenFuzz:
             rect_depth=depth,
         )
         if direction == "forward":
-            assert _run(program, plain) == ntt_forward(plain, table)
+            assert _run(program, plain)[0] == ntt_forward(plain, table)
         else:
             transformed = ntt_forward(plain, table)
-            assert _run(program, transformed) == plain
+            assert _run(program, transformed)[0] == plain
 
     @given(
         shape=st.sampled_from(_SHAPES),
@@ -94,7 +95,120 @@ class TestCodegenFuzz:
             n, vlen=vlen, q_bits=Q_BITS, rect_depth=depth,
             schedule_window=window,
         )
-        assert _run(program, plain) == ntt_forward(plain, table)
+        assert _run(program, plain)[0] == ntt_forward(plain, table)
+
+
+class TestBackendDifferentialFuzz:
+    """Scalar vs vectorized FEMU vs the ntt.reference oracle, randomized.
+
+    Fuzzes modulus width / kernel size / input combinations: any divergence
+    between the two interpreters, or between either interpreter and the
+    oracle, fails here with the generating seed.
+    """
+
+    @given(
+        shape=st.sampled_from(_SHAPES),
+        direction=st.sampled_from(["forward", "inverse"]),
+        q_bits=st.sampled_from([18, 25, 31, 64, 128]),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_backends_agree_with_oracle(self, shape, direction, q_bits, seed):
+        n, vlen, depth = shape
+        table = TwiddleTable.for_ring(n, q_bits=q_bits)
+        rng = random.Random(seed)
+        plain = [rng.randrange(table.q) for _ in range(n)]
+        values = plain if direction == "forward" else ntt_forward(plain, table)
+        expected = ntt_forward(plain, table) if direction == "forward" else plain
+        program = generate_ntt_program(
+            n, direction, vlen=vlen, q_bits=q_bits, rect_depth=depth
+        )
+        out_s, stats_s = _run(program, values, backend="scalar")
+        out_v, stats_v = _run(program, values, backend="vectorized")
+        assert out_s == out_v == expected
+        assert stats_s == stats_v
+
+    @given(
+        shape=st.sampled_from(_SHAPES[:4]),
+        q_bits=st.sampled_from([25, 128]),
+        batch=st.integers(1, 5),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_batch_executor_matches_oracle(self, shape, q_bits, batch, seed):
+        n, vlen, depth = shape
+        table = TwiddleTable.for_ring(n, q_bits=q_bits)
+        rng = random.Random(seed)
+        rows = [
+            [rng.randrange(table.q) for _ in range(n)] for _ in range(batch)
+        ]
+        program = generate_ntt_program(
+            n, vlen=vlen, q_bits=q_bits, rect_depth=depth
+        )
+        ex = BatchExecutor(program, batch=batch)
+        ex.write_region(program.input_region, rows)
+        ex.run()
+        outs = ex.read_region(program.output_region)
+        assert outs == [ntt_forward(row, table) for row in rows]
+
+
+@pytest.mark.slow
+class TestBackendDifferentialSweep:
+    """The full differential matrix; opt-in via ``--slow`` (see conftest)."""
+
+    def test_every_shape_direction_modulus(self):
+        for n, vlen, depth in _SHAPES:
+            for direction in ("forward", "inverse"):
+                for q_bits in (18, 25, 31, 64, 128):
+                    table = TwiddleTable.for_ring(n, q_bits=q_bits)
+                    program = generate_ntt_program(
+                        n, direction, vlen=vlen, q_bits=q_bits,
+                        rect_depth=depth,
+                    )
+                    for seed in range(3):
+                        rng = random.Random(seed)
+                        plain = [rng.randrange(table.q) for _ in range(n)]
+                        values = (
+                            plain
+                            if direction == "forward"
+                            else ntt_forward(plain, table)
+                        )
+                        out_s, stats_s = _run(program, values, "scalar")
+                        out_v, stats_v = _run(program, values, "vectorized")
+                        assert out_s == out_v, (n, direction, q_bits, seed)
+                        assert stats_s == stats_v, (n, direction, q_bits, seed)
+
+    def test_batched_towers_all_widths(self):
+        from repro.spiral.batched import (
+            generate_batched_ntt_program,
+            tower_regions,
+        )
+
+        for q_bits in (25, 128):
+            for num_towers in (2, 4):
+                n, vlen = 64, 8
+                program = generate_batched_ntt_program(
+                    n, num_towers=num_towers, vlen=vlen, q_bits=q_bits,
+                    rect_depth=2,
+                )
+                moduli = program.metadata["moduli"]
+                regions = tower_regions(program)
+                sims = [
+                    make_simulator(program, backend=b)
+                    for b in ("scalar", "vectorized")
+                ]
+                rng = random.Random(q_bits * num_towers)
+                inputs = [
+                    [rng.randrange(moduli[k + 1]) for _ in range(n)]
+                    for k in range(num_towers)
+                ]
+                for sim in sims:
+                    for k, (inp, _out) in enumerate(regions):
+                        sim.write_region(inp, inputs[k])
+                    sim.run()
+                for _inp, out in regions:
+                    assert sims[0].read_region(out) == sims[1].read_region(out)
+                assert sims[0].stats == sims[1].stats
 
 
 class TestTimingLaws:

@@ -112,3 +112,57 @@ class TestRnsPolynomial:
         # the structure at test scale with 3 x 20-bit limbs.
         basis = RnsBasis.generate(num_limbs=3, limb_bits=20, ring_degree=16)
         assert basis.modulus_product.bit_length() >= 57
+
+
+class TestBackendDispatch:
+    """Tower-wide vectorized dispatch must match the scalar per-limb path."""
+
+    def _pair(self, basis, seed):
+        import random
+
+        rng = random.Random(seed)
+        big_q = basis.modulus_product
+        a = [rng.randrange(big_q) for _ in range(basis.ring_degree)]
+        b = [rng.randrange(big_q) for _ in range(basis.ring_degree)]
+        return (
+            RnsPolynomial.from_coefficients(a, basis),
+            RnsPolynomial.from_coefficients(b, basis),
+        )
+
+    def test_add_sub_mul_backends_agree(self, basis):
+        pa, pb = self._pair(basis, 31)
+        for op in ("add", "sub", "mul"):
+            scalar = getattr(pa, op)(pb, backend="scalar")
+            vector = getattr(pa, op)(pb, backend="vectorized")
+            auto = getattr(pa, op)(pb)
+            assert scalar.towers == vector.towers == auto.towers
+
+    def test_wide_limb_backends_agree(self):
+        # 40-bit limbs force the object-dtype path; must stay bit-exact.
+        basis = RnsBasis.generate(num_limbs=2, limb_bits=40, ring_degree=16)
+        pa, pb = self._pair(basis, 37)
+        assert pa.mul(pb, backend="scalar").towers == pa.mul(
+            pb, backend="vectorized"
+        ).towers
+
+    def test_ntt_all_matches_per_limb(self, basis):
+        from repro.ntt.reference import ntt_forward, ntt_inverse
+        from repro.ntt.twiddles import TwiddleTable
+
+        pa, _ = self._pair(basis, 41)
+        tables = [
+            TwiddleTable.for_ring(basis.ring_degree, q) for q in basis.moduli
+        ]
+        fwd = pa.ntt_all("forward")
+        assert fwd == [
+            ntt_forward(t, tab) for t, tab in zip(pa.towers, tables)
+        ]
+        spectral = RnsPolynomial(basis, fwd)
+        assert spectral.ntt_all("inverse") == pa.towers
+
+    def test_unknown_backend_rejected(self, basis):
+        pa, pb = self._pair(basis, 43)
+        with pytest.raises(ValueError):
+            pa.add(pb, backend="gpu")
+        with pytest.raises(ValueError):
+            pa.ntt_all("sideways")

@@ -1,0 +1,279 @@
+"""Differential suite: the vectorized FEMU backend is bit-exact.
+
+Every SPIRAL-generated kernel shape (forward/inverse NTT at several sizes,
+pointwise, batched multi-tower) runs through both the scalar
+``FunctionalSimulator`` and the numpy ``VectorizedSimulator``/
+``BatchExecutor``; outputs must match element-for-element and the
+:class:`ExecutionStats` must be identical.  Faults must match too: same
+exception type, same message, on the same program.
+"""
+
+import random
+
+import pytest
+
+from repro.femu import (
+    BatchExecutor,
+    FunctionalSimulator,
+    SimulationFault,
+    VectorizedSimulator,
+    make_simulator,
+)
+from repro.isa.instructions import sload, vload, vsmul, vstore, vvadd
+from repro.isa.program import DataSegment, Program, RegionSpec
+from repro.ntt.reference import ntt_forward
+from repro.ntt.twiddles import TwiddleTable
+from repro.spiral.batched import generate_batched_ntt_program, tower_regions
+from repro.spiral.kernels import generate_ntt_program
+from repro.spiral.pointwise import b_region, generate_pointwise_program
+
+# (n, vlen, rect_depth) kernel shapes; q_bits 25 exercises the int64 fast
+# path, 128 the object (arbitrary-precision) path.
+NTT_SHAPES = [
+    (32, 4, 2),
+    (64, 8, 3),
+    (128, 8, 2),
+    (256, 16, 2),
+]
+
+
+def run_both(program, region_values):
+    """Run a program on both backends; return (outputs, stats) per backend."""
+    sims = (FunctionalSimulator(program), VectorizedSimulator(program))
+    results = []
+    for sim in sims:
+        for region, values in region_values.items():
+            sim.write_region(region, values)
+        sim.run()
+        results.append(sim.read_region(program.output_region))
+    return sims, results
+
+
+def assert_equivalent(program, region_values):
+    (scalar, vector), (out_s, out_v) = run_both(program, region_values)
+    assert out_s == out_v, f"{program.name}: outputs diverge"
+    assert scalar.stats == vector.stats, f"{program.name}: stats diverge"
+    return out_s
+
+
+class TestNttKernels:
+    @pytest.mark.parametrize("shape", NTT_SHAPES)
+    @pytest.mark.parametrize("direction", ["forward", "inverse"])
+    @pytest.mark.parametrize("q_bits", [25, 128])
+    def test_generated_ntt_bit_exact(self, shape, direction, q_bits):
+        n, vlen, depth = shape
+        table = TwiddleTable.for_ring(n, q_bits=q_bits)
+        rng = random.Random(n * q_bits)
+        values = [rng.randrange(table.q) for _ in range(n)]
+        program = generate_ntt_program(
+            n, direction, vlen=vlen, q_bits=q_bits, rect_depth=depth
+        )
+        out = assert_equivalent(program, {program.input_region: values})
+        # Not just mutually consistent: both equal the oracle.
+        if direction == "forward":
+            assert out == ntt_forward(values, table)
+
+    @pytest.mark.parametrize("optimize", [True, False])
+    def test_unoptimized_kernels_too(self, optimize):
+        n, vlen, depth = 64, 8, 2
+        program = generate_ntt_program(
+            n, vlen=vlen, q_bits=25, rect_depth=depth, optimize=optimize
+        )
+        rng = random.Random(optimize)
+        q = program.metadata["modulus"]
+        values = [rng.randrange(q) for _ in range(n)]
+        assert_equivalent(program, {program.input_region: values})
+
+
+class TestPointwiseKernels:
+    @pytest.mark.parametrize("op", ["mul", "add"])
+    @pytest.mark.parametrize("q_bits", [25, 128])
+    def test_pointwise_bit_exact(self, op, q_bits):
+        n, vlen = 64, 8
+        program = generate_pointwise_program(n, op, vlen=vlen, q_bits=q_bits)
+        q = program.metadata["modulus"]
+        rng = random.Random(q_bits)
+        a = [rng.randrange(q) for _ in range(n)]
+        b = [rng.randrange(q) for _ in range(n)]
+        out = assert_equivalent(
+            program, {program.input_region: a, b_region(program): b}
+        )
+        pyop = (lambda x, y: x * y % q) if op == "mul" else (
+            lambda x, y: (x + y) % q
+        )
+        assert out == [pyop(x, y) for x, y in zip(a, b)]
+
+
+class TestBatchedTowerKernels:
+    @pytest.mark.parametrize("num_towers", [2, 3])
+    def test_multi_tower_program_bit_exact(self, num_towers):
+        n, vlen = 64, 8
+        program = generate_batched_ntt_program(
+            n, num_towers=num_towers, vlen=vlen, q_bits=25, rect_depth=2
+        )
+        rng = random.Random(num_towers)
+        moduli = program.metadata["moduli"]
+        regions = tower_regions(program)
+        inputs = {}
+        for k, (inp, _out) in enumerate(regions):
+            q = moduli[k + 1]
+            inputs[inp] = [rng.randrange(q) for _ in range(n)]
+        sims, _ = run_both(program, inputs)
+        scalar, vector = sims
+        for _inp, out in regions:
+            assert scalar.read_region(out) == vector.read_region(out)
+        assert scalar.stats == vector.stats
+
+
+class TestBatchExecutor:
+    @pytest.mark.parametrize("q_bits", [25, 128])
+    @pytest.mark.parametrize("batch", [1, 3, 8])
+    def test_batch_matches_scalar_runs(self, q_bits, batch):
+        n, vlen = 64, 8
+        program = generate_ntt_program(n, vlen=vlen, q_bits=q_bits, rect_depth=2)
+        table = TwiddleTable.for_ring(n, q_bits=q_bits)
+        rng = random.Random(batch * q_bits)
+        rows = [
+            [rng.randrange(table.q) for _ in range(n)] for _ in range(batch)
+        ]
+        expected = []
+        scalar_stats = None
+        for row in rows:
+            sim = FunctionalSimulator(program)
+            sim.write_region(program.input_region, row)
+            scalar_stats = sim.run()
+            expected.append(sim.read_region(program.output_region))
+        ex = BatchExecutor(program, batch=batch)
+        ex.write_region(program.input_region, rows)
+        ex.run()
+        assert ex.read_region(program.output_region) == expected
+        # One batched pass reports the stats of ONE program execution.
+        assert ex.stats == scalar_stats
+
+    def test_batch_row_count_enforced(self):
+        program = generate_ntt_program(64, vlen=8, q_bits=25, rect_depth=2)
+        ex = BatchExecutor(program, batch=2)
+        with pytest.raises(ValueError, match="expected 2 input rows"):
+            ex.write_region(program.input_region, [[0] * 64])
+
+    def test_huge_caller_values_promote_but_stay_exact(self):
+        # An int64-eligible program must still hold arbitrary caller data
+        # bit-exactly (it faults at compute, not at load/store).
+        q = 97
+        big = 1 << 70
+        prog = Program(
+            name="copy",
+            instructions=[vload(0, 0, 0), vstore(0, 0, 8)],
+            vlen=8,
+            arf_init={0: 0},
+            mrf_init={1: q},
+            input_region=RegionSpec("in", 0, 8),
+            output_region=RegionSpec("out", 8, 8),
+            extra_vdm_words=16,
+        ).finalize()
+        values = [big + i for i in range(8)]
+        sim = VectorizedSimulator(prog)
+        sim.write_region(prog.input_region, values)
+        sim.run()
+        assert sim.read_region(prog.output_region) == values
+
+
+# ---------------------------------------------------------------------------
+# Fault regression: both backends raise the same faults.
+# ---------------------------------------------------------------------------
+
+Q = 97
+VLEN = 8
+BACKENDS = ["scalar", "vectorized"]
+
+
+def fault_program(instructions, vdm_data=(), sdm_data=(), mrf=Q):
+    return Program(
+        name="fault",
+        instructions=list(instructions),
+        vlen=VLEN,
+        vdm_segments=(
+            [DataSegment("data", 0, tuple(vdm_data))] if vdm_data else []
+        ),
+        sdm_segments=(
+            [DataSegment("consts", 0, tuple(sdm_data))] if sdm_data else []
+        ),
+        arf_init={0: 0, 1: 0},
+        mrf_init={1: mrf},
+        input_region=RegionSpec("in", 0, 16),
+        output_region=RegionSpec("out", 0, 16),
+        extra_vdm_words=48,
+    ).finalize()
+
+
+def fault_message(program, backend, exc_type, vdm_size=None):
+    sim = make_simulator(program, backend=backend, vdm_size=vdm_size)
+    with pytest.raises(exc_type) as excinfo:
+        sim.run()
+    return str(excinfo.value)
+
+
+class TestFaultParity:
+    """The vectorized backend must fault exactly like the scalar one."""
+
+    def assert_same_fault(self, program, exc_type, vdm_size=None):
+        messages = {
+            backend: fault_message(program, backend, exc_type, vdm_size)
+            for backend in BACKENDS
+        }
+        assert messages["scalar"] == messages["vectorized"]
+        return messages["scalar"]
+
+    def test_bad_modulus(self):
+        program = fault_program([vvadd(2, 0, 1, 1)], vdm_data=[0], mrf=0)
+        msg = self.assert_same_fault(program, SimulationFault)
+        assert "not a usable modulus" in msg
+
+    def test_non_canonical_vector_operand(self):
+        # Load a residue >= q straight from VDM, then compute with it.
+        data = [Q + 3] * VLEN + [1] * VLEN
+        program = fault_program(
+            [vload(0, 1, 0), vload(1, 1, VLEN), vvadd(2, 0, 1, 1)],
+            vdm_data=data,
+        )
+        msg = self.assert_same_fault(program, SimulationFault)
+        assert f"non-canonical residue {Q + 3}" in msg
+
+    def test_non_canonical_scalar_operand(self):
+        program = fault_program(
+            [vload(0, 1, 0), sload(2, 0, 0), vsmul(3, 0, 2, 1)],
+            vdm_data=[1] * VLEN,
+            sdm_data=[Q + 5],
+        )
+        msg = self.assert_same_fault(program, SimulationFault)
+        assert f"SRF[2] = {Q + 5}" in msg
+
+    def test_out_of_range_load(self):
+        program = fault_program([vload(0, 1, 60)], vdm_data=[0])
+        msg = self.assert_same_fault(program, IndexError, vdm_size=64)
+        assert "VDM address" in msg
+
+    def test_out_of_range_store(self):
+        program = fault_program(
+            [vload(0, 1, 0), vstore(0, 1, 61)], vdm_data=[0] * VLEN
+        )
+        msg = self.assert_same_fault(program, IndexError, vdm_size=64)
+        assert "VDM address" in msg
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_vdm_overflow_at_construction(self, backend):
+        program = fault_program([vload(0, 1, 0)], vdm_data=[0])
+        with pytest.raises(ValueError, match="cannot hold program"):
+            make_simulator(program, backend=backend, vdm_size=8)
+
+    def test_batch_executor_same_construction_fault(self):
+        program = fault_program([vload(0, 1, 0)], vdm_data=[0])
+        with pytest.raises(ValueError, match="cannot hold program"):
+            BatchExecutor(program, batch=4, vdm_size=8)
+        with pytest.raises(ValueError, match="batch must be >= 1"):
+            BatchExecutor(program, batch=0)
+
+    def test_unknown_backend_rejected(self):
+        program = fault_program([vload(0, 1, 0)], vdm_data=[0])
+        with pytest.raises(ValueError, match="unknown FEMU backend"):
+            make_simulator(program, backend="cuda")
