@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: check check-slow bench-femu eval
+.PHONY: check check-slow bench-femu bench-he eval
 
 check:  ## tier-1: the fast suite, including the FEMU differential tests
 	$(PY) -m pytest -x -q
@@ -14,6 +14,10 @@ check-slow:  ## tier-1 plus the exhaustive differential/fuzz sweeps
 bench-femu:  ## FEMU backend benches; writes the speedup metric to JSON
 	$(PY) -m pytest benchmarks/bench_femu_functional.py -q \
 		--benchmark-json=femu_bench.json
+
+bench-he:  ## batched HE-pipeline benches (functional multiply + cost model)
+	$(PY) -m pytest benchmarks/bench_he_pipeline.py -q \
+		--benchmark-json=he_bench.json
 
 eval:  ## regenerate every paper table/figure (plus backend comparison)
 	$(PY) -m repro.eval.run_all

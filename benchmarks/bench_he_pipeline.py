@@ -7,7 +7,12 @@ the bottleneck analyzer's verdicts.
 
 import pytest
 
-from repro.eval.he_pipeline import print_he_pipeline, run_batched_towers, run_he_pipeline
+from repro.eval.he_pipeline import (
+    print_he_pipeline,
+    run_batched_towers,
+    run_functional_he_multiply,
+    run_he_pipeline,
+)
 from repro.perf.analysis import analyze_critical_path
 from repro.perf.config import RpuConfig
 from repro.spiral.kernels import generate_ntt_program
@@ -22,6 +27,30 @@ def test_bench_he_multiply_pipeline(benchmark):
     assert data["hbm_hidden"]
     assert data["multiplies_per_second"] > 1000
     print_he_pipeline(data)
+
+
+def test_bench_functional_he_multiply(benchmark):
+    """The L-tower ciphertext multiply executed through BatchExecutor.
+
+    Times the whole functional primitive (3 batched FEMU passes over
+    4x1024 towers of 128-bit limbs) and asserts it is bit-exact against
+    the software oracle while staying on int64 limb planes; the cost
+    model's verdicts ride along in ``extra_info``.
+    """
+    data = benchmark.pedantic(
+        run_functional_he_multiply,
+        kwargs=dict(n=1024, towers=4, q_bits=128, backend="vectorized"),
+        rounds=1,
+        iterations=1,
+    )
+    assert data["bit_exact"]
+    assert data["dtype_path"].startswith("limb")
+    benchmark.extra_info["n"] = data["n"]
+    benchmark.extra_info["towers"] = data["towers"]
+    benchmark.extra_info["dtype_path"] = data["dtype_path"]
+    benchmark.extra_info["cycles"] = data["cycles"]
+    benchmark.extra_info["modeled_total_us"] = round(data["modeled_total_us"], 2)
+    benchmark.extra_info["hbm_hidden"] = data["hbm_hidden"]
 
 
 def test_bench_batched_towers(benchmark):

@@ -27,10 +27,12 @@ regardless of batch width.
 **When to use which.** Use ``scalar`` when debugging kernels or semantics
 (stepping, inspecting ``MachineState``) and in differential tests as the
 oracle.  Use ``vectorized`` for anything throughput-bound: fig-level
-sweeps, the HE pipeline, fuzzing, serving many requests -- with sub-31-bit
-moduli it runs entirely on C int64 lanes, and even the 128-bit path
-amortizes interpreter overhead across the whole batch.  ``make_simulator``
-is the switchboard the eval drivers and benchmarks use.
+sweeps, the HE pipeline, fuzzing, serving many requests -- sub-31-bit
+moduli run on plain int64 lanes and the paper's 128-bit moduli on
+multi-limb int64 planes (:mod:`repro.modmath.limb`); there is no
+object-dtype fallback, and ``BatchExecutor.dtype_path`` reports which
+representation a program got.  ``make_simulator`` is the switchboard the
+eval drivers and benchmarks use.
 """
 
 from repro.femu.executor import FunctionalSimulator

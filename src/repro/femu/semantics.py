@@ -92,6 +92,39 @@ def bfly(variant: int, a, b, w, q):
     return (a + b) % q, (a - b) * w % q
 
 
+VV_LIMB = {
+    Opcode.VVADD: lambda eng, a, b: eng.add_mod(a, b),
+    Opcode.VVSUB: lambda eng, a, b: eng.sub_mod(a, b),
+    Opcode.VVMUL: lambda eng, a, b: eng.mul_mod(a, b),
+}
+"""Vector-vector ops over multi-limb lanes (wide moduli on int64 arrays).
+
+Same semantics as :data:`VV_EXPR`, expressed through a
+:class:`repro.modmath.limb.LimbEngine`; the differential suite proves the
+two representations bit-exact on every kernel shape.
+"""
+
+VS_LIMB = {
+    Opcode.VSADD: lambda eng, a, s: eng.add_mod(a, s),
+    Opcode.VSSUB: lambda eng, a, s: eng.sub_mod(a, s),
+    Opcode.VSMUL: lambda eng, a, s: eng.mul_mod(a, s),
+}
+"""Vector-scalar limb ops: the broadcast scalar is pre-decomposed, so the
+engine expressions coincide with the vector-vector ones."""
+
+
+def bfly_limb(variant: int, engine, a, b, w):
+    """Butterfly over multi-limb lanes; returns ``(hi, lo)``.
+
+    Uses the identity ``(a ± b*w) % q == (a ± (b*w % q)) % q`` (already
+    relied on by :func:`bfly`'s comment): reducing the product first keeps
+    every engine operand canonical, which the add/sub paths require.
+    """
+    if variant == BFLY_CT:
+        return engine.bfly_ct(a, b, w)
+    return engine.add_mod(a, b), engine.mul_mod(engine.sub_mod(a, b), w)
+
+
 SHUFFLE_OPS = (Opcode.UNPKLO, Opcode.UNPKHI, Opcode.PKLO, Opcode.PKHI)
 
 

@@ -2,7 +2,7 @@
 
 :class:`BatchExecutor` interprets the same :class:`~repro.isa.program.Program`
 objects as the scalar :class:`~repro.femu.executor.FunctionalSimulator`, but
-holds each vector register and the VDM as ``(batch, ...)`` numpy arrays, so
+holds each vector register and the VDM as batched numpy arrays, so
 
 * each instruction's vlen-wide element loop becomes one array expression,
   and
@@ -13,11 +13,22 @@ holds each vector register and the VDM as ``(batch, ...)`` numpy arrays, so
 :class:`VectorizedSimulator` is the batch-of-one facade with the exact
 ``write_region``/``run``/``read_region`` surface of the scalar simulator.
 
-Element representation follows :mod:`repro.modmath.vectorized`: int64 lanes
-when every program modulus stays below 2^31 (the all-C fast path), object
-(arbitrary-precision) lanes for the paper's 128-bit moduli.  Both are
-bit-exact with the scalar backend -- the semantics come from the same
-shared table (:mod:`repro.femu.semantics`), and ``tests/test_vectorized_femu.py``
+Element representation -- always C integer lanes, never object dtype:
+
+* ``int64``: one lane per element, used when every program modulus stays
+  below 2^31 (products of canonical residues fit a signed 64-bit lane).
+* ``limb``: ``k`` 26-bit limb planes per element
+  (:mod:`repro.modmath.limb`), used for the paper's 128-bit moduli and for
+  any caller data too wide for an int64 lane.  State arrays grow a leading
+  limb axis -- ``(k, batch, ...)`` -- which data movement (loads, stores,
+  shuffles) carries along untouched while compute dispatches to a
+  :class:`~repro.modmath.limb.LimbEngine`.
+
+The active representation is visible as :attr:`BatchExecutor.dtype_path`
+(``"int64"`` or ``"limb<k>x26"``); benchmarks report it so a silent change
+of path shows up in the JSON.  Both paths are bit-exact with the scalar
+backend -- the semantics come from the same shared table
+(:mod:`repro.femu.semantics`), and ``tests/test_vectorized_femu.py``
 proves equality element-for-element on every generated kernel shape.
 
 Scalar machine state (SRF/ARF/MRF and the SDM) carries no batch axis: B512
@@ -25,6 +36,14 @@ has no scalar-store instruction, so scalar state depends only on the
 program, never on the vector data, and is provably identical across batch
 lanes.  This is also why vector load/store addresses can be computed once
 per static instruction and cached: the ARF is launch-time constant.
+
+A canonicality ledger removes redundant range checks: every compute result
+is canonical for its instruction's modulus by construction, launch
+segments are validated once per program (cached), and VSTOREs propagate
+their register's verdict into a per-address VDM map -- so in steady state
+only genuinely unknown data (fresh caller rows) pays a range scan, while
+fault behaviour stays identical to the scalar backend (a flagged operand
+provably cannot fault).
 """
 
 from __future__ import annotations
@@ -37,11 +56,14 @@ import numpy as np
 
 from repro.femu.semantics import (
     VS_EXPR,
+    VS_LIMB,
     VV_EXPR,
+    VV_LIMB,
     ExecutionStats,
     SimulationFault,
     apply_launch_state,
     bfly,
+    bfly_limb,
     count_instruction,
     noncanonical_scalar_fault,
     noncanonical_vector_fault,
@@ -49,7 +71,6 @@ from repro.femu.semantics import (
     resolve_sdm_size,
     resolve_vdm_size,
     sdm_bounds_error,
-    shuffle_permutation,
     vdm_bounds_error,
 )
 from repro.femu.state import NUM_REGS
@@ -57,15 +78,35 @@ from repro.isa.addressing import AddressMode, element_addresses_array
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program, RegionSpec
+from repro.modmath.limb import (
+    LIMB_BITS,
+    LimbEngine,
+    cached_engine,
+    compose,
+    decompose,
+    limbs_for_bits,
+    widen,
+)
 from repro.modmath.vectorized import INT64_MODULUS_LIMIT, fits_int64
 
 __all__ = ["BatchExecutor", "VectorizedSimulator"]
 
 
+def _limb_engine(q: int, k: int) -> LimbEngine:
+    """Engines are pure constants + scratch; share them across executors."""
+    return cached_engine(q, k)
+
+
 @functools.lru_cache(maxsize=None)
-def _shuffle_index(op: Opcode, vlen: int) -> np.ndarray:
-    """The shared shuffle permutation, materialized once as an index array."""
-    return np.array(shuffle_permutation(op, vlen), dtype=np.int64)
+def _segment_limbs(seg, k: int) -> np.ndarray:
+    """Limb planes of a launch segment (static per program, so cached)."""
+    return decompose(seg.values, k)
+
+
+@functools.lru_cache(maxsize=None)
+def _segment_canonical(seg, q: int) -> bool:
+    """Whether a launch segment holds only canonical residues mod ``q``."""
+    return all(0 <= v < q for v in seg.values)
 
 
 @dataclass(frozen=True)
@@ -109,17 +150,35 @@ class BatchExecutor:
         self.vdm_size = resolve_vdm_size(program, vdm_size)
         self.sdm_size = resolve_sdm_size(program)
         self.stats = ExecutionStats()
-        self._dtype = self._select_dtype(program)
-        self.vdm = np.zeros((batch, self.vdm_size), dtype=self._dtype)
-        self.vrf: list[np.ndarray] = [
-            np.zeros((batch, self.vlen), dtype=self._dtype)
-            for _ in range(NUM_REGS)
-        ]
+        self._limb_k = self._select_limbs(program)
+        if self._limb_k is None:
+            self.vdm = np.zeros((batch, self.vdm_size), dtype=np.int64)
+            self.vrf: list[np.ndarray] = [
+                np.zeros((batch, self.vlen), dtype=np.int64)
+                for _ in range(NUM_REGS)
+            ]
+        else:
+            k = self._limb_k
+            self.vdm = np.zeros((k, batch, self.vdm_size), dtype=np.int64)
+            self.vrf = [
+                np.zeros((k, batch, self.vlen), dtype=np.int64)
+                for _ in range(NUM_REGS)
+            ]
         self.sdm = [0] * self.sdm_size
         self.srf = [0] * NUM_REGS
         self.arf = [0] * NUM_REGS
         self.mrf = [0] * NUM_REGS
         self._plans: dict[Instruction, _AddressPlan] = {}
+        # Canonicality ledger: register -> modulus it is known canonical
+        # for, plus (for single-modulus programs) a per-address VDM map.
+        self._canon_reg: dict[int, int] = {}
+        moduli = {q for q in program.mrf_init.values() if q > 1}
+        self._q0 = moduli.pop() if len(moduli) == 1 else None
+        self._vdm_canon = (
+            np.zeros(self.vdm_size, dtype=bool)
+            if self._q0 is not None
+            else None
+        )
         apply_launch_state(
             program,
             self._write_vdm_segment,
@@ -130,9 +189,20 @@ class BatchExecutor:
         )
 
     # -- representation ----------------------------------------------------
+    @property
+    def dtype_path(self) -> str:
+        """Active element representation: ``"int64"`` or ``"limb<k>x26"``.
+
+        Every path is C integer lanes; there is no object-dtype fallback.
+        """
+        if self._limb_k is None:
+            return "int64"
+        return f"limb{self._limb_k}x{LIMB_BITS}"
+
     @staticmethod
-    def _select_dtype(program: Program) -> np.dtype:
-        """int64 lanes iff every program constant provably fits them."""
+    def _select_limbs(program: Program) -> int | None:
+        """``None`` (int64 lanes) iff every program constant provably fits;
+        otherwise the limb count covering the widest modulus and constant."""
         moduli = list(program.mrf_init.values())
         data = [
             v
@@ -141,22 +211,42 @@ class BatchExecutor:
         ]
         data.extend(program.srf_init.values())
         if all(q < INT64_MODULUS_LIMIT for q in moduli) and fits_int64(*data):
-            return np.dtype(np.int64)
-        return np.dtype(object)
+            return None
+        bits = max(
+            (abs(v).bit_length() for v in (*moduli, *data)), default=1
+        )
+        return limbs_for_bits(bits)
 
-    def _promote_to_object(self) -> None:
-        """Switch state to arbitrary-precision lanes (caller data overflow)."""
-        if self._dtype == np.dtype(object):
-            return
-        self._dtype = np.dtype(object)
-        self.vdm = self.vdm.astype(object)
-        self.vrf = [r.astype(object) for r in self.vrf]
+    def _engine(self, q: int) -> LimbEngine:
+        return _limb_engine(q, self._limb_k)
+
+    def _widen_for(self, values) -> None:
+        """Grow the limb count so arbitrary caller data stays exact."""
+        bits = max(abs(int(v)).bit_length() for row in values for v in row)
+        new_k = max(limbs_for_bits(bits), self._limb_k or 0)
+        if self._limb_k is None:
+            # int64 lanes -> limb planes; existing state decomposes exactly.
+            self.vdm = decompose(self.vdm, new_k)
+            self.vrf = [decompose(r, new_k) for r in self.vrf]
+        else:
+            self.vdm = widen(self.vdm, new_k)
+            self.vrf = [widen(r, new_k) for r in self.vrf]
+        self._limb_k = new_k
 
     def _write_vdm_segment(self, seg) -> None:
         """VDM launch hook for the shared ``apply_launch_state``."""
-        self.vdm[:, seg.base : seg.end] = np.array(
-            seg.values, dtype=self._dtype
-        )
+        if self._limb_k is None:
+            self.vdm[:, seg.base : seg.end] = np.array(
+                seg.values, dtype=np.int64
+            )
+        else:
+            self.vdm[:, :, seg.base : seg.end] = _segment_limbs(
+                seg, self._limb_k
+            )[:, None, :]
+        if self._vdm_canon is not None:
+            self._vdm_canon[seg.base : seg.end] = _segment_canonical(
+                seg, self._q0
+            )
 
     # -- region I/O --------------------------------------------------------
     def write_region(
@@ -175,20 +265,40 @@ class BatchExecutor:
                     f"region {region.name!r} holds {region.length} elements, "
                     f"got {len(values)}"
                 )
-        if self._dtype == np.dtype(np.int64) and not all(
-            fits_int64(*values) for values in rows
-        ):
-            self._promote_to_object()
-        self.vdm[:, region.base : region.base + region.length] = np.array(
-            [list(values) for values in rows], dtype=self._dtype
-        )
+        if isinstance(rows, list) and all(isinstance(v, list) for v in rows):
+            data = rows  # decompose/np.array copy; no need to copy twice
+        else:
+            data = [list(values) for values in rows]
+        if self._limb_k is None:
+            try:
+                block = np.array(data, dtype=np.int64)
+                if not fits_int64(int(block.min()), int(block.max())):
+                    raise OverflowError
+            except OverflowError:
+                self._widen_for(data)
+                block = None
+            if block is not None:
+                self.vdm[:, region.base : region.base + region.length] = block
+        if self._limb_k is not None:
+            try:
+                planes = decompose(data, self._limb_k)
+            except ValueError:
+                self._widen_for(data)
+                planes = decompose(data, self._limb_k)
+            self.vdm[:, :, region.base : region.base + region.length] = planes
+        if self._vdm_canon is not None:
+            # Caller data is unknown; the first load of it pays the scan.
+            self._vdm_canon[region.base : region.base + region.length] = False
 
     def read_region(self, region: RegionSpec | None) -> list[list[int]]:
         """Read a VDM region after running; one Python-int row per batch."""
         if region is None:
             raise ValueError("program has no such region")
-        out = self.vdm[:, region.base : region.base + region.length]
-        return [list(map(int, row)) for row in out.tolist()]
+        if self._limb_k is None:
+            out = self.vdm[:, region.base : region.base + region.length]
+            return [list(map(int, row)) for row in out.tolist()]
+        out = compose(self.vdm[:, :, region.base : region.base + region.length])
+        return out.tolist()
 
     # -- execution ---------------------------------------------------------
     def run(self) -> ExecutionStats:
@@ -246,61 +356,148 @@ class BatchExecutor:
 
     def _check_canonical(self, reg: int, q: int) -> np.ndarray:
         values = self.vrf[reg]
-        # min/max reductions make the common (all-canonical) case two
-        # allocation-free passes; the fault path may be as slow as it likes.
-        if values.min() < 0 or values.max() >= q:
-            bad = (values < 0) | (values >= q)
-            # Row-major first offender: for batch==1 this is exactly the
-            # lane the scalar backend reports.
-            first = values[bad].flat[0]
-            raise noncanonical_vector_fault(reg, int(first), q)
+        if self._canon_reg.get(reg) == q:
+            return values  # proven canonical; cannot fault
+        if self._limb_k is None:
+            # min/max reductions make the common (all-canonical) case two
+            # allocation-free passes; the fault path may be as slow as it
+            # likes.
+            if values.min() < 0 or values.max() >= q:
+                bad = (values < 0) | (values >= q)
+                # Row-major first offender: for batch==1 this is exactly
+                # the lane the scalar backend reports.
+                first = values[bad].flat[0]
+                raise noncanonical_vector_fault(reg, int(first), q)
+        else:
+            bad = self._engine(q).noncanonical_mask(values)
+            if bad.any():
+                b_i, lane = np.argwhere(bad)[0]
+                first = int(compose(values[:, b_i, lane]))
+                raise noncanonical_vector_fault(reg, first, q)
+        self._canon_reg[reg] = q
         return values
+
+    def _set_result(self, reg: int, values: np.ndarray, q: int) -> None:
+        self.vrf[reg] = values
+        self._canon_reg[reg] = q  # engine/expr results are canonical
+
+    def _shuffle(self, op: Opcode, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """The four B512 shuffles as strided lane copies (both dtype paths).
+
+        Equivalent to gathering ``a ++ b`` through
+        :func:`repro.femu.semantics.shuffle_permutation`; expressing them as
+        interleave/deinterleave slices avoids materializing the 2*vlen
+        concatenation per limb plane.
+        """
+        half = self.vlen // 2
+        out = np.empty_like(a)
+        if op is Opcode.UNPKLO:
+            out[..., 0::2] = a[..., :half]
+            out[..., 1::2] = b[..., :half]
+        elif op is Opcode.UNPKHI:
+            out[..., 0::2] = a[..., half:]
+            out[..., 1::2] = b[..., half:]
+        elif op is Opcode.PKLO:
+            out[..., :half] = a[..., 0::2]
+            out[..., half:] = b[..., 0::2]
+        else:  # PKHI
+            out[..., :half] = a[..., 1::2]
+            out[..., half:] = b[..., 1::2]
+        return out
 
     def _execute(self, inst: Instruction) -> None:
         op = inst.opcode
         count_instruction(self.stats, inst)
+        limbed = self._limb_k is not None
 
         if op is Opcode.VLOAD:
             plan = self._address_plan(inst)
-            self.vrf[inst.vd] = self.vdm[:, plan.gather]
+            if limbed:
+                # numpy lays the advanced-index axis outermost; restore C
+                # order so the limb engine's flattened fast path applies.
+                self.vrf[inst.vd] = np.ascontiguousarray(
+                    self.vdm[:, :, plan.gather]
+                )
+            else:
+                self.vrf[inst.vd] = self.vdm[:, plan.gather]
+            if self._vdm_canon is not None and self._vdm_canon[plan.gather].all():
+                self._canon_reg[inst.vd] = self._q0
+            else:
+                self._canon_reg.pop(inst.vd, None)
             self.stats.vdm_reads += plan.count
         elif op is Opcode.VSTORE:
             plan = self._address_plan(inst)
             source = self.vrf[inst.vd]
-            self.vdm[:, plan.scatter_addrs] = source[:, plan.scatter_lanes]
+            if limbed:
+                self.vdm[:, :, plan.scatter_addrs] = source[
+                    :, :, plan.scatter_lanes
+                ]
+            else:
+                self.vdm[:, plan.scatter_addrs] = source[:, plan.scatter_lanes]
+            if self._vdm_canon is not None:
+                self._vdm_canon[plan.scatter_addrs] = (
+                    self._canon_reg.get(inst.vd) == self._q0
+                )
             self.stats.vdm_writes += plan.count
         elif op is Opcode.SLOAD:
             self.srf[inst.rt] = self._read_sdm(self.arf[inst.rm] + inst.offset)
         elif op is Opcode.VBCAST:
             word = self._read_sdm(self.arf[inst.rm] + inst.offset)
-            self.vrf[inst.vd] = np.full(
-                (self.batch, self.vlen), word, dtype=self._dtype
-            )
+            if limbed:
+                reg = np.empty(
+                    (self._limb_k, self.batch, self.vlen), dtype=np.int64
+                )
+                reg[:] = decompose([word], self._limb_k)[:, :, None]
+                self.vrf[inst.vd] = reg
+            else:
+                self.vrf[inst.vd] = np.full(
+                    (self.batch, self.vlen), word, dtype=np.int64
+                )
+            self._canon_reg.pop(inst.vd, None)
         elif op in VV_EXPR:
             q = self._modulus(inst)
             a = self._check_canonical(inst.vs, q)
             b = self._check_canonical(inst.vt, q)
-            self.vrf[inst.vd] = VV_EXPR[op](a, b, q)
+            if limbed:
+                result = VV_LIMB[op](self._engine(q), a, b)
+            else:
+                result = VV_EXPR[op](a, b, q)
+            self._set_result(inst.vd, result, q)
         elif op in VS_EXPR:
             q = self._modulus(inst)
             a = self._check_canonical(inst.vs, q)
             s = self.srf[inst.rt]
             if not 0 <= s < q:
                 raise noncanonical_scalar_fault(inst.rt, s, q)
-            self.vrf[inst.vd] = VS_EXPR[op](a, s, q)
+            if limbed:
+                s_planes = decompose([s], self._limb_k)[:, :, None]
+                result = VS_LIMB[op](self._engine(q), a, s_planes)
+            else:
+                result = VS_EXPR[op](a, s, q)
+            self._set_result(inst.vd, result, q)
         elif op is Opcode.BFLY:
             q = self._modulus(inst)
             a = self._check_canonical(inst.vs, q)
             b = self._check_canonical(inst.vt, q)
             w = self._check_canonical(inst.vt1, q)
-            hi, lo = bfly(inst.bfly_variant, a, b, w, q)
-            self.vrf[inst.vd] = hi
-            self.vrf[inst.vd1] = lo
+            if limbed:
+                hi, lo = bfly_limb(inst.bfly_variant, self._engine(q), a, b, w)
+            else:
+                hi, lo = bfly(inst.bfly_variant, a, b, w, q)
+            self._set_result(inst.vd, hi, q)
+            self._set_result(inst.vd1, lo, q)
         elif op in (Opcode.UNPKLO, Opcode.UNPKHI, Opcode.PKLO, Opcode.PKHI):
-            concat = np.concatenate(
-                (self.vrf[inst.vs], self.vrf[inst.vt]), axis=1
+            self.vrf[inst.vd] = self._shuffle(
+                op, self.vrf[inst.vs], self.vrf[inst.vt]
             )
-            self.vrf[inst.vd] = concat[:, _shuffle_index(op, self.vlen)]
+            flags = (
+                self._canon_reg.get(inst.vs),
+                self._canon_reg.get(inst.vt),
+            )
+            if flags[0] is not None and flags[0] == flags[1]:
+                self._canon_reg[inst.vd] = flags[0]
+            else:
+                self._canon_reg.pop(inst.vd, None)
         else:  # pragma: no cover - HALT handled by run()
             raise SimulationFault(f"unexpected opcode {op}")
 
@@ -321,6 +518,11 @@ class VectorizedSimulator:
     @property
     def stats(self) -> ExecutionStats:
         return self._engine.stats
+
+    @property
+    def dtype_path(self) -> str:
+        """The element representation the engine chose (never object)."""
+        return self._engine.dtype_path
 
     def write_region(self, region: RegionSpec | None, values: Sequence[int]) -> None:
         """Place caller data into a VDM region before running."""

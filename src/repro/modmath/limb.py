@@ -1,0 +1,496 @@
+"""Multi-limb fixed-width modular arithmetic: wide moduli on int64 lanes.
+
+The vectorized backends in this repo are exact because numpy object lanes
+carry arbitrary-precision ints -- but object lanes run at Python speed, so
+the paper's 128-bit moduli used to miss the whole point of vectorizing.
+This module keeps wide arithmetic in C: every value is split into ``k``
+base-2^26 limbs stored along the *leading* axis of an int64 array
+(``limbs[i]`` is the i-th limb plane of the whole operand, a contiguous
+array), and all operations -- modular add/sub/mul with Barrett reduction
+-- are short, fixed sequences of int64 array sweeps.
+
+Why 26-bit limbs: the schoolbook product of two limbs is at most 52 bits,
+which leaves 11 bits of int64 headroom to *accumulate* partial products
+and carries.  (The obvious alternative, ~42-bit limbs, would overflow
+int64 on the very first limb product; fixed-width lanes force narrow
+limbs, exactly as on the AVX/AIE datapaths the related NTT repos target.)
+
+Representation invariants:
+
+* limbs ``0..k-2`` always lie in ``[0, 2^26)``;
+* the top limb is *signed* and carries the sign of the whole value, so
+  the representation round-trips arbitrary Python ints (the FEMU's VDM
+  may legally hold non-canonical data -- it only faults on *compute*);
+* canonical residues of a :class:`LimbEngine` additionally satisfy
+  ``0 <= value < q``, which every engine operation preserves.
+
+The reduction is Barrett's (HAC 14.42) -- the same shift/multiply/correct
+family :class:`repro.modmath.barrett.BarrettReducer` models for the RPU's
+pipelined multiplier -- but with both shift amounts rounded to limb
+boundaries, so "shifting" is just slicing the limb axis and the whole
+multiply never leaves int64 lanes.  Widening the shifts only loosens the
+quotient estimate by a bounded amount; three conditional subtracts retire
+the slack (``test_modmath`` fuzzes the worst cases).
+
+:class:`LimbEngine` is built either for one modulus (the FEMU case: all
+batch lanes share the instruction's MRF modulus) or for a stack of moduli
+of equal bit length (the RNS-tower case: row ``i`` of the operands
+reduces mod ``moduli[i]``).  Equal bit lengths let every row share the
+Barrett slice points, so a whole tower stack still executes as one
+sequence of array sweeps.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Sequence
+
+import numpy as np
+
+LIMB_BITS = 26
+"""Limb width: 2*26 = 52-bit limb products leave int64 accumulation room."""
+
+LIMB_MASK = (1 << LIMB_BITS) - 1
+
+_STAGE_BITS = 2 * LIMB_BITS  # int<->limb staging moves two limbs at a time
+_STAGE_BASE = 1 << _STAGE_BITS
+
+
+def limbs_for_bits(bits: int) -> int:
+    """Limb count covering ``bits``-bit magnitudes plus one carry/headroom bit."""
+    return max(1, -(-(bits + 1) // LIMB_BITS))
+
+
+def decompose(values, k: int) -> np.ndarray:
+    """Split ints into ``k`` limb planes along a new *leading* axis.
+
+    Accepts nested sequences of Python ints, object arrays, or integer
+    arrays; negative values keep their sign in the (signed) top limb.
+    Object input is staged through 52-bit int64 pieces so only
+    ``~k/2`` array operations touch Python ints.  Raises ``ValueError``
+    when a value does not fit ``k`` limbs.
+    """
+    arr = (
+        values
+        if isinstance(values, np.ndarray)
+        else np.array(values, dtype=object)
+    )
+    out = np.empty((k,) + arr.shape, dtype=np.int64)
+    try:
+        if arr.dtype != object:
+            cur = arr.astype(np.int64)
+            for i in range(k - 1):
+                out[i] = cur & LIMB_MASK
+                cur = cur >> LIMB_BITS
+            out[k - 1] = cur
+            return out
+        pairs = (k - 1) // 2
+        cur = arr
+        stage = np.empty(arr.shape, dtype=np.int64)
+        for p in range(pairs):
+            # Two object passes per two limbs; the sub-split is int64 work.
+            stage[...] = cur & (_STAGE_BASE - 1)
+            out[2 * p] = stage & LIMB_MASK
+            out[2 * p + 1] = stage >> LIMB_BITS
+            cur = cur >> _STAGE_BITS
+        if k - 2 * pairs == 1:
+            out[k - 1] = cur
+        else:
+            out[k - 2] = cur & LIMB_MASK
+            out[k - 1] = cur >> LIMB_BITS
+    except OverflowError as exc:
+        raise ValueError(
+            f"value too wide for {k} limbs of {LIMB_BITS} bits"
+        ) from exc
+    return out
+
+
+def compose(limbs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`decompose`: an object array of exact Python ints."""
+    k = limbs.shape[0]
+    pairs = (k - 1) // 2
+    if k - 2 * pairs == 1:
+        acc = limbs[k - 1].astype(object)
+    else:
+        acc = (limbs[k - 1].astype(object) << LIMB_BITS) + limbs[k - 2]
+    for p in range(pairs - 1, -1, -1):
+        piece = limbs[2 * p] + (limbs[2 * p + 1] << LIMB_BITS)  # pure int64
+        acc = (acc << _STAGE_BITS) + piece
+    return acc
+
+
+def widen(limbs: np.ndarray, new_k: int) -> np.ndarray:
+    """Re-spread the signed top limb so the value occupies ``new_k`` limbs."""
+    k = limbs.shape[0]
+    if new_k <= k:
+        return limbs
+    out = np.empty((new_k,) + limbs.shape[1:], dtype=np.int64)
+    out[: k - 1] = limbs[: k - 1]
+    top = limbs[k - 1]
+    for i in range(k - 1, new_k - 1):
+        out[i] = top & LIMB_MASK
+        top = top >> LIMB_BITS
+    out[new_k - 1] = top
+    return out
+
+
+def _carry(z: np.ndarray, cbuf: np.ndarray | None = None, wrap: bool = False) -> np.ndarray:
+    """Normalize limb planes in place: all but the top to [0, 2^26).
+
+    ``x & LIMB_MASK`` equals ``x - (x >> 26 << 26)`` for *any* sign (two's
+    complement), so one masked AND plus an arithmetic-shift carry per limb
+    normalizes positive and negative intermediates alike.  ``wrap=True``
+    also masks the top limb, i.e. computes the value modulo ``2^(26*m)``
+    -- the truncated arithmetic the Barrett tail relies on.  ``cbuf`` is
+    an optional lane-shaped scratch plane (avoids per-step allocation).
+    """
+    m = z.shape[0]
+    if cbuf is None:
+        cbuf = np.empty(z.shape[1:], dtype=np.int64)
+    for i in range(m - 1):
+        np.right_shift(z[i], LIMB_BITS, out=cbuf)
+        z[i] &= LIMB_MASK
+        z[i + 1] += cbuf
+    if wrap:
+        z[m - 1] &= LIMB_MASK
+    return z
+
+
+def _school_into(
+    out: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    pbuf: np.ndarray,
+    cbuf: np.ndarray,
+    low_clip: int = 0,
+    loose_below: int = 0,
+) -> np.ndarray:
+    """Normalized limb product of nonnegative operands, into scratch.
+
+    Truncation to ``out``'s plane count is exact for the high planes: the
+    dropped positions only ever *feed* planes at or above ``out``'s top.
+    ``low_clip`` skips product terms landing strictly below that plane;
+    planes at or above ``low_clip + 2`` then underestimate the true
+    product by at most one carry unit (the skipped mass is bounded by one
+    unit of plane ``low_clip + 1``), which Barrett absorbs as one extra
+    correction.  Carries are propagated from ``low_clip`` upward only.
+    """
+    ka = a.shape[0]
+    m = out.shape[0]
+    first = True
+    for j in range(min(b.shape[0], m)):
+        lo = max(j, low_clip)
+        w = min(ka, m - j) - (lo - j)
+        if w <= 0:
+            continue
+        if first:
+            out[:lo] = 0
+            np.multiply(b[j], a[lo - j : lo - j + w], out=out[lo : lo + w])
+            out[lo + w :] = 0
+            first = False
+        else:
+            np.multiply(b[j], a[lo - j : lo - j + w], out=pbuf[:w])
+            out[lo : lo + w] += pbuf[:w]
+    start = low_clip
+    if loose_below > start:
+        # One vectorized pass bounds the low planes (< 2^30) instead of
+        # normalizing them exactly; consumers slicing above ``loose_below``
+        # then underestimate the true floor by well under one quotient
+        # unit, which the Barrett corrections already absorb.
+        seg = out[start:loose_below]
+        cw = pbuf[: seg.shape[0]]
+        np.right_shift(seg, LIMB_BITS, out=cw)
+        seg &= LIMB_MASK
+        out[start + 1 : loose_below + 1] += cw
+        start = loose_below
+    for i in range(start, m - 1):
+        np.right_shift(out[i], LIMB_BITS, out=cbuf)
+        out[i] &= LIMB_MASK
+        out[i + 1] += cbuf
+    return out
+
+
+class LimbEngine:
+    """Modular arithmetic over limb planes for one modulus or a tower stack.
+
+    Args:
+        moduli: a single modulus (int), or a sequence of moduli sharing one
+            bit length (one per leading data row of the operands).
+        k: limb count; defaults to the smallest count with carry headroom.
+            All operands of one engine share this layout.
+
+    Operand convention: ``(k, rows, lanes)`` int64 arrays.  For a single
+    modulus the constants are ``(k, 1, 1)`` and broadcast over any rows x
+    lanes (the FEMU's batch x vlen registers); for L moduli they are
+    ``(k, L, 1)`` and operands must carry L rows.
+    """
+
+    def __init__(self, moduli: int | Sequence[int], k: int | None = None):
+        mods = [moduli] if isinstance(moduli, int) else list(moduli)
+        if not mods:
+            raise ValueError("need at least one modulus")
+        if any(q <= 1 for q in mods):
+            raise ValueError("moduli must be > 1")
+        self.qbits = mods[0].bit_length()
+        if any(q.bit_length() != self.qbits for q in mods):
+            raise ValueError(
+                "a vector LimbEngine needs moduli of equal bit length "
+                "(shared Barrett slice points); group rows by bit length"
+            )
+        self.moduli = tuple(mods)
+        self.k = k if k is not None else limbs_for_bits(self.qbits)
+        if self.k < limbs_for_bits(self.qbits):
+            raise ValueError(
+                f"{self.k} limbs cannot hold a {self.qbits}-bit modulus "
+                "with carry headroom"
+            )
+        # Limb-aligned Barrett: z1 = z >> B*s1 and q_hat = (z1*mu) >> B*s2
+        # are plain slices of the limb axis.  s1 <= (qbits-1)/B and
+        # B*(s1+s2) >= 2*qbits keep the classic quotient bound; rounding
+        # the shifts to limb boundaries costs at most one extra correction.
+        self._s1 = (self.qbits - 1) // LIMB_BITS
+        self._s2 = -(-(2 * self.qbits - self._s1 * LIMB_BITS) // LIMB_BITS)
+        sigma = (self._s1 + self._s2) * LIMB_BITS
+        mus = [(1 << sigma) // q for q in mods]
+        self._km = limbs_for_bits(max(mu.bit_length() for mu in mus))
+        self.q_limbs = decompose(mods, self.k)[:, :, None]
+        self.q_ext = decompose(mods, self.k + 1)[:, :, None]
+        self.q2_ext = decompose([2 * q for q in mods], self.k + 1)[:, :, None]
+        self.mu_limbs = decompose(mus, self._km)[:, :, None]
+        # +-q stacked, for the fused butterfly's joint hi/lo correction.
+        self.qpm = np.stack(
+            [decompose([-q for q in mods], self.k), decompose(mods, self.k)]
+        )[:, :, :, None]
+        # 2-D (lane-flattened) constant views, usable when L == 1.
+        self._flat_consts = (
+            tuple(
+                c.reshape(c.shape[0], 1)
+                for c in (self.q_limbs, self.q_ext, self.q2_ext, self.mu_limbs)
+            )
+            + (self.qpm.reshape(2, self.k, 1),)
+            if len(mods) == 1
+            else None
+        )
+        self._scratch: dict[tuple[int, ...], dict[str, np.ndarray]] = {}
+
+    def _buf(self, shape: tuple[int, ...]) -> dict[str, np.ndarray]:
+        """Per-lane-shape scratch arena: reused across calls so the hot
+        loop allocates only its results (no mmap/page-fault churn)."""
+        bufs = self._scratch.get(shape)
+        if bufs is None:
+            k = self.k
+
+            def plane(count: int) -> np.ndarray:
+                return np.empty((count,) + shape, dtype=np.int64)
+
+            bufs = {
+                "z": plane(2 * k),
+                "t": plane(self._s2 + k + 1),
+                "t2": plane(k + 1),
+                "d": plane(k + 1),
+                "s": plane(2 * k),  # stacked hi/lo staging for bfly_ct
+                "p": plane(2 * k),
+                "c": np.empty(shape, dtype=np.int64),
+                "c2": np.empty((2,) + shape, dtype=np.int64),
+                "m": np.empty((1,) + shape, dtype=bool),
+                "m2": np.empty((2,) + shape, dtype=bool),
+            }
+            self._scratch[shape] = bufs
+        return bufs
+
+    def _prep(self, *arrays: np.ndarray):
+        """Collapse trailing lane axes to one (views) when row-free.
+
+        Engines for a single modulus broadcast their constants over every
+        lane, so equal-shaped contiguous operands can be viewed as
+        ``(planes, lanes)`` -- fewer dimensions for every ufunc in the hot
+        loop, and 2-D constants to match.  Multi-row engines (or mixed
+        shapes, e.g. a broadcast scalar operand) keep the 3-D layout.
+
+        Returns ``(arrays..., constants, lane_shape_or_None)`` where
+        ``constants`` is ``(q, q_ext, q2_ext, mu, qpm)`` in the matching
+        dimensionality and the final element is the original lane shape to
+        restore on results (``None`` when nothing was flattened).
+        """
+        if len(self.moduli) == 1:
+            if all(a.ndim == 2 for a in arrays):
+                return arrays + (self._flat_consts, None)
+            if all(
+                a.ndim > 2
+                and a.flags["C_CONTIGUOUS"]
+                and a.shape == arrays[0].shape
+                for a in arrays
+            ):
+                flat = tuple(a.reshape(a.shape[0], -1) for a in arrays)
+                return flat + (self._flat_consts, arrays[0].shape[1:])
+        consts3 = (self.q_limbs, self.q_ext, self.q2_ext, self.mu_limbs, self.qpm)
+        return arrays + (consts3, None)
+
+    # -- I/O helpers -------------------------------------------------------
+    def encode(self, values) -> np.ndarray:
+        """Decompose caller ints into this engine's limb layout."""
+        return decompose(values, self.k)
+
+    # -- canonicality ------------------------------------------------------
+    def noncanonical_mask(self, a: np.ndarray) -> np.ndarray:
+        """Boolean mask (per lane) of values outside ``[0, q)``.
+
+        The explicit top-limb range test keeps the verdict exact even for
+        absurdly wide caller data whose top limb would overflow the
+        borrow-propagation arithmetic (such values are trivially >= q).
+        """
+        top = a[-1]
+        d = _carry(a - self.q_limbs)
+        return (top < 0) | (top > LIMB_MASK) | (d[-1] >= 0)
+
+    # -- the LAW operations ------------------------------------------------
+    def add_mod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Lanewise ``(a + b) mod q``; operands canonical."""
+        a, b, (q, *_), lanes = self._prep(a, b)
+        shape = np.broadcast_shapes(a.shape[1:], b.shape[1:])
+        bufs = self._buf(shape)
+        s, c, mask = bufs["s"][: self.k], bufs["c"], bufs["m"]
+        np.add(a, b, out=s)
+        _carry(s, c)
+        out = np.empty((self.k,) + shape, dtype=np.int64)
+        np.subtract(s, q, out=out)
+        _carry(out, c)
+        np.less(out[-1:], 0, out=mask)
+        np.copyto(out, s, where=mask)
+        return out if lanes is None else out.reshape((self.k,) + lanes)
+
+    def sub_mod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Lanewise ``(a - b) mod q``; operands canonical."""
+        a, b, (q, *_), lanes = self._prep(a, b)
+        shape = np.broadcast_shapes(a.shape[1:], b.shape[1:])
+        bufs = self._buf(shape)
+        s, c, mask = bufs["s"][: self.k], bufs["c"], bufs["m"]
+        out = np.empty((self.k,) + shape, dtype=np.int64)
+        np.subtract(a, b, out=out)
+        _carry(out, c)
+        np.less(out[-1:], 0, out=mask)
+        np.add(out, q, out=s)
+        _carry(s, c)
+        np.copyto(out, s, where=mask)
+        return out if lanes is None else out.reshape((self.k,) + lanes)
+
+    def mul_mod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Lanewise ``a * b mod q`` via schoolbook product + Barrett."""
+        a, b, consts, lanes = self._prep(a, b)
+        shape = np.broadcast_shapes(a.shape[1:], b.shape[1:])
+        bufs = self._buf(shape)
+        _school_into(bufs["z"], a, b, bufs["p"], bufs["c"])
+        out = self._reduce(bufs, consts, shape)
+        return out if lanes is None else out.reshape((self.k,) + lanes)
+
+    def _reduce(self, bufs, consts, shape, out=None) -> np.ndarray:
+        """Barrett-reduce the product in ``bufs["z"]`` (consumed) to [0, q).
+
+        ``q_hat`` underestimates ``z // q`` by at most 3 (two classic
+        floor losses, one for limb-aligned slicing plus the clipped
+        low product planes), so the remainder lies in ``[0, 4q)``: one
+        conditional subtract of ``2q`` and one of ``q`` finish.  The tail
+        is computed modulo ``2^(26*(k+1)) > 4q``, so truncated (wrapped)
+        limb arithmetic is exact.
+        """
+        _, q_ext, q2_ext, mu, _ = consts
+        p, c, mask = bufs["p"], bufs["c"], bufs["m"]
+        k = self.k
+        m = k + 1
+        z = bufs["z"]
+        t = bufs["t"]
+        _school_into(t, z[self._s1 :], mu, p, c, low_clip=max(0, self._s2 - 2))
+        q_hat = t[self._s2 :]
+        for j in range(k):  # q_ext's top limb is always zero
+            w = min(m - j, k)  # q_hat < q, so its top plane is zero too
+            np.multiply(q_ext[j], q_hat[:w], out=p[:w])
+            z[j : j + w] -= p[:w]
+        r = z[:m]
+        _carry(r, c, wrap=True)
+        d = bufs["d"]
+        np.subtract(r, q2_ext, out=d)
+        _carry(d, c)
+        np.less(d[-1:], 0, out=mask)
+        np.copyto(d, r, where=mask)
+        if out is None:
+            out = np.empty((m,) + shape, dtype=np.int64)
+        np.subtract(d, q_ext, out=out)
+        _carry(out, c)
+        np.less(out[-1:], 0, out=mask)
+        np.copyto(out, d, where=mask)
+        return out[:k]
+
+    def bfly_ct(self, a: np.ndarray, b: np.ndarray, w: np.ndarray):
+        """Cooley-Tukey butterfly ``(a + b*w, a - b*w) mod q`` fused.
+
+        One Barrett-reduced product, then both outputs corrected jointly:
+        hi/lo are stacked so the carry chains and the +-q correction run
+        as one sequence of double-width sweeps instead of two.
+        """
+        a, b, w, consts, lanes = self._prep(a, b, w)
+        shape = np.broadcast_shapes(
+            a.shape[1:], np.broadcast_shapes(b.shape[1:], w.shape[1:])
+        )
+        bufs = self._buf(shape)
+        qpm = consts[4]
+        k = self.k
+        _school_into(
+            bufs["z"], b, w, bufs["p"], bufs["c"], loose_below=self._s1
+        )
+        t = self._reduce(bufs, consts, shape, out=bufs["t2"])
+        s = bufs["s"][: 2 * k].reshape((2, k) + shape)
+        np.add(a, t, out=s[0])
+        np.subtract(a, t, out=s[1])
+        c2 = bufs["c2"]
+        for i in range(k - 1):
+            np.right_shift(s[:, i], LIMB_BITS, out=c2)
+            s[:, i] &= LIMB_MASK
+            s[:, i + 1] += c2
+        out = np.empty((2, k) + shape, dtype=np.int64)
+        np.add(s, qpm, out=out)
+        for i in range(k - 1):
+            np.right_shift(out[:, i], LIMB_BITS, out=c2)
+            out[:, i] &= LIMB_MASK
+            out[:, i + 1] += c2
+        m2 = bufs["m2"]
+        # hi keeps the sum unless subtracting q stays nonnegative; lo keeps
+        # the difference unless it was negative (then the +q branch wins).
+        np.less(out[0:1, -1], 0, out=m2[0:1])
+        np.greater_equal(s[1:2, -1], 0, out=m2[1:2])
+        np.copyto(out, s, where=m2[:, None])
+        hi, lo = out[0], out[1]
+        if lanes is not None:
+            hi = hi.reshape((k,) + lanes)
+            lo = lo.reshape((k,) + lanes)
+        return hi, lo
+
+
+@functools.lru_cache(maxsize=None)
+def cached_engine(moduli: int | tuple[int, ...], k: int | None = None) -> LimbEngine:
+    """Shared :class:`LimbEngine` instances (constants + scratch arenas).
+
+    Engines are immutable constants plus reusable scratch, so sharing them
+    across executors/transforms keeps buffers warm and avoids rebuilding
+    Barrett tables for every kernel pass.
+    """
+    mods = moduli if isinstance(moduli, int) else list(moduli)
+    return LimbEngine(mods, k=k)
+
+
+def grouped_engines(
+    moduli: Sequence[int], k: int | None = None
+) -> list[tuple[LimbEngine, np.ndarray]]:
+    """Partition row moduli into vector engines by shared bit length.
+
+    Returns ``(engine, row_indices)`` pairs covering every input row; RNS
+    bases generated by :class:`repro.rns.basis.RnsBasis` land in a single
+    group (equal limb widths), so the common case is one engine for the
+    whole tower stack.
+    """
+    groups: dict[int, list[int]] = {}
+    for i, q in enumerate(moduli):
+        groups.setdefault(q.bit_length(), []).append(i)
+    return [
+        (cached_engine(tuple(moduli[i] for i in idx), k), np.array(idx))
+        for _, idx in sorted(groups.items())
+    ]

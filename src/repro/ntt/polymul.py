@@ -3,10 +3,19 @@
 The reason rings care about NTTs at all: multiplication in
 Z_q[x]/(x^n + 1) becomes a pointwise product between forward transforms
 (section II-C of the paper; NTT is ~94% of homomorphic multiply time).
+
+:func:`integer_negacyclic_convolution` extends this to *exact integer*
+products (signed coefficients, no modulus): the product is computed in an
+RNS basis of int64-friendly NTT primes -- all residue towers riding the
+batched transform's row axis -- and CRT-reconstructed.  This is how the
+HE layer's tensor products (which live over Z before their t/q or
+modulus-chain rescaling) run on the batched backend while staying
+bit-exact with the schoolbook reference.
 """
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Sequence
 
 from repro.ntt.reference import ntt_forward, ntt_inverse
@@ -32,3 +41,45 @@ def negacyclic_polymul(
     b_hat = ntt_forward(b, table)
     c_hat = pointwise_mul(a_hat, b_hat, table.q)
     return ntt_inverse(c_hat, table)
+
+
+_CONV_PRIME_BITS = 30  # int64 fast path; generate() keeps primes >= 2^29
+
+
+@functools.lru_cache(maxsize=None)
+def _conv_basis(n: int, num_primes: int):
+    """A CRT basis of int64-friendly NTT primes for exact n-point products."""
+    from repro.rns.basis import RnsBasis
+
+    basis = RnsBasis.generate(num_primes, _CONV_PRIME_BITS, n)
+    tables = tuple(TwiddleTable.for_ring(n, q) for q in basis.moduli)
+    return basis, tables
+
+
+def integer_negacyclic_convolution(
+    a: Sequence[int], b: Sequence[int]
+) -> list[int]:
+    """Exact negacyclic convolution of signed integer sequences over Z.
+
+    Computes ``a * b mod (x^n + 1)`` with no coefficient modulus: residues
+    of both operands are taken in enough int64-friendly NTT primes to
+    bound the true coefficients, every tower runs through one batched
+    transform pass, and the CRT recomposes the exact signed integers.
+    """
+    if len(a) != len(b):
+        raise ValueError("operands must have equal length")
+    n = len(a)
+    from repro.ntt.vectorized import batch_negacyclic_polymul
+
+    ma = max((abs(v) for v in a), default=0) or 1
+    mb = max((abs(v) for v in b), default=0) or 1
+    bits = (2 * n * ma * mb).bit_length() + 1
+    basis, tables = _conv_basis(n, -(-bits // (_CONV_PRIME_BITS - 1)))
+    rows_a = [[v % q for v in a] for q in basis.moduli]
+    rows_b = [[v % q for v in b] for q in basis.moduli]
+    prod = batch_negacyclic_polymul(rows_a, rows_b, tables)
+    cols = prod.tolist()
+    return [
+        basis.centered_compose([cols[l][i] for l in range(len(cols))])
+        for i in range(n)
+    ]

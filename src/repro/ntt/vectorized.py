@@ -7,17 +7,28 @@ modulus.  The butterflies are the exact Longa-Naehrig recurrences of
 the outputs are bit-identical row-for-row with the scalar oracle (the
 property suite fuzzes this).
 
-Built on :mod:`repro.modmath.vectorized`: rows under sub-31-bit moduli run
-on the int64 fast path; 128-bit moduli use object (arbitrary-precision)
-lanes and stay exact.
+Element representation -- always C integer lanes, never object dtype:
+
+* rows under sub-31-bit moduli run on the int64 fast path (one array
+  expression per butterfly column, as in PR 1);
+* wider moduli (the paper's 128-bit towers) run on the multi-limb int64
+  engine (:mod:`repro.modmath.limb`), with the transform re-expressed in
+  stage-parallel form: one gathered butterfly sweep per NTT stage instead
+  of one slice per (stage, block), so a 4096-point stage is ~10 limb-engine
+  calls rather than thousands of tiny slices.  Rows are grouped by modulus
+  bit length (one vector engine per group -- RNS bases land in a single
+  group) and both loop orders execute the identical butterflies, so
+  results stay bit-exact with the scalar oracle.
 """
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Sequence
 
 import numpy as np
 
+from repro.modmath.limb import compose, decompose, grouped_engines
 from repro.modmath.vectorized import (
     INT64_MODULUS_LIMIT,
     as_array,
@@ -66,6 +77,129 @@ def _stack(
     return a, q_col, tw, tabs
 
 
+# -- multi-limb path (wide moduli) ------------------------------------------
+
+
+@functools.lru_cache(maxsize=None)
+def _stage_plan(n: int, direction: str) -> tuple:
+    """Per-stage ``(u_idx, v_idx, tw_idx)`` gathers of the iterative NTT.
+
+    Each stage of :mod:`repro.ntt.reference` is re-expressed as one gather
+    over all its butterflies (the butterflies within a stage are
+    independent, so reordering them is bit-exact); the limb engine then
+    processes a whole stage in a handful of array sweeps.
+    """
+    stages = []
+    if direction == "forward":
+        t, m = n, 1
+        while m < n:
+            t //= 2
+            u = np.concatenate([2 * i * t + np.arange(t) for i in range(m)])
+            tw = np.repeat(m + np.arange(m), t)
+            stages.append((u, u + t, tw))
+            m *= 2
+    else:
+        t, m = 1, n
+        while m > 1:
+            h = m // 2
+            u = np.concatenate([2 * t * i + np.arange(t) for i in range(h)])
+            tw = np.repeat(h + np.arange(h), t)
+            stages.append((u, u + t, tw))
+            t *= 2
+            m = h
+    return tuple(stages)
+
+
+@functools.lru_cache(maxsize=None)
+def _limb_twiddles(tabs: tuple, attr: str, k: int) -> np.ndarray:
+    """Limb planes of per-row twiddle tables: ``(k, L, n)`` (cached)."""
+    return decompose([list(getattr(t, attr)) for t in tabs], k)
+
+
+@functools.lru_cache(maxsize=None)
+def _limb_n_inv(tabs: tuple, k: int) -> np.ndarray:
+    """Limb planes of the per-row inverse-transform scale: ``(k, L, 1)``."""
+    return decompose([[t.n_inv] for t in tabs], k)
+
+
+def _checked_planes(rows, idx, engine, n: int) -> np.ndarray:
+    """Decompose selected rows into limb planes, enforcing canonicality."""
+    sub = rows[idx] if isinstance(rows, np.ndarray) else [rows[i] for i in idx]
+    try:
+        planes = engine.encode(sub)
+    except ValueError as exc:
+        raise ValueError("coefficients must be canonical residues") from exc
+    if planes.ndim != 3 or planes.shape[2] != n:
+        raise ValueError("expected a (batch, n) matrix matching the tables")
+    if engine.noncanonical_mask(planes).any():
+        raise ValueError("coefficients must be canonical residues")
+    return planes
+
+
+def _limb_forward_planes(a: np.ndarray, tw: np.ndarray, engine, n: int) -> np.ndarray:
+    for u_idx, v_idx, tw_idx in _stage_plan(n, "forward"):
+        u = np.ascontiguousarray(a[:, :, u_idx])
+        b = np.ascontiguousarray(a[:, :, v_idx])
+        w = np.ascontiguousarray(tw[:, :, tw_idx])
+        hi, lo = engine.bfly_ct(u, b, w)
+        a[:, :, u_idx] = hi
+        a[:, :, v_idx] = lo
+    return a
+
+
+def _limb_inverse_planes(
+    a: np.ndarray, tw: np.ndarray, n_inv: np.ndarray, engine, n: int
+) -> np.ndarray:
+    for u_idx, v_idx, tw_idx in _stage_plan(n, "inverse"):
+        u = np.ascontiguousarray(a[:, :, u_idx])
+        v = np.ascontiguousarray(a[:, :, v_idx])
+        w = np.ascontiguousarray(tw[:, :, tw_idx])
+        a[:, :, u_idx] = engine.add_mod(u, v)
+        a[:, :, v_idx] = engine.mul_mod(engine.sub_mod(u, v), w)
+    return engine.mul_mod(np.ascontiguousarray(a), n_inv)
+
+
+def _limb_transform(rows, tabs: list[TwiddleTable], direction: str) -> np.ndarray:
+    """Stage-parallel limbed NTT of every row, grouped by modulus width."""
+    n = tabs[0].n
+    out = np.empty((len(tabs), n), dtype=object)
+    attr = "psi_rev" if direction == "forward" else "psi_inv_rev"
+    for engine, idx in grouped_engines([t.q for t in tabs]):
+        sub_tabs = tuple(tabs[i] for i in idx)
+        a = _checked_planes(rows, idx, engine, n)
+        tw = _limb_twiddles(sub_tabs, attr, engine.k)
+        if direction == "forward":
+            a = _limb_forward_planes(a, tw, engine, n)
+        else:
+            a = _limb_inverse_planes(
+                a, tw, _limb_n_inv(sub_tabs, engine.k), engine, n
+            )
+        out[idx] = compose(a)
+    return out
+
+
+def _limb_polymul(a_rows, b_rows, tabs: list[TwiddleTable]) -> np.ndarray:
+    """Rowwise limbed negacyclic products (decompose/compose only once)."""
+    n = tabs[0].n
+    out = np.empty((len(tabs), n), dtype=object)
+    for engine, idx in grouped_engines([t.q for t in tabs]):
+        sub_tabs = tuple(tabs[i] for i in idx)
+        fwd = _limb_twiddles(sub_tabs, "psi_rev", engine.k)
+        inv = _limb_twiddles(sub_tabs, "psi_inv_rev", engine.k)
+        a = _limb_forward_planes(_checked_planes(a_rows, idx, engine, n), fwd, engine, n)
+        b = _limb_forward_planes(_checked_planes(b_rows, idx, engine, n), fwd, engine, n)
+        prod = engine.mul_mod(a, b)
+        prod = _limb_inverse_planes(
+            prod, inv, _limb_n_inv(sub_tabs, engine.k), engine, n
+        )
+        out[idx] = compose(prod)
+    return out
+
+
+def _row_count(rows) -> int:
+    return rows.shape[0] if isinstance(rows, np.ndarray) else len(rows)
+
+
 def batch_ntt_forward(
     rows, tables: TwiddleTable | Sequence[TwiddleTable]
 ) -> np.ndarray:
@@ -75,7 +209,13 @@ def batch_ntt_forward(
         rows: ``(B, n)`` residue matrix (any nested sequence or ndarray).
         tables: one :class:`TwiddleTable` shared by all rows, or one per row
             (the RNS-tower case, each row under its own prime).
+
+    Returns int64 rows for narrow moduli; exact Python-int (object) rows
+    for wide moduli, computed on the multi-limb engine.
     """
+    tabs = _normalize_tables(_row_count(rows), tables)
+    if any(t.q >= INT64_MODULUS_LIMIT for t in tabs):
+        return _limb_transform(rows, tabs, "forward")
     a, q, psi_rev, _ = _stack(rows, tables, "psi_rev")
     n = a.shape[1]
     t = n
@@ -97,6 +237,9 @@ def batch_ntt_inverse(
     rows, tables: TwiddleTable | Sequence[TwiddleTable]
 ) -> np.ndarray:
     """Inverse negacyclic NTT of every row (bit-reversed in, natural out)."""
+    tabs = _normalize_tables(_row_count(rows), tables)
+    if any(t.q >= INT64_MODULUS_LIMIT for t in tabs):
+        return _limb_transform(rows, tabs, "inverse")
     a, q, psi_inv_rev, tabs = _stack(rows, tables, "psi_inv_rev")
     n = a.shape[1]
     t = 1
@@ -124,8 +267,13 @@ def batch_negacyclic_polymul(
 
     Computes ``a_rows[i] * b_rows[i]`` in ``Z_{q_i}[x]/(x^n + 1)`` for every
     row in three batched passes (two forward, one inverse), the tower-sweep
-    analogue of :func:`repro.ntt.polymul.negacyclic_polymul`.
+    analogue of :func:`repro.ntt.polymul.negacyclic_polymul`.  Wide-modulus
+    rows stay in limb planes across all three passes (one decompose in,
+    one compose out).
     """
+    tabs = _normalize_tables(_row_count(a_rows), tables)
+    if any(t.q >= INT64_MODULUS_LIMIT for t in tabs):
+        return _limb_polymul(a_rows, b_rows, tabs)
     a_hat = batch_ntt_forward(a_rows, tables)
     b_hat = batch_ntt_forward(b_rows, tables)
     tabs = _normalize_tables(a_hat.shape[0], tables)

@@ -25,7 +25,9 @@ from dataclasses import dataclass
 
 from repro.modmath.primes import find_ntt_prime
 from repro.ntt.naive import naive_negacyclic_convolution
+from repro.ntt.polymul import integer_negacyclic_convolution
 from repro.rlwe.ring import RingElement
+from repro.rns.tower import BACKENDS, auto_prefers_vectorized
 from repro.rlwe.sampling import centered_binomial_poly, ternary_poly, uniform_poly
 from repro.util.bits import is_power_of_two
 
@@ -89,13 +91,46 @@ class BfvCiphertext:
 
 
 class BfvContext:
-    """Key generation and the homomorphic evaluation API."""
+    """Key generation and the homomorphic evaluation API.
 
-    def __init__(self, params: BfvParameters, seed: int = 0) -> None:
+    ``backend`` selects how ring products execute: ``"scalar"`` is the
+    original per-element reference (scalar NTT / schoolbook tensor),
+    ``"vectorized"`` routes every polynomial product through the batched
+    NTT backend (exact CRT towers on the row axis,
+    :func:`repro.ntt.polymul.integer_negacyclic_convolution`), and
+    ``"auto"`` picks vectorized at ring degrees where batching measures
+    faster.  All backends are bit-identical -- same keys, same
+    ciphertexts, same decryptions for the same seed -- which the test
+    suite asserts.
+    """
+
+    def __init__(
+        self, params: BfvParameters, seed: int = 0, backend: str = "auto"
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected {BACKENDS}"
+            )
         self.params = params
+        self.backend = backend
         self._rng = random.Random(seed)
 
     # -- helpers ------------------------------------------------------------
+    def _vectorized(self) -> bool:
+        if self.backend == "auto":
+            return auto_prefers_vectorized(self.params.n)
+        return self.backend == "vectorized"
+
+    def _mul(self, x: RingElement, y: RingElement) -> RingElement:
+        """Ring product on the selected backend (bit-identical either way)."""
+        if not self._vectorized():
+            return x * y
+        q = self.params.q
+        product = integer_negacyclic_convolution(
+            list(x.coefficients), list(y.coefficients)
+        )
+        return RingElement(tuple(v % q for v in product), q)
+
     def _noise(self) -> RingElement:
         return centered_binomial_poly(
             self.params.n, self.params.q, self.params.eta, self._rng
@@ -106,14 +141,14 @@ class BfvContext:
         s = ternary_poly(p.n, p.q, self._rng)
         a = uniform_poly(p.n, p.q, self._rng)
         e = self._noise()
-        b = -(a * s + e)
+        b = -(self._mul(a, s) + e)
         relin = []
-        s2 = s * s
+        s2 = self._mul(s, s)
         power = 1
         while power < p.q:
             ai = uniform_poly(p.n, p.q, self._rng)
             ei = self._noise()
-            bi = -(ai * s + ei) + s2 * power
+            bi = -(self._mul(ai, s) + ei) + s2 * power
             relin.append((bi, ai))
             power *= p.relin_base
         return BfvKeys(secret=s, public=(b, a), relin=tuple(relin))
@@ -134,8 +169,8 @@ class BfvContext:
         u = ternary_poly(p.n, p.q, self._rng)
         e1, e2 = self._noise(), self._noise()
         scaled = message * p.delta
-        c0 = b * u + e1 + scaled
-        c1 = a * u + e2
+        c0 = self._mul(b, u) + e1 + scaled
+        c1 = self._mul(a, u) + e2
         return BfvCiphertext((c0, c1), p)
 
     def decrypt(self, keys: BfvKeys, ct: BfvCiphertext) -> RingElement:
@@ -144,8 +179,8 @@ class BfvContext:
         acc = RingElement.zero(p.n, p.q)
         s_power = RingElement.from_list([1] + [0] * (p.n - 1), p.q)
         for comp in ct.components:
-            acc = acc + comp * s_power
-            s_power = s_power * s
+            acc = acc + self._mul(comp, s_power)
+            s_power = self._mul(s_power, s)
         # Round t/q * coefficient, per-coefficient on centered values.
         out = []
         for c in acc.centered():
@@ -165,8 +200,8 @@ class BfvContext:
         acc = RingElement.zero(p.n, p.q)
         s_power = RingElement.from_list([1] + [0] * (p.n - 1), p.q)
         for comp in ct.components:
-            acc = acc + comp * s_power
-            s_power = s_power * s
+            acc = acc + self._mul(comp, s_power)
+            s_power = self._mul(s_power, s)
         message = self.decrypt(keys, ct)
         noise = acc - message * p.delta
         worst = max(abs(c) for c in noise.centered())
@@ -182,7 +217,7 @@ class BfvContext:
 
     def multiply_plain(self, ct: BfvCiphertext, plain: RingElement) -> BfvCiphertext:
         return BfvCiphertext(
-            tuple(c * plain for c in ct.components), self.params
+            tuple(self._mul(c, plain) for c in ct.components), self.params
         )
 
     def multiply(self, x: BfvCiphertext, y: BfvCiphertext) -> BfvCiphertext:
@@ -194,11 +229,18 @@ class BfvContext:
         cy = [c.centered() for c in y.components]
         big = 1 << 128  # headroom modulus for the exact integer convolution
 
-        def conv(a: list[int], b: list[int]) -> list[int]:
-            raw = naive_negacyclic_convolution(
-                [v % big for v in a], [v % big for v in b], big
-            )
-            return [v - big if v > big // 2 else v for v in raw]
+        if self._vectorized():
+            # Bit-identical to the schoolbook branch: the tensor product is
+            # exact over Z either way, and |coefficients| < n*(q/2)^2 stays
+            # far below the centering headroom.
+            conv = integer_negacyclic_convolution
+        else:
+
+            def conv(a: list[int], b: list[int]) -> list[int]:
+                raw = naive_negacyclic_convolution(
+                    [v % big for v in a], [v % big for v in b], big
+                )
+                return [v - big if v > big // 2 else v for v in raw]
 
         d0 = conv(cx[0], cy[0])
         d1 = [
@@ -223,8 +265,8 @@ class BfvContext:
         digits = _base_decompose(c2, p.relin_base)
         new0, new1 = c0, c1
         for digit, (b_i, a_i) in zip(digits, keys.relin):
-            new0 = new0 + b_i * digit
-            new1 = new1 + a_i * digit
+            new0 = new0 + self._mul(b_i, digit)
+            new1 = new1 + self._mul(a_i, digit)
         return BfvCiphertext((new0, new1), p)
 
 

@@ -30,9 +30,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ntt.naive import naive_negacyclic_convolution
+from repro.ntt.polymul import integer_negacyclic_convolution
 from repro.rlwe.ring import RingElement
 from repro.rlwe.sampling import centered_binomial_poly, ternary_poly, uniform_poly
 from repro.rns.basis import RnsBasis
+from repro.rns.tower import BACKENDS, auto_prefers_vectorized
 from repro.util.bits import is_power_of_two
 
 
@@ -43,6 +45,21 @@ def _ring_mul(a: RingElement, b: RingElement) -> RingElement:
         list(a.coefficients), list(b.coefficients), q
     )
     return RingElement(tuple(product), q)
+
+
+def _ring_mul_batched(a: RingElement, b: RingElement) -> RingElement:
+    """The same product on the batched backend: exact CRT towers.
+
+    The chain modulus is composite, so instead of an NTT mod q the exact
+    integer product is computed over int64-friendly CRT towers (one
+    batched transform pass) and reduced -- bit-identical to
+    :func:`_ring_mul` because both are exact over Z.
+    """
+    q = a.modulus
+    product = integer_negacyclic_convolution(
+        list(a.coefficients), list(b.coefficients)
+    )
+    return RingElement(tuple(v % q for v in product), q)
 
 
 @dataclass(frozen=True)
@@ -124,15 +141,40 @@ def _reduce(element: RingElement, q: int) -> RingElement:
 
 
 class CkksContext:
-    """Key generation, encoding and homomorphic evaluation."""
+    """Key generation, encoding and homomorphic evaluation.
 
-    def __init__(self, params: CkksParameters, seed: int = 0) -> None:
+    ``backend`` selects how ring products execute -- ``"scalar"`` (the
+    schoolbook reference), ``"vectorized"`` (batched CRT towers through
+    the numpy NTT backend), or ``"auto"`` (vectorized at ring degrees
+    where batching measures faster).  All backends are bit-identical for
+    the same seed; the test suite asserts equal ciphertexts end to end.
+    """
+
+    def __init__(
+        self, params: CkksParameters, seed: int = 0, backend: str = "auto"
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected {BACKENDS}"
+            )
         self.params = params
+        self.backend = backend
         self._rng = random.Random(seed)
         n = params.n
         angles = np.pi * (2 * np.arange(n) + 1) / n
         self._roots = np.exp(1j * angles)
         self._vandermonde = np.vander(self._roots, n, increasing=True)
+
+    def _vectorized(self) -> bool:
+        if self.backend == "auto":
+            return auto_prefers_vectorized(self.params.n)
+        return self.backend == "vectorized"
+
+    def _mul(self, a: RingElement, b: RingElement) -> RingElement:
+        """Ring product on the selected backend (bit-identical either way)."""
+        if self._vectorized():
+            return _ring_mul_batched(a, b)
+        return _ring_mul(a, b)
 
     # -- canonical embedding --------------------------------------------
     def encode(
@@ -168,13 +210,13 @@ class CkksContext:
         q_top = p.modulus_at(p.levels)
         s = ternary_poly(p.n, q_top, self._rng)
         a = uniform_poly(p.n, q_top, self._rng)
-        b = -(_ring_mul(a, s) + self._noise(q_top))
+        b = -(self._mul(a, s) + self._noise(q_top))
         relin = []
-        s2 = _ring_mul(s, s)
+        s2 = self._mul(s, s)
         power = 1
         while power < q_top:
             ai = uniform_poly(p.n, q_top, self._rng)
-            bi = -(_ring_mul(ai, s) + self._noise(q_top)) + s2 * power
+            bi = -(self._mul(ai, s) + self._noise(q_top)) + s2 * power
             relin.append((bi, ai))
             power *= p.relin_base
         return CkksKeys(secret=s, public=(b, a), relin=tuple(relin))
@@ -187,8 +229,8 @@ class CkksContext:
             raise ValueError("encrypt expects a top-level plaintext")
         b, a = keys.public
         u = ternary_poly(p.n, q_top, self._rng)
-        c0 = _ring_mul(b, u) + self._noise(q_top) + plain
-        c1 = _ring_mul(a, u) + self._noise(q_top)
+        c0 = self._mul(b, u) + self._noise(q_top) + plain
+        c1 = self._mul(a, u) + self._noise(q_top)
         return CkksCiphertext((c0, c1), float(p.delta), p.levels, p)
 
     def decrypt(self, keys: CkksKeys, ct: CkksCiphertext) -> RingElement:
@@ -198,8 +240,8 @@ class CkksContext:
         acc = RingElement.zero(p.n, q)
         s_power = RingElement.from_list([1] + [0] * (p.n - 1), q)
         for comp in ct.components:
-            acc = acc + _ring_mul(comp, s_power)
-            s_power = _ring_mul(s_power, s)
+            acc = acc + self._mul(comp, s_power)
+            s_power = self._mul(s_power, s)
         return acc
 
     def decrypt_decode(self, keys: CkksKeys, ct: CkksCiphertext):
@@ -230,13 +272,21 @@ class CkksContext:
         cy = [c.centered() for c in y.components]
         big = 1 << (2 * q.bit_length() + p.n.bit_length() + 4)
 
-        def conv(a, b):
-            raw = naive_negacyclic_convolution(
-                [v % big for v in a], [v % big for v in b], big
-            )
-            return RingElement(
-                tuple((v - big if v > big // 2 else v) % q for v in raw), q
-            )
+        if self._vectorized():
+            # Bit-identical to the schoolbook branch: the tensor product
+            # is exact over Z either way, and |coefficients| stay far
+            # below the centering headroom ``big``.
+            def conv(a, b):
+                exact = integer_negacyclic_convolution(list(a), list(b))
+                return RingElement(tuple(v % q for v in exact), q)
+        else:
+            def conv(a, b):
+                raw = naive_negacyclic_convolution(
+                    [v % big for v in a], [v % big for v in b], big
+                )
+                return RingElement(
+                    tuple((v - big if v > big // 2 else v) % q for v in raw), q
+                )
 
         d0 = conv(cx[0], cy[0])
         d1 = conv(cx[0], cy[1]) + conv(cx[1], cy[0])
@@ -255,8 +305,8 @@ class CkksContext:
         for digit, (b_i, a_i) in zip(
             _base_decompose(c2, p.relin_base), keys.relin
         ):
-            new0 = new0 + _ring_mul(_reduce(b_i, q), digit)
-            new1 = new1 + _ring_mul(_reduce(a_i, q), digit)
+            new0 = new0 + self._mul(_reduce(b_i, q), digit)
+            new1 = new1 + self._mul(_reduce(a_i, q), digit)
         return CkksCiphertext((new0, new1), ct.scale, ct.level, p)
 
     def rescale(self, ct: CkksCiphertext) -> CkksCiphertext:

@@ -15,20 +15,30 @@ residue_matrix`), so an L-tower add/sub/multiply is a handful of array
 
 The default ``"auto"`` picks whichever backend measures faster for the
 operation: ``mul`` amortizes three whole NTT passes per tower and wins
-vectorized at production ring degrees (1.3-1.7x at n >= 1024), while
-``add``/``sub`` are single sweeps where the list<->array round-trip costs
-more than it saves, so they stay scalar; tiny rings stay scalar for
-``mul`` too.  Both backends produce bit-identical towers (modular
-arithmetic is exact in either representation), which the test suite
-asserts.
+vectorized at production ring degrees (1.3-1.7x at n >= 1024 for narrow
+moduli; 2-14x for stacks of two or more wide towers on the multi-limb
+engine), while ``add``/``sub`` are single sweeps where the list<->array
+round-trip costs more than it saves, so they stay scalar; tiny rings and
+single wide towers stay scalar for ``mul`` too.  The measured crossover
+degree can be tuned without editing source via the
+``RPU_VEC_MUL_MIN_DEGREE`` environment variable.  Both backends produce
+bit-identical towers (modular arithmetic is exact in either
+representation), which the test suite asserts.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.modmath.vectorized import residue_matrix, vec_mod_add, vec_mod_sub
+from repro.modmath.limb import compose, grouped_engines
+from repro.modmath.vectorized import (
+    INT64_MODULUS_LIMIT,
+    residue_matrix,
+    vec_mod_add,
+    vec_mod_sub,
+)
 from repro.ntt.polymul import negacyclic_polymul
 from repro.ntt.twiddles import TwiddleTable
 from repro.ntt.vectorized import (
@@ -44,11 +54,57 @@ BACKENDS = ("auto", "scalar", "vectorized")
 # its amortization, so "auto" mul stays scalar (measured; module docstring).
 _VEC_MUL_MIN_DEGREE = 512
 
+VEC_MUL_MIN_DEGREE_ENV = "RPU_VEC_MUL_MIN_DEGREE"
+"""Environment override for the ``"auto"`` mul crossover ring degree."""
+
+
+def vec_mul_min_degree() -> int:
+    """The ring degree at which ``"auto"`` towers switch to vectorized mul.
+
+    Defaults to the measured crossover (:data:`_VEC_MUL_MIN_DEGREE`);
+    deployments can re-tune it per host via ``RPU_VEC_MUL_MIN_DEGREE``.
+    """
+    raw = os.environ.get(VEC_MUL_MIN_DEGREE_ENV)
+    if raw is None:
+        return _VEC_MUL_MIN_DEGREE
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{VEC_MUL_MIN_DEGREE_ENV} must be an integer, got {raw!r}"
+        ) from None
+
+
+def auto_prefers_vectorized(ring_degree: int) -> bool:
+    """Whether ``"auto"`` dispatch should batch at this ring degree.
+
+    The one crossover policy shared by the tower layer and the HE
+    contexts (:mod:`repro.rlwe.bfv`, :mod:`repro.rlwe.ckks`), so tuning
+    ``RPU_VEC_MUL_MIN_DEGREE`` moves every layer together.
+    """
+    return ring_degree >= vec_mul_min_degree()
+
 
 def _resolve_backend(backend: str, auto_choice: str) -> str:
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected {BACKENDS}")
     return auto_choice if backend == "auto" else backend
+
+
+def _limb_rows_op(op: str, rows_a, rows_b, moduli) -> list[list[int]]:
+    """Tower-stack add/sub on the multi-limb engine (wide moduli).
+
+    Rows are grouped by modulus bit length; each group runs as one stack
+    of int64 limb planes -- no object-dtype lanes anywhere.
+    """
+    out: list[list[int] | None] = [None] * len(moduli)
+    for engine, idx in grouped_engines(list(moduli)):
+        a = engine.encode([rows_a[i] for i in idx])
+        b = engine.encode([rows_b[i] for i in idx])
+        res = compose(getattr(engine, op)(a, b))
+        for j, i in enumerate(idx):
+            out[i] = list(res[j])
+    return out
 
 
 @dataclass
@@ -105,10 +161,20 @@ class RnsPolynomial:
         )
 
     # -- arithmetic --------------------------------------------------------
+    def _wide(self) -> bool:
+        return any(q >= INT64_MODULUS_LIMIT for q in self.basis.moduli)
+
     def add(self, other: "RnsPolynomial", backend: str = "auto") -> "RnsPolynomial":
         """Limb-wise addition (all towers in one pass when vectorized)."""
         self._check_compatible(other)
         if _resolve_backend(backend, "scalar") == "vectorized":
+            if self._wide():
+                return RnsPolynomial(
+                    self.basis,
+                    _limb_rows_op(
+                        "add_mod", self.towers, other.towers, self.basis.moduli
+                    ),
+                )
             a, q = self._matrix()
             b, _ = other._matrix()
             return self._from_matrix(self.basis, vec_mod_add(a, b, q))
@@ -122,6 +188,13 @@ class RnsPolynomial:
         """Limb-wise subtraction (all towers in one pass when vectorized)."""
         self._check_compatible(other)
         if _resolve_backend(backend, "scalar") == "vectorized":
+            if self._wide():
+                return RnsPolynomial(
+                    self.basis,
+                    _limb_rows_op(
+                        "sub_mod", self.towers, other.towers, self.basis.moduli
+                    ),
+                )
             a, q = self._matrix()
             b, _ = other._matrix()
             return self._from_matrix(self.basis, vec_mod_sub(a, b, q))
@@ -137,12 +210,16 @@ class RnsPolynomial:
         The scalar backend transforms each tower with its own scalar NTT;
         the vectorized backend runs all L towers through three batched
         passes (two forward NTTs, pointwise, one inverse) -- the RNS tower
-        sweep the paper's Fig. 1 parallelizes in hardware.
+        sweep the paper's Fig. 1 parallelizes in hardware.  Wide-modulus
+        towers execute on the multi-limb int64 engine; a *single* wide
+        tower has no stack to amortize over and measures at parity, so
+        ``"auto"`` keeps it scalar.
         """
         self._check_compatible(other)
         auto = (
             "vectorized"
-            if self.basis.ring_degree >= _VEC_MUL_MIN_DEGREE
+            if auto_prefers_vectorized(self.basis.ring_degree)
+            and (not self._wide() or self.basis.num_limbs >= 2)
             else "scalar"
         )
         if _resolve_backend(backend, auto) == "vectorized":

@@ -89,3 +89,72 @@ def generate_pointwise_program(
 def b_region(program: Program) -> RegionSpec:
     """The second operand's region (the Program container has one input)."""
     return program.metadata["b_region"]
+
+
+@functools.lru_cache(maxsize=None)
+def generate_batched_pointwise_program(
+    n: int,
+    moduli: tuple[int, ...],
+    op: str = "mul",
+    vlen: int = 512,
+) -> Program:
+    """One kernel computing ``out_k = a_k (op) b_k mod q_k`` for L towers.
+
+    The pointwise analogue of
+    :func:`repro.spiral.batched.generate_batched_ntt_program`: each RNS
+    tower gets a private VDM region triple and its own MRF slot, so one
+    instruction stream sweeps a whole ciphertext's NTT-domain product --
+    the middle leg of an L-tower homomorphic multiply -- with per
+    instruction modulus switching (the MRF's purpose, section IV-B5).
+    Tower ``k``'s regions live in ``metadata['tower_regions']`` (a, b,
+    out).
+    """
+    if op not in _OPS:
+        raise ValueError(f"unsupported pointwise op {op!r}")
+    if not 1 <= len(moduli) <= 8:
+        raise ValueError("supported tower counts: 1..8")
+    if not is_power_of_two(n) or n % vlen != 0:
+        raise ValueError("n must be a power of two and a multiple of vlen")
+    maker = _OPS[op]
+    m = n // vlen
+    instructions = []
+    regions = []
+    for k, _q in enumerate(moduli):
+        base = 3 * k * n
+        # Interleave towers at iteration granularity: rotate registers as
+        # the single-tower generator does so consecutive iterations never
+        # collide, with each tower reading its own ARF base + MRF slot.
+        for i in range(m):
+            slot = i % 4
+            ra, rb, ro = slot * 4, slot * 4 + 1, 16 + slot * 4
+            instructions.append(vload(ra, k + 1, i * vlen))
+            instructions.append(vload(rb, k + 1, n + i * vlen))
+            instructions.append(maker(ro, ra, rb, k + 1))
+            instructions.append(vstore(ro, k + 1, 2 * n + i * vlen))
+        regions.append(
+            (
+                RegionSpec(f"a_{k}", base, n, "any"),
+                RegionSpec(f"b_{k}", base + n, n, "any"),
+                RegionSpec(f"out_{k}", base + 2 * n, n, "any"),
+            )
+        )
+    instructions.append(halt())
+    return Program(
+        name=f"pointwise_{op}_{n}_x{len(moduli)}towers",
+        instructions=instructions,
+        vlen=vlen,
+        arf_init={k + 1: 3 * k * n for k in range(len(moduli))},
+        mrf_init={k + 1: q for k, q in enumerate(moduli)},
+        input_region=regions[0][0],
+        output_region=regions[0][2],
+        extra_vdm_words=3 * n * (len(moduli) - 1),
+        metadata={
+            "kernel": "batched_pointwise",
+            "op": op,
+            "n": n,
+            "vlen": vlen,
+            "num_towers": len(moduli),
+            "moduli": {k + 1: q for k, q in enumerate(moduli)},
+            "tower_regions": regions,
+        },
+    ).finalize()

@@ -7,10 +7,11 @@ import pytest
 from repro.rlwe.ckks import CkksContext, CkksParameters
 
 
-@pytest.fixture(scope="module")
-def ckks():
+@pytest.fixture(scope="module", params=["scalar", "vectorized"])
+def ckks(request):
+    """Every CKKS test runs on both ring-arithmetic backends."""
     params = CkksParameters.demo(n=32, delta_bits=30, levels=2, base_bits=40)
-    ctx = CkksContext(params, seed=9)
+    ctx = CkksContext(params, seed=9, backend=request.param)
     return ctx, ctx.keygen()
 
 
@@ -141,3 +142,31 @@ class TestHomomorphicOps:
         with pytest.raises(ValueError):
             ctx.add(squared, a)  # delta^2 vs delta at the same level? no --
             # multiply keeps the level, so the scale check fires first.
+
+
+class TestBackendEquivalence:
+    """Scalar and batched ring arithmetic produce bit-identical ciphertexts."""
+
+    def test_unknown_backend_rejected(self):
+        params = CkksParameters.demo(n=16, delta_bits=25, levels=1, base_bits=35)
+        with pytest.raises(ValueError, match="unknown backend"):
+            CkksContext(params, backend="gpu")
+
+    def test_end_to_end_bit_identical(self):
+        params = CkksParameters.demo(n=32, delta_bits=30, levels=2, base_bits=40)
+        scalar = CkksContext(params, seed=17, backend="scalar")
+        batched = CkksContext(params, seed=17, backend="vectorized")
+        ks, kv = scalar.keygen(), batched.keygen()
+        assert ks == kv  # same rng stream, exact arithmetic on both paths
+        z = np.array([1.25, -0.5 + 2j, 3.0])
+        w = np.array([0.75, 2.0, -1.0 + 1j])
+        cz_s = scalar.encrypt(ks, scalar.encode(z))
+        cz_v = batched.encrypt(kv, batched.encode(z))
+        assert cz_s.components == cz_v.components
+        cw_s = scalar.encrypt(ks, scalar.encode(w))
+        cw_v = batched.encrypt(kv, batched.encode(w))
+        prod_s = scalar.rescale(scalar.relinearize(ks, scalar.multiply(cz_s, cw_s)))
+        prod_v = batched.rescale(batched.relinearize(kv, batched.multiply(cz_v, cw_v)))
+        assert prod_s.components == prod_v.components
+        assert prod_s.scale == prod_v.scale and prod_s.level == prod_v.level
+        assert scalar.decrypt(ks, prod_s) == batched.decrypt(kv, prod_v)

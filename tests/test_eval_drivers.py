@@ -3,6 +3,7 @@
 import pytest
 
 from repro.eval.fig3 import DesignPoint, pareto_frontier
+from repro.eval.he_pipeline import run_functional_he_multiply
 from repro.eval.fig9 import PAPER_RATIOS
 from repro.eval.listing1 import run_listing1, structural_checks
 from repro.eval.table1 import all_17_instructions, run_table1
@@ -35,6 +36,36 @@ class TestListing1Driver:
         counts = program.class_counts()
         assert counts[InstructionClass.CI] == 10
         assert counts[InstructionClass.SI] == 18
+
+
+class TestFunctionalHeMultiply:
+    """The L-tower ciphertext multiply through BatchExecutor, end to end."""
+
+    def test_batched_passes_match_scalar_backend_and_oracle(self):
+        vect = run_functional_he_multiply(
+            n=128, towers=2, q_bits=128, backend="vectorized", vlen=8
+        )
+        scal = run_functional_he_multiply(
+            n=128, towers=2, q_bits=128, backend="scalar", vlen=8
+        )
+        # Functional truth: both backends equal each other and the
+        # software oracle, element for element, on every tower.
+        assert vect["bit_exact"] and scal["bit_exact"]
+        assert vect["product_towers"] == scal["product_towers"]
+        # Same dynamic instruction accounting for each of the 3 passes.
+        assert vect["stats"] == scal["stats"]
+        # 128-bit towers must run on multi-limb int64 lanes, not objects.
+        assert vect["dtype_path"].startswith("limb")
+        # Cost model comes along in the same report.
+        assert set(vect["cycles"]) == {"forward", "pointwise", "inverse"}
+        assert all(c > 0 for c in vect["cycles"].values())
+
+    def test_narrow_towers_use_int64_lanes(self):
+        out = run_functional_he_multiply(
+            n=128, towers=2, q_bits=28, backend="vectorized", vlen=8
+        )
+        assert out["bit_exact"]
+        assert out["dtype_path"] == "int64"
 
 
 class TestParetoLogic:

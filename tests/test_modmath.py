@@ -268,3 +268,133 @@ class TestVectorizedHelpers:
         dom = MontgomeryDomain(97)
         with pytest.raises(ValueError):
             vec_montgomery_mul([97], [1], dom)
+
+
+class TestLimbEngine:
+    """The multi-limb int64 engine: exact wide-modulus LAW arithmetic."""
+
+    def _pairs(self, q, count, seed):
+        import random
+
+        rng = random.Random(seed)
+        edge = [0, 1, 2, q - 1, q - 2, q // 2]
+        a = edge + [rng.randrange(q) for _ in range(count - len(edge))]
+        b = list(reversed(a))
+        return a, b
+
+    @pytest.mark.parametrize("q_bits", [2, 20, 26, 27, 31, 52, 64, 100, 128])
+    def test_ops_match_python_ints(self, q_bits):
+        from repro.modmath.limb import LimbEngine, compose
+
+        q = find_ntt_prime(q_bits, 4) if q_bits >= 20 else 3
+        eng = LimbEngine(q)
+        a, b = self._pairs(q, 300, q_bits)
+        pa, pb = eng.encode([a]), eng.encode([b])
+        assert compose(pa)[0].tolist() == a  # decompose/compose roundtrip
+        assert compose(eng.add_mod(pa, pb))[0].tolist() == [
+            (x + y) % q for x, y in zip(a, b)
+        ]
+        assert compose(eng.sub_mod(pa, pb))[0].tolist() == [
+            (x - y) % q for x, y in zip(a, b)
+        ]
+        assert compose(eng.mul_mod(pa, pb))[0].tolist() == [
+            x * y % q for x, y in zip(a, b)
+        ]
+
+    @pytest.mark.parametrize("q_bits", [27, 64, 128])
+    def test_fused_butterfly_worst_case_corrections(self, q_bits):
+        # (q-1)^2 products maximize the Barrett correction count; the fused
+        # butterfly must stay exact at the extremes of every width.
+        from repro.modmath.limb import LimbEngine, compose
+
+        q = find_ntt_prime(q_bits, 4)
+        eng = LimbEngine(q)
+        a, b = self._pairs(q, 300, q_bits * 7)
+        w = [q - 1] * 150 + b[150:]
+        pa, pb, pw = eng.encode([a]), eng.encode([b]), eng.encode([w])
+        hi, lo = eng.bfly_ct(pa, pb, pw)
+        assert compose(hi)[0].tolist() == [
+            (x + y * z) % q for x, y, z in zip(a, b, w)
+        ]
+        assert compose(lo)[0].tolist() == [
+            (x - y * z) % q for x, y, z in zip(a, b, w)
+        ]
+
+    def test_vector_engine_rows_use_their_own_modulus(self):
+        import random
+
+        from repro.modmath.limb import LimbEngine, compose
+        from repro.rns.basis import RnsBasis
+
+        basis = RnsBasis.generate(num_limbs=3, limb_bits=40, ring_degree=16)
+        eng = LimbEngine(list(basis.moduli))
+        rng = random.Random(5)
+        rows_a = [[rng.randrange(m) for _ in range(64)] for m in basis.moduli]
+        rows_b = [[rng.randrange(m) for _ in range(64)] for m in basis.moduli]
+        got = compose(eng.mul_mod(eng.encode(rows_a), eng.encode(rows_b)))
+        assert got.tolist() == [
+            [x * y % m for x, y in zip(ra, rb)]
+            for ra, rb, m in zip(rows_a, rows_b, basis.moduli)
+        ]
+
+    def test_grouped_engines_partition_by_bit_length(self):
+        from repro.modmath.limb import grouped_engines
+
+        moduli = [97, 89, 12289, 101]
+        groups = grouped_engines(moduli)
+        covered = sorted(i for _, idx in groups for i in idx)
+        assert covered == [0, 1, 2, 3]
+        for eng, idx in groups:
+            assert eng.moduli == tuple(moduli[i] for i in idx)
+            assert len({m.bit_length() for m in eng.moduli}) == 1
+
+    def test_signed_roundtrip_and_widen(self):
+        from repro.modmath.limb import compose, decompose, limbs_for_bits, widen
+
+        vals = [-(1 << 70), -5, -1, 0, 7, (1 << 90) + 123]
+        planes = decompose(vals, limbs_for_bits(91))
+        assert compose(planes).tolist() == vals
+        assert compose(widen(planes, 9)).tolist() == vals
+
+    def test_decompose_rejects_too_wide(self):
+        from repro.modmath.limb import decompose
+
+        with pytest.raises(ValueError, match="too wide"):
+            decompose([1 << 200], 3)
+
+    def test_noncanonical_mask(self):
+        from repro.modmath.limb import LIMB_BITS, LimbEngine
+
+        q = find_ntt_prime(60, 4)
+        eng = LimbEngine(q)
+        big = 1 << (LIMB_BITS * eng.k - 2)
+        bad = eng.encode([[0, q - 1, q, q + 5, -1, big]])
+        assert eng.noncanonical_mask(bad)[0].tolist() == [
+            False, False, True, True, True, True,
+        ]
+
+    def test_engine_validation(self):
+        from repro.modmath.limb import LimbEngine
+
+        with pytest.raises(ValueError, match="> 1"):
+            LimbEngine(1)
+        with pytest.raises(ValueError, match="equal bit length"):
+            LimbEngine([97, 12289])
+        with pytest.raises(ValueError, match="cannot hold"):
+            LimbEngine(1 << 100, k=2)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_mul_fuzz_against_python(self, data):
+        import random
+
+        from repro.modmath.limb import LimbEngine, compose
+
+        q_bits = data.draw(st.sampled_from([30, 50, 90, 128]))
+        q = find_ntt_prime(q_bits, 4)
+        eng = LimbEngine(q)
+        rng = random.Random(data.draw(st.integers(0, 2**16)))
+        a = [rng.randrange(q) for _ in range(32)]
+        b = [rng.randrange(q) for _ in range(32)]
+        got = compose(eng.mul_mod(eng.encode([a]), eng.encode([b])))
+        assert got[0].tolist() == [x * y % q for x, y in zip(a, b)]

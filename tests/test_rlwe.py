@@ -74,10 +74,11 @@ class TestSampling:
         assert all(0 <= c < RING_Q for c in p.coefficients)
 
 
-@pytest.fixture(scope="module")
-def bfv():
+@pytest.fixture(scope="module", params=["scalar", "vectorized"])
+def bfv(request):
+    """Every BFV test runs on both ring-arithmetic backends."""
     params = BfvParameters.demo(n=32, q_bits=50, t=257)
-    ctx = BfvContext(params, seed=11)
+    ctx = BfvContext(params, seed=11, backend=request.param)
     return ctx, ctx.keygen()
 
 
@@ -150,6 +151,35 @@ class TestBfv:
             BfvParameters(n=12, q=97, t=7)
         with pytest.raises(ValueError):
             BfvParameters(n=16, q=97, t=97)
+
+
+class TestBfvBackendEquivalence:
+    """Scalar and batched ring arithmetic produce bit-identical ciphertexts."""
+
+    def test_unknown_backend_rejected(self):
+        params = BfvParameters.demo(n=16, q_bits=40, t=97)
+        with pytest.raises(ValueError, match="unknown backend"):
+            BfvContext(params, backend="fpga")
+
+    def test_end_to_end_bit_identical(self):
+        params = BfvParameters.demo(n=32, q_bits=50, t=257)
+        scalar = BfvContext(params, seed=23, backend="scalar")
+        batched = BfvContext(params, seed=23, backend="vectorized")
+        ks, kv = scalar.keygen(), batched.keygen()
+        assert ks == kv  # same rng stream, exact arithmetic on both paths
+        msg_a, msg_b = [5, 9, 13], [2, 4, 8]
+        ca_s = scalar.encrypt(ks, scalar.encode(msg_a))
+        ca_v = batched.encrypt(kv, batched.encode(msg_a))
+        assert ca_s.components == ca_v.components
+        cb_s = scalar.encrypt(ks, scalar.encode(msg_b))
+        cb_v = batched.encrypt(kv, batched.encode(msg_b))
+        prod_s = scalar.relinearize(ks, scalar.multiply(ca_s, cb_s))
+        prod_v = batched.relinearize(kv, batched.multiply(ca_v, cb_v))
+        assert prod_s.components == prod_v.components
+        assert scalar.decrypt(ks, prod_s) == batched.decrypt(kv, prod_v)
+        assert scalar.noise_budget_bits(ks, prod_s) == batched.noise_budget_bits(
+            kv, prod_v
+        )
 
 
 class TestKyber:

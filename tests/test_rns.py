@@ -138,12 +138,47 @@ class TestBackendDispatch:
             assert scalar.towers == vector.towers == auto.towers
 
     def test_wide_limb_backends_agree(self):
-        # 40-bit limbs force the object-dtype path; must stay bit-exact.
+        # 40-bit limbs take the multi-limb int64 path; must stay bit-exact.
         basis = RnsBasis.generate(num_limbs=2, limb_bits=40, ring_degree=16)
         pa, pb = self._pair(basis, 37)
-        assert pa.mul(pb, backend="scalar").towers == pa.mul(
-            pb, backend="vectorized"
-        ).towers
+        for op in ("add", "sub", "mul"):
+            assert getattr(pa, op)(pb, backend="scalar").towers == getattr(
+                pa, op
+            )(pb, backend="vectorized").towers
+
+    def test_wide_towers_auto_takes_vectorized_path(self, monkeypatch):
+        # The paper's wide-modulus stacks must batch under "auto" -- the
+        # silent object-dtype demotion this PR retires.  Lower the degree
+        # threshold so the check stays fast.
+        import repro.ntt.vectorized as ntt_vec
+        from repro.rns import tower
+
+        basis = RnsBasis.generate(num_limbs=2, limb_bits=40, ring_degree=16)
+        pa, pb = self._pair(basis, 53)
+        monkeypatch.setenv(tower.VEC_MUL_MIN_DEGREE_ENV, "16")
+        called = {}
+        orig = ntt_vec.batch_negacyclic_polymul
+
+        def spy(a_rows, b_rows, tables):
+            called["hit"] = True
+            return orig(a_rows, b_rows, tables)
+
+        monkeypatch.setattr(ntt_vec, "batch_negacyclic_polymul", spy)
+        monkeypatch.setattr(tower, "batch_negacyclic_polymul", spy)
+        auto = pa.mul(pb)
+        assert called.get("hit"), "auto did not dispatch to the batched path"
+        assert auto.towers == pa.mul(pb, backend="scalar").towers
+
+    def test_vec_mul_threshold_env_override(self, monkeypatch):
+        from repro.rns import tower
+
+        monkeypatch.delenv(tower.VEC_MUL_MIN_DEGREE_ENV, raising=False)
+        assert tower.vec_mul_min_degree() == tower._VEC_MUL_MIN_DEGREE
+        monkeypatch.setenv(tower.VEC_MUL_MIN_DEGREE_ENV, "2048")
+        assert tower.vec_mul_min_degree() == 2048
+        monkeypatch.setenv(tower.VEC_MUL_MIN_DEGREE_ENV, "not-a-number")
+        with pytest.raises(ValueError, match="must be an integer"):
+            tower.vec_mul_min_degree()
 
     def test_ntt_all_matches_per_limb(self, basis):
         from repro.ntt.reference import ntt_forward, ntt_inverse

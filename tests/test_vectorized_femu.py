@@ -23,9 +23,14 @@ from repro.isa.instructions import sload, vload, vsmul, vstore, vvadd
 from repro.isa.program import DataSegment, Program, RegionSpec
 from repro.ntt.reference import ntt_forward
 from repro.ntt.twiddles import TwiddleTable
+from repro.rns.basis import RnsBasis
 from repro.spiral.batched import generate_batched_ntt_program, tower_regions
 from repro.spiral.kernels import generate_ntt_program
-from repro.spiral.pointwise import b_region, generate_pointwise_program
+from repro.spiral.pointwise import (
+    b_region,
+    generate_batched_pointwise_program,
+    generate_pointwise_program,
+)
 
 # (n, vlen, rect_depth) kernel shapes; q_bits 25 exercises the int64 fast
 # path, 128 the object (arbitrary-precision) path.
@@ -102,6 +107,39 @@ class TestPointwiseKernels:
             lambda x, y: (x + y) % q
         )
         assert out == [pyop(x, y) for x, y in zip(a, b)]
+
+
+class TestBatchedPointwiseKernels:
+    @pytest.mark.parametrize("q_bits", [25, 128])
+    @pytest.mark.parametrize("num_towers", [1, 3])
+    def test_multi_tower_pointwise_bit_exact(self, q_bits, num_towers):
+        n, vlen = 64, 8
+        moduli = RnsBasis.generate(num_towers, q_bits, n).moduli
+        program = generate_batched_pointwise_program(n, moduli, "mul", vlen=vlen)
+        rng = random.Random(q_bits * num_towers)
+        inputs = {}
+        expect = []
+        for k, (a_reg, b_reg, _out) in enumerate(
+            program.metadata["tower_regions"]
+        ):
+            q = moduli[k]
+            a = [rng.randrange(q) for _ in range(n)]
+            b = [rng.randrange(q) for _ in range(n)]
+            inputs[a_reg] = a
+            inputs[b_reg] = b
+            expect.append([x * y % q for x, y in zip(a, b)])
+        sims, _ = run_both(program, inputs)
+        scalar, vector = sims
+        for k, (_a, _b, out) in enumerate(program.metadata["tower_regions"]):
+            assert scalar.read_region(out) == expect[k]
+            assert vector.read_region(out) == expect[k]
+        assert scalar.stats == vector.stats
+
+    def test_bad_tower_counts_rejected(self):
+        with pytest.raises(ValueError, match="tower counts"):
+            generate_batched_pointwise_program(64, tuple(), "mul", vlen=8)
+        with pytest.raises(ValueError, match="unsupported pointwise op"):
+            generate_batched_pointwise_program(64, (97,), "xor", vlen=8)
 
 
 class TestBatchedTowerKernels:
