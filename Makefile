@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: check check-slow bench-femu bench-he eval
+.PHONY: check check-slow bench-femu bench-he bench-serve check-docs eval
 
 check:  ## tier-1: the fast suite, including the FEMU differential tests
 	$(PY) -m pytest -x -q
@@ -18,6 +18,14 @@ bench-femu:  ## FEMU backend benches; writes the speedup metric to JSON
 bench-he:  ## batched HE-pipeline benches (functional multiply + cost model)
 	$(PY) -m pytest benchmarks/bench_he_pipeline.py -q \
 		--benchmark-json=he_bench.json
+
+bench-serve:  ## sharded serving benches: throughput vs shards, p50/p95 latency
+	$(PY) -m pytest benchmarks/bench_serving.py -q \
+		--benchmark-json=serving_bench.json
+
+check-docs:  ## run every ```python block in docs/*.md + README, and the demo
+	$(PY) -m pytest tests/test_docs.py -q
+	$(PY) examples/serving_demo.py --smoke
 
 eval:  ## regenerate every paper table/figure (plus backend comparison)
 	$(PY) -m repro.eval.run_all

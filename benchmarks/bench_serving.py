@@ -1,0 +1,172 @@
+"""Serving benches: throughput scaling vs shard count, request latency.
+
+Measures the sharded execution layer on the workload the issue names --
+the 128-bit n=4096 NTT, batch 16 -- for shards in {1, 2, 4}, and the
+asyncio serving loop's per-request p50/p95 latency under a burst of
+concurrent clients.  Both benches emit their metrics into the
+pytest-benchmark JSON (``--benchmark-json``, see ``make bench-serve``)
+via ``extra_info``:
+
+* ``throughput_rps`` per shard count, plus ``speedup_4shard_vs_1``;
+* ``latency_p50_ms`` / ``latency_p95_ms`` for the serving loop;
+* ``cpu_count`` and ``dtype_path``, so a JSON from a 1-core box is
+  legible as such.
+
+Gate: >= 1.6x throughput at 4 shards vs 1 shard -- *asserted only when
+the host has >= 4 CPUs*.  Sharding buys parallelism, not magic: on a
+single-core container the 4 extra processes time-slice one core and the
+measured "scaling" is IPC overhead, so there the gate is recorded in the
+JSON instead of enforced (same policy as the limb-path gate in
+``bench_femu_functional.py``: the bar documents what the hardware at
+hand can honestly show).  Correctness is asserted unconditionally:
+every sharded run must be bit-identical to the single-process pass.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import statistics
+import time
+
+from repro.femu import BatchExecutor
+from repro.serve import RpuServer, ServeConfig, ShardedBatchExecutor, ShardPool
+from repro.spiral.kernels import generate_ntt_program
+
+N = 4096
+Q_BITS = 128
+BATCH = 16
+SHARD_COUNTS = (1, 2, 4)
+SPEEDUP_GATE = 1.6
+
+
+def _workload():
+    program = generate_ntt_program(N, q_bits=Q_BITS)
+    q = program.metadata["modulus"]
+    rng = random.Random(0xB512)
+    rows = [[rng.randrange(q) for _ in range(N)] for _ in range(BATCH)]
+    return program, rows
+
+
+def _sharded_once(program, rows, shards, pool):
+    ex = ShardedBatchExecutor(
+        program, batch=len(rows), shards=shards, pool=pool
+    )
+    ex.write_region(program.input_region, rows)
+    ex.run()
+    return ex.read_region(program.output_region), ex.dtype_path
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_bench_sharded_ntt_throughput_scaling(benchmark):
+    """Batch-16 128-bit 4K NTT across 1/2/4 shards; gate on >= 4 cores."""
+    program, rows = _workload()
+    reference = BatchExecutor(program, batch=BATCH)
+    reference.write_region(program.input_region, rows)
+    reference.run()
+    expected = reference.read_region(program.output_region)
+
+    throughput = {}
+    dtype_path = None
+    for shards in SHARD_COUNTS:
+        pool = ShardPool(shards) if shards > 1 else None
+        try:
+            seconds, (outs, dtype_path) = _best_of(
+                lambda: _sharded_once(program, rows, shards, pool)
+            )
+        finally:
+            if pool is not None:
+                pool.close()
+        assert outs == expected, f"{shards}-shard output diverged"
+        throughput[shards] = BATCH / seconds
+
+    # Time the 4-shard configuration as the benchmark's distribution.
+    pool = ShardPool(4)
+    try:
+        benchmark.pedantic(
+            _sharded_once,
+            args=(program, rows, 4, pool),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        pool.close()
+
+    speedup = throughput[4] / throughput[1]
+    cpu_count = os.cpu_count() or 1
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["q_bits"] = Q_BITS
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["dtype_path"] = dtype_path
+    benchmark.extra_info["cpu_count"] = cpu_count
+    benchmark.extra_info["throughput_rps"] = {
+        str(s): round(t, 2) for s, t in throughput.items()
+    }
+    benchmark.extra_info["speedup_4shard_vs_1"] = round(speedup, 2)
+    benchmark.extra_info["speedup_gate"] = SPEEDUP_GATE
+    benchmark.extra_info["gate_enforced"] = cpu_count >= 4
+    if cpu_count >= 4:
+        assert speedup >= SPEEDUP_GATE, (
+            f"4-shard speedup {speedup:.2f}x < {SPEEDUP_GATE}x "
+            f"on a {cpu_count}-core host"
+        )
+
+
+def test_bench_serving_request_latency(benchmark):
+    """A burst of concurrent NTT requests through the asyncio loop.
+
+    Reports client-observed p50/p95 latency and the achieved coalescing;
+    correctness of every response is asserted against the single-process
+    engine.
+    """
+    clients = 32
+    shards = min(4, os.cpu_count() or 1)
+    program = generate_ntt_program(N, q_bits=Q_BITS)
+    q = program.metadata["modulus"]
+    rng = random.Random(1)
+    rows = [[rng.randrange(q) for _ in range(N)] for _ in range(clients)]
+    reference = BatchExecutor(program, batch=clients)
+    reference.write_region(program.input_region, rows)
+    reference.run()
+    expected = reference.read_region(program.output_region)
+
+    async def client(server, row):
+        t0 = time.perf_counter()
+        result = await server.ntt(row, q_bits=Q_BITS)
+        return time.perf_counter() - t0, result
+
+    async def burst():
+        config = ServeConfig(
+            shards=shards, max_batch=8, batch_window_s=0.005
+        )
+        async with RpuServer(config) as server:
+            return await asyncio.gather(
+                *[client(server, row) for row in rows]
+            )
+
+    timed = benchmark.pedantic(
+        lambda: asyncio.run(burst()), rounds=1, iterations=1
+    )
+    latencies = sorted(t for t, _r in timed)
+    for i, (_t, result) in enumerate(timed):
+        assert result.output == expected[i]
+    p50 = statistics.median(latencies)
+    p95 = latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))]
+    widths = sorted({r.batched_with for _t, r in timed})
+    benchmark.extra_info["clients"] = clients
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["cpu_count"] = os.cpu_count() or 1
+    benchmark.extra_info["latency_p50_ms"] = round(p50 * 1e3, 2)
+    benchmark.extra_info["latency_p95_ms"] = round(p95 * 1e3, 2)
+    benchmark.extra_info["coalesced_batch_widths"] = widths
+    benchmark.extra_info["dtype_path"] = timed[0][1].dtype_path

@@ -82,6 +82,15 @@ class RpuPipeline:
     ``backend`` selects the FEMU backend every stage executes on
     (:data:`repro.femu.FEMU_BACKENDS`); the two backends are bit-exact, so
     this only changes wall-clock time, never outputs.
+
+    ``shards > 1`` additionally spreads batchable stages over worker
+    processes (one lazily created :class:`~repro.serve.sharding.ShardPool`
+    per pipeline -- call :meth:`close` or use ``with`` when done): the two
+    forward NTTs of a polynomial multiply become one sharded batch-2 pass.
+    Sharding is a feature of the vectorized engine, so it requires
+    ``backend="vectorized"`` (same rule as :meth:`Rpu.run_batch`).
+    Outputs, stage costs and stage ordering stay bit-identical -- sharding
+    changes wall-clock only.
     """
 
     def __init__(
@@ -89,11 +98,59 @@ class RpuPipeline:
         config: RpuConfig | None = None,
         q_bits: int = 128,
         backend: str = "scalar",
+        shards: int = 1,
     ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if backend == "scalar" and shards > 1:
+            raise ValueError("sharded execution implies the vectorized engine")
         self.config = config or RpuConfig()
         self.q_bits = q_bits
         self.backend = backend
+        self.shards = shards
         self._sim = CycleSimulator(self.config)
+        self._pool = None
+
+    def _get_pool(self):
+        """The pipeline's shard pool, forked on first sharded stage."""
+        from repro.serve.sharding import ShardPool
+
+        if self._pool is None or self._pool.closed:
+            self._pool = ShardPool(self.shards)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the shard pool (no-op when ``shards == 1``)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "RpuPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _charge_stage(
+        self, program: Program, result: PipelineResult, times: int = 1
+    ) -> None:
+        """Append ``times`` stage-cost entries from one simulator run.
+
+        The cycle model is deterministic per program, so launching the
+        same kernel for several batch rows costs one simulation however
+        many entries it charges.
+        """
+        report = self._sim.run(program)
+        energy = ntt_energy_breakdown(program).total
+        for _ in range(times):
+            result.stages.append(
+                StageCost(
+                    name=program.name,
+                    cycles=report.cycles,
+                    runtime_us=report.runtime_us,
+                    energy_uj=energy,
+                )
+            )
 
     def _run_stage(
         self,
@@ -105,16 +162,31 @@ class RpuPipeline:
         for region, values in inputs.items():
             femu.write_region(region, values)
         femu.run()
-        report = self._sim.run(program)
-        result.stages.append(
-            StageCost(
-                name=program.name,
-                cycles=report.cycles,
-                runtime_us=report.runtime_us,
-                energy_uj=ntt_energy_breakdown(program).total,
-            )
-        )
+        self._charge_stage(program, result)
         return femu.read_region(program.output_region)
+
+    def _run_batched_stage(
+        self,
+        program: Program,
+        rows: Sequence[Sequence[int]],
+        result: PipelineResult,
+    ) -> list[list[int]]:
+        """One sharded pass over ``rows``; charges one stage cost per row.
+
+        On silicon each row is a separate kernel launch, so the cycle/energy
+        model is charged per row exactly as the serial path does -- only the
+        functional execution is batched (and spread over the shard pool).
+        """
+        from repro.serve.sharding import ShardedBatchExecutor
+
+        ex = ShardedBatchExecutor(
+            program, batch=len(rows), shards=self.shards, pool=self._get_pool()
+        )
+        ex.write_region(program.input_region, [list(r) for r in rows])
+        ex.run()
+        outs = ex.read_region(program.output_region)
+        self._charge_stage(program, result, times=len(rows))
+        return outs
 
     def negacyclic_polymul(
         self,
@@ -138,8 +210,12 @@ class RpuPipeline:
             n, "mul", vlen=vlen, q_bits=self.q_bits, q=modulus
         )
         result = PipelineResult(output=[])
-        a_hat = self._run_stage(fwd, {fwd.input_region: list(a)}, result)
-        b_hat = self._run_stage(fwd, {fwd.input_region: list(b)}, result)
+        if self.shards > 1:
+            # Both operands through one sharded batch-2 forward pass.
+            a_hat, b_hat = self._run_batched_stage(fwd, [a, b], result)
+        else:
+            a_hat = self._run_stage(fwd, {fwd.input_region: list(a)}, result)
+            b_hat = self._run_stage(fwd, {fwd.input_region: list(b)}, result)
         prod_hat = self._run_stage(
             pw, {pw.input_region: a_hat, b_region(pw): b_hat}, result
         )

@@ -12,7 +12,7 @@ import random
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.femu import make_simulator
+from repro.femu import FEMU_BACKENDS, make_simulator
 from repro.hw.area import AreaBreakdown, rpu_area_breakdown
 from repro.hw.energy import EnergyBreakdown, ntt_energy_breakdown
 from repro.isa.program import Program
@@ -30,14 +30,16 @@ class RpuRunResult:
         report: cycle-level performance report.
         area: modelled silicon area of the configured design.
         energy: modelled energy of this kernel execution.
-        output: VDM output region contents (only when inputs were supplied).
+        output: VDM output region contents (only when inputs were
+            supplied): one coefficient list for :meth:`Rpu.run`, one list
+            per batch row for :meth:`Rpu.run_batch`.
         verified: True when the output matched the reference transform.
     """
 
     report: PerformanceReport
     area: AreaBreakdown
     energy: EnergyBreakdown
-    output: list[int] | None = None
+    output: list | None = None
     verified: bool | None = None
     metadata: dict = field(default_factory=dict)
 
@@ -94,6 +96,7 @@ class Rpu:
         verify: bool = False,
         seed: int = 0,
         backend: str = "scalar",
+        shards: int = 1,
     ) -> RpuRunResult:
         """Simulate a kernel.
 
@@ -107,7 +110,19 @@ class Rpu:
             seed: RNG seed for ``verify``.
             backend: FEMU backend for the functional execution
                 (:data:`repro.femu.FEMU_BACKENDS`); both are bit-exact.
+            shards: accepted for API uniformity with :meth:`run_batch`
+                and under the same rule (``shards > 1`` requires
+                ``backend="vectorized"``); a single input is one batch
+                row, which collapses to one span and executes inline.
+                :meth:`run_batch` is where sharding pays.
         """
+        if backend not in FEMU_BACKENDS:
+            raise ValueError(
+                f"unknown FEMU backend {backend!r}; "
+                f"expected one of {FEMU_BACKENDS}"
+            )
+        if backend == "scalar" and shards > 1:
+            raise ValueError("sharded execution implies the vectorized engine")
         report = self._cycle_sim.run(program)
         result = RpuRunResult(
             report=report,
@@ -133,10 +148,84 @@ class Rpu:
                 values = ntt_forward(plain, table)
                 expected = plain
         if values is not None:
-            femu = make_simulator(program, backend=backend)
-            femu.write_region(program.input_region, values)
-            femu.run()
-            result.output = femu.read_region(program.output_region)
+            if shards > 1:
+                from repro.serve.sharding import ShardedBatchExecutor
+
+                with ShardedBatchExecutor(
+                    program, batch=1, shards=shards
+                ) as ex:
+                    ex.write_region(program.input_region, [list(values)])
+                    ex.run()
+                    result.output = ex.read_region(program.output_region)[0]
+                    result.metadata.update(
+                        shards=ex.shards, dtype_path=ex.dtype_path
+                    )
+            else:
+                femu = make_simulator(program, backend=backend)
+                femu.write_region(program.input_region, values)
+                femu.run()
+                result.output = femu.read_region(program.output_region)
             if expected is not None:
                 result.verified = result.output == expected
+        return result
+
+    def run_batch(
+        self,
+        program: Program,
+        input_rows: Sequence[Sequence[int]],
+        backend: str = "vectorized",
+        shards: int | None = None,
+        pool=None,
+    ) -> RpuRunResult:
+        """Simulate a kernel over a batch of independent inputs.
+
+        The batch rides one instruction stream (one cycle-model pass, like
+        :meth:`run`), executed functionally by :class:`BatchExecutor` --
+        or, when ``shards > 1`` or a :class:`~repro.serve.sharding.ShardPool`
+        is given, spread bit-identically over worker processes by
+        :class:`~repro.serve.sharding.ShardedBatchExecutor` (an
+        unspecified ``shards`` uses the whole pool).  ``output`` holds one
+        result row per input row; ``metadata`` carries the functional
+        pass's ``stats``, ``dtype_path`` and effective ``shards``.
+        """
+        if backend not in FEMU_BACKENDS:
+            raise ValueError(
+                f"unknown FEMU backend {backend!r}; "
+                f"expected one of {FEMU_BACKENDS}"
+            )
+        if backend == "scalar" and ((shards or 1) > 1 or pool is not None):
+            raise ValueError("sharded execution implies the vectorized engine")
+        report = self._cycle_sim.run(program)
+        result = RpuRunResult(
+            report=report,
+            area=self.area(),
+            energy=ntt_energy_breakdown(program),
+            metadata=dict(program.metadata),
+        )
+        rows = [list(r) for r in input_rows]
+        if backend == "scalar":
+            outputs = []
+            stats = None
+            for values in rows:
+                femu = make_simulator(program, backend="scalar")
+                femu.write_region(program.input_region, values)
+                stats = femu.run()
+                outputs.append(femu.read_region(program.output_region))
+            dtype_path = "python-int"
+            effective_shards = 1
+        else:
+            from repro.serve.sharding import ShardedBatchExecutor
+
+            with ShardedBatchExecutor(
+                program, batch=len(rows), shards=shards, pool=pool
+            ) as ex:
+                ex.write_region(program.input_region, rows)
+                stats = ex.run()
+                outputs = ex.read_region(program.output_region)
+                dtype_path = ex.dtype_path
+                effective_shards = ex.shards
+        result.output = outputs
+        result.metadata.update(
+            stats=stats, dtype_path=dtype_path, shards=effective_shards
+        )
         return result

@@ -14,7 +14,10 @@ passes (both operands' forward NTTs batched into one pass, a batched
 multi-tower pointwise kernel, a batched inverse kernel), producing
 functional residue towers that are verified bit-exact against the
 software oracle -- with the cycle/HBM cost model of the same three
-kernels folded into one report.
+kernels folded into one report.  ``shards=N`` spreads each pass's batch
+over worker processes (:mod:`repro.serve.sharding`), bit-identically;
+the serving loop (:mod:`repro.serve.loop`) runs the same three-pass
+shape for coalesced ``he_multiply`` requests.
 """
 
 from __future__ import annotations
@@ -83,24 +86,39 @@ def run_he_pipeline(
     }
 
 
-def _run_batch(program, region_rows, batch, backend):
+def _run_batch(program, region_rows, batch, backend, shards=1, pool=None):
     """Execute one program pass over per-region batched rows.
 
     ``region_rows`` maps RegionSpec -> list of ``batch`` rows.  The
-    vectorized path is one :class:`BatchExecutor` pass; the scalar path
-    (the differential reference) runs one FunctionalSimulator per batch
-    lane.  Returns ``(read_fn, stats, dtype_path)``.
+    vectorized path is one :class:`BatchExecutor` pass -- spread over
+    worker processes by
+    :class:`~repro.serve.sharding.ShardedBatchExecutor` when ``shards > 1``
+    or a pool is given (bit-identical either way); the scalar path (the
+    differential reference) runs one FunctionalSimulator per batch lane.
+    Returns ``(read_fn, stats, dtype_path, effective_shards)`` --
+    effective because a pass cannot use more shards than batch rows.
     """
     if backend not in ("scalar", "vectorized"):
         raise ValueError(
             f"unknown backend {backend!r}; expected 'scalar' or 'vectorized'"
         )
+    if backend == "scalar" and (shards > 1 or pool is not None):
+        raise ValueError("sharded execution implies the vectorized backend")
     if backend == "vectorized":
-        ex = BatchExecutor(program, batch=batch)
+        if shards > 1 or pool is not None:
+            from repro.serve.sharding import ShardedBatchExecutor
+
+            ex = ShardedBatchExecutor(
+                program, batch=batch, shards=shards, pool=pool
+            )
+            effective = ex.shards
+        else:
+            ex = BatchExecutor(program, batch=batch)
+            effective = 1
         for region, rows in region_rows.items():
             ex.write_region(region, rows)
         stats = ex.run()
-        return ex.read_region, stats, ex.dtype_path
+        return ex.read_region, stats, ex.dtype_path, effective
     sims = []
     for lane in range(batch):
         sim = make_simulator(program, backend="scalar")
@@ -112,7 +130,7 @@ def _run_batch(program, region_rows, batch, backend):
     def read(region):
         return [sim.read_region(region) for sim in sims]
 
-    return read, stats, "python-int"
+    return read, stats, "python-int", 1
 
 
 def run_functional_he_multiply(
@@ -123,6 +141,8 @@ def run_functional_he_multiply(
     vlen: int = 512,
     seed: int = 0,
     check_oracle: bool = True,
+    shards: int | None = None,
+    pool=None,
 ) -> dict:
     """Execute an L-tower ciphertext multiply end-to-end on the FEMU.
 
@@ -134,12 +154,21 @@ def run_functional_he_multiply(
     2. one batched multi-tower *pointwise* multiply pass;
     3. one batched multi-tower *inverse* NTT pass.
 
-    Functional results (the product's residue towers) are checked against
-    the software oracle, and the same three kernels run through the cycle
-    simulator so the report carries functional truth and modeled cost
-    side by side.
+    ``shards > 1`` (or an explicit
+    :class:`~repro.serve.sharding.ShardPool`) spreads each pass's batch
+    rows over worker processes, bit-identically.  Functional results (the
+    product's residue towers) are checked against the software oracle, and
+    the same three kernels run through the cycle simulator so the report
+    carries functional truth and modeled cost side by side.
     """
     vlen = min(vlen, n // 2)
+    if shards is None:
+        shards = pool.shards if pool is not None else 1
+    owned_pool = None
+    if shards > 1 and pool is None:
+        from repro.serve.sharding import ShardPool
+
+        pool = owned_pool = ShardPool(shards)
     fwd = generate_batched_ntt_program(
         n, num_towers=towers, direction="forward", vlen=vlen, q_bits=q_bits
     )
@@ -154,29 +183,39 @@ def run_functional_he_multiply(
     b_towers = [[rng.randrange(q) for _ in range(n)] for q in moduli]
 
     t0 = time.perf_counter()
-    # Pass 1: every tower of both operands through one forward pass.
-    fwd_rows = {
-        inp: [a_towers[k], b_towers[k]]
-        for k, (inp, _out) in enumerate(tower_regions(fwd))
-    }
-    read, fwd_stats, dtype_path = _run_batch(fwd, fwd_rows, 2, backend)
-    spectral = [read(out) for _inp, out in tower_regions(fwd)]
-    # Pass 2: NTT-domain product, all towers in one pass.
-    pw_rows = {}
-    for k, (a_reg, b_reg, _out) in enumerate(pw.metadata["tower_regions"]):
-        pw_rows[a_reg] = [spectral[k][0]]
-        pw_rows[b_reg] = [spectral[k][1]]
-    read, pw_stats, _ = _run_batch(pw, pw_rows, 1, backend)
-    products_hat = [
-        read(out)[0] for _a, _b, out in pw.metadata["tower_regions"]
-    ]
-    # Pass 3: back to coefficients, all towers in one pass.
-    inv_rows = {
-        inp: [products_hat[k]]
-        for k, (inp, _out) in enumerate(tower_regions(inv))
-    }
-    read, inv_stats, _ = _run_batch(inv, inv_rows, 1, backend)
-    product_towers = [read(out)[0] for _inp, out in tower_regions(inv)]
+    try:
+        # Pass 1: every tower of both operands through one forward pass.
+        fwd_rows = {
+            inp: [a_towers[k], b_towers[k]]
+            for k, (inp, _out) in enumerate(tower_regions(fwd))
+        }
+        read, fwd_stats, dtype_path, fwd_shards = _run_batch(
+            fwd, fwd_rows, 2, backend, shards, pool
+        )
+        spectral = [read(out) for _inp, out in tower_regions(fwd)]
+        # Pass 2: NTT-domain product, all towers in one pass.
+        pw_rows = {}
+        for k, (a_reg, b_reg, _out) in enumerate(pw.metadata["tower_regions"]):
+            pw_rows[a_reg] = [spectral[k][0]]
+            pw_rows[b_reg] = [spectral[k][1]]
+        read, pw_stats, _, pw_shards = _run_batch(
+            pw, pw_rows, 1, backend, shards, pool
+        )
+        products_hat = [
+            read(out)[0] for _a, _b, out in pw.metadata["tower_regions"]
+        ]
+        # Pass 3: back to coefficients, all towers in one pass.
+        inv_rows = {
+            inp: [products_hat[k]]
+            for k, (inp, _out) in enumerate(tower_regions(inv))
+        }
+        read, inv_stats, _, inv_shards = _run_batch(
+            inv, inv_rows, 1, backend, shards, pool
+        )
+        product_towers = [read(out)[0] for _inp, out in tower_regions(inv)]
+    finally:
+        if owned_pool is not None:
+            owned_pool.close()
     wall_s = time.perf_counter() - t0
 
     bit_exact = None
@@ -209,6 +248,14 @@ def run_functional_he_multiply(
         "towers": towers,
         "q_bits": q_bits,
         "backend": backend,
+        "shards": shards,
+        # A pass cannot use more shards than batch rows; these are the
+        # worker counts each pass actually ran on (fwd has batch=2).
+        "effective_shards": {
+            "forward": fwd_shards,
+            "pointwise": pw_shards,
+            "inverse": inv_shards,
+        },
         "dtype_path": dtype_path,
         "moduli": moduli,
         "product_towers": product_towers,

@@ -33,6 +33,12 @@ multi-limb int64 planes (:mod:`repro.modmath.limb`); there is no
 object-dtype fallback, and ``BatchExecutor.dtype_path`` reports which
 representation a program got.  ``make_simulator`` is the switchboard the
 eval drivers and benchmarks use.
+
+To scale a batch beyond one process, :mod:`repro.serve` shards
+``BatchExecutor`` batches across workers
+(:class:`~repro.serve.sharding.ShardedBatchExecutor`, bit-identical for
+every shard count) and fronts them with an asyncio request-coalescing
+loop (:class:`~repro.serve.loop.RpuServer`).
 """
 
 from repro.femu.executor import FunctionalSimulator

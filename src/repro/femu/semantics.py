@@ -18,6 +18,7 @@ defined.
 from __future__ import annotations
 
 import functools
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.isa.instructions import BFLY_CT, Instruction
@@ -35,7 +36,11 @@ class ExecutionStats:
     Both backends produce identical stats for the same program: a
     :class:`~repro.femu.vectorized.BatchExecutor` pass counts each
     instruction once regardless of the batch width, exactly like one scalar
-    run, so stats stay comparable across backends.
+    run, so stats stay comparable across backends.  The same convention
+    extends to the sharded executor (every shard runs the same program, so
+    one pass is still one pass) and lets multi-kernel primitives report a
+    single merged record: stats add field-by-field via ``+`` /
+    :meth:`merge`, e.g. a polymul's cost is ``fwd + pointwise + inverse``.
     """
 
     executed: int = 0
@@ -44,6 +49,43 @@ class ExecutionStats:
     )
     vdm_reads: int = 0
     vdm_writes: int = 0
+
+    def copy(self) -> "ExecutionStats":
+        """An independent copy (the ``by_class`` dict is not shared)."""
+        return ExecutionStats(
+            executed=self.executed,
+            by_class=dict(self.by_class),
+            vdm_reads=self.vdm_reads,
+            vdm_writes=self.vdm_writes,
+        )
+
+    def __add__(self, other: "ExecutionStats") -> "ExecutionStats":
+        if not isinstance(other, ExecutionStats):
+            return NotImplemented
+        by_class = {
+            k: self.by_class.get(k, 0) + other.by_class.get(k, 0)
+            for k in (*self.by_class, *other.by_class)
+        }
+        return ExecutionStats(
+            executed=self.executed + other.executed,
+            by_class=by_class,
+            vdm_reads=self.vdm_reads + other.vdm_reads,
+            vdm_writes=self.vdm_writes + other.vdm_writes,
+        )
+
+    def __radd__(self, other):
+        # Lets ``sum(stats_list)`` start from the int 0.
+        if other == 0:
+            return self.copy()
+        return NotImplemented
+
+    @classmethod
+    def merge(cls, stats: Iterable["ExecutionStats"]) -> "ExecutionStats":
+        """Field-wise sum of several pass records (empty input is all-zero)."""
+        total = cls()
+        for s in stats:
+            total = total + s
+        return total
 
 
 def count_instruction(stats: ExecutionStats, inst: Instruction) -> None:

@@ -44,6 +44,12 @@ their register's verdict into a per-address VDM map -- so in steady state
 only genuinely unknown data (fresh caller rows) pays a range scan, while
 fault behaviour stays identical to the scalar backend (a flagged operand
 provably cannot fault).
+
+Nothing couples the batch lanes: lane ``b`` of every register and of the
+VDM depends only on lane ``b`` of the caller's rows (scalar state is
+batch-invariant, see above).  That makes the batch axis embarrassingly
+parallel, which :mod:`repro.serve.sharding` exploits to cut one batch
+across worker processes bit-identically.
 """
 
 from __future__ import annotations
@@ -223,7 +229,19 @@ class BatchExecutor:
     def _widen_for(self, values) -> None:
         """Grow the limb count so arbitrary caller data stays exact."""
         bits = max(abs(int(v)).bit_length() for row in values for v in row)
-        new_k = max(limbs_for_bits(bits), self._limb_k or 0)
+        self._widen_to(limbs_for_bits(bits))
+
+    def _widen_to(self, new_k: int) -> None:
+        """Switch to (or grow) the ``new_k``-limb representation.
+
+        Idempotent and never shrinking.  Exposed (privately) so the sharded
+        executor can pin every shard to the representation the whole batch
+        needs, keeping per-shard state layouts -- and ``dtype_path`` --
+        identical to one single-process :class:`BatchExecutor`.
+        """
+        new_k = max(new_k, self._limb_k or 0)
+        if new_k == self._limb_k:
+            return
         if self._limb_k is None:
             # int64 lanes -> limb planes; existing state decomposes exactly.
             self.vdm = decompose(self.vdm, new_k)

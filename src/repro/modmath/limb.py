@@ -38,11 +38,25 @@ of equal bit length (the RNS-tower case: row ``i`` of the operands
 reduces mod ``moduli[i]``).  Equal bit lengths let every row share the
 Barrett slice points, so a whole tower stack still executes as one
 sequence of array sweeps.
+
+Canonicality: every engine operation takes canonical residues
+(``0 <= x < q``) and returns canonical residues -- the correction
+subtracts at the end of each reduction guarantee it.  That closure is
+what the FEMU's *canonicality ledger*
+(:mod:`repro.femu.vectorized`) builds on: once an operand is known
+canonical, engine results are canonical by construction and need no
+range scan; only fresh caller data pays :meth:`LimbEngine.noncanonical_mask`.
+Engines are shared across executors via :func:`cached_engine` (same
+modulus, same instance); their constants are immutable and their scratch
+arenas are *thread-local*, so concurrently executing kernels -- e.g. two
+coalesced serving batches flushing in parallel threads -- cannot corrupt
+each other's staging buffers.
 """
 
 from __future__ import annotations
 
 import functools
+import threading
 from collections.abc import Sequence
 
 import numpy as np
@@ -271,12 +285,18 @@ class LimbEngine:
             if len(mods) == 1
             else None
         )
-        self._scratch: dict[tuple[int, ...], dict[str, np.ndarray]] = {}
+        # Per-thread scratch: engines are shared via cached_engine (same
+        # modulus => same instance), and the serving loop runs coalesced
+        # batches in concurrent threads -- shared arenas would race.
+        self._scratch = threading.local()
 
     def _buf(self, shape: tuple[int, ...]) -> dict[str, np.ndarray]:
         """Per-lane-shape scratch arena: reused across calls so the hot
-        loop allocates only its results (no mmap/page-fault churn)."""
-        bufs = self._scratch.get(shape)
+        loop allocates only its results (no mmap/page-fault churn).
+        Thread-local, so concurrently executing kernels that share this
+        engine never write into each other's staging buffers."""
+        cache = self._scratch.__dict__.setdefault("bufs", {})
+        bufs = cache.get(shape)
         if bufs is None:
             k = self.k
 
@@ -295,7 +315,7 @@ class LimbEngine:
                 "m": np.empty((1,) + shape, dtype=bool),
                 "m2": np.empty((2,) + shape, dtype=bool),
             }
-            self._scratch[shape] = bufs
+            cache[shape] = bufs
         return bufs
 
     def _prep(self, *arrays: np.ndarray):

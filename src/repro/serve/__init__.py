@@ -1,0 +1,53 @@
+"""Sharded multi-process batch serving for the FEMU.
+
+The batch axis of :class:`~repro.femu.vectorized.BatchExecutor` is
+embarrassingly parallel: B independent requests flow through one
+instruction stream, and nothing couples the lanes.  This package exploits
+that in two layers:
+
+* :mod:`repro.serve.sharding` -- :class:`ShardedBatchExecutor` partitions
+  a batch across N worker processes (a persistent :class:`ShardPool`),
+  each running the existing vectorized/limb backend over its slice of the
+  batch, with shared-memory int64 planes carrying region data in and the
+  merged VDM planes out.  Output rows, :class:`ExecutionStats` and faults
+  are bit-identical to the single-process executor for every shard count.
+* :mod:`repro.serve.loop` -- :class:`RpuServer`, an asyncio front-end
+  that accepts NTT / polynomial-multiply / HE-multiply requests
+  (:mod:`repro.serve.requests`), coalesces compatible requests into
+  batches under a latency budget, dispatches them to the shard pool, and
+  returns per-request results with merged stats.
+
+The sharded mode is threaded through the stack: ``Rpu.run(...,
+shards=N)`` / ``Rpu.run_batch``, ``RpuPipeline(..., shards=N)`` and
+``repro.eval.he_pipeline.run_functional_he_multiply(..., shards=N)`` all
+route their functional execution through this package.  See
+``docs/backends.md`` for the knob and ``docs/architecture.md`` for where
+the layer sits.
+"""
+
+from repro.serve.loop import RpuServer, ServeConfig
+from repro.serve.requests import (
+    HeMultiplyRequest,
+    NttRequest,
+    PolymulRequest,
+    ServeResult,
+    he_group_moduli,
+)
+from repro.serve.sharding import (
+    ShardedBatchExecutor,
+    ShardPool,
+    partition_batch,
+)
+
+__all__ = [
+    "HeMultiplyRequest",
+    "NttRequest",
+    "PolymulRequest",
+    "RpuServer",
+    "ServeConfig",
+    "ServeResult",
+    "ShardPool",
+    "ShardedBatchExecutor",
+    "he_group_moduli",
+    "partition_batch",
+]

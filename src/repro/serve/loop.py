@@ -1,0 +1,198 @@
+"""Asyncio serving front-end: coalesce requests, dispatch to shards.
+
+:class:`RpuServer` is the low-latency dispatch loop in front of the fast
+compute core (the nanoPU framing from PAPERS.md): clients ``await`` ring
+primitives; the server groups compatible requests -- same
+:attr:`~repro.serve.requests.NttRequest.group_key` -- that arrive within
+a small latency budget into one batch, runs the batch over the shard
+pool, and resolves each client's future with its own slice of the result
+plus merged :class:`~repro.femu.ExecutionStats`.
+
+Coalescing policy: the first request of a group opens a window of
+``batch_window_s`` seconds; the group flushes when the window closes or
+when ``max_batch`` requests have gathered, whichever is first.  Each
+flush is one :func:`~repro.serve.requests.execute_group` call, run in a
+worker thread so the event loop keeps accepting requests while the FEMU
+crunches.  The shard pool serializes concurrent flushes internally, and
+is forked at :meth:`start` -- before any helper thread exists -- so the
+``fork`` start method stays safe.
+
+Usage::
+
+    async with RpuServer(ServeConfig(shards=4)) as server:
+        result = await server.polymul(a, b, q_bits=32)
+        print(result.output, result.batched_with, result.stats.executed)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.serve.requests import (
+    HeMultiplyRequest,
+    NttRequest,
+    PolymulRequest,
+    Request,
+    ServeResult,
+    execute_group,
+)
+from repro.serve.sharding import ShardPool
+
+__all__ = ["RpuServer", "ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-loop knobs.
+
+    Attributes:
+        shards: worker processes per dispatched batch; ``1`` executes
+            inline in the dispatch thread (no pool, no IPC).
+        max_batch: flush a group as soon as this many requests coalesced.
+        batch_window_s: latency budget -- how long the first request of a
+            group waits for company before the batch flushes.
+        start_method: multiprocessing start method for the pool
+            (``None`` picks ``fork`` where available).
+    """
+
+    shards: int = 1
+    max_batch: int = 8
+    batch_window_s: float = 0.002
+    start_method: str | None = None
+
+
+@dataclass
+class _PendingGroup:
+    requests: list[Request] = field(default_factory=list)
+    futures: list[asyncio.Future] = field(default_factory=list)
+    timer: asyncio.Task | None = None
+
+
+class RpuServer:
+    """Accepts ring-primitive requests and serves them in coalesced batches.
+
+    Start with :meth:`start` (or ``async with``); submit via
+    :meth:`submit` or the typed conveniences :meth:`ntt`,
+    :meth:`polymul`, :meth:`he_multiply`.  Every awaited call returns a
+    :class:`~repro.serve.requests.ServeResult`.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self._pool: ShardPool | None = None
+        self._groups: dict[tuple, _PendingGroup] = {}
+        self._flushes: set[asyncio.Task] = set()
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "RpuServer":
+        """Fork the shard pool (before any helper threads exist)."""
+        if self._started:
+            return self
+        if self.config.shards > 1:
+            self._pool = ShardPool(
+                self.config.shards, start_method=self.config.start_method
+            )
+        self._started = True
+        return self
+
+    async def aclose(self) -> None:
+        """Flush nothing further; fail pending requests; stop the pool."""
+        self._closed = True
+        for group in self._groups.values():
+            if group.timer is not None:
+                group.timer.cancel()
+            for fut in group.futures:
+                if not fut.done():
+                    fut.set_exception(RuntimeError("server closed"))
+        self._groups.clear()
+        if self._flushes:
+            await asyncio.gather(*self._flushes, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    async def __aenter__(self) -> "RpuServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- client surface ----------------------------------------------------
+    async def submit(self, request: Request) -> ServeResult:
+        """Enqueue one request; resolves when its batch has executed."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if not self._started:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        key = request.group_key
+        group = self._groups.get(key)
+        if group is None:
+            group = _PendingGroup()
+            self._groups[key] = group
+            group.timer = asyncio.create_task(self._window(key))
+        group.requests.append(request)
+        group.futures.append(future)
+        if len(group.requests) >= self.config.max_batch:
+            self._flush(key)
+        return await future
+
+    async def ntt(self, values, **kwargs) -> ServeResult:
+        return await self.submit(NttRequest(values=tuple(values), **kwargs))
+
+    async def polymul(self, a, b, **kwargs) -> ServeResult:
+        return await self.submit(
+            PolymulRequest(a=tuple(a), b=tuple(b), **kwargs)
+        )
+
+    async def he_multiply(self, a_towers, b_towers, **kwargs) -> ServeResult:
+        return await self.submit(
+            HeMultiplyRequest(
+                a_towers=tuple(tuple(t) for t in a_towers),
+                b_towers=tuple(tuple(t) for t in b_towers),
+                **kwargs,
+            )
+        )
+
+    # -- coalescing --------------------------------------------------------
+    async def _window(self, key: tuple) -> None:
+        """Latency budget: flush whatever gathered when the window closes."""
+        try:
+            await asyncio.sleep(self.config.batch_window_s)
+        except asyncio.CancelledError:
+            return
+        self._flush(key)
+
+    def _flush(self, key: tuple) -> None:
+        """Detach the pending group and execute it in a worker thread."""
+        group = self._groups.pop(key, None)
+        if group is None or not group.requests:
+            return
+        timer = group.timer
+        if (
+            timer is not None
+            and timer is not asyncio.current_task()
+            and not timer.done()
+        ):
+            timer.cancel()
+        task = asyncio.create_task(self._execute(group))
+        self._flushes.add(task)
+        task.add_done_callback(self._flushes.discard)
+
+    async def _execute(self, group: _PendingGroup) -> None:
+        try:
+            results = await asyncio.to_thread(
+                execute_group, group.requests, self.config.shards, self._pool
+            )
+        except BaseException as exc:  # noqa: BLE001 - fan the failure out
+            for fut in group.futures:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        for fut, result in zip(group.futures, results):
+            if not fut.done():
+                fut.set_result(result)

@@ -1,0 +1,375 @@
+"""Request/result types and batch assembly for the serving loop.
+
+A request names a complete ring primitive (one NTT, one negacyclic
+polynomial multiply, one L-tower HE ciphertext multiply) plus the kernel
+parameters that determine which generated programs can carry it.
+Requests with equal :attr:`group_key` are *coalescable*: they execute as
+extra batch rows of the same program passes, which is exactly the axis
+:class:`~repro.serve.sharding.ShardedBatchExecutor` spreads over worker
+processes.
+
+:func:`execute_group` is the synchronous dispatch core the asyncio loop
+calls from a worker thread: it assembles the coalesced batch, runs the
+program pass(es), and splits per-request :class:`ServeResult`\\ s back
+out, each carrying the merged :class:`ExecutionStats` of every pass that
+served it (stats count program passes, not batch rows -- see
+:class:`repro.femu.ExecutionStats`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.femu.semantics import ExecutionStats
+from repro.serve.sharding import ShardedBatchExecutor, ShardPool
+from repro.spiral.batched import generate_batched_ntt_program, tower_regions
+from repro.spiral.kernels import generate_ntt_program
+from repro.spiral.pointwise import (
+    b_region,
+    generate_batched_pointwise_program,
+    generate_pointwise_program,
+)
+
+__all__ = [
+    "HeMultiplyRequest",
+    "NttRequest",
+    "PolymulRequest",
+    "ServeResult",
+    "execute_group",
+    "he_group_moduli",
+]
+
+
+def _clamp_vlen(n: int, vlen: int) -> int:
+    """NTT kernels need ``n >= 2*vlen``; small test rings clamp down."""
+    return min(vlen, n // 2)
+
+
+@dataclass(frozen=True)
+class NttRequest:
+    """One n-point negacyclic NTT (forward: natural in, bit-reversed out)."""
+
+    values: tuple[int, ...]
+    direction: str = "forward"
+    q: int | None = None
+    q_bits: int = 128
+    vlen: int = 512
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError("values must be non-empty")
+        if self.direction not in ("forward", "inverse"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def group_key(self) -> tuple:
+        return ("ntt", self.n, self.direction, self.q, self.q_bits, self.vlen)
+
+
+@dataclass(frozen=True)
+class PolymulRequest:
+    """c = a * b in Z_q[x]/(x^n + 1): two forward NTTs, pointwise, inverse."""
+
+    a: tuple[int, ...]
+    b: tuple[int, ...]
+    q: int | None = None
+    q_bits: int = 128
+    vlen: int = 512
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "a", tuple(self.a))
+        object.__setattr__(self, "b", tuple(self.b))
+        if not self.a or len(self.a) != len(self.b):
+            raise ValueError("operands must be non-empty and of equal length")
+
+    @property
+    def n(self) -> int:
+        return len(self.a)
+
+    @property
+    def group_key(self) -> tuple:
+        return ("polymul", self.n, self.q, self.q_bits, self.vlen)
+
+
+@dataclass(frozen=True)
+class HeMultiplyRequest:
+    """One L-tower ciphertext multiply (the three-pass HE primitive).
+
+    Tower residues must be canonical for the group's generated RNS basis;
+    obtain the moduli with :func:`he_group_moduli` before building data.
+    """
+
+    a_towers: tuple[tuple[int, ...], ...]
+    b_towers: tuple[tuple[int, ...], ...]
+    q_bits: int = 128
+    vlen: int = 512
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "a_towers", tuple(tuple(t) for t in self.a_towers)
+        )
+        object.__setattr__(
+            self, "b_towers", tuple(tuple(t) for t in self.b_towers)
+        )
+        if not self.a_towers or len(self.a_towers) != len(self.b_towers):
+            raise ValueError("operand tower counts must match and be >= 1")
+        lengths = {len(t) for t in (*self.a_towers, *self.b_towers)}
+        if len(lengths) != 1:
+            raise ValueError("every tower must have the same ring degree")
+
+    @property
+    def n(self) -> int:
+        return len(self.a_towers[0])
+
+    @property
+    def towers(self) -> int:
+        return len(self.a_towers)
+
+    @property
+    def group_key(self) -> tuple:
+        return ("he", self.n, self.towers, self.q_bits, self.vlen)
+
+
+Request = NttRequest | PolymulRequest | HeMultiplyRequest
+
+
+def he_group_moduli(
+    n: int, towers: int, q_bits: int = 128, vlen: int = 512
+) -> tuple[int, ...]:
+    """The RNS moduli an :class:`HeMultiplyRequest` group executes under.
+
+    Derived from the (cached) batched forward kernel, so clients can build
+    canonical residues for exactly the basis the server will use.
+    """
+    fwd = generate_batched_ntt_program(
+        n,
+        num_towers=towers,
+        direction="forward",
+        vlen=_clamp_vlen(n, vlen),
+        q_bits=q_bits,
+    )
+    return tuple(fwd.metadata["moduli"][k + 1] for k in range(towers))
+
+
+@dataclass
+class ServeResult:
+    """Per-request outcome returned by the serving loop.
+
+    Attributes:
+        output: the primitive's result -- coefficient row for NTT/polymul,
+            one residue row per tower for HE multiplies.
+        stats: merged :class:`ExecutionStats` over every program pass that
+            served this request (each pass counted once, like one
+            :class:`BatchExecutor` run, regardless of coalesced width).
+        dtype_path: element representation the engine chose.
+        shards: effective worker count the batch was spread over.
+        batched_with: total requests coalesced into the same dispatch.
+        wall_s: wall-clock seconds of the whole dispatched group.
+    """
+
+    output: list
+    stats: ExecutionStats
+    dtype_path: str
+    shards: int
+    batched_with: int
+    wall_s: float = 0.0
+
+
+def _run_pass(
+    program,
+    region_rows: dict,
+    batch: int,
+    shards: int,
+    pool: ShardPool | None,
+) -> tuple[ShardedBatchExecutor, ExecutionStats]:
+    ex = ShardedBatchExecutor(program, batch=batch, shards=shards, pool=pool)
+    for region, rows in region_rows.items():
+        ex.write_region(region, rows)
+    stats = ex.run()
+    return ex, stats
+
+
+def _execute_ntt(
+    requests: Sequence[NttRequest], shards: int, pool: ShardPool | None
+) -> list[ServeResult]:
+    req0 = requests[0]
+    program = generate_ntt_program(
+        req0.n,
+        req0.direction,
+        vlen=_clamp_vlen(req0.n, req0.vlen),
+        q_bits=req0.q_bits,
+        q=req0.q,
+    )
+    rows = [list(r.values) for r in requests]
+    ex, stats = _run_pass(
+        program, {program.input_region: rows}, len(rows), shards, pool
+    )
+    outs = ex.read_region(program.output_region)
+    ex.close()
+    return [
+        ServeResult(
+            output=out,
+            stats=stats.copy(),
+            dtype_path=ex.dtype_path,
+            shards=ex.shards,
+            batched_with=len(requests),
+        )
+        for out in outs
+    ]
+
+
+def _execute_polymul(
+    requests: Sequence[PolymulRequest], shards: int, pool: ShardPool | None
+) -> list[ServeResult]:
+    req0 = requests[0]
+    count = len(requests)
+    vlen = _clamp_vlen(req0.n, req0.vlen)
+    fwd = generate_ntt_program(
+        req0.n, "forward", vlen=vlen, q_bits=req0.q_bits, q=req0.q
+    )
+    inv = generate_ntt_program(
+        req0.n, "inverse", vlen=vlen, q_bits=req0.q_bits, q=req0.q
+    )
+    modulus = fwd.metadata["modulus"]
+    pw = generate_pointwise_program(
+        req0.n, "mul", vlen=vlen, q_bits=req0.q_bits, q=modulus
+    )
+    # Pass 1: both operands of every request through one forward batch
+    # (a-block rows first, then the b-block).
+    fwd_rows = [list(r.a) for r in requests] + [list(r.b) for r in requests]
+    ex, fwd_stats = _run_pass(
+        fwd, {fwd.input_region: fwd_rows}, 2 * count, shards, pool
+    )
+    spectral = ex.read_region(fwd.output_region)
+    ex.close()
+    # Pass 2: NTT-domain products.
+    ex, pw_stats = _run_pass(
+        pw,
+        {
+            pw.input_region: spectral[:count],
+            b_region(pw): spectral[count:],
+        },
+        count,
+        shards,
+        pool,
+    )
+    products_hat = ex.read_region(pw.output_region)
+    ex.close()
+    # Pass 3: back to coefficients.
+    ex, inv_stats = _run_pass(
+        inv, {inv.input_region: products_hat}, count, shards, pool
+    )
+    outputs = ex.read_region(inv.output_region)
+    dtype_path = ex.dtype_path
+    eff_shards = ex.shards
+    ex.close()
+    merged = fwd_stats + pw_stats + inv_stats
+    return [
+        ServeResult(
+            output=out,
+            stats=merged.copy(),
+            dtype_path=dtype_path,
+            shards=eff_shards,
+            batched_with=count,
+        )
+        for out in outputs
+    ]
+
+
+def _execute_he(
+    requests: Sequence[HeMultiplyRequest], shards: int, pool: ShardPool | None
+) -> list[ServeResult]:
+    req0 = requests[0]
+    count = len(requests)
+    n, towers = req0.n, req0.towers
+    vlen = _clamp_vlen(n, req0.vlen)
+    fwd = generate_batched_ntt_program(
+        n, num_towers=towers, direction="forward", vlen=vlen, q_bits=req0.q_bits
+    )
+    inv = generate_batched_ntt_program(
+        n, num_towers=towers, direction="inverse", vlen=vlen, q_bits=req0.q_bits
+    )
+    moduli = he_group_moduli(n, towers, q_bits=req0.q_bits, vlen=req0.vlen)
+    pw = generate_batched_pointwise_program(n, moduli, "mul", vlen=vlen)
+    # Pass 1: all towers of both operands of every request, one batch of
+    # 2*count rows per tower region (a-block rows first, then b-block).
+    # The count=1 shape of this three-pass flow also lives in
+    # repro.eval.he_pipeline.run_functional_he_multiply; both are pinned
+    # to the same software oracle by their tests.
+    fwd_rows = {
+        inp: [list(r.a_towers[k]) for r in requests]
+        + [list(r.b_towers[k]) for r in requests]
+        for k, (inp, _out) in enumerate(tower_regions(fwd))
+    }
+    ex, fwd_stats = _run_pass(fwd, fwd_rows, 2 * count, shards, pool)
+    spectral = [ex.read_region(out) for _inp, out in tower_regions(fwd)]
+    ex.close()
+    # Pass 2: NTT-domain product, all towers in one pass of count rows.
+    pw_rows = {}
+    for k, (a_reg, breg, _out) in enumerate(pw.metadata["tower_regions"]):
+        pw_rows[a_reg] = spectral[k][:count]
+        pw_rows[breg] = spectral[k][count:]
+    ex, pw_stats = _run_pass(pw, pw_rows, count, shards, pool)
+    products_hat = [
+        ex.read_region(out) for _a, _b, out in pw.metadata["tower_regions"]
+    ]
+    ex.close()
+    # Pass 3: back to coefficients.
+    inv_rows = {
+        inp: products_hat[k]
+        for k, (inp, _out) in enumerate(tower_regions(inv))
+    }
+    ex, inv_stats = _run_pass(inv, inv_rows, count, shards, pool)
+    product_towers = [ex.read_region(out) for _inp, out in tower_regions(inv)]
+    dtype_path = ex.dtype_path
+    eff_shards = ex.shards
+    ex.close()
+    merged = fwd_stats + pw_stats + inv_stats
+    return [
+        ServeResult(
+            output=[product_towers[k][r] for k in range(towers)],
+            stats=merged.copy(),
+            dtype_path=dtype_path,
+            shards=eff_shards,
+            batched_with=count,
+        )
+        for r in range(count)
+    ]
+
+
+_EXECUTORS = {
+    NttRequest: _execute_ntt,
+    PolymulRequest: _execute_polymul,
+    HeMultiplyRequest: _execute_he,
+}
+
+
+def execute_group(
+    requests: Sequence[Request],
+    shards: int = 1,
+    pool: ShardPool | None = None,
+) -> list[ServeResult]:
+    """Run one coalesced group of same-key requests; results in order.
+
+    The synchronous core of the serving loop, also usable directly for
+    offline batch jobs.  All requests must share one :attr:`group_key`.
+    """
+    if not requests:
+        return []
+    keys = {r.group_key for r in requests}
+    if len(keys) != 1:
+        raise ValueError(f"cannot coalesce mixed request groups: {keys}")
+    execute = _EXECUTORS[type(requests[0])]
+    t0 = time.perf_counter()
+    results = execute(requests, shards, pool)
+    wall_s = time.perf_counter() - t0
+    for result in results:
+        result.wall_s = wall_s
+    return results

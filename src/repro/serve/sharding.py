@@ -1,0 +1,582 @@
+"""Multi-process sharding of :class:`BatchExecutor` batches.
+
+One :class:`BatchExecutor` pass runs B independent inputs through one
+instruction stream; nothing couples the batch lanes.  So a batch of B
+rows can be cut into N contiguous spans and executed by N worker
+processes -- each running the unmodified vectorized/limb backend over its
+span -- and the concatenated results are *bit-identical* to the
+single-process pass.  This module provides that split:
+
+* :func:`partition_batch` -- the deterministic span arithmetic (first
+  ``batch % shards`` spans get the extra row; empty spans are dropped, so
+  a batch smaller than the shard count simply uses fewer workers).
+* :class:`ShardPool` -- N persistent worker processes connected by pipes.
+  Programs are pickled to a worker once (keyed, cached worker-side);
+  per-run traffic is shared-memory names plus a few integers.
+* :class:`ShardedBatchExecutor` -- the ``write_region`` / ``run`` /
+  ``read_region`` surface of :class:`BatchExecutor`, dispatching to a
+  pool.  ``shards=1`` (with no external pool) runs inline in-process;
+  otherwise region data travels as shared-memory int64 planes -- decomposed
+  limb planes for wide values -- and every worker writes its row span of
+  the final VDM into one shared ``(k, B, vdm_size)`` plane set, which the
+  master then serves ``read_region`` calls from.
+
+Equivalence contract (enforced by ``tests/test_sharding.py``): outputs
+element-for-element equal, identical :class:`ExecutionStats` (one program
+pass is one pass, however many shards ran it), identical ``dtype_path``
+(the master pins every shard to the representation the *whole* batch
+needs, via :meth:`BatchExecutor._widen_to`), and identical faults -- each
+worker reports the dynamic instruction index at which it faulted, and the
+master re-raises the fault that the single-process scan would have hit
+first (lowest instruction index, then lowest shard, i.e. row-major).
+
+Workers default to the ``fork`` start method where available: it is fast,
+and it shares one shared-memory resource tracker between master and
+workers so attach/unlink bookkeeping stays clean.  ``spawn`` works too
+(the worker entry point is importable) but may log harmless
+resource-tracker warnings at worker exit on Python < 3.13.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import traceback
+import weakref
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.femu.semantics import (
+    ExecutionStats,
+    SimulationFault,
+    resolve_vdm_size,
+)
+from repro.femu.vectorized import BatchExecutor
+from repro.isa.program import Program, RegionSpec
+from repro.modmath.limb import LIMB_BITS, compose, decompose, limbs_for_bits
+from repro.modmath.vectorized import fits_int64
+
+__all__ = ["ShardPool", "ShardedBatchExecutor", "partition_batch"]
+
+
+def partition_batch(batch: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` row spans of a batch over ``shards``.
+
+    The first ``batch % shards`` spans carry one extra row; spans are never
+    empty (``shards`` is clamped to ``batch``), so ``len(result) ==
+    min(batch, shards)`` and the spans tile ``range(batch)`` in order.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    shards = min(shards, batch)
+    base, extra = divmod(batch, shards)
+    spans = []
+    start = 0
+    for i in range(shards):
+        width = base + (1 if i < extra else 0)
+        spans.append((start, start + width))
+        start += width
+    return spans
+
+
+_FAULT_TYPES: dict[str, type[Exception]] = {
+    "SimulationFault": SimulationFault,
+    "IndexError": IndexError,
+    "ValueError": ValueError,
+    "OverflowError": OverflowError,
+}
+
+
+def _attach(name: str, untrack: bool) -> shared_memory.SharedMemory:
+    """Attach to a master-owned block without claiming cleanup duty.
+
+    Under ``fork`` the workers share the master's resource tracker (the
+    pool starts it pre-fork), so the master's create/unlink bookkeeping is
+    the single source of truth.  Under ``spawn`` each worker has a private
+    tracker that would try to "clean up" the master's blocks at worker
+    exit; ``untrack`` drops that registration.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if untrack:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - bookkeeping only
+            pass
+    return shm
+
+
+def _write_planes(ex: BatchExecutor, region: RegionSpec, planes) -> None:
+    """Place pre-decomposed caller planes into a VDM region.
+
+    Equivalent to ``ex.write_region(region, rows)`` for rows the master
+    has already validated and decomposed with the executor's exact
+    representation (``_widen_to`` ran first): same state write, same
+    canonicality-ledger invalidation -- without composing the planes back
+    into Python bigints only to re-decompose them.
+    """
+    span = slice(region.base, region.base + region.length)
+    if ex._limb_k is None:
+        ex.vdm[:, span] = planes
+    else:
+        ex.vdm[:, :, span] = planes
+    if ex._vdm_canon is not None:
+        # Caller data is unknown; the first load of it pays the scan.
+        ex._vdm_canon[span] = False
+
+
+def _run_in_worker(programs: dict, msg: tuple, untrack: bool) -> tuple:
+    """Execute one ("run", ...) message; returns the reply tuple."""
+    (_tag, key, vdm_size, start, stop, limb_k, inputs, out_name, out_shape) = msg
+    ex = BatchExecutor(programs[key], batch=stop - start, vdm_size=vdm_size)
+    if limb_k is not None:
+        ex._widen_to(limb_k)
+    try:
+        for region, shm_name, shape in inputs:
+            shm = _attach(shm_name, untrack)
+            try:
+                arr = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+                planes = (
+                    arr[start:stop] if arr.ndim == 2 else arr[:, start:stop]
+                )
+                _write_planes(ex, region, planes)
+            finally:
+                shm.close()
+        stats = ex.run()
+    except tuple(_FAULT_TYPES.values()) as exc:
+        return (
+            "fault",
+            type(exc).__name__,
+            str(exc),
+            ex.stats.executed,
+            ex.stats,
+        )
+    if (limb_k is None) != (ex._limb_k is None) or (
+        limb_k is not None and ex._limb_k != limb_k
+    ):
+        return (
+            "error",
+            f"worker representation {ex.dtype_path} drifted from the "
+            f"master's plan (limb_k={limb_k})",
+        )
+    out_shm = _attach(out_name, untrack)
+    try:
+        out = np.ndarray(out_shape, dtype=np.int64, buffer=out_shm.buf)
+        if limb_k is None:
+            out[start:stop] = ex.vdm
+        else:
+            out[:, start:stop] = ex.vdm
+    finally:
+        out_shm.close()
+    return ("ok", stats, ex.dtype_path)
+
+
+def _shard_worker(conn, untrack_shm: bool = False) -> None:
+    """Worker main loop: cache programs, execute run requests until close."""
+    programs: dict[int, Program] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        tag = msg[0]
+        if tag == "close":
+            break
+        if tag == "program":
+            programs[msg[1]] = msg[2]
+            continue
+        try:
+            reply = _run_in_worker(programs, msg, untrack_shm)
+        except BaseException:  # keep the worker alive; master re-raises
+            reply = ("error", traceback.format_exc())
+        conn.send(reply)
+    conn.close()
+
+
+def _shutdown(procs: list, conns: list) -> None:
+    """Finalizer: ask workers to exit, then make sure they did."""
+    for conn in conns:
+        try:
+            conn.send(("close",))
+        except (BrokenPipeError, OSError):
+            pass
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for proc in procs:
+        proc.join(timeout=2)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2)
+
+
+class ShardPool:
+    """N persistent FEMU worker processes, reusable across programs/runs.
+
+    Construction forks the workers immediately (do it before starting
+    helper threads); :meth:`close` -- or garbage collection, or interpreter
+    exit -- shuts them down.  The pool is thread-safe: one dispatch holds
+    the pipes end to end, so concurrent callers (e.g. two serving groups
+    flushing at once) serialize rather than interleave.
+    """
+
+    def __init__(self, shards: int, start_method: str | None = None) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if start_method is None and "fork" in mp.get_all_start_methods():
+            start_method = "fork"
+        ctx = mp.get_context(start_method)
+        forked = ctx.get_start_method() == "fork"
+        if forked:
+            # Start the shared-memory resource tracker *before* forking so
+            # every worker inherits it; one tracker then sees the master's
+            # create/unlink pairs and the workers' attaches consistently.
+            resource_tracker.ensure_running()
+        self._procs = []
+        self._conns = []
+        for i in range(shards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child, not forked),
+                name=f"rpu-shard-{i}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+        self._known: list[set[int]] = [set() for _ in range(shards)]
+        self._programs: dict[int, tuple[int, Program]] = {}
+        self._next_key = 0
+        self._lock = threading.Lock()
+        self._finalizer = weakref.finalize(
+            self, _shutdown, self._procs, self._conns
+        )
+
+    @property
+    def shards(self) -> int:
+        return len(self._procs)
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def _key_for(self, program: Program) -> int:
+        """Stable key for a program; holds a reference so ids cannot alias."""
+        entry = self._programs.get(id(program))
+        if entry is not None:
+            return entry[0]
+        key = self._next_key
+        self._next_key += 1
+        self._programs[id(program)] = (key, program)
+        return key
+
+    def dispatch(
+        self, program: Program, jobs: list[tuple[int, tuple]]
+    ) -> list[tuple]:
+        """Send one run payload per ``(worker_index, payload)`` job.
+
+        The program is pickled to each participating worker at most once
+        (cached by key).  All sends complete before the first receive, so
+        the workers execute concurrently; replies come back in job order.
+
+        A send/recv failure mid-dispatch (a worker died) poisons the whole
+        pool: surviving workers may hold queued replies that would pair
+        with the *next* dispatch's jobs, so the pool closes itself rather
+        than serve silently desynchronized results.
+        """
+        if self.closed:
+            raise RuntimeError("ShardPool is closed")
+        with self._lock:
+            try:
+                key = self._key_for(program)
+                for idx, _payload in jobs:
+                    if key not in self._known[idx]:
+                        self._conns[idx].send(("program", key, program))
+                        self._known[idx].add(key)
+                for idx, payload in jobs:
+                    self._conns[idx].send(("run", key) + payload)
+                replies = []
+                for idx, _payload in jobs:
+                    try:
+                        replies.append(self._conns[idx].recv())
+                    except (EOFError, OSError) as exc:
+                        raise RuntimeError(
+                            f"shard worker {idx} died mid-dispatch"
+                        ) from exc
+                return replies
+            except RuntimeError:
+                self._finalizer()
+                raise
+            except OSError as exc:  # a worker's pipe broke mid-send
+                self._finalizer()
+                raise RuntimeError(
+                    "shard pool lost a worker mid-dispatch"
+                ) from exc
+
+    def close(self) -> None:
+        self._finalizer()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ShardedBatchExecutor:
+    """A :class:`BatchExecutor` whose batch is spread over worker processes.
+
+    Same surface and same contract as the single-process executor::
+
+        ex = ShardedBatchExecutor(program, batch=16, shards=4)
+        ex.write_region(program.input_region, sixteen_rows)
+        ex.run()
+        outs = ex.read_region(program.output_region)   # 16 result rows
+        ex.close()
+
+    ``shards=1`` with no external ``pool`` runs inline (zero process
+    overhead -- the plain :class:`BatchExecutor` path); any other
+    configuration dispatches row spans to a :class:`ShardPool`, which can
+    be shared across executors (the serving loop does) or owned by this
+    instance (created on demand, closed by :meth:`close`).
+
+    Unlike :class:`BatchExecutor`, construction does not materialize
+    state; each :meth:`run` executes the staged inputs from scratch, so
+    the object describes *a batch*, not a machine.  Outputs, stats,
+    ``dtype_path`` and faults are bit-identical to the single-process
+    executor for every shard count (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        batch: int = 1,
+        shards: int | None = None,
+        vdm_size: int | None = None,
+        pool: ShardPool | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if shards is None:
+            # Unspecified: use the whole pool when one is supplied
+            # (that's what handing over a pool means), else run inline.
+            shards = pool.shards if pool is not None else 1
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.program = program
+        self.batch = batch
+        self.vlen = program.vlen
+        self.vdm_size = resolve_vdm_size(program, vdm_size)
+        self.stats = ExecutionStats()
+        self.requested_shards = shards
+        self._staged: dict[RegionSpec, list[list[int]]] = {}
+        self._inline: BatchExecutor | None = None
+        self._out: np.ndarray | None = None
+        self._out_k: int | None = None
+        self._dtype_path: str | None = None
+        self._owns_pool = False
+        if pool is not None:
+            shards = min(shards, pool.shards)
+        self._spans = partition_batch(batch, shards)
+        self._pool = pool
+        self._start_method = start_method
+
+    @property
+    def shards(self) -> int:
+        """Effective shard count (spans actually dispatched)."""
+        return len(self._spans)
+
+    # -- representation ----------------------------------------------------
+    def _representation(self) -> int | None:
+        """The limb count one single-process pass would settle on.
+
+        Replicates :meth:`BatchExecutor._select_limbs` plus the data-driven
+        widening of ``write_region`` over *all* staged rows, so every shard
+        can be pinned to the same representation up front.
+        """
+        k0 = BatchExecutor._select_limbs(self.program)
+        lo = hi = 0
+        for rows in self._staged.values():
+            for row in rows:
+                if row:
+                    lo = min(lo, min(row))
+                    hi = max(hi, max(row))
+        if k0 is None and fits_int64(lo, hi):
+            return None
+        bits = max(abs(lo).bit_length(), abs(hi).bit_length(), 1)
+        return max(k0 or 0, limbs_for_bits(bits))
+
+    @property
+    def dtype_path(self) -> str:
+        """Element representation, identical to the single-process choice."""
+        if self._inline is not None:
+            return self._inline.dtype_path
+        if self._dtype_path is not None:
+            return self._dtype_path
+        k = self._representation()
+        return "int64" if k is None else f"limb{k}x{LIMB_BITS}"
+
+    # -- region I/O --------------------------------------------------------
+    def write_region(self, region: RegionSpec | None, rows) -> None:
+        """Stage ``batch`` input rows for a VDM region (validated now,
+        transferred at :meth:`run`)."""
+        if region is None:
+            raise ValueError("program has no such region")
+        if len(rows) != self.batch:
+            raise ValueError(
+                f"expected {self.batch} input rows, got {len(rows)}"
+            )
+        for values in rows:
+            if len(values) != region.length:
+                raise ValueError(
+                    f"region {region.name!r} holds {region.length} elements, "
+                    f"got {len(values)}"
+                )
+        self._staged[region] = [list(values) for values in rows]
+
+    def read_region(self, region: RegionSpec | None) -> list[list[int]]:
+        """Read a VDM region after :meth:`run`; one Python-int row per lane."""
+        if region is None:
+            raise ValueError("program has no such region")
+        if self._inline is not None:
+            return self._inline.read_region(region)
+        if self._out is None:
+            raise RuntimeError("run() has not completed")
+        span = slice(region.base, region.base + region.length)
+        if self._out_k is None:
+            return [list(map(int, row)) for row in self._out[:, span].tolist()]
+        return compose(self._out[:, :, span]).tolist()
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> ExecutionStats:
+        """Execute the staged batch; returns one pass's stats."""
+        if len(self._spans) == 1 and self._pool is None and not self._owns_pool:
+            return self._run_inline()
+        if self._pool is None:
+            self._pool = ShardPool(
+                len(self._spans), start_method=self._start_method
+            )
+            self._owns_pool = True
+        return self._run_pooled()
+
+    def _run_inline(self) -> ExecutionStats:
+        ex = BatchExecutor(
+            self.program, batch=self.batch, vdm_size=self.vdm_size
+        )
+        self._inline = ex
+        self.stats = ex.stats
+        for region, rows in self._staged.items():
+            ex.write_region(region, rows)
+        return ex.run()
+
+    def _run_pooled(self) -> ExecutionStats:
+        self._inline = None
+        self._out = None
+        limb_k = self._representation()
+        blocks: list[shared_memory.SharedMemory] = []
+        try:
+            inputs = []
+            for region, rows in self._staged.items():
+                data = (
+                    np.array(rows, dtype=np.int64)
+                    if limb_k is None
+                    else decompose(rows, limb_k)
+                )
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(data.nbytes, 1)
+                )
+                np.ndarray(data.shape, dtype=np.int64, buffer=shm.buf)[:] = data
+                blocks.append(shm)
+                inputs.append((region, shm.name, data.shape))
+            out_shape = (
+                (self.batch, self.vdm_size)
+                if limb_k is None
+                else (limb_k, self.batch, self.vdm_size)
+            )
+            out_size = 8 * int(np.prod(out_shape))
+            out_shm = shared_memory.SharedMemory(
+                create=True, size=max(out_size, 1)
+            )
+            blocks.append(out_shm)
+            jobs = [
+                (
+                    i,
+                    (
+                        self.vdm_size,
+                        start,
+                        stop,
+                        limb_k,
+                        inputs,
+                        out_shm.name,
+                        out_shape,
+                    ),
+                )
+                for i, (start, stop) in enumerate(self._spans)
+            ]
+            replies = self._pool.dispatch(self.program, jobs)
+            self._collect(replies)
+            out = np.ndarray(out_shape, dtype=np.int64, buffer=out_shm.buf)
+            self._out = out.copy()
+            self._out_k = limb_k
+        finally:
+            for shm in blocks:
+                shm.close()
+                shm.unlink()
+        return self.stats
+
+    def _collect(self, replies: list[tuple]) -> None:
+        """Merge worker replies; re-raise the fault a single pass would hit.
+
+        The single-process executor scans the whole batch at each
+        instruction, so the first fault in *program order* wins, and within
+        one instruction the lowest batch row (= lowest shard) wins.
+        """
+        faults = []
+        oks = []
+        for shard_idx, reply in enumerate(replies):
+            tag = reply[0]
+            if tag == "ok":
+                oks.append(reply)
+            elif tag == "fault":
+                _tag, type_name, message, executed, stats = reply
+                faults.append((executed, shard_idx, type_name, message, stats))
+            else:
+                raise RuntimeError(
+                    f"shard worker {shard_idx} failed:\n{reply[1]}"
+                )
+        if faults:
+            faults.sort(key=lambda f: (f[0], f[1]))
+            _executed, _idx, type_name, message, stats = faults[0]
+            self.stats = stats
+            raise _FAULT_TYPES.get(type_name, SimulationFault)(message)
+        stats0, path0 = oks[0][1], oks[0][2]
+        for reply in oks[1:]:
+            if reply[1] != stats0 or reply[2] != path0:
+                raise RuntimeError(
+                    "shard invariance violation: workers disagree on "
+                    f"stats/dtype_path ({reply[1]} vs {stats0}, "
+                    f"{reply[2]} vs {path0})"
+                )
+        self.stats = stats0
+        self._dtype_path = path0
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release the owned pool (shared pools are left running)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._owns_pool = False
+
+    def __enter__(self) -> "ShardedBatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

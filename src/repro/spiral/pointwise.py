@@ -6,7 +6,24 @@ lanewise ``VVMUL`` sweep over the transformed vectors.  These kernels are
 trivial dataflow but exercise the vector-vector compute path (and the
 VVADD path used by HE additions) end to end.
 
-Layout: operand A at element 0, operand B at ``n``, result at ``2n``.
+Two generators share the emission logic:
+
+* :func:`generate_pointwise_program` -- one ring, one modulus; layout:
+  operand A at element 0, operand B at ``n``, result at ``2n`` (the B
+  region is exposed via :func:`b_region`).
+* :func:`generate_batched_pointwise_program` -- L RNS towers in one
+  instruction stream, each tower with its own VDM region triple and MRF
+  slot (per-instruction modulus switching, section IV-B5); the middle
+  leg of the three-pass HE multiply in :mod:`repro.eval.he_pipeline` and
+  of coalesced ``he_multiply`` serving requests.
+
+Execution notes for the vectorized backend: the operands arrive as fresh
+caller rows, so the first VLOAD of each pays one range scan and every
+``VVMUL`` result is canonical by construction -- the canonicality ledger
+(:mod:`repro.femu.vectorized`) marks the output region canonical through
+the VSTOREs, making these kernels the cheap steady-state case.  On wide
+moduli the multiply dispatches to the shared multi-limb engine
+(:mod:`repro.modmath.limb`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,61 @@
+"""Executable documentation: every ```python block in the docs must run.
+
+Each markdown file's fenced ``python`` blocks execute top to bottom in
+one shared namespace (so a later block may build on an earlier one),
+with assertions inside the blocks doing the checking.  Blocks fenced
+with any other info string (```bash, ```text, plain ```) are prose, not
+contracts.  This is the tier-1 face of the CI docs job; keep snippets
+small -- they are run on every push.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    p.relative_to(REPO).as_posix() for p in (REPO / "docs").glob("*.md")
+) + ["README.md"]
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def python_blocks(text: str) -> list[tuple[int, str]]:
+    """(start_line, source) of every ```python fenced block."""
+    blocks = []
+    lines = text.splitlines()
+    inside = False
+    start = 0
+    buf: list[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        match = _FENCE.match(line)
+        if not inside:
+            if match and match.group(1) == "python":
+                inside = True
+                start = lineno + 1
+                buf = []
+        elif match:
+            inside = False
+            blocks.append((start, "\n".join(buf)))
+        else:
+            buf.append(line)
+    return blocks
+
+
+def test_docs_exist_and_have_snippets():
+    assert "docs/architecture.md" in DOC_FILES
+    assert "docs/backends.md" in DOC_FILES
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_doc_snippets_execute(doc):
+    text = (REPO / doc).read_text()
+    blocks = python_blocks(text)
+    assert blocks, f"{doc} has no ```python blocks to check"
+    namespace: dict = {"__name__": f"doc_snippet:{doc}"}
+    for start, source in blocks:
+        code = compile(source, f"{doc}:{start}", "exec")
+        exec(code, namespace)  # noqa: S102 - the whole point of the test

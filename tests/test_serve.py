@@ -1,0 +1,232 @@
+"""Serving-loop tests: coalescing, correctness, merged stats, failures.
+
+:class:`RpuServer` fronts the sharded executor with an asyncio loop that
+groups compatible requests arriving within a latency budget.  These tests
+drive it with concurrent clients and check (a) coalescing actually
+happens and respects ``max_batch``, (b) every response is bit-identical
+to the offline oracles, (c) per-request stats are the merged per-pass
+records, and (d) failures reach the right futures without wedging the
+loop.  Everything runs through ``asyncio.run`` -- no plugin needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.femu import BatchExecutor, SimulationFault
+from repro.ntt.polymul import negacyclic_polymul
+from repro.ntt.twiddles import TwiddleTable
+from repro.serve import (
+    HeMultiplyRequest,
+    NttRequest,
+    PolymulRequest,
+    RpuServer,
+    ServeConfig,
+    he_group_moduli,
+)
+from repro.serve.requests import execute_group
+from repro.spiral.kernels import generate_ntt_program
+from repro.spiral.pointwise import generate_pointwise_program
+
+N = 64
+VLEN = 16
+CONFIG = ServeConfig(shards=2, max_batch=8, batch_window_s=0.05)
+
+
+def _ntt_reference(rows, q_bits):
+    program = generate_ntt_program(N, vlen=VLEN, q_bits=q_bits)
+    ex = BatchExecutor(program, batch=len(rows))
+    ex.write_region(program.input_region, rows)
+    ex.run()
+    return ex.read_region(program.output_region)
+
+
+def test_concurrent_ntts_coalesce_and_match():
+    program = generate_ntt_program(N, vlen=VLEN, q_bits=30)
+    q = program.metadata["modulus"]
+    rng = random.Random(0)
+    rows = [[rng.randrange(q) for _ in range(N)] for _ in range(4)]
+    expected = _ntt_reference(rows, 30)
+
+    async def main():
+        async with RpuServer(CONFIG) as server:
+            return await asyncio.gather(
+                *[server.ntt(r, q_bits=30, vlen=VLEN) for r in rows]
+            )
+
+    results = asyncio.run(main())
+    for i, result in enumerate(results):
+        assert result.output == expected[i]
+        assert result.batched_with == 4  # one coalesced dispatch
+        assert result.shards == 2
+        assert result.dtype_path == "int64"
+        assert result.wall_s > 0
+
+
+def test_max_batch_splits_groups():
+    program = generate_ntt_program(N, vlen=VLEN, q_bits=30)
+    q = program.metadata["modulus"]
+    rng = random.Random(1)
+    rows = [[rng.randrange(q) for _ in range(N)] for _ in range(5)]
+    expected = _ntt_reference(rows, 30)
+    config = ServeConfig(shards=1, max_batch=2, batch_window_s=0.05)
+
+    async def main():
+        async with RpuServer(config) as server:
+            return await asyncio.gather(
+                *[server.ntt(r, q_bits=30, vlen=VLEN) for r in rows]
+            )
+
+    results = asyncio.run(main())
+    assert [r.output for r in results] == expected
+    assert all(r.batched_with <= 2 for r in results)
+    # five requests at max_batch=2 -> two full groups + one window flush
+    assert sorted(r.batched_with for r in results) == [1, 2, 2, 2, 2]
+
+
+def test_mixed_keys_do_not_coalesce():
+    rng = random.Random(2)
+    p30 = generate_ntt_program(N, vlen=VLEN, q_bits=30)
+    p20 = generate_ntt_program(N, vlen=VLEN, q_bits=20)
+    row30 = [rng.randrange(p30.metadata["modulus"]) for _ in range(N)]
+    row20 = [rng.randrange(p20.metadata["modulus"]) for _ in range(N)]
+
+    async def main():
+        async with RpuServer(CONFIG) as server:
+            return await asyncio.gather(
+                server.ntt(row30, q_bits=30, vlen=VLEN),
+                server.ntt(row20, q_bits=20, vlen=VLEN),
+            )
+
+    r30, r20 = asyncio.run(main())
+    assert r30.batched_with == 1 and r20.batched_with == 1
+    assert r30.output == _ntt_reference([row30], 30)[0]
+    assert r20.output == _ntt_reference([row20], 20)[0]
+
+
+def test_polymul_oracle_and_merged_stats():
+    fwd = generate_ntt_program(N, "forward", vlen=VLEN, q_bits=30)
+    q = fwd.metadata["modulus"]
+    rng = random.Random(3)
+    pairs = [
+        (
+            [rng.randrange(q) for _ in range(N)],
+            [rng.randrange(q) for _ in range(N)],
+        )
+        for _ in range(3)
+    ]
+    table = TwiddleTable.for_ring(N, q=q)
+
+    async def main():
+        async with RpuServer(CONFIG) as server:
+            return await asyncio.gather(
+                *[
+                    server.polymul(a, b, q=q, q_bits=30, vlen=VLEN)
+                    for a, b in pairs
+                ]
+            )
+
+    results = asyncio.run(main())
+    inv = generate_ntt_program(N, "inverse", vlen=VLEN, q_bits=30, q=q)
+    pw = generate_pointwise_program(N, "mul", vlen=VLEN, q_bits=30, q=q)
+    per_pass = 0
+    for program in (fwd, pw, inv):
+        ex = BatchExecutor(program)
+        per_pass += ex.run().executed
+    for (a, b), result in zip(pairs, results):
+        assert result.output == negacyclic_polymul(a, b, table)
+        assert result.batched_with == 3
+        # merged stats: exactly the three passes, counted once each
+        assert result.stats.executed == per_pass
+    # each request owns an independent copy of the merged record
+    results[0].stats.executed = -1
+    assert results[1].stats.executed == per_pass
+
+
+def test_he_multiply_oracle():
+    towers, q_bits = 2, 64
+    moduli = he_group_moduli(N, towers, q_bits=q_bits, vlen=VLEN)
+    rng = random.Random(4)
+
+    def ciphertext():
+        return [[rng.randrange(m) for _ in range(N)] for m in moduli]
+
+    payloads = [(ciphertext(), ciphertext()) for _ in range(2)]
+
+    async def main():
+        async with RpuServer(CONFIG) as server:
+            return await asyncio.gather(
+                *[
+                    server.he_multiply(a, b, q_bits=q_bits, vlen=VLEN)
+                    for a, b in payloads
+                ]
+            )
+
+    results = asyncio.run(main())
+    for (a, b), result in zip(payloads, results):
+        oracle = [
+            negacyclic_polymul(ta, tb, TwiddleTable.for_ring(N, q=m))
+            for ta, tb, m in zip(a, b, moduli)
+        ]
+        assert result.output == oracle
+        assert result.batched_with == 2
+
+
+def test_fault_reaches_every_coalesced_future():
+    program = generate_ntt_program(N, vlen=VLEN, q_bits=30)
+    q = program.metadata["modulus"]
+    good = [1] * N
+    bad = [q + 5] * N  # non-canonical: the kernel faults
+
+    async def main():
+        async with RpuServer(CONFIG) as server:
+            results = await asyncio.gather(
+                server.ntt(good, q_bits=30, vlen=VLEN),
+                server.ntt(bad, q_bits=30, vlen=VLEN),
+                return_exceptions=True,
+            )
+            # the loop survives a faulted batch and keeps serving
+            after = await server.ntt(good, q_bits=30, vlen=VLEN)
+            return results, after
+
+    results, after = asyncio.run(main())
+    assert all(isinstance(r, SimulationFault) for r in results)
+    assert after.output == _ntt_reference([good], 30)[0]
+
+
+def test_submit_after_close_raises():
+    async def main():
+        server = RpuServer(ServeConfig(shards=1))
+        await server.start()
+        await server.aclose()
+        with pytest.raises(RuntimeError):
+            await server.ntt([1] * N, q_bits=30, vlen=VLEN)
+
+    asyncio.run(main())
+
+
+def test_execute_group_rejects_mixed_keys():
+    with pytest.raises(ValueError):
+        execute_group(
+            [
+                NttRequest(values=(1,) * N, q_bits=30, vlen=VLEN),
+                NttRequest(values=(1,) * N, q_bits=20, vlen=VLEN),
+            ]
+        )
+    assert execute_group([]) == []
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        NttRequest(values=())
+    with pytest.raises(ValueError):
+        NttRequest(values=(1, 2), direction="sideways")
+    with pytest.raises(ValueError):
+        PolymulRequest(a=(1, 2), b=(1,))
+    with pytest.raises(ValueError):
+        HeMultiplyRequest(a_towers=((1, 2),), b_towers=((1, 2), (3, 4)))
+    with pytest.raises(ValueError):
+        HeMultiplyRequest(a_towers=((1, 2), (1,)), b_towers=((1, 2), (3, 4)))

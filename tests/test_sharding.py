@@ -1,0 +1,427 @@
+"""Differential suite: sharded execution == single-process, bit for bit.
+
+The acceptance contract of ``repro.serve.sharding``: for every shard
+count, :class:`ShardedBatchExecutor` produces outputs, ``ExecutionStats``,
+``dtype_path`` and faults identical to one :class:`BatchExecutor` pass --
+across the int64 and multi-limb dtype paths, odd batch splits, batches
+smaller than the shard count, multiple input regions, and the threaded
+``shards=`` knobs on :class:`Rpu`, :class:`RpuPipeline` and the HE
+pipeline driver.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pipeline import RpuPipeline
+from repro.core.rpu import Rpu
+from repro.eval.he_pipeline import run_functional_he_multiply
+from repro.femu import BatchExecutor, ExecutionStats, SimulationFault
+from repro.isa.opcodes import InstructionClass
+from repro.perf.config import RpuConfig
+from repro.serve import ShardedBatchExecutor, ShardPool, partition_batch
+from repro.spiral.kernels import generate_ntt_program
+from repro.spiral.pointwise import b_region, generate_pointwise_program
+
+N = 64
+VLEN = 16
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One 4-worker pool shared by the whole module (forks are cheap but
+    not free; reuse also exercises the worker-side program cache)."""
+    with ShardPool(4) as p:
+        yield p
+
+
+def _program(q_bits):
+    return generate_ntt_program(N, vlen=VLEN, q_bits=q_bits)
+
+
+def _rows(program, batch, seed=0):
+    q = program.metadata["modulus"]
+    rng = random.Random(seed)
+    return [[rng.randrange(q) for _ in range(N)] for _ in range(batch)]
+
+
+def _reference(program, region_rows, batch):
+    ex = BatchExecutor(program, batch=batch)
+    for region, rows in region_rows.items():
+        ex.write_region(region, rows)
+    stats = ex.run()
+    return ex, stats
+
+
+# ---------------------------------------------------------------------------
+# partition arithmetic
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "batch,shards", [(8, 4), (5, 4), (1, 4), (3, 8), (16, 1), (7, 3)]
+)
+def test_partition_tiles_the_batch(batch, shards):
+    spans = partition_batch(batch, shards)
+    assert len(spans) == min(batch, shards)
+    covered = [i for start, stop in spans for i in range(start, stop)]
+    assert covered == list(range(batch))
+    widths = [stop - start for start, stop in spans]
+    assert max(widths) - min(widths) <= 1
+    assert all(w >= 1 for w in widths)
+
+
+def test_partition_validates():
+    with pytest.raises(ValueError):
+        partition_batch(0, 4)
+    with pytest.raises(ValueError):
+        partition_batch(4, 0)
+
+
+# ---------------------------------------------------------------------------
+# shard-count invariance (the tentpole contract)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("q_bits", [30, 128])
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_shard_invariance(pool, q_bits, shards):
+    """Outputs, stats and dtype_path identical for shards in {1, 2, 4}."""
+    program = _program(q_bits)
+    rows = _rows(program, 8, seed=q_bits)
+    ref, ref_stats = _reference(program, {program.input_region: rows}, 8)
+
+    ex = ShardedBatchExecutor(program, batch=8, shards=shards, pool=pool)
+    ex.write_region(program.input_region, rows)
+    stats = ex.run()
+
+    assert ex.read_region(program.output_region) == ref.read_region(
+        program.output_region
+    )
+    assert stats == ref_stats
+    assert ex.dtype_path == ref.dtype_path
+    if q_bits == 30:
+        assert ex.dtype_path == "int64"
+    else:
+        assert ex.dtype_path.startswith("limb")
+
+
+def test_single_shard_runs_inline():
+    """shards=1 without a pool must not fork anything (plain engine)."""
+    program = _program(30)
+    rows = _rows(program, 4)
+    ref, ref_stats = _reference(program, {program.input_region: rows}, 4)
+    ex = ShardedBatchExecutor(program, batch=4, shards=1)
+    ex.write_region(program.input_region, rows)
+    assert ex.run() == ref_stats
+    assert ex._pool is None  # inline: no worker processes were created
+    assert ex.read_region(program.output_region) == ref.read_region(
+        program.output_region
+    )
+
+
+@pytest.mark.parametrize("batch", [1, 3, 5])
+def test_odd_and_small_batches(pool, batch):
+    """Batches smaller than / not divisible by the shard count."""
+    program = _program(30)
+    rows = _rows(program, batch, seed=batch)
+    ref, ref_stats = _reference(program, {program.input_region: rows}, batch)
+    ex = ShardedBatchExecutor(program, batch=batch, shards=4, pool=pool)
+    ex.write_region(program.input_region, rows)
+    stats = ex.run()
+    assert ex.shards == min(batch, 4)
+    assert stats == ref_stats
+    assert ex.read_region(program.output_region) == ref.read_region(
+        program.output_region
+    )
+
+
+def test_multiple_input_regions(pool):
+    """Two staged regions (pointwise a*b) shard together."""
+    program = generate_pointwise_program(N, "mul", vlen=VLEN, q_bits=128)
+    q = program.metadata["modulus"]
+    rng = random.Random(7)
+    a_rows = [[rng.randrange(q) for _ in range(N)] for _ in range(6)]
+    b_rows = [[rng.randrange(q) for _ in range(N)] for _ in range(6)]
+    region_rows = {program.input_region: a_rows, b_region(program): b_rows}
+    ref, ref_stats = _reference(program, region_rows, 6)
+    ex = ShardedBatchExecutor(program, batch=6, shards=4, pool=pool)
+    for region, rows in region_rows.items():
+        ex.write_region(region, rows)
+    assert ex.run() == ref_stats
+    assert ex.read_region(program.output_region) == ref.read_region(
+        program.output_region
+    )
+
+
+def test_dtype_path_predicted_before_run(pool):
+    """Wide caller data flips an int64 program to limb planes; the sharded
+    executor must predict the same representation the engine would pick."""
+    program = _program(30)
+    rows = _rows(program, 4)
+    rows[2][5] = 1 << 80  # too wide for an int64 lane
+    ref = BatchExecutor(program, batch=4)
+    ref.write_region(program.input_region, rows)
+    ex = ShardedBatchExecutor(program, batch=4, shards=2, pool=pool)
+    ex.write_region(program.input_region, rows)
+    assert ex.dtype_path == ref.dtype_path  # before run: prediction
+    with pytest.raises(SimulationFault):
+        ref.run()
+    with pytest.raises(SimulationFault):
+        ex.run()
+    assert ex.dtype_path == ref.dtype_path
+
+
+# ---------------------------------------------------------------------------
+# fault parity
+# ---------------------------------------------------------------------------
+
+
+def _fault_of(fn):
+    try:
+        fn()
+    except Exception as exc:  # noqa: BLE001 - capturing for comparison
+        return type(exc), str(exc)
+    return None
+
+
+@pytest.mark.parametrize("bad_rows", [[5], [1], [7], [1, 7], [0, 3, 6]])
+def test_fault_parity_noncanonical_rows(pool, bad_rows):
+    """Whichever rows hold non-canonical data, the sharded executor raises
+    the exact fault (type and message) of the single-process scan."""
+    program = _program(30)
+    q = program.metadata["modulus"]
+    rows = _rows(program, 8, seed=42)
+    for i, r in enumerate(bad_rows):
+        rows[r][3] = q + 1 + i  # non-canonical, distinct per row
+
+    def scalar_run():
+        ref = BatchExecutor(program, batch=8)
+        ref.write_region(program.input_region, rows)
+        ref.run()
+        return ref
+
+    def sharded_run():
+        ex = ShardedBatchExecutor(program, batch=8, shards=4, pool=pool)
+        ex.write_region(program.input_region, rows)
+        ex.run()
+        return ex
+
+    expected = _fault_of(scalar_run)
+    actual = _fault_of(sharded_run)
+    assert expected is not None and expected[0] is SimulationFault
+    assert actual == expected
+
+
+def test_fault_stats_parity(pool):
+    """After a fault, the partial stats match the single-process run."""
+    program = _program(30)
+    q = program.metadata["modulus"]
+    rows = _rows(program, 4, seed=9)
+    rows[3][0] = q  # faults at the first compute touching the data
+    ref = BatchExecutor(program, batch=4)
+    ref.write_region(program.input_region, rows)
+    with pytest.raises(SimulationFault):
+        ref.run()
+    ex = ShardedBatchExecutor(program, batch=4, shards=2, pool=pool)
+    ex.write_region(program.input_region, rows)
+    with pytest.raises(SimulationFault):
+        ex.run()
+    assert ex.stats == ref.stats
+
+
+def test_write_region_validation_matches():
+    program = _program(30)
+    ex = ShardedBatchExecutor(program, batch=2, shards=2)
+    ref = BatchExecutor(program, batch=2)
+    for call in (
+        lambda e: e.write_region(None, [[0] * N] * 2),
+        lambda e: e.write_region(program.input_region, [[0] * N]),
+        lambda e: e.write_region(program.input_region, [[0] * 3] * 2),
+    ):
+        assert _fault_of(lambda: call(ex)) == _fault_of(lambda: call(ref))
+    ex.close()
+
+
+# ---------------------------------------------------------------------------
+# merged ExecutionStats arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _stats(executed, ci, lsi, reads, writes):
+    by_class = {k: 0 for k in InstructionClass}
+    by_class[InstructionClass.CI] = ci
+    by_class[InstructionClass.LSI] = lsi
+    return ExecutionStats(
+        executed=executed,
+        by_class=by_class,
+        vdm_reads=reads,
+        vdm_writes=writes,
+    )
+
+
+def test_stats_add_is_fieldwise():
+    a = _stats(10, 4, 6, 32, 16)
+    b = _stats(3, 1, 2, 8, 4)
+    total = a + b
+    assert total.executed == 13
+    assert total.by_class[InstructionClass.CI] == 5
+    assert total.by_class[InstructionClass.LSI] == 8
+    assert total.vdm_reads == 40
+    assert total.vdm_writes == 20
+    # operands untouched
+    assert a.executed == 10 and b.executed == 3
+
+
+def test_stats_sum_and_merge():
+    parts = [_stats(i, i, 0, 0, 0) for i in range(1, 4)]
+    assert sum(parts) == ExecutionStats.merge(parts)
+    assert ExecutionStats.merge(parts).executed == 6
+    assert ExecutionStats.merge([]) == ExecutionStats()
+
+
+def test_stats_copy_is_independent():
+    a = _stats(5, 2, 3, 1, 1)
+    c = a.copy()
+    assert c == a
+    c.by_class[InstructionClass.CI] += 1
+    c.executed += 1
+    assert a.executed == 5
+    assert a.by_class[InstructionClass.CI] == 2
+
+
+def test_stats_real_passes_merge(pool):
+    """Merged stats over real passes == sum of the per-pass records."""
+    program = _program(30)
+    rows = _rows(program, 2)
+    passes = []
+    for _ in range(3):
+        ex = ShardedBatchExecutor(program, batch=2, shards=2, pool=pool)
+        ex.write_region(program.input_region, rows)
+        passes.append(ex.run())
+    merged = ExecutionStats.merge(passes)
+    assert merged.executed == 3 * passes[0].executed
+    assert merged.vdm_reads == 3 * passes[0].vdm_reads
+
+
+def test_dead_worker_poisons_the_pool():
+    """A dispatch that loses a worker must close the pool, not leave the
+    survivors' pipes desynchronized for the next caller."""
+    own_pool = ShardPool(2)
+    program = _program(30)
+    rows = _rows(program, 4)
+    own_pool._procs[1].terminate()
+    own_pool._procs[1].join()
+    ex = ShardedBatchExecutor(program, batch=4, shards=2, pool=own_pool)
+    ex.write_region(program.input_region, rows)
+    with pytest.raises(RuntimeError, match="mid-dispatch|is closed"):
+        ex.run()
+    assert own_pool.closed
+    with pytest.raises(RuntimeError, match="closed"):
+        own_pool.dispatch(program, [(0, ())])
+
+
+def test_concurrent_limb_batches_in_threads():
+    """Shared LimbEngines must not race across threads.
+
+    ``cached_engine`` shares one engine (and its scratch arenas) per
+    modulus; the serving loop executes coalesced batches in concurrent
+    threads, so the arenas are thread-local.  Regression test for the
+    corruption this produced: many threads hammer the same 128-bit
+    program and every output must stay bit-exact.
+    """
+    import concurrent.futures
+
+    program = _program(128)
+    rows = _rows(program, 4, seed=21)
+    ref, _ = _reference(program, {program.input_region: rows}, 4)
+    expected = ref.read_region(program.output_region)
+
+    def run_once(_i):
+        ex = BatchExecutor(program, batch=4)
+        ex.write_region(program.input_region, rows)
+        ex.run()
+        return ex.read_region(program.output_region)
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=4) as tpe:
+        outs = list(tpe.map(run_once, range(8)))
+    assert all(out == expected for out in outs)
+
+
+# ---------------------------------------------------------------------------
+# shards= threaded through the stack
+# ---------------------------------------------------------------------------
+
+SMALL_CONFIG = RpuConfig(num_hples=8, vdm_banks=8, vlen=VLEN)
+
+
+def test_pool_without_shards_uses_the_whole_pool(pool):
+    """Handing over a pool means 'spread over it'; shards= can narrow it."""
+    program = _program(30)
+    rows = _rows(program, 8, seed=17)
+    ex = ShardedBatchExecutor(program, batch=8, pool=pool)
+    assert ex.shards == pool.shards
+    narrowed = ShardedBatchExecutor(program, batch=8, shards=2, pool=pool)
+    assert narrowed.shards == 2
+
+
+def test_rpu_run_batch_sharded_matches_scalar(pool):
+    program = _program(30)
+    rows = _rows(program, 5, seed=3)
+    rpu = Rpu(SMALL_CONFIG)
+    sharded = rpu.run_batch(program, rows, pool=pool)
+    scalar = rpu.run_batch(program, rows, backend="scalar")
+    assert sharded.output == scalar.output
+    assert sharded.metadata["shards"] == 4  # whole pool, by default
+    assert sharded.metadata["dtype_path"] == "int64"
+    with pytest.raises(ValueError):
+        rpu.run_batch(program, rows, backend="scalar", shards=2)
+    with pytest.raises(ValueError):
+        rpu.run_batch(program, rows, backend="vectorised")  # typo'd name
+
+
+def test_rpu_run_sharded_verifies(pool):
+    program = _program(30)
+    rpu = Rpu(SMALL_CONFIG)
+    result = rpu.run(program, verify=True, backend="vectorized", shards=2)
+    assert result.verified is True
+    with pytest.raises(ValueError):
+        rpu.run(program, verify=True, shards=2)  # scalar default + shards
+
+
+def test_pipeline_sharded_requires_vectorized():
+    with pytest.raises(ValueError):
+        RpuPipeline(SMALL_CONFIG, backend="scalar", shards=2)
+
+
+def test_pipeline_sharded_matches_serial():
+    q_bits = 30
+    serial = RpuPipeline(SMALL_CONFIG, q_bits=q_bits)
+    rng = random.Random(11)
+    with RpuPipeline(
+        SMALL_CONFIG, q_bits=q_bits, backend="vectorized", shards=2
+    ) as sharded:
+        fwd = generate_ntt_program(N, "forward", vlen=VLEN, q_bits=q_bits)
+        q = fwd.metadata["modulus"]
+        a = [rng.randrange(q) for _ in range(N)]
+        b = [rng.randrange(q) for _ in range(N)]
+        got = sharded.negacyclic_polymul(a, b, q=q)
+        want = serial.negacyclic_polymul(a, b, q=q)
+    assert got.output == want.output
+    assert [s.name for s in got.stages] == [s.name for s in want.stages]
+    assert [s.cycles for s in got.stages] == [s.cycles for s in want.stages]
+    assert got.total_energy_uj == want.total_energy_uj
+
+
+def test_he_pipeline_sharded_bit_exact(pool):
+    kwargs = dict(n=256, towers=2, q_bits=64, vlen=VLEN, seed=5)
+    serial = run_functional_he_multiply(**kwargs)
+    sharded = run_functional_he_multiply(**kwargs, shards=2, pool=pool)
+    assert sharded["bit_exact"] is True
+    assert sharded["product_towers"] == serial["product_towers"]
+    assert sharded["stats"] == serial["stats"]
+    assert sharded["shards"] == 2
+    with pytest.raises(ValueError):
+        run_functional_he_multiply(**kwargs, backend="scalar", shards=2)
