@@ -3,10 +3,13 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: check check-slow bench-femu bench-he bench-serve check-docs eval
+.PHONY: check check-slow bench-femu bench-he bench-serve check-docs eval lint
 
 check:  ## tier-1: the fast suite, including the FEMU differential tests
 	$(PY) -m pytest -x -q
+
+lint:  ## ruff over the whole repo (config in pyproject.toml)
+	ruff check .
 
 check-slow:  ## tier-1 plus the exhaustive differential/fuzz sweeps
 	$(PY) -m pytest -x -q --slow

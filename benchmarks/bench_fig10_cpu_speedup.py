@@ -20,7 +20,7 @@ def test_bench_fig10_speedups(benchmark):
 
 def test_bench_live_numpy_baseline(benchmark):
     """A real CPU NTT measured on this host (64-bit-class modulus)."""
-    runtime_us = benchmark.pedantic(
+    benchmark.pedantic(
         measure_numpy_ntt_us, args=(16384,), kwargs={"repeats": 1},
         rounds=3, iterations=1,
     )

@@ -35,5 +35,5 @@ def test_bench_fig5c_energy(benchmark, kernel_64k):
 
 
 def test_bench_fig5c_power(kernel_64k, best_config):
-    energy, power = run_fig5c()
+    _energy, power = run_fig5c()
     assert 6.5 <= power <= 9.0  # paper: 7.44 W at its 6.7 us runtime

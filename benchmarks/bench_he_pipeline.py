@@ -5,9 +5,8 @@ inverse per tower), batched multi-tower kernels (the MRF use case), and
 the bottleneck analyzer's verdicts.
 """
 
-import pytest
-
 from repro.eval.he_pipeline import (
+    fused_vs_unfused_report,
     print_he_pipeline,
     run_batched_towers,
     run_functional_he_multiply,
@@ -50,6 +49,65 @@ def test_bench_functional_he_multiply(benchmark):
     benchmark.extra_info["dtype_path"] = data["dtype_path"]
     benchmark.extra_info["cycles"] = data["cycles"]
     benchmark.extra_info["modeled_total_us"] = round(data["modeled_total_us"], 2)
+    benchmark.extra_info["hbm_hidden"] = data["hbm_hidden"]
+
+
+def test_bench_fused_he_multiply(benchmark):
+    """Cross-kernel fusion vs the three-pass pipeline, head to head.
+
+    The fused program (forward NTTs + pointwise + inverse in one
+    instruction stream, intermediates pinned in the VRF) must be
+    bit-identical to the three-pass path while reducing per-primitive
+    instruction count, modeled cycles, VDM traffic and modeled HBM
+    traffic; all four comparisons land in ``extra_info`` (and the gate
+    below enforces the reductions).
+    """
+    data = benchmark.pedantic(
+        fused_vs_unfused_report,
+        kwargs=dict(n=1024, towers=4, q_bits=128, vlen=512),
+        rounds=1,
+        iterations=1,
+    )
+    assert data["bit_identical"]
+    assert data["bit_exact_vs_oracle"]
+    fused, unfused = data["fused"], data["unfused"]
+    assert fused["instructions"] < unfused["instructions"]
+    assert fused["cycles"] < unfused["cycles"]
+    assert fused["vdm_traffic"] < unfused["vdm_traffic"]
+    assert fused["hbm_us"] < unfused["hbm_us"]
+    benchmark.extra_info["n"] = data["n"]
+    benchmark.extra_info["towers"] = data["towers"]
+    benchmark.extra_info["fused"] = fused
+    benchmark.extra_info["unfused"] = unfused
+    benchmark.extra_info["instruction_reduction"] = data[
+        "instruction_reduction"
+    ]
+    benchmark.extra_info["hbm_traffic_reduction"] = data[
+        "hbm_traffic_reduction"
+    ]
+    benchmark.extra_info["compile_passes"] = [
+        {k: p[k] for k in ("name", "ops_before", "ops_after")}
+        for p in (data["compile"] or {}).get("passes", [])
+    ]
+
+
+def test_bench_functional_he_multiply_fused(benchmark):
+    """The fused primitive end-to-end on the FEMU (one pass, limb lanes)."""
+    data = benchmark.pedantic(
+        run_functional_he_multiply,
+        kwargs=dict(
+            n=1024, towers=4, q_bits=128, backend="vectorized", fuse=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert data["fused"]
+    assert data["bit_exact"]
+    assert data["dtype_path"].startswith("limb")
+    benchmark.extra_info["n"] = data["n"]
+    benchmark.extra_info["towers"] = data["towers"]
+    benchmark.extra_info["dtype_path"] = data["dtype_path"]
+    benchmark.extra_info["cycles"] = data["cycles"]
     benchmark.extra_info["hbm_hidden"] = data["hbm_hidden"]
 
 

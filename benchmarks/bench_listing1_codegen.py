@@ -2,26 +2,27 @@
 
 Measures the uncached end-to-end pipeline (breakdown -> forwarding ->
 scheduling -> allocation -> emission) and validates the structural
-properties the paper's listing exhibits.
+properties the paper's listing exhibits.  ``build_program`` is the
+cache-bypassing compile entry point (the plan cache would otherwise
+absorb every iteration after the first).
 """
 
+from repro.compile import KernelSpec, build_program
 from repro.eval.listing1 import structural_checks
-from repro.spiral.kernels import generate_ntt_program
+
+
+def _spec(n: int) -> KernelSpec:
+    return KernelSpec(kind="ntt", n=n, direction="forward", q_bits=128)
 
 
 def test_bench_generate_1k_kernel(benchmark):
-    program = benchmark(
-        generate_ntt_program.__wrapped__, 1024, "forward", 512, 128
-    )
+    program = benchmark(build_program, _spec(1024))
     assert all(structural_checks(program).values())
 
 
 def test_bench_generate_64k_kernel(benchmark):
     program = benchmark.pedantic(
-        generate_ntt_program.__wrapped__,
-        args=(65536, "forward", 512, 128),
-        rounds=1,
-        iterations=1,
+        build_program, args=(_spec(65536),), rounds=1, iterations=1
     )
     from repro.isa.opcodes import InstructionClass
 

@@ -30,8 +30,10 @@ import random
 import statistics
 import time
 
+from repro.compile import PLAN_CACHE, KernelSpec, build_program
 from repro.femu import BatchExecutor
 from repro.serve import RpuServer, ServeConfig, ShardedBatchExecutor, ShardPool
+from repro.serve.requests import NttRequest, execute_group
 from repro.spiral.kernels import generate_ntt_program
 
 N = 4096
@@ -39,6 +41,7 @@ Q_BITS = 128
 BATCH = 16
 SHARD_COUNTS = (1, 2, 4)
 SPEEDUP_GATE = 1.6
+CACHE_HIT_GATE = 0.9
 
 
 def _workload():
@@ -120,6 +123,70 @@ def test_bench_sharded_ntt_throughput_scaling(benchmark):
             f"4-shard speedup {speedup:.2f}x < {SPEEDUP_GATE}x "
             f"on a {cpu_count}-core host"
         )
+
+
+def test_bench_plan_cache_and_compile_time(benchmark):
+    """Plan-cache economics on the serving workload.
+
+    Measures (a) the cold compile time of the serving NTT spec, (b) the
+    per-request program-setup time once the plan cache is warm, and (c)
+    the cache hit rate over repeated same-spec serve groups.  Gates:
+    hit rate >= 90% and warm setup measurably below a cold compile --
+    the acceptance bar for the content-addressed plan cache.
+    """
+    spec = KernelSpec(kind="ntt", n=N, q_bits=Q_BITS)
+    cold_s, _ = _best_of(lambda: build_program(spec), repeats=2)
+
+    program = generate_ntt_program(N, q_bits=Q_BITS)  # warm the cache
+    q = program.metadata["modulus"]
+    rng = random.Random(0xCAC4E)
+
+    def request():
+        return NttRequest(
+            values=tuple(rng.randrange(q) for _ in range(N)), q_bits=Q_BITS
+        )
+
+    execute_group([request()])  # steady state
+    before = PLAN_CACHE.snapshot()
+    warm_setup_s, _ = _best_of(
+        lambda: generate_ntt_program(N, q_bits=Q_BITS), repeats=3
+    )
+    repeats = 12
+    group_s, _ = _best_of(lambda: execute_group([request()]), repeats=1)
+    for _ in range(repeats - 1):
+        execute_group([request()])
+    after = PLAN_CACHE.snapshot()
+
+    requests = (after["hits"] + after["misses"]) - (
+        before["hits"] + before["misses"]
+    )
+    hits = after["hits"] - before["hits"]
+    hit_rate = hits / requests if requests else 0.0
+    benchmark.pedantic(
+        lambda: execute_group([request()]), rounds=1, iterations=1
+    )
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["q_bits"] = Q_BITS
+    benchmark.extra_info["compile_time_cold_s"] = round(cold_s, 6)
+    benchmark.extra_info["setup_time_warm_s"] = round(warm_setup_s, 9)
+    benchmark.extra_info["group_wall_warm_s"] = round(group_s, 6)
+    benchmark.extra_info["plan_cache"] = after
+    benchmark.extra_info["plan_cache_hit_rate_window"] = round(hit_rate, 4)
+    benchmark.extra_info["hit_rate_gate"] = CACHE_HIT_GATE
+    compile_meta = program.metadata.get("compile", {})
+    benchmark.extra_info["compile_passes"] = [
+        {k: p[k] for k in ("name", "ops_before", "ops_after")}
+        for p in compile_meta.get("passes", [])
+    ]
+    assert hit_rate >= CACHE_HIT_GATE, (
+        f"plan-cache hit rate {hit_rate:.2%} under the "
+        f"{CACHE_HIT_GATE:.0%} gate over {requests} lookups"
+    )
+    # A warm per-request setup must be far below one cold compile.
+    assert warm_setup_s < cold_s / 10, (
+        f"warm setup {warm_setup_s * 1e6:.1f}us vs cold compile "
+        f"{cold_s * 1e3:.2f}ms: cache not paying for itself"
+    )
 
 
 def test_bench_serving_request_latency(benchmark):

@@ -49,7 +49,7 @@ def main() -> None:
     print(f"\nEncrypted under BFV: n={params.n}, |q|={params.q.bit_length()} bits, "
           f"t={params.t}")
     print(f"  ciphertext expansion: ~{expansion:.0f}x "
-          f"(the paper reports up to 50x for production parameters)")
+          "(the paper reports up to 50x for production parameters)")
 
     # -- compute on ciphertext ----------------------------------------------
     brighten = ctx.encode([30] * 64)
@@ -78,7 +78,7 @@ def main() -> None:
     basis = RnsBasis.generate(num_limbs=3, limb_bits=20, ring_degree=64)
     wide_poly = [c % basis.modulus_product for c in ciphertext.components[0].coefficients]
     towers = RnsPolynomial.from_coefficients(wide_poly, basis)
-    print(f"\nRNS decomposition of a ciphertext polynomial:")
+    print("\nRNS decomposition of a ciphertext polynomial:")
     print(f"  wide modulus Q ~ 2^{basis.modulus_product.bit_length()} "
           f"-> {basis.num_limbs} towers of ~20-bit primes")
     print(f"  limb moduli: {list(basis.moduli)}")

@@ -17,7 +17,7 @@ def main() -> None:
     print(f"Kyber-style KEM: n={N}, q={Q}, eta={ETA}, module rank k=2")
     print(f"  compression: d_u={DU}, d_v={DV} bits")
     print(f"  q - 1 = {Q - 1} = {(Q - 1) // (2 * N)} * 2n -> "
-          f"complete negacyclic NTT available\n")
+          "complete negacyclic NTT available\n")
 
     alice = KyberContext(k=2, seed=42)
     print("Alice generates a keypair...")

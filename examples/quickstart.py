@@ -38,7 +38,7 @@ def main() -> None:
     report = result.report
     print(f"\n  cycles:             {report.cycles}")
     print(f"  theoretical bound:  {report.theoretical_cycles(n):.0f} cycles "
-          f"(paper's n*log2(n)/HPLEs)")
+          "(paper's n*log2(n)/HPLEs)")
     print(f"  ratio:              {report.cycles / report.theoretical_cycles(n):.2f}x")
     print(f"  pipe utilization:   {result.report.utilization()}")
 

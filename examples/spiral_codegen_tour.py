@@ -50,7 +50,7 @@ def main() -> None:
     print("  head of the kernel (independent work interleaved):")
     for inst in opt.instructions[16:22]:
         print("      " + format_instruction(inst))
-    print(f"  store-to-load forwarded loads: "
+    print("  store-to-load forwarded loads: "
           f"{opt.metadata.get('forwarded_loads', 0)}")
 
     print(f"\nSpeedup from hardware-aware code generation: "

@@ -8,6 +8,10 @@ describes or depends on:
 * :mod:`repro.perf` -- the configurable cycle-level RPU simulator.
 * :mod:`repro.spiral` -- a SPIRAL-style backend generating optimized NTT
   kernels for the RPU.
+* :mod:`repro.compile` -- the unified compiler: canonical
+  :class:`~repro.compile.KernelSpec`\\ s, the uniform pass pipeline
+  (incl. cross-kernel fusion), and the process-wide content-addressed
+  plan cache every generator entry point shares.
 * :mod:`repro.modmath`, :mod:`repro.ntt`, :mod:`repro.rns`,
   :mod:`repro.rlwe` -- the ring-processing substrates (modular arithmetic,
   reference NTTs, residue number system, RLWE-based workloads).

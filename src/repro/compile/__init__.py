@@ -1,0 +1,64 @@
+"""The unified compiler: specs in, cached optimized programs out.
+
+The SPIRAL-style code generator as a first-class subsystem (the shape
+the RPU paper inherits from SPIRAL, section V): a canonical
+:class:`KernelSpec` names any compilable kernel; :func:`compile_spec`
+runs the family's pass pipeline (schedule, store-to-load forwarding,
+dead-code / dead-store elimination, shuffle coalescing, cross-kernel
+fusion, register allocation, lowering) under a :class:`PassManager` that
+records a :class:`CompileReport`; and the process-wide, content-addressed
+:class:`PlanCache` (:data:`PLAN_CACHE`) guarantees each spec is built
+exactly once per process, however many layers -- ``Rpu``,
+``RpuPipeline``, the HE pipeline driver, every serving flush -- ask for
+it.
+
+See ``docs/compiler.md`` for the pipeline walk-through and the fusion
+diagram.
+"""
+
+from repro.compile.cache import PLAN_CACHE, CacheStats, PlanCache
+from repro.compile.fusion import (
+    MAX_FUSED_TOWERS,
+    build_fused_kernel,
+    fused_moduli,
+)
+from repro.compile.passes import (
+    CompileUnit,
+    Pass,
+    PassManager,
+    coalesce_shuffles,
+    eliminate_dead_code,
+    eliminate_dead_stores,
+)
+from repro.compile.pipeline import (
+    build_program,
+    compile_report,
+    compile_spec,
+    estimated_cycles,
+)
+from repro.compile.report import CompileReport, PassStats
+from repro.compile.spec import KERNEL_KINDS, KernelSpec, fused_spec
+
+__all__ = [
+    "KERNEL_KINDS",
+    "MAX_FUSED_TOWERS",
+    "PLAN_CACHE",
+    "CacheStats",
+    "CompileReport",
+    "CompileUnit",
+    "KernelSpec",
+    "Pass",
+    "PassManager",
+    "PassStats",
+    "PlanCache",
+    "build_fused_kernel",
+    "build_program",
+    "coalesce_shuffles",
+    "compile_report",
+    "compile_spec",
+    "eliminate_dead_code",
+    "eliminate_dead_stores",
+    "estimated_cycles",
+    "fused_moduli",
+    "fused_spec",
+]

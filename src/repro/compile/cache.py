@@ -1,0 +1,159 @@
+"""The process-wide plan cache: compile each spec exactly once.
+
+:class:`PlanCache` maps :attr:`KernelSpec.cache_key` content hashes to
+finished :class:`~repro.isa.program.Program` objects, LRU-evicted and
+thread-safe (serving flushes compile from worker threads).  Everything
+that generates kernels -- ``generate_ntt_program`` and kin,
+``Rpu.run``/``run_batch``, ``RpuPipeline``, the HE pipeline driver and
+every ``serve/requests.py`` group -- routes through the shared
+:data:`PLAN_CACHE`, so a spec is built once per process no matter how
+many layers ask for it.
+
+The cache is *shard-pool-aware* by construction: every cached program
+carries ``metadata["plan_key"]`` (its content hash), which
+:class:`~repro.serve.sharding.ShardPool` uses to key the program images
+it pickles to worker processes.  Workers therefore receive each plan's
+prebuilt image at most once -- even if the master-side cache evicted and
+recompiled the plan in between.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.compile.spec import KernelSpec
+    from repro.isa.program import Program
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`PlanCache` (snapshot-friendly)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    build_s: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+            "build_s": round(self.build_s, 6),
+        }
+
+
+class PlanCache:
+    """LRU cache of compiled programs, keyed by spec content hash.
+
+    ``max_entries=None`` means unbounded (the process-wide default cache
+    is bounded; tests use tiny bounds to exercise eviction).  Builds are
+    serialized under the cache lock so concurrent threads asking for the
+    same spec cannot duplicate work.
+    """
+
+    def __init__(self, max_entries: int | None = 256) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._plans: OrderedDict[str, Program] = OrderedDict()
+        self._lock = threading.RLock()
+        self._building: dict[str, threading.Event] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def lookup(self, spec: "KernelSpec") -> "Program | None":
+        """The cached program for ``spec``, or None (does not build)."""
+        with self._lock:
+            program = self._plans.get(spec.cache_key)
+            if program is not None:
+                self._plans.move_to_end(spec.cache_key)
+            return program
+
+    def get_or_build(
+        self,
+        spec: "KernelSpec",
+        builder: Callable[["KernelSpec"], "Program"],
+    ) -> "Program":
+        """Return the cached plan, compiling (and caching) it on a miss.
+
+        Each key builds at most once, but the build itself runs *outside*
+        the cache lock: one thread owns the compile (tracked by a per-key
+        event) while lookups of other specs -- and waiters on this one --
+        never block behind a multi-second cold build.  If the owning
+        build raises, a waiter takes over and retries.
+        """
+        key = spec.cache_key
+        while True:
+            with self._lock:
+                program = self._plans.get(key)
+                if program is not None:
+                    self.stats.hits += 1
+                    self._plans.move_to_end(key)
+                    return program
+                pending = self._building.get(key)
+                if pending is None:
+                    self.stats.misses += 1
+                    pending = self._building[key] = threading.Event()
+                    owned = True
+                else:
+                    owned = False
+            if not owned:
+                pending.wait()
+                continue  # re-check: hit on success, take over on failure
+            try:
+                t0 = time.perf_counter()
+                program = builder(spec)
+                build_s = time.perf_counter() - t0
+            except BaseException:
+                with self._lock:
+                    del self._building[key]
+                pending.set()
+                raise
+            with self._lock:
+                self.stats.build_s += build_s
+                self._plans[key] = program
+                if (
+                    self.max_entries is not None
+                    and len(self._plans) > self.max_entries
+                ):
+                    self._plans.popitem(last=False)
+                    self.stats.evictions += 1
+                del self._building[key]
+            pending.set()
+            return program
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters keep accumulating)."""
+        with self._lock:
+            self._plans.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats = CacheStats()
+
+    def snapshot(self) -> dict:
+        """JSON-safe cache state for benchmark output."""
+        with self._lock:
+            return {"entries": len(self._plans), **self.stats.as_dict()}
+
+
+PLAN_CACHE = PlanCache()
+"""The process-wide plan cache every generator entry point shares."""

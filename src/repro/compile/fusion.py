@@ -1,0 +1,234 @@
+"""Cross-kernel fusion: forward-NTT -> pointwise -> inverse-NTT as one IR.
+
+The three-pass polymul / HE-multiply primitive historically ran as three
+separate programs, writing every intermediate (the operands' spectra and
+the NTT-domain product) back to region memory between passes.  This
+module stitches all the constituent kernels into **one** IR kernel whose
+pointwise stage reads and writes with exactly the addressing signatures
+of the surrounding transforms.  Unbounded store-to-load forwarding then
+rewires the former kernel boundaries through the VRF, and dead-store
+elimination deletes the region-memory round-trips -- the intermediates
+never leave the register file (spilling aside), which is what cuts both
+the instruction count and the modeled HBM/VDM traffic of the primitive.
+
+Fused VDM layout, per RNS tower ``k`` (bases in multiples of ``n``)::
+
+    k*8 + 0..1   forward(a) ping-pong buffers   (a input at k*8 + 0)
+    k*8 + 2..3   forward(b) ping-pong buffers   (b input at k*8 + 2)
+    k*8 + 4      forward twiddles (shared by both operand transforms)
+    k*8 + 5..6   inverse ping-pong buffers      (product output)
+    k*8 + 7      inverse twiddles
+
+The spill region sits above the last tower.  With one ARF register per
+region and ``a0`` reserved for scalar memory, 8 regions/tower bounds a
+fused program at :data:`MAX_FUSED_TOWERS` towers.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ntt.twiddles import TwiddleTable
+from repro.rns.basis import RnsBasis
+from repro.spiral.ir import IrKernel, IrKind, IrOp
+from repro.spiral.ntt_codegen import build_forward_kernel, build_inverse_kernel
+from repro.util.bits import is_power_of_two
+
+FUSED_REGIONS_PER_TOWER = 8
+# The ARF layout admits floor(62/8) = 7 data-region tower slots, but the
+# top slot would leave no room for the spill area that unbounded
+# forwarding's register pressure always needs -- 6 is the largest tower
+# count that actually lowers (measured at n/vlen = 2).  Whether a given
+# (towers, n/vlen) fits is ultimately decided by register allocation:
+# callers that can fall back (the serving layer) probe compilability and
+# catch the lowering ValueError rather than trusting this bound alone.
+MAX_FUSED_TOWERS = 6
+SDM_WORDS_PER_TOWER = 4  # forward (n_inv, psi[1]) + inverse (n_inv, psi_inv[1])
+
+
+def fused_moduli(
+    n: int, num_towers: int, q: int | None, q_bits: int
+) -> tuple[int, ...]:
+    """The moduli a fused kernel executes under.
+
+    Single tower: the explicit ``q`` or the canonical ``q_bits`` prime --
+    identical to what the unfused ``generate_ntt_program`` resolves.
+    Multiple towers: the generated RNS basis -- identical to
+    ``generate_batched_ntt_program`` (and thus to ``he_group_moduli``).
+    """
+    if num_towers == 1:
+        return (TwiddleTable.for_ring(n, q=q, q_bits=q_bits).q,)
+    return tuple(RnsBasis.generate(num_towers, q_bits, n).moduli)
+
+
+def _append_relocated(merged: IrKernel, sub: IrKernel) -> list[IrOp]:
+    """Shift ``sub``'s virtuals above ``merged``'s watermark; return its ops.
+
+    Also merges the sub-kernel's scalar-virtual set (shifted) into the
+    merged kernel's metadata so register allocation keeps treating SLOAD
+    results as non-vector values.
+    """
+    offset = merged.next_virtual
+    ops = [
+        op.clone(
+            defs=tuple(d + offset for d in op.defs),
+            uses=tuple(u + offset for u in op.uses),
+        )
+        for op in sub.ops
+    ]
+    merged.next_virtual += sub.next_virtual
+    scalars = sub.metadata.get("scalar_virtuals", set())
+    merged.metadata["scalar_virtuals"].update(s + offset for s in scalars)
+    return ops
+
+
+def _pointwise_ops(
+    merged: IrKernel,
+    a_sigs: list[tuple],
+    b_sigs: list[tuple],
+    out_sigs: list[tuple],
+    mreg: int,
+) -> list[IrOp]:
+    """NTT-domain product, addressed exactly like its neighbours.
+
+    The Hadamard product is lanewise, so it commutes with any lane
+    permutation: loading both spectra with the producer's *store*
+    signatures and storing the product with the consumer's *load*
+    signatures computes the same region contents as a linear sweep --
+    while giving store-to-load forwarding textually identical signatures
+    to match on both sides of the stage.
+    """
+    ops = []
+    for a_sig, b_sig, out_sig in zip(a_sigs, b_sigs, out_sigs):
+        va = merged.new_virtual()
+        vb = merged.new_virtual()
+        prod = merged.new_virtual()
+        ops.append(
+            IrOp(
+                IrKind.VLOAD, defs=(va,),
+                base=a_sig[0], mode=a_sig[1], value=a_sig[2],
+            )
+        )
+        ops.append(
+            IrOp(
+                IrKind.VLOAD, defs=(vb,),
+                base=b_sig[0], mode=b_sig[1], value=b_sig[2],
+            )
+        )
+        ops.append(
+            IrOp(
+                IrKind.VVOP, subop="mul", defs=(prod,), uses=(va, vb),
+                mreg=mreg,
+            )
+        )
+        ops.append(
+            IrOp(
+                IrKind.VSTORE, uses=(prod,),
+                base=out_sig[0], mode=out_sig[1], value=out_sig[2],
+            )
+        )
+    return ops
+
+
+def build_fused_kernel(
+    n: int,
+    moduli: tuple[int, ...],
+    vlen: int,
+    rect_depth: int,
+) -> IrKernel:
+    """One IR kernel computing ``out_k = a_k * b_k`` in every tower's ring.
+
+    Per tower: forward NTT of ``a``, forward NTT of ``b``, pointwise
+    multiply in the transform domain, inverse NTT -- all in one op list,
+    towers round-robin interleaved so independent work hides dependence
+    stalls (the same trick as the batched multi-tower generator).  The
+    result is *pre-optimization*: the caller runs forwarding / DSE / DCE
+    / scheduling over it (see :mod:`repro.compile.pipeline`).
+    """
+    if not moduli:
+        raise ValueError("fused kernel needs at least one modulus")
+    if len(moduli) > MAX_FUSED_TOWERS:
+        raise ValueError(
+            f"fused kernels support at most {MAX_FUSED_TOWERS} towers "
+            f"(ARF region budget); got {len(moduli)}"
+        )
+    if not is_power_of_two(n) or n < 2 * vlen:
+        raise ValueError("n must be a power of two with n >= 2*vlen")
+
+    merged = IrKernel(
+        n=n,
+        vlen=vlen,
+        direction="fused",
+        modulus=moduli[0],
+        metadata={
+            "kernel": (
+                "fused_polymul" if len(moduli) == 1 else "fused_he_multiply"
+            ),
+            "n": n,
+            "vlen": vlen,
+            "num_towers": len(moduli),
+            "rect_depth": rect_depth,
+            "moduli": {k + 1: q for k, q in enumerate(moduli)},
+            "scalar_virtuals": set(),
+        },
+    )
+    sdm_image: list[int] = [0] * (SDM_WORDS_PER_TOWER * len(moduli))
+    tower_ops: list[list[IrOp]] = []
+    tower_io: list[tuple[int, int, int]] = []
+    segments: list[tuple[str, int, tuple[int, ...]]] = []
+
+    for k, q in enumerate(moduli):
+        base = k * FUSED_REGIONS_PER_TOWER * n
+        sdm_fwd = SDM_WORDS_PER_TOWER * k
+        sdm_inv = sdm_fwd + 2
+        mreg = k + 1
+        table = TwiddleTable.for_ring(n, q=q)
+        fwd_a = build_forward_kernel(
+            table, vlen=vlen, rect_depth=rect_depth,
+            vdm_base=base, sdm_base=sdm_fwd, mreg=mreg, tw_base=base + 4 * n,
+        )
+        fwd_b = build_forward_kernel(
+            table, vlen=vlen, rect_depth=rect_depth,
+            vdm_base=base + 2 * n, sdm_base=sdm_fwd, mreg=mreg,
+            tw_base=base + 4 * n,
+        )
+        inv = build_inverse_kernel(
+            table, vlen=vlen, rect_depth=rect_depth,
+            vdm_base=base + 5 * n, sdm_base=sdm_inv, mreg=mreg,
+            tw_base=base + 7 * n,
+        )
+        ops = _append_relocated(merged, fwd_a)
+        ops += _append_relocated(merged, fwd_b)
+        ops += _pointwise_ops(
+            merged,
+            fwd_a.metadata["output_store_signatures"],
+            fwd_b.metadata["output_store_signatures"],
+            inv.metadata["input_load_signatures"],
+            mreg,
+        )
+        ops += _append_relocated(merged, inv)
+        tower_ops.append(ops)
+        tower_io.append((fwd_a.input_base, fwd_b.input_base, inv.output_base))
+        for sub in (fwd_a, fwd_b, inv):
+            sdm_base = sub.metadata["sdm_base"]
+            sdm_image[sdm_base:sdm_base + len(sub.sdm_values)] = (
+                sub.sdm_values
+            )
+            for seg in sub.vdm_segments:
+                # fwd_a and fwd_b share one twiddle segment; keep one copy.
+                if seg not in segments:
+                    segments.append(seg)
+
+    # Round-robin interleave towers, like the batched generator: one
+    # tower's dependence stalls are filled with another tower's work.
+    for group in itertools.zip_longest(*tower_ops):
+        merged.ops.extend(op for op in group if op is not None)
+    merged.vdm_segments = segments
+    merged.sdm_values = sdm_image
+    merged.input_base = tower_io[0][0]
+    merged.output_base = tower_io[0][2]
+    merged.input_layout = "natural"
+    merged.output_layout = "natural"
+    merged.metadata["tower_io"] = tower_io
+    merged.validate_ssa()
+    return merged

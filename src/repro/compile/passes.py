@@ -1,0 +1,316 @@
+"""The unified pass pipeline: every codegen stage as a uniform IR pass.
+
+The SPIRAL-style generator used to be a loose pile of ``generate_*``
+entry points each hand-sequencing schedule / forwarding / regalloc /
+emit.  This module gives those stages one shape -- a :class:`Pass` is a
+named function over a :class:`CompileUnit` -- and adds the new optimizing
+passes the fused kernels need:
+
+* :func:`eliminate_dead_code` -- drop ops whose results are never used
+  (side-effect-free kinds only; VSTORE always survives here).
+* :func:`eliminate_dead_stores` -- drop VSTOREs that no later load reads
+  and that don't land in a live-out region; this is what removes the
+  region-memory round-trips of intermediates after cross-kernel fusion.
+* :func:`coalesce_shuffles` -- CSE structurally identical shuffles and
+  cancel inverse pairs (``pklo(unpklo(a,b), unpkhi(a,b)) == a`` and the
+  three symmetric identities).
+
+The existing stages (store-to-load forwarding, the list scheduler,
+register allocation, lowering) are wrapped as passes of the same shape,
+so a :class:`PassManager` run produces one uniform
+:class:`~repro.compile.report.CompileReport` row per stage regardless of
+which layer the stage historically lived in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.compile.report import CompileReport, PassStats
+from repro.compile.spec import KernelSpec
+from repro.isa.program import Program
+from repro.spiral.emit import emit_program
+from repro.spiral.forwarding import forward_stores_to_loads
+from repro.spiral.ir import IrKernel, IrKind
+from repro.spiral.regalloc import AllocationResult, allocate_registers
+from repro.spiral.schedule import schedule_ops
+
+
+@dataclass
+class CompileUnit:
+    """What flows through the pipeline: kernel -> allocation -> program."""
+
+    spec: KernelSpec
+    kernel: IrKernel | None = None
+    allocation: AllocationResult | None = None
+    program: Program | None = None
+    extras: dict = field(default_factory=dict)
+
+    def op_count(self) -> int:
+        """Current size of the unit in its most-lowered form."""
+        if self.program is not None:
+            return len(self.program.instructions)
+        if self.allocation is not None:
+            return len(self.allocation.ops)
+        if self.kernel is not None:
+            return len(self.kernel.ops)
+        return 0
+
+
+PassFn = Callable[[CompileUnit], dict | None]
+
+
+@dataclass(frozen=True)
+class Pass:
+    """A named pipeline stage; ``fn`` may return a detail dict."""
+
+    name: str
+    fn: PassFn
+
+
+class PassManager:
+    """Runs a pass list over a unit, recording per-pass statistics."""
+
+    def __init__(self, passes: list[Pass]) -> None:
+        self.passes = list(passes)
+
+    def run(self, unit: CompileUnit, report: CompileReport) -> CompileUnit:
+        for stage in self.passes:
+            before = unit.op_count()
+            t0 = time.perf_counter()
+            detail = stage.fn(unit) or {}
+            wall = time.perf_counter() - t0
+            report.passes.append(
+                PassStats(
+                    name=stage.name,
+                    ops_before=before,
+                    ops_after=unit.op_count(),
+                    wall_s=wall,
+                    detail=detail,
+                )
+            )
+        return unit
+
+
+# ---------------------------------------------------------------------------
+# New optimizing passes (pure IrKernel -> IrKernel rewrites).
+# ---------------------------------------------------------------------------
+
+
+def eliminate_dead_code(kernel: IrKernel) -> int:
+    """Remove side-effect-free ops none of whose defs is ever used.
+
+    VSTOREs are memory side effects and are never touched here (that is
+    :func:`eliminate_dead_stores`' job).  Runs to a fixpoint so chains of
+    dead producers collapse in one call; returns ops removed.
+    """
+    removed_total = 0
+    while True:
+        used: set[int] = set()
+        for op in kernel.ops:
+            used.update(op.uses)
+        kept = []
+        removed = 0
+        for op in kernel.ops:
+            dead = (
+                op.kind is not IrKind.VSTORE
+                and op.defs
+                and not any(d in used for d in op.defs)
+            )
+            if dead:
+                removed += 1
+            else:
+                kept.append(op)
+        kernel.ops = kept
+        removed_total += removed
+        if not removed:
+            break
+    if removed_total:
+        kernel.metadata["dead_code_removed"] = (
+            kernel.metadata.get("dead_code_removed", 0) + removed_total
+        )
+    return removed_total
+
+
+def eliminate_dead_stores(
+    kernel: IrKernel, live_out: list[tuple[int, int]]
+) -> int:
+    """Remove VSTOREs whose data can never be observed.
+
+    A store survives if its address span intersects a ``live_out``
+    half-open ``[lo, hi)`` interval (a region the caller reads after the
+    run) or if any *later* load's span overlaps it.  Overlap tests use
+    the conservative ``[lo, hi]`` span of each access, so strided
+    patterns only ever keep extra stores, never drop live ones.  Returns
+    the number of stores removed.
+    """
+    vlen = kernel.vlen
+    load_spans: list[tuple[int, int, int]] = []  # (index, lo, hi)
+    for index, op in enumerate(kernel.ops):
+        if op.kind is IrKind.VLOAD:
+            lo, hi = op.address_span(vlen)
+            load_spans.append((index, lo, hi))
+
+    def observed(index: int, lo: int, hi: int) -> bool:
+        for out_lo, out_hi in live_out:
+            if lo < out_hi and hi >= out_lo:
+                return True
+        for load_index, load_lo, load_hi in load_spans:
+            if load_index > index and lo <= load_hi and hi >= load_lo:
+                return True
+        return False
+
+    kept = []
+    removed = 0
+    for index, op in enumerate(kernel.ops):
+        if op.kind is IrKind.VSTORE:
+            lo, hi = op.address_span(vlen)
+            if not observed(index, lo, hi):
+                removed += 1
+                continue
+        kept.append(op)
+    kernel.ops = kept
+    if removed:
+        kernel.metadata["dead_stores_removed"] = (
+            kernel.metadata.get("dead_stores_removed", 0) + removed
+        )
+    return removed
+
+
+# unpk(pk) / pk(unpk) inverse identities, checked against the shared
+# shuffle permutation table by tests/test_compile.py.
+_CANCEL = {
+    ("pklo", "unpklo", "unpkhi"): 0,  # pklo(unpklo(a,b), unpkhi(a,b)) == a
+    ("pkhi", "unpklo", "unpkhi"): 1,  # pkhi(...) == b
+    ("unpklo", "pklo", "pkhi"): 0,  # unpklo(pklo(a,b), pkhi(a,b)) == a
+    ("unpkhi", "pklo", "pkhi"): 1,  # unpkhi(...) == b
+}
+
+
+def coalesce_shuffles(kernel: IrKernel) -> int:
+    """CSE identical shuffles and cancel inverse unpk/pk pairs.
+
+    SSA guarantees two SHUF ops with the same ``(subop, uses)`` compute
+    the same value, so the second (and later) copies fold onto the first
+    def.  When both halves of an interleave are immediately
+    de-interleaved (or vice versa) the pair cancels to the original
+    sources.  Dead producers left behind are cleaned by a following
+    :func:`eliminate_dead_code` run; returns shuffles removed here.
+    """
+    replacement: dict[int, int] = {}
+    seen: dict[tuple, int] = {}
+    produced: dict[int, tuple] = {}  # def -> (subop, a, b)
+    kept = []
+    removed = 0
+    for op in kernel.ops:
+        if op.uses and any(u in replacement for u in op.uses):
+            op = op.clone(uses=tuple(replacement.get(u, u) for u in op.uses))
+        if op.kind is IrKind.SHUF:
+            a, b = op.uses
+            key = (op.subop, a, b)
+            prior = seen.get(key)
+            if prior is not None:
+                replacement[op.defs[0]] = prior
+                removed += 1
+                continue
+            pa, pb = produced.get(a), produced.get(b)
+            if pa is not None and pb is not None and pa[1:] == pb[1:]:
+                which = _CANCEL.get((op.subop, pa[0], pb[0]))
+                if which is not None:
+                    replacement[op.defs[0]] = (pa[1], pa[2])[which]
+                    removed += 1
+                    continue
+            seen[key] = op.defs[0]
+            produced[op.defs[0]] = (op.subop, a, b)
+        kept.append(op)
+    kernel.ops = kept
+    if removed:
+        kernel.metadata["shuffles_coalesced"] = (
+            kernel.metadata.get("shuffles_coalesced", 0) + removed
+        )
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# The existing stages, wrapped in the uniform pass shape.
+# ---------------------------------------------------------------------------
+
+
+def forwarding_pass(max_distance: int | None = 48) -> Pass:
+    def fn(unit: CompileUnit) -> dict:
+        removed = forward_stores_to_loads(
+            unit.kernel, max_distance=max_distance
+        )
+        return {"forwarded_loads": removed}
+
+    return Pass("store_to_load_forwarding", fn)
+
+
+def dce_pass() -> Pass:
+    def fn(unit: CompileUnit) -> dict:
+        return {"dead_ops_removed": eliminate_dead_code(unit.kernel)}
+
+    return Pass("dead_code_elimination", fn)
+
+
+def dse_pass() -> Pass:
+    """Dead-store elimination against the unit's declared live-out regions."""
+
+    def fn(unit: CompileUnit) -> dict:
+        live_out = unit.extras.get("live_out", [])
+        return {
+            "dead_stores_removed": eliminate_dead_stores(
+                unit.kernel, live_out
+            )
+        }
+
+    return Pass("dead_store_elimination", fn)
+
+
+def shuffle_pass() -> Pass:
+    def fn(unit: CompileUnit) -> dict:
+        return {"shuffles_coalesced": coalesce_shuffles(unit.kernel)}
+
+    return Pass("shuffle_coalescing", fn)
+
+
+def schedule_pass(window: int) -> Pass:
+    def fn(unit: CompileUnit) -> None:
+        schedule_ops(unit.kernel, window=window)
+
+    return Pass("list_schedule", fn)
+
+
+def regalloc_pass(reuse_policy: str, group_aware: bool) -> Pass:
+    def fn(unit: CompileUnit) -> dict:
+        unit.allocation = allocate_registers(
+            unit.kernel,
+            reuse_policy=reuse_policy,
+            group_aware=group_aware,
+            spill_base=unit.extras.get("spill_base"),
+        )
+        return {
+            "spill_stores": unit.allocation.spill_stores,
+            "spill_loads": unit.allocation.spill_loads,
+            "peak_live": unit.allocation.peak_live,
+        }
+
+    return Pass("register_allocation", fn)
+
+
+def emit_pass() -> Pass:
+    def fn(unit: CompileUnit) -> None:
+        unit.program = emit_program(
+            unit.kernel, unit.allocation, unit.extras["name"]
+        )
+
+    return Pass("emit", fn)
+
+
+def validate_pass() -> Pass:
+    def fn(unit: CompileUnit) -> None:
+        unit.kernel.validate_ssa()
+
+    return Pass("validate_ssa", fn)

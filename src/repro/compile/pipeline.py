@@ -1,0 +1,249 @@
+"""``compile_spec``: one entry point from :class:`KernelSpec` to program.
+
+Every kernel family goes through the same machinery -- a kind-specific
+*frontend* that produces IR (or, for the trivially-shaped pointwise
+sweeps, a finished instruction stream), then a :class:`PassManager` run
+over the family's pass pipeline, then lowering -- and every compilation
+is recorded as a :class:`~repro.compile.report.CompileReport` stored in
+``program.metadata["compile"]``.  The public entry point is fronted by
+the process-wide content-addressed :data:`~repro.compile.cache.PLAN_CACHE`.
+
+Pipelines by family::
+
+    ntt / batched_ntt (optimized)    forwarding -> schedule -> regalloc -> emit
+    ntt / batched_ntt (unoptimized)  regalloc(naive) -> emit
+    fused polymul / HE multiply      forwarding(unbounded) -> shuffle
+                                     coalescing -> dead-store elim ->
+                                     DCE -> schedule -> regalloc -> emit
+    pointwise / batched_pointwise    direct emission (no IR passes)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.compile.cache import PLAN_CACHE, PlanCache
+from repro.compile.fusion import (
+    FUSED_REGIONS_PER_TOWER,
+    build_fused_kernel,
+    fused_moduli,
+)
+from repro.compile.passes import (
+    CompileUnit,
+    Pass,
+    PassManager,
+    dce_pass,
+    dse_pass,
+    emit_pass,
+    forwarding_pass,
+    regalloc_pass,
+    schedule_pass,
+    shuffle_pass,
+    validate_pass,
+)
+from repro.compile.report import CompileReport, PassStats
+from repro.compile.spec import KernelSpec
+from repro.isa.program import Program, RegionSpec
+from repro.modmath.primes import find_ntt_prime
+from repro.ntt.twiddles import TwiddleTable
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CycleSimulator
+from repro.spiral.batched import REGIONS_PER_TOWER, build_merged_ntt_kernel
+from repro.spiral.ntt_codegen import build_forward_kernel, build_inverse_kernel
+from repro.spiral.pointwise import (
+    build_batched_pointwise_program,
+    build_pointwise_program,
+)
+
+
+def compile_spec(
+    spec: KernelSpec, cache: PlanCache | None = PLAN_CACHE
+) -> Program:
+    """Compile ``spec`` (or fetch its cached plan).
+
+    ``cache=None`` forces a fresh build -- used by differential tests
+    that want an uncached compilation to compare against.
+    """
+    if cache is None:
+        return build_program(spec)
+    return cache.get_or_build(spec, build_program)
+
+
+def compile_report(program: Program) -> dict | None:
+    """The compile report a program was built with (JSON-safe dict)."""
+    return program.metadata.get("compile")
+
+
+def estimated_cycles(program: Program) -> int:
+    """Cycle-model estimate on a default configuration at program vlen."""
+    vlen = program.vlen
+    config = (
+        RpuConfig()
+        if vlen == 512
+        else RpuConfig(vlen=vlen, num_hples=min(128, vlen))
+    )
+    return CycleSimulator(config).run(program).cycles
+
+
+def build_program(spec: KernelSpec) -> Program:
+    """Uncached compilation: frontend, pass pipeline, lowering, report."""
+    t0 = time.perf_counter()
+    report = CompileReport(
+        spec_key=spec.cache_key, kind=spec.kind, name=spec.label()
+    )
+    if spec.kind in ("pointwise", "batched_pointwise"):
+        program = _emit_pointwise(spec, report)
+    else:
+        unit = CompileUnit(spec=spec)
+        unit.extras["name"] = spec.label()
+        build_t0 = time.perf_counter()
+        passes = _FRONTENDS[spec.kind](spec, unit)
+        report.passes.append(
+            PassStats(
+                name="build_ir",
+                ops_before=0,
+                ops_after=unit.op_count(),
+                wall_s=time.perf_counter() - build_t0,
+            )
+        )
+        PassManager(passes).run(unit, report)
+        program = unit.program
+        _attach_family_metadata(spec, unit, program)
+    report.instructions = len(program.instructions)
+    report.estimated_cycles = estimated_cycles(program)
+    report.wall_s = time.perf_counter() - t0
+    program.metadata["plan_key"] = spec.cache_key
+    program.metadata["compile"] = report.as_dict()
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Frontends: build the IR, declare the family's pass pipeline.
+# ---------------------------------------------------------------------------
+
+
+def _ntt_pipeline(spec: KernelSpec) -> list[Pass]:
+    if spec.optimize:
+        return [
+            forwarding_pass(48),
+            schedule_pass(spec.schedule_window),
+            regalloc_pass("fifo", group_aware=True),
+            emit_pass(),
+        ]
+    # Same dataflow and instruction counts, but dependency-dense order,
+    # immediate register reuse and no scheduling: Fig. 6's baseline.
+    return [regalloc_pass("lifo", group_aware=False), emit_pass()]
+
+
+def _frontend_ntt(spec: KernelSpec, unit: CompileUnit) -> list[Pass]:
+    table = TwiddleTable.for_ring(spec.n, q=spec.q, q_bits=spec.q_bits)
+    builder = (
+        build_forward_kernel
+        if spec.direction == "forward"
+        else build_inverse_kernel
+    )
+    kernel = builder(
+        table,
+        vlen=spec.vlen,
+        rect_depth=spec.rect_depth,
+        naive_order=not spec.optimize,
+    )
+    kernel.validate_ssa()
+    unit.kernel = kernel
+    return _ntt_pipeline(spec)
+
+
+def _frontend_batched_ntt(spec: KernelSpec, unit: CompileUnit) -> list[Pass]:
+    unit.kernel = build_merged_ntt_kernel(
+        spec.n,
+        spec.num_towers,
+        spec.direction,
+        spec.vlen,
+        spec.q_bits,
+        spec.rect_depth,
+    )
+    unit.extras["spill_base"] = spec.num_towers * REGIONS_PER_TOWER * spec.n
+    return _ntt_pipeline(spec)
+
+
+def _frontend_fused(spec: KernelSpec, unit: CompileUnit) -> list[Pass]:
+    moduli = spec.moduli or fused_moduli(
+        spec.n, spec.num_towers, spec.q, spec.q_bits
+    )
+    kernel = build_fused_kernel(spec.n, moduli, spec.vlen, spec.rect_depth)
+    unit.kernel = kernel
+    n = spec.n
+    unit.extras["live_out"] = [
+        (out_base, out_base + n)
+        for _a, _b, out_base in kernel.metadata["tower_io"]
+    ]
+    unit.extras["spill_base"] = len(moduli) * FUSED_REGIONS_PER_TOWER * n
+    return [
+        forwarding_pass(None),  # unbounded: cross former kernel boundaries
+        shuffle_pass(),
+        dse_pass(),
+        dce_pass(),
+        validate_pass(),
+        schedule_pass(spec.schedule_window),
+        regalloc_pass("fifo", group_aware=True),
+        emit_pass(),
+    ]
+
+
+_FRONTENDS = {
+    "ntt": _frontend_ntt,
+    "batched_ntt": _frontend_batched_ntt,
+    "fused_polymul": _frontend_fused,
+    "fused_he_multiply": _frontend_fused,
+}
+
+
+def _emit_pointwise(spec: KernelSpec, report: CompileReport) -> Program:
+    """Pointwise sweeps emit directly (trivial dataflow, no IR passes)."""
+    t0 = time.perf_counter()
+    if spec.kind == "pointwise":
+        q = spec.q if spec.q is not None else find_ntt_prime(spec.q_bits, spec.n)
+        program = build_pointwise_program(spec.n, spec.op, spec.vlen, q)
+    else:
+        program = build_batched_pointwise_program(
+            spec.n, spec.moduli, spec.op, spec.vlen
+        )
+    report.passes.append(
+        PassStats(
+            name="build_program",
+            ops_before=0,
+            ops_after=len(program.instructions),
+            wall_s=time.perf_counter() - t0,
+        )
+    )
+    return program
+
+
+def _attach_family_metadata(
+    spec: KernelSpec, unit: CompileUnit, program: Program
+) -> None:
+    """Post-lowering metadata each family's callers rely on."""
+    n = spec.n
+    if spec.kind in ("ntt", "batched_ntt"):
+        program.metadata["optimized"] = spec.optimize
+    if spec.kind == "batched_ntt":
+        program.metadata["tower_regions"] = [
+            (
+                RegionSpec(f"input_{k}", in_base, n, in_layout),
+                RegionSpec(f"output_{k}", out_base, n, out_layout),
+            )
+            for k, (in_base, in_layout, out_base, out_layout) in enumerate(
+                unit.kernel.metadata["batched_tower_io"]
+            )
+        ]
+    if spec.kind in ("fused_polymul", "fused_he_multiply"):
+        program.metadata["tower_regions"] = [
+            (
+                RegionSpec(f"a_{k}", a_base, n, "natural"),
+                RegionSpec(f"b_{k}", b_base, n, "natural"),
+                RegionSpec(f"out_{k}", out_base, n, "natural"),
+            )
+            for k, (a_base, b_base, out_base) in enumerate(
+                unit.kernel.metadata["tower_io"]
+            )
+        ]

@@ -1,0 +1,81 @@
+"""Compile-time accounting: what each pass did, and what it cost.
+
+Every :func:`~repro.compile.pipeline.compile_spec` call produces a
+:class:`CompileReport`: one :class:`PassStats` row per pipeline stage
+(op counts in and out, wall time, pass-specific detail) plus the final
+instruction count and the cycle estimate of the emitted program.  The
+report rides in ``program.metadata["compile"]`` so it flows untouched
+into the perf model (:class:`~repro.perf.engine.PerformanceReport`
+copies program metadata) and from there into benchmark JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PassStats:
+    """One pipeline stage's before/after accounting."""
+
+    name: str
+    ops_before: int
+    ops_after: int
+    wall_s: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def removed(self) -> int:
+        """Net op reduction (negative when a stage adds ops, e.g. spills)."""
+        return self.ops_before - self.ops_after
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ops_before": self.ops_before,
+            "ops_after": self.ops_after,
+            "removed": self.removed,
+            "wall_s": round(self.wall_s, 6),
+            **({"detail": dict(self.detail)} if self.detail else {}),
+        }
+
+
+@dataclass
+class CompileReport:
+    """Everything one compilation produced besides the program itself.
+
+    Attributes:
+        spec_key: the spec's content hash (:attr:`KernelSpec.cache_key`).
+        kind / name: kernel family and human-readable program name.
+        passes: per-stage :class:`PassStats`, in execution order.
+        instructions: final program length (including HALT).
+        estimated_cycles: cycle-model estimate of the emitted program on
+            a default configuration at the program's vlen.
+        wall_s: total compile wall time.
+    """
+
+    spec_key: str
+    kind: str
+    name: str
+    passes: list[PassStats] = field(default_factory=list)
+    instructions: int = 0
+    estimated_cycles: int | None = None
+    wall_s: float = 0.0
+
+    def pass_named(self, name: str) -> PassStats | None:
+        for stats in self.passes:
+            if stats.name == name:
+                return stats
+        return None
+
+    def as_dict(self) -> dict:
+        """JSON-safe form, stored in program metadata and bench JSON."""
+        return {
+            "spec_key": self.spec_key,
+            "kind": self.kind,
+            "name": self.name,
+            "passes": [p.as_dict() for p in self.passes],
+            "instructions": self.instructions,
+            "estimated_cycles": self.estimated_cycles,
+            "wall_s": round(self.wall_s, 6),
+        }

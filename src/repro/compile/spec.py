@@ -1,0 +1,146 @@
+"""Canonical kernel specifications: the compiler's content-addressed key.
+
+A :class:`KernelSpec` names everything that determines a generated
+:class:`~repro.isa.program.Program` -- kernel kind, ring degree, moduli
+signature, vector length, tower count, optimization flags -- in one
+frozen, hashable value.  Two specs with equal fields compile to the same
+program, so the spec's :attr:`~KernelSpec.cache_key` (a SHA-256 digest of
+the canonical field tuple) is what the process-wide
+:class:`~repro.compile.cache.PlanCache` and the shard-pool program
+transfer are keyed by: "content-addressed" in the sense that the address
+is derived from the *request contents*, never from object identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from functools import cached_property
+
+KERNEL_KINDS = (
+    "ntt",
+    "batched_ntt",
+    "pointwise",
+    "batched_pointwise",
+    "fused_polymul",
+    "fused_he_multiply",
+)
+"""Every kernel family the unified pipeline can compile."""
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One compilable kernel, canonically hashable.
+
+    Attributes:
+        kind: kernel family (:data:`KERNEL_KINDS`).
+        n: ring degree (power of two).
+        vlen: architectural vector length the kernel targets.
+        direction: ``"forward"`` / ``"inverse"`` for NTT kinds (ignored by
+            pointwise and fused kinds, which fix their own dataflow).
+        q: explicit modulus, or ``None`` to derive the canonical
+            ``q_bits``-bit NTT prime (single-modulus kinds).
+        q_bits: modulus width used whenever moduli are derived.
+        moduli: explicit RNS moduli (``batched_pointwise``; optional for
+            fused kinds -- empty means "derive from ``q``/``q_bits``").
+        num_towers: RNS tower count for batched / fused-HE kinds.
+        op: pointwise operation (``"mul"`` / ``"add"``).
+        optimize: False emits the Fig. 6 "unoptimized" baseline.
+        rect_depth: log2 of the register-resident rectangle, in vectors.
+        schedule_window: list-scheduler reordering window.
+    """
+
+    kind: str
+    n: int
+    vlen: int = 512
+    direction: str = "forward"
+    q: int | None = None
+    q_bits: int = 128
+    moduli: tuple[int, ...] = ()
+    num_towers: int = 1
+    op: str = "mul"
+    optimize: bool = True
+    rect_depth: int = 4
+    schedule_window: int = 48
+
+    def __post_init__(self) -> None:
+        if self.kind not in KERNEL_KINDS:
+            raise ValueError(
+                f"unknown kernel kind {self.kind!r}; expected one of "
+                f"{KERNEL_KINDS}"
+            )
+        if self.n < 2:
+            raise ValueError("ring degree must be >= 2")
+        if self.num_towers < 1:
+            raise ValueError("num_towers must be >= 1")
+        object.__setattr__(self, "moduli", tuple(self.moduli))
+
+    @cached_property
+    def cache_key(self) -> str:
+        """SHA-256 over the canonical field tuple (hex digest).
+
+        Stable across processes and interpreter runs -- unlike
+        ``hash()`` -- so the key can travel to shard workers and into
+        benchmark JSON.
+        """
+        canonical = (
+            "rpu-plan-v1",
+            self.kind,
+            self.n,
+            self.vlen,
+            self.direction,
+            self.q,
+            self.q_bits,
+            self.moduli,
+            self.num_towers,
+            self.op,
+            self.optimize,
+            self.rect_depth,
+            self.schedule_window,
+        )
+        return hashlib.sha256(repr(canonical).encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable name used for programs and reports."""
+        if self.kind == "ntt":
+            suffix = "opt" if self.optimize else "unopt"
+            return f"ntt_{self.direction}_{self.n}_{suffix}"
+        if self.kind == "batched_ntt":
+            return f"ntt_{self.direction}_{self.n}_x{self.num_towers}towers"
+        if self.kind == "pointwise":
+            return f"pointwise_{self.op}_{self.n}"
+        if self.kind == "batched_pointwise":
+            towers = self.num_towers if not self.moduli else len(self.moduli)
+            return f"pointwise_{self.op}_{self.n}_x{towers}towers"
+        if self.kind == "fused_polymul":
+            return f"fused_polymul_{self.n}"
+        return f"fused_he_multiply_{self.n}_x{self.num_towers}towers"
+
+
+def fused_spec(
+    n: int,
+    towers: int = 1,
+    q: int | None = None,
+    q_bits: int = 128,
+    vlen: int = 512,
+) -> KernelSpec:
+    """The canonical fused polymul / HE-multiply spec for these parameters.
+
+    The single place the fused tuning lives -- full rectangles and the
+    default scheduling window for one tower, shallower rectangles and a
+    wider window when towers share the register file (mirroring the
+    unfused single-tower vs batched generator defaults).  Serving
+    (:mod:`repro.serve.requests`), the HE pipeline driver and
+    :class:`~repro.core.pipeline.RpuPipeline` all construct their fused
+    programs through this helper, so they always share one plan.
+    """
+    return KernelSpec(
+        kind="fused_polymul" if towers == 1 else "fused_he_multiply",
+        n=n,
+        vlen=vlen,
+        q=q,
+        q_bits=q_bits,
+        num_towers=towers,
+        rect_depth=4 if towers == 1 else 3,
+        schedule_window=48 if towers == 1 else 96,
+    )

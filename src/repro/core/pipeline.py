@@ -193,12 +193,22 @@ class RpuPipeline:
         a: Sequence[int],
         b: Sequence[int],
         q: int | None = None,
+        fuse: bool = False,
     ) -> PipelineResult:
-        """c = a * b in Z_q[x]/(x^n + 1), entirely via RPU kernels."""
+        """c = a * b in Z_q[x]/(x^n + 1), entirely via RPU kernels.
+
+        ``fuse=True`` runs the cross-kernel-fused program from
+        :mod:`repro.compile` -- the whole primitive as one stage, with
+        the two spectra and the NTT-domain product held in the VRF
+        instead of round-tripping region memory.  Bit-identical to the
+        staged path; only the cost structure changes (one stage).
+        """
         n = len(a)
         if len(b) != n:
             raise ValueError("operands must have equal length")
         vlen = self.config.vlen
+        if fuse:
+            return self._fused_polymul(a, b, q)
         fwd = generate_ntt_program(
             n, "forward", vlen=vlen, q_bits=self.q_bits, q=q
         )
@@ -222,6 +232,26 @@ class RpuPipeline:
         result.output = self._run_stage(
             inv, {inv.input_region: prod_hat}, result
         )
+        return result
+
+    def _fused_polymul(
+        self, a: Sequence[int], b: Sequence[int], q: int | None
+    ) -> PipelineResult:
+        from repro.compile import compile_spec, fused_spec
+
+        program = compile_spec(
+            fused_spec(
+                len(a), q=q, q_bits=self.q_bits, vlen=self.config.vlen
+            )
+        )
+        a_reg, b_reg, out_reg = program.metadata["tower_regions"][0]
+        result = PipelineResult(output=[])
+        femu = make_simulator(program, backend=self.backend)
+        femu.write_region(a_reg, list(a))
+        femu.write_region(b_reg, list(b))
+        femu.run()
+        self._charge_stage(program, result)
+        result.output = femu.read_region(out_reg)
         return result
 
     def rns_polymul(

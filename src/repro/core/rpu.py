@@ -12,11 +12,12 @@ import random
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro.compile import KernelSpec, compile_spec
 from repro.femu import FEMU_BACKENDS, make_simulator
 from repro.hw.area import AreaBreakdown, rpu_area_breakdown
 from repro.hw.energy import EnergyBreakdown, ntt_energy_breakdown
 from repro.isa.program import Program
-from repro.ntt.reference import ntt_forward, ntt_inverse
+from repro.ntt.reference import ntt_forward
 from repro.ntt.twiddles import TwiddleTable
 from repro.perf.config import RpuConfig
 from repro.perf.engine import CycleSimulator, PerformanceReport
@@ -91,7 +92,7 @@ class Rpu:
 
     def run(
         self,
-        program: Program,
+        program: Program | KernelSpec,
         input_values: Sequence[int] | None = None,
         verify: bool = False,
         seed: int = 0,
@@ -101,7 +102,9 @@ class Rpu:
         """Simulate a kernel.
 
         Args:
-            program: the B512 kernel to run.
+            program: the B512 kernel to run -- or a
+                :class:`~repro.compile.KernelSpec`, compiled through the
+                process-wide plan cache (built at most once per process).
             input_values: data for the program's input region; triggers a
                 functional execution whose output is returned.
             verify: generate a random input, execute functionally, and check
@@ -116,6 +119,8 @@ class Rpu:
                 row, which collapses to one span and executes inline.
                 :meth:`run_batch` is where sharding pays.
         """
+        if isinstance(program, KernelSpec):
+            program = compile_spec(program)
         if backend not in FEMU_BACKENDS:
             raise ValueError(
                 f"unknown FEMU backend {backend!r}; "
@@ -171,7 +176,7 @@ class Rpu:
 
     def run_batch(
         self,
-        program: Program,
+        program: Program | KernelSpec,
         input_rows: Sequence[Sequence[int]],
         backend: str = "vectorized",
         shards: int | None = None,
@@ -179,15 +184,19 @@ class Rpu:
     ) -> RpuRunResult:
         """Simulate a kernel over a batch of independent inputs.
 
-        The batch rides one instruction stream (one cycle-model pass, like
-        :meth:`run`), executed functionally by :class:`BatchExecutor` --
-        or, when ``shards > 1`` or a :class:`~repro.serve.sharding.ShardPool`
-        is given, spread bit-identically over worker processes by
+        ``program`` may be a :class:`~repro.compile.KernelSpec` (compiled
+        once through the plan cache).  The batch rides one instruction
+        stream (one cycle-model pass, like :meth:`run`), executed
+        functionally by :class:`BatchExecutor` -- or, when ``shards > 1``
+        or a :class:`~repro.serve.sharding.ShardPool` is given, spread
+        bit-identically over worker processes by
         :class:`~repro.serve.sharding.ShardedBatchExecutor` (an
         unspecified ``shards`` uses the whole pool).  ``output`` holds one
         result row per input row; ``metadata`` carries the functional
         pass's ``stats``, ``dtype_path`` and effective ``shards``.
         """
+        if isinstance(program, KernelSpec):
+            program = compile_spec(program)
         if backend not in FEMU_BACKENDS:
             raise ValueError(
                 f"unknown FEMU backend {backend!r}; "

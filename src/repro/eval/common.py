@@ -6,7 +6,7 @@ import functools
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.femu import FEMU_BACKENDS, make_simulator
+from repro.femu import make_simulator
 from repro.isa.program import Program
 from repro.perf.config import RpuConfig
 from repro.perf.engine import CycleSimulator, PerformanceReport

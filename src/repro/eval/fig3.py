@@ -70,6 +70,6 @@ def print_fig3(points: list[DesignPoint] | None = None) -> None:
         1 for p in frontier if p.hples in (p.banks, 2 * p.banks)
     )
     print(
-        f"Pareto points with HPLEs == banks or 2x banks: "
+        "Pareto points with HPLEs == banks or 2x banks: "
         f"{ratio_ok}/{len(frontier)} (paper: 'most')"
     )

@@ -45,5 +45,5 @@ def print_fig8(grid: dict[tuple[int, int], int] | None = None) -> None:
     )
     print(
         f"shuffle latency 4->10: +{shuffle_latency_increase_pct(grid):.1f}% cycles "
-        f"(paper: marginal)"
+        "(paper: marginal)"
     )

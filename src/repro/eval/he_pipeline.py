@@ -33,7 +33,6 @@ from repro.ntt.polymul import negacyclic_polymul
 from repro.ntt.twiddles import TwiddleTable
 from repro.perf.engine import CycleSimulator
 from repro.spiral.batched import generate_batched_ntt_program, tower_regions
-from repro.spiral.kernels import generate_ntt_program
 from repro.spiral.pointwise import (
     generate_batched_pointwise_program,
     generate_pointwise_program,
@@ -133,6 +132,16 @@ def _run_batch(program, region_rows, batch, backend, shards=1, pool=None):
     return read, stats, "python-int", 1
 
 
+def _cycle_config(vlen: int):
+    return (
+        BEST_CONFIG
+        if vlen == BEST_CONFIG.vlen
+        else BEST_CONFIG.with_changes(
+            vlen=vlen, num_hples=min(BEST_CONFIG.num_hples, vlen)
+        )
+    )
+
+
 def run_functional_he_multiply(
     n: int = 1024,
     towers: int = 4,
@@ -143,10 +152,11 @@ def run_functional_he_multiply(
     check_oracle: bool = True,
     shards: int | None = None,
     pool=None,
+    fuse: bool = False,
 ) -> dict:
     """Execute an L-tower ciphertext multiply end-to-end on the FEMU.
 
-    Three generated kernels carry the whole primitive:
+    By default three generated kernels carry the whole primitive:
 
     1. one batched multi-tower *forward* NTT program, executed as a single
        :class:`BatchExecutor` pass with ``batch=2`` -- operand ``a`` in
@@ -154,36 +164,52 @@ def run_functional_he_multiply(
     2. one batched multi-tower *pointwise* multiply pass;
     3. one batched multi-tower *inverse* NTT pass.
 
+    ``fuse=True`` instead compiles the cross-kernel-fused single program
+    (:mod:`repro.compile.fusion`): forward NTTs, pointwise and inverse in
+    one instruction stream with intermediates held in the VRF, executed
+    as **one** pass -- bit-identical to the three-pass path and to the
+    software oracle; its report keys stats/cycles under ``"fused"``.
+
     ``shards > 1`` (or an explicit
     :class:`~repro.serve.sharding.ShardPool`) spreads each pass's batch
     rows over worker processes, bit-identically.  Functional results (the
     product's residue towers) are checked against the software oracle, and
-    the same three kernels run through the cycle simulator so the report
+    the same kernels run through the cycle simulator so the report
     carries functional truth and modeled cost side by side.
     """
     vlen = min(vlen, n // 2)
     if shards is None:
         shards = pool.shards if pool is not None else 1
+    if fuse:
+        # The fused primitive is ONE pass of batch 1: it can never use
+        # more than one shard, so don't fork an owned pool for it (a
+        # caller-supplied pool is passed through untouched).
+        return _run_fused_he_multiply(
+            n, towers, q_bits, backend, vlen, seed, check_oracle,
+            shards, pool,
+        )
     owned_pool = None
     if shards > 1 and pool is None:
         from repro.serve.sharding import ShardPool
 
         pool = owned_pool = ShardPool(shards)
-    fwd = generate_batched_ntt_program(
-        n, num_towers=towers, direction="forward", vlen=vlen, q_bits=q_bits
-    )
-    inv = generate_batched_ntt_program(
-        n, num_towers=towers, direction="inverse", vlen=vlen, q_bits=q_bits
-    )
-    moduli = tuple(fwd.metadata["moduli"][k + 1] for k in range(towers))
-    pw = generate_batched_pointwise_program(n, moduli, "mul", vlen=vlen)
-
-    rng = random.Random(seed)
-    a_towers = [[rng.randrange(q) for _ in range(n)] for q in moduli]
-    b_towers = [[rng.randrange(q) for _ in range(n)] for q in moduli]
-
-    t0 = time.perf_counter()
     try:
+        fwd = generate_batched_ntt_program(
+            n, num_towers=towers, direction="forward", vlen=vlen,
+            q_bits=q_bits,
+        )
+        inv = generate_batched_ntt_program(
+            n, num_towers=towers, direction="inverse", vlen=vlen,
+            q_bits=q_bits,
+        )
+        moduli = tuple(fwd.metadata["moduli"][k + 1] for k in range(towers))
+        pw = generate_batched_pointwise_program(n, moduli, "mul", vlen=vlen)
+
+        rng = random.Random(seed)
+        a_towers = [[rng.randrange(q) for _ in range(n)] for q in moduli]
+        b_towers = [[rng.randrange(q) for _ in range(n)] for q in moduli]
+
+        t0 = time.perf_counter()
         # Pass 1: every tower of both operands through one forward pass.
         fwd_rows = {
             inp: [a_towers[k], b_towers[k]]
@@ -213,10 +239,10 @@ def run_functional_he_multiply(
             inv, inv_rows, 1, backend, shards, pool
         )
         product_towers = [read(out)[0] for _inp, out in tower_regions(inv)]
+        wall_s = time.perf_counter() - t0
     finally:
         if owned_pool is not None:
             owned_pool.close()
-    wall_s = time.perf_counter() - t0
 
     bit_exact = None
     if check_oracle:
@@ -226,13 +252,7 @@ def run_functional_he_multiply(
         ]
         bit_exact = product_towers == oracle
 
-    config = (
-        BEST_CONFIG
-        if vlen == BEST_CONFIG.vlen
-        else BEST_CONFIG.with_changes(
-            vlen=vlen, num_hples=min(BEST_CONFIG.num_hples, vlen)
-        )
-    )
+    config = _cycle_config(vlen)
     reports = {
         name: CycleSimulator(config).run(prog)
         for name, prog in (("forward", fwd), ("pointwise", pw), ("inverse", inv))
@@ -248,6 +268,7 @@ def run_functional_he_multiply(
         "towers": towers,
         "q_bits": q_bits,
         "backend": backend,
+        "fused": False,
         "shards": shards,
         # A pass cannot use more shards than batch rows; these are the
         # worker counts each pass actually ran on (fwd has batch=2).
@@ -270,6 +291,133 @@ def run_functional_he_multiply(
         "hbm_us": hbm_us,
         "hbm_hidden": hbm_us <= total_us,
         "wall_s": wall_s,
+    }
+
+
+def _run_fused_he_multiply(
+    n, towers, q_bits, backend, vlen, seed, check_oracle, shards, pool
+) -> dict:
+    """The ``fuse=True`` body: the whole primitive is ONE program pass."""
+    from repro.compile import compile_spec, fused_spec
+
+    program = compile_spec(fused_spec(n, towers, q_bits=q_bits, vlen=vlen))
+    moduli = tuple(program.metadata["moduli"][k + 1] for k in range(towers))
+    rng = random.Random(seed)
+    a_towers = [[rng.randrange(q) for _ in range(n)] for q in moduli]
+    b_towers = [[rng.randrange(q) for _ in range(n)] for q in moduli]
+    regions = program.metadata["tower_regions"]
+
+    t0 = time.perf_counter()
+    rows = {}
+    for k, (a_reg, b_reg, _out) in enumerate(regions):
+        rows[a_reg] = [a_towers[k]]
+        rows[b_reg] = [b_towers[k]]
+    read, stats, dtype_path, eff_shards = _run_batch(
+        program, rows, 1, backend, shards, pool
+    )
+    product_towers = [read(out)[0] for _a, _b, out in regions]
+    wall_s = time.perf_counter() - t0
+
+    bit_exact = None
+    if check_oracle:
+        oracle = [
+            negacyclic_polymul(ta, tb, TwiddleTable.for_ring(n, q))
+            for ta, tb, q in zip(a_towers, b_towers, moduli)
+        ]
+        bit_exact = product_towers == oracle
+
+    report = CycleSimulator(_cycle_config(vlen)).run(program)
+    hbm_us = towers * 3 * hbm_transfer_us(n)  # 2 operands in, 1 product out
+    total_us = report.runtime_us
+    return {
+        "n": n,
+        "towers": towers,
+        "q_bits": q_bits,
+        "backend": backend,
+        "fused": True,
+        "shards": shards,
+        "effective_shards": {"fused": eff_shards},
+        "dtype_path": dtype_path,
+        "moduli": moduli,
+        "product_towers": product_towers,
+        "bit_exact": bit_exact,
+        "stats": {"fused": stats},
+        "cycles": {"fused": report.cycles},
+        "compile": program.metadata.get("compile"),
+        "modeled_total_us": total_us,
+        "hbm_us": hbm_us,
+        "hbm_hidden": hbm_us <= total_us,
+        "wall_s": wall_s,
+    }
+
+
+def fused_vs_unfused_report(
+    n: int = 1024, towers: int = 4, q_bits: int = 128, vlen: int = 512
+) -> dict:
+    """Head-to-head: the fused primitive vs the three-pass pipeline.
+
+    Counts are *per primitive* (one ciphertext multiply): the unfused
+    forward stream is charged twice because it carries both operands --
+    on silicon those are two kernel launches.  HBM rings count the
+    pass-boundary transfers a serving system would move per primitive:
+    9L for the three-pass flow (fwd: 2L in / 2L out, pw: 2L in / L out,
+    inv: L in / L out) vs 3L fused (operands in, product out).
+    """
+    vlen = min(vlen, n // 2)
+    unfused = run_functional_he_multiply(
+        n=n, towers=towers, q_bits=q_bits, vlen=vlen, fuse=False
+    )
+    fused = run_functional_he_multiply(
+        n=n, towers=towers, q_bits=q_bits, vlen=vlen, fuse=True
+    )
+    stats = unfused["stats"]
+    unfused_instructions = (
+        2 * stats["forward"].executed
+        + stats["pointwise"].executed
+        + stats["inverse"].executed
+    )
+    unfused_traffic = sum(
+        mult * (s.vdm_reads + s.vdm_writes)
+        for mult, s in (
+            (2, stats["forward"]),
+            (1, stats["pointwise"]),
+            (1, stats["inverse"]),
+        )
+    )
+    fused_stats = fused["stats"]["fused"]
+    unfused_cycles = (
+        2 * unfused["cycles"]["forward"]
+        + unfused["cycles"]["pointwise"]
+        + unfused["cycles"]["inverse"]
+    )
+    unfused_rings = 9 * towers
+    fused_rings = 3 * towers
+    return {
+        "n": n,
+        "towers": towers,
+        "q_bits": q_bits,
+        "bit_identical": fused["product_towers"] == unfused["product_towers"],
+        "bit_exact_vs_oracle": bool(fused["bit_exact"])
+        and bool(unfused["bit_exact"]),
+        "unfused": {
+            "instructions": unfused_instructions,
+            "cycles": unfused_cycles,
+            "vdm_traffic": unfused_traffic,
+            "hbm_rings": unfused_rings,
+            "hbm_us": unfused_rings * hbm_transfer_us(n),
+        },
+        "fused": {
+            "instructions": fused_stats.executed,
+            "cycles": fused["cycles"]["fused"],
+            "vdm_traffic": fused_stats.vdm_reads + fused_stats.vdm_writes,
+            "hbm_rings": fused_rings,
+            "hbm_us": fused_rings * hbm_transfer_us(n),
+        },
+        "instruction_reduction": round(
+            1 - fused_stats.executed / unfused_instructions, 4
+        ),
+        "hbm_traffic_reduction": round(1 - fused_rings / unfused_rings, 4),
+        "compile": fused.get("compile"),
     }
 
 

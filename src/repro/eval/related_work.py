@@ -53,12 +53,12 @@ def print_related_work() -> None:
         f"{data['f1_max_poly_degree']} (RPU: unlimited)"
     )
     print(
-        f"  latency-based (non-pipelined) comparison: F1/RPU = "
+        "  latency-based (non-pipelined) comparison: F1/RPU = "
         f"{data['f1_latency_based_advantage']:.2f}x (RPU ahead)"
     )
     gpu = gpu_comparison()
     print(
         f"  GPU (V100, 64K 30-bit NTT): RPU {gpu.rpu_speedup:.0f}x faster, "
         f"{gpu.area_ratio:.0f}x less area, {gpu.power_ratio:.0f}x less power "
-        f"(paper: 6x / 40x / 40x)"
+        "(paper: 6x / 40x / 40x)"
     )

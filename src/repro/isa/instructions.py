@@ -9,7 +9,7 @@ simulator run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.addressing import AddressMode
 from repro.isa.opcodes import InstructionClass, Opcode

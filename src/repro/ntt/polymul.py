@@ -80,6 +80,6 @@ def integer_negacyclic_convolution(
     prod = batch_negacyclic_polymul(rows_a, rows_b, tables)
     cols = prod.tolist()
     return [
-        basis.centered_compose([cols[l][i] for l in range(len(cols))])
+        basis.centered_compose([cols[limb][i] for limb in range(len(cols))])
         for i in range(n)
     ]

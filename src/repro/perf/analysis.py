@@ -14,7 +14,6 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.isa.opcodes import InstructionClass
 from repro.isa.program import Program
 from repro.perf.config import RpuConfig
 from repro.perf.engine import CycleSimulator, InstructionTiming

@@ -7,7 +7,7 @@ the crossbar latencies at the low end of the Fig. 8 sweep ranges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.hw.frequency import rpu_frequency_ghz
 from repro.util.bits import is_power_of_two

@@ -25,12 +25,14 @@ route their functional execution through this package.  See
 the layer sits.
 """
 
-from repro.serve.loop import RpuServer, ServeConfig
+from repro.serve.loop import RpuServer, ServeConfig, ServerOverloaded
 from repro.serve.requests import (
+    DeadlineExceeded,
     HeMultiplyRequest,
     NttRequest,
     PolymulRequest,
     ServeResult,
+    deadline_in,
     he_group_moduli,
 )
 from repro.serve.sharding import (
@@ -40,14 +42,17 @@ from repro.serve.sharding import (
 )
 
 __all__ = [
+    "DeadlineExceeded",
     "HeMultiplyRequest",
     "NttRequest",
     "PolymulRequest",
     "RpuServer",
     "ServeConfig",
     "ServeResult",
+    "ServerOverloaded",
     "ShardPool",
     "ShardedBatchExecutor",
+    "deadline_in",
     "he_group_moduli",
     "partition_batch",
 ]

@@ -17,6 +17,17 @@ crunches.  The shard pool serializes concurrent flushes internally, and
 is forked at :meth:`start` -- before any helper thread exists -- so the
 ``fork`` start method stays safe.
 
+Overload and latency control:
+
+* **Backpressure**: ``max_pending`` bounds the number of accepted but
+  unresolved requests; past the bound :meth:`submit` rejects immediately
+  with :exc:`ServerOverloaded` instead of queueing unboundedly.
+* **Deadlines**: pass ``deadline_s`` to the typed conveniences (or an
+  absolute monotonic ``deadline`` on the request).  A request whose
+  deadline passes before its batch dispatches fails fast with
+  :exc:`~repro.serve.requests.DeadlineExceeded` and does not occupy
+  batch rows.
+
 Usage::
 
     async with RpuServer(ServeConfig(shards=4)) as server:
@@ -27,9 +38,11 @@ Usage::
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 
 from repro.serve.requests import (
+    DeadlineExceeded,
     HeMultiplyRequest,
     NttRequest,
     PolymulRequest,
@@ -39,7 +52,11 @@ from repro.serve.requests import (
 )
 from repro.serve.sharding import ShardPool
 
-__all__ = ["RpuServer", "ServeConfig"]
+__all__ = ["RpuServer", "ServeConfig", "ServerOverloaded"]
+
+
+class ServerOverloaded(RuntimeError):
+    """The bounded pending queue is full; the request was rejected."""
 
 
 @dataclass(frozen=True)
@@ -52,6 +69,10 @@ class ServeConfig:
         max_batch: flush a group as soon as this many requests coalesced.
         batch_window_s: latency budget -- how long the first request of a
             group waits for company before the batch flushes.
+        max_pending: bound on accepted-but-unresolved requests;
+            ``None`` disables backpressure.
+        fuse: serve polymul / HE-multiply groups with the cross-kernel
+            fused program (one pass) instead of three passes.
         start_method: multiprocessing start method for the pool
             (``None`` picks ``fork`` where available).
     """
@@ -59,6 +80,8 @@ class ServeConfig:
     shards: int = 1
     max_batch: int = 8
     batch_window_s: float = 0.002
+    max_pending: int | None = None
+    fuse: bool = True
     start_method: str | None = None
 
 
@@ -83,6 +106,8 @@ class RpuServer:
         self._pool: ShardPool | None = None
         self._groups: dict[tuple, _PendingGroup] = {}
         self._flushes: set[asyncio.Task] = set()
+        self._pending = 0
+        self._rejected = 0
         self._started = False
         self._closed = False
 
@@ -120,15 +145,39 @@ class RpuServer:
     async def __aexit__(self, *exc_info) -> None:
         await self.aclose()
 
+    # -- observability -----------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Accepted requests not yet resolved (the backpressure gauge)."""
+        return self._pending
+
+    @property
+    def rejected(self) -> int:
+        """Requests refused by backpressure since the server started."""
+        return self._rejected
+
     # -- client surface ----------------------------------------------------
     async def submit(self, request: Request) -> ServeResult:
-        """Enqueue one request; resolves when its batch has executed."""
+        """Enqueue one request; resolves when its batch has executed.
+
+        Raises :exc:`ServerOverloaded` immediately when ``max_pending``
+        requests are already in flight -- an explicit reject the client
+        can back off on, rather than an unbounded queue.
+        """
         if self._closed:
             raise RuntimeError("server is closed")
+        limit = self.config.max_pending
+        if limit is not None and self._pending >= limit:
+            self._rejected += 1
+            raise ServerOverloaded(
+                f"{self._pending} requests pending (bound {limit})"
+            )
         if not self._started:
             await self.start()
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
+        self._pending += 1
+        future.add_done_callback(self._request_done)
         key = request.group_key
         group = self._groups.get(key)
         if group is None:
@@ -141,19 +190,40 @@ class RpuServer:
             self._flush(key)
         return await future
 
-    async def ntt(self, values, **kwargs) -> ServeResult:
-        return await self.submit(NttRequest(values=tuple(values), **kwargs))
+    def _request_done(self, _future: asyncio.Future) -> None:
+        self._pending -= 1
 
-    async def polymul(self, a, b, **kwargs) -> ServeResult:
+    @staticmethod
+    def _absolute_deadline(deadline_s: float | None) -> float | None:
+        return None if deadline_s is None else time.monotonic() + deadline_s
+
+    async def ntt(self, values, deadline_s: float | None = None, **kwargs):
         return await self.submit(
-            PolymulRequest(a=tuple(a), b=tuple(b), **kwargs)
+            NttRequest(
+                values=tuple(values),
+                deadline=self._absolute_deadline(deadline_s),
+                **kwargs,
+            )
         )
 
-    async def he_multiply(self, a_towers, b_towers, **kwargs) -> ServeResult:
+    async def polymul(self, a, b, deadline_s: float | None = None, **kwargs):
+        return await self.submit(
+            PolymulRequest(
+                a=tuple(a),
+                b=tuple(b),
+                deadline=self._absolute_deadline(deadline_s),
+                **kwargs,
+            )
+        )
+
+    async def he_multiply(
+        self, a_towers, b_towers, deadline_s: float | None = None, **kwargs
+    ):
         return await self.submit(
             HeMultiplyRequest(
                 a_towers=tuple(tuple(t) for t in a_towers),
                 b_towers=tuple(tuple(t) for t in b_towers),
+                deadline=self._absolute_deadline(deadline_s),
                 **kwargs,
             )
         )
@@ -186,7 +256,11 @@ class RpuServer:
     async def _execute(self, group: _PendingGroup) -> None:
         try:
             results = await asyncio.to_thread(
-                execute_group, group.requests, self.config.shards, self._pool
+                execute_group,
+                group.requests,
+                self.config.shards,
+                self._pool,
+                self.config.fuse,
             )
         except BaseException as exc:  # noqa: BLE001 - fan the failure out
             for fut in group.futures:
@@ -194,5 +268,9 @@ class RpuServer:
                     fut.set_exception(exc)
             return
         for fut, result in zip(group.futures, results):
-            if not fut.done():
+            if fut.done():
+                continue
+            if result.error is not None:
+                fut.set_exception(DeadlineExceeded(result.error))
+            else:
                 fut.set_result(result)

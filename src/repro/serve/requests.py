@@ -14,6 +14,28 @@ program pass(es), and splits per-request :class:`ServeResult`\\ s back
 out, each carrying the merged :class:`ExecutionStats` of every pass that
 served it (stats count program passes, not batch rows -- see
 :class:`repro.femu.ExecutionStats`).
+
+Two serving-quality mechanisms live here:
+
+* **Fusion** (default on): polymul and HE-multiply groups execute the
+  cross-kernel-fused single program from :mod:`repro.compile` -- forward
+  NTTs, pointwise and inverse stitched into one pass with intermediates
+  held in the VRF -- instead of three passes round-tripping region
+  memory.  ``fuse=False`` forces the three-pass path, and any group
+  whose fused program cannot fit the ARF -- too many towers, or spill
+  pressure from a large ``n/vlen`` ratio -- falls back to it
+  automatically (the infeasible spec is remembered, so the probe
+  compiles at most once); both paths are bit-identical.
+* **Deadlines**: a request may carry an absolute monotonic ``deadline``.
+  Requests already expired at flush time fail fast with a
+  :class:`ServeResult` whose ``error`` is set (surfaced as
+  :exc:`DeadlineExceeded` by the asyncio loop) instead of occupying
+  batch rows in the flush.
+
+Every program is obtained through the process-wide
+:data:`~repro.compile.cache.PLAN_CACHE`, so repeated groups of the same
+spec never recompile and shard workers receive each plan's prebuilt
+image exactly once.
 """
 
 from __future__ import annotations
@@ -22,6 +44,7 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.compile import MAX_FUSED_TOWERS, compile_spec, fused_spec
 from repro.femu.semantics import ExecutionStats
 from repro.serve.sharding import ShardedBatchExecutor, ShardPool
 from repro.spiral.batched import generate_batched_ntt_program, tower_regions
@@ -33,13 +56,24 @@ from repro.spiral.pointwise import (
 )
 
 __all__ = [
+    "DeadlineExceeded",
     "HeMultiplyRequest",
     "NttRequest",
     "PolymulRequest",
     "ServeResult",
+    "deadline_in",
     "execute_group",
     "he_group_moduli",
 ]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's deadline passed before its batch executed."""
+
+
+def deadline_in(seconds: float) -> float:
+    """An absolute request deadline ``seconds`` from now (monotonic)."""
+    return time.monotonic() + seconds
 
 
 def _clamp_vlen(n: int, vlen: int) -> int:
@@ -56,6 +90,7 @@ class NttRequest:
     q: int | None = None
     q_bits: int = 128
     vlen: int = 512
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "values", tuple(self.values))
@@ -75,13 +110,14 @@ class NttRequest:
 
 @dataclass(frozen=True)
 class PolymulRequest:
-    """c = a * b in Z_q[x]/(x^n + 1): two forward NTTs, pointwise, inverse."""
+    """c = a * b in Z_q[x]/(x^n + 1): one fused (or three-pass) multiply."""
 
     a: tuple[int, ...]
     b: tuple[int, ...]
     q: int | None = None
     q_bits: int = 128
     vlen: int = 512
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "a", tuple(self.a))
@@ -100,7 +136,7 @@ class PolymulRequest:
 
 @dataclass(frozen=True)
 class HeMultiplyRequest:
-    """One L-tower ciphertext multiply (the three-pass HE primitive).
+    """One L-tower ciphertext multiply (fused, or the three-pass fallback).
 
     Tower residues must be canonical for the group's generated RNS basis;
     obtain the moduli with :func:`he_group_moduli` before building data.
@@ -110,6 +146,7 @@ class HeMultiplyRequest:
     b_towers: tuple[tuple[int, ...], ...]
     q_bits: int = 128
     vlen: int = 512
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -146,7 +183,8 @@ def he_group_moduli(
     """The RNS moduli an :class:`HeMultiplyRequest` group executes under.
 
     Derived from the (cached) batched forward kernel, so clients can build
-    canonical residues for exactly the basis the server will use.
+    canonical residues for exactly the basis the server will use (the
+    fused kernels resolve the identical basis).
     """
     fwd = generate_batched_ntt_program(
         n,
@@ -164,7 +202,8 @@ class ServeResult:
 
     Attributes:
         output: the primitive's result -- coefficient row for NTT/polymul,
-            one residue row per tower for HE multiplies.
+            one residue row per tower for HE multiplies; ``None`` when
+            ``error`` is set.
         stats: merged :class:`ExecutionStats` over every program pass that
             served this request (each pass counted once, like one
             :class:`BatchExecutor` run, regardless of coalesced width).
@@ -172,14 +211,27 @@ class ServeResult:
         shards: effective worker count the batch was spread over.
         batched_with: total requests coalesced into the same dispatch.
         wall_s: wall-clock seconds of the whole dispatched group.
+        error: failure note (e.g. a missed deadline), or ``None``.
     """
 
-    output: list
+    output: list | None
     stats: ExecutionStats
     dtype_path: str
     shards: int
     batched_with: int
     wall_s: float = 0.0
+    error: str | None = None
+
+
+def _expired_result() -> ServeResult:
+    return ServeResult(
+        output=None,
+        stats=ExecutionStats(),
+        dtype_path="",
+        shards=0,
+        batched_with=0,
+        error="deadline exceeded before dispatch",
+    )
 
 
 def _run_pass(
@@ -197,7 +249,10 @@ def _run_pass(
 
 
 def _execute_ntt(
-    requests: Sequence[NttRequest], shards: int, pool: ShardPool | None
+    requests: Sequence[NttRequest],
+    shards: int,
+    pool: ShardPool | None,
+    fuse: bool,
 ) -> list[ServeResult]:
     req0 = requests[0]
     program = generate_ntt_program(
@@ -225,9 +280,87 @@ def _execute_ntt(
     ]
 
 
-def _execute_polymul(
-    requests: Sequence[PolymulRequest], shards: int, pool: ShardPool | None
+# Fused specs whose register pressure blew the ARF region budget: the
+# spill area above the tower regions is finite, so feasibility depends on
+# (towers, n/vlen), and is only truly decided by register allocation.
+# Remember the failures so every later group skips straight to the
+# three-pass path instead of re-running a doomed compile per flush.
+_unfusable_plans: set[str] = set()
+
+
+def _fused_program_or_none(req0) -> "object | None":
+    """The group's fused program, or None to use the three-pass path."""
+    towers = getattr(req0, "towers", 1)
+    if towers > MAX_FUSED_TOWERS:
+        return None
+    spec = fused_spec(
+        req0.n,
+        towers,
+        q=getattr(req0, "q", None),
+        q_bits=req0.q_bits,
+        vlen=_clamp_vlen(req0.n, req0.vlen),
+    )
+    if spec.cache_key in _unfusable_plans:
+        return None
+    try:
+        return compile_spec(spec)
+    except ValueError:
+        _unfusable_plans.add(spec.cache_key)
+        return None
+
+
+def _execute_fused(
+    requests: Sequence[PolymulRequest] | Sequence[HeMultiplyRequest],
+    shards: int,
+    pool: ShardPool | None,
+    program,
 ) -> list[ServeResult]:
+    """One fused pass serves the whole group: batch row r = request r."""
+    req0 = requests[0]
+    count = len(requests)
+    towers = getattr(req0, "towers", 1)
+    rows: dict = {}
+    for k, (a_reg, breg, _out) in enumerate(program.metadata["tower_regions"]):
+        if towers == 1:
+            rows[a_reg] = [list(r.a) for r in requests]
+            rows[breg] = [list(r.b) for r in requests]
+        else:
+            rows[a_reg] = [list(r.a_towers[k]) for r in requests]
+            rows[breg] = [list(r.b_towers[k]) for r in requests]
+    ex, stats = _run_pass(program, rows, count, shards, pool)
+    outs = [
+        ex.read_region(out)
+        for _a, _b, out in program.metadata["tower_regions"]
+    ]
+    dtype_path = ex.dtype_path
+    eff_shards = ex.shards
+    ex.close()
+    return [
+        ServeResult(
+            output=(
+                outs[0][r]
+                if towers == 1
+                else [outs[k][r] for k in range(towers)]
+            ),
+            stats=stats.copy(),
+            dtype_path=dtype_path,
+            shards=eff_shards,
+            batched_with=count,
+        )
+        for r in range(count)
+    ]
+
+
+def _execute_polymul(
+    requests: Sequence[PolymulRequest],
+    shards: int,
+    pool: ShardPool | None,
+    fuse: bool,
+) -> list[ServeResult]:
+    if fuse:
+        program = _fused_program_or_none(requests[0])
+        if program is not None:
+            return _execute_fused(requests, shards, pool, program)
     req0 = requests[0]
     count = len(requests)
     vlen = _clamp_vlen(req0.n, req0.vlen)
@@ -284,9 +417,16 @@ def _execute_polymul(
 
 
 def _execute_he(
-    requests: Sequence[HeMultiplyRequest], shards: int, pool: ShardPool | None
+    requests: Sequence[HeMultiplyRequest],
+    shards: int,
+    pool: ShardPool | None,
+    fuse: bool,
 ) -> list[ServeResult]:
     req0 = requests[0]
+    if fuse:
+        program = _fused_program_or_none(req0)
+        if program is not None:
+            return _execute_fused(requests, shards, pool, program)
     count = len(requests)
     n, towers = req0.n, req0.towers
     vlen = _clamp_vlen(n, req0.vlen)
@@ -355,21 +495,35 @@ def execute_group(
     requests: Sequence[Request],
     shards: int = 1,
     pool: ShardPool | None = None,
+    fuse: bool = True,
 ) -> list[ServeResult]:
     """Run one coalesced group of same-key requests; results in order.
 
     The synchronous core of the serving loop, also usable directly for
     offline batch jobs.  All requests must share one :attr:`group_key`.
+    Requests whose :attr:`deadline` already passed are *not* executed:
+    they fail fast with an error result while the rest of the group
+    proceeds (their positions in the returned list line up with the
+    input).  ``fuse=False`` forces the three-pass polymul/HE path.
     """
     if not requests:
         return []
     keys = {r.group_key for r in requests}
     if len(keys) != 1:
         raise ValueError(f"cannot coalesce mixed request groups: {keys}")
-    execute = _EXECUTORS[type(requests[0])]
-    t0 = time.perf_counter()
-    results = execute(requests, shards, pool)
-    wall_s = time.perf_counter() - t0
-    for result in results:
-        result.wall_s = wall_s
+    now = time.monotonic()
+    live = [
+        (i, r)
+        for i, r in enumerate(requests)
+        if r.deadline is None or r.deadline > now
+    ]
+    results: list[ServeResult] = [_expired_result() for _ in requests]
+    if live:
+        execute = _EXECUTORS[type(requests[0])]
+        t0 = time.perf_counter()
+        live_results = execute([r for _i, r in live], shards, pool, fuse)
+        wall_s = time.perf_counter() - t0
+        for (i, _r), result in zip(live, live_results):
+            result.wall_s = wall_s
+            results[i] = result
     return results

@@ -251,7 +251,7 @@ class ShardPool:
             self._procs.append(proc)
             self._conns.append(parent)
         self._known: list[set[int]] = [set() for _ in range(shards)]
-        self._programs: dict[int, tuple[int, Program]] = {}
+        self._programs: dict[tuple, tuple[int, Program]] = {}
         self._next_key = 0
         self._lock = threading.Lock()
         self._finalizer = weakref.finalize(
@@ -267,13 +267,22 @@ class ShardPool:
         return not self._finalizer.alive
 
     def _key_for(self, program: Program) -> int:
-        """Stable key for a program; holds a reference so ids cannot alias."""
-        entry = self._programs.get(id(program))
+        """Stable key for a program; holds a reference so ids cannot alias.
+
+        Plan-cache-compiled programs carry a content hash
+        (``metadata["plan_key"]``, see :mod:`repro.compile.cache`) which
+        is preferred over object identity: a plan evicted and recompiled
+        master-side maps to the *same* worker key, so workers receive
+        each plan's prebuilt image at most once per pool lifetime.
+        """
+        plan_key = program.metadata.get("plan_key")
+        handle = ("plan", plan_key) if plan_key else ("id", id(program))
+        entry = self._programs.get(handle)
         if entry is not None:
             return entry[0]
         key = self._next_key
         self._next_key += 1
-        self._programs[id(program)] = (key, program)
+        self._programs[handle] = (key, program)
         return key
 
     def dispatch(

@@ -11,26 +11,25 @@ that one tower's dependence stalls are filled with another tower's work.
 The win is measurable: on the (128, 128) RPU a 2-tower batched kernel
 finishes faster than two back-to-back single-tower kernels because the
 decoupled pipelines stay fed across tower boundaries.
+
+This module is the *frontend*: :func:`build_merged_ntt_kernel` produces
+the interleaved IR, and the public :func:`generate_batched_ntt_program`
+routes it through the unified pass pipeline and plan cache in
+:mod:`repro.compile` (one compilation per spec per process).
 """
 
 from __future__ import annotations
 
-import functools
 import itertools
 
 from repro.isa.program import Program, RegionSpec
 from repro.ntt.twiddles import TwiddleTable
 from repro.rns.basis import RnsBasis
-from repro.spiral.emit import emit_program
-from repro.spiral.forwarding import forward_stores_to_loads
 from repro.spiral.ir import IrKernel
-from repro.spiral.kernels import generate_ntt_program  # noqa: F401 (API kin)
 from repro.spiral.ntt_codegen import (
     build_forward_kernel,
     build_inverse_kernel,
 )
-from repro.spiral.regalloc import allocate_registers
-from repro.spiral.schedule import schedule_ops
 
 REGIONS_PER_TOWER = 4  # buf0, buf1, twiddles, (shared headroom)
 
@@ -51,25 +50,19 @@ def _relocate_virtuals(kernel: IrKernel, offset: int) -> None:
     kernel.next_virtual += offset
 
 
-@functools.lru_cache(maxsize=None)
-def generate_batched_ntt_program(
+def build_merged_ntt_kernel(
     n: int,
-    num_towers: int = 2,
-    direction: str = "forward",
-    vlen: int = 512,
-    q_bits: int = 128,
-    optimize: bool = True,
-    rect_depth: int = 3,
-    schedule_window: int = 96,
-) -> Program:
-    """Generate one kernel computing ``num_towers`` independent NTTs.
+    num_towers: int,
+    direction: str,
+    vlen: int,
+    q_bits: int,
+    rect_depth: int,
+) -> IrKernel:
+    """The pre-optimization IR of ``num_towers`` interleaved NTTs.
 
     Tower ``k`` transforms the ring under its own prime q_k (a generated
     RNS basis), reading input region k and writing output region k; the
-    regions are carried in ``program.metadata['tower_regions']``.
-
-    ``rect_depth`` defaults lower than the single-tower generator because
-    the register file is shared across towers.
+    per-tower region contracts land in ``metadata['batched_tower_io']``.
     """
     if num_towers < 1 or num_towers > 8:
         raise ValueError("supported tower counts: 1..8")
@@ -109,6 +102,10 @@ def generate_batched_ntt_program(
             "scalar_virtuals": set().union(
                 *(t.metadata.get("scalar_virtuals", set()) for t in towers)
             ),
+            "batched_tower_io": [
+                (t.input_base, t.input_layout, t.output_base, t.output_layout)
+                for t in towers
+            ],
         },
     )
     # Round-robin interleave: tower 0's op, tower 1's op, ... so independent
@@ -124,29 +121,42 @@ def generate_batched_ntt_program(
     merged.input_layout = towers[0].input_layout
     merged.output_layout = towers[0].output_layout
     merged.validate_ssa()
+    return merged
 
-    spill_base = num_towers * REGIONS_PER_TOWER * n
-    if optimize:
-        forward_stores_to_loads(merged)
-        schedule_ops(merged, window=schedule_window)
-        allocation = allocate_registers(
-            merged, reuse_policy="fifo", group_aware=True, spill_base=spill_base
+
+def generate_batched_ntt_program(
+    n: int,
+    num_towers: int = 2,
+    direction: str = "forward",
+    vlen: int = 512,
+    q_bits: int = 128,
+    optimize: bool = True,
+    rect_depth: int = 3,
+    schedule_window: int = 96,
+) -> Program:
+    """Generate one kernel computing ``num_towers`` independent NTTs.
+
+    Tower ``k``'s regions are carried in
+    ``program.metadata['tower_regions']``.  ``rect_depth`` defaults lower
+    than the single-tower generator because the register file is shared
+    across towers.  Compiled through -- and cached by -- the unified
+    pipeline (:func:`repro.compile.compile_spec`).
+    """
+    from repro.compile import KernelSpec, compile_spec
+
+    return compile_spec(
+        KernelSpec(
+            kind="batched_ntt",
+            n=n,
+            vlen=vlen,
+            direction=direction,
+            q_bits=q_bits,
+            num_towers=num_towers,
+            optimize=optimize,
+            rect_depth=rect_depth,
+            schedule_window=schedule_window,
         )
-    else:
-        allocation = allocate_registers(
-            merged, reuse_policy="lifo", group_aware=False, spill_base=spill_base
-        )
-    name = f"ntt_{direction}_{n}_x{num_towers}towers"
-    program = emit_program(merged, allocation, name)
-    program.metadata["optimized"] = optimize
-    program.metadata["tower_regions"] = [
-        (
-            RegionSpec(f"input_{k}", t.input_base, n, t.input_layout),
-            RegionSpec(f"output_{k}", t.output_base, n, t.output_layout),
-        )
-        for k, t in enumerate(towers)
-    ]
-    return program
+    )
 
 
 def tower_regions(program: Program) -> list[tuple[RegionSpec, RegionSpec]]:

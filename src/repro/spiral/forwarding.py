@@ -5,7 +5,16 @@ code (section V).  When a pass stores a vector and the next pass reloads the
 same address shortly after, the reload is deleted and its consumers are
 rewritten to use the still-live register.  A distance limit keeps the
 transformation from blowing up register pressure (a forwarded value must
-stay live from the store to the last rewritten use).
+stay live from the store to the last rewritten use); fused multi-kernel
+programs pass ``max_distance=None`` so forwarding crosses the former
+kernel boundaries and intermediates never round-trip region memory.
+
+Invalidation is *address-exact*: a later store kills an earlier store's
+forwarding entry only when their element address sets actually intersect.
+The distinction matters for the interleaved stride-2 stores of a forward
+NTT's final pass -- even-lane and odd-lane stores share vector-sized
+address buckets but touch disjoint elements, and both must stay
+forwardable into a fused consumer kernel.
 """
 
 from __future__ import annotations
@@ -21,18 +30,27 @@ class ForwardingResult:
     kernel: IrKernel
 
 
-def forward_stores_to_loads(kernel: IrKernel, max_distance: int = 48) -> int:
+def forward_stores_to_loads(
+    kernel: IrKernel, max_distance: int | None = 48
+) -> int:
     """Rewrite the kernel in place; returns the number of loads removed.
 
     A load is forwarded when a prior store with the *identical* addressing
     signature (base, mode, value) is still valid -- i.e. no later store
-    touched any of the same vector-sized address buckets -- and is at most
-    ``max_distance`` ops away.
+    touched any of the same element addresses -- and is at most
+    ``max_distance`` ops away (``None`` disables the distance limit).
     """
     vlen = kernel.vlen
+    if max_distance is None:
+        max_distance = len(kernel.ops)
     # (base, mode, value) -> (op index, source virtual)
     live_stores: dict[tuple, tuple[int, int]] = {}
+    # signature -> exact element address set (for precise invalidation)
+    sig_addresses: dict[tuple, frozenset[int]] = {}
+    # vector-sized bucket -> signatures touching it (candidate index),
+    # plus the reverse index so invalidation is O(buckets of the victim).
     bucket_signatures: dict[int, set[tuple]] = {}
+    sig_buckets: dict[tuple, tuple[int, ...]] = {}
     replacement: dict[int, int] = {}
     removed: set[int] = set()
 
@@ -45,12 +63,21 @@ def forward_stores_to_loads(kernel: IrKernel, max_distance: int = 48) -> int:
             signature = (op.base, op.mode, op.value)
             src = op.uses[0]
             src = replacement.get(src, src)
-            for bucket in buckets_of(op):
-                for stale in bucket_signatures.get(bucket, ()):  # invalidate
-                    live_stores.pop(stale, None)
-                bucket_signatures[bucket] = set()
+            addresses = frozenset(op.addresses(vlen))
+            buckets = tuple(buckets_of(op))
+            stale: set[tuple] = set()
+            for bucket in buckets:
+                for candidate in bucket_signatures.get(bucket, ()):
+                    if addresses & sig_addresses[candidate]:
+                        stale.add(candidate)
+            for candidate in stale:  # invalidate overlapped stores
+                live_stores.pop(candidate, None)
+                for bucket in sig_buckets.pop(candidate, ()):
+                    bucket_signatures[bucket].discard(candidate)
             live_stores[signature] = (index, src)
-            for bucket in buckets_of(op):
+            sig_addresses[signature] = addresses
+            sig_buckets[signature] = buckets
+            for bucket in buckets:
                 bucket_signatures.setdefault(bucket, set()).add(signature)
         elif op.kind is IrKind.VLOAD:
             signature = (op.base, op.mode, op.value)
@@ -72,5 +99,7 @@ def forward_stores_to_loads(kernel: IrKernel, max_distance: int = 48) -> int:
             )
         new_ops.append(op)
     kernel.ops = new_ops
-    kernel.metadata["forwarded_loads"] = len(removed)
+    kernel.metadata["forwarded_loads"] = (
+        kernel.metadata.get("forwarded_loads", 0) + len(removed)
+    )
     return len(removed)

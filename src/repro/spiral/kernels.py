@@ -1,31 +1,21 @@
 """Top-level kernel generation API (the NTTX equivalent).
 
 ``generate_ntt_program`` is what examples, tests and benchmarks call; it
-runs the full SPIRAL-style pipeline (build -> forward stores to loads ->
-list-schedule -> allocate -> emit) and caches the result per parameter set,
-since benchmark sweeps reuse kernels across dozens of RPU configurations.
+is a thin wrapper over the unified compiler pipeline in
+:mod:`repro.compile` (build -> forward stores to loads -> list-schedule
+-> allocate -> emit, each stage a uniform pass) fronted by the
+process-wide content-addressed :data:`~repro.compile.cache.PLAN_CACHE`,
+since benchmark sweeps and serving flushes reuse kernels across dozens
+of RPU configurations and requests.
 """
 
 from __future__ import annotations
 
-import functools
-
 from repro.isa.program import Program
-from repro.ntt.twiddles import TwiddleTable
-from repro.spiral.emit import emit_program
-from repro.spiral.forwarding import forward_stores_to_loads
-from repro.spiral.ntt_codegen import (
-    build_forward_kernel,
-    build_inverse_kernel,
-    plan_passes,
-)
-from repro.spiral.regalloc import allocate_registers
-from repro.spiral.schedule import schedule_ops
+from repro.spiral.ntt_codegen import plan_passes
 from repro.util.bits import ilog2
 
 
-
-@functools.lru_cache(maxsize=None)
 def generate_ntt_program(
     n: int,
     direction: str = "forward",
@@ -50,29 +40,24 @@ def generate_ntt_program(
         schedule_window: list-scheduler reordering window.
 
     Returns:
-        A finalized :class:`~repro.isa.program.Program`.
+        A finalized :class:`~repro.isa.program.Program`, compiled once
+        per parameter set and served from the plan cache thereafter.
     """
-    table = TwiddleTable.for_ring(n, q=q, q_bits=q_bits)
-    builder = build_forward_kernel if direction == "forward" else build_inverse_kernel
-    kernel = builder(table, vlen=vlen, rect_depth=rect_depth, naive_order=not optimize)
-    kernel.validate_ssa()
-    if optimize:
-        forward_stores_to_loads(kernel)
-        schedule_ops(kernel, window=schedule_window)
-        allocation = allocate_registers(
-            kernel, reuse_policy="fifo", group_aware=True
+    from repro.compile import KernelSpec, compile_spec
+
+    return compile_spec(
+        KernelSpec(
+            kind="ntt",
+            n=n,
+            vlen=vlen,
+            direction=direction,
+            q=q,
+            q_bits=q_bits,
+            optimize=optimize,
+            rect_depth=rect_depth,
+            schedule_window=schedule_window,
         )
-    else:
-        # Same dataflow and instruction counts, but dependency-dense order,
-        # immediate register reuse and no scheduling: Fig. 6's baseline.
-        allocation = allocate_registers(
-            kernel, reuse_policy="lifo", group_aware=False
-        )
-    suffix = "opt" if optimize else "unopt"
-    name = f"ntt_{direction}_{n}_{suffix}"
-    program = emit_program(kernel, allocation, name)
-    program.metadata["optimized"] = optimize
-    return program
+    )
 
 
 def expected_instruction_counts(

@@ -94,6 +94,7 @@ class _Builder:
         vdm_base: int = 0,
         sdm_base: int = 0,
         mreg: int = 1,
+        tw_base: int | None = None,
     ) -> None:
         n = table.n
         if not is_power_of_two(vlen) or vlen < 2:
@@ -114,7 +115,9 @@ class _Builder:
         self.vdm_base = vdm_base
         self.sdm_base = sdm_base
         self.mreg = mreg
-        self.tw_base = vdm_base + TWIDDLE * n
+        # Fused multi-kernel programs relocate the table (e.g. the two
+        # operand transforms of a fused polymul share one segment).
+        self.tw_base = vdm_base + TWIDDLE * n if tw_base is None else tw_base
         tw = table.psi_rev if direction == "forward" else table.psi_inv_rev
         self.kernel = IrKernel(
             n=n,
@@ -221,6 +224,7 @@ def build_forward_kernel(
     vdm_base: int = 0,
     sdm_base: int = 0,
     mreg: int = 1,
+    tw_base: int | None = None,
 ) -> IrKernel:
     """Forward NTT: natural-order input, bit-reversed output.
 
@@ -231,11 +235,12 @@ def build_forward_kernel(
     """
     b = _Builder(
         table, vlen, rect_depth, "forward",
-        vdm_base=vdm_base, sdm_base=sdm_base, mreg=mreg,
+        vdm_base=vdm_base, sdm_base=sdm_base, mreg=mreg, tw_base=tw_base,
     )
     n, m, k, vlen = b.n, b.m, b.k, b.vlen
     depths = plan_passes(k, m, b.rect_depth)
     bufs = (vdm_base + BUF0 * n, vdm_base + BUF1 * n)
+    output_sigs: dict[int, tuple] = {}
     stage0 = 0
     for pass_index, depth in enumerate(depths):
         stages = range(stage0, stage0 + depth)
@@ -292,6 +297,7 @@ def build_forward_kernel(
                     else:
                         base = out_base + 2 * (j - m // 2) * vlen + 1
                     b._vstore(val, base, AddressMode.STRIDED, 1)
+                    output_sigs[j] = (base, AddressMode.STRIDED, 1)
             else:
                 for j, val in sorted(pos2val.items()):
                     b._vstore(val, out_base + j * vlen)
@@ -301,6 +307,11 @@ def build_forward_kernel(
     kernel.input_layout = "natural"
     kernel.output_layout = "bit-reversed"
     kernel.metadata["passes"] = depths
+    # Addressing signature of each output position vector: how fusion
+    # stitches a consumer kernel onto this one (repro.compile.fusion).
+    kernel.metadata["output_store_signatures"] = [
+        output_sigs[j] for j in range(m)
+    ]
     return kernel
 
 
@@ -312,15 +323,17 @@ def build_inverse_kernel(
     vdm_base: int = 0,
     sdm_base: int = 0,
     mreg: int = 1,
+    tw_base: int | None = None,
 ) -> IrKernel:
     """Inverse NTT: bit-reversed input, natural output, n^{-1} folded in."""
     b = _Builder(
         table, vlen, rect_depth, "inverse",
-        vdm_base=vdm_base, sdm_base=sdm_base, mreg=mreg,
+        vdm_base=vdm_base, sdm_base=sdm_base, mreg=mreg, tw_base=tw_base,
     )
     n, m, k, vlen = b.n, b.m, b.k, b.vlen
     depths = plan_passes(k, m, b.rect_depth)
     bufs = (vdm_base + BUF0 * n, vdm_base + BUF1 * n)
+    input_sigs: dict[int, tuple] = {}
 
     # n^{-1} is loaded into the SRF once; the scalar dependence is modelled
     # with a virtual value that the allocator treats as non-vector.  The
@@ -363,6 +376,7 @@ def build_inverse_kernel(
                     else:
                         base = in_base + 2 * (j - m // 2) * vlen + 1
                     pos2val[j] = b._vload(base, AddressMode.STRIDED, 1)
+                    input_sigs[j] = (base, AddressMode.STRIDED, 1)
                 else:
                     pos2val[j] = b._vload(in_base + j * vlen)
             if leading_pack:
@@ -413,6 +427,11 @@ def build_inverse_kernel(
     kernel.output_layout = "natural"
     kernel.metadata["passes"] = depths
     kernel.metadata["scalar_virtuals"] = set(b.scalar_virtuals)
+    # Addressing signature of each input position vector (fusion stitches
+    # a producer kernel's stores onto these loads).
+    kernel.metadata["input_load_signatures"] = [
+        input_sigs[j] for j in range(m)
+    ]
     return kernel
 
 

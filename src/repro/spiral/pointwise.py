@@ -28,17 +28,13 @@ moduli the multiply dispatches to the shared multi-limb engine
 
 from __future__ import annotations
 
-import functools
-
 from repro.isa.instructions import halt, vload, vstore, vvadd, vvmul
 from repro.isa.program import Program, RegionSpec
-from repro.modmath.primes import find_ntt_prime
 from repro.util.bits import is_power_of_two
 
 _OPS = {"mul": vvmul, "add": vvadd}
 
 
-@functools.lru_cache(maxsize=None)
 def generate_pointwise_program(
     n: int,
     op: str = "mul",
@@ -48,6 +44,23 @@ def generate_pointwise_program(
 ) -> Program:
     """Generate ``out[i] = a[i] (op) b[i] mod q`` over ``n`` elements.
 
+    Compiled through -- and cached by -- the unified pipeline
+    (:func:`repro.compile.compile_spec`).
+    """
+    from repro.compile import KernelSpec, compile_spec
+
+    return compile_spec(
+        KernelSpec(
+            kind="pointwise", n=n, vlen=vlen, q=q, q_bits=q_bits, op=op
+        )
+    )
+
+
+def build_pointwise_program(
+    n: int, op: str, vlen: int, q: int
+) -> Program:
+    """The direct pointwise frontend (resolved modulus).
+
     Emitted with software pipelining in mind: the loads of vector ``i+1``
     are interleaved with the compute/store of vector ``i`` so all three
     RPU pipelines stay busy.
@@ -56,8 +69,6 @@ def generate_pointwise_program(
         raise ValueError(f"unsupported pointwise op {op!r}")
     if not is_power_of_two(n) or n % vlen != 0:
         raise ValueError("n must be a power of two and a multiple of vlen")
-    if q is None:
-        q = find_ntt_prime(q_bits, n)
     maker = _OPS[op]
     m = n // vlen
 
@@ -108,7 +119,6 @@ def b_region(program: Program) -> RegionSpec:
     return program.metadata["b_region"]
 
 
-@functools.lru_cache(maxsize=None)
 def generate_batched_pointwise_program(
     n: int,
     moduli: tuple[int, ...],
@@ -124,8 +134,31 @@ def generate_batched_pointwise_program(
     the middle leg of an L-tower homomorphic multiply -- with per
     instruction modulus switching (the MRF's purpose, section IV-B5).
     Tower ``k``'s regions live in ``metadata['tower_regions']`` (a, b,
-    out).
+    out).  Compiled through -- and cached by -- the unified pipeline.
     """
+    from repro.compile import KernelSpec, compile_spec
+
+    return compile_spec(
+        KernelSpec(
+            kind="batched_pointwise",
+            n=n,
+            vlen=vlen,
+            moduli=tuple(moduli),
+            # The builder validates the real tower count (1..8); the spec
+            # floor just keeps degenerate specs constructible-but-rejected.
+            num_towers=max(1, len(tuple(moduli))),
+            op=op,
+        )
+    )
+
+
+def build_batched_pointwise_program(
+    n: int,
+    moduli: tuple[int, ...],
+    op: str,
+    vlen: int,
+) -> Program:
+    """The direct multi-tower pointwise frontend."""
     if op not in _OPS:
         raise ValueError(f"unsupported pointwise op {op!r}")
     if not 1 <= len(moduli) <= 8:

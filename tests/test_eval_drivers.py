@@ -1,6 +1,5 @@
 """Tests for the experiment drivers (small-scale where possible)."""
 
-import pytest
 
 from repro.eval.fig3 import DesignPoint, pareto_frontier
 from repro.eval.he_pipeline import run_functional_he_multiply

@@ -2,14 +2,12 @@
 pipelines, noise budgets, program images, the CLI, and bottleneck
 analysis."""
 
-import random
 
 import pytest
 
 from repro.core.pipeline import RpuPipeline
 from repro.femu import FunctionalSimulator
 from repro.isa.image import load_image, save_image
-from repro.isa.opcodes import InstructionClass
 from repro.isa.tool import main as tool_main
 from repro.modmath.primes import find_ntt_prime
 from repro.ntt.naive import naive_negacyclic_convolution

@@ -6,7 +6,6 @@ NTT-domain polynomial multiplication running every data-touching step on
 the simulated RPU.
 """
 
-import random
 
 import pytest
 
@@ -82,8 +81,12 @@ class TestFacadeEndToEnd:
 
 class TestDeterminism:
     def test_codegen_deterministic(self):
-        a = generate_ntt_program.__wrapped__(N, vlen=VLEN, q_bits=Q_BITS)
-        b = generate_ntt_program.__wrapped__(N, vlen=VLEN, q_bits=Q_BITS)
+        from repro.compile import KernelSpec, compile_spec
+
+        spec = KernelSpec(kind="ntt", n=N, vlen=VLEN, q_bits=Q_BITS)
+        a = compile_spec(spec, cache=None)  # two uncached builds
+        b = compile_spec(spec, cache=None)
+        assert a is not b
         assert a.instructions == b.instructions
 
     def test_simulation_deterministic(self):

@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.isa import VLEN
 from repro.isa.addressing import AddressMode, element_addresses
 from repro.isa.assembler import (
     AssemblyError,
@@ -21,20 +20,11 @@ from repro.isa.instructions import (
     bflyct,
     bflygs,
     halt,
-    pkhi,
     pklo,
-    sload,
-    unpkhi,
-    unpklo,
-    vbcast,
     vload,
     vsadd,
-    vsmul,
-    vssub,
-    vstore,
     vvadd,
     vvmul,
-    vvsub,
 )
 from repro.isa.opcodes import InstructionClass, Opcode
 from repro.isa.program import DataSegment, Program, RegionSpec

@@ -4,10 +4,8 @@ import pytest
 
 from repro.isa.addressing import AddressMode
 from repro.isa.instructions import (
-    bflyct,
     pklo,
     vload,
-    vstore,
     vvadd,
     vvmul,
 )

@@ -11,7 +11,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.femu import BatchExecutor, FunctionalSimulator, make_simulator
+from repro.femu import BatchExecutor, make_simulator
 from repro.isa.assembler import format_instruction, parse_line
 from repro.isa.encoding import decode_instruction, encode_instruction
 from repro.isa.instructions import (
@@ -31,7 +31,7 @@ from repro.isa.instructions import (
     vvsub,
 )
 from repro.isa.addressing import AddressMode
-from repro.ntt.reference import ntt_forward, ntt_inverse
+from repro.ntt.reference import ntt_forward
 from repro.ntt.twiddles import TwiddleTable
 from repro.perf.config import RpuConfig
 from repro.perf.engine import CycleSimulator

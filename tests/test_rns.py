@@ -181,7 +181,7 @@ class TestBackendDispatch:
             tower.vec_mul_min_degree()
 
     def test_ntt_all_matches_per_limb(self, basis):
-        from repro.ntt.reference import ntt_forward, ntt_inverse
+        from repro.ntt.reference import ntt_forward
         from repro.ntt.twiddles import TwiddleTable
 
         pa, _ = self._pair(basis, 41)

@@ -130,20 +130,28 @@ def test_polymul_oracle_and_merged_stats():
             )
 
     results = asyncio.run(main())
-    inv = generate_ntt_program(N, "inverse", vlen=VLEN, q_bits=30, q=q)
-    pw = generate_pointwise_program(N, "mul", vlen=VLEN, q_bits=30, q=q)
-    per_pass = 0
-    for program in (fwd, pw, inv):
-        ex = BatchExecutor(program)
-        per_pass += ex.run().executed
+    # Fusion is on by default: the whole primitive is ONE fused pass.
+    from repro.compile import KernelSpec, compile_spec
+
+    fused = compile_spec(
+        KernelSpec(kind="fused_polymul", n=N, vlen=VLEN, q=q, q_bits=30)
+    )
+    one_pass = BatchExecutor(fused).run().executed
     for (a, b), result in zip(pairs, results):
         assert result.output == negacyclic_polymul(a, b, table)
         assert result.batched_with == 3
-        # merged stats: exactly the three passes, counted once each
-        assert result.stats.executed == per_pass
-    # each request owns an independent copy of the merged record
+        # stats: exactly the single fused pass, counted once
+        assert result.stats.executed == one_pass
+    # each request owns an independent copy of the stats record
     results[0].stats.executed = -1
-    assert results[1].stats.executed == per_pass
+    assert results[1].stats.executed == one_pass
+    # ... and the fused pass does strictly less work than the unfused trio
+    inv = generate_ntt_program(N, "inverse", vlen=VLEN, q_bits=30, q=q)
+    pw = generate_pointwise_program(N, "mul", vlen=VLEN, q_bits=30, q=q)
+    three_pass = sum(
+        BatchExecutor(p).run().executed for p in (fwd, fwd, pw, inv)
+    )
+    assert one_pass < three_pass
 
 
 def test_he_multiply_oracle():
@@ -230,3 +238,202 @@ def test_request_validation():
         HeMultiplyRequest(a_towers=((1, 2),), b_towers=((1, 2), (3, 4)))
     with pytest.raises(ValueError):
         HeMultiplyRequest(a_towers=((1, 2), (1,)), b_towers=((1, 2), (3, 4)))
+
+
+def test_fused_and_unfused_groups_bit_identical():
+    """execute_group(fuse=True) == execute_group(fuse=False), both oracles."""
+    rng = random.Random(7)
+    fwd = generate_ntt_program(N, vlen=VLEN, q_bits=30)
+    q = fwd.metadata["modulus"]
+    poly = [
+        PolymulRequest(
+            a=tuple(rng.randrange(q) for _ in range(N)),
+            b=tuple(rng.randrange(q) for _ in range(N)),
+            q_bits=30,
+            vlen=VLEN,
+        )
+        for _ in range(3)
+    ]
+    fused = execute_group(poly, fuse=True)
+    unfused = execute_group(poly, fuse=False)
+    table = TwiddleTable.for_ring(N, q=q)
+    for req, fr, ur in zip(poly, fused, unfused):
+        oracle = negacyclic_polymul(list(req.a), list(req.b), table)
+        assert fr.output == oracle
+        assert ur.output == oracle
+    # Per-primitive work: the unfused stream stats count each pass once,
+    # but the forward pass carries BOTH operands on the batch axis -- on
+    # silicon that is two kernel launches, so charge it twice (the same
+    # convention the cost model uses).
+    fwd_stream = BatchExecutor(fwd).run()
+    assert (
+        fused[0].stats.executed
+        < unfused[0].stats.executed + fwd_stream.executed
+    )
+    fused_traffic = fused[0].stats.vdm_reads + fused[0].stats.vdm_writes
+    unfused_traffic = (
+        unfused[0].stats.vdm_reads
+        + unfused[0].stats.vdm_writes
+        + fwd_stream.vdm_reads
+        + fwd_stream.vdm_writes
+    )
+    assert fused_traffic < unfused_traffic
+
+    towers, q_bits = 2, 64
+    moduli = he_group_moduli(N, towers, q_bits=q_bits, vlen=VLEN)
+    he = [
+        HeMultiplyRequest(
+            a_towers=tuple(
+                tuple(rng.randrange(m) for _ in range(N)) for m in moduli
+            ),
+            b_towers=tuple(
+                tuple(rng.randrange(m) for _ in range(N)) for m in moduli
+            ),
+            q_bits=q_bits,
+            vlen=VLEN,
+        )
+        for _ in range(2)
+    ]
+    fused = execute_group(he, fuse=True)
+    unfused = execute_group(he, fuse=False)
+    for req, fr, ur in zip(he, fused, unfused):
+        oracle = [
+            negacyclic_polymul(list(ta), list(tb), TwiddleTable.for_ring(N, q=m))
+            for ta, tb, m in zip(req.a_towers, req.b_towers, moduli)
+        ]
+        assert fr.output == oracle
+        assert ur.output == oracle
+    from repro.spiral.batched import generate_batched_ntt_program
+
+    he_fwd = generate_batched_ntt_program(
+        N, num_towers=towers, direction="forward", vlen=VLEN, q_bits=q_bits
+    )
+    he_fwd_stream = BatchExecutor(he_fwd).run()
+    assert (
+        fused[0].stats.executed
+        < unfused[0].stats.executed + he_fwd_stream.executed
+    )
+
+
+def test_fused_infeasible_group_falls_back_to_three_pass():
+    """A fused program that cannot fit the ARF must not crash serving.
+
+    towers=4 at n/vlen=32 blows the fused spill budget: execute_group
+    (fuse on by default) probes the compile, memoizes the failure, and
+    serves the group through the three-pass path, oracle-exact.
+    """
+    from repro.serve.requests import _unfusable_plans
+
+    n, vlen, towers, q_bits = 256, 8, 4, 24
+    moduli = he_group_moduli(n, towers, q_bits=q_bits, vlen=vlen)
+    rng = random.Random(11)
+
+    def request():
+        return HeMultiplyRequest(
+            a_towers=tuple(
+                tuple(rng.randrange(m) for _ in range(n)) for m in moduli
+            ),
+            b_towers=tuple(
+                tuple(rng.randrange(m) for _ in range(n)) for m in moduli
+            ),
+            q_bits=q_bits,
+            vlen=vlen,
+        )
+
+    from repro.compile import fused_spec
+
+    key = fused_spec(n, towers, q_bits=q_bits, vlen=vlen).cache_key
+    req = request()
+    (result,) = execute_group([req])  # fuse=True default: must fall back
+    assert key in _unfusable_plans  # probe failed, memoized
+    oracle = [
+        negacyclic_polymul(list(ta), list(tb), TwiddleTable.for_ring(n, q=m))
+        for ta, tb, m in zip(req.a_towers, req.b_towers, moduli)
+    ]
+    assert result.output == oracle
+    # Second group skips the probe entirely (memo set unchanged) and
+    # still serves correctly.
+    memo = set(_unfusable_plans)
+    (again,) = execute_group([req])
+    assert _unfusable_plans == memo
+    assert again.output == oracle
+
+
+def test_expired_deadline_fails_fast_without_occupying_flush():
+    rng = random.Random(8)
+    fwd = generate_ntt_program(N, vlen=VLEN, q_bits=30)
+    q = fwd.metadata["modulus"]
+    live = NttRequest(
+        values=tuple(rng.randrange(q) for _ in range(N)),
+        q_bits=30,
+        vlen=VLEN,
+    )
+    expired = NttRequest(
+        values=tuple(rng.randrange(q) for _ in range(N)),
+        q_bits=30,
+        vlen=VLEN,
+        deadline=0.0,  # monotonic epoch: always in the past
+    )
+    results = execute_group([expired, live, expired])
+    assert results[0].error is not None and results[2].error is not None
+    assert results[0].output is None
+    # the live request executed, and the flush batch excluded the expired
+    assert results[1].error is None
+    assert results[1].batched_with == 1
+    assert results[1].output == _ntt_reference([list(live.values)], 30)[0]
+
+
+def test_deadline_exceeded_surfaces_as_exception():
+    from repro.serve import DeadlineExceeded
+
+    rng = random.Random(9)
+    fwd = generate_ntt_program(N, vlen=VLEN, q_bits=30)
+    q = fwd.metadata["modulus"]
+    good = [rng.randrange(q) for _ in range(N)]
+
+    async def main():
+        # A long window plus a deadline far shorter than it: the request
+        # expires while coalescing and must fail fast at flush time.
+        config = ServeConfig(shards=1, max_batch=64, batch_window_s=0.2)
+        async with RpuServer(config) as server:
+            doomed = server.ntt(good, q_bits=30, vlen=VLEN, deadline_s=0.001)
+            ok = server.ntt(good, q_bits=30, vlen=VLEN)
+            return await asyncio.gather(doomed, ok, return_exceptions=True)
+
+    doomed, ok = asyncio.run(main())
+    assert isinstance(doomed, DeadlineExceeded)
+    assert ok.output == _ntt_reference([good], 30)[0]
+
+
+def test_backpressure_rejects_past_bound():
+    from repro.serve import ServerOverloaded
+
+    rng = random.Random(10)
+    fwd = generate_ntt_program(N, vlen=VLEN, q_bits=30)
+    q = fwd.metadata["modulus"]
+    rows = [[rng.randrange(q) for _ in range(N)] for _ in range(6)]
+
+    async def main():
+        config = ServeConfig(
+            shards=1, max_batch=64, batch_window_s=0.2, max_pending=3
+        )
+        async with RpuServer(config) as server:
+            accepted = [
+                asyncio.create_task(server.ntt(r, q_bits=30, vlen=VLEN))
+                for r in rows[:3]
+            ]
+            await asyncio.sleep(0)  # let the submits register
+            assert server.pending == 3
+            with pytest.raises(ServerOverloaded):
+                await server.ntt(rows[3], q_bits=30, vlen=VLEN)
+            assert server.rejected == 1
+            results = await asyncio.gather(*accepted)
+            # capacity freed: the server accepts again
+            after = await server.ntt(rows[4], q_bits=30, vlen=VLEN)
+            return results, after
+
+    results, after = asyncio.run(main())
+    expected = _ntt_reference([list(r) for r in rows[:3]], 30)
+    assert [r.output for r in results] == expected
+    assert after.output == _ntt_reference([rows[4]], 30)[0]
+    assert after.batched_with == 1

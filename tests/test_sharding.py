@@ -360,7 +360,6 @@ SMALL_CONFIG = RpuConfig(num_hples=8, vdm_banks=8, vlen=VLEN)
 def test_pool_without_shards_uses_the_whole_pool(pool):
     """Handing over a pool means 'spread over it'; shards= can narrow it."""
     program = _program(30)
-    rows = _rows(program, 8, seed=17)
     ex = ShardedBatchExecutor(program, batch=8, pool=pool)
     assert ex.shards == pool.shards
     narrowed = ShardedBatchExecutor(program, batch=8, shards=2, pool=pool)

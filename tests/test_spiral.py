@@ -15,7 +15,6 @@ from repro.spiral.kernels import expected_instruction_counts, generate_ntt_progr
 from repro.spiral.ntt_codegen import (
     CodegenError,
     build_forward_kernel,
-    build_inverse_kernel,
     plan_passes,
 )
 from repro.spiral.regalloc import allocate_registers
@@ -196,7 +195,9 @@ class TestOptimizationPasses:
         schedule_ops(kernel, window=32)
         preds_after = build_dependencies(kernel)
         gaps_after = [i - p for i, ps in enumerate(preds_after) for p in ps]
-        avg = lambda xs: sum(xs) / len(xs)
+        def avg(xs):
+            return sum(xs) / len(xs)
+
         assert avg(gaps_after) >= avg(gaps_before) * 0.9
 
 
@@ -226,7 +227,6 @@ class TestRegisterAllocation:
 
     def test_spilling_preserves_correctness(self):
         # A 6-register pool forces heavy spilling; output must not change.
-        prog = generate_ntt_program(64, vlen=8, q_bits=Q_BITS, rect_depth=2)
         table = TwiddleTable.for_ring(64, q_bits=Q_BITS)
         a = [random.Random(9).randrange(table.q) for _ in range(64)]
         expected = ntt_forward(a, table)
