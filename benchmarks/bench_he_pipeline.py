@@ -132,3 +132,71 @@ def test_bench_critical_path_64k(benchmark):
     )
     # Section VI-F: shuffles bottleneck the 64K NTT on (128, 128).
     assert report.bottleneck_pipe == "SI"
+
+
+def test_bench_functional_he_level(benchmark):
+    """A full CKKS multiplicative level end-to-end on the FEMU.
+
+    Multiply + hybrid relinearize + rescale at n=1024, L=4 (5 chain
+    towers + the special prime), every digit-arithmetic pass on the
+    simulated datapath, bit-identical to the wide-integer reference.
+    """
+    from repro.eval.he_pipeline import run_functional_he_level
+
+    data = benchmark.pedantic(
+        run_functional_he_level,
+        kwargs=dict(
+            n=1024, levels=4, depth=1, delta_bits=36, base_bits=45, vlen=512
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert data["bit_exact"]
+    assert data["fused_ran"]
+    benchmark.extra_info["n"] = data["n"]
+    benchmark.extra_info["levels"] = data["levels"]
+    benchmark.extra_info["dtype_path"] = data["dtype_path"]
+    benchmark.extra_info["cycles"] = data["cycles"]
+    benchmark.extra_info["hbm_rings"] = data["hbm_rings"]
+    benchmark.extra_info["modeled_total_us"] = round(
+        data["modeled_total_us"], 2
+    )
+
+
+def test_bench_fused_he_level(benchmark):
+    """The fused level programs vs the staged pass pipeline, head to head.
+
+    The acceptance gate: one fused tensor+key-switch program per tower
+    (digit spectra, tensor halves and accumulators pinned in the VRF)
+    must be bit-identical to the staged passes while keeping modeled
+    cycles AND pass-boundary HBM traffic strictly below them at
+    n=1024, L=4.
+    """
+    from repro.eval.he_pipeline import fused_vs_staged_level_report
+
+    data = benchmark.pedantic(
+        fused_vs_staged_level_report,
+        kwargs=dict(
+            n=1024, levels=4, delta_bits=36, base_bits=45, vlen=512
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert data["bit_identical"]
+    assert data["fused"]["fused_ran"]
+    fused, staged = data["fused"], data["staged"]
+    assert fused["cycles"] < staged["cycles"]
+    assert fused["hbm_rings"] < staged["hbm_rings"]
+    assert fused["hbm_us"] < staged["hbm_us"]
+    benchmark.extra_info["n"] = data["n"]
+    benchmark.extra_info["levels"] = data["levels"]
+    benchmark.extra_info["digits"] = data["digits"]
+    benchmark.extra_info["cycle_reduction"] = data["cycle_reduction"]
+    benchmark.extra_info["hbm_reduction"] = data["hbm_reduction"]
+    benchmark.extra_info["instruction_reduction"] = data[
+        "instruction_reduction"
+    ]
+    benchmark.extra_info["fused_cycles"] = fused["cycles"]
+    benchmark.extra_info["staged_cycles"] = staged["cycles"]
+    benchmark.extra_info["fused_hbm_rings"] = fused["hbm_rings"]
+    benchmark.extra_info["staged_hbm_rings"] = staged["hbm_rings"]

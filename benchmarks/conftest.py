@@ -6,10 +6,19 @@ simulation/model work, not (cached) code generation.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.eval.common import kernel
 from repro.perf.config import RpuConfig
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    # Benches must measure real compiles and undistorted cold/warm cache
+    # behavior; the global PLAN_CACHE resolves its persist dir at use
+    # time.  Opt back in per-run with RPU_PLAN_CACHE=1.
+    os.environ.setdefault("RPU_PLAN_CACHE", "0")
 
 
 @pytest.fixture(scope="session")

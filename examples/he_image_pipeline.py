@@ -76,7 +76,12 @@ def main() -> None:
 
     # -- RNS towers (Fig. 1's bottom half) ------------------------------------
     basis = RnsBasis.generate(num_limbs=3, limb_bits=20, ring_degree=64)
-    wide_poly = [c % basis.modulus_product for c in ciphertext.components[0].coefficients]
+    # Ciphertext components are RNS-resident planes; compose at this
+    # boundary to re-decompose under the demonstration basis.
+    wide_poly = [
+        c % basis.modulus_product
+        for c in ciphertext.ring_components()[0].coefficients
+    ]
     towers = RnsPolynomial.from_coefficients(wide_poly, basis)
     print("\nRNS decomposition of a ciphertext polynomial:")
     print(f"  wide modulus Q ~ 2^{basis.modulus_product.bit_length()} "

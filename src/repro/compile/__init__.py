@@ -16,10 +16,17 @@ See ``docs/compiler.md`` for the pipeline walk-through and the fusion
 diagram.
 """
 
-from repro.compile.cache import PLAN_CACHE, CacheStats, PlanCache
+from repro.compile.cache import (
+    PLAN_CACHE,
+    CacheStats,
+    PlanCache,
+    default_persist_dir,
+)
 from repro.compile.fusion import (
+    MAX_FUSED_LEVEL_DIGITS,
     MAX_FUSED_TOWERS,
     build_fused_kernel,
+    build_fused_level_kernel,
     fused_moduli,
 )
 from repro.compile.passes import (
@@ -35,30 +42,43 @@ from repro.compile.pipeline import (
     compile_report,
     compile_spec,
     estimated_cycles,
+    try_compile_spec,
 )
 from repro.compile.report import CompileReport, PassStats
-from repro.compile.spec import KERNEL_KINDS, KernelSpec, fused_spec
+from repro.spiral.ir import InfeasibleKernel
+from repro.compile.spec import (
+    KERNEL_KINDS,
+    KernelSpec,
+    fused_level_spec,
+    fused_spec,
+)
 
 __all__ = [
     "KERNEL_KINDS",
+    "MAX_FUSED_LEVEL_DIGITS",
     "MAX_FUSED_TOWERS",
     "PLAN_CACHE",
     "CacheStats",
     "CompileReport",
     "CompileUnit",
+    "InfeasibleKernel",
     "KernelSpec",
     "Pass",
     "PassManager",
     "PassStats",
     "PlanCache",
     "build_fused_kernel",
+    "build_fused_level_kernel",
     "build_program",
     "coalesce_shuffles",
     "compile_report",
     "compile_spec",
+    "default_persist_dir",
     "eliminate_dead_code",
     "eliminate_dead_stores",
     "estimated_cycles",
+    "fused_level_spec",
     "fused_moduli",
     "fused_spec",
+    "try_compile_spec",
 ]

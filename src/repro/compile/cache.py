@@ -15,10 +15,35 @@ carries ``metadata["plan_key"]`` (its content hash), which
 it pickles to worker processes.  Workers therefore receive each plan's
 prebuilt image at most once -- even if the master-side cache evicted and
 recompiled the plan in between.
+
+**Persistence**: ``plan_key`` is process-independent (a SHA-256 of the
+spec's canonical tuple), so compiled plans can outlive the process.  A
+cache with ``persist_dir`` set spills every built :class:`Program` image
+to ``<persist_dir>/<fingerprint>/<plan_key>.plan`` and
+loads-before-compile on a memory miss, amortizing cold compiles across
+processes.  The ``fingerprint`` path component is a content hash of the
+compiler's own source (:func:`compiler_fingerprint`), so editing any
+codegen/pass/lowering module automatically invalidates every spilled
+plan -- no manual version bump can be forgotten.  The process-wide
+:data:`PLAN_CACHE` persists under ``~/.cache/repro-rpu`` by default;
+override the location with ``RPU_PLAN_CACHE_DIR`` or disable with
+``RPU_PLAN_CACHE=0`` (the test/bench suites disable it so they always
+measure real compiles).  Corrupt, unreadable or key-mismatched files
+are treated as misses.
+
+**Trust boundary**: plan images are pickles -- loading one executes
+whatever it contains.  Point ``persist_dir`` only at directories with
+the same trust level as the code itself (the per-user default is); do
+NOT share a persist dir across mutually untrusting users or hosts.
 """
 
 from __future__ import annotations
 
+import functools
+import hashlib
+import os
+import pickle
+import tempfile
 import threading
 import time
 from collections import OrderedDict
@@ -30,6 +55,62 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.isa.program import Program
 
 
+ENV_PERSIST_DIR = "<env>"
+"""Sentinel ``persist_dir``: resolve :func:`default_persist_dir` at use time."""
+
+
+def default_persist_dir() -> str | None:
+    """Where the process-wide cache persists plans (None disables).
+
+    ``RPU_PLAN_CACHE=0`` turns persistence off; ``RPU_PLAN_CACHE_DIR``
+    relocates it.  Only use directories you trust like code -- plan
+    images are pickles (see the module docstring).
+    """
+    if os.environ.get("RPU_PLAN_CACHE", "1").lower() in ("0", "off", "false"):
+        return None
+    configured = os.environ.get("RPU_PLAN_CACHE_DIR")
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-rpu")
+
+
+# Every package whose code can change the bytes of a compiled Program:
+# the compiler itself (compile/spiral/isa) AND the math that feeds its
+# constant segments -- twiddle tables (ntt), generated bases / rescale
+# constants (rns), prime search and modular inverses (modmath), plus the
+# bit utilities they share.  perf/hw/femu/serve only *consume* programs.
+_FINGERPRINT_PACKAGES = (
+    "compile", "spiral", "isa", "ntt", "rns", "modmath", "util"
+)
+
+
+@functools.lru_cache(maxsize=1)
+def compiler_fingerprint() -> str:
+    """Content hash of every module that influences compiled Programs.
+
+    Folded into the persistence path so spilled plans are keyed by the
+    compiler that built them: editing codegen, a pass, the lowering, the
+    ISA, or any of the constant-generating math (twiddles, bases,
+    primes) invalidates the whole spill automatically (a stale plan can
+    otherwise make a broken compiler change look green -- a manual
+    version string relies on humans remembering to bump it).
+    """
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for package in _FINGERPRINT_PACKAGES:
+        package_dir = os.path.join(root, package)
+        for name in sorted(os.listdir(package_dir)):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(package_dir, name)
+            digest.update(f"{package}/{name}".encode())
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+    return digest.hexdigest()[:16]
+
+
 @dataclass
 class CacheStats:
     """Counters for one :class:`PlanCache` (snapshot-friendly)."""
@@ -37,6 +118,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
     build_s: float = 0.0
 
     @property
@@ -52,6 +134,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
             "hit_rate": round(self.hit_rate, 4),
             "build_s": round(self.build_s, 6),
         }
@@ -66,14 +149,86 @@ class PlanCache:
     same spec cannot duplicate work.
     """
 
-    def __init__(self, max_entries: int | None = 256) -> None:
+    def __init__(
+        self,
+        max_entries: int | None = 256,
+        persist_dir: str | None = None,
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None)")
         self.max_entries = max_entries
+        self.persist_dir = persist_dir
         self.stats = CacheStats()
         self._plans: OrderedDict[str, Program] = OrderedDict()
         self._lock = threading.RLock()
         self._building: dict[str, threading.Event] = {}
+
+    # -- on-disk spill ------------------------------------------------------
+    def _effective_persist_dir(self) -> str | None:
+        """``ENV_PERSIST_DIR`` resolves the environment *at use time*, so
+        test harnesses (and users) can flip ``RPU_PLAN_CACHE`` without
+        racing module import order."""
+        if self.persist_dir is ENV_PERSIST_DIR:
+            return default_persist_dir()
+        return self.persist_dir
+
+    def _spill_dir(self) -> str:
+        return os.path.join(
+            self._effective_persist_dir(), compiler_fingerprint()
+        )
+
+    def _plan_path(self, key: str) -> str:
+        return os.path.join(self._spill_dir(), f"{key}.plan")
+
+    def _load_persisted(self, key: str) -> "Program | None":
+        """A previously spilled plan, or None (corruption counts as miss).
+
+        The except clause is deliberately broad: a plan file is untrusted
+        input here -- truncated writes, foreign pickle protocols and
+        payloads of the wrong shape must all degrade to a recompile, as
+        must any exception unpickling happens to raise.
+        """
+        if self._effective_persist_dir() is None:
+            return None
+        try:
+            with open(self._plan_path(key), "rb") as fh:
+                image = pickle.load(fh)
+            program = image["program"]
+            if (
+                image.get("plan_key") != key
+                or program.metadata.get("plan_key") != key
+            ):
+                return None
+            return program
+        except Exception:
+            return None
+
+    def _store_persisted(self, key: str, program: "Program") -> None:
+        """Atomically spill one built plan (best-effort; failures ignored).
+
+        Any failure -- a full disk, a permissions problem, an
+        unpicklable program -- must never fail the compile that just
+        succeeded; persistence is an optimization, not a contract.
+        """
+        if self._effective_persist_dir() is None:
+            return
+        try:
+            os.makedirs(self._spill_dir(), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self._spill_dir(), suffix=".plan.tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump({"plan_key": key, "program": program}, fh)
+                os.replace(tmp, self._plan_path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            pass
 
     def __len__(self) -> int:
         with self._lock:
@@ -120,7 +275,13 @@ class PlanCache:
                 continue  # re-check: hit on success, take over on failure
             try:
                 t0 = time.perf_counter()
-                program = builder(spec)
+                program = self._load_persisted(key)
+                if program is not None:
+                    with self._lock:
+                        self.stats.disk_hits += 1
+                else:
+                    program = builder(spec)
+                    self._store_persisted(key, program)
                 build_s = time.perf_counter() - t0
             except BaseException:
                 with self._lock:
@@ -155,5 +316,10 @@ class PlanCache:
             return {"entries": len(self._plans), **self.stats.as_dict()}
 
 
-PLAN_CACHE = PlanCache()
-"""The process-wide plan cache every generator entry point shares."""
+PLAN_CACHE = PlanCache(persist_dir=ENV_PERSIST_DIR)
+"""The process-wide plan cache every generator entry point shares.
+
+Persists built plans under :func:`default_persist_dir` (honouring
+``RPU_PLAN_CACHE`` / ``RPU_PLAN_CACHE_DIR`` at use time), so cold
+compiles amortize across processes.
+"""

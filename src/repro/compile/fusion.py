@@ -30,7 +30,7 @@ import itertools
 
 from repro.ntt.twiddles import TwiddleTable
 from repro.rns.basis import RnsBasis
-from repro.spiral.ir import IrKernel, IrKind, IrOp
+from repro.spiral.ir import InfeasibleKernel, IrKernel, IrKind, IrOp
 from repro.spiral.ntt_codegen import build_forward_kernel, build_inverse_kernel
 from repro.util.bits import is_power_of_two
 
@@ -40,8 +40,9 @@ FUSED_REGIONS_PER_TOWER = 8
 # forwarding's register pressure always needs -- 6 is the largest tower
 # count that actually lowers (measured at n/vlen = 2).  Whether a given
 # (towers, n/vlen) fits is ultimately decided by register allocation:
-# callers that can fall back (the serving layer) probe compilability and
-# catch the lowering ValueError rather than trusting this bound alone.
+# callers that can fall back (serving, the level engine) probe
+# compilability via try_compile_spec (catching InfeasibleKernel) rather
+# than trusting this bound alone.
 MAX_FUSED_TOWERS = 6
 SDM_WORDS_PER_TOWER = 4  # forward (n_inv, psi[1]) + inverse (n_inv, psi_inv[1])
 
@@ -148,12 +149,12 @@ def build_fused_kernel(
     if not moduli:
         raise ValueError("fused kernel needs at least one modulus")
     if len(moduli) > MAX_FUSED_TOWERS:
-        raise ValueError(
+        raise InfeasibleKernel(
             f"fused kernels support at most {MAX_FUSED_TOWERS} towers "
             f"(ARF region budget); got {len(moduli)}"
         )
     if not is_power_of_two(n) or n < 2 * vlen:
-        raise ValueError("n must be a power of two with n >= 2*vlen")
+        raise InfeasibleKernel("n must be a power of two with n >= 2*vlen")
 
     merged = IrKernel(
         n=n,
@@ -230,5 +231,216 @@ def build_fused_kernel(
     merged.input_layout = "natural"
     merged.output_layout = "natural"
     merged.metadata["tower_io"] = tower_io
+    merged.validate_ssa()
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Fused CKKS level: tensor + key-switch inner product for ONE tower.
+# ---------------------------------------------------------------------------
+
+MAX_FUSED_LEVEL_DIGITS = 11
+"""Region-count bound for the "full" variant (4D + 15 regions <= 62);
+actual feasibility is decided by register allocation, which callers
+probe (:func:`repro.compile.pipeline.try_compile_spec`)."""
+
+
+def _spectral_rel_signatures(template: IrKernel) -> list[tuple]:
+    """The store/load pattern of a spectrum, relative to its region base.
+
+    Derived from a real forward kernel's ``output_store_signatures`` so
+    it stays in lockstep with the codegen (the inverse kernel's input
+    loads use the identical pattern -- that is what lets the staged
+    pipeline hand spectra between programs as plain region rows)."""
+    out_base = template.output_base
+    return [
+        (base - out_base, mode, value)
+        for base, mode, value in template.metadata["output_store_signatures"]
+    ]
+
+
+def build_fused_level_kernel(
+    n: int,
+    q: int,
+    digits: int,
+    vlen: int,
+    rect_depth: int,
+    variant: str = "full",
+) -> IrKernel:
+    """One tower's share of a CKKS level as a single IR kernel.
+
+    ``variant="full"`` (a chain tower): inputs are the four operand
+    spectra x0h/x1h/y0h/y1h, the D digit rows (coefficient domain) and
+    the 2D key spectra; the kernel computes the tensor halves
+    ``d0h = x0h*y0h`` and ``d1h = x0h*y1h + x1h*y0h``, transforms every
+    digit row forward, accumulates ``t0h = sum_i dh_i * kbh_i`` and
+    ``t1h = sum_i dh_i * kah_i``, and runs four inverse transforms --
+    d0, d1, t0, t1 land in coefficient-domain output regions.
+
+    ``variant="ks"`` (the special tower): digit rows and key spectra in,
+    t0/t1 out -- no tensor, two inverse transforms.
+
+    Every external spectral access uses the transform's canonical
+    store/load pattern, so after unbounded forwarding + DSE the digit
+    spectra and the accumulators never touch region memory; the result is
+    *pre-optimization* IR for the fused pass pipeline.
+
+    VDM layout in multiples of ``n`` (D = digits)::
+
+        full: 0..3        x0h x1h y0h y1h
+              4+2i,5+2i   digit i input + transform scratch
+              F  = 4+2D   forward twiddles
+              F+1+i       kbh_i            F+1+D+i  kah_i
+              I  = F+1+2D inverse blocks (d0, d1, t0, t1; 2 regions each)
+              I+8         inverse twiddles;  I+9  spill
+        ks:   same without the x block and with two inverse blocks.
+    """
+    if variant not in ("full", "ks"):
+        raise ValueError(f"unknown fused-level variant {variant!r}")
+    if digits < 1 or digits > MAX_FUSED_LEVEL_DIGITS:
+        raise InfeasibleKernel(
+            f"fused level kernels support 1..{MAX_FUSED_LEVEL_DIGITS} digits"
+        )
+    if not is_power_of_two(n) or n < 2 * vlen:
+        raise InfeasibleKernel("n must be a power of two with n >= 2*vlen")
+    table = TwiddleTable.for_ring(n, q=q)
+    full = variant == "full"
+    x_regions = 4 if full else 0
+    dig0 = x_regions
+    tw_fwd = dig0 + 2 * digits
+    kb0 = tw_fwd + 1
+    ka0 = kb0 + digits
+    inv0 = ka0 + digits
+    num_inverse = 4 if full else 2
+    tw_inv = inv0 + 2 * num_inverse
+    spill = tw_inv + 1
+
+    merged = IrKernel(
+        n=n,
+        vlen=vlen,
+        direction="fused",
+        modulus=q,
+        metadata={
+            "kernel": "fused_he_level",
+            "variant": variant,
+            "n": n,
+            "vlen": vlen,
+            "digits": digits,
+            "rect_depth": rect_depth,
+            "moduli": {1: q},
+            "scalar_virtuals": set(),
+        },
+    )
+
+    fwd_kernels = []
+    for i in range(digits):
+        fwd = build_forward_kernel(
+            table, vlen=vlen, rect_depth=rect_depth,
+            vdm_base=(dig0 + 2 * i) * n, sdm_base=0, mreg=1,
+            tw_base=tw_fwd * n,
+        )
+        fwd_kernels.append(fwd)
+    inv_kernels = [
+        build_inverse_kernel(
+            table, vlen=vlen, rect_depth=rect_depth,
+            vdm_base=(inv0 + 2 * j) * n, sdm_base=2, mreg=1,
+            tw_base=tw_inv * n,
+        )
+        for j in range(num_inverse)
+    ]
+    rel_sigs = _spectral_rel_signatures(fwd_kernels[0])
+    fwd_ops = [_append_relocated(merged, fwd) for fwd in fwd_kernels]
+    inv_ops = [_append_relocated(merged, inv) for inv in inv_kernels]
+
+    pointwise_ops: list[IrOp] = []
+
+    def emit_load(base: int, sig: tuple) -> int:
+        v = merged.new_virtual()
+        pointwise_ops.append(
+            IrOp(
+                IrKind.VLOAD, defs=(v,),
+                base=base + sig[0], mode=sig[1], value=sig[2],
+            )
+        )
+        return v
+
+    def emit_store(val: int, sig: tuple) -> None:
+        pointwise_ops.append(
+            IrOp(
+                IrKind.VSTORE, uses=(val,),
+                base=sig[0], mode=sig[1], value=sig[2],
+            )
+        )
+
+    def vv(subop: str, a: int, b: int) -> int:
+        v = merged.new_virtual()
+        pointwise_ops.append(
+            IrOp(IrKind.VVOP, subop=subop, defs=(v,), uses=(a, b), mreg=1)
+        )
+        return v
+
+    if full:
+        inv_d0, inv_d1, inv_t0, inv_t1 = inv_kernels
+    else:
+        inv_t0, inv_t1 = inv_kernels
+    for v_idx, sig in enumerate(rel_sigs):
+        if full:
+            lx0 = emit_load(0, sig)
+            lx1 = emit_load(n, sig)
+            ly0 = emit_load(2 * n, sig)
+            ly1 = emit_load(3 * n, sig)
+            d0h = vv("mul", lx0, ly0)
+            d1h = vv("add", vv("mul", lx0, ly1), vv("mul", lx1, ly0))
+            emit_store(d0h, inv_d0.metadata["input_load_signatures"][v_idx])
+            emit_store(d1h, inv_d1.metadata["input_load_signatures"][v_idx])
+        acc0 = acc1 = None
+        for i, fwd in enumerate(fwd_kernels):
+            # Textually identical to the digit transform's store, so
+            # forwarding keeps the spectrum in the VRF.
+            dig_sig = fwd.metadata["output_store_signatures"][v_idx]
+            vdig = emit_load(0, dig_sig)
+            p0 = vv("mul", vdig, emit_load((kb0 + i) * n, sig))
+            p1 = vv("mul", vdig, emit_load((ka0 + i) * n, sig))
+            acc0 = p0 if acc0 is None else vv("add", acc0, p0)
+            acc1 = p1 if acc1 is None else vv("add", acc1, p1)
+        emit_store(acc0, inv_t0.metadata["input_load_signatures"][v_idx])
+        emit_store(acc1, inv_t1.metadata["input_load_signatures"][v_idx])
+
+    # Emission order: digit transforms round-robin interleaved, the
+    # pointwise/accumulate stage, then the inverse transforms interleaved.
+    for group in itertools.zip_longest(*fwd_ops):
+        merged.ops.extend(op for op in group if op is not None)
+    merged.ops.extend(pointwise_ops)
+    for group in itertools.zip_longest(*inv_ops):
+        merged.ops.extend(op for op in group if op is not None)
+
+    # Constant segments: one forward twiddle copy (all digit transforms
+    # share it), one inverse copy; SDM is [n_inv, psi] + [n_inv, psi_inv].
+    segments: list[tuple[str, int, tuple[int, ...]]] = []
+    sdm_image: list[int] = [0] * 4
+    for sub in (*fwd_kernels, *inv_kernels):
+        sdm_base = sub.metadata["sdm_base"]
+        sdm_image[sdm_base:sdm_base + len(sub.sdm_values)] = sub.sdm_values
+        for seg in sub.vdm_segments:
+            if seg not in segments:
+                segments.append(seg)
+    merged.vdm_segments = segments
+    merged.sdm_values = sdm_image
+    merged.input_base = fwd_kernels[0].input_base
+    merged.output_base = inv_t0.output_base
+    merged.input_layout = "natural"
+    merged.output_layout = "natural"
+    out_names = ("d0", "d1", "t0", "t1") if full else ("t0", "t1")
+    merged.metadata["level_io"] = {
+        "x_bases": [r * n for r in range(x_regions)],
+        "digit_bases": [(dig0 + 2 * i) * n for i in range(digits)],
+        "kb_bases": [(kb0 + i) * n for i in range(digits)],
+        "ka_bases": [(ka0 + i) * n for i in range(digits)],
+        "out_bases": {
+            name: inv.output_base
+            for name, inv in zip(out_names, inv_kernels)
+        },
+        "spill_base": spill * n,
+    }
     merged.validate_ssa()
     return merged

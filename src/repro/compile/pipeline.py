@@ -22,10 +22,13 @@ from __future__ import annotations
 
 import time
 
+import threading
+
 from repro.compile.cache import PLAN_CACHE, PlanCache
 from repro.compile.fusion import (
     FUSED_REGIONS_PER_TOWER,
     build_fused_kernel,
+    build_fused_level_kernel,
     fused_moduli,
 )
 from repro.compile.passes import (
@@ -50,6 +53,12 @@ from repro.perf.config import RpuConfig
 from repro.perf.engine import CycleSimulator
 from repro.spiral.batched import REGIONS_PER_TOWER, build_merged_ntt_kernel
 from repro.spiral.ntt_codegen import build_forward_kernel, build_inverse_kernel
+from repro.spiral.ir import InfeasibleKernel
+from repro.spiral.heops import (
+    build_he_tensor_program,
+    build_keyswitch_program,
+    build_rescale_program,
+)
 from repro.spiral.pointwise import (
     build_batched_pointwise_program,
     build_pointwise_program,
@@ -67,6 +76,38 @@ def compile_spec(
     if cache is None:
         return build_program(spec)
     return cache.get_or_build(spec, build_program)
+
+
+# Fused specs whose register pressure blew the ARF budget: feasibility
+# depends on spill pressure and is only truly decided by register
+# allocation, so callers that can fall back *probe* compilability here;
+# failures are remembered so a doomed compile runs at most once.
+_infeasible_specs: set[str] = set()
+_infeasible_lock = threading.Lock()
+
+
+def try_compile_spec(
+    spec: KernelSpec, cache: PlanCache | None = PLAN_CACHE
+) -> Program | None:
+    """Compile ``spec`` or return None when it cannot lower.
+
+    The memoized feasibility probe behind every fused-with-fallback
+    caller (serving groups, the HE level engine): a spec that exceeded a
+    hardware capacity (:class:`~repro.spiral.ir.InfeasibleKernel` --
+    ARF region budget, fusion caps, spill pressure) once is never
+    compiled again in this process.  Misconfigured specs (a missing
+    modulus, an unknown variant) raise normally -- a caller bug must
+    surface, not masquerade as a staged fallback.
+    """
+    with _infeasible_lock:
+        if spec.cache_key in _infeasible_specs:
+            return None
+    try:
+        return compile_spec(spec, cache)
+    except InfeasibleKernel:
+        with _infeasible_lock:
+            _infeasible_specs.add(spec.cache_key)
+        return None
 
 
 def compile_report(program: Program) -> dict | None:
@@ -91,7 +132,7 @@ def build_program(spec: KernelSpec) -> Program:
     report = CompileReport(
         spec_key=spec.cache_key, kind=spec.kind, name=spec.label()
     )
-    if spec.kind in ("pointwise", "batched_pointwise"):
+    if spec.kind in _DIRECT_KINDS:
         program = _emit_pointwise(spec, report)
     else:
         unit = CompileUnit(spec=spec)
@@ -161,9 +202,36 @@ def _frontend_batched_ntt(spec: KernelSpec, unit: CompileUnit) -> list[Pass]:
         spec.vlen,
         spec.q_bits,
         spec.rect_depth,
+        moduli=spec.moduli,
     )
     unit.extras["spill_base"] = spec.num_towers * REGIONS_PER_TOWER * spec.n
     return _ntt_pipeline(spec)
+
+
+def _frontend_fused_level(spec: KernelSpec, unit: CompileUnit) -> list[Pass]:
+    if spec.q is None:
+        raise ValueError("fused_he_level needs an explicit tower modulus")
+    kernel = build_fused_level_kernel(
+        spec.n, spec.q, spec.digits, spec.vlen, spec.rect_depth,
+        variant=spec.op,
+    )
+    unit.kernel = kernel
+    n = spec.n
+    io = kernel.metadata["level_io"]
+    unit.extras["live_out"] = [
+        (base, base + n) for base in io["out_bases"].values()
+    ]
+    unit.extras["spill_base"] = io["spill_base"]
+    return [
+        forwarding_pass(None),  # unbounded: cross former kernel boundaries
+        shuffle_pass(),
+        dse_pass(),
+        dce_pass(),
+        validate_pass(),
+        schedule_pass(spec.schedule_window),
+        regalloc_pass("fifo", group_aware=True),
+        emit_pass(),
+    ]
 
 
 def _frontend_fused(spec: KernelSpec, unit: CompileUnit) -> list[Pass]:
@@ -195,15 +263,28 @@ _FRONTENDS = {
     "batched_ntt": _frontend_batched_ntt,
     "fused_polymul": _frontend_fused,
     "fused_he_multiply": _frontend_fused,
+    "fused_he_level": _frontend_fused_level,
 }
+
+_DIRECT_KINDS = ("pointwise", "batched_pointwise", "he_tensor", "keyswitch", "rescale")
 
 
 def _emit_pointwise(spec: KernelSpec, report: CompileReport) -> Program:
-    """Pointwise sweeps emit directly (trivial dataflow, no IR passes)."""
+    """Pointwise-style sweeps emit directly (trivial dataflow, no IR passes)."""
     t0 = time.perf_counter()
     if spec.kind == "pointwise":
         q = spec.q if spec.q is not None else find_ntt_prime(spec.q_bits, spec.n)
         program = build_pointwise_program(spec.n, spec.op, spec.vlen, q)
+    elif spec.kind == "he_tensor":
+        program = build_he_tensor_program(spec.n, spec.moduli, spec.vlen)
+    elif spec.kind == "keyswitch":
+        if spec.q is None:
+            raise ValueError("keyswitch needs an explicit tower modulus")
+        program = build_keyswitch_program(
+            spec.n, spec.q, spec.digits, spec.vlen
+        )
+    elif spec.kind == "rescale":
+        program = build_rescale_program(spec.n, spec.moduli, spec.vlen)
     else:
         program = build_batched_pointwise_program(
             spec.n, spec.moduli, spec.op, spec.vlen
@@ -247,3 +328,28 @@ def _attach_family_metadata(
                 unit.kernel.metadata["tower_io"]
             )
         ]
+    if spec.kind == "fused_he_level":
+        io = unit.kernel.metadata["level_io"]
+        x_names = ("x0h", "x1h", "y0h", "y1h")
+        program.metadata["level_regions"] = {
+            "x": [
+                RegionSpec(name, base, n, "spectral")
+                for name, base in zip(x_names, io["x_bases"])
+            ],
+            "digits": [
+                RegionSpec(f"d_{i}", base, n, "natural")
+                for i, base in enumerate(io["digit_bases"])
+            ],
+            "kb": [
+                RegionSpec(f"kbh_{i}", base, n, "spectral")
+                for i, base in enumerate(io["kb_bases"])
+            ],
+            "ka": [
+                RegionSpec(f"kah_{i}", base, n, "spectral")
+                for i, base in enumerate(io["ka_bases"])
+            ],
+            "outs": {
+                name: RegionSpec(name, base, n, "natural")
+                for name, base in io["out_bases"].items()
+            },
+        }

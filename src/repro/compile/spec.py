@@ -24,6 +24,10 @@ KERNEL_KINDS = (
     "batched_pointwise",
     "fused_polymul",
     "fused_he_multiply",
+    "he_tensor",
+    "keyswitch",
+    "rescale",
+    "fused_he_level",
 )
 """Every kernel family the unified pipeline can compile."""
 
@@ -41,10 +45,16 @@ class KernelSpec:
         q: explicit modulus, or ``None`` to derive the canonical
             ``q_bits``-bit NTT prime (single-modulus kinds).
         q_bits: modulus width used whenever moduli are derived.
-        moduli: explicit RNS moduli (``batched_pointwise``; optional for
-            fused kinds -- empty means "derive from ``q``/``q_bits``").
+        moduli: explicit RNS moduli (``batched_pointwise`` / ``he_tensor``
+            / ``rescale``, where the last limb is the dropped one;
+            optional for batched-NTT and fused kinds -- empty means
+            "derive from ``q``/``q_bits``").
         num_towers: RNS tower count for batched / fused-HE kinds.
-        op: pointwise operation (``"mul"`` / ``"add"``).
+        op: pointwise operation (``"mul"`` / ``"add"``); for
+            ``fused_he_level``, the variant (``"full"`` fuses the tensor
+            and the key-switch of one chain tower; ``"ks"`` is the
+            key-switch-only program of the special tower).
+        digits: CRT digit count for ``keyswitch`` / ``fused_he_level``.
         optimize: False emits the Fig. 6 "unoptimized" baseline.
         rect_depth: log2 of the register-resident rectangle, in vectors.
         schedule_window: list-scheduler reordering window.
@@ -59,6 +69,7 @@ class KernelSpec:
     moduli: tuple[int, ...] = ()
     num_towers: int = 1
     op: str = "mul"
+    digits: int = 0
     optimize: bool = True
     rect_depth: int = 4
     schedule_window: int = 48
@@ -84,7 +95,7 @@ class KernelSpec:
         benchmark JSON.
         """
         canonical = (
-            "rpu-plan-v1",
+            "rpu-plan-v2",
             self.kind,
             self.n,
             self.vlen,
@@ -94,6 +105,7 @@ class KernelSpec:
             self.moduli,
             self.num_towers,
             self.op,
+            self.digits,
             self.optimize,
             self.rect_depth,
             self.schedule_window,
@@ -114,6 +126,14 @@ class KernelSpec:
             return f"pointwise_{self.op}_{self.n}_x{towers}towers"
         if self.kind == "fused_polymul":
             return f"fused_polymul_{self.n}"
+        if self.kind == "he_tensor":
+            return f"he_tensor_{self.n}_x{len(self.moduli)}towers"
+        if self.kind == "keyswitch":
+            return f"keyswitch_{self.n}_x{self.digits}digits"
+        if self.kind == "rescale":
+            return f"rescale_{self.n}_x{max(0, len(self.moduli) - 1)}towers"
+        if self.kind == "fused_he_level":
+            return f"fused_he_level_{self.op}_{self.n}_x{self.digits}digits"
         return f"fused_he_multiply_{self.n}_x{self.num_towers}towers"
 
 
@@ -143,4 +163,37 @@ def fused_spec(
         num_towers=towers,
         rect_depth=4 if towers == 1 else 3,
         schedule_window=48 if towers == 1 else 96,
+    )
+
+
+def fused_level_spec(
+    n: int,
+    q: int,
+    digits: int,
+    vlen: int = 512,
+    variant: str = "full",
+) -> KernelSpec:
+    """The canonical fused tensor+key-switch spec for one tower.
+
+    ``variant="full"`` fuses a chain tower's whole share of a CKKS level
+    -- the 2x2 tensor, the D-digit key-switch inner product, and all four
+    inverse transforms -- into one program; ``variant="ks"`` is the
+    key-switch-only program the special (key-switching) tower runs.  One
+    program per tower because the fused region budget (digit transforms,
+    key spectra, four inverse buffers) already fills most of the ARF for
+    a single modulus.  The engine (:mod:`repro.rlwe.engine`), serving and
+    the HE-pipeline driver all construct their fused plans through this
+    helper, so they always share one plan per (tower, shape).
+    """
+    if variant not in ("full", "ks"):
+        raise ValueError(f"unknown fused-level variant {variant!r}")
+    return KernelSpec(
+        kind="fused_he_level",
+        n=n,
+        vlen=vlen,
+        q=q,
+        digits=digits,
+        op=variant,
+        rect_depth=3,
+        schedule_window=96,
     )

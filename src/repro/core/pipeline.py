@@ -271,3 +271,38 @@ class RpuPipeline:
             self.negacyclic_polymul(a, b, q=q)
             for a, b, q in zip(a_towers, b_towers, moduli)
         ]
+
+    def he_level(
+        self,
+        x: tuple[Sequence[Sequence[int]], Sequence[Sequence[int]]],
+        y: tuple[Sequence[Sequence[int]], Sequence[Sequence[int]]],
+        material,
+        fuse: bool = True,
+    ) -> PipelineResult:
+        """One full CKKS level (multiply + relinearize + rescale).
+
+        ``x`` / ``y`` are 2-component ciphertexts as residue rows over
+        ``material.moduli`` (a :class:`~repro.rlwe.engine.LevelKeyMaterial`);
+        the result's ``output`` is ``[out0_towers, out1_towers]`` one
+        level down.  Every engine pass is charged as a pipeline stage
+        (one entry per kernel launch, like the other primitives);
+        ``fuse=True`` runs the per-tower fused tensor+key-switch programs
+        where they lower, bit-identically.
+        """
+        from repro.rlwe.engine import execute_level_batch
+
+        pool = self._get_pool() if self.shards > 1 else None
+        outputs, report = execute_level_batch(
+            material,
+            [([list(t) for t in x[0]], [list(t) for t in x[1]])],
+            [([list(t) for t in y[0]], [list(t) for t in y[1]])],
+            vlen=min(self.config.vlen, material.n // 2),
+            backend=self.backend,
+            shards=self.shards,
+            pool=pool,
+            fuse=fuse,
+        )
+        result = PipelineResult(output=list(outputs[0]))
+        for log in report["passes"]:
+            self._charge_stage(log.program, result, times=log.launches)
+        return result

@@ -27,11 +27,11 @@ import time
 from dataclasses import dataclass
 
 from repro.eval.common import BEST_CONFIG, simulate
-from repro.femu import BatchExecutor, make_simulator
 from repro.hw.hbm import hbm_transfer_us
 from repro.ntt.polymul import negacyclic_polymul
 from repro.ntt.twiddles import TwiddleTable
 from repro.perf.engine import CycleSimulator
+from repro.rlwe.engine import run_region_pass
 from repro.spiral.batched import generate_batched_ntt_program, tower_regions
 from repro.spiral.pointwise import (
     generate_batched_pointwise_program,
@@ -86,50 +86,14 @@ def run_he_pipeline(
 
 
 def _run_batch(program, region_rows, batch, backend, shards=1, pool=None):
-    """Execute one program pass over per-region batched rows.
+    """One program pass over per-region batched rows.
 
-    ``region_rows`` maps RegionSpec -> list of ``batch`` rows.  The
-    vectorized path is one :class:`BatchExecutor` pass -- spread over
-    worker processes by
-    :class:`~repro.serve.sharding.ShardedBatchExecutor` when ``shards > 1``
-    or a pool is given (bit-identical either way); the scalar path (the
-    differential reference) runs one FunctionalSimulator per batch lane.
-    Returns ``(read_fn, stats, dtype_path, effective_shards)`` --
-    effective because a pass cannot use more shards than batch rows.
+    Shared with the HE level engine -- see
+    :func:`repro.rlwe.engine.run_region_pass` for the semantics (one
+    :class:`BatchExecutor` pass, optionally sharded; scalar runs one
+    FunctionalSimulator per lane).
     """
-    if backend not in ("scalar", "vectorized"):
-        raise ValueError(
-            f"unknown backend {backend!r}; expected 'scalar' or 'vectorized'"
-        )
-    if backend == "scalar" and (shards > 1 or pool is not None):
-        raise ValueError("sharded execution implies the vectorized backend")
-    if backend == "vectorized":
-        if shards > 1 or pool is not None:
-            from repro.serve.sharding import ShardedBatchExecutor
-
-            ex = ShardedBatchExecutor(
-                program, batch=batch, shards=shards, pool=pool
-            )
-            effective = ex.shards
-        else:
-            ex = BatchExecutor(program, batch=batch)
-            effective = 1
-        for region, rows in region_rows.items():
-            ex.write_region(region, rows)
-        stats = ex.run()
-        return ex.read_region, stats, ex.dtype_path, effective
-    sims = []
-    for lane in range(batch):
-        sim = make_simulator(program, backend="scalar")
-        for region, rows in region_rows.items():
-            sim.write_region(region, rows[lane])
-        stats = sim.run()
-        sims.append(sim)
-
-    def read(region):
-        return [sim.read_region(region) for sim in sims]
-
-    return read, stats, "python-int", 1
+    return run_region_pass(program, region_rows, batch, backend, shards, pool)
 
 
 def _cycle_config(vlen: int):
@@ -418,6 +382,210 @@ def fused_vs_unfused_report(
         ),
         "hbm_traffic_reduction": round(1 - fused_rings / unfused_rings, 4),
         "compile": fused.get("compile"),
+    }
+
+
+def _level_cost(passes, vlen: int, n: int) -> dict:
+    """Fold a level run's pass log into the cycle/HBM model.
+
+    Each batch lane is a kernel launch on silicon, so a pass's modeled
+    cost is ``launches_per_request x`` its cycle-simulated program;
+    ``rings`` counts the n-element rows that crossed the pass boundary
+    per request (the HBM traffic a serving system would move).
+    """
+    config = _cycle_config(vlen)
+    cache: dict[str, object] = {}
+    cycles = 0
+    runtime_us = 0.0
+    rings = 0.0
+    per_pass = []
+    for log in passes:
+        key = log.program.metadata.get("plan_key", log.program.name)
+        if key not in cache:
+            cache[key] = CycleSimulator(config).run(log.program)
+        report = cache[key]
+        cycles += log.launches * report.cycles
+        runtime_us += log.launches * report.runtime_us
+        rings += log.rings
+        per_pass.append(
+            {
+                "name": log.name,
+                "launches": log.launches,
+                "cycles": report.cycles,
+                # Stats count a program stream once per pass regardless of
+                # batch width; silicon issues it once per launch (lane).
+                "instructions": log.launches * log.stats.executed,
+                "rings": round(log.rings, 2),
+            }
+        )
+    return {
+        "cycles": cycles,
+        "modeled_us": runtime_us,
+        "hbm_rings": rings,
+        "hbm_us": rings * hbm_transfer_us(n),
+        "instructions": sum(p["instructions"] for p in per_pass),
+        "passes": per_pass,
+    }
+
+
+def run_functional_he_level(
+    n: int = 256,
+    levels: int = 2,
+    depth: int = 1,
+    delta_bits: int = 22,
+    base_bits: int = 30,
+    backend: str = "vectorized",
+    vlen: int = 512,
+    seed: int = 0,
+    shards: int = 1,
+    pool=None,
+    fuse: bool = True,
+    check_oracle: bool = True,
+) -> dict:
+    """Execute a depth-d chain of full CKKS levels end-to-end on the FEMU.
+
+    Builds a real CKKS context (keys, encryption, the works), then runs
+    ``depth`` successive multiply+relinearize+rescale levels through the
+    RNS-native engine (:mod:`repro.rlwe.engine`): level 1 multiplies two
+    fresh ciphertexts, each further level squares the result.  Every
+    level's output is checked bit-identical against the software planes
+    *and* the retained wide-integer reference path, and the same programs
+    run through the cycle model so the report carries functional truth
+    and modeled cost side by side (``make bench-he`` gates the fused
+    path's cycles and HBM traffic below the staged path's).
+    """
+    from repro.rlwe.ckks import CkksContext, CkksParameters
+    from repro.rlwe.engine import CkksLevelEngine
+
+    if not 1 <= depth <= levels:
+        raise ValueError("need 1 <= depth <= levels")
+    params = CkksParameters.demo(
+        n=n, delta_bits=delta_bits, levels=levels, base_bits=base_bits
+    )
+    ctx = CkksContext(params, seed=seed, backend="auto")
+    keys = ctx.keygen()
+    rng = random.Random(seed)
+    slots = min(params.slots, 8)
+    zx = [complex(rng.uniform(-1, 1), rng.uniform(-1, 1)) for _ in range(slots)]
+    zy = [complex(rng.uniform(-1, 1), rng.uniform(-1, 1)) for _ in range(slots)]
+    cx = ctx.encrypt(keys, ctx.encode(zx))
+    cy = ctx.encrypt(keys, ctx.encode(zy))
+    engine = CkksLevelEngine(
+        params, keys, vlen=vlen, backend=backend, shards=shards, pool=pool,
+        fuse=fuse,
+    )
+    vlen = min(vlen, n // 2)
+    current, oracle = (cx, cy), (cx, cy)
+    level_reports = []
+    bit_exact = True
+    t0 = time.perf_counter()
+    for _ in range(depth):
+        out, report = engine.run_level(*current)
+        entry = {
+            "level": out.level + 1,
+            "fused": report["fused"],
+            "dtype_path": report["dtype_path"],
+            "shards": report["shards"],
+            "wall_s": report["wall_s"],
+            **_level_cost(report["passes"], vlen, n),
+        }
+        if check_oracle:
+            ref = ctx.rescale(
+                ctx.relinearize(
+                    keys,
+                    ctx.multiply(*oracle, reference=True),
+                    reference=True,
+                ),
+                reference=True,
+            )
+            entry["bit_exact"] = out.components == ref.components
+            bit_exact = bit_exact and entry["bit_exact"]
+            oracle = (ref, ref)
+        level_reports.append(entry)
+        current = (out, out)
+    wall_s = time.perf_counter() - t0
+    result_ct = current[0]
+    return {
+        "n": n,
+        "levels": levels,
+        "depth": depth,
+        "backend": backend,
+        "fuse": fuse,
+        "fused_ran": all(e["fused"] for e in level_reports),
+        "dtype_path": level_reports[-1]["dtype_path"],
+        "shards": max(e["shards"] for e in level_reports),
+        "bit_exact": bit_exact if check_oracle else None,
+        "final_level": result_ct.level,
+        "decoded": list(ctx.decrypt_decode(keys, result_ct)[:slots]),
+        "levels_report": level_reports,
+        "cycles": sum(e["cycles"] for e in level_reports),
+        "modeled_total_us": sum(e["modeled_us"] for e in level_reports),
+        "hbm_rings": sum(e["hbm_rings"] for e in level_reports),
+        "hbm_us": sum(e["hbm_us"] for e in level_reports),
+        "wall_s": wall_s,
+    }
+
+
+def fused_vs_staged_level_report(
+    n: int = 1024,
+    levels: int = 4,
+    delta_bits: int = 36,
+    base_bits: int = 45,
+    vlen: int = 512,
+    seed: int = 0,
+) -> dict:
+    """Head-to-head: the fused level programs vs the staged pass pipeline.
+
+    One full top-level CKKS multiply+relinearize+rescale both ways --
+    bit-identity asserted between them -- with modeled cycles, executed
+    instructions and pass-boundary HBM rings per path.  The fused path
+    keeps digit spectra, tensor halves and key-switch accumulators in the
+    VRF, so it must win on every axis; ``make bench-he`` gates that.
+    """
+    from repro.rlwe.ckks import CkksContext, CkksParameters
+    from repro.rlwe.engine import CkksLevelEngine
+
+    params = CkksParameters.demo(
+        n=n, delta_bits=delta_bits, levels=levels, base_bits=base_bits
+    )
+    ctx = CkksContext(params, seed=seed, backend="auto")
+    keys = ctx.keygen()
+    rng = random.Random(seed)
+    slots = min(params.slots, 8)
+    zx = [complex(rng.uniform(-1, 1), 0) for _ in range(slots)]
+    zy = [complex(rng.uniform(-1, 1), 0) for _ in range(slots)]
+    cx = ctx.encrypt(keys, ctx.encode(zx))
+    cy = ctx.encrypt(keys, ctx.encode(zy))
+    vlen = min(vlen, n // 2)
+    sides = {}
+    outs = {}
+    for name, fuse in (("staged", False), ("fused", True)):
+        engine = CkksLevelEngine(params, keys, vlen=vlen, fuse=fuse)
+        out, report = engine.run_level(cx, cy)
+        outs[name] = out
+        sides[name] = {
+            "fused_ran": report["fused"],
+            **_level_cost(report["passes"], vlen, n),
+        }
+    return {
+        "n": n,
+        "levels": levels,
+        "digits": levels + 1,
+        "bit_identical": outs["fused"].components == outs["staged"].components,
+        "staged": sides["staged"],
+        "fused": sides["fused"],
+        "cycle_reduction": round(
+            1 - sides["fused"]["cycles"] / sides["staged"]["cycles"], 4
+        ),
+        "hbm_reduction": round(
+            1 - sides["fused"]["hbm_rings"] / sides["staged"]["hbm_rings"], 4
+        ),
+        "instruction_reduction": round(
+            1
+            - sides["fused"]["instructions"]
+            / sides["staged"]["instructions"],
+            4,
+        ),
     }
 
 

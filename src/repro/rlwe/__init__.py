@@ -9,17 +9,29 @@ both on top of the :mod:`repro.ntt` / :mod:`repro.rns` substrates:
   multiplication;
 * :mod:`repro.rlwe.sampling` -- ternary, centered-binomial and uniform
   samplers;
+* :mod:`repro.rlwe.digits` -- the digit decompositions key switching
+  uses (positional base-T and RNS/CRT);
 * :mod:`repro.rlwe.bfv` -- a BFV-style somewhat-homomorphic scheme with
   encrypt/decrypt, homomorphic add, plaintext and ciphertext multiply,
   base-T relinearization, and exact noise-budget measurement;
 * :mod:`repro.rlwe.ckks` -- a CKKS-style approximate scheme with the
-  canonical embedding and a genuine modulus-chain rescale;
+  canonical embedding, RNS-resident ciphertexts, hybrid RNS
+  relinearization and a genuine modulus-chain rescale;
+* :mod:`repro.rlwe.engine` -- the RNS-native homomorphic-op engine that
+  executes full CKKS levels through generated RPU programs;
 * :mod:`repro.rlwe.kyber` -- a Kyber-style IND-CPA KEM over the classic
   q = 7681 NTT-friendly ring.
 """
 
 from repro.rlwe.bfv import BfvCiphertext, BfvContext, BfvKeys
-from repro.rlwe.ckks import CkksCiphertext, CkksContext, CkksParameters
+from repro.rlwe.ckks import (
+    CkksCiphertext,
+    CkksContext,
+    CkksKeys,
+    CkksParameters,
+)
+from repro.rlwe.digits import base_decompose
+from repro.rlwe.engine import CkksLevelEngine, LevelKeyMaterial
 from repro.rlwe.kyber import KyberContext
 from repro.rlwe.ring import RingElement
 
@@ -29,7 +41,11 @@ __all__ = [
     "BfvKeys",
     "BfvCiphertext",
     "CkksContext",
+    "CkksKeys",
+    "CkksLevelEngine",
     "CkksParameters",
     "CkksCiphertext",
     "KyberContext",
+    "LevelKeyMaterial",
+    "base_decompose",
 ]

@@ -13,6 +13,15 @@ R_q = Z_q[x]/(x^n + 1) with plaintext ring R_t:
   unit), yielding a 3-component ciphertext;
 * ``relinearize``: base-T key switching back to 2 components.
 
+Ciphertexts are **RNS-resident**: components are residue planes
+(:class:`~repro.rns.tower.RnsPolynomial`) over the basis of the ciphertext
+modulus -- for BFV's single prime q that is the degenerate one-limb basis,
+so the plane's only tower *is* the coefficient row, and composition at the
+integer boundaries (the t/q rounding of ``multiply``/``decrypt``, base-T
+digit extraction) is free.  A genuinely multi-limb BFV (the BEHZ/HPS
+constructions) would replace those boundary compositions with base
+conversions; see ROADMAP.
+
 This is the workload class (Fig. 1 of the paper) whose inner loops -- the
 NTTs -- the RPU accelerates.  Parameters here are demonstration-scale, not
 production security levels.
@@ -20,16 +29,29 @@ production security levels.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass
 
-from repro.modmath.primes import find_ntt_prime
+from repro.modmath.primes import find_ntt_prime, is_prime
 from repro.ntt.naive import naive_negacyclic_convolution
 from repro.ntt.polymul import integer_negacyclic_convolution
+from repro.rlwe.digits import base_decompose
 from repro.rlwe.ring import RingElement
-from repro.rns.tower import BACKENDS, auto_prefers_vectorized
+from repro.rns.basis import RnsBasis
+from repro.rns.tower import BACKENDS, RnsPolynomial, auto_prefers_vectorized
 from repro.rlwe.sampling import centered_binomial_poly, ternary_poly, uniform_poly
 from repro.util.bits import is_power_of_two
+
+# Back-compat alias: the decomposition used to be this module's private
+# helper; it now lives in repro.rlwe.digits and is re-exported properly.
+_base_decompose = base_decompose
+
+
+@functools.lru_cache(maxsize=64)
+def _single_basis(q: int, n: int) -> RnsBasis:
+    """The one-limb RNS basis of a prime BFV modulus (cached)."""
+    return RnsBasis((q,), n)
 
 
 @dataclass(frozen=True)
@@ -55,6 +77,16 @@ class BfvParameters:
             raise ValueError("n must be a power of two")
         if self.t < 2 or self.t >= self.q:
             raise ValueError("need 2 <= t < q")
+        # The RNS-resident ciphertext layout (and the NTT ring products)
+        # need q prime and NTT-friendly; fail at construction with a
+        # parameter-level message rather than deep inside encrypt.
+        if not is_prime(self.q):
+            raise ValueError(f"q must be prime, got {self.q}")
+        if (self.q - 1) % (2 * self.n) != 0:
+            raise ValueError(
+                f"q must be NTT-friendly for n={self.n} "
+                f"(q = 1 mod {2 * self.n}); got {self.q}"
+            )
 
     @property
     def delta(self) -> int:
@@ -74,9 +106,13 @@ class BfvKeys:
 
 @dataclass(frozen=True)
 class BfvCiphertext:
-    """A ciphertext of 2 (fresh) or 3 (post-multiply) components."""
+    """A ciphertext of 2 (fresh) or 3 (post-multiply) components.
 
-    components: tuple[RingElement, ...]
+    Components are RNS residue planes; addition is tower-wise and never
+    composes.  :meth:`ring_components` is the integer-boundary view.
+    """
+
+    components: tuple[RnsPolynomial, ...]
     params: BfvParameters
 
     def __add__(self, other: "BfvCiphertext") -> "BfvCiphertext":
@@ -85,8 +121,15 @@ class BfvCiphertext:
         if len(self.components) != len(other.components):
             raise ValueError("component count mismatch")
         return BfvCiphertext(
-            tuple(a + b for a, b in zip(self.components, other.components)),
+            tuple(a.add(b) for a, b in zip(self.components, other.components)),
             self.params,
+        )
+
+    def ring_components(self) -> tuple[RingElement, ...]:
+        """CRT-compose every plane back to a wide-coefficient element."""
+        q = self.params.q
+        return tuple(
+            RingElement(tuple(c.to_coefficients()), q) for c in self.components
         )
 
 
@@ -136,6 +179,15 @@ class BfvContext:
             self.params.n, self.params.q, self.params.eta, self._rng
         )
 
+    def _basis(self) -> RnsBasis:
+        return _single_basis(self.params.q, self.params.n)
+
+    def _plane(self, element: RingElement) -> RnsPolynomial:
+        """Decompose a ring element into its RNS residue plane."""
+        return RnsPolynomial.from_coefficients(
+            list(element.coefficients), self._basis()
+        )
+
     def keygen(self) -> BfvKeys:
         p = self.params
         s = ternary_poly(p.n, p.q, self._rng)
@@ -171,14 +223,16 @@ class BfvContext:
         scaled = message * p.delta
         c0 = self._mul(b, u) + e1 + scaled
         c1 = self._mul(a, u) + e2
-        return BfvCiphertext((c0, c1), p)
+        # Encrypt is an integer boundary: the fresh components decompose
+        # into residue planes here, and everything downstream is RNS.
+        return BfvCiphertext((self._plane(c0), self._plane(c1)), p)
 
     def decrypt(self, keys: BfvKeys, ct: BfvCiphertext) -> RingElement:
         p = self.params
         s = keys.secret
         acc = RingElement.zero(p.n, p.q)
         s_power = RingElement.from_list([1] + [0] * (p.n - 1), p.q)
-        for comp in ct.components:
+        for comp in ct.ring_components():  # decrypt boundary: compose
             acc = acc + self._mul(comp, s_power)
             s_power = self._mul(s_power, s)
         # Round t/q * coefficient, per-coefficient on centered values.
@@ -199,7 +253,7 @@ class BfvContext:
         s = keys.secret
         acc = RingElement.zero(p.n, p.q)
         s_power = RingElement.from_list([1] + [0] * (p.n - 1), p.q)
-        for comp in ct.components:
+        for comp in ct.ring_components():
             acc = acc + self._mul(comp, s_power)
             s_power = self._mul(s_power, s)
         message = self.decrypt(keys, ct)
@@ -216,17 +270,28 @@ class BfvContext:
         return x + y
 
     def multiply_plain(self, ct: BfvCiphertext, plain: RingElement) -> BfvCiphertext:
+        """Scale-free plaintext multiply, tower-wise on the residue planes."""
+        backend = "vectorized" if self._vectorized() else "scalar"
+        plain_plane = self._plane(plain)
         return BfvCiphertext(
-            tuple(self._mul(c, plain) for c in ct.components), self.params
+            tuple(
+                c.mul(plain_plane, backend=backend) for c in ct.components
+            ),
+            self.params,
         )
 
     def multiply(self, x: BfvCiphertext, y: BfvCiphertext) -> BfvCiphertext:
-        """Ciphertext-ciphertext multiply: exact tensor + t/q rescale."""
+        """Ciphertext-ciphertext multiply: exact tensor + t/q rescale.
+
+        The t/q rounding needs the positional (centered integer) view, so
+        this op composes at entry -- the documented RNS boundary of
+        single-modulus BFV.
+        """
         p = self.params
         if len(x.components) != 2 or len(y.components) != 2:
             raise ValueError("multiply expects fresh 2-component ciphertexts")
-        cx = [c.centered() for c in x.components]
-        cy = [c.centered() for c in y.components]
+        cx = [c.centered() for c in x.ring_components()]
+        cy = [c.centered() for c in y.ring_components()]
         big = 1 << 128  # headroom modulus for the exact integer convolution
 
         if self._vectorized():
@@ -249,36 +314,29 @@ class BfvContext:
         ]
         d2 = conv(cx[1], cy[1])
 
-        def rescale(values: list[int]) -> RingElement:
-            return RingElement(
-                tuple(round(v * p.t / p.q) % p.q for v in values), p.q
+        def rescale(values: list[int]) -> RnsPolynomial:
+            return self._plane(
+                RingElement(
+                    tuple(round(v * p.t / p.q) % p.q for v in values), p.q
+                )
             )
 
         return BfvCiphertext((rescale(d0), rescale(d1), rescale(d2)), p)
 
     def relinearize(self, keys: BfvKeys, ct: BfvCiphertext) -> BfvCiphertext:
-        """Key-switch a 3-component ciphertext back to 2 components."""
+        """Key-switch a 3-component ciphertext back to 2 components.
+
+        Base-T digits are positional, so c2 composes at entry (free for
+        the one-limb basis); the key-switch inner product itself runs on
+        the selected ring-arithmetic backend.
+        """
         p = self.params
         if len(ct.components) != 3:
             raise ValueError("relinearize expects a 3-component ciphertext")
-        c0, c1, c2 = ct.components
-        digits = _base_decompose(c2, p.relin_base)
+        c0, c1, c2 = ct.ring_components()
+        digits = base_decompose(c2, p.relin_base)
         new0, new1 = c0, c1
         for digit, (b_i, a_i) in zip(digits, keys.relin):
             new0 = new0 + self._mul(b_i, digit)
             new1 = new1 + self._mul(a_i, digit)
-        return BfvCiphertext((new0, new1), p)
-
-
-def _base_decompose(element: RingElement, base: int) -> list[RingElement]:
-    """Digit-decompose every coefficient: sum_i base^i * digit_i == c."""
-    q = element.modulus
-    levels = []
-    remaining = list(element.coefficients)
-    power = 1
-    while power < q:
-        digits = [c % base for c in remaining]
-        remaining = [c // base for c in remaining]
-        levels.append(RingElement(tuple(d % q for d in digits), q))
-        power *= base
-    return levels
+        return BfvCiphertext((self._plane(new0), self._plane(new1)), p)

@@ -12,9 +12,26 @@ implements the genuine construction at demonstration scale:
 * ``encode``/``decode`` via the canonical embedding (evaluation at the
   primitive 2n-th roots, conjugate-symmetric packing, fixed-point scale);
 * ``encrypt``/``decrypt``/``add``/``multiply``/``relinearize``/``rescale``
-  with exact big-integer ring arithmetic (keys generated at the top level
-  reduce consistently to every lower level because each level's modulus
-  divides the top modulus).
+  with keys generated at the top level.
+
+Ciphertexts are **RNS-resident**: every component is a residue plane
+(:class:`~repro.rns.tower.RnsPolynomial`) over the level's prime chain,
+and the homomorphic ops run tower-wise -- the representation the RPU's
+vector datapath executes natively.  Wide integers appear only at the
+encrypt/decrypt boundaries (and inside the retained big-int *reference*
+implementations: every op takes ``reference=True`` to recompute itself
+with exact wide-integer arithmetic, which the test suite uses as the
+differential oracle -- both paths are bit-identical).
+
+Relinearization is RNS-native **hybrid key switching**: c2 decomposes
+into CRT digits ``d_i = [c2 * qhat_inv_i]_{q_i}`` (one vector-scalar
+multiply per tower), the key-switch inner product runs over the basis
+extended by a special prime P (keys carry a factor of P, shrinking the
+digit noise by P), and an exact scale-and-round drops P again -- the same
+basis-drop primitive the rescale uses (:meth:`RnsBasis.scale_and_round`).
+This is the decomposition a ring processor can batch; the positional
+base-T decomposition (:func:`repro.rlwe.digits.base_decompose`) remains
+in use by BFV, where it is an integer-boundary op.
 
 Scales are tracked per ciphertext as exact rationals-in-float form (the
 SEAL convention), since the chain primes only approximate 2^delta_bits.
@@ -23,18 +40,21 @@ Every inner loop is negacyclic polynomial arithmetic -- the RPU workload.
 
 from __future__ import annotations
 
+import functools
 import math
 import random
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.ntt.naive import naive_negacyclic_convolution
 from repro.ntt.polymul import integer_negacyclic_convolution
+from repro.rlwe.digits import crt_digit_rows, spread_rows
 from repro.rlwe.ring import RingElement
 from repro.rlwe.sampling import centered_binomial_poly, ternary_poly, uniform_poly
 from repro.rns.basis import RnsBasis
-from repro.rns.tower import BACKENDS, auto_prefers_vectorized
+from repro.rns.tower import BACKENDS, RnsPolynomial, auto_prefers_vectorized
 from repro.util.bits import is_power_of_two
 
 
@@ -62,6 +82,12 @@ def _ring_mul_batched(a: RingElement, b: RingElement) -> RingElement:
     return RingElement(tuple(v % q for v in product), q)
 
 
+@functools.lru_cache(maxsize=256)
+def _cached_basis(moduli: tuple[int, ...], n: int) -> RnsBasis:
+    """One shared :class:`RnsBasis` per (moduli, ring degree)."""
+    return RnsBasis(moduli, n)
+
+
 @dataclass(frozen=True)
 class CkksParameters:
     """Demonstration-scale CKKS parameters (not a production security level).
@@ -72,20 +98,24 @@ class CkksParameters:
             is never rescaled away; p_1..p_L are ~2^delta_bits each).
         delta_bits: the working fixed-point scale (log2).
         eta: centered-binomial noise parameter.
-        relin_base: digit base for relinearization keys.
+        special_prime: the key-switching prime P (coprime to the chain,
+            at least as large as any chain prime); ``None`` disables
+            relinearization.
     """
 
     n: int
     primes: tuple[int, ...]
     delta_bits: int = 35
     eta: int = 3
-    relin_base: int = 1 << 16
+    special_prime: int | None = None
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.n) or self.n < 4:
             raise ValueError("n must be a power of two >= 4")
         if len(self.primes) < 2:
             raise ValueError("the chain needs a base prime plus >= 1 level")
+        if self.special_prime is not None and self.special_prime in self.primes:
+            raise ValueError("the special prime must not appear in the chain")
 
     @property
     def levels(self) -> int:
@@ -108,36 +138,95 @@ class CkksParameters:
             q *= p
         return q
 
+    def basis_at(self, level: int) -> RnsBasis:
+        """The RNS basis of the level's prime chain (p_0 .. p_level)."""
+        if not 0 <= level <= self.levels:
+            raise ValueError(f"level must be in [0, {self.levels}]")
+        return _cached_basis(self.primes[: level + 1], self.n)
+
+    def extended_basis_at(self, level: int) -> RnsBasis:
+        """The level basis extended by the special prime (key switching)."""
+        if self.special_prime is None:
+            raise ValueError(
+                "these parameters carry no special prime; relinearization "
+                "needs one (see CkksParameters.demo)"
+            )
+        return _cached_basis(
+            self.primes[: level + 1] + (self.special_prime,), self.n
+        )
+
     @staticmethod
     def demo(
         n: int = 64, delta_bits: int = 35, levels: int = 2, base_bits: int = 45
     ) -> "CkksParameters":
-        """Generate a chain: one ~base_bits prime + `levels` ~delta_bits."""
+        """Generate a chain: one ~base_bits prime + `levels` ~delta_bits,
+        plus a special prime two bits above the base for key switching."""
         base = RnsBasis.generate(1, base_bits, n).moduli
         scale_primes = RnsBasis.generate(levels, delta_bits + 1, n).moduli
+        chain = base + scale_primes
+        # The prime walks are deterministic, so when the special range
+        # overlaps the scale range (base_bits + 2 == delta_bits + 1) the
+        # first candidate collides with a chain prime -- generate enough
+        # candidates to skip past every possible collision.
+        special = next(
+            p
+            for p in RnsBasis.generate(levels + 2, base_bits + 2, n).moduli
+            if p not in chain
+        )
         return CkksParameters(
-            n=n, primes=base + scale_primes, delta_bits=delta_bits
+            n=n,
+            primes=chain,
+            delta_bits=delta_bits,
+            special_prime=special,
         )
 
 
 @dataclass(frozen=True)
 class CkksKeys:
+    """Secret/public keys plus per-level hybrid key-switching keys.
+
+    ``relin[l][i]`` is the pair (b, a) at modulus ``Q_l * P`` with
+    ``b = -(a*s + e) + P * qhat_{l,i} * s^2`` -- the key that absorbs CRT
+    digit i of a level-l ciphertext's c2.  Per-level keys keep the qhat
+    factors exact at every depth (production schemes fold the levels into
+    one key; at demonstration scale exactness wins).
+    """
+
     secret: RingElement  # at the top modulus; reduces to every level
     public: tuple[RingElement, RingElement]
-    relin: tuple[tuple[RingElement, RingElement], ...]
+    relin: tuple[tuple[tuple[RingElement, RingElement], ...], ...]
 
 
 @dataclass(frozen=True)
 class CkksCiphertext:
-    components: tuple[RingElement, ...]
+    """An RNS-resident ciphertext: residue planes at one chain level."""
+
+    components: tuple[RnsPolynomial, ...]
     scale: float
     level: int
     params: CkksParameters
+
+    @property
+    def basis(self) -> RnsBasis:
+        return self.components[0].basis
+
+    def ring_components(self) -> tuple[RingElement, ...]:
+        """CRT-compose every plane back to wide-coefficient elements."""
+        q = self.params.modulus_at(self.level)
+        return tuple(
+            RingElement(tuple(c.to_coefficients()), q)
+            for c in self.components
+        )
 
 
 def _reduce(element: RingElement, q: int) -> RingElement:
     """Reduce a top-level element to a divisor modulus (consistent wraps)."""
     return RingElement(tuple(c % q for c in element.coefficients), q)
+
+
+def _lift_centered(element: RingElement, q: int) -> RingElement:
+    """Re-reduce via the centered lift (for non-divisor target moduli)."""
+    return RingElement(tuple(c % q for c in element.centered()), q)
 
 
 class CkksContext:
@@ -148,6 +237,11 @@ class CkksContext:
     the numpy NTT backend), or ``"auto"`` (vectorized at ring degrees
     where batching measures faster).  All backends are bit-identical for
     the same seed; the test suite asserts equal ciphertexts end to end.
+
+    Every homomorphic op also takes ``reference=True`` to recompute with
+    the retained wide-integer implementation (compose at entry, exact
+    big-int arithmetic, decompose at exit) -- the differential oracle the
+    RNS-resident default path is pinned to.
     """
 
     def __init__(
@@ -160,6 +254,12 @@ class CkksContext:
         self.params = params
         self.backend = backend
         self._rng = random.Random(seed)
+        # Relin keys are call-invariant: their extended-basis planes are
+        # decomposed once per (keys, level) and reused (weak-keyed so a
+        # dropped key set releases its planes).
+        self._key_planes: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
         n = params.n
         angles = np.pi * (2 * np.arange(n) + 1) / n
         self._roots = np.exp(1j * angles)
@@ -170,11 +270,20 @@ class CkksContext:
             return auto_prefers_vectorized(self.params.n)
         return self.backend == "vectorized"
 
+    def _tower_backend(self) -> str:
+        """The resolved :class:`RnsPolynomial` backend for plane ops."""
+        return "vectorized" if self._vectorized() else "scalar"
+
     def _mul(self, a: RingElement, b: RingElement) -> RingElement:
         """Ring product on the selected backend (bit-identical either way)."""
         if self._vectorized():
             return _ring_mul_batched(a, b)
         return _ring_mul(a, b)
+
+    def _plane(self, element: RingElement, basis: RnsBasis) -> RnsPolynomial:
+        return RnsPolynomial.from_coefficients(
+            list(element.coefficients), basis
+        )
 
     # -- canonical embedding --------------------------------------------
     def encode(
@@ -211,15 +320,31 @@ class CkksContext:
         s = ternary_poly(p.n, q_top, self._rng)
         a = uniform_poly(p.n, q_top, self._rng)
         b = -(self._mul(a, s) + self._noise(q_top))
-        relin = []
         s2 = self._mul(s, s)
-        power = 1
-        while power < q_top:
-            ai = uniform_poly(p.n, q_top, self._rng)
-            bi = -(self._mul(ai, s) + self._noise(q_top)) + s2 * power
-            relin.append((bi, ai))
-            power *= p.relin_base
-        return CkksKeys(secret=s, public=(b, a), relin=tuple(relin))
+        relin_levels = []
+        if p.special_prime is not None:
+            big_p = p.special_prime
+            for level in range(p.levels + 1):
+                basis = p.basis_at(level)
+                q_ext = p.modulus_at(level) * big_p
+                # s and s^2 have small centered coefficients, so the
+                # centered lift re-reduces them exactly to Q_l * P (which
+                # does not divide the top modulus).
+                s_ext = _lift_centered(s, q_ext)
+                s2_ext = _lift_centered(s2, q_ext)
+                level_keys = []
+                for i in range(basis.num_limbs):
+                    ai = uniform_poly(p.n, q_ext, self._rng)
+                    ei = self._noise(q_ext)
+                    bi = (
+                        -(self._mul(ai, s_ext) + ei)
+                        + s2_ext * ((big_p * basis.qhat(i)) % q_ext)
+                    )
+                    level_keys.append((bi, ai))
+                relin_levels.append(tuple(level_keys))
+        return CkksKeys(
+            secret=s, public=(b, a), relin=tuple(relin_levels)
+        )
 
     # -- encryption -----------------------------------------------------------
     def encrypt(self, keys: CkksKeys, plain: RingElement) -> CkksCiphertext:
@@ -231,7 +356,15 @@ class CkksContext:
         u = ternary_poly(p.n, q_top, self._rng)
         c0 = self._mul(b, u) + self._noise(q_top) + plain
         c1 = self._mul(a, u) + self._noise(q_top)
-        return CkksCiphertext((c0, c1), float(p.delta), p.levels, p)
+        # Encrypt is an integer boundary: fresh components decompose into
+        # residue planes here, and every later op stays RNS-resident.
+        basis = p.basis_at(p.levels)
+        return CkksCiphertext(
+            (self._plane(c0, basis), self._plane(c1, basis)),
+            float(p.delta),
+            p.levels,
+            p,
+        )
 
     def decrypt(self, keys: CkksKeys, ct: CkksCiphertext) -> RingElement:
         p = self.params
@@ -239,7 +372,7 @@ class CkksContext:
         s = _reduce(keys.secret, q)
         acc = RingElement.zero(p.n, q)
         s_power = RingElement.from_list([1] + [0] * (p.n - 1), q)
-        for comp in ct.components:
+        for comp in ct.ring_components():  # decrypt boundary: compose
             acc = acc + self._mul(comp, s_power)
             s_power = self._mul(s_power, s)
         return acc
@@ -254,84 +387,194 @@ class CkksContext:
         if not math.isclose(x.scale, y.scale, rel_tol=1e-9):
             raise ValueError("operands must share a scale")
         return CkksCiphertext(
-            tuple(a + b for a, b in zip(x.components, y.components)),
+            tuple(a.add(b) for a, b in zip(x.components, y.components)),
             x.scale,
             x.level,
             x.params,
         )
 
-    def multiply(self, x: CkksCiphertext, y: CkksCiphertext) -> CkksCiphertext:
-        """Tensor multiply: scales multiply; relinearize + rescale after."""
+    def multiply(
+        self, x: CkksCiphertext, y: CkksCiphertext, reference: bool = False
+    ) -> CkksCiphertext:
+        """Tensor multiply: scales multiply; relinearize + rescale after.
+
+        The default path is tower-wise (three negacyclic products per
+        tower); ``reference=True`` recomputes via the retained exact
+        wide-integer tensor.  Both are bit-identical: the tensor is exact
+        over Z, so its residues agree limb by limb.
+        """
         p = self.params
         if x.level != y.level:
             raise ValueError("operands must sit at the same level")
         if len(x.components) != 2 or len(y.components) != 2:
             raise ValueError("multiply expects 2-component ciphertexts")
+        if reference:
+            return self._multiply_reference(x, y)
+        be = self._tower_backend()
+        x0, x1 = x.components
+        y0, y1 = y.components
+        d0 = x0.mul(y0, backend=be)
+        d1 = x0.mul(y1, backend=be).add(x1.mul(y0, backend=be))
+        d2 = x1.mul(y1, backend=be)
+        return CkksCiphertext((d0, d1, d2), x.scale * y.scale, x.level, p)
+
+    def _multiply_reference(
+        self, x: CkksCiphertext, y: CkksCiphertext
+    ) -> CkksCiphertext:
+        """The retained big-int tensor (centered lift, headroom modulus)."""
+        p = self.params
         q = p.modulus_at(x.level)
-        cx = [c.centered() for c in x.components]
-        cy = [c.centered() for c in y.components]
+        cx = [c.centered() for c in x.ring_components()]
+        cy = [c.centered() for c in y.ring_components()]
         big = 1 << (2 * q.bit_length() + p.n.bit_length() + 4)
 
-        if self._vectorized():
-            # Bit-identical to the schoolbook branch: the tensor product
-            # is exact over Z either way, and |coefficients| stay far
-            # below the centering headroom ``big``.
-            def conv(a, b):
-                exact = integer_negacyclic_convolution(list(a), list(b))
-                return RingElement(tuple(v % q for v in exact), q)
-        else:
-            def conv(a, b):
-                raw = naive_negacyclic_convolution(
-                    [v % big for v in a], [v % big for v in b], big
-                )
-                return RingElement(
-                    tuple((v - big if v > big // 2 else v) % q for v in raw), q
-                )
+        def conv(a, b):
+            raw = naive_negacyclic_convolution(
+                [v % big for v in a], [v % big for v in b], big
+            )
+            return RingElement(
+                tuple((v - big if v > big // 2 else v) % q for v in raw), q
+            )
 
         d0 = conv(cx[0], cy[0])
         d1 = conv(cx[0], cy[1]) + conv(cx[1], cy[0])
         d2 = conv(cx[1], cy[1])
-        return CkksCiphertext((d0, d1, d2), x.scale * y.scale, x.level, p)
+        basis = p.basis_at(x.level)
+        return CkksCiphertext(
+            tuple(self._plane(d, basis) for d in (d0, d1, d2)),
+            x.scale * y.scale,
+            x.level,
+            p,
+        )
 
-    def relinearize(self, keys: CkksKeys, ct: CkksCiphertext) -> CkksCiphertext:
+    def relinearize(
+        self, keys: CkksKeys, ct: CkksCiphertext, reference: bool = False
+    ) -> CkksCiphertext:
+        """Hybrid key switch c2 away: CRT digits, extended-basis inner
+        product, exact P-drop.
+
+        Per digit i the contribution is ``d_i * (b_i, a_i)`` over the
+        basis extended by P; the accumulated pair scales down by P with
+        the same scale-and-round the rescale uses, then folds into
+        (c0, c1).  ``reference=True`` recomputes everything with wide
+        integers mod ``Q_l * P`` -- bit-identical.
+        """
         if len(ct.components) != 3:
             raise ValueError("relinearize expects a 3-component ciphertext")
-        from repro.rlwe.bfv import _base_decompose
-
         p = self.params
-        q = p.modulus_at(ct.level)
+        level = ct.level
+        basis = p.basis_at(level)
+        ext = p.extended_basis_at(level)
+        level_keys = keys.relin[level]
+        if reference:
+            return self._relinearize_reference(level_keys, ct, basis, ext)
+        be = self._tower_backend()
         c0, c1, c2 = ct.components
-        new0, new1 = c0, c1
-        for digit, (b_i, a_i) in zip(
-            _base_decompose(c2, p.relin_base), keys.relin
+        digit_towers = spread_rows(
+            crt_digit_rows(c2.towers, basis), ext.moduli
+        )
+        t0 = t1 = None
+        for rows, (kb, ka) in zip(
+            digit_towers, self._relin_key_planes(keys, level, ext)
         ):
-            new0 = new0 + self._mul(_reduce(b_i, q), digit)
-            new1 = new1 + self._mul(_reduce(a_i, q), digit)
-        return CkksCiphertext((new0, new1), ct.scale, ct.level, p)
+            digit = RnsPolynomial(ext, [list(r) for r in rows])
+            p0 = digit.mul(kb, backend=be)
+            p1 = digit.mul(ka, backend=be)
+            t0 = p0 if t0 is None else t0.add(p0)
+            t1 = p1 if t1 is None else t1.add(p1)
+        ks0 = RnsPolynomial(basis, ext.scale_and_round_rows(t0.towers))
+        ks1 = RnsPolynomial(basis, ext.scale_and_round_rows(t1.towers))
+        return CkksCiphertext(
+            (c0.add(ks0), c1.add(ks1)), ct.scale, level, p
+        )
 
-    def rescale(self, ct: CkksCiphertext) -> CkksCiphertext:
+    def _relin_key_planes(
+        self, keys: CkksKeys, level: int, ext: RnsBasis
+    ) -> list[tuple[RnsPolynomial, RnsPolynomial]]:
+        """The level's relin keys as extended-basis planes, cached."""
+        per_keys = self._key_planes.setdefault(keys, {})
+        if level not in per_keys:
+            per_keys[level] = [
+                (self._plane(b_i, ext), self._plane(a_i, ext))
+                for b_i, a_i in keys.relin[level]
+            ]
+        return per_keys[level]
+
+    def _relinearize_reference(
+        self, level_keys, ct: CkksCiphertext, basis: RnsBasis, ext: RnsBasis
+    ) -> CkksCiphertext:
+        """The retained wide-integer hybrid key switch (mod Q_l * P)."""
+        p = self.params
+        big_p = p.special_prime
+        q = p.modulus_at(ct.level)
+        q_ext = q * big_p
+        c0, c1, c2 = ct.ring_components()
+        t0 = RingElement.zero(p.n, q_ext)
+        t1 = RingElement.zero(p.n, q_ext)
+        for i, (b_i, a_i) in enumerate(level_keys):
+            q_i = basis.moduli[i]
+            w = basis.qhat_inv(i)
+            digit = RingElement(
+                tuple((c * w) % q_i for c in c2.coefficients), q_ext
+            )
+            t0 = t0 + self._mul(b_i, digit)
+            t1 = t1 + self._mul(a_i, digit)
+        half = big_p // 2
+
+        def drop_p(t: RingElement) -> RingElement:
+            return RingElement(
+                tuple(((c + half) // big_p) % q for c in t.centered()), q
+            )
+
+        new0 = c0 + drop_p(t0)
+        new1 = c1 + drop_p(t1)
+        return CkksCiphertext(
+            (self._plane(new0, basis), self._plane(new1, basis)),
+            ct.scale,
+            ct.level,
+            p,
+        )
+
+    def rescale(
+        self, ct: CkksCiphertext, reference: bool = False
+    ) -> CkksCiphertext:
         """Divide by the level's prime and drop one level.
 
         Because the prime divides the current modulus, the division is
         consistent with the modular wrap-around (the fundamental reason
-        CKKS uses a modulus chain rather than dividing by 2^delta).
+        CKKS uses a modulus chain rather than dividing by 2^delta).  The
+        default path is the per-tower scale-and-round basis drop;
+        ``reference=True`` recomputes via the retained centered
+        wide-integer division -- bit-identical by construction.
         """
         p = self.params
         if ct.level == 0:
             raise ValueError("no levels left to rescale")
         prime = p.primes[ct.level]
-        q_next = p.modulus_at(ct.level - 1)
-        half = prime // 2
+        next_basis = p.basis_at(ct.level - 1)
+        if reference:
+            q_next = p.modulus_at(ct.level - 1)
+            half = prime // 2
 
-        def shrink(element: RingElement) -> RingElement:
-            return RingElement(
-                tuple(((c + half) // prime) % q_next for c in element.centered()),
-                q_next,
+            def shrink(element: RingElement) -> RingElement:
+                return RingElement(
+                    tuple(
+                        ((c + half) // prime) % q_next
+                        for c in element.centered()
+                    ),
+                    q_next,
+                )
+
+            components = tuple(
+                self._plane(shrink(c), next_basis)
+                for c in ct.ring_components()
             )
-
+        else:
+            basis = ct.basis
+            components = tuple(
+                RnsPolynomial(next_basis, basis.scale_and_round_rows(c.towers))
+                for c in ct.components
+            )
         return CkksCiphertext(
-            tuple(shrink(c) for c in ct.components),
-            ct.scale / prime,
-            ct.level - 1,
-            p,
+            components, ct.scale / prime, ct.level - 1, p
         )

@@ -1,0 +1,67 @@
+"""Digit decompositions shared by the RLWE schemes' key switching.
+
+Two decompositions live here:
+
+* :func:`base_decompose` -- positional base-T digits of every coefficient
+  (the textbook BFV relinearization).  Inherently an *integer* operation:
+  it needs the positional representation, so RNS-resident callers compose
+  first.  Historically a private helper of :mod:`repro.rlwe.bfv` that
+  :mod:`repro.rlwe.ckks` reached into; it now lives here and both schemes
+  import it properly (``bfv`` re-exports it under the old name).
+* :func:`crt_digit_rows` / :func:`spread_rows` -- the RNS decomposition:
+  digit i of a residue plane is ``[c * qhat_inv_i]_{q_i}``, computed
+  entirely inside tower i (one vector-scalar multiply -- which is why the
+  RPU can run it), then *spread* to the other towers by reducing the
+  small digit values mod each target modulus.  This is the decomposition
+  the RNS-native CKKS key switch uses.
+"""
+
+from __future__ import annotations
+
+from repro.rlwe.ring import RingElement
+from repro.rns.basis import RnsBasis
+
+
+def base_decompose(element: RingElement, base: int) -> list[RingElement]:
+    """Digit-decompose every coefficient: sum_i base^i * digit_i == c."""
+    q = element.modulus
+    levels = []
+    remaining = list(element.coefficients)
+    power = 1
+    while power < q:
+        digits = [c % base for c in remaining]
+        remaining = [c // base for c in remaining]
+        levels.append(RingElement(tuple(d % q for d in digits), q))
+        power *= base
+    return levels
+
+
+def crt_digit_rows(
+    towers: list[list[int]], basis: RnsBasis
+) -> list[list[int]]:
+    """The CRT digit rows of an RNS-resident ring element.
+
+    Row i is ``[c * qhat_inv_i mod q_i]`` over tower i's residues -- the
+    software twin of the digit-extraction kernel pass (a pointwise
+    multiply against a constant row on the RPU).
+    """
+    if len(towers) != basis.num_limbs:
+        raise ValueError("tower count does not match basis size")
+    return [
+        [(c * w) % q for c in row]
+        for row, q, w in zip(towers, basis.moduli, basis.digit_constants())
+    ]
+
+
+def spread_rows(
+    digit_rows: list[list[int]], moduli: tuple[int, ...]
+) -> list[list[list[int]]]:
+    """Reduce every digit row mod every target modulus.
+
+    Returns ``out[i][j]`` = digit row i as canonical residues mod
+    ``moduli[j]`` -- the cross-tower exchange between digit extraction
+    and the key-switch inner product.  Digit values are single residues
+    (they fit one machine word), so this is plain reduction, not a full
+    base conversion.
+    """
+    return [[[c % q for c in row] for q in moduli] for row in digit_rows]

@@ -1,0 +1,666 @@
+"""The RNS-native homomorphic-op engine: CKKS levels on the FEMU.
+
+This module executes a full CKKS multiplicative level -- tensor product,
+hybrid relinearization, rescale -- through generated RPU programs
+(:class:`~repro.femu.BatchExecutor` passes), batched over requests and
+shardable over worker processes, bit-identical to the software planes of
+:class:`~repro.rlwe.ckks.CkksContext` and to its wide-integer reference
+path.
+
+Dataflow of one level at chain length D = level+1 (extended basis adds
+the special prime P; "rows" are n-element residue vectors, batch axis =
+coalesced requests)::
+
+    P1  forward NTT        x0,x1,y0,y1 per chain tower        (batch 4R)
+    P2  tensor             d0h,d1h,d2h = NTT-domain 2x2 tensor
+    P3  inverse NTT        d2 (and d0,d1 when staged)
+    P4  digit extract      dig_i = d2_i * qhat_inv_i  (pointwise, const row)
+        -- host exchange: spread digit rows mod every extended modulus --
+    P5  digit forward NTTs | fused: ONE program per tower runs the
+    P6  key-switch acc     |   digit transforms, the tensor halves and
+    P7  inverse NTTs       |   the inner product with spectra in the VRF
+        -- host exchange: delta rows from the special tower --
+    P8  mod-down           (t0,t1)/P  via the scale-and-round kernel
+    P9  combine            c0' = d0 + ks0, c1' = d1 + ks1  (pointwise add)
+        -- host exchange: delta rows from the dropped chain tower --
+    P10 rescale            out = (c' + half - delta) * q_l^{-1}
+
+The two host exchanges are inherent to RNS (every implementation
+re-reduces single-word digit/delta values across towers); everything
+O(n log n) runs on the simulated datapath.  ``fuse=True`` compiles the
+tensor + key-switch chain into one
+:func:`~repro.compile.fusion.build_fused_level_kernel` program per tower
+(feasibility-probed via :func:`~repro.compile.try_compile_spec`; any
+tower that cannot lower falls the whole level back to staged passes --
+both paths are bit-identical).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.compile import fused_level_spec, try_compile_spec
+from repro.femu import BatchExecutor, make_simulator
+from repro.femu.semantics import ExecutionStats
+from repro.rlwe.ckks import CkksCiphertext, CkksKeys, CkksParameters
+from repro.rns.tower import RnsPolynomial
+from repro.spiral.batched import generate_batched_ntt_program, tower_regions
+from repro.spiral.heops import (
+    generate_he_tensor_program,
+    generate_keyswitch_program,
+    generate_rescale_program,
+)
+from repro.spiral.pointwise import generate_batched_pointwise_program
+
+__all__ = [
+    "CkksLevelEngine",
+    "LevelKeyMaterial",
+    "execute_level_batch",
+    "run_region_pass",
+]
+
+
+def run_region_pass(
+    program, region_rows, batch, backend, shards=1, pool=None
+):
+    """Execute one program pass over per-region batched rows.
+
+    ``region_rows`` maps RegionSpec -> list of ``batch`` rows.  The
+    vectorized path is one :class:`BatchExecutor` pass -- spread over
+    worker processes by
+    :class:`~repro.serve.sharding.ShardedBatchExecutor` when ``shards > 1``
+    or a pool is given (bit-identical either way); the scalar path (the
+    differential reference) runs one FunctionalSimulator per batch lane.
+    Returns ``(read_fn, stats, dtype_path, effective_shards)`` --
+    effective because a pass cannot use more shards than batch rows.
+    """
+    if backend not in ("scalar", "vectorized"):
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'scalar' or 'vectorized'"
+        )
+    if backend == "scalar" and (shards > 1 or pool is not None):
+        raise ValueError("sharded execution implies the vectorized backend")
+    if backend == "vectorized":
+        if shards > 1 or pool is not None:
+            from repro.serve.sharding import ShardedBatchExecutor
+
+            ex = ShardedBatchExecutor(
+                program, batch=batch, shards=shards, pool=pool
+            )
+            effective = ex.shards
+        else:
+            ex = BatchExecutor(program, batch=batch)
+            effective = 1
+        for region, rows in region_rows.items():
+            ex.write_region(region, rows)
+        stats = ex.run()
+        return ex.read_region, stats, ex.dtype_path, effective
+    sims = []
+    for lane in range(batch):
+        sim = make_simulator(program, backend="scalar")
+        for region, rows in region_rows.items():
+            sim.write_region(region, rows[lane])
+        stats = sim.run()
+        sims.append(sim)
+
+    def read(region):
+        return [sim.read_region(region) for sim in sims]
+
+    return read, stats, "python-int", 1
+
+
+def _reduce_rows(rows: list[list[int]], q: int) -> list[list[int]]:
+    """Reduce every value mod q (numpy when the word sizes allow)."""
+    if rows and max(max(r, default=0) for r in rows) < (1 << 62) and q < (
+        1 << 62
+    ):
+        return (np.array(rows, dtype=np.int64) % q).tolist()
+    return [[v % q for v in row] for row in rows]
+
+
+@dataclass(frozen=True)
+class LevelKeyMaterial:
+    """Everything one CKKS level op needs, as plain residue rows.
+
+    Serving-friendly: requests carrying equal material (same
+    :attr:`digest`) coalesce into one batch.  Key spectra are stored
+    NTT-transformed per extended tower (evaluation keys live in the
+    transform domain, the standard production layout).
+
+    Attributes:
+        n: ring degree.
+        moduli: the level's chain primes q_0..q_l.
+        special_prime: the key-switching prime P.
+        digit_consts: ``qhat_inv`` per chain limb (digit extraction).
+        kb_rows / ka_rows: ``[digit][ext_tower]`` key spectra rows.
+    """
+
+    n: int
+    moduli: tuple[int, ...]
+    special_prime: int
+    digit_consts: tuple[int, ...]
+    kb_rows: tuple[tuple[tuple[int, ...], ...], ...]
+    ka_rows: tuple[tuple[tuple[int, ...], ...], ...]
+
+    @property
+    def level(self) -> int:
+        return len(self.moduli) - 1
+
+    @property
+    def digits(self) -> int:
+        return len(self.moduli)
+
+    @property
+    def ext_moduli(self) -> tuple[int, ...]:
+        return self.moduli + (self.special_prime,)
+
+    @cached_property
+    def digest(self) -> str:
+        """Content hash -- the serving group key component."""
+        canonical = (
+            self.n,
+            self.moduli,
+            self.special_prime,
+            self.digit_consts,
+            self.kb_rows,
+            self.ka_rows,
+        )
+        return hashlib.sha256(repr(canonical).encode()).hexdigest()
+
+    @staticmethod
+    def build(
+        params: CkksParameters, keys: CkksKeys, level: int
+    ) -> "LevelKeyMaterial":
+        """Extract the material for one level from a CKKS context's keys.
+
+        Key setup is a boundary op (once per context/level): the relin
+        keys decompose into extended-basis residues and transform forward
+        -- the spectra the key-switch inner product consumes.
+        """
+        basis = params.basis_at(level)
+        ext = params.extended_basis_at(level)
+        kb_rows = []
+        ka_rows = []
+        for b_i, a_i in keys.relin[level]:
+            planes = []
+            for elem in (b_i, a_i):
+                plane = RnsPolynomial.from_coefficients(
+                    list(elem.coefficients), ext
+                )
+                planes.append(
+                    tuple(tuple(row) for row in plane.ntt_all("forward"))
+                )
+            kb_rows.append(planes[0])
+            ka_rows.append(planes[1])
+        return LevelKeyMaterial(
+            n=params.n,
+            moduli=basis.moduli,
+            special_prime=params.special_prime,
+            digit_consts=basis.digit_constants(),
+            kb_rows=tuple(kb_rows),
+            ka_rows=tuple(ka_rows),
+        )
+
+
+@dataclass
+class _PassLog:
+    """One executed pass: cost-model inputs for the level report."""
+
+    name: str
+    program: object
+    stats: ExecutionStats
+    launches: int  # kernel launches per request (batch lanes / R)
+    rings: float  # n-element rows moved across the pass boundary, per request
+
+
+@dataclass
+class _LevelRun:
+    """Mutable state threaded through one execute_level_batch call."""
+
+    requests: int
+    backend: str
+    shards: int
+    pool: object
+    passes: list[_PassLog] = field(default_factory=list)
+    dtype_path: str = ""
+    effective_shards: int = 1
+
+    def run(self, name: str, program, region_rows, batch):
+        read, stats, dtype_path, eff = run_region_pass(
+            program, region_rows, batch, self.backend, self.shards, self.pool
+        )
+        rows_in = sum(len(rows) for rows in region_rows.values())
+        log = _PassLog(
+            name=name,
+            program=program,
+            stats=stats,
+            launches=batch // self.requests if batch >= self.requests else 1,
+            rings=rows_in / self.requests,
+        )
+        self.passes.append(log)
+        self.dtype_path = dtype_path
+        self.effective_shards = max(self.effective_shards, eff)
+
+        def read_and_count(region):
+            rows = read(region)
+            log.rings += len(rows) / self.requests
+            return rows
+
+        return read_and_count
+
+
+def _fused_level_programs(material: LevelKeyMaterial, vlen: int):
+    """The per-tower fused programs, or None when any tower cannot lower."""
+    programs = []
+    for q in material.moduli:
+        program = try_compile_spec(
+            fused_level_spec(material.n, q, material.digits, vlen, "full")
+        )
+        if program is None:
+            return None
+        programs.append(program)
+    special = try_compile_spec(
+        fused_level_spec(
+            material.n, material.special_prime, material.digits, vlen, "ks"
+        )
+    )
+    if special is None:
+        return None
+    return programs, special
+
+
+def execute_level_batch(
+    material: LevelKeyMaterial,
+    x_pairs: list[tuple[list[list[int]], list[list[int]]]],
+    y_pairs: list[tuple[list[list[int]], list[list[int]]]],
+    vlen: int = 512,
+    backend: str = "vectorized",
+    shards: int = 1,
+    pool=None,
+    fuse: bool = True,
+) -> tuple[list[tuple[list[list[int]], list[list[int]]]], dict]:
+    """One coalesced batch of CKKS level ops on the FEMU.
+
+    ``x_pairs[r]`` / ``y_pairs[r]`` are request r's operand ciphertexts as
+    ``(comp0_towers, comp1_towers)`` residue rows over ``material.moduli``.
+    Returns per-request ``(out0_towers, out1_towers)`` at one level down,
+    plus a report: executed passes with stats/launch counts/ring moves,
+    the chosen dtype path, and whether the fused path ran.
+
+    The result is bit-identical across backends, shard counts, and the
+    fused/staged split -- and to ``CkksContext``'s software planes and
+    wide-integer reference, which the test suite asserts.
+    """
+    if len(x_pairs) != len(y_pairs) or not x_pairs:
+        raise ValueError("need equally many x and y operands, at least one")
+    requests = len(x_pairs)
+    n = material.n
+    chain = material.moduli
+    ext = material.ext_moduli
+    digits = material.digits
+    vlen = min(vlen, n // 2)
+    owned_pool = None
+    if shards > 1 and pool is None and backend == "vectorized":
+        from repro.serve.sharding import ShardPool
+
+        pool = owned_pool = ShardPool(shards)
+    run = _LevelRun(requests, backend, shards, pool)
+    fused_programs = _fused_level_programs(material, vlen) if fuse else None
+    t0 = time.perf_counter()
+    try:
+        # P1: every tower of all four operand components, one forward pass.
+        fwd = generate_batched_ntt_program(
+            n, direction="forward", vlen=vlen, moduli=chain
+        )
+        fwd_rows = {}
+        for k, (inp, _out) in enumerate(tower_regions(fwd)):
+            fwd_rows[inp] = (
+                [x[0][k] for x in x_pairs]
+                + [x[1][k] for x in x_pairs]
+                + [y[0][k] for y in y_pairs]
+                + [y[1][k] for y in y_pairs]
+            )
+        read = run.run("forward", fwd, fwd_rows, 4 * requests)
+        spectra = [read(out) for _inp, out in tower_regions(fwd)]
+        # spectra[k][c*R + r]: component c of request r, tower k.
+
+        def spec_rows(k: int, c: int) -> list[list[int]]:
+            return spectra[k][c * requests:(c + 1) * requests]
+
+        inv_chain = generate_batched_ntt_program(
+            n, direction="inverse", vlen=vlen, moduli=chain
+        )
+        if fused_programs is None:
+            # Staged tensor: all three NTT-domain products in one pass.
+            tensor = generate_he_tensor_program(n, chain, vlen=vlen)
+            rows = {}
+            for k, regs in enumerate(tensor.metadata["tower_regions"]):
+                for c in range(4):
+                    rows[regs[c]] = spec_rows(k, c)
+            read = run.run("tensor", tensor, rows, requests)
+            d_hat = [
+                [read(regs[4 + j]) for regs in tensor.metadata["tower_regions"]]
+                for j in range(3)
+            ]  # d_hat[j][k][r]
+            inv_rows = {
+                inp: d_hat[0][k] + d_hat[1][k] + d_hat[2][k]
+                for k, (inp, _out) in enumerate(tower_regions(inv_chain))
+            }
+            read = run.run(
+                "inverse_tensor", inv_chain, inv_rows, 3 * requests
+            )
+            d_coeff = [read(out) for _inp, out in tower_regions(inv_chain)]
+            d0 = [d_coeff[k][:requests] for k in range(digits)]
+            d1 = [d_coeff[k][requests:2 * requests] for k in range(digits)]
+            d2 = [d_coeff[k][2 * requests:] for k in range(digits)]
+        else:
+            # Fused path needs only d2 ahead of the per-tower programs.
+            pw = generate_batched_pointwise_program(n, chain, "mul", vlen=vlen)
+            rows = {}
+            for k, (a_reg, b_reg, _out) in enumerate(
+                pw.metadata["tower_regions"]
+            ):
+                rows[a_reg] = spec_rows(k, 1)  # x1h
+                rows[b_reg] = spec_rows(k, 3)  # y1h
+            read = run.run("tensor_d2", pw, rows, requests)
+            d2_hat = [
+                read(out) for _a, _b, out in pw.metadata["tower_regions"]
+            ]
+            inv_rows = {
+                inp: d2_hat[k]
+                for k, (inp, _out) in enumerate(tower_regions(inv_chain))
+            }
+            read = run.run("inverse_d2", inv_chain, inv_rows, requests)
+            d2 = [read(out) for _inp, out in tower_regions(inv_chain)]
+            d0 = d1 = None
+
+        # P4: digit extraction -- one pointwise pass against constant rows.
+        pw = generate_batched_pointwise_program(n, chain, "mul", vlen=vlen)
+        rows = {}
+        for k, (a_reg, b_reg, _out) in enumerate(pw.metadata["tower_regions"]):
+            rows[a_reg] = d2[k]
+            rows[b_reg] = [[material.digit_consts[k]] * n] * requests
+        read = run.run("digit_extract", pw, rows, requests)
+        dig = [read(out) for _a, _b, out in pw.metadata["tower_regions"]]
+
+        # Host exchange: spread digit rows over the extended basis.
+        spread = [
+            [_reduce_rows(dig[i], q) for q in ext] for i in range(digits)
+        ]  # spread[i][e][r]
+
+        if fused_programs is None:
+            t_rows = _staged_keyswitch(
+                material, run, spread, vlen, n, requests
+            )
+        else:
+            chain_programs, special_program = fused_programs
+            t_rows, d0, d1 = _fused_keyswitch(
+                material, run, chain_programs, special_program,
+                spread, spec_rows, requests,
+            )
+        # t_rows[c][e][r]: accumulator component c over the extended basis.
+
+        # Host exchange + P8: drop P from (t0, t1).
+        ks = _basis_drop(
+            run, "mod_down", ext, t_rows, vlen, n, requests
+        )
+
+        # P9: fold the key-switched c2 into the tensor's (d0, d1).
+        pw_add = generate_batched_pointwise_program(n, chain, "add", vlen=vlen)
+        rows = {}
+        for k, (a_reg, b_reg, _out) in enumerate(
+            pw_add.metadata["tower_regions"]
+        ):
+            rows[a_reg] = d0[k] + d1[k]
+            rows[b_reg] = ks[0][k] + ks[1][k]
+        read = run.run("combine", pw_add, rows, 2 * requests)
+        combined = [
+            read(out) for _a, _b, out in pw_add.metadata["tower_regions"]
+        ]
+        c_rows = [
+            [combined[k][:requests] for k in range(digits)],
+            [combined[k][requests:] for k in range(digits)],
+        ]
+
+        # Host exchange + P10: the CKKS rescale (drop the level's prime).
+        outs = _basis_drop(
+            run, "rescale", chain, c_rows, vlen, n, requests
+        )
+        wall_s = time.perf_counter() - t0
+    finally:
+        if owned_pool is not None:
+            owned_pool.close()
+
+    outputs = [
+        (
+            [outs[0][k][r] for k in range(digits - 1)],
+            [outs[1][k][r] for k in range(digits - 1)],
+        )
+        for r in range(requests)
+    ]
+    stats = ExecutionStats()
+    for log in run.passes:
+        stats = stats + log.stats
+    report = {
+        "fused": fused_programs is not None,
+        "passes": run.passes,
+        "stats": stats,
+        "dtype_path": run.dtype_path,
+        "shards": run.effective_shards,
+        "wall_s": wall_s,
+        "requests": requests,
+    }
+    return outputs, report
+
+
+def _staged_keyswitch(material, run, spread, vlen, n, requests):
+    """P5..P7 as separate passes: digit NTTs, inner product, inverses."""
+    ext = material.ext_moduli
+    digits = material.digits
+    ks_fwd = generate_batched_ntt_program(
+        n, direction="forward", vlen=vlen, moduli=ext
+    )
+    rows = {
+        inp: [spread[i][e][r] for i in range(digits) for r in range(requests)]
+        for e, (inp, _out) in enumerate(tower_regions(ks_fwd))
+    }
+    read = run.run("digit_forward", ks_fwd, rows, digits * requests)
+    dig_hat = [read(out) for _inp, out in tower_regions(ks_fwd)]
+
+    t_hat = [[None] * len(ext), [None] * len(ext)]
+    for e, q in enumerate(ext):
+        ks = generate_keyswitch_program(n, q, digits, vlen=vlen)
+        rows = {}
+        for i in range(digits):
+            rows[ks.metadata["digit_regions"][i]] = dig_hat[e][
+                i * requests:(i + 1) * requests
+            ]
+            rows[ks.metadata["kb_regions"][i]] = [
+                list(material.kb_rows[i][e])
+            ] * requests
+            rows[ks.metadata["ka_regions"][i]] = [
+                list(material.ka_rows[i][e])
+            ] * requests
+        read = run.run(f"keyswitch_t{e}", ks, rows, requests)
+        t_hat[0][e] = read(ks.metadata["t0_region"])
+        t_hat[1][e] = read(ks.metadata["t1_region"])
+
+    ks_inv = generate_batched_ntt_program(
+        n, direction="inverse", vlen=vlen, moduli=ext
+    )
+    rows = {
+        inp: t_hat[0][e] + t_hat[1][e]
+        for e, (inp, _out) in enumerate(tower_regions(ks_inv))
+    }
+    read = run.run("inverse_keyswitch", ks_inv, rows, 2 * requests)
+    t_coeff = [read(out) for _inp, out in tower_regions(ks_inv)]
+    return [
+        [t_coeff[e][:requests] for e in range(len(ext))],
+        [t_coeff[e][requests:] for e in range(len(ext))],
+    ]
+
+
+def _fused_keyswitch(
+    material, run, chain_programs, special_program, spread, spec_rows, requests
+):
+    """P5..P7 as ONE fused program per tower (plus the special tower)."""
+    digits = material.digits
+    t_rows = [[None] * len(material.ext_moduli) for _ in range(2)]
+    d0 = [None] * digits
+    d1 = [None] * digits
+    for k, program in enumerate(chain_programs):
+        regions = program.metadata["level_regions"]
+        rows = {}
+        for c, region in enumerate(regions["x"]):
+            rows[region] = spec_rows(k, c)
+        for i in range(digits):
+            rows[regions["digits"][i]] = spread[i][k]
+            rows[regions["kb"][i]] = [list(material.kb_rows[i][k])] * requests
+            rows[regions["ka"][i]] = [list(material.ka_rows[i][k])] * requests
+        read = run.run(f"fused_level_t{k}", program, rows, requests)
+        d0[k] = read(regions["outs"]["d0"])
+        d1[k] = read(regions["outs"]["d1"])
+        t_rows[0][k] = read(regions["outs"]["t0"])
+        t_rows[1][k] = read(regions["outs"]["t1"])
+    e = digits  # the special tower's index in the extended basis
+    regions = special_program.metadata["level_regions"]
+    rows = {}
+    for i in range(digits):
+        rows[regions["digits"][i]] = spread[i][e]
+        rows[regions["kb"][i]] = [list(material.kb_rows[i][e])] * requests
+        rows[regions["ka"][i]] = [list(material.ka_rows[i][e])] * requests
+    read = run.run("fused_level_special", special_program, rows, requests)
+    t_rows[0][e] = read(regions["outs"]["t0"])
+    t_rows[1][e] = read(regions["outs"]["t1"])
+    return t_rows, d0, d1
+
+
+def _basis_drop(run, name, moduli, comp_rows, vlen, n, requests):
+    """One scale-and-round pass: drop ``moduli[-1]`` from both components.
+
+    ``comp_rows[c][tower][r]`` covers the full basis; the dropped tower's
+    rows become the host-computed delta rows the kernel consumes.
+    """
+    prime = moduli[-1]
+    half = prime // 2
+    rescale = generate_rescale_program(n, tuple(moduli), vlen=vlen)
+    deltas = [
+        _reduce_rows(
+            [[v + half for v in row] for row in comp_rows[c][-1]], prime
+        )
+        for c in range(2)
+    ]
+    rows = {}
+    for j, (c_reg, delta_reg, _out) in enumerate(
+        rescale.metadata["tower_regions"]
+    ):
+        q = moduli[j]
+        rows[c_reg] = comp_rows[0][j] + comp_rows[1][j]
+        rows[delta_reg] = _reduce_rows(deltas[0], q) + _reduce_rows(
+            deltas[1], q
+        )
+    read = run.run(name, rescale, rows, 2 * requests)
+    outs = [
+        read(out) for _c, _d, out in rescale.metadata["tower_regions"]
+    ]
+    return [
+        [outs[j][:requests] for j in range(len(moduli) - 1)],
+        [outs[j][requests:] for j in range(len(moduli) - 1)],
+    ]
+
+
+class CkksLevelEngine:
+    """Executes CKKS multiply+relinearize+rescale levels on the RPU FEMU.
+
+    Wraps :func:`execute_level_batch` with per-level key material caching
+    and :class:`~repro.rlwe.ckks.CkksCiphertext` packing::
+
+        engine = CkksLevelEngine(params, keys)
+        out, report = engine.run_level(ct_x, ct_y)   # one level down
+
+    ``backend`` / ``shards`` / ``fuse`` mirror the rest of the stack; all
+    settings are bit-identical.
+    """
+
+    def __init__(
+        self,
+        params: CkksParameters,
+        keys: CkksKeys,
+        vlen: int = 512,
+        backend: str = "vectorized",
+        shards: int = 1,
+        pool=None,
+        fuse: bool = True,
+    ) -> None:
+        self.params = params
+        self.keys = keys
+        self.vlen = vlen
+        self.backend = backend
+        self.shards = shards
+        self.pool = pool
+        self.fuse = fuse
+        self._materials: dict[int, LevelKeyMaterial] = {}
+
+    def material_at(self, level: int) -> LevelKeyMaterial:
+        if level not in self._materials:
+            self._materials[level] = LevelKeyMaterial.build(
+                self.params, self.keys, level
+            )
+        return self._materials[level]
+
+    def run_level(
+        self, x: CkksCiphertext, y: CkksCiphertext
+    ) -> tuple[CkksCiphertext, dict]:
+        outs, report = self.run_level_batch([(x, y)])
+        return outs[0], report
+
+    def run_level_batch(
+        self, pairs: list[tuple[CkksCiphertext, CkksCiphertext]]
+    ) -> tuple[list[CkksCiphertext], dict]:
+        """A batch of level ops; all pairs must share level and params."""
+        if not pairs:
+            return [], {}
+        levels = {x.level for x, _y in pairs} | {y.level for _x, y in pairs}
+        if len(levels) != 1:
+            raise ValueError("all pairs must sit at the same level")
+        level = levels.pop()
+        if level < 1:
+            raise ValueError("a level op needs at least one rescale left")
+        material = self.material_at(level)
+        x_pairs = [
+            (x.components[0].towers, x.components[1].towers) for x, _y in pairs
+        ]
+        y_pairs = [
+            (y.components[0].towers, y.components[1].towers) for _x, y in pairs
+        ]
+        outputs, report = execute_level_batch(
+            material,
+            x_pairs,
+            y_pairs,
+            vlen=self.vlen,
+            backend=self.backend,
+            shards=self.shards,
+            pool=self.pool,
+            fuse=self.fuse,
+        )
+        prime = self.params.primes[level]
+        next_basis = self.params.basis_at(level - 1)
+        results = []
+        for (x, y), (out0, out1) in zip(pairs, outputs):
+            results.append(
+                CkksCiphertext(
+                    (
+                        RnsPolynomial(next_basis, out0),
+                        RnsPolynomial(next_basis, out1),
+                    ),
+                    x.scale * y.scale / prime,
+                    level - 1,
+                    self.params,
+                )
+            )
+        return results, report

@@ -4,16 +4,62 @@ An :class:`RnsBasis` holds L NTT-friendly primes q_0..q_{L-1}; integers in
 [0, Q) with Q = prod(q_i) map to residue vectors and back via the Chinese
 Remainder Theorem.  Each limb is guaranteed to support a negacyclic NTT of
 the requested ring degree (q_i ≡ 1 mod 2n).
+
+Beyond plain composition the basis knows the two RNS-native primitives a
+homomorphic-op engine needs (both exact, never approximate):
+
+* **Fast base conversion** (:meth:`RnsBasis.fast_base_convert`): map the
+  residues of x to moduli *outside* the basis without composing the wide
+  integer.  The overflow count alpha (how many multiples of Q the CRT
+  interpolation sum exceeds x by) is recovered exactly from the rational
+  accumulation ``sum v_i / q_i`` -- the Shenoy-Kumaresan idea with an
+  exact fraction instead of a redundant modulus.  The CKKS level engine
+  only needs the degenerate single-word case (digit/delta spreading);
+  the full conversion is the primitive a BEHZ/HPS-style multi-limb BFV
+  multiply rides on (the ROADMAP follow-up) and is property-fuzzed now
+  so that path starts from proven ground.
+* **Scale-and-round basis drop** (:meth:`RnsBasis.scale_and_round`):
+  divide the *centered* value by the last limb with round-half-up and
+  return residues over the reduced basis -- the digit arithmetic behind
+  both the CKKS rescale and the P^{-1} mod-down of hybrid key-switching.
+  The identity it implements:
+
+      floor((centered(x) + q_last//2) / q_last) mod q_i
+        == (x_i + half - delta) * q_last^{-1} mod q_i
+      with delta = (x_last + half) mod q_last
+
+  which is pure per-tower modular arithmetic once ``delta`` is known --
+  exactly the shape the RPU's rescale kernel executes
+  (:mod:`repro.spiral.heops`).  :meth:`rescale_constants` exposes the
+  per-tower constants those kernels preload.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from fractions import Fraction
 
 from repro.modmath.arith import mod_inv
 from repro.modmath.primes import find_ntt_prime, is_prime
 from repro.util.bits import is_power_of_two
+
+
+@dataclass(frozen=True)
+class RescaleConstants:
+    """Per-tower constants of one scale-and-round basis drop.
+
+    Attributes:
+        prime: the dropped limb q_last.
+        half: ``q_last // 2`` (the round-half offset).
+        half_mod: ``half mod q_i`` per remaining limb (SRF preloads).
+        prime_inv: ``q_last^{-1} mod q_i`` per remaining limb.
+    """
+
+    prime: int
+    half: int
+    half_mod: tuple[int, ...]
+    prime_inv: tuple[int, ...]
 
 
 @dataclass
@@ -110,3 +156,110 @@ class RnsBasis:
         if value > self.modulus_product // 2:
             value -= self.modulus_product
         return value
+
+    # -- RNS-native primitives ---------------------------------------------
+    def qhat(self, i: int) -> int:
+        """The CRT cofactor Q / q_i (a wide integer)."""
+        return self.modulus_product // self.moduli[i]
+
+    def qhat_inv(self, i: int) -> int:
+        """``(Q / q_i)^{-1} mod q_i`` -- the digit-decomposition constant."""
+        q = self.moduli[i]
+        return mod_inv(self.qhat(i) % q, q)
+
+    def digit_constants(self) -> tuple[int, ...]:
+        """``qhat_inv`` for every limb: one vector-scalar multiply per tower
+        turns a residue plane into its CRT digits (the RNS decomposition
+        used by key switching)."""
+        return tuple(self.qhat_inv(i) for i in range(self.num_limbs))
+
+    def fast_base_convert(
+        self, residues: tuple[int, ...] | list[int], targets: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        """Exact residues of x mod each target modulus, without composing x.
+
+        Computes ``v_i = x_i * qhat_inv_i mod q_i`` per limb, recovers the
+        interpolation overflow ``alpha = floor(sum v_i / q_i)`` exactly via
+        rational accumulation, and evaluates
+        ``x mod p = (sum v_i * (qhat_i mod p) - alpha * (Q mod p)) mod p``
+        with only small-integer arithmetic per target.
+        """
+        if len(residues) != self.num_limbs:
+            raise ValueError("residue count does not match basis size")
+        vs = [
+            (r * self.qhat_inv(i)) % q
+            for i, (r, q) in enumerate(zip(residues, self.moduli))
+        ]
+        alpha = int(sum(Fraction(v, q) for v, q in zip(vs, self.moduli)))
+        out = []
+        for p in targets:
+            acc = -alpha * (self.modulus_product % p)
+            for i, v in enumerate(vs):
+                acc += v * (self.qhat(i) % p)
+            out.append(acc % p)
+        return tuple(out)
+
+    def reduced(self) -> "RnsBasis":
+        """The basis with its last limb dropped."""
+        if self.num_limbs < 2:
+            raise ValueError("cannot drop the only limb of a basis")
+        return RnsBasis(self.moduli[:-1], self.ring_degree)
+
+    def rescale_constants(self) -> RescaleConstants:
+        """The per-tower constants of dropping the last limb with rounding."""
+        if self.num_limbs < 2:
+            raise ValueError("cannot drop the only limb of a basis")
+        prime = self.moduli[-1]
+        half = prime // 2
+        rest = self.moduli[:-1]
+        return RescaleConstants(
+            prime=prime,
+            half=half,
+            half_mod=tuple(half % q for q in rest),
+            prime_inv=tuple(mod_inv(prime % q, q) for q in rest),
+        )
+
+    def scale_and_round(
+        self, residues: tuple[int, ...] | list[int]
+    ) -> tuple[int, ...]:
+        """Drop the last limb: round(centered(x) / q_last) residue-wise.
+
+        Rounding is round-half-up on the centered value (the CKKS rescale
+        convention, ``(centered + q_last//2) // q_last``), computed with
+        per-tower modular arithmetic only -- bit-identical to the wide
+        integer formula, which the property-fuzz suite asserts.
+        """
+        if len(residues) != self.num_limbs:
+            raise ValueError("residue count does not match basis size")
+        c = self.rescale_constants()
+        delta = (residues[-1] + c.half) % c.prime
+        return tuple(
+            ((r + h - delta) % q) * inv % q
+            for r, q, h, inv in zip(
+                residues, self.moduli[:-1], c.half_mod, c.prime_inv
+            )
+        )
+
+    def scale_and_round_rows(
+        self, towers: list[list[int]]
+    ) -> list[list[int]]:
+        """:meth:`scale_and_round` over whole residue planes.
+
+        ``towers`` holds one row per limb (the RNS-resident layout of a
+        ring element); returns one row per *remaining* limb.  This is the
+        software twin of the generated rescale kernel
+        (:func:`repro.spiral.heops.generate_rescale_program`).
+        """
+        if len(towers) != self.num_limbs:
+            raise ValueError("tower count does not match basis size")
+        c = self.rescale_constants()
+        deltas = [(v + c.half) % c.prime for v in towers[-1]]
+        return [
+            [
+                ((r + h - d) % q) * inv % q
+                for r, d in zip(row, deltas)
+            ]
+            for row, q, h, inv in zip(
+                towers, self.moduli[:-1], c.half_mod, c.prime_inv
+            )
+        ]

@@ -28,6 +28,7 @@ representation), which the test suite asserts.
 
 from __future__ import annotations
 
+import functools
 import os
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -58,21 +59,41 @@ VEC_MUL_MIN_DEGREE_ENV = "RPU_VEC_MUL_MIN_DEGREE"
 """Environment override for the ``"auto"`` mul crossover ring degree."""
 
 
-def vec_mul_min_degree() -> int:
-    """The ring degree at which ``"auto"`` towers switch to vectorized mul.
+@functools.lru_cache(maxsize=8)
+def _parse_min_degree(raw: str) -> int:
+    """Validate one ``RPU_VEC_MUL_MIN_DEGREE`` setting (parsed once).
 
-    Defaults to the measured crossover (:data:`_VEC_MUL_MIN_DEGREE`);
-    deployments can re-tune it per host via ``RPU_VEC_MUL_MIN_DEGREE``.
+    The cache means a given setting is parsed and validated a single time
+    per process, however many tower operations consult the crossover; a
+    bad value raises one clear :class:`ValueError` naming the variable
+    instead of an arbitrary failure deep inside dispatch.
     """
-    raw = os.environ.get(VEC_MUL_MIN_DEGREE_ENV)
-    if raw is None:
-        return _VEC_MUL_MIN_DEGREE
     try:
-        return int(raw)
+        value = int(raw)
     except ValueError:
         raise ValueError(
             f"{VEC_MUL_MIN_DEGREE_ENV} must be an integer, got {raw!r}"
         ) from None
+    if value < 1:
+        raise ValueError(
+            f"{VEC_MUL_MIN_DEGREE_ENV} must be a positive ring degree, "
+            f"got {value}"
+        )
+    return value
+
+
+def vec_mul_min_degree() -> int:
+    """The ring degree at which ``"auto"`` towers switch to vectorized mul.
+
+    Defaults to the measured crossover (:data:`_VEC_MUL_MIN_DEGREE`);
+    deployments can re-tune it per host via ``RPU_VEC_MUL_MIN_DEGREE``
+    (validated on first use -- non-integer or non-positive settings raise
+    a :class:`ValueError` that names the variable).
+    """
+    raw = os.environ.get(VEC_MUL_MIN_DEGREE_ENV)
+    if raw is None:
+        return _VEC_MUL_MIN_DEGREE
+    return _parse_min_degree(raw)
 
 
 def auto_prefers_vectorized(ring_degree: int) -> bool:

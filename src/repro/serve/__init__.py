@@ -12,7 +12,7 @@ that in two layers:
   merged VDM planes out.  Output rows, :class:`ExecutionStats` and faults
   are bit-identical to the single-process executor for every shard count.
 * :mod:`repro.serve.loop` -- :class:`RpuServer`, an asyncio front-end
-  that accepts NTT / polynomial-multiply / HE-multiply requests
+  that accepts NTT / polynomial-multiply / HE-multiply / HE-level requests
   (:mod:`repro.serve.requests`), coalesces compatible requests into
   batches under a latency budget, dispatches them to the shard pool, and
   returns per-request results with merged stats.
@@ -28,6 +28,7 @@ the layer sits.
 from repro.serve.loop import RpuServer, ServeConfig, ServerOverloaded
 from repro.serve.requests import (
     DeadlineExceeded,
+    HeLevelRequest,
     HeMultiplyRequest,
     NttRequest,
     PolymulRequest,
@@ -43,6 +44,7 @@ from repro.serve.sharding import (
 
 __all__ = [
     "DeadlineExceeded",
+    "HeLevelRequest",
     "HeMultiplyRequest",
     "NttRequest",
     "PolymulRequest",

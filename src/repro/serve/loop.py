@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 from repro.serve.requests import (
     DeadlineExceeded,
+    HeLevelRequest,
     HeMultiplyRequest,
     NttRequest,
     PolymulRequest,
@@ -223,6 +224,24 @@ class RpuServer:
             HeMultiplyRequest(
                 a_towers=tuple(tuple(t) for t in a_towers),
                 b_towers=tuple(tuple(t) for t in b_towers),
+                deadline=self._absolute_deadline(deadline_s),
+                **kwargs,
+            )
+        )
+
+    async def he_level(
+        self, x, y, material, deadline_s: float | None = None, **kwargs
+    ):
+        """One full CKKS level: ``x`` / ``y`` are (comp0, comp1) tower
+        pairs, ``material`` a :class:`~repro.rlwe.engine.LevelKeyMaterial`;
+        requests sharing a material coalesce into one engine batch."""
+        return await self.submit(
+            HeLevelRequest(
+                x0_towers=tuple(tuple(t) for t in x[0]),
+                x1_towers=tuple(tuple(t) for t in x[1]),
+                y0_towers=tuple(tuple(t) for t in y[0]),
+                y1_towers=tuple(tuple(t) for t in y[1]),
+                material=material,
                 deadline=self._absolute_deadline(deadline_s),
                 **kwargs,
             )

@@ -44,8 +44,9 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.compile import MAX_FUSED_TOWERS, compile_spec, fused_spec
+from repro.compile import MAX_FUSED_TOWERS, fused_spec, try_compile_spec
 from repro.femu.semantics import ExecutionStats
+from repro.rlwe.engine import LevelKeyMaterial, execute_level_batch
 from repro.serve.sharding import ShardedBatchExecutor, ShardPool
 from repro.spiral.batched import generate_batched_ntt_program, tower_regions
 from repro.spiral.kernels import generate_ntt_program
@@ -57,6 +58,7 @@ from repro.spiral.pointwise import (
 
 __all__ = [
     "DeadlineExceeded",
+    "HeLevelRequest",
     "HeMultiplyRequest",
     "NttRequest",
     "PolymulRequest",
@@ -174,7 +176,68 @@ class HeMultiplyRequest:
         return ("he", self.n, self.towers, self.q_bits, self.vlen)
 
 
-Request = NttRequest | PolymulRequest | HeMultiplyRequest
+@dataclass(frozen=True)
+class HeLevelRequest:
+    """One full CKKS level: multiply + relinearize + rescale.
+
+    Operands are two 2-component ciphertexts as residue rows over the
+    group's chain (``material.moduli``); the
+    :class:`~repro.rlwe.engine.LevelKeyMaterial` carries the key spectra
+    and constants.  Requests sharing one material (same content digest)
+    coalesce into wider batches of every engine pass, exactly like
+    :class:`HeMultiplyRequest` -- and shard the same way.  The result's
+    ``output`` is ``[out0_towers, out1_towers]`` one level down.
+    """
+
+    x0_towers: tuple[tuple[int, ...], ...]
+    x1_towers: tuple[tuple[int, ...], ...]
+    y0_towers: tuple[tuple[int, ...], ...]
+    y1_towers: tuple[tuple[int, ...], ...]
+    material: LevelKeyMaterial
+    vlen: int = 512
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("x0_towers", "x1_towers", "y0_towers", "y1_towers"):
+            object.__setattr__(
+                self, name, tuple(tuple(t) for t in getattr(self, name))
+            )
+        towers = {
+            len(getattr(self, name))
+            for name in ("x0_towers", "x1_towers", "y0_towers", "y1_towers")
+        }
+        if towers != {self.material.digits}:
+            raise ValueError(
+                "every component needs one tower per chain modulus"
+            )
+        lengths = {
+            len(t)
+            for name in ("x0_towers", "x1_towers", "y0_towers", "y1_towers")
+            for t in getattr(self, name)
+        }
+        if lengths != {self.material.n}:
+            raise ValueError("every tower must match the material's degree")
+
+    @property
+    def n(self) -> int:
+        return self.material.n
+
+    @property
+    def towers(self) -> int:
+        return self.material.digits
+
+    @property
+    def group_key(self) -> tuple:
+        return (
+            "he_level",
+            self.n,
+            self.towers,
+            self.material.digest,
+            self.vlen,
+        )
+
+
+Request = NttRequest | PolymulRequest | HeMultiplyRequest | HeLevelRequest
 
 
 def he_group_moduli(
@@ -280,33 +343,28 @@ def _execute_ntt(
     ]
 
 
-# Fused specs whose register pressure blew the ARF region budget: the
-# spill area above the tower regions is finite, so feasibility depends on
-# (towers, n/vlen), and is only truly decided by register allocation.
-# Remember the failures so every later group skips straight to the
-# three-pass path instead of re-running a doomed compile per flush.
-_unfusable_plans: set[str] = set()
-
-
 def _fused_program_or_none(req0) -> "object | None":
-    """The group's fused program, or None to use the three-pass path."""
+    """The group's fused program, or None to use the three-pass path.
+
+    Feasibility depends on register pressure (towers x n/vlen against the
+    finite spill area) and is only truly decided by register allocation,
+    so this probes via the memoized
+    :func:`~repro.compile.try_compile_spec` -- a spec that failed once is
+    never compiled again, and every later group skips straight to the
+    staged path.
+    """
     towers = getattr(req0, "towers", 1)
     if towers > MAX_FUSED_TOWERS:
         return None
-    spec = fused_spec(
-        req0.n,
-        towers,
-        q=getattr(req0, "q", None),
-        q_bits=req0.q_bits,
-        vlen=_clamp_vlen(req0.n, req0.vlen),
+    return try_compile_spec(
+        fused_spec(
+            req0.n,
+            towers,
+            q=getattr(req0, "q", None),
+            q_bits=req0.q_bits,
+            vlen=_clamp_vlen(req0.n, req0.vlen),
+        )
     )
-    if spec.cache_key in _unfusable_plans:
-        return None
-    try:
-        return compile_spec(spec)
-    except ValueError:
-        _unfusable_plans.add(spec.cache_key)
-        return None
 
 
 def _execute_fused(
@@ -484,10 +542,52 @@ def _execute_he(
     ]
 
 
+def _execute_he_level(
+    requests: Sequence[HeLevelRequest],
+    shards: int,
+    pool: ShardPool | None,
+    fuse: bool,
+) -> list[ServeResult]:
+    """One coalesced batch of full CKKS levels through the engine.
+
+    Batch row r of every engine pass is request r; the fused/staged
+    split, sharding and the per-pass structure live in
+    :func:`repro.rlwe.engine.execute_level_batch`.
+    """
+    req0 = requests[0]
+    count = len(requests)
+    outputs, report = execute_level_batch(
+        req0.material,
+        [
+            ([list(t) for t in r.x0_towers], [list(t) for t in r.x1_towers])
+            for r in requests
+        ],
+        [
+            ([list(t) for t in r.y0_towers], [list(t) for t in r.y1_towers])
+            for r in requests
+        ],
+        vlen=_clamp_vlen(req0.n, req0.vlen),
+        shards=shards,
+        pool=pool,
+        fuse=fuse,
+    )
+    return [
+        ServeResult(
+            output=[out0, out1],
+            stats=report["stats"].copy(),
+            dtype_path=report["dtype_path"],
+            shards=report["shards"],
+            batched_with=count,
+        )
+        for out0, out1 in outputs
+    ]
+
+
 _EXECUTORS = {
     NttRequest: _execute_ntt,
     PolymulRequest: _execute_polymul,
     HeMultiplyRequest: _execute_he,
+    HeLevelRequest: _execute_he_level,
 }
 
 

@@ -57,22 +57,30 @@ def build_merged_ntt_kernel(
     vlen: int,
     q_bits: int,
     rect_depth: int,
+    moduli: tuple[int, ...] = (),
 ) -> IrKernel:
     """The pre-optimization IR of ``num_towers`` interleaved NTTs.
 
-    Tower ``k`` transforms the ring under its own prime q_k (a generated
-    RNS basis), reading input region k and writing output region k; the
-    per-tower region contracts land in ``metadata['batched_tower_io']``.
+    Tower ``k`` transforms the ring under its own prime q_k -- a
+    generated RNS basis by default, or the explicit ``moduli`` (e.g. a
+    CKKS prime chain) -- reading input region k and writing output region
+    k; the per-tower region contracts land in
+    ``metadata['batched_tower_io']``.
     """
+    if moduli:
+        if len(moduli) != num_towers:
+            raise ValueError("explicit moduli must match the tower count")
+        tower_moduli = tuple(moduli)
+    else:
+        tower_moduli = RnsBasis.generate(num_towers, q_bits, n).moduli
     if num_towers < 1 or num_towers > 8:
         raise ValueError("supported tower counts: 1..8")
-    basis = RnsBasis.generate(num_towers, q_bits, n)
     builder = (
         build_forward_kernel if direction == "forward" else build_inverse_kernel
     )
     towers: list[IrKernel] = []
     offset = 0
-    for k, q in enumerate(basis.moduli):
+    for k, q in enumerate(tower_moduli):
         table = TwiddleTable.for_ring(n, q)
         kern = builder(
             table,
@@ -90,7 +98,7 @@ def build_merged_ntt_kernel(
         n=n,
         vlen=vlen,
         direction=direction,
-        modulus=basis.moduli[0],
+        modulus=tower_moduli[0],
         next_virtual=offset,
         metadata={
             "n": n,
@@ -98,7 +106,7 @@ def build_merged_ntt_kernel(
             "direction": direction,
             "num_towers": num_towers,
             "rect_depth": rect_depth,
-            "moduli": {k + 1: q for k, q in enumerate(basis.moduli)},
+            "moduli": {k + 1: q for k, q in enumerate(tower_moduli)},
             "scalar_virtuals": set().union(
                 *(t.metadata.get("scalar_virtuals", set()) for t in towers)
             ),
@@ -133,17 +141,20 @@ def generate_batched_ntt_program(
     optimize: bool = True,
     rect_depth: int = 3,
     schedule_window: int = 96,
+    moduli: tuple[int, ...] = (),
 ) -> Program:
     """Generate one kernel computing ``num_towers`` independent NTTs.
 
     Tower ``k``'s regions are carried in
     ``program.metadata['tower_regions']``.  ``rect_depth`` defaults lower
     than the single-tower generator because the register file is shared
-    across towers.  Compiled through -- and cached by -- the unified
-    pipeline (:func:`repro.compile.compile_spec`).
+    across towers.  Explicit ``moduli`` (e.g. a CKKS prime chain) replace
+    the generated basis.  Compiled through -- and cached by -- the
+    unified pipeline (:func:`repro.compile.compile_spec`).
     """
     from repro.compile import KernelSpec, compile_spec
 
+    moduli = tuple(moduli)
     return compile_spec(
         KernelSpec(
             kind="batched_ntt",
@@ -151,7 +162,8 @@ def generate_batched_ntt_program(
             vlen=vlen,
             direction=direction,
             q_bits=q_bits,
-            num_towers=num_towers,
+            num_towers=len(moduli) if moduli else num_towers,
+            moduli=moduli,
             optimize=optimize,
             rect_depth=rect_depth,
             schedule_window=schedule_window,

@@ -30,7 +30,7 @@ from repro.isa.instructions import (
     vvsub,
 )
 from repro.isa.program import DataSegment, Program, RegionSpec
-from repro.spiral.ir import IrKernel, IrKind, IrOp
+from repro.spiral.ir import InfeasibleKernel, IrKernel, IrKind, IrOp
 from repro.spiral.regalloc import AllocationResult
 
 # ARF register assignments (ARF[0] doubles as the SDM base).
@@ -50,7 +50,9 @@ def _lower_op(op: IrOp, n: int) -> Instruction:
     if op.kind in (IrKind.VLOAD, IrKind.VSTORE):
         region, offset = divmod(op.base, n)
         if region >= _MAX_REGIONS:
-            raise ValueError("kernel uses more VDM regions than the ARF holds")
+            raise InfeasibleKernel(
+                "kernel uses more VDM regions than the ARF holds"
+            )
         areg = 1 + region
         if op.kind is IrKind.VLOAD:
             return vload(op.defs[0], areg, offset, op.mode, op.value)

@@ -1,0 +1,319 @@
+"""Homomorphic-op kernels: tensor, key-switch inner product, rescale.
+
+These are the program generators that close the gap the ROADMAP calls
+out ("the rescale digit arithmetic is still unbatched"): with them, every
+step of a CKKS multiplicative level -- tensor product, CRT-digit
+key-switch inner product, and the scale-and-round basis drop -- executes
+on the RPU's vector datapath, not in per-coefficient Python loops.
+
+Three direct-emission builders live here (trivial dataflow, like
+:mod:`repro.spiral.pointwise`); the cross-kernel *fused* form of the
+tensor+key-switch chain is IR-based and lives in
+:mod:`repro.compile.fusion` (:func:`build_fused_level_kernel`).
+
+* :func:`build_he_tensor_program` -- per RNS tower: the 2x2 ciphertext
+  tensor in the NTT domain, ``d0 = x0*y0, d1 = x0*y1 + x1*y0,
+  d2 = x1*y1`` (7 VDM regions/tower, so up to 8 towers per program).
+* :func:`build_keyswitch_program` -- one tower of the hybrid key-switch
+  inner product: ``t0 = sum_i dh_i * kbh_i, t1 = sum_i dh_i * kah_i``
+  over D digit spectra and 2D key spectra (one program per tower because
+  3D+2 regions/tower would blow the ARF for a whole basis).
+* :func:`build_rescale_program` -- the scale-and-round basis drop over
+  every remaining tower: ``out_j = (c_j + half_j - delta_j) * p^{-1}_j``
+  with the per-tower constants in the SRF and the cross-tower ``delta``
+  row (computed from the dropped tower) as a vector input.  Serves both
+  the CKKS rescale and the P-drop of hybrid key switching.
+
+All generators are cached through the unified compile pipeline
+(:func:`repro.compile.compile_spec`).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    halt,
+    vload,
+    vsadd,
+    vsmul,
+    vstore,
+    vvadd,
+    vvmul,
+    vvsub,
+)
+from repro.isa.program import Program, RegionSpec
+from repro.modmath.arith import mod_inv
+from repro.util.bits import is_power_of_two
+
+HE_TENSOR_REGIONS_PER_TOWER = 7
+RESCALE_REGIONS_PER_TOWER = 3
+
+
+def _check_shape(n: int, vlen: int) -> None:
+    if not is_power_of_two(n) or n % vlen != 0:
+        raise ValueError("n must be a power of two and a multiple of vlen")
+
+
+def generate_he_tensor_program(
+    n: int, moduli: tuple[int, ...], vlen: int = 512
+) -> Program:
+    """The batched NTT-domain ciphertext tensor over L towers (cached)."""
+    from repro.compile import KernelSpec, compile_spec
+
+    return compile_spec(
+        KernelSpec(
+            kind="he_tensor",
+            n=n,
+            vlen=vlen,
+            moduli=tuple(moduli),
+            num_towers=max(1, len(tuple(moduli))),
+        )
+    )
+
+
+def build_he_tensor_program(
+    n: int, moduli: tuple[int, ...], vlen: int
+) -> Program:
+    """Direct frontend: ``(x0h,x1h,y0h,y1h) -> (d0h,d1h,d2h)`` per tower.
+
+    Region layout per tower k (bases in multiples of n, block of 7):
+    x0h, x1h, y0h, y1h, d0h, d1h, d2h.
+    """
+    if not 1 <= len(moduli) <= 8:
+        raise ValueError("supported tower counts: 1..8")
+    _check_shape(n, vlen)
+    m = n // vlen
+    instructions = []
+    regions = []
+    for k, _q in enumerate(moduli):
+        base = HE_TENSOR_REGIONS_PER_TOWER * k * n
+        for i in range(m):
+            # Rotate over 4 register groups so consecutive iterations never
+            # collide on the busyboard; loads in 0..15, results in 16..31.
+            slot = i % 4
+            rx0, rx1, ry0, ry1 = (slot * 4 + j for j in range(4))
+            rd0, rt, ru, rd2 = (16 + slot * 4 + j for j in range(4))
+            off = i * vlen
+            instructions.append(vload(rx0, k + 1, off))
+            instructions.append(vload(rx1, k + 1, n + off))
+            instructions.append(vload(ry0, k + 1, 2 * n + off))
+            instructions.append(vload(ry1, k + 1, 3 * n + off))
+            instructions.append(vvmul(rd0, rx0, ry0, k + 1))
+            instructions.append(vvmul(rt, rx0, ry1, k + 1))
+            instructions.append(vvmul(ru, rx1, ry0, k + 1))
+            instructions.append(vvmul(rd2, rx1, ry1, k + 1))
+            instructions.append(vstore(rd0, k + 1, 4 * n + off))
+            # d1 = t + u reuses t's register after both products land.
+            instructions.append(vvadd(rt, rt, ru, k + 1))
+            instructions.append(vstore(rt, k + 1, 5 * n + off))
+            instructions.append(vstore(rd2, k + 1, 6 * n + off))
+        names = ("x0h", "x1h", "y0h", "y1h", "d0h", "d1h", "d2h")
+        regions.append(
+            tuple(
+                RegionSpec(f"{name}_{k}", base + j * n, n, "any")
+                for j, name in enumerate(names)
+            )
+        )
+    instructions.append(halt())
+    total = HE_TENSOR_REGIONS_PER_TOWER * len(moduli) * n
+    return Program(
+        name=f"he_tensor_{n}_x{len(moduli)}towers",
+        instructions=instructions,
+        vlen=vlen,
+        arf_init={
+            k + 1: HE_TENSOR_REGIONS_PER_TOWER * k * n
+            for k in range(len(moduli))
+        },
+        mrf_init={k + 1: q for k, q in enumerate(moduli)},
+        input_region=regions[0][0],
+        output_region=regions[0][4],
+        extra_vdm_words=total - 5 * n,
+        metadata={
+            "kernel": "he_tensor",
+            "n": n,
+            "vlen": vlen,
+            "num_towers": len(moduli),
+            "moduli": {k + 1: q for k, q in enumerate(moduli)},
+            "tower_regions": regions,
+        },
+    ).finalize()
+
+
+def generate_keyswitch_program(
+    n: int, q: int, digits: int, vlen: int = 512
+) -> Program:
+    """One tower of the key-switch inner product (cached)."""
+    from repro.compile import KernelSpec, compile_spec
+
+    return compile_spec(
+        KernelSpec(kind="keyswitch", n=n, vlen=vlen, q=q, digits=digits)
+    )
+
+
+def build_keyswitch_program(
+    n: int, q: int, digits: int, vlen: int
+) -> Program:
+    """Direct frontend: ``t0 = sum_i dh_i*kbh_i, t1 = sum_i dh_i*kah_i``.
+
+    Region layout (multiples of n): digit spectra ``dh_0..dh_{D-1}``,
+    then key spectra ``kbh_0..``, then ``kah_0..``, then t0, t1.
+    """
+    if digits < 1 or digits > 20:
+        raise ValueError("supported digit counts: 1..20")
+    _check_shape(n, vlen)
+    m = n // vlen
+    d_base = 0
+    kb_base = digits * n
+    ka_base = 2 * digits * n
+    out_base = 3 * digits * n
+    instructions = []
+    for i in range(m):
+        off = i * vlen
+        acc0, acc1 = 16, 17
+        for d in range(digits):
+            slot = d % 2
+            rdig, rkb, rka = slot * 4, slot * 4 + 1, slot * 4 + 2
+            rp0, rp1 = 8 + slot * 4, 8 + slot * 4 + 1
+            instructions.append(vload(rdig, 1, d_base + d * n + off))
+            instructions.append(vload(rkb, 1, kb_base + d * n + off))
+            instructions.append(vload(rka, 1, ka_base + d * n + off))
+            if d == 0:
+                instructions.append(vvmul(acc0, rdig, rkb, 1))
+                instructions.append(vvmul(acc1, rdig, rka, 1))
+            else:
+                instructions.append(vvmul(rp0, rdig, rkb, 1))
+                instructions.append(vvmul(rp1, rdig, rka, 1))
+                instructions.append(vvadd(acc0, acc0, rp0, 1))
+                instructions.append(vvadd(acc1, acc1, rp1, 1))
+        instructions.append(vstore(acc0, 1, out_base + off))
+        instructions.append(vstore(acc1, 1, out_base + n + off))
+    instructions.append(halt())
+    digit_regions = [
+        RegionSpec(f"dh_{d}", d_base + d * n, n, "any") for d in range(digits)
+    ]
+    kb_regions = [
+        RegionSpec(f"kbh_{d}", kb_base + d * n, n, "any")
+        for d in range(digits)
+    ]
+    ka_regions = [
+        RegionSpec(f"kah_{d}", ka_base + d * n, n, "any")
+        for d in range(digits)
+    ]
+    t0_region = RegionSpec("t0", out_base, n, "any")
+    t1_region = RegionSpec("t1", out_base + n, n, "any")
+    return Program(
+        name=f"keyswitch_{n}_x{digits}digits",
+        instructions=instructions,
+        vlen=vlen,
+        arf_init={1: 0},
+        mrf_init={1: q},
+        input_region=digit_regions[0],
+        output_region=t0_region,
+        extra_vdm_words=(3 * digits + 2) * n - (3 * digits + 1) * n,
+        metadata={
+            "kernel": "keyswitch",
+            "n": n,
+            "vlen": vlen,
+            "digits": digits,
+            "moduli": {1: q},
+            "digit_regions": digit_regions,
+            "kb_regions": kb_regions,
+            "ka_regions": ka_regions,
+            "t0_region": t0_region,
+            "t1_region": t1_region,
+        },
+    ).finalize()
+
+
+def generate_rescale_program(
+    n: int, moduli: tuple[int, ...], vlen: int = 512
+) -> Program:
+    """The scale-and-round basis drop over every remaining tower (cached).
+
+    ``moduli`` is the *full* basis including the dropped last limb.
+    """
+    from repro.compile import KernelSpec, compile_spec
+
+    return compile_spec(
+        KernelSpec(
+            kind="rescale",
+            n=n,
+            vlen=vlen,
+            moduli=tuple(moduli),
+            num_towers=max(1, len(tuple(moduli))),
+        )
+    )
+
+
+def build_rescale_program(
+    n: int, moduli: tuple[int, ...], vlen: int
+) -> Program:
+    """Direct frontend: ``out_j = ((c_j + half_j) - delta_j) * pinv_j``.
+
+    ``moduli[-1]`` is the dropped limb; each remaining tower j has a
+    3-region block (c, delta, out), its own MRF slot, and two SRF
+    constants (``half mod q_j`` at slot 2j+1, ``q_last^{-1} mod q_j`` at
+    2j+2).  The delta rows -- ``(c_last + half) mod q_last`` reduced mod
+    q_j -- are the basis-drop exchange the host computes between passes
+    (see :meth:`repro.rns.basis.RnsBasis.scale_and_round`).
+    """
+    if len(moduli) < 2:
+        raise ValueError("rescale needs at least two limbs (one to drop)")
+    rest = moduli[:-1]
+    if len(rest) > 20:
+        raise ValueError("supported remaining tower counts: 1..20")
+    _check_shape(n, vlen)
+    prime = moduli[-1]
+    half = prime // 2
+    m = n // vlen
+    instructions = []
+    regions = []
+    for j, q in enumerate(rest):
+        base = RESCALE_REGIONS_PER_TOWER * j * n
+        srf_half, srf_pinv = 2 * j + 1, 2 * j + 2
+        for i in range(m):
+            slot = i % 4
+            rc, rdelta = slot * 4, slot * 4 + 1
+            rt, rw = 16 + slot * 4, 16 + slot * 4 + 1
+            off = i * vlen
+            instructions.append(vload(rc, j + 1, off))
+            instructions.append(vload(rdelta, j + 1, n + off))
+            instructions.append(vsadd(rt, rc, srf_half, j + 1))
+            instructions.append(vvsub(rt, rt, rdelta, j + 1))
+            instructions.append(vsmul(rw, rt, srf_pinv, j + 1))
+            instructions.append(vstore(rw, j + 1, 2 * n + off))
+        regions.append(
+            (
+                RegionSpec(f"c_{j}", base, n, "any"),
+                RegionSpec(f"delta_{j}", base + n, n, "any"),
+                RegionSpec(f"out_{j}", base + 2 * n, n, "any"),
+            )
+        )
+    instructions.append(halt())
+    srf_init = {}
+    for j, q in enumerate(rest):
+        srf_init[2 * j + 1] = half % q
+        srf_init[2 * j + 2] = mod_inv(prime % q, q)
+    total = RESCALE_REGIONS_PER_TOWER * len(rest) * n
+    return Program(
+        name=f"rescale_{n}_x{len(rest)}towers",
+        instructions=instructions,
+        vlen=vlen,
+        arf_init={
+            j + 1: RESCALE_REGIONS_PER_TOWER * j * n for j in range(len(rest))
+        },
+        mrf_init={j + 1: q for j, q in enumerate(rest)},
+        srf_init=srf_init,
+        input_region=regions[0][0],
+        output_region=regions[0][2],
+        extra_vdm_words=total - 3 * n,
+        metadata={
+            "kernel": "rescale",
+            "n": n,
+            "vlen": vlen,
+            "num_towers": len(rest),
+            "prime": prime,
+            "half": half,
+            "moduli": {j + 1: q for j, q in enumerate(rest)},
+            "tower_regions": regions,
+        },
+    ).finalize()

@@ -15,6 +15,15 @@ from dataclasses import dataclass, field, replace
 from repro.isa.addressing import AddressMode
 
 
+class InfeasibleKernel(ValueError):
+    """The kernel exceeds a hardware capacity (ARF regions, fusion caps,
+    spill area) -- a *feasibility* failure, not a misconfiguration.
+
+    Probe-with-fallback callers (:func:`repro.compile.try_compile_spec`)
+    catch exactly this type: anything else raised during compilation is a
+    real error and propagates."""
+
+
 class IrKind(enum.Enum):
     VLOAD = "vload"
     VSTORE = "vstore"

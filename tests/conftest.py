@@ -8,6 +8,7 @@ default (it is part of tier-1); exhaustive sweeps are marked
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -28,6 +29,13 @@ def pytest_configure(config: pytest.Config) -> None:
     config.addinivalue_line(
         "markers", "slow: exhaustive sweep, opt-in via --slow"
     )
+    # The suite must always measure *real* compiles: a stale or warm
+    # on-disk plan could otherwise validate yesterday's compiler output.
+    # The global PLAN_CACHE resolves its persist dir at use time, so
+    # setting the variable here (before any test runs) is sufficient.
+    # Explicit PlanCache(persist_dir=...) instances in the persistence
+    # tests are unaffected; opt back in per-run with RPU_PLAN_CACHE=1.
+    os.environ.setdefault("RPU_PLAN_CACHE", "0")
 
 
 def pytest_collection_modifyitems(

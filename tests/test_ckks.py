@@ -170,3 +170,44 @@ class TestBackendEquivalence:
         assert prod_s.components == prod_v.components
         assert prod_s.scale == prod_v.scale and prod_s.level == prod_v.level
         assert scalar.decrypt(ks, prod_s) == batched.decrypt(kv, prod_v)
+
+
+class TestRnsResidency:
+    """Ciphertexts carry residue planes; the wide-integer implementations
+    are retained as the differential oracle (reference=True)."""
+
+    def test_level_op_matches_reference(self, ckks):
+        ctx, keys = ckks
+        z = np.array([0.5, -1.0, 2.0])
+        cz = ctx.encrypt(keys, ctx.encode(z))
+        prod = ctx.multiply(cz, cz)
+        assert prod.components == ctx.multiply(cz, cz, reference=True).components
+        relin = ctx.relinearize(keys, prod)
+        assert (
+            relin.components
+            == ctx.relinearize(keys, prod, reference=True).components
+        )
+        out = ctx.rescale(relin)
+        assert out.components == ctx.rescale(relin, reference=True).components
+        got = ctx.decrypt_decode(keys, out)[:3]
+        assert np.allclose(got, z * z, atol=1e-2)
+
+    def test_components_expose_chain_towers(self, ckks):
+        ctx, keys = ckks
+        ct = ctx.encrypt(keys, ctx.encode(np.ones(2)))
+        assert ct.basis.moduli == ctx.params.primes
+        down = ctx.rescale(ctx.relinearize(keys, ctx.multiply(ct, ct)))
+        assert down.basis.moduli == ctx.params.primes[:-1]
+
+    def test_special_prime_disjoint_from_chain(self, ckks):
+        ctx, _ = ckks
+        p = ctx.params
+        assert p.special_prime not in p.primes
+        assert p.special_prime > max(p.primes)
+
+
+def test_demo_special_prime_skips_chain_collisions():
+    # base_bits + 2 == delta_bits + 1 makes the special-prime walk start
+    # on the first scale prime; demo() must skip past it.
+    params = CkksParameters.demo(n=64, delta_bits=46, levels=2, base_bits=45)
+    assert params.special_prime not in params.primes

@@ -546,3 +546,213 @@ class TestServePlanCacheIntegration:
         assert requests > 0
         assert hits / requests >= 0.9  # the acceptance bar
         assert after["misses"] == before["misses"]  # steady state: all hits
+
+
+class TestPersistentPlanCache:
+    """On-disk plan spill: plan_key is process-independent, so compiled
+    Program images outlive the process and load-before-compile."""
+
+    @staticmethod
+    def _spec():
+        return KernelSpec(kind="ntt", n=64, vlen=8, q_bits=Q_BITS)
+
+    @staticmethod
+    def _plan_file(tmp_path, spec):
+        from repro.compile.cache import compiler_fingerprint
+
+        return tmp_path / compiler_fingerprint() / f"{spec.cache_key}.plan"
+
+    def test_cold_build_spills_then_warm_cache_loads(self, tmp_path):
+        from repro.compile import build_program
+
+        spec = self._spec()
+        cold = PlanCache(persist_dir=str(tmp_path))
+        program = cold.get_or_build(spec, build_program)
+        plan_file = self._plan_file(tmp_path, spec)
+        assert plan_file.exists()
+        assert cold.stats.disk_hits == 0 and cold.stats.misses == 1
+
+        # A "new process": fresh cache, same directory.  The compile must
+        # be skipped entirely -- the builder raising proves it never ran.
+        def exploding_builder(_spec):
+            raise AssertionError("warm cache must not compile")
+
+        warm = PlanCache(persist_dir=str(tmp_path))
+        loaded = warm.get_or_build(spec, exploding_builder)
+        assert warm.stats.disk_hits == 1
+        assert loaded.metadata["plan_key"] == spec.cache_key
+        assert [str(i) for i in loaded.instructions] == [
+            str(i) for i in program.instructions
+        ]
+        # Loaded plans execute identically to built ones.
+        values = list(range(64))
+        assert _run_forward(loaded, values) == _run_forward(program, values)
+
+    def test_corrupt_spill_is_a_miss(self, tmp_path):
+        from repro.compile import build_program
+
+        spec = self._spec()
+        self._plan_file(tmp_path, spec).parent.mkdir(parents=True)
+        self._plan_file(tmp_path, spec).write_bytes(b"not a pickle")
+        cache = PlanCache(persist_dir=str(tmp_path))
+        program = cache.get_or_build(spec, build_program)
+        assert cache.stats.disk_hits == 0
+        assert program.metadata["plan_key"] == spec.cache_key
+        # The corrupt file is replaced by a good image for the next process.
+        warm = PlanCache(persist_dir=str(tmp_path))
+        warm.get_or_build(spec, build_program)
+        assert warm.stats.disk_hits == 1
+
+    def test_key_mismatched_spill_rejected(self, tmp_path):
+        import pickle
+
+        from repro.compile import build_program
+
+        spec = self._spec()
+        other = KernelSpec(kind="ntt", n=64, vlen=8, q_bits=Q_BITS + 1)
+        cache = PlanCache(persist_dir=str(tmp_path))
+        built_other = cache.get_or_build(other, build_program)
+        # Plant the wrong program under this spec's key.
+        with open(self._plan_file(tmp_path, spec), "wb") as fh:
+            pickle.dump(
+                {"plan_key": other.cache_key, "program": built_other}, fh
+            )
+        fresh = PlanCache(persist_dir=str(tmp_path))
+        program = fresh.get_or_build(spec, build_program)
+        assert fresh.stats.disk_hits == 0
+        assert program.metadata["plan_key"] == spec.cache_key
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"\x80\x0f not a protocol",  # foreign pickle protocol: ValueError
+            None,  # wrong payload shape (non-dict): TypeError at image["program"]
+        ],
+    )
+    def test_any_unpickling_failure_is_a_miss(self, tmp_path, payload):
+        import pickle
+
+        from repro.compile import build_program
+
+        spec = self._spec()
+        path = self._plan_file(tmp_path, spec)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(payload if payload is not None else pickle.dumps(42))
+        cache = PlanCache(persist_dir=str(tmp_path))
+        program = cache.get_or_build(spec, build_program)
+        assert cache.stats.disk_hits == 0
+        assert program.metadata["plan_key"] == spec.cache_key
+
+    def test_compiler_edit_invalidates_spill(self, tmp_path, monkeypatch):
+        # The fingerprint keys the spill by the compiler's own source:
+        # a "different compiler" must never see this one's plans.
+        from repro.compile import build_program
+        from repro.compile import cache as cache_mod
+
+        spec = self._spec()
+        PlanCache(persist_dir=str(tmp_path)).get_or_build(spec, build_program)
+        monkeypatch.setattr(
+            cache_mod, "compiler_fingerprint", lambda: "edited-compiler"
+        )
+        fresh = PlanCache(persist_dir=str(tmp_path))
+        fresh.get_or_build(spec, build_program)
+        assert fresh.stats.disk_hits == 0  # stale plan not loaded
+        assert (tmp_path / "edited-compiler").exists()
+
+    def test_default_dir_and_env_overrides(self, monkeypatch):
+        from repro.compile import default_persist_dir
+
+        monkeypatch.delenv("RPU_PLAN_CACHE", raising=False)
+        monkeypatch.delenv("RPU_PLAN_CACHE_DIR", raising=False)
+        assert default_persist_dir().endswith("repro-rpu")
+        monkeypatch.setenv("RPU_PLAN_CACHE_DIR", "/tmp/somewhere-else")
+        assert default_persist_dir() == "/tmp/somewhere-else"
+        monkeypatch.setenv("RPU_PLAN_CACHE", "0")
+        assert default_persist_dir() is None
+
+    def test_memoryless_cache_never_touches_disk(self, tmp_path):
+        from repro.compile import build_program
+
+        cache = PlanCache(persist_dir=None)
+        cache.get_or_build(self._spec(), build_program)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestHeOpKernelSpecs:
+    """The homomorphic-op kernel kinds compile through the one pipeline."""
+
+    def test_new_kinds_are_registered(self):
+        from repro.compile import KERNEL_KINDS
+
+        for kind in ("he_tensor", "keyswitch", "rescale", "fused_he_level"):
+            assert kind in KERNEL_KINDS
+
+    def test_digits_field_feeds_the_hash(self):
+        import dataclasses
+
+        base = KernelSpec(kind="keyswitch", n=64, vlen=8, q=97, digits=2)
+        other = dataclasses.replace(base, digits=3)
+        assert base.cache_key != other.cache_key
+
+    def test_labels(self):
+        from repro.rns.basis import RnsBasis
+
+        moduli = RnsBasis.generate(3, 24, 64).moduli
+        assert (
+            KernelSpec(
+                kind="he_tensor", n=64, vlen=8, moduli=moduli, num_towers=3
+            ).label()
+            == "he_tensor_64_x3towers"
+        )
+        assert (
+            KernelSpec(kind="keyswitch", n=64, vlen=8, q=97, digits=3).label()
+            == "keyswitch_64_x3digits"
+        )
+        assert (
+            KernelSpec(
+                kind="rescale", n=64, vlen=8, moduli=moduli, num_towers=3
+            ).label()
+            == "rescale_64_x2towers"
+        )
+        assert (
+            KernelSpec(
+                kind="fused_he_level", n=64, vlen=8, q=97, digits=3, op="ks"
+            ).label()
+            == "fused_he_level_ks_64_x3digits"
+        )
+
+    def test_try_compile_spec_memoizes_infeasibility(self):
+        from repro.compile import fused_spec, try_compile_spec
+        from repro.compile.pipeline import _infeasible_specs
+
+        # towers=4 at n/vlen=32 blows the fused ARF/spill budget: a
+        # genuine capacity failure, memoized so the probe runs once.
+        doomed = fused_spec(256, 4, q_bits=24, vlen=8)
+        assert try_compile_spec(doomed) is None
+        assert doomed.cache_key in _infeasible_specs
+        assert try_compile_spec(doomed) is None  # memoized, no recompile
+
+    def test_try_compile_spec_raises_on_misconfiguration(self):
+        # A caller bug (missing tower modulus) must surface, not be
+        # silently recorded as "infeasible" and served staged forever.
+        from repro.compile import try_compile_spec
+        from repro.compile.pipeline import _infeasible_specs
+
+        bad = KernelSpec(kind="keyswitch", n=64, vlen=8, digits=3)  # no q
+        with pytest.raises(ValueError, match="explicit tower modulus"):
+            try_compile_spec(bad)
+        assert bad.cache_key not in _infeasible_specs
+
+    def test_infeasible_kernel_is_a_value_error(self):
+        # Back-compat: older callers catching ValueError keep working.
+        from repro.compile import InfeasibleKernel
+
+        assert issubclass(InfeasibleKernel, ValueError)
+
+    def test_explicit_moduli_batched_ntt(self):
+        from repro.rns.basis import RnsBasis
+        from repro.spiral.batched import generate_batched_ntt_program
+
+        moduli = RnsBasis.generate(2, 24, 64).moduli
+        program = generate_batched_ntt_program(64, vlen=8, moduli=moduli)
+        assert tuple(program.metadata["moduli"].values()) == moduli

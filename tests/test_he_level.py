@@ -1,0 +1,299 @@
+"""The RNS-native HE level engine: acceptance and differential tests.
+
+The contract under test (ISSUE 5's acceptance bar): a full CKKS
+multiply + relinearize + rescale level executes through BatchExecutor
+programs bit-identical to the retained wide-integer reference, on both
+FEMU backends, fused and staged, and under shards in {1, 2, 4}.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rlwe.ckks import CkksContext, CkksParameters
+from repro.rlwe.engine import CkksLevelEngine, LevelKeyMaterial
+
+N, VLEN = 64, 16
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = CkksParameters.demo(n=N, delta_bits=20, levels=2, base_bits=28)
+    ctx = CkksContext(params, seed=7, backend="auto")
+    keys = ctx.keygen()
+    z = np.array([1.5, -0.25, 2.0 + 1j, 0.75])
+    w = np.array([2.0, 4.0, -1.0 + 0.5j, -0.5])
+    cx = ctx.encrypt(keys, ctx.encode(z))
+    cy = ctx.encrypt(keys, ctx.encode(w))
+    oracle = ctx.rescale(
+        ctx.relinearize(
+            keys, ctx.multiply(cx, cy, reference=True), reference=True
+        ),
+        reference=True,
+    )
+    return params, ctx, keys, cx, cy, oracle, z * w
+
+
+class TestSoftwarePlanes:
+    """The RNS-resident context ops vs their wide-integer references."""
+
+    def test_multiply_matches_reference(self, setup):
+        _params, ctx, _keys, cx, cy, _oracle, _want = setup
+        rns = ctx.multiply(cx, cy)
+        ref = ctx.multiply(cx, cy, reference=True)
+        assert rns.components == ref.components
+        assert len(rns.components) == 3
+
+    def test_relinearize_matches_reference(self, setup):
+        _params, ctx, keys, cx, cy, _oracle, _want = setup
+        prod = ctx.multiply(cx, cy)
+        rns = ctx.relinearize(keys, prod)
+        ref = ctx.relinearize(keys, prod, reference=True)
+        assert rns.components == ref.components
+        assert len(rns.components) == 2
+
+    def test_rescale_matches_reference(self, setup):
+        _params, ctx, keys, cx, cy, _oracle, _want = setup
+        relin = ctx.relinearize(keys, ctx.multiply(cx, cy))
+        rns = ctx.rescale(relin)
+        ref = ctx.rescale(relin, reference=True)
+        assert rns.components == ref.components
+        assert rns.level == cx.level - 1
+
+    def test_level_op_decrypts_to_product(self, setup):
+        _params, ctx, keys, _cx, _cy, oracle, want = setup
+        got = ctx.decrypt_decode(keys, oracle)[: len(want)]
+        assert np.allclose(got, want, atol=1e-2)
+
+    def test_ciphertexts_are_rns_resident(self, setup):
+        params, ctx, _keys, cx, _cy, oracle, _want = setup
+        assert cx.basis.moduli == params.primes
+        assert oracle.basis.moduli == params.primes[:-1]
+        # Composition is confined to the boundaries: components expose
+        # residue towers, one per chain prime.
+        assert len(cx.components[0].towers) == params.levels + 1
+
+    def test_relinearize_without_special_prime_rejected(self):
+        base = CkksParameters.demo(n=16, delta_bits=18, levels=1, base_bits=24)
+        params = CkksParameters(
+            n=16, primes=base.primes, delta_bits=18, special_prime=None
+        )
+        ctx = CkksContext(params, seed=1)
+        with pytest.raises(ValueError, match="special prime"):
+            params.extended_basis_at(1)
+        assert ctx.keygen().relin == ()
+
+
+class TestEngineAcceptance:
+    """The acceptance bar: engine output == wide-integer oracle, always."""
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    @pytest.mark.parametrize("fuse", [False, True])
+    def test_bit_identical_on_both_backends(self, setup, backend, fuse):
+        params, _ctx, keys, cx, cy, oracle, _want = setup
+        engine = CkksLevelEngine(
+            params, keys, vlen=VLEN, backend=backend, fuse=fuse
+        )
+        out, report = engine.run_level(cx, cy)
+        assert report["fused"] is fuse
+        assert out.components == oracle.components
+        assert out.level == oracle.level
+        assert out.scale == pytest.approx(oracle.scale)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("fuse", [False, True])
+    def test_bit_identical_under_shards(self, setup, shards, fuse):
+        params, _ctx, keys, cx, cy, oracle, _want = setup
+        engine = CkksLevelEngine(
+            params, keys, vlen=VLEN, shards=shards, fuse=fuse
+        )
+        outs, report = engine.run_level_batch([(cx, cy), (cy, cx), (cx, cx)])
+        assert outs[0].components == oracle.components
+        # Multiplication is commutative tower-wise, so (y, x) == (x, y).
+        assert outs[1].components == oracle.components
+        if shards > 1:
+            assert report["shards"] == shards
+
+    def test_depth_two_chain(self, setup):
+        params, ctx, keys, cx, cy, _oracle, want = setup
+        engine = CkksLevelEngine(params, keys, vlen=VLEN)
+        lvl1, _ = engine.run_level(cx, cy)
+        lvl0, _ = engine.run_level(lvl1, lvl1)
+        ref1 = ctx.rescale(ctx.relinearize(keys, ctx.multiply(cx, cy)))
+        ref0 = ctx.rescale(ctx.relinearize(keys, ctx.multiply(ref1, ref1)))
+        assert lvl0.components == ref0.components
+        assert lvl0.level == 0
+        got = ctx.decrypt_decode(keys, lvl0)[: len(want)]
+        assert np.allclose(got, want**2, atol=5e-2)
+
+    def test_level_zero_rejected(self, setup):
+        params, ctx, keys, cx, cy, _oracle, _want = setup
+        engine = CkksLevelEngine(params, keys, vlen=VLEN)
+        lvl1, _ = engine.run_level(cx, cy)
+        lvl0, _ = engine.run_level(lvl1, lvl1)
+        with pytest.raises(ValueError, match="rescale left"):
+            engine.run_level(lvl0, lvl0)
+
+    def test_material_digest_is_content_addressed(self, setup):
+        params, _ctx, keys, _cx, _cy, _oracle, _want = setup
+        m1 = LevelKeyMaterial.build(params, keys, 2)
+        m2 = LevelKeyMaterial.build(params, keys, 2)
+        m_low = LevelKeyMaterial.build(params, keys, 1)
+        assert m1.digest == m2.digest
+        assert m1.digest != m_low.digest
+        assert m1.digits == 3 and m_low.digits == 2
+
+
+class TestLevelServing:
+    """HeLevelRequest coalesces and shards like HeMultiplyRequest."""
+
+    @staticmethod
+    def _request(ct_x, ct_y, material, **kwargs):
+        from repro.serve import HeLevelRequest
+
+        return HeLevelRequest(
+            x0_towers=ct_x.components[0].towers,
+            x1_towers=ct_x.components[1].towers,
+            y0_towers=ct_y.components[0].towers,
+            y1_towers=ct_y.components[1].towers,
+            material=material,
+            vlen=VLEN,
+            **kwargs,
+        )
+
+    def test_group_executes_bit_identical(self, setup):
+        from repro.serve.requests import execute_group
+
+        params, _ctx, keys, cx, cy, oracle, _want = setup
+        material = LevelKeyMaterial.build(params, keys, 2)
+        reqs = [self._request(cx, cy, material) for _ in range(3)]
+        results = execute_group(reqs)
+        for r in results:
+            assert r.output[0] == oracle.components[0].towers
+            assert r.output[1] == oracle.components[1].towers
+            assert r.batched_with == 3
+            assert r.stats.executed > 0
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_group_shards_bit_identical(self, setup, shards):
+        from repro.serve.requests import execute_group
+
+        params, _ctx, keys, cx, cy, oracle, _want = setup
+        material = LevelKeyMaterial.build(params, keys, 2)
+        reqs = [self._request(cx, cy, material) for _ in range(shards)]
+        results = execute_group(reqs, shards=shards)
+        for r in results:
+            assert r.output[0] == oracle.components[0].towers
+            assert r.shards == shards
+
+    def test_mixed_materials_cannot_coalesce(self, setup):
+        from repro.serve.requests import execute_group
+
+        params, ctx, keys, cx, cy, _oracle, _want = setup
+        m2 = LevelKeyMaterial.build(params, keys, 2)
+        lvl1 = ctx.rescale(ctx.relinearize(keys, ctx.multiply(cx, cy)))
+        m1 = LevelKeyMaterial.build(params, keys, 1)
+        with pytest.raises(ValueError, match="mixed"):
+            execute_group(
+                [
+                    self._request(cx, cy, m2),
+                    self._request(lvl1, lvl1, m1),
+                ]
+            )
+
+    def test_request_validation(self, setup):
+        params, _ctx, keys, cx, cy, _oracle, _want = setup
+        material = LevelKeyMaterial.build(params, keys, 2)
+        from repro.serve import HeLevelRequest
+
+        with pytest.raises(ValueError, match="tower"):
+            HeLevelRequest(
+                x0_towers=cx.components[0].towers[:-1],
+                x1_towers=cx.components[1].towers,
+                y0_towers=cy.components[0].towers,
+                y1_towers=cy.components[1].towers,
+                material=material,
+            )
+
+    def test_server_he_level_roundtrip(self, setup):
+        import asyncio
+
+        from repro.serve import RpuServer, ServeConfig
+
+        params, _ctx, keys, cx, cy, oracle, _want = setup
+        material = LevelKeyMaterial.build(params, keys, 2)
+
+        async def main():
+            async with RpuServer(ServeConfig(batch_window_s=0.001)) as server:
+                x = (cx.components[0].towers, cx.components[1].towers)
+                y = (cy.components[0].towers, cy.components[1].towers)
+                return await asyncio.gather(
+                    server.he_level(x, y, material, vlen=VLEN),
+                    server.he_level(x, y, material, vlen=VLEN),
+                )
+
+        r1, r2 = asyncio.run(main())
+        assert r1.output[0] == oracle.components[0].towers
+        assert r2.output == r1.output
+        assert r1.batched_with + r2.batched_with >= 2
+
+
+class TestPipelineAndDriver:
+    def test_rpu_pipeline_he_level(self, setup):
+        from repro.core.pipeline import RpuPipeline
+        from repro.perf.config import RpuConfig
+
+        params, _ctx, keys, cx, cy, oracle, _want = setup
+        material = LevelKeyMaterial.build(params, keys, 2)
+        pipeline = RpuPipeline(
+            RpuConfig(vlen=VLEN, num_hples=VLEN), backend="vectorized"
+        )
+        result = pipeline.he_level(
+            (cx.components[0].towers, cx.components[1].towers),
+            (cy.components[0].towers, cy.components[1].towers),
+            material,
+        )
+        assert result.output[0] == oracle.components[0].towers
+        assert result.output[1] == oracle.components[1].towers
+        assert result.total_cycles > 0
+        assert len(result.stages) > 5  # one entry per kernel launch
+
+    @pytest.mark.parametrize("fuse", [False, True])
+    def test_run_functional_he_level_driver(self, fuse):
+        from repro.eval.he_pipeline import run_functional_he_level
+
+        report = run_functional_he_level(
+            n=N, levels=2, depth=2, delta_bits=20, base_bits=28, vlen=VLEN,
+            fuse=fuse,
+        )
+        assert report["bit_exact"] is True
+        assert report["fused_ran"] is fuse
+        assert report["final_level"] == 0
+        assert report["cycles"] > 0 and report["hbm_rings"] > 0
+        assert len(report["levels_report"]) == 2
+
+    def test_fused_vs_staged_report_gates(self):
+        from repro.eval.he_pipeline import fused_vs_staged_level_report
+
+        report = fused_vs_staged_level_report(
+            n=N, levels=2, delta_bits=20, base_bits=28, vlen=VLEN
+        )
+        assert report["bit_identical"] is True
+        assert report["fused"]["fused_ran"] is True
+        assert report["fused"]["cycles"] < report["staged"]["cycles"]
+        assert report["fused"]["hbm_rings"] < report["staged"]["hbm_rings"]
+
+
+class TestFusedFeasibility:
+    def test_infeasible_fused_level_falls_back(self, setup):
+        # Stress the spill budget with a huge n/vlen ratio: the probe must
+        # fail cleanly and the engine must serve the level staged.
+        from repro.compile import fused_level_spec, try_compile_spec
+
+        params, _ctx, keys, cx, cy, oracle, _want = setup
+        spec = fused_level_spec(N, params.primes[0], digits=3, vlen=2)
+        probe = try_compile_spec(spec)
+        engine = CkksLevelEngine(params, keys, vlen=2, fuse=True)
+        out, report = engine.run_level(cx, cy)
+        if probe is None:
+            assert report["fused"] is False
+        assert out.components == oracle.components

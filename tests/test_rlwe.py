@@ -219,3 +219,29 @@ class TestKyber:
     def test_bad_rank_rejected(self):
         with pytest.raises(ValueError):
             KyberContext(k=0)
+
+
+class TestBfvRnsResidency:
+    """Ciphertext components are residue planes (one-limb basis for a
+    prime q); composition happens only at the integer boundaries."""
+
+    def test_components_are_planes(self, bfv):
+        from repro.rns.tower import RnsPolynomial
+
+        ctx, keys = bfv
+        ct = ctx.encrypt(keys, ctx.encode([1, 2, 3]))
+        for comp in ct.components:
+            assert isinstance(comp, RnsPolynomial)
+            assert comp.basis.moduli == (ctx.params.q,)
+        ring = ct.ring_components()
+        assert [list(r.coefficients) for r in ring] == [
+            c.towers[0] for c in ct.components
+        ]
+
+    def test_base_decompose_reexported(self):
+        # The satellite contract: digits live in rlwe.digits, and the old
+        # private name keeps working for bfv importers.
+        from repro.rlwe.bfv import _base_decompose
+        from repro.rlwe.digits import base_decompose
+
+        assert _base_decompose is base_decompose

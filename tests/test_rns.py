@@ -180,6 +180,31 @@ class TestBackendDispatch:
         with pytest.raises(ValueError, match="must be an integer"):
             tower.vec_mul_min_degree()
 
+    @pytest.mark.parametrize("bad", ["-1", "0", "-512"])
+    def test_vec_mul_threshold_rejects_nonpositive(self, monkeypatch, bad):
+        # A negative/zero crossover is nonsense; it must raise one clear
+        # ValueError naming the variable, not misbehave deep in dispatch.
+        from repro.rns import tower
+
+        monkeypatch.setenv(tower.VEC_MUL_MIN_DEGREE_ENV, bad)
+        with pytest.raises(ValueError, match=tower.VEC_MUL_MIN_DEGREE_ENV):
+            tower.vec_mul_min_degree()
+
+    def test_vec_mul_threshold_parsed_once(self, monkeypatch):
+        # Valid settings are parsed a single time per process (cached by
+        # raw string), however many tower ops consult the crossover.
+        from repro.rns import tower
+
+        tower._parse_min_degree.cache_clear()
+        monkeypatch.setenv(tower.VEC_MUL_MIN_DEGREE_ENV, "4096")
+        try:
+            assert tower.vec_mul_min_degree() == 4096
+            assert tower.vec_mul_min_degree() == 4096
+            info = tower._parse_min_degree.cache_info()
+            assert info.misses == 1 and info.hits >= 1
+        finally:
+            tower._parse_min_degree.cache_clear()
+
     def test_ntt_all_matches_per_limb(self, basis):
         from repro.ntt.reference import ntt_forward
         from repro.ntt.twiddles import TwiddleTable
@@ -201,3 +226,103 @@ class TestBackendDispatch:
             pa.add(pb, backend="gpu")
         with pytest.raises(ValueError):
             pa.ntt_all("sideways")
+
+
+class TestBasisPrimitives:
+    """Property fuzz for the RNS-native primitives in rns/basis.py.
+
+    The engine's correctness rests on three exact identities: CRT
+    round-trips, fast base conversion without composition, and the
+    scale-and-round basis drop matching wide-integer centered division.
+    """
+
+    @staticmethod
+    def _random_basis(rng):
+        num_limbs = rng.randint(2, 4)
+        limb_bits = rng.choice([18, 20, 24, 30])
+        degree = rng.choice([8, 16, 32])
+        return RnsBasis.generate(num_limbs, limb_bits, degree)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_fast_base_convert_exact(self, data):
+        import random as _random
+
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        rng = _random.Random(seed)
+        basis = self._random_basis(rng)
+        targets = RnsBasis.generate(2, 26, basis.ring_degree).moduli
+        x = data.draw(st.integers(0, basis.modulus_product - 1))
+        got = basis.fast_base_convert(basis.decompose(x), targets)
+        assert got == tuple(x % p for p in targets)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_scale_and_round_matches_wide_division(self, data):
+        import random as _random
+
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        rng = _random.Random(seed)
+        basis = self._random_basis(rng)
+        x = data.draw(st.integers(0, basis.modulus_product - 1))
+        prime = basis.moduli[-1]
+        q_next = basis.modulus_product // prime
+        centered = x if x <= basis.modulus_product // 2 else (
+            x - basis.modulus_product
+        )
+        want = ((centered + prime // 2) // prime) % q_next
+        got = basis.scale_and_round(basis.decompose(x))
+        assert got == basis.reduced().decompose(want)
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_scale_and_round_rows_matches_scalar(self, data):
+        import random as _random
+
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        rng = _random.Random(seed)
+        basis = self._random_basis(rng)
+        n = basis.ring_degree
+        values = [rng.randrange(basis.modulus_product) for _ in range(n)]
+        towers = [[v % q for v in values] for q in basis.moduli]
+        rows = basis.scale_and_round_rows(towers)
+        for i, v in enumerate(values):
+            assert (
+                tuple(row[i] for row in rows)
+                == basis.scale_and_round(basis.decompose(v))
+            )
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_crt_digits_recompose(self, data):
+        # sum_i [x * qhat_inv_i]_{q_i} * qhat_i == x (mod Q): the identity
+        # hybrid key switching rides on.
+        import random as _random
+
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        rng = _random.Random(seed)
+        basis = self._random_basis(rng)
+        x = data.draw(st.integers(0, basis.modulus_product - 1))
+        residues = basis.decompose(x)
+        digits = [
+            (r * basis.qhat_inv(i)) % q
+            for i, (r, q) in enumerate(zip(residues, basis.moduli))
+        ]
+        total = sum(d * basis.qhat(i) for i, d in enumerate(digits))
+        assert total % basis.modulus_product == x
+        # The interpolation overflow stays below the limb count.
+        assert total // basis.modulus_product < basis.num_limbs
+
+    def test_rescale_constants_shape(self, basis):
+        c = basis.rescale_constants()
+        assert c.prime == basis.moduli[-1]
+        assert len(c.half_mod) == len(c.prime_inv) == basis.num_limbs - 1
+        for q, inv in zip(basis.moduli[:-1], c.prime_inv):
+            assert (c.prime * inv) % q == 1
+
+    def test_single_limb_drop_rejected(self):
+        b = RnsBasis.single(20, 16)
+        with pytest.raises(ValueError):
+            b.reduced()
+        with pytest.raises(ValueError):
+            b.scale_and_round((1,))

@@ -322,7 +322,7 @@ def test_fused_infeasible_group_falls_back_to_three_pass():
     (fuse on by default) probes the compile, memoizes the failure, and
     serves the group through the three-pass path, oracle-exact.
     """
-    from repro.serve.requests import _unfusable_plans
+    from repro.compile.pipeline import _infeasible_specs
 
     n, vlen, towers, q_bits = 256, 8, 4, 24
     moduli = he_group_moduli(n, towers, q_bits=q_bits, vlen=vlen)
@@ -345,7 +345,7 @@ def test_fused_infeasible_group_falls_back_to_three_pass():
     key = fused_spec(n, towers, q_bits=q_bits, vlen=vlen).cache_key
     req = request()
     (result,) = execute_group([req])  # fuse=True default: must fall back
-    assert key in _unfusable_plans  # probe failed, memoized
+    assert key in _infeasible_specs  # probe failed, memoized
     oracle = [
         negacyclic_polymul(list(ta), list(tb), TwiddleTable.for_ring(n, q=m))
         for ta, tb, m in zip(req.a_towers, req.b_towers, moduli)
@@ -353,9 +353,9 @@ def test_fused_infeasible_group_falls_back_to_three_pass():
     assert result.output == oracle
     # Second group skips the probe entirely (memo set unchanged) and
     # still serves correctly.
-    memo = set(_unfusable_plans)
+    memo = set(_infeasible_specs)
     (again,) = execute_group([req])
-    assert _unfusable_plans == memo
+    assert _infeasible_specs == memo
     assert again.output == oracle
 
 
