@@ -200,3 +200,67 @@ def test_bench_fused_he_level(benchmark):
     benchmark.extra_info["staged_cycles"] = staged["cycles"]
     benchmark.extra_info["fused_hbm_rings"] = fused["hbm_rings"]
     benchmark.extra_info["staged_hbm_rings"] = staged["hbm_rings"]
+
+
+def test_bench_fused_rotation(benchmark):
+    """Fused Galois-rotation programs vs the staged pipeline, head to head.
+
+    The rotation acceptance gate: one fused digit-NTT + key-switch +
+    automorphism program per extended tower (digit spectra, accumulators
+    and the masked-select tail pinned in the VRF) must be bit-identical
+    to the staged passes while keeping modeled cycles AND pass-boundary
+    HBM traffic strictly below them at n=1024, L=4.
+    """
+    from repro.eval.he_rotation import fused_vs_staged_rotation_report
+
+    data = benchmark.pedantic(
+        fused_vs_staged_rotation_report,
+        kwargs=dict(
+            n=1024, levels=4, delta_bits=36, base_bits=45, vlen=512, step=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert data["bit_identical"]
+    assert data["fused"]["fused_ran"]
+    fused, staged = data["fused"], data["staged"]
+    assert fused["cycles"] < staged["cycles"]
+    assert fused["hbm_rings"] < staged["hbm_rings"]
+    assert fused["hbm_us"] < staged["hbm_us"]
+    assert fused["instructions"] < staged["instructions"]
+    benchmark.extra_info["n"] = data["n"]
+    benchmark.extra_info["levels"] = data["levels"]
+    benchmark.extra_info["digits"] = data["digits"]
+    benchmark.extra_info["step"] = data["step"]
+    benchmark.extra_info["cycle_reduction"] = data["cycle_reduction"]
+    benchmark.extra_info["hbm_reduction"] = data["hbm_reduction"]
+    benchmark.extra_info["instruction_reduction"] = data[
+        "instruction_reduction"
+    ]
+    benchmark.extra_info["fused_cycles"] = fused["cycles"]
+    benchmark.extra_info["staged_cycles"] = staged["cycles"]
+    benchmark.extra_info["fused_hbm_rings"] = fused["hbm_rings"]
+    benchmark.extra_info["staged_hbm_rings"] = staged["hbm_rings"]
+
+
+def test_bench_encrypted_dot_product(benchmark):
+    """The rotate-and-accumulate dot product end-to-end on the FEMU.
+
+    One CKKS level plus log2(slots) served-shape rotations; the decrypted
+    result must match the plaintext dot product within CKKS precision.
+    """
+    from repro.eval.he_rotation import run_encrypted_dot_product
+
+    data = benchmark.pedantic(
+        run_encrypted_dot_product,
+        kwargs=dict(n=64, levels=2, delta_bits=20, base_bits=28, vlen=16),
+        rounds=1,
+        iterations=1,
+    )
+    assert data["within_precision"]
+    benchmark.extra_info["n"] = data["n"]
+    benchmark.extra_info["slots"] = data["slots"]
+    benchmark.extra_info["rotations"] = data["rotations"]
+    benchmark.extra_info["cycles"] = data["cycles"]
+    benchmark.extra_info["hbm_rings"] = data["hbm_rings"]
+    benchmark.extra_info["max_slot_error"] = float(data["max_slot_error"])

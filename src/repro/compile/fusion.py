@@ -266,6 +266,7 @@ def build_fused_level_kernel(
     vlen: int,
     rect_depth: int,
     variant: str = "full",
+    galois: int = 0,
 ) -> IrKernel:
     """One tower's share of a CKKS level as a single IR kernel.
 
@@ -279,6 +280,15 @@ def build_fused_level_kernel(
 
     ``variant="ks"`` (the special tower): digit rows and key spectra in,
     t0/t1 out -- no tensor, two inverse transforms.
+
+    ``variant="rot"`` (one tower of a rotation's key switch): the "ks"
+    dataflow with the Galois automorphism ``sigma_g`` stitched onto the
+    inverse transforms -- the masked-select stage
+    (:func:`repro.rlwe.digits.automorphism_masks`) reads the INTT
+    outputs with their own linear store signatures, so after forwarding
+    + DSE the t0/t1 coefficient rows never leave the VRF either; only
+    the permuted pair u0/u1 reaches region memory (in pre-relabel lane
+    order -- the host applies ``lane_relabel`` after the basis drop).
 
     Every external spectral access uses the transform's canonical
     store/load pattern, so after unbounded forwarding + DSE the digit
@@ -294,9 +304,14 @@ def build_fused_level_kernel(
               I  = F+1+2D inverse blocks (d0, d1, t0, t1; 2 regions each)
               I+8         inverse twiddles;  I+9  spill
         ks:   same without the x block and with two inverse blocks.
+        rot:  as ks, then U = I+5 holds u0, u1; M = I+7 the C*C sigma
+              mask rows (C = n/vlen); spill above the masks.
     """
-    if variant not in ("full", "ks"):
+    if variant not in ("full", "ks", "rot"):
         raise ValueError(f"unknown fused-level variant {variant!r}")
+    rot = variant == "rot"
+    if rot and not (0 < galois < 2 * n and galois % 2 == 1):
+        raise ValueError("the rot variant needs an odd Galois element in (0, 2n)")
     if digits < 1 or digits > MAX_FUSED_LEVEL_DIGITS:
         raise InfeasibleKernel(
             f"fused level kernels support 1..{MAX_FUSED_LEVEL_DIGITS} digits"
@@ -305,6 +320,7 @@ def build_fused_level_kernel(
         raise InfeasibleKernel("n must be a power of two with n >= 2*vlen")
     table = TwiddleTable.for_ring(n, q=q)
     full = variant == "full"
+    chunks = n // vlen
     x_regions = 4 if full else 0
     dig0 = x_regions
     tw_fwd = dig0 + 2 * digits
@@ -313,7 +329,9 @@ def build_fused_level_kernel(
     inv0 = ka0 + digits
     num_inverse = 4 if full else 2
     tw_inv = inv0 + 2 * num_inverse
-    spill = tw_inv + 1
+    u0 = tw_inv + 1  # rot only: u0, u1, then the mask rows
+    mask0 = u0 + 2
+    spill = mask0 + chunks if rot else tw_inv + 1
 
     merged = IrKernel(
         n=n,
@@ -326,6 +344,7 @@ def build_fused_level_kernel(
             "n": n,
             "vlen": vlen,
             "digits": digits,
+            "galois": galois,
             "rect_depth": rect_depth,
             "moduli": {1: q},
             "scalar_virtuals": set(),
@@ -414,6 +433,66 @@ def build_fused_level_kernel(
     for group in itertools.zip_longest(*inv_ops):
         merged.ops.extend(op for op in group if op is not None)
 
+    mask_segment = None
+    if rot:
+        # The sigma_g masked select, reading the INTT outputs with the
+        # plain linear signatures their final stores used -- textually
+        # identical, so forwarding keeps t0/t1 in the VRF and DSE drops
+        # their region stores (only u0/u1 are live out).
+        from repro.rlwe.digits import automorphism_masks
+
+        masks = automorphism_masks(n, vlen, galois, q)
+        mask_words: list[int] = []
+        for d in range(chunks):
+            for c in range(chunks):
+                mask_words.extend(masks[d][c])
+        mask_segment = ("sigma_masks", mask0 * n, tuple(mask_words))
+        for comp, inv in enumerate((inv_t0, inv_t1)):
+            u_base = (u0 + comp) * n
+            for d in range(chunks):
+                acc = None
+                for c in range(chunks):
+                    if not any(masks[d][c]):
+                        continue
+                    vin = merged.new_virtual()
+                    merged.ops.append(
+                        IrOp(
+                            IrKind.VLOAD, defs=(vin,),
+                            base=inv.output_base + c * vlen,
+                        )
+                    )
+                    vm = merged.new_virtual()
+                    merged.ops.append(
+                        IrOp(
+                            IrKind.VLOAD, defs=(vm,),
+                            base=mask0 * n + (d * chunks + c) * vlen,
+                        )
+                    )
+                    prod = merged.new_virtual()
+                    merged.ops.append(
+                        IrOp(
+                            IrKind.VVOP, subop="mul", defs=(prod,),
+                            uses=(vin, vm), mreg=1,
+                        )
+                    )
+                    if acc is None:
+                        acc = prod
+                    else:
+                        nxt = merged.new_virtual()
+                        merged.ops.append(
+                            IrOp(
+                                IrKind.VVOP, subop="add", defs=(nxt,),
+                                uses=(acc, prod), mreg=1,
+                            )
+                        )
+                        acc = nxt
+                merged.ops.append(
+                    IrOp(
+                        IrKind.VSTORE, uses=(acc,),
+                        base=u_base + d * vlen,
+                    )
+                )
+
     # Constant segments: one forward twiddle copy (all digit transforms
     # share it), one inverse copy; SDM is [n_inv, psi] + [n_inv, psi_inv].
     segments: list[tuple[str, int, tuple[int, ...]]] = []
@@ -424,22 +503,28 @@ def build_fused_level_kernel(
         for seg in sub.vdm_segments:
             if seg not in segments:
                 segments.append(seg)
+    if mask_segment is not None:
+        segments.append(mask_segment)
     merged.vdm_segments = segments
     merged.sdm_values = sdm_image
     merged.input_base = fwd_kernels[0].input_base
-    merged.output_base = inv_t0.output_base
+    merged.output_base = u0 * n if rot else inv_t0.output_base
     merged.input_layout = "natural"
     merged.output_layout = "natural"
-    out_names = ("d0", "d1", "t0", "t1") if full else ("t0", "t1")
+    if rot:
+        out_bases = {"u0": u0 * n, "u1": (u0 + 1) * n}
+    else:
+        out_names = ("d0", "d1", "t0", "t1") if full else ("t0", "t1")
+        out_bases = {
+            name: inv.output_base
+            for name, inv in zip(out_names, inv_kernels)
+        }
     merged.metadata["level_io"] = {
         "x_bases": [r * n for r in range(x_regions)],
         "digit_bases": [(dig0 + 2 * i) * n for i in range(digits)],
         "kb_bases": [(kb0 + i) * n for i in range(digits)],
         "ka_bases": [(ka0 + i) * n for i in range(digits)],
-        "out_bases": {
-            name: inv.output_base
-            for name, inv in zip(out_names, inv_kernels)
-        },
+        "out_bases": out_bases,
         "spill_base": spill * n,
     }
     merged.validate_ssa()

@@ -55,6 +55,7 @@ from repro.spiral.batched import REGIONS_PER_TOWER, build_merged_ntt_kernel
 from repro.spiral.ntt_codegen import build_forward_kernel, build_inverse_kernel
 from repro.spiral.ir import InfeasibleKernel
 from repro.spiral.heops import (
+    build_automorphism_program,
     build_he_tensor_program,
     build_keyswitch_program,
     build_rescale_program,
@@ -213,7 +214,7 @@ def _frontend_fused_level(spec: KernelSpec, unit: CompileUnit) -> list[Pass]:
         raise ValueError("fused_he_level needs an explicit tower modulus")
     kernel = build_fused_level_kernel(
         spec.n, spec.q, spec.digits, spec.vlen, spec.rect_depth,
-        variant=spec.op,
+        variant=spec.op, galois=spec.galois,
     )
     unit.kernel = kernel
     n = spec.n
@@ -266,7 +267,14 @@ _FRONTENDS = {
     "fused_he_level": _frontend_fused_level,
 }
 
-_DIRECT_KINDS = ("pointwise", "batched_pointwise", "he_tensor", "keyswitch", "rescale")
+_DIRECT_KINDS = (
+    "pointwise",
+    "batched_pointwise",
+    "he_tensor",
+    "keyswitch",
+    "rescale",
+    "automorphism",
+)
 
 
 def _emit_pointwise(spec: KernelSpec, report: CompileReport) -> Program:
@@ -285,6 +293,10 @@ def _emit_pointwise(spec: KernelSpec, report: CompileReport) -> Program:
         )
     elif spec.kind == "rescale":
         program = build_rescale_program(spec.n, spec.moduli, spec.vlen)
+    elif spec.kind == "automorphism":
+        program = build_automorphism_program(
+            spec.n, spec.moduli, spec.galois, spec.vlen
+        )
     else:
         program = build_batched_pointwise_program(
             spec.n, spec.moduli, spec.op, spec.vlen

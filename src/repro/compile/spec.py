@@ -28,6 +28,7 @@ KERNEL_KINDS = (
     "keyswitch",
     "rescale",
     "fused_he_level",
+    "automorphism",
 )
 """Every kernel family the unified pipeline can compile."""
 
@@ -55,6 +56,10 @@ class KernelSpec:
             and the key-switch of one chain tower; ``"ks"`` is the
             key-switch-only program of the special tower).
         digits: CRT digit count for ``keyswitch`` / ``fused_he_level``.
+        galois: Galois element g for ``automorphism`` and the
+            ``fused_he_level`` ``"rot"`` variant (0 for every other kind
+            -- the element shapes the baked mask constants, so it is part
+            of the plan's content address).
         optimize: False emits the Fig. 6 "unoptimized" baseline.
         rect_depth: log2 of the register-resident rectangle, in vectors.
         schedule_window: list-scheduler reordering window.
@@ -70,6 +75,7 @@ class KernelSpec:
     num_towers: int = 1
     op: str = "mul"
     digits: int = 0
+    galois: int = 0
     optimize: bool = True
     rect_depth: int = 4
     schedule_window: int = 48
@@ -95,7 +101,7 @@ class KernelSpec:
         benchmark JSON.
         """
         canonical = (
-            "rpu-plan-v2",
+            "rpu-plan-v3",
             self.kind,
             self.n,
             self.vlen,
@@ -106,6 +112,7 @@ class KernelSpec:
             self.num_towers,
             self.op,
             self.digits,
+            self.galois,
             self.optimize,
             self.rect_depth,
             self.schedule_window,
@@ -132,7 +139,15 @@ class KernelSpec:
             return f"keyswitch_{self.n}_x{self.digits}digits"
         if self.kind == "rescale":
             return f"rescale_{self.n}_x{max(0, len(self.moduli) - 1)}towers"
+        if self.kind == "automorphism":
+            towers = self.num_towers if not self.moduli else len(self.moduli)
+            return f"automorphism_{self.n}_x{towers}towers_g{self.galois}"
         if self.kind == "fused_he_level":
+            if self.op == "rot":
+                return (
+                    f"fused_he_level_rot_{self.n}"
+                    f"_x{self.digits}digits_g{self.galois}"
+                )
             return f"fused_he_level_{self.op}_{self.n}_x{self.digits}digits"
         return f"fused_he_multiply_{self.n}_x{self.num_towers}towers"
 
@@ -172,21 +187,28 @@ def fused_level_spec(
     digits: int,
     vlen: int = 512,
     variant: str = "full",
+    galois: int = 0,
 ) -> KernelSpec:
     """The canonical fused tensor+key-switch spec for one tower.
 
     ``variant="full"`` fuses a chain tower's whole share of a CKKS level
     -- the 2x2 tensor, the D-digit key-switch inner product, and all four
     inverse transforms -- into one program; ``variant="ks"`` is the
-    key-switch-only program the special (key-switching) tower runs.  One
-    program per tower because the fused region budget (digit transforms,
-    key spectra, four inverse buffers) already fills most of the ARF for
-    a single modulus.  The engine (:mod:`repro.rlwe.engine`), serving and
-    the HE-pipeline driver all construct their fused plans through this
-    helper, so they always share one plan per (tower, shape).
+    key-switch-only program the special (key-switching) tower runs;
+    ``variant="rot"`` is the rotation's per-tower program (digit NTTs,
+    key-switch inner product, inverse transforms, and the Galois
+    automorphism's masked select stitched onto the INTT outputs --
+    ``galois`` carries the element g).  One program per tower because the
+    fused region budget (digit transforms, key spectra, four inverse
+    buffers) already fills most of the ARF for a single modulus.  The
+    engine (:mod:`repro.rlwe.engine`), serving and the HE-pipeline driver
+    all construct their fused plans through this helper, so they always
+    share one plan per (tower, shape).
     """
-    if variant not in ("full", "ks"):
+    if variant not in ("full", "ks", "rot"):
         raise ValueError(f"unknown fused-level variant {variant!r}")
+    if variant == "rot" and galois <= 0:
+        raise ValueError("the rot variant needs a Galois element")
     return KernelSpec(
         kind="fused_he_level",
         n=n,
@@ -194,6 +216,7 @@ def fused_level_spec(
         q=q,
         digits=digits,
         op=variant,
+        galois=galois if variant == "rot" else 0,
         rect_depth=3,
         schedule_window=96,
     )

@@ -15,6 +15,7 @@ from repro.eval.fig9 import print_fig9
 from repro.eval.fig10 import print_fig10
 from repro.eval.femu_backends import print_femu_backends
 from repro.eval.he_pipeline import print_he_pipeline
+from repro.eval.he_rotation import print_he_rotation
 from repro.eval.headline import print_headline
 from repro.eval.listing1 import print_listing1
 from repro.eval.related_work import print_related_work
@@ -37,6 +38,7 @@ def main() -> None:
     print_related_work()
     print_headline()
     print_he_pipeline()
+    print_he_rotation()
     print_femu_backends()
 
 

@@ -31,7 +31,11 @@ from repro.rlwe.ckks import (
     CkksParameters,
 )
 from repro.rlwe.digits import base_decompose
-from repro.rlwe.engine import CkksLevelEngine, LevelKeyMaterial
+from repro.rlwe.engine import (
+    CkksLevelEngine,
+    LevelKeyMaterial,
+    RotationKeyMaterial,
+)
 from repro.rlwe.kyber import KyberContext
 from repro.rlwe.ring import RingElement
 
@@ -47,5 +51,6 @@ __all__ = [
     "CkksCiphertext",
     "KyberContext",
     "LevelKeyMaterial",
+    "RotationKeyMaterial",
     "base_decompose",
 ]

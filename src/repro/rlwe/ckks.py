@@ -44,13 +44,20 @@ import functools
 import math
 import random
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.modmath.primes import is_prime
 from repro.ntt.naive import naive_negacyclic_convolution
 from repro.ntt.polymul import integer_negacyclic_convolution
-from repro.rlwe.digits import crt_digit_rows, spread_rows
+from repro.rlwe.digits import (
+    apply_automorphism_row,
+    apply_automorphism_rows,
+    crt_digit_rows,
+    galois_element,
+    spread_rows,
+)
 from repro.rlwe.ring import RingElement
 from repro.rlwe.sampling import centered_binomial_poly, ternary_poly, uniform_poly
 from repro.rns.basis import RnsBasis
@@ -114,8 +121,22 @@ class CkksParameters:
             raise ValueError("n must be a power of two >= 4")
         if len(self.primes) < 2:
             raise ValueError("the chain needs a base prime plus >= 1 level")
-        if self.special_prime is not None and self.special_prime in self.primes:
-            raise ValueError("the special prime must not appear in the chain")
+        if self.special_prime is not None:
+            if self.special_prime in self.primes:
+                raise ValueError(
+                    "the special prime must not appear in the chain"
+                )
+            # Validate like the chain limbs do (RnsBasis) so a bad P fails
+            # here with a clear message, not deep inside a tower build.
+            if not is_prime(self.special_prime):
+                raise ValueError(
+                    f"special_prime {self.special_prime} is not prime"
+                )
+            if (self.special_prime - 1) % (2 * self.n) != 0:
+                raise ValueError(
+                    f"special_prime {self.special_prime} is not NTT-friendly: "
+                    f"2n = {2 * self.n} must divide p - 1"
+                )
 
     @property
     def levels(self) -> int:
@@ -190,11 +211,19 @@ class CkksKeys:
     digit i of a level-l ciphertext's c2.  Per-level keys keep the qhat
     factors exact at every depth (production schemes fold the levels into
     one key; at demonstration scale exactness wins).
+
+    ``galois[step][l][i]`` are the rotation (Galois) keys generated by
+    :meth:`CkksContext.rotation_keys`: the same construction with
+    ``sigma_g(s)`` in place of ``s^2`` (g = 5^step mod 2n).  The dict is
+    populated in place and excluded from equality/hashing -- key sets are
+    weak-dict cache keys, and two contexts' base keys stay comparable
+    whether or not rotation keys were generated.
     """
 
     secret: RingElement  # at the top modulus; reduces to every level
     public: tuple[RingElement, RingElement]
     relin: tuple[tuple[tuple[RingElement, RingElement], ...], ...]
+    galois: dict = field(default_factory=dict, compare=False)
 
 
 @dataclass(frozen=True)
@@ -260,8 +289,21 @@ class CkksContext:
         self._key_planes: "weakref.WeakKeyDictionary" = (
             weakref.WeakKeyDictionary()
         )
+        # Rotation-key planes cache, same shape keyed by (step, level).
+        self._rot_planes: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
         n = params.n
-        angles = np.pi * (2 * np.arange(n) + 1) / n
+        # Slot t evaluates at the primitive 2n-th root w^{5^t} (w =
+        # e^{i*pi/n}); the second half holds the conjugates.  <5> and
+        # -<5> together cover every odd residue mod 2n, so this is the
+        # same root set as the textbook (2i+1) ordering -- but in the
+        # 5-power order the Galois automorphism sigma_{5^k} acts on slots
+        # as a cyclic rotation by k, which is what ``rotate`` relies on.
+        slots = n // 2
+        powers = [pow(5, t, 2 * n) for t in range(slots)]
+        exps = np.array(powers + [2 * n - e for e in powers])
+        angles = np.pi * exps / n
         self._roots = np.exp(1j * angles)
         self._vandermonde = np.vander(self._roots, n, increasing=True)
 
@@ -298,7 +340,9 @@ class CkksContext:
         if z.size > p.slots:
             raise ValueError(f"at most {p.slots} slots")
         z = np.concatenate([z, np.zeros(p.slots - z.size)])
-        full = np.concatenate([z, np.conj(z[::-1])])
+        # roots[slots + t] = conj(roots[t]), so the conjugate block packs
+        # in the same order as the slots.
+        full = np.concatenate([z, np.conj(z)])
         coeffs = np.linalg.solve(self._vandermonde, full)
         scaled = np.rint(coeffs.real * scale).astype(object)
         return RingElement(tuple(int(c) % q for c in scaled), q)
@@ -345,6 +389,60 @@ class CkksContext:
         return CkksKeys(
             secret=s, public=(b, a), relin=tuple(relin_levels)
         )
+
+    def rotation_keys(self, keys: CkksKeys, steps) -> CkksKeys:
+        """Generate Galois keys for the given rotation steps, in place.
+
+        For each step the key is the relinearization construction with
+        ``sigma_g(s)`` (g = 5^step mod 2n) in place of ``s^2``:
+        ``b_i = -(a_i*s + e_i) + P * qhat_{l,i} * sigma_g(s)`` per level
+        and CRT digit -- the same hybrid key-switch path, same special
+        prime.  Steps normalize mod the slot count; step 0 needs no key.
+        Returns ``keys`` (its ``galois`` dict now populated).
+        """
+        p = self.params
+        if p.special_prime is None:
+            raise ValueError(
+                "these parameters carry no special prime; rotations need "
+                "one (see CkksParameters.demo)"
+            )
+        big_p = p.special_prime
+        s = keys.secret
+        q_top = p.modulus_at(p.levels)
+        for raw_step in steps:
+            step = int(raw_step) % p.slots
+            if step == 0 or step in keys.galois:
+                continue
+            g = galois_element(step, p.n)
+            s_rot = RingElement(
+                tuple(
+                    apply_automorphism_row(
+                        list(s.coefficients), g, q_top, p.n
+                    )
+                ),
+                q_top,
+            )
+            step_levels = []
+            for level in range(p.levels + 1):
+                basis = p.basis_at(level)
+                q_ext = p.modulus_at(level) * big_p
+                s_ext = _lift_centered(s, q_ext)
+                # sigma permutes and sign-flips, so sigma(s) keeps s's
+                # small centered coefficients: the centered lift to the
+                # non-divisor modulus Q_l * P is exact, as in keygen.
+                s_rot_ext = _lift_centered(s_rot, q_ext)
+                level_keys = []
+                for i in range(basis.num_limbs):
+                    ai = uniform_poly(p.n, q_ext, self._rng)
+                    ei = self._noise(q_ext)
+                    bi = (
+                        -(self._mul(ai, s_ext) + ei)
+                        + s_rot_ext * ((big_p * basis.qhat(i)) % q_ext)
+                    )
+                    level_keys.append((bi, ai))
+                step_levels.append(tuple(level_keys))
+            keys.galois[step] = tuple(step_levels)
+        return keys
 
     # -- encryption -----------------------------------------------------------
     def encrypt(self, keys: CkksKeys, plain: RingElement) -> CkksCiphertext:
@@ -528,6 +626,144 @@ class CkksContext:
 
         new0 = c0 + drop_p(t0)
         new1 = c1 + drop_p(t1)
+        return CkksCiphertext(
+            (self._plane(new0, basis), self._plane(new1, basis)),
+            ct.scale,
+            ct.level,
+            p,
+        )
+
+    def rotate(
+        self, keys: CkksKeys, ct: CkksCiphertext, k: int, reference: bool = False
+    ) -> CkksCiphertext:
+        """Rotate the slot vector left by ``k``: ``out[t] = in[(t+k) % slots]``.
+
+        The Galois automorphism ``sigma_g`` (g = 5^k mod 2n) permutes the
+        slots cyclically but turns the ciphertext into an encryption under
+        ``sigma_g(s)``; a hybrid key switch with the step's Galois key
+        brings it back under ``s``.  The implementation is **sigma-last**:
+        digits of the *original* c1, inner product against the
+        ``sigma^{-1}``-permuted keys, then one automorphism pass on the
+        accumulated pair before the P-drop.  This is algebraically the
+        hoisting-friendly form (``sigma`` is a ring automorphism, so
+        ``sum sigma(d_i) * k_i = sigma(sum d_i * sigma^{-1}(k_i))``) and
+        it is the order the RPU datapath runs -- keeping software, oracle
+        and engine bit-identical.  The sigma must precede the P-drop: the
+        round-to-nearest is not odd-symmetric, so the two do not commute.
+
+        ``reference=True`` recomputes with wide integers mod ``Q_l * P``
+        -- bit-identical.  Scale and level are unchanged.
+        """
+        p = self.params
+        if len(ct.components) != 2:
+            raise ValueError("rotate expects a 2-component ciphertext")
+        step = int(k) % p.slots
+        if step == 0:
+            return ct
+        if step not in keys.galois:
+            raise ValueError(
+                f"no Galois key for step {step}; call "
+                f"rotation_keys(keys, [{step}]) first"
+            )
+        level = ct.level
+        basis = p.basis_at(level)
+        ext = p.extended_basis_at(level)
+        g = galois_element(step, p.n)
+        if reference:
+            return self._rotate_reference(
+                keys.galois[step][level], ct, g, basis, ext
+            )
+        be = self._tower_backend()
+        c0, c1 = ct.components
+        digit_towers = spread_rows(
+            crt_digit_rows(c1.towers, basis), ext.moduli
+        )
+        t0 = t1 = None
+        for rows, (kb, ka) in zip(
+            digit_towers, self._rotation_key_planes(keys, step, level, ext)
+        ):
+            digit = RnsPolynomial(ext, [list(r) for r in rows])
+            p0 = digit.mul(kb, backend=be)
+            p1 = digit.mul(ka, backend=be)
+            t0 = p0 if t0 is None else t0.add(p0)
+            t1 = p1 if t1 is None else t1.add(p1)
+        sig0 = apply_automorphism_rows(t0.towers, g, ext.moduli)
+        sig1 = apply_automorphism_rows(t1.towers, g, ext.moduli)
+        ks0 = RnsPolynomial(basis, ext.scale_and_round_rows(sig0))
+        ks1 = RnsPolynomial(basis, ext.scale_and_round_rows(sig1))
+        out0 = RnsPolynomial(
+            basis, apply_automorphism_rows(c0.towers, g, basis.moduli)
+        ).add(ks0)
+        return CkksCiphertext((out0, ks1), ct.scale, level, p)
+
+    def _auto_wide(self, element: RingElement, g: int) -> RingElement:
+        """``sigma_g`` on a wide-coefficient element (exact permutation)."""
+        return RingElement(
+            tuple(
+                apply_automorphism_row(
+                    list(element.coefficients),
+                    g,
+                    element.modulus,
+                    self.params.n,
+                )
+            ),
+            element.modulus,
+        )
+
+    def _rotation_key_planes(
+        self, keys: CkksKeys, step: int, level: int, ext: RnsBasis
+    ) -> list[tuple[RnsPolynomial, RnsPolynomial]]:
+        """The step's Galois keys, sigma^{-1}-permuted, as ext planes.
+
+        The sigma-last dataflow consumes the keys pre-permuted by the
+        inverse automorphism; the permutation and the plane decomposition
+        are both call-invariant, so they happen once per (keys, step,
+        level) and cache weakly alongside the relin planes.
+        """
+        per_keys = self._rot_planes.setdefault(keys, {})
+        cache_key = (step, level)
+        if cache_key not in per_keys:
+            g_inv = pow(galois_element(step, self.params.n), -1, 2 * self.params.n)
+            per_keys[cache_key] = [
+                (
+                    self._plane(self._auto_wide(b_i, g_inv), ext),
+                    self._plane(self._auto_wide(a_i, g_inv), ext),
+                )
+                for b_i, a_i in keys.galois[step][level]
+            ]
+        return per_keys[cache_key]
+
+    def _rotate_reference(
+        self, level_keys, ct: CkksCiphertext, g: int, basis: RnsBasis, ext: RnsBasis
+    ) -> CkksCiphertext:
+        """The retained wide-integer rotation (sigma-last, mod Q_l * P)."""
+        p = self.params
+        big_p = p.special_prime
+        q = p.modulus_at(ct.level)
+        q_ext = q * big_p
+        g_inv = pow(g, -1, 2 * p.n)
+        c0, c1 = ct.ring_components()
+        t0 = RingElement.zero(p.n, q_ext)
+        t1 = RingElement.zero(p.n, q_ext)
+        for i, (b_i, a_i) in enumerate(level_keys):
+            q_i = basis.moduli[i]
+            w = basis.qhat_inv(i)
+            digit = RingElement(
+                tuple((c * w) % q_i for c in c1.coefficients), q_ext
+            )
+            t0 = t0 + self._mul(self._auto_wide(b_i, g_inv), digit)
+            t1 = t1 + self._mul(self._auto_wide(a_i, g_inv), digit)
+        sig0 = self._auto_wide(t0, g)
+        sig1 = self._auto_wide(t1, g)
+        half = big_p // 2
+
+        def drop_p(t: RingElement) -> RingElement:
+            return RingElement(
+                tuple(((c + half) // big_p) % q for c in t.centered()), q
+            )
+
+        new0 = self._auto_wide(c0, g) + drop_p(sig0)
+        new1 = drop_p(sig1)
         return CkksCiphertext(
             (self._plane(new0, basis), self._plane(new1, basis)),
             ct.scale,

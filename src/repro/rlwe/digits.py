@@ -14,6 +14,16 @@ Two decompositions live here:
   RPU can run it), then *spread* to the other towers by reducing the
   small digit values mod each target modulus.  This is the decomposition
   the RNS-native CKKS key switch uses.
+
+The Galois-automorphism helpers also live here (rotations reuse the same
+hybrid key-switch path, with ``sigma(s)`` replacing ``s^2`` in the key):
+:func:`galois_element`, :func:`apply_automorphism_row` /
+:func:`apply_automorphism_rows` (the exact signed index permutation
+``x^i -> (-1)^{floor(g*i/n)} x^{g*i mod n}``), and the two datapath
+lowerings -- :func:`automorphism_masks` (the masked-select constant rows
+the ``automorphism`` kernel multiplies against) and :func:`lane_relabel`
+(the single host-side lane permutation that restores natural order after
+the kernel's chunk-wise pass).
 """
 
 from __future__ import annotations
@@ -65,3 +75,101 @@ def spread_rows(
     base conversion.
     """
     return [[[c % q for c in row] for q in moduli] for row in digit_rows]
+
+
+# ---------------------------------------------------------------------------
+# Galois automorphisms (CKKS slot rotations).
+# ---------------------------------------------------------------------------
+
+
+def galois_element(step: int, n: int) -> int:
+    """The Galois element ``g = 5^step mod 2n`` of a rotate-by-``step``.
+
+    The group ``<5>`` has order ``n/2`` mod ``2n`` (n a power of two), so
+    steps are taken mod the slot count; ``step=0`` maps to ``g=1`` (the
+    identity automorphism).
+    """
+    return pow(5, step % (n // 2), 2 * n)
+
+
+def apply_automorphism_row(
+    row: list[int], g: int, q: int, n: int
+) -> list[int]:
+    """Apply ``sigma_g: x^i -> x^{g*i}`` to one residue row, exactly.
+
+    In the negacyclic ring ``x^n = -1``, so
+    ``x^{g*i} = (-1)^{floor(g*i / n)} x^{g*i mod n}`` -- a signed index
+    permutation, computed on canonical residues (the sign flip is
+    ``q - c``, exact in every tower because ``(q_ext - c) mod q_i =
+    (-c) mod q_i``: the automorphism commutes with RNS decomposition).
+    """
+    out = [0] * n
+    for i, c in enumerate(row):
+        gi = g * i
+        if (gi % (2 * n)) < n:
+            out[gi % n] = c
+        else:
+            out[gi % n] = (q - c) % q
+    return out
+
+
+def apply_automorphism_rows(
+    rows: list[list[int]], g: int, moduli: tuple[int, ...]
+) -> list[list[int]]:
+    """:func:`apply_automorphism_row` over a residue plane's towers."""
+    n = len(rows[0])
+    return [
+        apply_automorphism_row(list(row), g, q, n)
+        for row, q in zip(rows, moduli)
+    ]
+
+
+def automorphism_masks(
+    n: int, vlen: int, g: int, q: int
+) -> list[list[list[int]]]:
+    """The masked-select constant rows of the ``automorphism`` kernel.
+
+    Multiplication by an odd ``g`` mod ``2n`` is not expressible in the
+    pk/unpk shuffle group (it is not GF(2)-affine on the index bits), so
+    the datapath computes output chunk ``d`` as a masked select over the
+    input chunks: ``Z_d[j] = sum_c in_c[j] * M[d][c][j]``.  With
+    ``i = c*vlen + j``, ``f(j) = (g*j) // vlen`` and C = n/vlen chunks,
+    source index ``i`` lands in output chunk ``(g*c + f(j)) mod C`` at
+    lane ``g*j mod vlen`` -- so for each (d, j) exactly one source chunk
+    ``c(d, j) = g^{-1} * (d - f(j)) mod C`` contributes, with the
+    negacyclic sign folded into the mask value (1 or q-1).  Lanes stay in
+    the *pre-relabel* order ``j`` (value destined for lane ``g*j mod
+    vlen``); :func:`lane_relabel` undoes that on the host, once, at the
+    very end of the rotation dataflow.
+
+    Returns ``masks[d][c]`` = the length-``vlen`` constant row.
+    """
+    chunks = n // vlen
+    g_inv_c = pow(g, -1, chunks) if chunks > 1 else 0
+    masks = [
+        [[0] * vlen for _c in range(chunks)] for _d in range(chunks)
+    ]
+    for d in range(chunks):
+        for j in range(vlen):
+            f = (g * j) // vlen
+            c = (g_inv_c * (d - f)) % chunks
+            i = c * vlen + j
+            masks[d][c][j] = 1 if (g * i) % (2 * n) < n else q - 1
+    return masks
+
+
+def lane_relabel(n: int, vlen: int, g: int) -> list[int]:
+    """The host-side permutation: ``natural[i] = pre[perm[i]]``.
+
+    The automorphism kernel leaves each output chunk in pre-relabel lane
+    order (lane ``j`` holds the value destined for lane ``g*j mod
+    vlen``).  Every later pass in the rotation dataflow (P-drop, combine)
+    is lanewise, so the scrambled-but-consistent order flows through and
+    one relabel at the very end restores natural order exactly.
+    """
+    g_inv_v = pow(g, -1, vlen) if vlen > 1 else 0
+    perm = [0] * n
+    for i in range(n):
+        d, lane = divmod(i, vlen)
+        perm[i] = d * vlen + (g_inv_v * lane) % vlen
+    return perm

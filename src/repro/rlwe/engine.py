@@ -48,9 +48,15 @@ from repro.compile import fused_level_spec, try_compile_spec
 from repro.femu import BatchExecutor, make_simulator
 from repro.femu.semantics import ExecutionStats
 from repro.rlwe.ckks import CkksCiphertext, CkksKeys, CkksParameters
+from repro.rlwe.digits import (
+    apply_automorphism_row,
+    galois_element,
+    lane_relabel,
+)
 from repro.rns.tower import RnsPolynomial
 from repro.spiral.batched import generate_batched_ntt_program, tower_regions
 from repro.spiral.heops import (
+    generate_automorphism_program,
     generate_he_tensor_program,
     generate_keyswitch_program,
     generate_rescale_program,
@@ -60,7 +66,9 @@ from repro.spiral.pointwise import generate_batched_pointwise_program
 __all__ = [
     "CkksLevelEngine",
     "LevelKeyMaterial",
+    "RotationKeyMaterial",
     "execute_level_batch",
+    "execute_rotation_batch",
     "run_region_pass",
 ]
 
@@ -201,6 +209,99 @@ class LevelKeyMaterial:
             n=params.n,
             moduli=basis.moduli,
             special_prime=params.special_prime,
+            digit_consts=basis.digit_constants(),
+            kb_rows=tuple(kb_rows),
+            ka_rows=tuple(ka_rows),
+        )
+
+
+@dataclass(frozen=True)
+class RotationKeyMaterial:
+    """Everything one CKKS rotation needs, as plain residue rows.
+
+    The rotation twin of :class:`LevelKeyMaterial`: the step's Galois
+    keys, **pre-permuted by sigma^{-1}** (the sigma-last dataflow
+    consumes them that way) and stored as NTT spectra per extended tower.
+    Requests carrying equal material (same :attr:`digest`, which covers
+    the step and Galois element) coalesce into one served batch.
+    """
+
+    n: int
+    moduli: tuple[int, ...]
+    special_prime: int
+    step: int
+    galois: int
+    digit_consts: tuple[int, ...]
+    kb_rows: tuple[tuple[tuple[int, ...], ...], ...]
+    ka_rows: tuple[tuple[tuple[int, ...], ...], ...]
+
+    @property
+    def level(self) -> int:
+        return len(self.moduli) - 1
+
+    @property
+    def digits(self) -> int:
+        return len(self.moduli)
+
+    @property
+    def ext_moduli(self) -> tuple[int, ...]:
+        return self.moduli + (self.special_prime,)
+
+    @cached_property
+    def digest(self) -> str:
+        """Content hash -- the serving group key component."""
+        canonical = (
+            self.n,
+            self.moduli,
+            self.special_prime,
+            self.step,
+            self.galois,
+            self.digit_consts,
+            self.kb_rows,
+            self.ka_rows,
+        )
+        return hashlib.sha256(repr(canonical).encode()).hexdigest()
+
+    @staticmethod
+    def build(
+        params: CkksParameters, keys: CkksKeys, level: int, step: int
+    ) -> "RotationKeyMaterial":
+        """Extract one (step, level)'s rotation material from the keys.
+
+        Key setup is a boundary op: each Galois key pair is permuted by
+        the *inverse* automorphism (exact wide-integer index shuffle),
+        decomposed into extended-basis residues, and transformed forward.
+        """
+        step = int(step) % params.slots
+        if step not in keys.galois:
+            raise ValueError(
+                f"no Galois key for step {step}; call "
+                f"CkksContext.rotation_keys first"
+            )
+        basis = params.basis_at(level)
+        ext = params.extended_basis_at(level)
+        g = galois_element(step, params.n)
+        g_inv = pow(g, -1, 2 * params.n)
+        kb_rows = []
+        ka_rows = []
+        for b_i, a_i in keys.galois[step][level]:
+            planes = []
+            for elem in (b_i, a_i):
+                permuted = apply_automorphism_row(
+                    list(elem.coefficients), g_inv, elem.modulus, params.n
+                )
+                plane = RnsPolynomial.from_coefficients(permuted, ext)
+                planes.append(
+                    tuple(tuple(row) for row in plane.ntt_all("forward"))
+                )
+            kb_rows.append(planes[0])
+            ka_rows.append(planes[1])
+        return RotationKeyMaterial(
+            n=params.n,
+            moduli=basis.moduli,
+            special_prime=params.special_prime,
+            step=step,
+            galois=g,
             digit_consts=basis.digit_constants(),
             kb_rows=tuple(kb_rows),
             ka_rows=tuple(ka_rows),
@@ -574,6 +675,197 @@ def _basis_drop(run, name, moduli, comp_rows, vlen, n, requests):
     ]
 
 
+def _fused_rotation_programs(material: RotationKeyMaterial, vlen: int):
+    """The per-tower fused "rot" programs, or None when any cannot lower."""
+    programs = []
+    for q in material.ext_moduli:
+        program = try_compile_spec(
+            fused_level_spec(
+                material.n, q, material.digits, vlen, "rot",
+                galois=material.galois,
+            )
+        )
+        if program is None:
+            return None
+        programs.append(program)
+    return programs
+
+
+def _automorphism_pass(
+    run, name, moduli, comp_rows, galois, vlen, n, requests
+):
+    """One sigma_g pass over every component and tower (batched).
+
+    ``comp_rows[c][tower][r]`` in, same shape out -- in pre-relabel lane
+    order.  Towers chunk into <= 8-tower programs (the direct builder's
+    ARF budget); components of one tower batch through the same lanes.
+    """
+    ncomp = len(comp_rows)
+    out = [[None] * len(moduli) for _ in range(ncomp)]
+    for start in range(0, len(moduli), 8):
+        group = tuple(moduli[start:start + 8])
+        prog = generate_automorphism_program(n, group, galois, vlen=vlen)
+        rows = {}
+        for j, (rin, _rout) in enumerate(prog.metadata["tower_regions"]):
+            e = start + j
+            stacked = []
+            for c in range(ncomp):
+                stacked.extend(comp_rows[c][e])
+            rows[rin] = stacked
+        read = run.run(f"{name}_{start}", prog, rows, ncomp * requests)
+        for j, (_rin, rout) in enumerate(prog.metadata["tower_regions"]):
+            both = read(rout)
+            for c in range(ncomp):
+                out[c][start + j] = both[c * requests:(c + 1) * requests]
+    return out
+
+
+def execute_rotation_batch(
+    material: RotationKeyMaterial,
+    cts: list[tuple[list[list[int]], list[list[int]]]],
+    vlen: int = 512,
+    backend: str = "vectorized",
+    shards: int = 1,
+    pool=None,
+    fuse: bool = True,
+) -> tuple[list[tuple[list[list[int]], list[list[int]]]], dict]:
+    """One coalesced batch of CKKS Galois rotations on the FEMU.
+
+    ``cts[r]`` is request r's ciphertext as ``(c0_towers, c1_towers)``
+    residue rows over ``material.moduli``.  Returns per-request
+    ``(out0_towers, out1_towers)`` at the **same** level (rotation
+    changes neither level nor scale), plus the usual pass report.
+
+    Sigma-last dataflow (mirroring the software planes and the oracle)::
+
+        P1  digit extract      dig_i = c1_i * qhat_inv_i   (pointwise)
+            -- host exchange: spread digit rows mod every ext modulus --
+        P2  digit NTTs + inner product against the sigma^{-1}-permuted
+            key spectra + inverse NTTs (staged passes, or ONE fused
+            "rot" program per tower that also runs P3 in the VRF)
+        P3  automorphism       u_c = sigma_g(t_c) -- masked select,
+                               pre-relabel lane order from here on
+        P4  automorphism       sigma_g(c0) over the chain towers
+            -- host exchange: delta rows from the special tower --
+        P5  mod-down           ks_c = u_c / P  (scale-and-round)
+        P6  combine            out0 = sigma(c0) + ks0;  out1 = ks1
+            -- host relabel: one lane permutation back to natural order --
+
+    Bit-identical across backends, shard counts and fused/staged -- and
+    to ``CkksContext.rotate``'s software planes and wide-integer
+    reference, which the test suite asserts.
+    """
+    if not cts:
+        raise ValueError("need at least one ciphertext")
+    requests = len(cts)
+    n = material.n
+    chain = material.moduli
+    ext = material.ext_moduli
+    digits = material.digits
+    g = material.galois
+    vlen = min(vlen, n // 2)
+    owned_pool = None
+    if shards > 1 and pool is None and backend == "vectorized":
+        from repro.serve.sharding import ShardPool
+
+        pool = owned_pool = ShardPool(shards)
+    run = _LevelRun(requests, backend, shards, pool)
+    fused_programs = _fused_rotation_programs(material, vlen) if fuse else None
+    t0 = time.perf_counter()
+    try:
+        # P1: digit extraction from the *original* c1 (sigma comes last).
+        pw = generate_batched_pointwise_program(n, chain, "mul", vlen=vlen)
+        rows = {}
+        for k, (a_reg, b_reg, _out) in enumerate(pw.metadata["tower_regions"]):
+            rows[a_reg] = [ct[1][k] for ct in cts]
+            rows[b_reg] = [[material.digit_consts[k]] * n] * requests
+        read = run.run("digit_extract", pw, rows, requests)
+        dig = [read(out) for _a, _b, out in pw.metadata["tower_regions"]]
+
+        # Host exchange: spread digit rows over the extended basis.
+        spread = [
+            [_reduce_rows(dig[i], q) for q in ext] for i in range(digits)
+        ]
+
+        if fused_programs is None:
+            t_rows = _staged_keyswitch(
+                material, run, spread, vlen, n, requests
+            )
+            u_rows = _automorphism_pass(
+                run, "sigma_t", ext, t_rows, g, vlen, n, requests
+            )
+        else:
+            u_rows = [[None] * len(ext) for _ in range(2)]
+            for e, program in enumerate(fused_programs):
+                regions = program.metadata["level_regions"]
+                rows = {}
+                for i in range(digits):
+                    rows[regions["digits"][i]] = spread[i][e]
+                    rows[regions["kb"][i]] = [
+                        list(material.kb_rows[i][e])
+                    ] * requests
+                    rows[regions["ka"][i]] = [
+                        list(material.ka_rows[i][e])
+                    ] * requests
+                read = run.run(f"fused_rot_t{e}", program, rows, requests)
+                u_rows[0][e] = read(regions["outs"]["u0"])
+                u_rows[1][e] = read(regions["outs"]["u1"])
+
+        # P4: sigma on c0 over the chain towers (same pre-relabel order).
+        sc0 = _automorphism_pass(
+            run, "sigma_c0", chain,
+            [[[ct[0][k] for ct in cts] for k in range(digits)]],
+            g, vlen, n, requests,
+        )[0]
+
+        # Host exchange + P5: drop P from (u0, u1).  Lanewise, so the
+        # pre-relabel lane order flows straight through.
+        ks = _basis_drop(run, "mod_down", ext, u_rows, vlen, n, requests)
+
+        # P6: out0 = sigma(c0) + ks0 (out1 is ks1 as-is).
+        pw_add = generate_batched_pointwise_program(n, chain, "add", vlen=vlen)
+        rows = {}
+        for k, (a_reg, b_reg, _out) in enumerate(
+            pw_add.metadata["tower_regions"]
+        ):
+            rows[a_reg] = sc0[k]
+            rows[b_reg] = ks[0][k]
+        read = run.run("combine", pw_add, rows, requests)
+        out0 = [read(out) for _a, _b, out in pw_add.metadata["tower_regions"]]
+        out1 = ks[1]
+        wall_s = time.perf_counter() - t0
+    finally:
+        if owned_pool is not None:
+            owned_pool.close()
+
+    # Host relabel: undo the kernels' lane scrambling once, at the end.
+    perm = lane_relabel(n, vlen, g)
+
+    def natural(row):
+        return [row[perm[i]] for i in range(n)]
+
+    outputs = [
+        (
+            [natural(out0[k][r]) for k in range(digits)],
+            [natural(out1[k][r]) for k in range(digits)],
+        )
+        for r in range(requests)
+    ]
+    stats = ExecutionStats()
+    for log in run.passes:
+        stats = stats + log.stats
+    report = {
+        "fused": fused_programs is not None,
+        "passes": run.passes,
+        "stats": stats,
+        "dtype_path": run.dtype_path,
+        "shards": run.effective_shards,
+        "wall_s": wall_s,
+        "requests": requests,
+    }
+    return outputs, report
+
+
 class CkksLevelEngine:
     """Executes CKKS multiply+relinearize+rescale levels on the RPU FEMU.
 
@@ -605,6 +897,7 @@ class CkksLevelEngine:
         self.pool = pool
         self.fuse = fuse
         self._materials: dict[int, LevelKeyMaterial] = {}
+        self._rot_materials: dict[tuple[int, int], RotationKeyMaterial] = {}
 
     def material_at(self, level: int) -> LevelKeyMaterial:
         if level not in self._materials:
@@ -612,6 +905,14 @@ class CkksLevelEngine:
                 self.params, self.keys, level
             )
         return self._materials[level]
+
+    def rotation_material(self, step: int, level: int) -> RotationKeyMaterial:
+        key = (int(step) % self.params.slots, level)
+        if key not in self._rot_materials:
+            self._rot_materials[key] = RotationKeyMaterial.build(
+                self.params, self.keys, level, key[0]
+            )
+        return self._rot_materials[key]
 
     def run_level(
         self, x: CkksCiphertext, y: CkksCiphertext
@@ -660,6 +961,61 @@ class CkksLevelEngine:
                     ),
                     x.scale * y.scale / prime,
                     level - 1,
+                    self.params,
+                )
+            )
+        return results, report
+
+    def run_rotate(
+        self, ct: CkksCiphertext, k: int
+    ) -> tuple[CkksCiphertext, dict]:
+        outs, report = self.run_rotate_batch([ct], k)
+        return outs[0], report
+
+    def run_rotate_batch(
+        self, cts: list[CkksCiphertext], k: int
+    ) -> tuple[list[CkksCiphertext], dict]:
+        """A batch of rotate-by-``k`` ops; all must share level and params.
+
+        Unlike a level op this works at **any** level (rotation consumes
+        no depth); ``k`` normalizes mod the slot count and step 0 returns
+        the inputs unchanged.
+        """
+        if not cts:
+            return [], {}
+        step = int(k) % self.params.slots
+        if step == 0:
+            return list(cts), {"fused": False, "passes": [], "requests": 0}
+        levels = {ct.level for ct in cts}
+        if len(levels) != 1:
+            raise ValueError("all ciphertexts must sit at the same level")
+        if any(len(ct.components) != 2 for ct in cts):
+            raise ValueError("rotate expects 2-component ciphertexts")
+        level = levels.pop()
+        material = self.rotation_material(step, level)
+        ct_rows = [
+            (ct.components[0].towers, ct.components[1].towers) for ct in cts
+        ]
+        outputs, report = execute_rotation_batch(
+            material,
+            ct_rows,
+            vlen=self.vlen,
+            backend=self.backend,
+            shards=self.shards,
+            pool=self.pool,
+            fuse=self.fuse,
+        )
+        basis = self.params.basis_at(level)
+        results = []
+        for ct, (out0, out1) in zip(cts, outputs):
+            results.append(
+                CkksCiphertext(
+                    (
+                        RnsPolynomial(basis, out0),
+                        RnsPolynomial(basis, out1),
+                    ),
+                    ct.scale,
+                    level,
                     self.params,
                 )
             )

@@ -32,6 +32,7 @@ from repro.serve.requests import (
     HeMultiplyRequest,
     NttRequest,
     PolymulRequest,
+    RotateRequest,
     ServeResult,
     deadline_in,
     he_group_moduli,
@@ -48,6 +49,7 @@ __all__ = [
     "HeMultiplyRequest",
     "NttRequest",
     "PolymulRequest",
+    "RotateRequest",
     "RpuServer",
     "ServeConfig",
     "ServeResult",

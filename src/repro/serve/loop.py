@@ -41,6 +41,7 @@ import asyncio
 import time
 from dataclasses import dataclass, field
 
+from repro.serve import requests as _requests
 from repro.serve.requests import (
     DeadlineExceeded,
     HeLevelRequest,
@@ -48,8 +49,8 @@ from repro.serve.requests import (
     NttRequest,
     PolymulRequest,
     Request,
+    RotateRequest,
     ServeResult,
-    execute_group,
 )
 from repro.serve.sharding import ShardPool
 
@@ -247,6 +248,24 @@ class RpuServer:
             )
         )
 
+    async def rotate(
+        self, ct, material, deadline_s: float | None = None, **kwargs
+    ):
+        """One CKKS Galois rotation: ``ct`` is a (comp0, comp1) tower
+        pair, ``material`` a
+        :class:`~repro.rlwe.engine.RotationKeyMaterial` (which pins the
+        step and level); requests sharing a material's digest coalesce
+        into one engine batch."""
+        return await self.submit(
+            RotateRequest(
+                c0_towers=tuple(tuple(t) for t in ct[0]),
+                c1_towers=tuple(tuple(t) for t in ct[1]),
+                material=material,
+                deadline=self._absolute_deadline(deadline_s),
+                **kwargs,
+            )
+        )
+
     # -- coalescing --------------------------------------------------------
     async def _window(self, key: tuple) -> None:
         """Latency budget: flush whatever gathered when the window closes."""
@@ -274,8 +293,10 @@ class RpuServer:
 
     async def _execute(self, group: _PendingGroup) -> None:
         try:
+            # Module attribute, not a bound import: tests substitute slow
+            # executors by monkeypatching ``repro.serve.loop``'s view.
             results = await asyncio.to_thread(
-                execute_group,
+                _requests.execute_group,
                 group.requests,
                 self.config.shards,
                 self._pool,
@@ -286,10 +307,18 @@ class RpuServer:
                 if not fut.done():
                     fut.set_exception(exc)
             return
-        for fut, result in zip(group.futures, results):
+        # Deadlines are filtered again *after* the flush: a batch that ran
+        # long (slow pool, contended thread) must not hand back results the
+        # client had already given up on.
+        now = time.monotonic()
+        for req, fut, result in zip(group.requests, group.futures, results):
             if fut.done():
                 continue
             if result.error is not None:
                 fut.set_exception(DeadlineExceeded(result.error))
+            elif req.deadline is not None and req.deadline <= now:
+                fut.set_exception(
+                    DeadlineExceeded("deadline exceeded during flush")
+                )
             else:
                 fut.set_result(result)

@@ -46,7 +46,12 @@ from typing import Sequence
 
 from repro.compile import MAX_FUSED_TOWERS, fused_spec, try_compile_spec
 from repro.femu.semantics import ExecutionStats
-from repro.rlwe.engine import LevelKeyMaterial, execute_level_batch
+from repro.rlwe.engine import (
+    LevelKeyMaterial,
+    RotationKeyMaterial,
+    execute_level_batch,
+    execute_rotation_batch,
+)
 from repro.serve.sharding import ShardedBatchExecutor, ShardPool
 from repro.spiral.batched import generate_batched_ntt_program, tower_regions
 from repro.spiral.kernels import generate_ntt_program
@@ -62,6 +67,7 @@ __all__ = [
     "HeMultiplyRequest",
     "NttRequest",
     "PolymulRequest",
+    "RotateRequest",
     "ServeResult",
     "deadline_in",
     "execute_group",
@@ -237,7 +243,65 @@ class HeLevelRequest:
         )
 
 
-Request = NttRequest | PolymulRequest | HeMultiplyRequest | HeLevelRequest
+@dataclass(frozen=True)
+class RotateRequest:
+    """One CKKS Galois rotation: slots shift left by the material's step.
+
+    The ciphertext is two components of residue rows over the group's
+    chain (``material.moduli``); the
+    :class:`~repro.rlwe.engine.RotationKeyMaterial` carries the step's
+    sigma^{-1}-permuted Galois-key spectra.  Requests sharing one
+    material -- same key set, step *and* level, via the content digest --
+    coalesce into wider batches of every engine pass.  The result's
+    ``output`` is ``[out0_towers, out1_towers]`` at the same level.
+    """
+
+    c0_towers: tuple[tuple[int, ...], ...]
+    c1_towers: tuple[tuple[int, ...], ...]
+    material: RotationKeyMaterial
+    vlen: int = 512
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("c0_towers", "c1_towers"):
+            object.__setattr__(
+                self, name, tuple(tuple(t) for t in getattr(self, name))
+            )
+        towers = {len(self.c0_towers), len(self.c1_towers)}
+        if towers != {self.material.digits}:
+            raise ValueError(
+                "every component needs one tower per chain modulus"
+            )
+        lengths = {len(t) for t in (*self.c0_towers, *self.c1_towers)}
+        if lengths != {self.material.n}:
+            raise ValueError("every tower must match the material's degree")
+
+    @property
+    def n(self) -> int:
+        return self.material.n
+
+    @property
+    def towers(self) -> int:
+        return self.material.digits
+
+    @property
+    def group_key(self) -> tuple:
+        return (
+            "rotate",
+            self.n,
+            self.towers,
+            self.material.digest,
+            self.vlen,
+        )
+
+
+Request = (
+    NttRequest
+    | PolymulRequest
+    | HeMultiplyRequest
+    | HeLevelRequest
+    | RotateRequest
+)
 
 
 def he_group_moduli(
@@ -583,11 +647,49 @@ def _execute_he_level(
     ]
 
 
+def _execute_rotate(
+    requests: Sequence[RotateRequest],
+    shards: int,
+    pool: ShardPool | None,
+    fuse: bool,
+) -> list[ServeResult]:
+    """One coalesced batch of Galois rotations through the engine.
+
+    Batch row r of every engine pass is request r; the fused/staged
+    split, sharding and the sigma-last dataflow live in
+    :func:`repro.rlwe.engine.execute_rotation_batch`.
+    """
+    req0 = requests[0]
+    count = len(requests)
+    outputs, report = execute_rotation_batch(
+        req0.material,
+        [
+            ([list(t) for t in r.c0_towers], [list(t) for t in r.c1_towers])
+            for r in requests
+        ],
+        vlen=_clamp_vlen(req0.n, req0.vlen),
+        shards=shards,
+        pool=pool,
+        fuse=fuse,
+    )
+    return [
+        ServeResult(
+            output=[out0, out1],
+            stats=report["stats"].copy(),
+            dtype_path=report["dtype_path"],
+            shards=report["shards"],
+            batched_with=count,
+        )
+        for out0, out1 in outputs
+    ]
+
+
 _EXECUTORS = {
     NttRequest: _execute_ntt,
     PolymulRequest: _execute_polymul,
     HeMultiplyRequest: _execute_he,
     HeLevelRequest: _execute_he_level,
+    RotateRequest: _execute_rotate,
 }
 
 

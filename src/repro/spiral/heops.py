@@ -23,6 +23,17 @@ tensor+key-switch chain is IR-based and lives in
   with the per-tower constants in the SRF and the cross-tower ``delta``
   row (computed from the dropped tower) as a vector input.  Serves both
   the CKKS rescale and the P-drop of hybrid key switching.
+* :func:`build_automorphism_program` -- the Galois automorphism
+  ``sigma_g`` over every tower as a masked select: output chunk d is
+  ``sum_c in_c * M[d][c]`` against baked sign-mask constant rows
+  (:func:`repro.rlwe.digits.automorphism_masks`).  Multiplication by an
+  odd g mod 2n is not in the pk/unpk shuffle group (it is not
+  GF(2)-affine on the index bits), so unlike the NTT's strided accesses
+  this permutation cannot lower to shuffle ops -- the kernel instead
+  uses the select-by-constant idiom of F1/CraterLake-style datapaths and
+  leaves each chunk in a g-scrambled lane order that one host-side
+  relabel (:func:`repro.rlwe.digits.lane_relabel`) undoes at the end of
+  the rotation dataflow.
 
 All generators are cached through the unified compile pipeline
 (:func:`repro.compile.compile_spec`).
@@ -40,7 +51,7 @@ from repro.isa.instructions import (
     vvmul,
     vvsub,
 )
-from repro.isa.program import Program, RegionSpec
+from repro.isa.program import DataSegment, Program, RegionSpec
 from repro.modmath.arith import mod_inv
 from repro.util.bits import is_power_of_two
 
@@ -314,6 +325,114 @@ def build_rescale_program(
             "prime": prime,
             "half": half,
             "moduli": {j + 1: q for j, q in enumerate(rest)},
+            "tower_regions": regions,
+        },
+    ).finalize()
+
+
+def generate_automorphism_program(
+    n: int, moduli: tuple[int, ...], galois: int, vlen: int = 512
+) -> Program:
+    """The batched Galois-automorphism pass over L towers (cached)."""
+    from repro.compile import KernelSpec, compile_spec
+
+    return compile_spec(
+        KernelSpec(
+            kind="automorphism",
+            n=n,
+            vlen=vlen,
+            moduli=tuple(moduli),
+            num_towers=max(1, len(tuple(moduli))),
+            galois=galois,
+        )
+    )
+
+
+def build_automorphism_program(
+    n: int, moduli: tuple[int, ...], galois: int, vlen: int
+) -> Program:
+    """Direct frontend: ``out = sigma_g(in)`` per tower, masked select.
+
+    Region layout per tower k (multiples of n): in, out, then the C*C
+    mask rows as a baked constant segment (row (d, c) at word offset
+    ``2n + (d*C + c)*vlen``; C = n/vlen chunks).  Output chunk d
+    accumulates ``in_c * M[d][c]`` over the source chunks -- exactly one
+    chunk contributes per lane, the rest of the rows are all-zero and
+    skipped at emission, so the inner loop runs O(distinct source
+    chunks), not O(C).  Lanes come out in the pre-relabel order; the
+    host applies :func:`repro.rlwe.digits.lane_relabel` once at the end
+    of the rotation dataflow.
+    """
+    # Imported lazily: the mask math lives beside the rotation op in
+    # rlwe.digits, whose package pulls in the engine (and so this
+    # module's own compile pipeline) at import time.
+    from repro.rlwe.digits import automorphism_masks
+
+    if not 1 <= len(moduli) <= 8:
+        raise ValueError("supported tower counts: 1..8")
+    _check_shape(n, vlen)
+    if galois <= 0 or galois % 2 == 0 or galois >= 2 * n:
+        raise ValueError("the Galois element must be odd and in (0, 2n)")
+    chunks = n // vlen
+    block = (2 + chunks) * n
+    instructions = []
+    regions = []
+    segments = []
+    for k, q in enumerate(moduli):
+        base = block * k
+        masks = automorphism_masks(n, vlen, galois, q)
+        mask_words = []
+        for d in range(chunks):
+            for c in range(chunks):
+                mask_words.extend(masks[d][c])
+        segments.append(
+            DataSegment(f"sigma_masks_{k}", base + 2 * n, tuple(mask_words))
+        )
+        for d in range(chunks):
+            acc = 16 + (d % 4)
+            first = True
+            for c in range(chunks):
+                if not any(masks[d][c]):
+                    continue
+                slot = c % 2
+                r_in, r_m = slot * 4, slot * 4 + 1
+                r_p = 8 + slot * 2
+                instructions.append(vload(r_in, k + 1, c * vlen))
+                instructions.append(
+                    vload(r_m, k + 1, 2 * n + (d * chunks + c) * vlen)
+                )
+                if first:
+                    instructions.append(vvmul(acc, r_in, r_m, k + 1))
+                    first = False
+                else:
+                    instructions.append(vvmul(r_p, r_in, r_m, k + 1))
+                    instructions.append(vvadd(acc, acc, r_p, k + 1))
+            instructions.append(vstore(acc, k + 1, n + d * vlen))
+        regions.append(
+            (
+                RegionSpec(f"in_{k}", base, n, "any"),
+                RegionSpec(f"out_{k}", base + n, n, "any"),
+            )
+        )
+    instructions.append(halt())
+    total = block * len(moduli)
+    return Program(
+        name=f"automorphism_{n}_x{len(moduli)}towers_g{galois}",
+        instructions=instructions,
+        vlen=vlen,
+        vdm_segments=tuple(segments),
+        arf_init={k + 1: block * k for k in range(len(moduli))},
+        mrf_init={k + 1: q for k, q in enumerate(moduli)},
+        input_region=regions[0][0],
+        output_region=regions[0][1],
+        extra_vdm_words=total - 2 * n,
+        metadata={
+            "kernel": "automorphism",
+            "n": n,
+            "vlen": vlen,
+            "galois": galois,
+            "num_towers": len(moduli),
+            "moduli": {k + 1: q for k, q in enumerate(moduli)},
             "tower_regions": regions,
         },
     ).finalize()

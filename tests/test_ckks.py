@@ -211,3 +211,101 @@ def test_demo_special_prime_skips_chain_collisions():
     # on the first scale prime; demo() must skip past it.
     params = CkksParameters.demo(n=64, delta_bits=46, levels=2, base_bits=45)
     assert params.special_prime not in params.primes
+
+
+class TestSpecialPrimeValidation:
+    """A bad key-switching prime fails at construction with a clear
+    message, not deep inside a tower build."""
+
+    def test_non_prime_special_rejected(self):
+        with pytest.raises(ValueError, match="is not prime"):
+            # 289 = 17^2 satisfies 2n | p-1 for n=16 but is composite.
+            CkksParameters(n=16, primes=(97, 193), special_prime=289)
+
+    def test_ntt_unfriendly_special_rejected(self):
+        with pytest.raises(ValueError, match="not NTT-friendly"):
+            # 101 is prime but 2n = 32 does not divide 100.
+            CkksParameters(n=16, primes=(97, 193), special_prime=101)
+
+    def test_special_prime_in_chain_rejected(self):
+        with pytest.raises(ValueError, match="must not appear"):
+            CkksParameters(n=16, primes=(97, 193), special_prime=97)
+
+    def test_demo_special_prime_passes_validation(self):
+        params = CkksParameters.demo(n=32, delta_bits=30, levels=2, base_bits=40)
+        assert (params.special_prime - 1) % (2 * params.n) == 0
+
+
+class TestRotation:
+    """Galois rotations: the RNS datapath vs the wide-integer oracle vs
+    the decoded slot permutation, on both ring backends."""
+
+    @pytest.fixture(scope="class")
+    def rotating(self, ckks):
+        ctx, keys = ckks
+        ctx.rotation_keys(keys, [1, 2, 3, 5, slots(ctx) - 1])
+        rng = np.random.default_rng(4)
+        z = rng.normal(size=slots(ctx)) + 1j * rng.normal(size=slots(ctx))
+        ct = ctx.encrypt(keys, ctx.encode(z))
+        return ctx, keys, z, ct
+
+    def test_rotate_matches_reference_bit_exact(self, rotating):
+        ctx, keys, _z, ct = rotating
+        for step in (1, 3, slots(ctx) - 1):
+            fast = ctx.rotate(keys, ct, step)
+            ref = ctx.rotate(keys, ct, step, reference=True)
+            assert fast.components == ref.components
+            assert fast.scale == ref.scale and fast.level == ref.level
+
+    def test_rotate_permutes_decoded_slots(self, rotating):
+        ctx, keys, z, ct = rotating
+        for step in (1, 3):
+            got = ctx.decrypt_decode(keys, ctx.rotate(keys, ct, step))
+            assert np.allclose(got, np.roll(z, -step), atol=1e-3)
+
+    def test_step_zero_is_identity(self, rotating):
+        ctx, keys, _z, ct = rotating
+        assert ctx.rotate(keys, ct, 0) is ct
+        # A full revolution normalizes to step 0.
+        assert ctx.rotate(keys, ct, slots(ctx)) is ct
+
+    def test_composition(self, rotating):
+        # rotate(rotate(ct, i), j) and rotate(ct, i+j) differ in key-switch
+        # noise but must agree on the decoded slots.
+        ctx, keys, z, ct = rotating
+        composed = ctx.rotate(keys, ctx.rotate(keys, ct, 2), 3)
+        direct = ctx.rotate(keys, ct, 5)
+        got_c = ctx.decrypt_decode(keys, composed)
+        got_d = ctx.decrypt_decode(keys, direct)
+        assert np.allclose(got_c, got_d, atol=1e-3)
+        assert np.allclose(got_c, np.roll(z, -5), atol=1e-3)
+
+    def test_rotation_at_lower_levels(self, rotating):
+        # Rotation consumes no depth: it works after a rescale and even
+        # at level 0, where a level op is impossible.
+        ctx, keys, z, ct = rotating
+        down = ctx.rescale(ctx.relinearize(keys, ctx.multiply(ct, ct)))
+        for _ in range(ctx.params.levels - 1):
+            down = ctx.rescale(
+                ctx.relinearize(keys, ctx.multiply(down, down))
+            )
+        assert down.level == 0
+        fast = ctx.rotate(keys, down, 1)
+        ref = ctx.rotate(keys, down, 1, reference=True)
+        assert fast.components == ref.components
+        assert fast.level == 0
+
+    def test_missing_key_rejected(self, rotating):
+        ctx, keys, _z, ct = rotating
+        with pytest.raises(ValueError, match="no Galois key"):
+            ctx.rotate(keys, ct, 7)
+
+    def test_rotation_keys_need_special_prime(self):
+        params = CkksParameters.demo(n=16, delta_bits=25, levels=1, base_bits=35)
+        params = CkksParameters(
+            n=params.n, primes=params.primes, delta_bits=params.delta_bits
+        )
+        ctx = CkksContext(params, seed=3)
+        keys = ctx.keygen()
+        with pytest.raises(ValueError, match="special prime"):
+            ctx.rotation_keys(keys, [1])

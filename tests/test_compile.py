@@ -677,6 +677,63 @@ class TestPersistentPlanCache:
         cache.get_or_build(self._spec(), build_program)
         assert list(tmp_path.iterdir()) == []
 
+    def test_truncated_write_interleaved_with_load(self, tmp_path, monkeypatch):
+        """Regression: the spill publishes via tmp-file + ``os.replace``.
+
+        A writer crashing mid-write must never leave a torn image at the
+        final path, and a loader interleaving with a store must observe
+        either no plan or a complete one.  Two probes: (a) the truncated
+        bytes a non-atomic writer would have left are loaded as a clean
+        miss and then atomically repaired; (b) at the instant the writer
+        publishes, a concurrent load sees no torn file.
+        """
+        from repro.compile import build_program
+        from repro.compile import cache as cache_mod
+
+        spec = self._spec()
+        plan_file = self._plan_file(tmp_path, spec)
+
+        # (a) Interleave a truncated write with a load: plant the first
+        # half of a valid image -- the torn state a crash mid-write would
+        # leave if the store wrote the final path directly.
+        PlanCache(persist_dir=str(tmp_path)).get_or_build(spec, build_program)
+        whole = plan_file.read_bytes()
+        plan_file.write_bytes(whole[: len(whole) // 2])
+        cache = PlanCache(persist_dir=str(tmp_path))
+        program = cache.get_or_build(spec, build_program)
+        assert cache.stats.disk_hits == 0  # torn image is a miss, not a crash
+        assert program.metadata["plan_key"] == spec.cache_key
+        # The miss re-spilled atomically over the torn file: whole again.
+        warm = PlanCache(persist_dir=str(tmp_path))
+        warm.get_or_build(spec, build_program)
+        assert warm.stats.disk_hits == 1
+
+        # (b) At publish time the loader races the writer: hook the
+        # os.replace that lands this plan and load mid-store.  The final
+        # path must hold nothing (the temp file is elsewhere) -- the
+        # loader compiles for itself instead of reading torn bytes.
+        plan_file.unlink()
+        real_replace = cache_mod.os.replace
+        seen = {}
+
+        def racing_replace(src, dst, *args, **kwargs):
+            if str(dst) == str(plan_file) and "raced" not in seen:
+                seen["raced"] = True
+                assert not plan_file.exists()
+                reader = PlanCache(persist_dir=str(tmp_path))
+                raced = reader.get_or_build(spec, build_program)
+                assert reader.stats.disk_hits == 0
+                seen["program"] = raced
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(cache_mod.os, "replace", racing_replace)
+        fresh = PlanCache(persist_dir=str(tmp_path))
+        built = fresh.get_or_build(spec, build_program)
+        assert seen["raced"]
+        assert [str(i) for i in seen["program"].instructions] == [
+            str(i) for i in built.instructions
+        ]
+
 
 class TestHeOpKernelSpecs:
     """The homomorphic-op kernel kinds compile through the one pipeline."""

@@ -297,3 +297,200 @@ class TestFusedFeasibility:
         if probe is None:
             assert report["fused"] is False
         assert out.components == oracle.components
+
+@pytest.fixture(scope="module")
+def rotation_setup(setup):
+    from repro.rlwe.engine import RotationKeyMaterial
+
+    params, ctx, keys, cx, _cy, _oracle, _want = setup
+    ctx.rotation_keys(keys, [1, 2])
+    z = np.array([1.5, -0.25, 2.0 + 1j, 0.75])
+    oracle = ctx.rotate(keys, cx, 1, reference=True)
+    material = RotationKeyMaterial.build(params, keys, cx.level, 1)
+    return params, ctx, keys, cx, z, oracle, material
+
+
+class TestRotationEngine:
+    """The rotation acceptance bar: engine output == wide-integer oracle
+    for every backend x shard count x fused/staged combination."""
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    @pytest.mark.parametrize("fuse", [False, True])
+    def test_bit_identical_on_both_backends(self, rotation_setup, backend, fuse):
+        params, _ctx, keys, cx, _z, oracle, _material = rotation_setup
+        engine = CkksLevelEngine(
+            params, keys, vlen=VLEN, backend=backend, fuse=fuse
+        )
+        out, report = engine.run_rotate(cx, 1)
+        assert report["fused"] is fuse
+        assert out.components == oracle.components
+        # Rotation changes neither level nor scale.
+        assert out.level == cx.level
+        assert out.scale == pytest.approx(cx.scale)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("fuse", [False, True])
+    def test_bit_identical_under_shards(self, rotation_setup, shards, fuse):
+        params, _ctx, keys, cx, _z, oracle, _material = rotation_setup
+        engine = CkksLevelEngine(
+            params, keys, vlen=VLEN, shards=shards, fuse=fuse
+        )
+        outs, report = engine.run_rotate_batch([cx, cx, cx], 1)
+        for out in outs:
+            assert out.components == oracle.components
+        if shards > 1:
+            assert report["shards"] == shards
+
+    def test_decodes_to_rotated_slots(self, rotation_setup):
+        params, ctx, keys, cx, z, _oracle, _material = rotation_setup
+        engine = CkksLevelEngine(params, keys, vlen=VLEN)
+        out, _ = engine.run_rotate(cx, 2)
+        got = ctx.decrypt_decode(keys, out)[: len(z)]
+        decoded_in = ctx.decrypt_decode(keys, cx)
+        expected = np.roll(np.asarray(decoded_in), -2)[: len(z)]
+        assert np.allclose(got, expected, atol=1e-3)
+
+    def test_step_zero_returns_inputs(self, rotation_setup):
+        params, _ctx, keys, cx, _z, _oracle, _material = rotation_setup
+        engine = CkksLevelEngine(params, keys, vlen=VLEN)
+        outs, report = engine.run_rotate_batch([cx], 0)
+        assert outs == [cx]
+        assert report["fused"] is False and report["passes"] == []
+
+    def test_rotation_works_at_level_zero(self, rotation_setup):
+        params, ctx, keys, cx, _z, _oracle, _material = rotation_setup
+        engine = CkksLevelEngine(params, keys, vlen=VLEN)
+        down, _ = engine.run_level(cx, cx)
+        down, _ = engine.run_level(down, down)
+        assert down.level == 0
+        out, _ = engine.run_rotate(down, 1)
+        ref = ctx.rotate(keys, down, 1, reference=True)
+        assert out.components == ref.components
+
+    def test_material_digest_is_content_addressed(self, rotation_setup):
+        from repro.rlwe.engine import RotationKeyMaterial
+
+        params, _ctx, keys, cx, _z, _oracle, material = rotation_setup
+        again = RotationKeyMaterial.build(params, keys, cx.level, 1)
+        other_step = RotationKeyMaterial.build(params, keys, cx.level, 2)
+        lower = RotationKeyMaterial.build(params, keys, cx.level - 1, 1)
+        assert material.digest == again.digest
+        assert material.digest != other_step.digest
+        assert material.digest != lower.digest
+
+
+class TestRotationServing:
+    """RotateRequest coalesces by key-material digest like HeLevelRequest."""
+
+    @staticmethod
+    def _request(ct, material, **kwargs):
+        from repro.serve import RotateRequest
+
+        return RotateRequest(
+            c0_towers=ct.components[0].towers,
+            c1_towers=ct.components[1].towers,
+            material=material,
+            vlen=VLEN,
+            **kwargs,
+        )
+
+    def test_group_executes_bit_identical(self, rotation_setup):
+        from repro.serve.requests import execute_group
+
+        _params, _ctx, _keys, cx, _z, oracle, material = rotation_setup
+        reqs = [self._request(cx, material) for _ in range(3)]
+        results = execute_group(reqs)
+        for r in results:
+            assert r.output[0] == [list(t) for t in oracle.components[0].towers]
+            assert r.output[1] == [list(t) for t in oracle.components[1].towers]
+            assert r.batched_with == 3
+            assert r.stats.executed > 0
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_group_shards_bit_identical(self, rotation_setup, shards):
+        from repro.serve.requests import execute_group
+
+        _params, _ctx, _keys, cx, _z, oracle, material = rotation_setup
+        reqs = [self._request(cx, material) for _ in range(shards)]
+        results = execute_group(reqs, shards=shards)
+        for r in results:
+            assert r.output[0] == [list(t) for t in oracle.components[0].towers]
+            assert r.shards == shards
+
+    def test_mixed_steps_cannot_coalesce(self, rotation_setup):
+        from repro.rlwe.engine import RotationKeyMaterial
+        from repro.serve.requests import execute_group
+
+        params, _ctx, keys, cx, _z, _oracle, material = rotation_setup
+        other = RotationKeyMaterial.build(params, keys, cx.level, 2)
+        assert material.digest != other.digest
+        with pytest.raises(ValueError, match="mixed"):
+            execute_group(
+                [self._request(cx, material), self._request(cx, other)]
+            )
+
+    def test_request_validation(self, rotation_setup):
+        from repro.serve import RotateRequest
+
+        _params, _ctx, _keys, cx, _z, _oracle, material = rotation_setup
+        with pytest.raises(ValueError, match="tower"):
+            RotateRequest(
+                c0_towers=cx.components[0].towers[:-1],
+                c1_towers=cx.components[1].towers,
+                material=material,
+            )
+
+    def test_server_rotate_roundtrip(self, rotation_setup):
+        import asyncio
+
+        from repro.serve import RpuServer, ServeConfig
+
+        _params, _ctx, _keys, cx, _z, oracle, material = rotation_setup
+
+        async def main():
+            async with RpuServer(ServeConfig(batch_window_s=0.001)) as server:
+                ct = (cx.components[0].towers, cx.components[1].towers)
+                return await asyncio.gather(
+                    server.rotate(ct, material, vlen=VLEN),
+                    server.rotate(ct, material, vlen=VLEN),
+                )
+
+        r1, r2 = asyncio.run(main())
+        assert r1.output[0] == [list(t) for t in oracle.components[0].towers]
+        assert r2.output == r1.output
+        assert r1.batched_with + r2.batched_with >= 2
+
+
+class TestRotationDriver:
+    def test_run_functional_rotation(self):
+        from repro.eval.he_rotation import run_functional_rotation
+
+        report = run_functional_rotation(
+            n=N, levels=2, delta_bits=20, base_bits=28, vlen=VLEN, step=1
+        )
+        assert report["bit_exact"] is True
+        assert report["slots_match"] is True
+        assert report["fused_ran"] is True
+        assert report["cycles"] > 0 and report["hbm_rings"] > 0
+
+    def test_fused_vs_staged_rotation_gates(self):
+        from repro.eval.he_rotation import fused_vs_staged_rotation_report
+
+        report = fused_vs_staged_rotation_report(
+            n=N, levels=2, delta_bits=20, base_bits=28, vlen=VLEN
+        )
+        assert report["bit_identical"] is True
+        assert report["fused"]["fused_ran"] is True
+        assert report["fused"]["cycles"] < report["staged"]["cycles"]
+        assert report["fused"]["hbm_rings"] < report["staged"]["hbm_rings"]
+
+    def test_encrypted_dot_product(self):
+        from repro.eval.he_rotation import run_encrypted_dot_product
+
+        report = run_encrypted_dot_product(
+            n=N, levels=2, delta_bits=20, base_bits=28, vlen=VLEN
+        )
+        assert report["within_precision"] is True
+        assert report["rotations"] == 5  # log2(32 slots)
+        assert abs(report["result"] - report["expected"]) < 1e-2
+        assert report["cycles"] > 0 and report["hbm_rings"] > 0

@@ -437,3 +437,48 @@ def test_backpressure_rejects_past_bound():
     assert [r.output for r in results] == expected
     assert after.output == _ntt_reference([rows[4]], 30)[0]
     assert after.batched_with == 1
+
+
+def test_deadline_rechecked_after_slow_flush(monkeypatch):
+    """Regression: deadlines are re-checked when futures resolve post-flush.
+
+    A request can be alive at batch dispatch yet expire while the batch
+    executes (a contended pool, a slow thread).  The server must fail it
+    with :exc:`DeadlineExceeded` instead of handing back a result the
+    client already gave up on.  A slow-pool stub wraps ``execute_group``
+    so the batch dispatches in time but finishes after the deadline.
+    """
+    import time as time_mod
+
+    from repro.serve import DeadlineExceeded
+    from repro.serve import requests as requests_mod
+
+    rng = random.Random(11)
+    fwd = generate_ntt_program(N, vlen=VLEN, q_bits=30)
+    q = fwd.metadata["modulus"]
+    good = [rng.randrange(q) for _ in range(N)]
+
+    real_execute = requests_mod.execute_group
+
+    def slow_execute_group(reqs, shards=1, pool=None, fuse=True):
+        results = real_execute(reqs, shards, pool, fuse)
+        time_mod.sleep(0.3)  # the pool stalls after computing
+        return results
+
+    monkeypatch.setattr(requests_mod, "execute_group", slow_execute_group)
+
+    async def main():
+        config = ServeConfig(shards=1, max_batch=64, batch_window_s=0.005)
+        async with RpuServer(config) as server:
+            # Deadline comfortably beyond the batch window -- the request
+            # is live at dispatch and occupies a batch row -- but well
+            # inside the stub's stall.
+            doomed = server.ntt(good, q_bits=30, vlen=VLEN, deadline_s=0.1)
+            ok = server.ntt(good, q_bits=30, vlen=VLEN)
+            return await asyncio.gather(doomed, ok, return_exceptions=True)
+
+    doomed, ok = asyncio.run(main())
+    assert isinstance(doomed, DeadlineExceeded)
+    assert "during flush" in str(doomed)
+    # The undeadlined rider in the same batch still gets its result.
+    assert ok.output == _ntt_reference([good], 30)[0]
