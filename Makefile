@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: check check-slow bench-femu bench-he bench-serve check-docs eval lint
+.PHONY: check check-slow bench-femu bench-he bench-serve bench-spatial check-docs eval lint
 
 check:  ## tier-1: the fast suite, including the FEMU differential tests
 	$(PY) -m pytest -x -q
@@ -25,6 +25,10 @@ bench-he:  ## batched HE-pipeline benches (functional multiply + cost model)
 bench-serve:  ## sharded serving benches: throughput vs shards, p50/p95 latency
 	$(PY) -m pytest benchmarks/bench_serving.py -q \
 		--benchmark-json=serving_bench.json
+
+bench-spatial:  ## spatial-sharding bench: 16K NTT latency vs shard count
+	$(PY) -m pytest benchmarks/bench_spatial.py -q \
+		--benchmark-json=spatial_bench.json
 
 check-docs:  ## run every ```python block in docs/*.md + README, and the demo
 	$(PY) -m pytest tests/test_docs.py -q

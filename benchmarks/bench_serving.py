@@ -12,7 +12,7 @@ via ``extra_info``:
 * ``cpu_count`` and ``dtype_path``, so a JSON from a 1-core box is
   legible as such.
 
-Gate: >= 1.6x throughput at 4 shards vs 1 shard -- *asserted only when
+Gate: >= 2.0x throughput at 4 shards vs 1 shard -- *asserted only when
 the host has >= 4 CPUs*.  Sharding buys parallelism, not magic: on a
 single-core container the 4 extra processes time-slice one core and the
 measured "scaling" is IPC overhead, so there the gate is recorded in the
@@ -40,7 +40,12 @@ N = 4096
 Q_BITS = 128
 BATCH = 16
 SHARD_COUNTS = (1, 2, 4)
-SPEEDUP_GATE = 1.6
+# Measured bar, not aspiration: on the 4-core CI runners the min-of-3
+# 4-shard pass holds 2.3-2.6x over single-process (the batch axis is
+# embarrassingly parallel; the residue is shm marshalling), so a dip
+# below 2.0x is a real regression.  The old 1.6x provisional gate let
+# a ~30% scaling loss through.
+SPEEDUP_GATE = 2.0
 CACHE_HIT_GATE = 0.9
 
 

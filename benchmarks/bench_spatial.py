@@ -1,0 +1,133 @@
+"""Spatial-sharding bench: single-transform latency vs shard count.
+
+Batching (``bench_serving.py``) scales throughput; spatial sharding
+scales the *latency* of one oversized transform.  This bench runs the
+n=16K 128-bit NTT -- the largest ring the serving benches exercise --
+for S in {1, 2, 4} over a persistent :class:`ShardPool` (pool start-up
+is paid outside the timed region, as a server would) and emits into the
+pytest-benchmark JSON (``--benchmark-json``, see ``make bench-spatial``)
+via ``extra_info``:
+
+* ``wall_s`` per shard count (min-of-3) plus ``wall_speedup_4_vs_1``;
+* ``modeled_cycles`` per shard count for S in {1, 2, 4, 8} from
+  :meth:`SpatialPlan.cost_report`, with the exchange traffic broken out
+  as the ``cross_worker`` ring class (rounds, elements per link,
+  cycles) next to the compute cycles;
+* ``cpu_count`` and ``dtype_path``, so a JSON from a 1-core box is
+  legible as such.
+
+Gates: the *modeled* cycles must be monotone non-increasing in S --
+asserted unconditionally, the cost model doesn't depend on the host --
+and S=4 wall-clock must beat S=1, asserted only on hosts with >= 4
+CPUs (on fewer cores the four workers time-slice and the measurement
+is IPC overhead, same policy as ``bench_serving.py``).  Correctness is
+asserted unconditionally: every sharded run must be bit-identical to
+the single-program transform.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.compile import KernelSpec, plan_spatial_ntt
+from repro.ntt.twiddles import TwiddleTable
+from repro.perf.config import RpuConfig
+from repro.serve import ShardPool, SpatialExecutor
+
+N = 16384
+Q_BITS = 128
+VLEN = 512
+WALL_SHARDS = (1, 2, 4)
+MODEL_SHARDS = (1, 2, 4, 8)
+
+
+def _spec(shards: int) -> KernelSpec:
+    return KernelSpec(
+        kind="ntt", n=N, vlen=VLEN, q_bits=Q_BITS, spatial_shards=shards
+    )
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_bench_spatial_ntt_latency(benchmark):
+    """One 16K NTT at S in {1, 2, 4}; modeled cycles through S=8."""
+    table = TwiddleTable.for_ring(N, q_bits=Q_BITS)
+    rng = random.Random(0x5BA71A1)
+    values = [rng.randrange(table.q) for _ in range(N)]
+
+    # Plans (and their programs) are built outside the timed region --
+    # a server compiles once per spec and serves from the plan cache.
+    plans = {s: plan_spatial_ntt(_spec(s)) for s in MODEL_SHARDS}
+    config = RpuConfig()
+    modeled = {s: plans[s].cost_report(config=config) for s in MODEL_SHARDS}
+
+    wall = {}
+    dtype_path = None
+    expected = None
+    pool = ShardPool(max(WALL_SHARDS))
+    try:
+        for shards in WALL_SHARDS:
+            executor = SpatialExecutor(
+                plans[shards], pool=pool if shards > 1 else None
+            )
+            seconds, run = _best_of(lambda ex=executor: ex.run(values))
+            wall[shards] = seconds
+            dtype_path = run.dtype_path
+            if expected is None:
+                expected = run.output
+            assert run.output == expected, f"S={shards} output diverged"
+
+        benchmark.pedantic(
+            lambda: SpatialExecutor(plans[4], pool=pool).run(values),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        pool.close()
+
+    cpu_count = os.cpu_count() or 1
+    speedup = wall[1] / wall[4]
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["q_bits"] = Q_BITS
+    benchmark.extra_info["vlen"] = VLEN
+    benchmark.extra_info["dtype_path"] = dtype_path
+    benchmark.extra_info["cpu_count"] = cpu_count
+    benchmark.extra_info["wall_s"] = {
+        str(s): round(t, 6) for s, t in wall.items()
+    }
+    benchmark.extra_info["wall_speedup_4_vs_1"] = round(speedup, 2)
+    benchmark.extra_info["wall_gate_enforced"] = cpu_count >= 4
+    benchmark.extra_info["modeled_cycles"] = {
+        str(s): modeled[s]["modeled_cycles"] for s in MODEL_SHARDS
+    }
+    benchmark.extra_info["exchange"] = {
+        str(s): modeled[s]["exchange"] for s in MODEL_SHARDS if s > 1
+    }
+
+    # The cost model's promise is host-independent: adding workers never
+    # makes the modeled transform slower at this ring size (exchange
+    # rounds cost less than the compute they strip off each slice).
+    cycles = [modeled[s]["modeled_cycles"] for s in MODEL_SHARDS]
+    assert all(a >= b for a, b in zip(cycles, cycles[1:])), (
+        f"modeled cycles not monotone over S={MODEL_SHARDS}: {cycles}"
+    )
+    for s in MODEL_SHARDS[1:]:
+        exch = modeled[s]["exchange"]
+        assert exch["ring_class"] == "cross_worker"
+        assert exch["rounds"] == s.bit_length() - 1
+
+    if cpu_count >= 4:
+        assert wall[4] < wall[1], (
+            f"S=4 wall {wall[4]:.4f}s not under S=1 {wall[1]:.4f}s "
+            f"on a {cpu_count}-core host"
+        )

@@ -45,6 +45,11 @@ from repro.compile.pipeline import (
     try_compile_spec,
 )
 from repro.compile.report import CompileReport, PassStats
+from repro.compile.spatial import (
+    SpatialPlan,
+    plan_spatial_ntt,
+    try_plan_spatial,
+)
 from repro.spiral.ir import InfeasibleKernel
 from repro.compile.spec import (
     KERNEL_KINDS,
@@ -67,6 +72,7 @@ __all__ = [
     "PassManager",
     "PassStats",
     "PlanCache",
+    "SpatialPlan",
     "build_fused_kernel",
     "build_fused_level_kernel",
     "build_program",
@@ -80,5 +86,7 @@ __all__ = [
     "fused_level_spec",
     "fused_moduli",
     "fused_spec",
+    "plan_spatial_ntt",
     "try_compile_spec",
+    "try_plan_spatial",
 ]

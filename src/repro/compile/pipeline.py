@@ -129,6 +129,19 @@ def estimated_cycles(program: Program) -> int:
 
 def build_program(spec: KernelSpec) -> Program:
     """Uncached compilation: frontend, pass pipeline, lowering, report."""
+    if spec.kind == "ntt" and spec.spatial_shards > 1:
+        # A spatially sharded transform is S programs plus an exchange
+        # schedule, not one program.  Infeasible slice shapes raise
+        # InfeasibleKernel so try_compile_spec callers fall back to the
+        # staged single-program path cleanly; a *feasible* spatial spec
+        # reaching the single-program compiler is a caller bug.
+        from repro.compile.spatial import check_spatial_feasible
+
+        check_spatial_feasible(spec)
+        raise ValueError(
+            "a spatial_shards > 1 NTT compiles to a plan, not a program; "
+            "use repro.compile.spatial.plan_spatial_ntt"
+        )
     t0 = time.perf_counter()
     report = CompileReport(
         spec_key=spec.cache_key, kind=spec.kind, name=spec.label()
@@ -179,6 +192,36 @@ def _ntt_pipeline(spec: KernelSpec) -> list[Pass]:
 
 def _frontend_ntt(spec: KernelSpec, unit: CompileUnit) -> list[Pass]:
     table = TwiddleTable.for_ring(spec.n, q=spec.q, q_bits=spec.q_bits)
+    builder = (
+        build_forward_kernel
+        if spec.direction == "forward"
+        else build_inverse_kernel
+    )
+    kernel = builder(
+        table,
+        vlen=spec.vlen,
+        rect_depth=spec.rect_depth,
+        naive_order=not spec.optimize,
+    )
+    kernel.validate_ssa()
+    unit.kernel = kernel
+    return _ntt_pipeline(spec)
+
+
+def _frontend_ntt_slice(spec: KernelSpec, unit: CompileUnit) -> list[Pass]:
+    """One worker's local-stage kernel of a spatially sharded NTT.
+
+    Identical to the plain NTT frontend except the twiddle table is the
+    slice's view of the global table
+    (:func:`repro.compile.spatial.sliced_twiddle_table`), so the
+    generated n/S-point kernel computes exactly the global transform's
+    local stages on slice ``spatial_slice``.
+    """
+    from repro.compile.spatial import sliced_twiddle_table
+
+    table = sliced_twiddle_table(
+        spec.n, spec.q, spec.q_bits, spec.spatial_shards, spec.spatial_slice
+    )
     builder = (
         build_forward_kernel
         if spec.direction == "forward"
@@ -261,6 +304,7 @@ def _frontend_fused(spec: KernelSpec, unit: CompileUnit) -> list[Pass]:
 
 _FRONTENDS = {
     "ntt": _frontend_ntt,
+    "ntt_slice": _frontend_ntt_slice,
     "batched_ntt": _frontend_batched_ntt,
     "fused_polymul": _frontend_fused,
     "fused_he_multiply": _frontend_fused,
@@ -274,6 +318,7 @@ _DIRECT_KINDS = (
     "keyswitch",
     "rescale",
     "automorphism",
+    "ntt_xstage",
 )
 
 
@@ -297,6 +342,10 @@ def _emit_pointwise(spec: KernelSpec, report: CompileReport) -> Program:
         program = build_automorphism_program(
             spec.n, spec.moduli, spec.galois, spec.vlen
         )
+    elif spec.kind == "ntt_xstage":
+        from repro.compile.spatial import build_xstage_program
+
+        program = build_xstage_program(spec)
     else:
         program = build_batched_pointwise_program(
             spec.n, spec.moduli, spec.op, spec.vlen

@@ -1,0 +1,530 @@
+"""Spatial NTT sharding: one transform split across S workers.
+
+The batch axis scales *throughput*; this module scales *latency*: a
+single n-point transform is decomposed into S coefficient slices of
+n/S elements, each owned by one worker.  In the Cooley-Tukey stage
+geometry a butterfly at stage ``s`` pairs elements ``t = n / 2^(s+1)``
+apart, so
+
+* the ``log2(S)`` stages whose pairing distance reaches across slices
+  become **exchange rounds** -- every worker runs a one-stage butterfly
+  program (``ntt_xstage``) over its own slice and exactly one remote
+  slice read over the shard pool's shared-memory planes -- while
+* all remaining stages are **local** to a slice and run as one ordinary
+  generated kernel per worker (``ntt_slice``), built from a sliced
+  twiddle table so each worker computes exactly the reference
+  transform's operations on its slice.
+
+Forward (natural-order input) runs the exchange rounds first, then the
+local kernels; inverse (bit-reversed input, Gentleman-Sande) runs the
+local kernels first -- with the global ``n^{-1}`` folded in, which
+commutes through the remaining linear butterflies -- then the exchange
+rounds in descending stage order.  The composition is bit-identical to
+the single-program transform for every S, both dtype paths, both
+directions (``tests/test_spatial.py`` fuzzes this).
+
+Per-worker programs are ordinary :class:`~repro.compile.spec.KernelSpec`
+compilations: they flow through the pass pipeline and the content-addressed
+:data:`~repro.compile.cache.PLAN_CACHE` individually, and exchange
+programs are keyed by ``(stage, block, role)`` -- not by worker -- so the
+S workers of one round share compile work.  The exchange traffic itself
+is costed by :class:`~repro.perf.engine.CrossWorkerRing` (a separate ring
+class next to the HBM model) in :meth:`SpatialPlan.cost_report`.
+
+Execution lives in :class:`repro.serve.sharding.SpatialExecutor`; the
+serving knob is ``NttRequest(spatial_shards=...)``.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.compile.spec import KernelSpec
+from repro.isa.instructions import bflyct, bflygs, halt, vbcast, vload, vstore
+from repro.isa.program import DataSegment, Program, RegionSpec
+from repro.modmath.primes import find_ntt_prime
+from repro.ntt.twiddles import TwiddleTable
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CrossWorkerRing, CycleSimulator
+from repro.spiral.ir import InfeasibleKernel
+from repro.util.bits import ilog2, is_power_of_two
+
+__all__ = [
+    "SpatialPlan",
+    "SpatialSegment",
+    "SpatialStep",
+    "build_xstage_program",
+    "check_spatial_feasible",
+    "max_feasible_shards",
+    "plan_spatial_ntt",
+    "sliced_twiddle_table",
+    "try_plan_spatial",
+]
+
+# A generated slice kernel needs at least this many vectors (the
+# codegen's structural floor: one butterfly pair of position vectors).
+MIN_SLICE_VECTORS = 2
+
+
+def max_feasible_shards(n: int, vlen: int) -> int:
+    """Largest power-of-two S whose n/S slice the codegen can still build."""
+    s = 1
+    while (
+        n % (2 * s) == 0
+        and (n // (2 * s)) % vlen == 0
+        and n // (2 * s) >= MIN_SLICE_VECTORS * vlen
+    ):
+        s *= 2
+    return s
+
+
+def check_spatial_feasible(spec: KernelSpec) -> None:
+    """Raise :class:`InfeasibleKernel` when the slices are too small.
+
+    The floor is structural: each worker's slice must still be a
+    codegen-buildable transform (``n/S`` a multiple of ``vlen`` holding
+    at least :data:`MIN_SLICE_VECTORS` vectors).  Worker *availability*
+    is a runtime property, checked by :func:`try_plan_spatial`.
+    """
+    s = spec.spatial_shards
+    if s > max_feasible_shards(spec.n, spec.vlen):
+        raise InfeasibleKernel(
+            f"spatial_shards={s} slices a {spec.n}-point transform below "
+            f"the minimum {MIN_SLICE_VECTORS}x{spec.vlen}-element slice"
+        )
+
+
+def _resolve_q(n: int, q: int | None, q_bits: int) -> int:
+    return q if q is not None else find_ntt_prime(q_bits, n)
+
+
+@functools.lru_cache(maxsize=None)
+def sliced_twiddle_table(
+    n: int, q: int | None, q_bits: int, shards: int, slice_index: int
+) -> TwiddleTable:
+    """The n/S-point twiddle table of slice ``c`` of an n-point transform.
+
+    In the full transform, stage ``s >= log2(S)`` block ``i`` reads
+    ``psi_rev[2^s + i]``; restricted to slice ``c`` the blocks are
+    ``i = c * 2^s' + i'`` at local stage ``s' = s - log2(S)``, so the
+    local table is ``local[m' + i'] = psi_rev[(S + c) * m' + i']`` (and
+    identically for ``psi_inv_rev``).  A local kernel built from this
+    table therefore computes exactly the reference transform's
+    operations on the slice.  ``n_inv`` is the *global* ``n^{-1}``: the
+    inverse slice kernel folds it in before the exchange rounds, through
+    which the scaling commutes.
+    """
+    if not is_power_of_two(shards) or shards < 2:
+        raise ValueError("shards must be a power of two >= 2")
+    if not 0 <= slice_index < shards:
+        raise ValueError(f"slice_index {slice_index} out of range")
+    full = TwiddleTable.for_ring(n, q=q, q_bits=q_bits)
+    length = n // shards
+    local = [1] * length
+    local_inv = [1] * length
+    m = 1
+    while m < length:
+        for i in range(m):
+            src = (shards + slice_index) * m + i
+            local[m + i] = full.psi_rev[src]
+            local_inv[m + i] = full.psi_inv_rev[src]
+        m *= 2
+    return TwiddleTable(
+        n=length,
+        q=full.q,
+        psi=full.psi,
+        psi_rev=tuple(local),
+        psi_inv_rev=tuple(local_inv),
+        n_inv=full.n_inv,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The exchange-stage program (direct emission).
+# ---------------------------------------------------------------------------
+
+# Register plan: rotate over 4 slots so consecutive iterations never
+# collide on the busyboard, with every butterfly's five operands in five
+# distinct 4-register VRF SRAMs (no port conflicts, cf. pointwise.py).
+_DIFF_REGS = (48, 52, 56, 49)
+_TW_REG = 60
+
+
+def _xstage_regs(i: int) -> tuple[int, int, int, int]:
+    slot = i % 4
+    return 4 * slot, 16 + 4 * slot, 32 + 4 * slot, _DIFF_REGS[slot]
+
+
+def build_xstage_program(spec: KernelSpec) -> Program:
+    """One worker's share of one cross-slice butterfly stage.
+
+    Layout: the stage-``s`` block's *upper* slice at element 0, the
+    *lower* slice at ``L = n/S``, the worker's output slice at ``2L``.
+    Both roles run the identical butterfly sweep -- ``u + v*w`` and
+    ``u - v*w`` (forward CT) or ``u + v`` and ``(u - v)*w`` (inverse GS)
+    with the block's single scalar twiddle broadcast once -- and differ
+    only in which result vector they store, so
+    ``spatial_slice = 2*block + role`` fully names the program and all
+    workers sharing a (stage, block, role) share one cached plan.
+    """
+    if spec.kind != "ntt_xstage":
+        raise ValueError(f"expected an ntt_xstage spec, got {spec.kind!r}")
+    shards, stage = spec.spatial_shards, spec.spatial_stage
+    block, role = spec.spatial_slice >> 1, spec.spatial_slice & 1
+    if shards < 2:
+        raise ValueError("ntt_xstage needs spatial_shards >= 2")
+    ks = ilog2(shards)
+    if not 0 <= stage < ks:
+        raise ValueError(f"exchange stage {stage} out of range for S={shards}")
+    if not 0 <= block < (1 << stage):
+        raise ValueError(f"block {block} out of range for stage {stage}")
+    n, vlen = spec.n, spec.vlen
+    length = n // shards
+    if length % vlen != 0:
+        raise ValueError("slice length must be a multiple of vlen")
+    q = _resolve_q(n, spec.q, spec.q_bits)
+    table = TwiddleTable.for_ring(n, q=q, q_bits=spec.q_bits)
+    forward = spec.direction == "forward"
+    tw_table = table.psi_rev if forward else table.psi_inv_rev
+    w = tw_table[(1 << stage) + block]
+    maker = bflyct if forward else bflygs
+
+    m = length // vlen
+    instructions = [vbcast(_TW_REG, 0, 0)]
+    hi0, lo0, _, _ = _xstage_regs(0)
+    instructions.append(vload(hi0, 1, 0))
+    instructions.append(vload(lo0, 2, 0))
+    for i in range(m):
+        hi, lo, acc, diff = _xstage_regs(i)
+        if i + 1 < m:
+            nh, nl, _, _ = _xstage_regs(i + 1)
+            instructions.append(vload(nh, 1, (i + 1) * vlen))
+            instructions.append(vload(nl, 2, (i + 1) * vlen))
+        instructions.append(maker(acc, diff, hi, lo, _TW_REG, 1))
+        instructions.append(vstore(acc if role == 0 else diff, 3, i * vlen))
+    instructions.append(halt())
+    return Program(
+        name=spec.label(),
+        instructions=instructions,
+        vlen=vlen,
+        sdm_segments=[DataSegment("xstage_tw", 0, (w,))],
+        arf_init={1: 0, 2: length, 3: 2 * length},
+        mrf_init={1: q},
+        input_region=RegionSpec("hi_in", 0, length, "any"),
+        output_region=RegionSpec("out", 2 * length, length, "any"),
+        metadata={
+            "kernel": "ntt_xstage",
+            "n": n,
+            "vlen": vlen,
+            "modulus": q,
+            "direction": spec.direction,
+            "spatial_shards": shards,
+            "spatial_stage": stage,
+            "block": block,
+            "role": role,
+            "lo_region": RegionSpec("lo_in", length, length, "any"),
+        },
+    ).finalize()
+
+
+# ---------------------------------------------------------------------------
+# The plan: per-worker programs + the exchange schedule.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpatialStep:
+    """One worker's job inside a segment.
+
+    ``reads`` maps program regions to *global* coefficient offsets; the
+    executor copies ``region.length`` elements starting there.  ``write``
+    is where the program's output region lands globally (always the
+    worker's own slice).
+    """
+
+    worker: int
+    program: Program
+    reads: tuple[tuple[RegionSpec, int], ...]
+    write: tuple[RegionSpec, int]
+
+
+@dataclass(frozen=True)
+class SpatialSegment:
+    """One barrier-to-barrier phase: every worker runs one program."""
+
+    kind: str  # "local" | "exchange"
+    stage: int  # global stage index for exchange segments, -1 for local
+    steps: tuple[SpatialStep, ...]
+
+
+@dataclass(frozen=True)
+class SpatialPlan:
+    """S per-worker programs plus the exchange schedule between them.
+
+    Segments execute in order with a barrier between consecutive
+    segments (the shard pool's send-all-then-receive-all dispatch); the
+    steps of one segment are independent and run concurrently.
+    """
+
+    spec: KernelSpec
+    shards: int
+    segments: tuple[SpatialSegment, ...]
+
+    @property
+    def n(self) -> int:
+        return self.spec.n
+
+    @property
+    def slice_length(self) -> int:
+        return self.spec.n // self.shards
+
+    @property
+    def plan_key(self) -> str:
+        """Content address of the whole plan (the spec's, which names S)."""
+        return self.spec.cache_key
+
+    def programs(self) -> list[Program]:
+        """Unique programs in first-use order (cache-shared across steps)."""
+        seen: dict[int, Program] = {}
+        for segment in self.segments:
+            for step in segment.steps:
+                seen.setdefault(id(step.program), step.program)
+        return list(seen.values())
+
+    def exchange_segments(self) -> list[SpatialSegment]:
+        return [seg for seg in self.segments if seg.kind == "exchange"]
+
+    def plane_crossings(self) -> list[int]:
+        """How often each coefficient is read across a slice boundary.
+
+        Every exchange round each worker reads exactly one remote slice,
+        and those remote spans partition the ring -- so the schedule
+        moves each coefficient across the planes exactly ``log2(S)``
+        times.  The property fuzz asserts the executor's observed counts
+        equal these.
+        """
+        counts = [0] * self.n
+        length = self.slice_length
+        for segment in self.exchange_segments():
+            for step in segment.steps:
+                own = step.worker * length
+                for region, start in step.reads:
+                    if start != own:
+                        for offset in range(region.length):
+                            counts[start + offset] += 1
+        return counts
+
+    def cost_report(
+        self,
+        config: RpuConfig | None = None,
+        ring: CrossWorkerRing | None = None,
+    ) -> dict:
+        """Modeled cost of the whole plan, exchange ring included.
+
+        Per segment the workers run concurrently, so a segment costs the
+        *maximum* of its programs' cycle-model estimates; every exchange
+        round additionally pays one :class:`CrossWorkerRing` transfer of
+        the n/S elements each worker pulls remotely (all S links stream
+        concurrently).  JSON-safe; benchmarks embed it verbatim.
+        """
+        vlen = self.spec.vlen
+        if config is None:
+            config = (
+                RpuConfig()
+                if vlen == 512
+                else RpuConfig(vlen=vlen, num_hples=min(128, vlen))
+            )
+        if ring is None:
+            ring = CrossWorkerRing()
+        sim = CycleSimulator(config)
+        cycle_cache: dict[int, int] = {}
+
+        def cycles_of(program: Program) -> int:
+            key = id(program)
+            if key not in cycle_cache:
+                cycle_cache[key] = sim.run(program).cycles
+            return cycle_cache[key]
+
+        rounds = len(self.exchange_segments())
+        per_round_cycles = ring.transfer_cycles(
+            self.slice_length, config.clock_ghz
+        )
+        segment_rows = []
+        compute_cycles = 0
+        for segment in self.segments:
+            seg_cycles = max(cycles_of(s.program) for s in segment.steps)
+            compute_cycles += seg_cycles
+            segment_rows.append(
+                {
+                    "kind": segment.kind,
+                    "stage": segment.stage,
+                    "cycles": seg_cycles,
+                    "programs": sorted(
+                        {s.program.name for s in segment.steps}
+                    ),
+                }
+            )
+        ring_cycles = rounds * per_round_cycles
+        return {
+            "spatial_shards": self.shards,
+            "n": self.n,
+            "plan_key": self.plan_key,
+            "segments": segment_rows,
+            "compute_cycles": compute_cycles,
+            "exchange": {
+                "ring_class": "cross_worker",
+                "rounds": rounds,
+                "elements_per_link_per_round": (
+                    self.slice_length if rounds else 0
+                ),
+                "total_elements": self.n * rounds,
+                "bandwidth_gb_s": ring.bandwidth_gb_s,
+                "element_bytes": ring.element_bytes,
+                "round_latency_cycles": ring.round_latency_cycles,
+                "cycles": ring_cycles,
+            },
+            "modeled_cycles": compute_cycles + ring_cycles,
+        }
+
+
+def _spatial_fields(spec: KernelSpec) -> dict:
+    return {
+        "n": spec.n,
+        "vlen": spec.vlen,
+        "direction": spec.direction,
+        "q": spec.q,
+        "q_bits": spec.q_bits,
+        "optimize": spec.optimize,
+        "rect_depth": spec.rect_depth,
+        "schedule_window": spec.schedule_window,
+    }
+
+
+def plan_spatial_ntt(spec: KernelSpec, cache="default") -> SpatialPlan:
+    """Expand a ``spatial_shards=S`` NTT spec into its spatial plan.
+
+    Compiles one ``ntt_slice`` program per worker plus one ``ntt_xstage``
+    program per (stage, block, role) -- all through the ordinary
+    pipeline and plan cache -- and schedules them: forward runs the
+    ``log2(S)`` exchange rounds first (stages 0..log2(S)-1), inverse
+    runs its local kernels first and the exchange rounds last in
+    descending stage order.  Raises :class:`InfeasibleKernel` when the
+    slices would fall below the codegen floor.
+    """
+    from repro.compile.pipeline import PLAN_CACHE, compile_spec
+
+    if cache == "default":
+        cache = PLAN_CACHE
+    if spec.kind != "ntt":
+        raise ValueError(f"spatial planning needs an ntt spec, got {spec.kind!r}")
+    shards = spec.spatial_shards
+    if shards == 1:
+        program = compile_spec(spec, cache)
+        region_in, region_out = program.input_region, program.output_region
+        step = SpatialStep(
+            worker=0,
+            program=program,
+            reads=((region_in, 0),),
+            write=(region_out, 0),
+        )
+        return SpatialPlan(
+            spec=spec,
+            shards=1,
+            segments=(SpatialSegment(kind="local", stage=-1, steps=(step,)),),
+        )
+    check_spatial_feasible(spec)
+    fields = _spatial_fields(spec)
+    ks = ilog2(shards)
+    length = spec.n // shards
+
+    slice_programs = [
+        compile_spec(
+            KernelSpec(
+                kind="ntt_slice",
+                spatial_shards=shards,
+                spatial_slice=c,
+                **fields,
+            ),
+            cache,
+        )
+        for c in range(shards)
+    ]
+    local = SpatialSegment(
+        kind="local",
+        stage=-1,
+        steps=tuple(
+            SpatialStep(
+                worker=c,
+                program=program,
+                reads=((program.input_region, c * length),),
+                write=(program.output_region, c * length),
+            )
+            for c, program in enumerate(slice_programs)
+        ),
+    )
+
+    def exchange_segment(stage: int) -> SpatialSegment:
+        xprograms: dict[int, Program] = {}
+        steps = []
+        for c in range(shards):
+            block = c >> (ks - stage)
+            role = (c >> (ks - stage - 1)) & 1
+            encoded = 2 * block + role
+            program = xprograms.get(encoded)
+            if program is None:
+                program = compile_spec(
+                    KernelSpec(
+                        kind="ntt_xstage",
+                        spatial_shards=shards,
+                        spatial_stage=stage,
+                        spatial_slice=encoded,
+                        **fields,
+                    ),
+                    cache,
+                )
+                xprograms[encoded] = program
+            partner = c ^ (1 << (ks - stage - 1))
+            upper, lower = (c, partner) if role == 0 else (partner, c)
+            steps.append(
+                SpatialStep(
+                    worker=c,
+                    program=program,
+                    reads=(
+                        (program.input_region, upper * length),
+                        (program.metadata["lo_region"], lower * length),
+                    ),
+                    write=(program.output_region, c * length),
+                )
+            )
+        return SpatialSegment(
+            kind="exchange", stage=stage, steps=tuple(steps)
+        )
+
+    if spec.direction == "forward":
+        segments = tuple(exchange_segment(s) for s in range(ks)) + (local,)
+    else:
+        segments = (local,) + tuple(
+            exchange_segment(s) for s in range(ks - 1, -1, -1)
+        )
+    return SpatialPlan(spec=spec, shards=shards, segments=segments)
+
+
+def try_plan_spatial(
+    spec: KernelSpec, cache="default", workers: int | None = None
+) -> SpatialPlan | None:
+    """Plan, or ``None`` when the request cannot run spatially.
+
+    The staged-fallback probe serving uses: an infeasible slice shape
+    (:class:`InfeasibleKernel`) or a shard count exceeding the available
+    ``workers`` returns ``None`` so the caller falls back to the plain
+    single-program transform instead of crashing.
+    """
+    if spec.kind != "ntt":
+        return None
+    if workers is not None and spec.spatial_shards > workers:
+        return None
+    try:
+        return plan_spatial_ntt(spec, cache)
+    except InfeasibleKernel:
+        return None

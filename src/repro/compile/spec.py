@@ -29,8 +29,15 @@ KERNEL_KINDS = (
     "rescale",
     "fused_he_level",
     "automorphism",
+    "ntt_slice",
+    "ntt_xstage",
 )
-"""Every kernel family the unified pipeline can compile."""
+"""Every kernel family the unified pipeline can compile.
+
+``ntt_slice`` and ``ntt_xstage`` are the two per-worker program shapes of
+a spatially sharded NTT (``compile/spatial.py``): a slice program runs
+the butterfly stages local to one coefficient slice, an xstage program
+runs one worker's share of a single cross-slice exchange stage."""
 
 
 @dataclass(frozen=True)
@@ -63,6 +70,18 @@ class KernelSpec:
         optimize: False emits the Fig. 6 "unoptimized" baseline.
         rect_depth: log2 of the register-resident rectangle, in vectors.
         schedule_window: list-scheduler reordering window.
+        spatial_shards: split one transform across this many workers
+            (power of two).  On kind ``"ntt"`` it names the *plan* --
+            ``compile/spatial.py`` expands it into per-worker
+            ``ntt_slice`` / ``ntt_xstage`` specs; on those per-worker
+            kinds it records the shard count the slice belongs to.
+        spatial_slice: which worker this per-worker program belongs to.
+            For ``ntt_slice`` it is the slice index ``c`` in ``[0, S)``;
+            for ``ntt_xstage`` it encodes ``2 * block + role`` so workers
+            whose exchange programs are identical share one plan-cache
+            entry (the program depends only on stage, block and role).
+        spatial_stage: global stage index of an ``ntt_xstage`` program
+            (``-1`` for every other kind).
     """
 
     kind: str
@@ -79,6 +98,9 @@ class KernelSpec:
     optimize: bool = True
     rect_depth: int = 4
     schedule_window: int = 48
+    spatial_shards: int = 1
+    spatial_slice: int = 0
+    spatial_stage: int = -1
 
     def __post_init__(self) -> None:
         if self.kind not in KERNEL_KINDS:
@@ -90,6 +112,22 @@ class KernelSpec:
             raise ValueError("ring degree must be >= 2")
         if self.num_towers < 1:
             raise ValueError("num_towers must be >= 1")
+        if self.spatial_shards < 1 or (
+            self.spatial_shards & (self.spatial_shards - 1)
+        ):
+            raise ValueError("spatial_shards must be a power of two >= 1")
+        if self.spatial_shards > 1 and self.kind not in (
+            "ntt",
+            "ntt_slice",
+            "ntt_xstage",
+        ):
+            raise ValueError(
+                f"kind {self.kind!r} does not support spatial sharding"
+            )
+        if not 0 <= self.spatial_slice < max(1, 2 * self.spatial_shards):
+            raise ValueError("spatial_slice out of range for spatial_shards")
+        if self.kind == "ntt_xstage" and self.spatial_stage < 0:
+            raise ValueError("ntt_xstage needs a spatial_stage >= 0")
         object.__setattr__(self, "moduli", tuple(self.moduli))
 
     @cached_property
@@ -101,7 +139,7 @@ class KernelSpec:
         benchmark JSON.
         """
         canonical = (
-            "rpu-plan-v3",
+            "rpu-plan-v4",
             self.kind,
             self.n,
             self.vlen,
@@ -116,6 +154,9 @@ class KernelSpec:
             self.optimize,
             self.rect_depth,
             self.schedule_window,
+            self.spatial_shards,
+            self.spatial_slice,
+            self.spatial_stage,
         )
         return hashlib.sha256(repr(canonical).encode()).hexdigest()
 
@@ -123,7 +164,21 @@ class KernelSpec:
         """Short human-readable name used for programs and reports."""
         if self.kind == "ntt":
             suffix = "opt" if self.optimize else "unopt"
+            if self.spatial_shards > 1:
+                suffix += f"_s{self.spatial_shards}"
             return f"ntt_{self.direction}_{self.n}_{suffix}"
+        if self.kind == "ntt_slice":
+            return (
+                f"ntt_slice_{self.direction}_{self.n}"
+                f"_s{self.spatial_shards}_w{self.spatial_slice}"
+            )
+        if self.kind == "ntt_xstage":
+            role = "lo" if self.spatial_slice & 1 else "hi"
+            return (
+                f"ntt_xstage_{self.direction}_{self.n}"
+                f"_s{self.spatial_shards}_st{self.spatial_stage}"
+                f"_b{self.spatial_slice >> 1}_{role}"
+            )
         if self.kind == "batched_ntt":
             return f"ntt_{self.direction}_{self.n}_x{self.num_towers}towers"
         if self.kind == "pointwise":

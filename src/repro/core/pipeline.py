@@ -188,6 +188,95 @@ class RpuPipeline:
         self._charge_stage(program, result, times=len(rows))
         return outs
 
+    def spatial_ntt(
+        self,
+        values: Sequence[int],
+        direction: str = "forward",
+        q: int | None = None,
+        spatial_shards: int = 2,
+    ) -> PipelineResult:
+        """One transform split spatially over ``spatial_shards`` workers.
+
+        Where :meth:`negacyclic_polymul` scales *throughput* by batching
+        rows over the pool, this scales the *latency* of a single
+        oversized transform (:mod:`repro.compile.spatial`): every plan
+        segment is charged as one stage at the slowest worker's cycle
+        count (the workers run concurrently; energy still sums over all
+        of them), and each exchange round additionally charges an
+        explicit :class:`~repro.perf.engine.CrossWorkerRing` transfer
+        stage -- so the cross-worker traffic shows up in the stage table,
+        not folded into compute.  Functional execution uses the pipeline
+        pool when it has enough workers, else runs inline; either way the
+        output is bit-identical to the single-program transform.
+        """
+        from repro.compile import KernelSpec
+        from repro.compile.spatial import plan_spatial_ntt
+        from repro.perf.engine import CrossWorkerRing
+        from repro.serve.sharding import SpatialExecutor
+
+        spec = KernelSpec(
+            kind="ntt",
+            n=len(values),
+            vlen=self.config.vlen,
+            q=q,
+            q_bits=self.q_bits,
+            direction=direction,
+            spatial_shards=spatial_shards,
+        )
+        plan = plan_spatial_ntt(spec)
+        clock_khz = self.config.clock_ghz * 1e3
+        ring = CrossWorkerRing()
+        per_round = ring.transfer_cycles(
+            plan.slice_length, self.config.clock_ghz
+        )
+        result = PipelineResult(output=[])
+        costed: dict[int, tuple[int, float]] = {}
+        for segment in plan.segments:
+            cycles = 0
+            energy = 0.0
+            for step in segment.steps:
+                key = id(step.program)
+                if key not in costed:
+                    costed[key] = (
+                        self._sim.run(step.program).cycles,
+                        ntt_energy_breakdown(step.program).total,
+                    )
+                cycles = max(cycles, costed[key][0])
+                energy += costed[key][1]
+            if segment.kind == "local":
+                name = (
+                    segment.steps[0].program.name
+                    if plan.shards == 1
+                    else f"ntt_slice x{len(segment.steps)}"
+                )
+            else:
+                name = f"ntt_xstage s{segment.stage} x{len(segment.steps)}"
+            result.stages.append(
+                StageCost(
+                    name=name,
+                    cycles=cycles,
+                    runtime_us=cycles / clock_khz,
+                    energy_uj=energy,
+                )
+            )
+            if segment.kind == "exchange":
+                result.stages.append(
+                    StageCost(
+                        name=f"xworker_ring s{segment.stage}",
+                        cycles=per_round,
+                        runtime_us=per_round / clock_khz,
+                        energy_uj=0.0,
+                    )
+                )
+        pool = (
+            self._get_pool()
+            if plan.shards > 1 and self.shards >= plan.shards
+            else None
+        )
+        run = SpatialExecutor(plan, pool=pool).run(list(values))
+        result.output = run.output
+        return result
+
     def negacyclic_polymul(
         self,
         a: Sequence[int],

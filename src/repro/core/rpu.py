@@ -16,6 +16,7 @@ from repro.compile import KernelSpec, compile_spec
 from repro.femu import FEMU_BACKENDS, make_simulator
 from repro.hw.area import AreaBreakdown, rpu_area_breakdown
 from repro.hw.energy import EnergyBreakdown, ntt_energy_breakdown
+from repro.perf.engine import PipeStats
 from repro.isa.program import Program
 from repro.ntt.reference import ntt_forward
 from repro.ntt.twiddles import TwiddleTable
@@ -117,8 +118,19 @@ class Rpu:
                 and under the same rule (``shards > 1`` requires
                 ``backend="vectorized"``); a single input is one batch
                 row, which collapses to one span and executes inline.
-                :meth:`run_batch` is where sharding pays.
+                :meth:`run_batch` is where sharding pays -- unless the
+                spec asks for ``spatial_shards > 1``, in which case the
+                single transform itself is split over workers (see
+                :meth:`run_spatial`, which this call forwards to).
         """
+        if isinstance(program, KernelSpec) and program.spatial_shards > 1:
+            return self.run_spatial(
+                program,
+                input_values=input_values,
+                verify=verify,
+                seed=seed,
+                workers=shards,
+            )
         if isinstance(program, KernelSpec):
             program = compile_spec(program)
         if backend not in FEMU_BACKENDS:
@@ -170,6 +182,120 @@ class Rpu:
                 femu.write_region(program.input_region, values)
                 femu.run()
                 result.output = femu.read_region(program.output_region)
+            if expected is not None:
+                result.verified = result.output == expected
+        return result
+
+    def run_spatial(
+        self,
+        spec: KernelSpec,
+        input_values: Sequence[int] | None = None,
+        verify: bool = False,
+        seed: int = 0,
+        workers: int = 1,
+        pool=None,
+    ) -> RpuRunResult:
+        """Simulate one transform split spatially over S workers.
+
+        Expands a ``spatial_shards=S`` NTT spec into its
+        :class:`~repro.compile.spatial.SpatialPlan` (per-worker programs
+        plus the exchange schedule), prices it with the cycle model --
+        compute as the sum over segments of the slowest worker's program,
+        plus one :class:`~repro.perf.engine.CrossWorkerRing` round per
+        exchange stage -- and, when inputs are supplied (or ``verify``
+        generates them), executes it bit-exactly through
+        :class:`~repro.serve.sharding.SpatialExecutor`: inline by default,
+        or over a :class:`~repro.serve.sharding.ShardPool` when ``pool``
+        is given or ``workers > 1`` (a temporary ``S``-worker pool).
+
+        The report's ``cycles`` is the plan's ``modeled_cycles``;
+        ``report.metadata["spatial"]`` carries the full cost breakdown
+        (the exchange ring traffic included), and ``result.metadata``
+        additionally records ``dtype_path``, summed functional ``stats``,
+        and the per-coefficient exchange-plane ``crossings``.
+        """
+        from repro.compile.spatial import plan_spatial_ntt
+        from repro.serve.sharding import ShardPool, SpatialExecutor
+
+        plan = plan_spatial_ntt(spec)
+        cost = plan.cost_report(config=self.config)
+        programs = plan.programs()
+        per_program = {id(p): self._cycle_sim.run(p) for p in programs}
+        pipe_totals: dict = {}
+        stall_totals: dict[str, int] = {}
+        dispatched = 0
+        for segment in plan.segments:
+            for step in segment.steps:
+                rep = per_program[id(step.program)]
+                dispatched += rep.dispatched
+                for name, count in rep.stall_cycles.items():
+                    stall_totals[name] = stall_totals.get(name, 0) + count
+                for pipe, st in rep.pipe_stats.items():
+                    agg = pipe_totals.setdefault(pipe, PipeStats())
+                    agg.instructions += st.instructions
+                    agg.busy_cycles += st.busy_cycles
+                    agg.total_dispatch_wait += st.total_dispatch_wait
+                    agg.max_dispatch_wait = max(
+                        agg.max_dispatch_wait, st.max_dispatch_wait
+                    )
+                    agg.last_completion = max(
+                        agg.last_completion, st.last_completion
+                    )
+        report = PerformanceReport(
+            program_name=spec.label(),
+            config=self.config,
+            cycles=cost["modeled_cycles"],
+            dispatched=dispatched,
+            pipe_stats=pipe_totals,
+            stall_cycles=stall_totals,
+            metadata={"kernel": "ntt", "spatial": cost},
+        )
+        energies = [
+            ntt_energy_breakdown(step.program)
+            for segment in plan.segments
+            for step in segment.steps
+        ]
+        energy = EnergyBreakdown(
+            law=sum(e.law for e in energies),
+            vrf=sum(e.vrf for e in energies),
+            vdm=sum(e.vdm for e in energies),
+            vbar=sum(e.vbar for e in energies),
+            sbar=sum(e.sbar for e in energies),
+            im=sum(e.im for e in energies),
+        )
+        result = RpuRunResult(
+            report=report,
+            area=self.area(),
+            energy=energy,
+            metadata={"spatial": cost, "spatial_shards": plan.shards},
+        )
+        values = input_values
+        expected = None
+        if verify:
+            table = TwiddleTable.for_ring(spec.n, q=spec.q, q_bits=spec.q_bits)
+            rng = random.Random(seed)
+            if spec.direction == "forward":
+                values = [rng.randrange(table.q) for _ in range(spec.n)]
+                expected = ntt_forward(values, table)
+            else:
+                plain = [rng.randrange(table.q) for _ in range(spec.n)]
+                values = ntt_forward(plain, table)
+                expected = plain
+        if values is not None:
+            owned_pool = None
+            if pool is None and workers > 1:
+                owned_pool = pool = ShardPool(plan.shards)
+            try:
+                run = SpatialExecutor(plan, pool=pool).run(values)
+            finally:
+                if owned_pool is not None:
+                    owned_pool.close()
+            result.output = run.output
+            result.metadata.update(
+                stats=run.stats,
+                dtype_path=run.dtype_path,
+                crossings=run.crossings,
+            )
             if expected is not None:
                 result.verified = result.output == expected
         return result

@@ -30,6 +30,7 @@ Completion is out of order across pipelines, matching section IV-A.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -41,6 +42,45 @@ from repro.perf.config import RpuConfig
 from repro.util.bits import ceil_div
 
 _PIPES = (InstructionClass.LSI, InstructionClass.CI, InstructionClass.SI)
+
+
+@dataclass(frozen=True)
+class CrossWorkerRing:
+    """Cost model of the worker-to-worker exchange fabric.
+
+    The spatial NTT (:mod:`repro.compile.spatial`) moves coefficient
+    slices between workers once per exchange stage.  This ring sits next
+    to the off-chip HBM model (:mod:`repro.hw.hbm`) but is a separate
+    traffic class: on-package worker-to-worker planes, with every worker
+    owning one full-duplex port, so one exchange round streams all S
+    slices concurrently and its duration is a *per-link* transfer of the
+    n/S elements one worker reads remotely, plus a fixed round
+    synchronization latency.
+
+    Attributes:
+        bandwidth_gb_s: per-link bandwidth (shared-memory plane speed;
+            defaults to the HBM2 stack figure -- the planes live in the
+            same package).
+        element_bytes: bytes per ring element (128-bit residues).
+        round_latency_cycles: fixed per-round cost (barrier + plane
+            swap), paid once per exchange stage.
+    """
+
+    bandwidth_gb_s: float = 512.0
+    element_bytes: int = 16
+    round_latency_cycles: int = 128
+
+    def transfer_cycles(self, elements_per_link: int, clock_ghz: float) -> int:
+        """Cycles one exchange round takes at ``clock_ghz``."""
+        if elements_per_link < 0:
+            raise ValueError("element count must be non-negative")
+        seconds = (
+            elements_per_link * self.element_bytes
+            / (self.bandwidth_gb_s * 1e9)
+        )
+        return self.round_latency_cycles + math.ceil(
+            seconds * clock_ghz * 1e9
+        )
 
 STALL_NONE = "none"
 STALL_RAW = "busyboard_raw"

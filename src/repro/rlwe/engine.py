@@ -169,7 +169,7 @@ class LevelKeyMaterial:
 
     @cached_property
     def digest(self) -> str:
-        """Content hash -- the serving group key component."""
+        """Content hash -- names this exact material, key spectra included."""
         canonical = (
             self.n,
             self.moduli,
@@ -177,6 +177,27 @@ class LevelKeyMaterial:
             self.digit_consts,
             self.kb_rows,
             self.ka_rows,
+        )
+        return hashlib.sha256(repr(canonical).encode()).hexdigest()
+
+    @cached_property
+    def shape_digest(self) -> str:
+        """Content hash of the chain *shape* only -- the coalescing key.
+
+        Covers everything that determines which programs a level op
+        compiles to (ring degree, chain, special prime, digit constants)
+        but **not** the key spectra: materials sharing a shape digest can
+        serve one coalesced batch with per-request key rows, even under
+        different evaluation keys (see :func:`execute_level_batch`).
+        Materials at different levels never share one -- the chain length
+        differs, and padding a shorter chain is semantically wrong (the
+        mod-down CRT mixes every tower).
+        """
+        canonical = (
+            self.n,
+            self.moduli,
+            self.special_prime,
+            self.digit_consts,
         )
         return hashlib.sha256(repr(canonical).encode()).hexdigest()
 
@@ -384,6 +405,7 @@ def execute_level_batch(
     shards: int = 1,
     pool=None,
     fuse: bool = True,
+    materials: "list[LevelKeyMaterial] | None" = None,
 ) -> tuple[list[tuple[list[list[int]], list[list[int]]]], dict]:
     """One coalesced batch of CKKS level ops on the FEMU.
 
@@ -393,13 +415,29 @@ def execute_level_batch(
     plus a report: executed passes with stats/launch counts/ring moves,
     the chosen dtype path, and whether the fused path ran.
 
-    The result is bit-identical across backends, shard counts, and the
-    fused/staged split -- and to ``CkksContext``'s software planes and
-    wide-integer reference, which the test suite asserts.
+    ``materials`` widens the coalescing axis: one material per request,
+    all sharing ``material``'s :attr:`LevelKeyMaterial.shape_digest` but
+    free to carry *different key spectra* -- the key rows then enter the
+    key-switch passes as per-request batch rows instead of one shared
+    broadcast row, and every other pass is key-independent.  Omitted,
+    every request uses ``material`` (the classic equal-digest group).
+
+    The result is bit-identical across backends, shard counts, the
+    fused/staged split, and single- versus mixed-material grouping -- and
+    to ``CkksContext``'s software planes and wide-integer reference,
+    which the test suite asserts.
     """
     if len(x_pairs) != len(y_pairs) or not x_pairs:
         raise ValueError("need equally many x and y operands, at least one")
     requests = len(x_pairs)
+    if materials is None:
+        materials = [material] * requests
+    if len(materials) != requests:
+        raise ValueError("need exactly one key material per request")
+    if any(m.shape_digest != material.shape_digest for m in materials):
+        raise ValueError(
+            "coalesced materials must share the group's chain shape"
+        )
     n = material.n
     chain = material.moduli
     ext = material.ext_moduli
@@ -496,13 +534,13 @@ def execute_level_batch(
 
         if fused_programs is None:
             t_rows = _staged_keyswitch(
-                material, run, spread, vlen, n, requests
+                material, run, spread, vlen, n, requests, materials
             )
         else:
             chain_programs, special_program = fused_programs
             t_rows, d0, d1 = _fused_keyswitch(
                 material, run, chain_programs, special_program,
-                spread, spec_rows, requests,
+                spread, spec_rows, requests, materials,
             )
         # t_rows[c][e][r]: accumulator component c over the extended basis.
 
@@ -559,8 +597,13 @@ def execute_level_batch(
     return outputs, report
 
 
-def _staged_keyswitch(material, run, spread, vlen, n, requests):
-    """P5..P7 as separate passes: digit NTTs, inner product, inverses."""
+def _staged_keyswitch(material, run, spread, vlen, n, requests, materials):
+    """P5..P7 as separate passes: digit NTTs, inner product, inverses.
+
+    The key spectra rows are per-request (``materials[r]``): batch row r
+    of every key region carries request r's keys, so mixed-material
+    groups run the identical passes as equal-digest ones.
+    """
     ext = material.ext_moduli
     digits = material.digits
     ks_fwd = generate_batched_ntt_program(
@@ -582,11 +625,11 @@ def _staged_keyswitch(material, run, spread, vlen, n, requests):
                 i * requests:(i + 1) * requests
             ]
             rows[ks.metadata["kb_regions"][i]] = [
-                list(material.kb_rows[i][e])
-            ] * requests
+                list(m.kb_rows[i][e]) for m in materials
+            ]
             rows[ks.metadata["ka_regions"][i]] = [
-                list(material.ka_rows[i][e])
-            ] * requests
+                list(m.ka_rows[i][e]) for m in materials
+            ]
         read = run.run(f"keyswitch_t{e}", ks, rows, requests)
         t_hat[0][e] = read(ks.metadata["t0_region"])
         t_hat[1][e] = read(ks.metadata["t1_region"])
@@ -607,9 +650,21 @@ def _staged_keyswitch(material, run, spread, vlen, n, requests):
 
 
 def _fused_keyswitch(
-    material, run, chain_programs, special_program, spread, spec_rows, requests
+    material,
+    run,
+    chain_programs,
+    special_program,
+    spread,
+    spec_rows,
+    requests,
+    materials,
 ):
-    """P5..P7 as ONE fused program per tower (plus the special tower)."""
+    """P5..P7 as ONE fused program per tower (plus the special tower).
+
+    Key rows are per-request (``materials[r]``), exactly like the staged
+    path -- the fused program never assumed shared keys, only that batch
+    row r's key regions hold row r's keys.
+    """
     digits = material.digits
     t_rows = [[None] * len(material.ext_moduli) for _ in range(2)]
     d0 = [None] * digits
@@ -621,8 +676,12 @@ def _fused_keyswitch(
             rows[region] = spec_rows(k, c)
         for i in range(digits):
             rows[regions["digits"][i]] = spread[i][k]
-            rows[regions["kb"][i]] = [list(material.kb_rows[i][k])] * requests
-            rows[regions["ka"][i]] = [list(material.ka_rows[i][k])] * requests
+            rows[regions["kb"][i]] = [
+                list(m.kb_rows[i][k]) for m in materials
+            ]
+            rows[regions["ka"][i]] = [
+                list(m.ka_rows[i][k]) for m in materials
+            ]
         read = run.run(f"fused_level_t{k}", program, rows, requests)
         d0[k] = read(regions["outs"]["d0"])
         d1[k] = read(regions["outs"]["d1"])
@@ -633,8 +692,8 @@ def _fused_keyswitch(
     rows = {}
     for i in range(digits):
         rows[regions["digits"][i]] = spread[i][e]
-        rows[regions["kb"][i]] = [list(material.kb_rows[i][e])] * requests
-        rows[regions["ka"][i]] = [list(material.ka_rows[i][e])] * requests
+        rows[regions["kb"][i]] = [list(m.kb_rows[i][e]) for m in materials]
+        rows[regions["ka"][i]] = [list(m.ka_rows[i][e]) for m in materials]
     read = run.run("fused_level_special", special_program, rows, requests)
     t_rows[0][e] = read(regions["outs"]["t0"])
     t_rows[1][e] = read(regions["outs"]["t1"])
@@ -789,7 +848,8 @@ def execute_rotation_batch(
 
         if fused_programs is None:
             t_rows = _staged_keyswitch(
-                material, run, spread, vlen, n, requests
+                material, run, spread, vlen, n, requests,
+                [material] * requests,
             )
             u_rows = _automorphism_pass(
                 run, "sigma_t", ext, t_rows, g, vlen, n, requests

@@ -11,6 +11,12 @@ that in two layers:
   batch, with shared-memory int64 planes carrying region data in and the
   merged VDM planes out.  Output rows, :class:`ExecutionStats` and faults
   are bit-identical to the single-process executor for every shard count.
+  The same pool also runs **spatial** plans: :class:`SpatialExecutor`
+  executes a :class:`~repro.compile.spatial.SpatialPlan` -- one oversized
+  transform cut into per-worker coefficient slices with explicit exchange
+  rounds over the shared-memory planes -- bit-identically to the
+  single-program kernel (latency scaling, where batching scales
+  throughput; requested per-request via ``NttRequest(spatial_shards=S)``).
 * :mod:`repro.serve.loop` -- :class:`RpuServer`, an asyncio front-end
   that accepts NTT / polynomial-multiply / HE-multiply / HE-level requests
   (:mod:`repro.serve.requests`), coalesces compatible requests into
@@ -40,6 +46,8 @@ from repro.serve.requests import (
 from repro.serve.sharding import (
     ShardedBatchExecutor,
     ShardPool,
+    SpatialExecutor,
+    SpatialRunResult,
     partition_batch,
 )
 
@@ -56,6 +64,8 @@ __all__ = [
     "ServerOverloaded",
     "ShardPool",
     "ShardedBatchExecutor",
+    "SpatialExecutor",
+    "SpatialRunResult",
     "deadline_in",
     "he_group_moduli",
     "partition_batch",

@@ -91,7 +91,17 @@ def _clamp_vlen(n: int, vlen: int) -> int:
 
 @dataclass(frozen=True)
 class NttRequest:
-    """One n-point negacyclic NTT (forward: natural in, bit-reversed out)."""
+    """One n-point negacyclic NTT (forward: natural in, bit-reversed out).
+
+    ``spatial_shards > 1`` asks for the transform itself to be split over
+    that many pool workers (:mod:`repro.compile.spatial`): latency
+    scaling for a single oversized request, where batching scales
+    throughput.  It is a *hint* -- the server clamps it to the largest
+    feasible power of two for the ring shape and worker budget, and a
+    request that cannot run spatially (or arrives alongside coalescable
+    peers' worth of batch rows) falls back to the ordinary
+    single-program pass, bit-identically.
+    """
 
     values: tuple[int, ...]
     direction: str = "forward"
@@ -99,6 +109,7 @@ class NttRequest:
     q_bits: int = 128
     vlen: int = 512
     deadline: float | None = None
+    spatial_shards: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "values", tuple(self.values))
@@ -106,6 +117,8 @@ class NttRequest:
             raise ValueError("values must be non-empty")
         if self.direction not in ("forward", "inverse"):
             raise ValueError(f"unknown direction {self.direction!r}")
+        if self.spatial_shards < 1:
+            raise ValueError("spatial_shards must be >= 1")
 
     @property
     def n(self) -> int:
@@ -113,7 +126,15 @@ class NttRequest:
 
     @property
     def group_key(self) -> tuple:
-        return ("ntt", self.n, self.direction, self.q, self.q_bits, self.vlen)
+        return (
+            "ntt",
+            self.n,
+            self.direction,
+            self.q,
+            self.q_bits,
+            self.vlen,
+            self.spatial_shards,
+        )
 
 
 @dataclass(frozen=True)
@@ -189,10 +210,13 @@ class HeLevelRequest:
     Operands are two 2-component ciphertexts as residue rows over the
     group's chain (``material.moduli``); the
     :class:`~repro.rlwe.engine.LevelKeyMaterial` carries the key spectra
-    and constants.  Requests sharing one material (same content digest)
-    coalesce into wider batches of every engine pass, exactly like
-    :class:`HeMultiplyRequest` -- and shard the same way.  The result's
-    ``output`` is ``[out0_towers, out1_towers]`` one level down.
+    and constants.  Requests coalesce whenever their materials share a
+    *chain shape* (:attr:`~repro.rlwe.engine.LevelKeyMaterial.shape_digest`
+    -- ring degree, chain, special prime, digit constants): differing key
+    spectra ride along as per-request batch rows of the key-switch
+    passes, so multi-tenant traffic under different evaluation keys still
+    fills one batch -- and shards the same way.  The result's ``output``
+    is ``[out0_towers, out1_towers]`` one level down.
     """
 
     x0_towers: tuple[tuple[int, ...], ...]
@@ -238,7 +262,7 @@ class HeLevelRequest:
             "he_level",
             self.n,
             self.towers,
-            self.material.digest,
+            self.material.shape_digest,
             self.vlen,
         )
 
@@ -375,6 +399,52 @@ def _run_pass(
     return ex, stats
 
 
+def _execute_spatial_ntt(
+    req: NttRequest, shards: int, pool: ShardPool | None
+) -> ServeResult | None:
+    """Serve one oversized request spatially, or ``None`` to batch it.
+
+    The effective shard count is the largest power of two not exceeding
+    the request's hint, the worker budget, and the structural
+    :func:`~repro.compile.spatial.max_feasible_shards` bound; anything
+    that clamps below 2 -- or an infeasible plan -- returns ``None`` so
+    the caller falls through to the ordinary batched pass.
+    """
+    from repro.compile import KernelSpec
+    from repro.compile.spatial import max_feasible_shards, try_plan_spatial
+    from repro.serve.sharding import SpatialExecutor
+
+    vlen = _clamp_vlen(req.n, req.vlen)
+    workers = pool.shards if pool is not None else max(shards, 1)
+    s = min(req.spatial_shards, workers, max_feasible_shards(req.n, vlen))
+    s = 1 << max(s.bit_length() - 1, 0)  # largest power of two <= s
+    if s < 2:
+        return None
+    plan = try_plan_spatial(
+        KernelSpec(
+            kind="ntt",
+            n=req.n,
+            vlen=vlen,
+            q=req.q,
+            q_bits=req.q_bits,
+            direction=req.direction,
+            spatial_shards=s,
+        ),
+        workers=workers,
+    )
+    if plan is None:
+        return None
+    use_pool = pool if pool is not None and pool.shards >= plan.shards else None
+    run = SpatialExecutor(plan, pool=use_pool).run(list(req.values))
+    return ServeResult(
+        output=run.output,
+        stats=run.stats,
+        dtype_path=run.dtype_path,
+        shards=plan.shards,
+        batched_with=1,
+    )
+
+
 def _execute_ntt(
     requests: Sequence[NttRequest],
     shards: int,
@@ -382,6 +452,12 @@ def _execute_ntt(
     fuse: bool,
 ) -> list[ServeResult]:
     req0 = requests[0]
+    if len(requests) == 1 and req0.spatial_shards > 1:
+        # A lone oversized request splits spatially; groups that actually
+        # coalesced keep the batch axis (throughput beats latency there).
+        spatial = _execute_spatial_ntt(req0, shards, pool)
+        if spatial is not None:
+            return [spatial]
     program = generate_ntt_program(
         req0.n,
         req0.direction,
@@ -614,8 +690,10 @@ def _execute_he_level(
 ) -> list[ServeResult]:
     """One coalesced batch of full CKKS levels through the engine.
 
-    Batch row r of every engine pass is request r; the fused/staged
-    split, sharding and the per-pass structure live in
+    Batch row r of every engine pass is request r; the group key only
+    pins the chain *shape*, so each row carries its own key material
+    (mixed evaluation keys coalesce).  The fused/staged split, sharding
+    and the per-pass structure live in
     :func:`repro.rlwe.engine.execute_level_batch`.
     """
     req0 = requests[0]
@@ -634,6 +712,7 @@ def _execute_he_level(
         shards=shards,
         pool=pool,
         fuse=fuse,
+        materials=[r.material for r in requests],
     )
     return [
         ServeResult(

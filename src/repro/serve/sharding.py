@@ -43,6 +43,7 @@ import multiprocessing as mp
 import threading
 import traceback
 import weakref
+from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
@@ -57,7 +58,13 @@ from repro.isa.program import Program, RegionSpec
 from repro.modmath.limb import LIMB_BITS, compose, decompose, limbs_for_bits
 from repro.modmath.vectorized import fits_int64
 
-__all__ = ["ShardPool", "ShardedBatchExecutor", "partition_batch"]
+__all__ = [
+    "ShardPool",
+    "ShardedBatchExecutor",
+    "SpatialExecutor",
+    "SpatialRunResult",
+    "partition_batch",
+]
 
 
 def partition_batch(batch: int, shards: int) -> list[tuple[int, int]]:
@@ -173,6 +180,63 @@ def _run_in_worker(programs: dict, msg: tuple, untrack: bool) -> tuple:
     return ("ok", stats, ex.dtype_path)
 
 
+def _run_spatial_in_worker(programs: dict, msg: tuple, untrack: bool) -> tuple:
+    """Execute one ("srun", ...) message: a spatial-plan step.
+
+    Unlike ``_run_in_worker`` the batch axis is always 1 and the
+    shared-memory planes hold the *whole* ``n``-element transform state;
+    each read names a ``(region, global_start)`` slice of the input plane
+    (an exchange step reads one remote slice -- that is the cross-worker
+    traffic the :class:`~repro.perf.engine.CrossWorkerRing` models) and the
+    single write drops the worker's output region at a global offset of
+    the output plane.
+    """
+    (_tag, key, reads, write, limb_k, in_name, in_shape, out_name, out_shape) = msg
+    ex = BatchExecutor(programs[key], batch=1)
+    if limb_k is not None:
+        ex._widen_to(limb_k)
+    try:
+        in_shm = _attach(in_name, untrack)
+        try:
+            arr = np.ndarray(in_shape, dtype=np.int64, buffer=in_shm.buf)
+            for region, start in reads:
+                span = slice(start, start + region.length)
+                planes = arr[:, span] if arr.ndim == 2 else arr[:, :, span]
+                _write_planes(ex, region, planes)
+        finally:
+            in_shm.close()
+        stats = ex.run()
+    except tuple(_FAULT_TYPES.values()) as exc:
+        return (
+            "fault",
+            type(exc).__name__,
+            str(exc),
+            ex.stats.executed,
+            ex.stats,
+        )
+    if (limb_k is None) != (ex._limb_k is None) or (
+        limb_k is not None and ex._limb_k != limb_k
+    ):
+        return (
+            "error",
+            f"worker representation {ex.dtype_path} drifted from the "
+            f"master's plan (limb_k={limb_k})",
+        )
+    region, dst = write
+    out_shm = _attach(out_name, untrack)
+    try:
+        out = np.ndarray(out_shape, dtype=np.int64, buffer=out_shm.buf)
+        src = slice(region.base, region.base + region.length)
+        dst_span = slice(dst, dst + region.length)
+        if limb_k is None:
+            out[:, dst_span] = ex.vdm[:, src]
+        else:
+            out[:, :, dst_span] = ex.vdm[:, :, src]
+    finally:
+        out_shm.close()
+    return ("ok", stats, ex.dtype_path)
+
+
 def _shard_worker(conn, untrack_shm: bool = False) -> None:
     """Worker main loop: cache programs, execute run requests until close."""
     programs: dict[int, Program] = {}
@@ -188,7 +252,10 @@ def _shard_worker(conn, untrack_shm: bool = False) -> None:
             programs[msg[1]] = msg[2]
             continue
         try:
-            reply = _run_in_worker(programs, msg, untrack_shm)
+            if tag == "srun":
+                reply = _run_spatial_in_worker(programs, msg, untrack_shm)
+            else:
+                reply = _run_in_worker(programs, msg, untrack_shm)
         except BaseException:  # keep the worker alive; master re-raises
             reply = ("error", traceback.format_exc())
         conn.send(reply)
@@ -312,6 +379,51 @@ class ShardPool:
                     self._conns[idx].send(("run", key) + payload)
                 replies = []
                 for idx, _payload in jobs:
+                    try:
+                        replies.append(self._conns[idx].recv())
+                    except (EOFError, OSError) as exc:
+                        raise RuntimeError(
+                            f"shard worker {idx} died mid-dispatch"
+                        ) from exc
+                return replies
+            except RuntimeError:
+                self._finalizer()
+                raise
+            except OSError as exc:  # a worker's pipe broke mid-send
+                self._finalizer()
+                raise RuntimeError(
+                    "shard pool lost a worker mid-dispatch"
+                ) from exc
+
+    def dispatch_programs(
+        self, jobs: list[tuple[int, Program, tuple]]
+    ) -> list[tuple]:
+        """Heterogeneous dispatch: each job carries its *own* program.
+
+        Spatial plans (:mod:`repro.compile.spatial`) run a different
+        per-worker program within one segment, so this is :meth:`dispatch`
+        generalized to ``(worker_index, program, payload)`` jobs.  Programs
+        are still pickled at most once per worker (same key cache), all
+        sends complete before the first receive, and the receive loop
+        doubles as the inter-segment barrier: when it returns, every worker
+        has retired its stage, so the next segment may read the plane the
+        previous one wrote.
+        """
+        if self.closed:
+            raise RuntimeError("ShardPool is closed")
+        with self._lock:
+            try:
+                keys = []
+                for idx, program, _payload in jobs:
+                    key = self._key_for(program)
+                    keys.append(key)
+                    if key not in self._known[idx]:
+                        self._conns[idx].send(("program", key, program))
+                        self._known[idx].add(key)
+                for key, (idx, _program, payload) in zip(keys, jobs):
+                    self._conns[idx].send(("srun", key) + payload)
+                replies = []
+                for idx, _program, _payload in jobs:
                     try:
                         replies.append(self._conns[idx].recv())
                     except (EOFError, OSError) as exc:
@@ -589,3 +701,219 @@ class ShardedBatchExecutor:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+@dataclass(frozen=True)
+class SpatialRunResult:
+    """One spatial-plan execution: output plus its accounting.
+
+    ``stats`` is the field-wise *sum* over every per-worker program pass in
+    every segment -- a spatial run genuinely executes S local streams plus
+    the exchange butterflies, unlike batch sharding where all shards run
+    the same single pass.  ``crossings[j]`` counts how many times
+    coefficient ``j`` travelled over the cross-worker exchange planes
+    (read remotely by a partner worker); the schedule guarantees exactly
+    ``log2(S)`` per coefficient.
+    """
+
+    output: list[int]
+    stats: ExecutionStats
+    dtype_path: str
+    crossings: tuple[int, ...] = field(repr=False, default=())
+
+
+class SpatialExecutor:
+    """Run a :class:`~repro.compile.spatial.SpatialPlan` to completion.
+
+    With no pool the segments run inline, worker by worker, against a list
+    of Python ints -- the bit-exact oracle the pooled path is tested
+    against.  With a :class:`ShardPool` (needs at least ``plan.shards``
+    workers) each segment is one :meth:`ShardPool.dispatch_programs`
+    barrier: the transform state lives in two ping-pong full-``n``
+    shared-memory plane sets, every worker reads its input slices (its own
+    slice, plus one remote slice during exchange rounds) from the current
+    plane and writes its output slice to the other, and the dispatch's
+    receive loop is the barrier that makes the written plane safe to read.
+
+    Both paths pin every step to one representation up front (the widest
+    limb count any per-worker program or the input data demands), so
+    ``dtype_path`` matches the equivalent single-program run.
+    """
+
+    def __init__(self, plan, pool: ShardPool | None = None) -> None:
+        if pool is not None and pool.shards < plan.shards:
+            raise ValueError(
+                f"plan needs {plan.shards} workers, pool has {pool.shards}"
+            )
+        self.plan = plan
+        self._pool = pool
+
+    # -- representation ----------------------------------------------------
+    def _representation(self, values: list[int]) -> int | None:
+        """The limb count the whole plan is pinned to.
+
+        The widest :meth:`BatchExecutor._select_limbs` choice over every
+        per-worker program, widened further if the input data does not fit
+        int64 -- so every step of every segment agrees on ``dtype_path``.
+        """
+        k0 = 0
+        any_limb = False
+        for program in self.plan.programs():
+            k = BatchExecutor._select_limbs(program)
+            if k is not None:
+                any_limb = True
+                k0 = max(k0, k)
+        lo = min(values, default=0)
+        hi = max(values, default=0)
+        if not any_limb and fits_int64(lo, hi):
+            return None
+        bits = max(abs(lo).bit_length(), abs(hi).bit_length(), 1)
+        return max(k0, limbs_for_bits(bits))
+
+    def _count_crossings(self) -> tuple[int, ...]:
+        """Per-coefficient exchange-plane crossings, from the schedule.
+
+        A coefficient crosses when an exchange step reads it from a slice
+        that is not the executing worker's own; the fuzz suite checks this
+        equals ``plan.plane_crossings()`` and is ``log2(S)`` everywhere.
+        """
+        length = self.plan.slice_length
+        counts = [0] * self.plan.n
+        for seg in self.plan.exchange_segments():
+            for step in seg.steps:
+                own = step.worker * length
+                for region, start in step.reads:
+                    if start != own:
+                        for j in range(start, start + region.length):
+                            counts[j] += 1
+        return tuple(counts)
+
+    # -- execution ---------------------------------------------------------
+    def run(self, values) -> SpatialRunResult:
+        """Execute the plan over ``n`` input coefficients."""
+        values = [int(v) for v in values]
+        if len(values) != self.plan.n:
+            raise ValueError(
+                f"plan transforms {self.plan.n} coefficients, "
+                f"got {len(values)}"
+            )
+        limb_k = self._representation(values)
+        crossings = self._count_crossings()
+        if self._pool is None:
+            return self._run_inline(values, limb_k, crossings)
+        return self._run_pooled(values, limb_k, crossings)
+
+    def _run_inline(
+        self, state: list[int], limb_k: int | None, crossings: tuple[int, ...]
+    ) -> SpatialRunResult:
+        total = ExecutionStats()
+        path = "int64" if limb_k is None else f"limb{limb_k}x{LIMB_BITS}"
+        for seg in self.plan.segments:
+            new_state = list(state)
+            faults: list[tuple[int, int, Exception]] = []
+            for step in seg.steps:
+                ex = BatchExecutor(step.program, batch=1)
+                if limb_k is not None:
+                    ex._widen_to(limb_k)
+                try:
+                    for region, start in step.reads:
+                        ex.write_region(
+                            region, [state[start:start + region.length]]
+                        )
+                    stats = ex.run()
+                except tuple(_FAULT_TYPES.values()) as exc:
+                    faults.append((ex.stats.executed, step.worker, exc))
+                    continue
+                total = total + stats
+                path = ex.dtype_path
+                region, dst = step.write
+                new_state[dst:dst + region.length] = ex.read_region(region)[0]
+            if faults:
+                # Same tie-break as the pooled path: earliest dynamic
+                # instruction index first, then lowest worker.
+                faults.sort(key=lambda f: (f[0], f[1]))
+                raise faults[0][2]
+            state = new_state
+        return SpatialRunResult(state, total, path, crossings)
+
+    def _run_pooled(
+        self, values: list[int], limb_k: int | None, crossings: tuple[int, ...]
+    ) -> SpatialRunResult:
+        plan = self.plan
+        shape = (1, plan.n) if limb_k is None else (limb_k, 1, plan.n)
+        data = (
+            np.array([values], dtype=np.int64)
+            if limb_k is None
+            else decompose([values], limb_k)
+        )
+        blocks: list[shared_memory.SharedMemory] = []
+        try:
+            planes = []
+            for _ in range(2):
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(data.nbytes, 1)
+                )
+                blocks.append(shm)
+                planes.append(shm)
+            np.ndarray(shape, dtype=np.int64, buffer=planes[0].buf)[:] = data
+            total = ExecutionStats()
+            path = "int64" if limb_k is None else f"limb{limb_k}x{LIMB_BITS}"
+            cur = 0
+            for seg in plan.segments:
+                src, dst = planes[cur], planes[1 - cur]
+                jobs = [
+                    (
+                        step.worker,
+                        step.program,
+                        (
+                            step.reads,
+                            step.write,
+                            limb_k,
+                            src.name,
+                            shape,
+                            dst.name,
+                            shape,
+                        ),
+                    )
+                    for step in seg.steps
+                ]
+                replies = self._pool.dispatch_programs(jobs)
+                seg_stats, seg_path = self._collect_segment(seg, replies)
+                total = total + seg_stats
+                if seg_path is not None:
+                    path = seg_path
+                cur = 1 - cur
+            out = np.ndarray(shape, dtype=np.int64, buffer=planes[cur].buf)
+            if limb_k is None:
+                output = [int(x) for x in out[0]]
+            else:
+                output = compose(out).tolist()[0]
+        finally:
+            for shm in blocks:
+                shm.close()
+                shm.unlink()
+        return SpatialRunResult(output, total, path, crossings)
+
+    @staticmethod
+    def _collect_segment(seg, replies: list[tuple]):
+        """Merge one segment's replies; re-raise the winning fault."""
+        faults = []
+        stats_sum = ExecutionStats()
+        path = None
+        for step, reply in zip(seg.steps, replies):
+            tag = reply[0]
+            if tag == "ok":
+                stats_sum = stats_sum + reply[1]
+                path = reply[2]
+            elif tag == "fault":
+                _tag, type_name, message, executed, _stats = reply
+                faults.append((executed, step.worker, type_name, message))
+            else:
+                raise RuntimeError(
+                    f"spatial worker {step.worker} failed:\n{reply[1]}"
+                )
+        if faults:
+            faults.sort(key=lambda f: (f[0], f[1]))
+            _executed, _worker, type_name, message = faults[0]
+            raise _FAULT_TYPES.get(type_name, SimulationFault)(message)
+        return stats_sum, path

@@ -200,6 +200,58 @@ class TestLevelServing:
                 ]
             )
 
+    @pytest.mark.parametrize("fuse", [False, True])
+    def test_mixed_keys_same_shape_coalesce(self, setup, fuse):
+        # Two tenants with *different* evaluation keys share one chain
+        # shape, so their levels pad-coalesce into one batched launch --
+        # each request keyed through its own material, bit-identically
+        # to serving them alone.
+        from repro.rlwe.ckks import CkksContext
+        from repro.serve.requests import execute_group
+
+        params, ctx, keys, cx, cy, oracle, _want = setup
+        material = LevelKeyMaterial.build(params, keys, 2)
+        other_ctx = CkksContext(params, seed=23, backend="auto")
+        other_keys = other_ctx.keygen()
+        ox = other_ctx.encrypt(other_keys, other_ctx.encode(np.array([3.0])))
+        oy = other_ctx.encrypt(other_keys, other_ctx.encode(np.array([0.5])))
+        other_oracle = other_ctx.rescale(
+            other_ctx.relinearize(
+                other_keys,
+                other_ctx.multiply(ox, oy, reference=True),
+                reference=True,
+            ),
+            reference=True,
+        )
+        other_material = LevelKeyMaterial.build(params, other_keys, 2)
+        assert material.shape_digest == other_material.shape_digest
+        assert material.digest != other_material.digest
+
+        r_mine, r_other = execute_group(
+            [
+                self._request(cx, cy, material),
+                self._request(ox, oy, other_material),
+            ],
+            fuse=fuse,
+        )
+        assert r_mine.batched_with == 2 and r_other.batched_with == 2
+        assert r_mine.output[0] == oracle.components[0].towers
+        assert r_mine.output[1] == oracle.components[1].towers
+        assert r_other.output[0] == other_oracle.components[0].towers
+        assert r_other.output[1] == other_oracle.components[1].towers
+
+    def test_mismatched_shapes_rejected_by_engine(self, setup):
+        from repro.rlwe.engine import execute_level_batch
+
+        params, _ctx, keys, cx, cy, _oracle, _want = setup
+        m2 = LevelKeyMaterial.build(params, keys, 2)
+        m1 = LevelKeyMaterial.build(params, keys, 1)
+        assert m2.shape_digest != m1.shape_digest
+        x = (cx.components[0].towers, cx.components[1].towers)
+        y = (cy.components[0].towers, cy.components[1].towers)
+        with pytest.raises(ValueError, match="chain shape"):
+            execute_level_batch(m2, [x], [y], vlen=VLEN, materials=[m1])
+
     def test_request_validation(self, setup):
         params, _ctx, keys, cx, cy, _oracle, _want = setup
         material = LevelKeyMaterial.build(params, keys, 2)

@@ -1,0 +1,373 @@
+"""Spatial NTT sharding: plans, exchange schedule, executor, serving.
+
+The acceptance contract of :mod:`repro.compile.spatial` and
+:class:`~repro.serve.sharding.SpatialExecutor`: for every feasible
+``spatial_shards`` the decomposed transform -- per-worker local kernels
+plus ``log2(S)`` exchange rounds -- is bit-identical to the
+single-program kernel, on both dtype paths, both directions, inline and
+over a real :class:`~repro.serve.sharding.ShardPool`; every coefficient
+crosses the exchange planes exactly the scheduled number of times; and
+an infeasible request degrades to a clean staged fallback
+(:func:`~repro.compile.try_compile_spec` returns ``None``, serving falls
+back to the batched pass) instead of crashing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.compile import (
+    InfeasibleKernel,
+    KernelSpec,
+    compile_spec,
+    plan_spatial_ntt,
+    try_compile_spec,
+    try_plan_spatial,
+)
+from repro.compile.spatial import (
+    MIN_SLICE_VECTORS,
+    check_spatial_feasible,
+    max_feasible_shards,
+    sliced_twiddle_table,
+)
+from repro.core.pipeline import RpuPipeline
+from repro.core.rpu import Rpu
+from repro.femu import BatchExecutor
+from repro.ntt.reference import ntt_forward, ntt_inverse
+from repro.ntt.twiddles import TwiddleTable
+from repro.perf.config import RpuConfig
+from repro.perf.engine import CrossWorkerRing
+from repro.serve import NttRequest, ShardPool, SpatialExecutor
+from repro.serve.requests import execute_group
+
+VLEN = 16
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ShardPool(4) as p:
+        yield p
+
+
+def _spec(n, S, direction="forward", q_bits=30, **kw):
+    return KernelSpec(
+        kind="ntt",
+        n=n,
+        vlen=VLEN,
+        q_bits=q_bits,
+        direction=direction,
+        spatial_shards=S,
+        **kw,
+    )
+
+
+def _single_program_output(spec, values):
+    """The oracle: the ordinary single-program kernel, one batch row."""
+    program = compile_spec(
+        KernelSpec(
+            kind="ntt",
+            n=spec.n,
+            vlen=spec.vlen,
+            q_bits=spec.q_bits,
+            q=spec.q,
+            direction=spec.direction,
+        )
+    )
+    ex = BatchExecutor(program, batch=1)
+    ex.write_region(program.input_region, [values])
+    ex.run()
+    return ex.read_region(program.output_region)[0], ex.dtype_path
+
+
+def _values(n, q_bits, seed):
+    table = TwiddleTable.for_ring(n, q_bits=q_bits)
+    rng = random.Random(seed)
+    return [rng.randrange(table.q) for _ in range(n)], table
+
+
+# ---------------------------------------------------------------------------
+# feasibility arithmetic
+# ---------------------------------------------------------------------------
+
+
+class TestFeasibility:
+    def test_max_feasible_shards(self):
+        # n/(2S) must stay a multiple of vlen holding >= 2 vectors.
+        assert max_feasible_shards(64, 16) == 2
+        assert max_feasible_shards(128, 16) == 4
+        assert max_feasible_shards(256, 16) == 8
+        assert max_feasible_shards(16384, 512) == 16
+
+    def test_check_raises_below_floor(self):
+        with pytest.raises(InfeasibleKernel, match="spatial_shards=8"):
+            check_spatial_feasible(_spec(128, 8))
+        check_spatial_feasible(_spec(128, 4))  # does not raise
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            _spec(128, 3)
+        with pytest.raises(ValueError, match="spatial sharding"):
+            KernelSpec(kind="pointwise", n=64, vlen=16, spatial_shards=2)
+
+    def test_plan_key_names_shard_count(self):
+        keys = {_spec(128, S).cache_key for S in (1, 2, 4)}
+        assert len(keys) == 3
+
+
+class TestInfeasibleFallback:
+    """Satellite: an infeasible request is a clean fallback, not a crash."""
+
+    def test_try_compile_spec_returns_none(self):
+        assert try_compile_spec(_spec(128, 8)) is None
+        # The memoized probe stays None on the second ask too.
+        assert try_compile_spec(_spec(128, 8)) is None
+
+    def test_feasible_spatial_spec_directs_to_planner(self):
+        # A *feasible* spatial spec through the scalar entry point is a
+        # caller bug (the plan is S programs, not one) and must surface.
+        with pytest.raises(ValueError, match="plan_spatial_ntt"):
+            compile_spec(_spec(128, 4))
+
+    def test_try_plan_spatial_worker_clamp(self):
+        assert try_plan_spatial(_spec(128, 4), workers=2) is None
+        assert try_plan_spatial(_spec(128, 8)) is None  # infeasible shape
+        assert try_plan_spatial(_spec(128, 4), workers=4) is not None
+
+    def test_serving_falls_back_to_batched_pass(self):
+        # One request whose hint cannot run spatially at all on this
+        # worker budget: serve via the ordinary batched program.
+        values, table = _values(64, 30, seed=1)
+        req = NttRequest(values, q_bits=30, vlen=VLEN, spatial_shards=8)
+        [res] = execute_group([req], shards=1, pool=None)
+        assert res.output == ntt_forward(values, table)
+        assert res.error is None
+
+
+# ---------------------------------------------------------------------------
+# sliced twiddle tables
+# ---------------------------------------------------------------------------
+
+
+class TestSlicedTables:
+    def test_slice_matches_global_indexing(self):
+        n, S = 256, 4
+        full = TwiddleTable.for_ring(n, q_bits=30)
+        for c in range(S):
+            local = sliced_twiddle_table(n, None, 30, S, c)
+            assert local.n == n // S
+            assert local.q == full.q
+            assert local.n_inv == full.n_inv
+            m = 1
+            while m < local.n:
+                for i in range(m):
+                    assert local.psi_rev[m + i] == full.psi_rev[(S + c) * m + i]
+                    assert (
+                        local.psi_inv_rev[m + i]
+                        == full.psi_inv_rev[(S + c) * m + i]
+                    )
+                m *= 2
+
+
+# ---------------------------------------------------------------------------
+# the property fuzz: bit-identity + crossing counts
+# ---------------------------------------------------------------------------
+
+
+def _fuzz_cases(count, seed=2024):
+    rng = random.Random(seed)
+    cases = []
+    while len(cases) < count:
+        n = rng.choice([64, 128, 256, 512])
+        S = rng.choice([1, 2, 4, 8])
+        if S > max_feasible_shards(n, VLEN):
+            continue
+        q_bits = rng.choice([30, 60])
+        direction = rng.choice(["forward", "inverse"])
+        cases.append((n, S, q_bits, direction, rng.randrange(1 << 30)))
+    return cases
+
+
+class TestExchangeScheduleFuzz:
+    """Satellite: random n x S x backend x direction, plan == program."""
+
+    @pytest.mark.parametrize("n,S,q_bits,direction,seed", _fuzz_cases(12))
+    def test_bit_identity_and_crossings(self, n, S, q_bits, direction, seed):
+        spec = _spec(n, S, direction=direction, q_bits=q_bits)
+        plan = plan_spatial_ntt(spec)
+        values, _table = _values(n, q_bits, seed)
+        expected, oracle_path = _single_program_output(spec, values)
+        run = SpatialExecutor(plan).run(values)
+        assert run.output == expected
+        assert run.dtype_path == oracle_path
+        # Every coefficient crosses the exchange planes exactly log2(S)
+        # times, and the executor's observed counts equal the schedule's.
+        ks = S.bit_length() - 1
+        assert list(run.crossings) == [ks] * n
+        assert plan.plane_crossings() == [ks] * n
+
+    @pytest.mark.parametrize("direction", ["forward", "inverse"])
+    def test_matches_reference_transform(self, direction):
+        values, table = _values(256, 30, seed=5)
+        ref = (ntt_forward if direction == "forward" else ntt_inverse)(
+            values, table
+        )
+        plan = plan_spatial_ntt(_spec(256, 8, direction=direction))
+        assert SpatialExecutor(plan).run(values).output == ref
+
+    def test_s1_plan_is_the_single_program(self):
+        plan = plan_spatial_ntt(_spec(256, 1))
+        assert plan.shards == 1
+        assert len(plan.segments) == 1
+        values, _ = _values(256, 30, seed=6)
+        expected, _ = _single_program_output(_spec(256, 1), values)
+        run = SpatialExecutor(plan).run(values)
+        assert run.output == expected
+        assert list(run.crossings) == [0] * 256
+
+
+class TestPooledExecution:
+    """The pooled path == the inline oracle, stats and dtype included."""
+
+    @pytest.mark.parametrize("q_bits", [30, 60])
+    @pytest.mark.parametrize("direction", ["forward", "inverse"])
+    def test_pooled_matches_inline(self, pool, q_bits, direction):
+        spec = _spec(128, 4, direction=direction, q_bits=q_bits)
+        plan = plan_spatial_ntt(spec)
+        values, _ = _values(128, q_bits, seed=7)
+        inline = SpatialExecutor(plan).run(values)
+        pooled = SpatialExecutor(plan, pool=pool).run(values)
+        assert pooled.output == inline.output
+        assert pooled.stats == inline.stats
+        assert pooled.dtype_path == inline.dtype_path
+        assert pooled.crossings == inline.crossings
+
+    def test_pool_too_small_rejected(self, pool):
+        plan = plan_spatial_ntt(_spec(256, 8))
+        with pytest.raises(ValueError, match="workers"):
+            SpatialExecutor(plan, pool=pool)
+
+
+# ---------------------------------------------------------------------------
+# plan structure, cache sharing, cost model
+# ---------------------------------------------------------------------------
+
+
+class TestPlanStructure:
+    def test_forward_schedule_shape(self):
+        plan = plan_spatial_ntt(_spec(256, 4))
+        kinds = [seg.kind for seg in plan.segments]
+        assert kinds == ["exchange", "exchange", "local"]
+        assert [seg.stage for seg in plan.segments] == [0, 1, -1]
+
+    def test_inverse_schedule_shape(self):
+        plan = plan_spatial_ntt(_spec(256, 4, direction="inverse"))
+        kinds = [seg.kind for seg in plan.segments]
+        assert kinds == ["local", "exchange", "exchange"]
+        assert [seg.stage for seg in plan.segments] == [-1, 1, 0]
+
+    def test_exchange_programs_shared_by_role(self):
+        # Stage 0 has one block and two roles: 4 workers, 2 programs.
+        plan = plan_spatial_ntt(_spec(256, 4))
+        stage0 = plan.segments[0]
+        assert len({id(s.program) for s in stage0.steps}) == 2
+
+    def test_plans_share_compile_work_through_cache(self):
+        a = plan_spatial_ntt(_spec(512, 4))
+        b = plan_spatial_ntt(_spec(512, 4))
+        ids_a = sorted(id(p) for p in a.programs())
+        ids_b = sorted(id(p) for p in b.programs())
+        assert ids_a == ids_b  # content-addressed: same objects back
+
+    def test_cost_report_shows_ring_class(self):
+        config = RpuConfig(vlen=VLEN, num_hples=VLEN)
+        plan = plan_spatial_ntt(_spec(256, 4))
+        cost = plan.cost_report(config=config)
+        assert cost["exchange"]["ring_class"] == "cross_worker"
+        assert cost["exchange"]["rounds"] == 2
+        assert cost["exchange"]["elements_per_link_per_round"] == 64
+        assert cost["exchange"]["cycles"] > 0
+        assert (
+            cost["modeled_cycles"]
+            == cost["compute_cycles"] + cost["exchange"]["cycles"]
+        )
+        assert len(cost["segments"]) == 3
+
+    def test_ring_transfer_cycles(self):
+        ring = CrossWorkerRing(
+            bandwidth_gb_s=512.0, element_bytes=16, round_latency_cycles=128
+        )
+        # 2048 elements * 16 B at 512 GB/s and ~1.68 GHz: latency + ~108.
+        cycles = ring.transfer_cycles(2048, 1.68)
+        assert cycles > 128
+        with pytest.raises(ValueError):
+            ring.transfer_cycles(-1, 1.68)
+
+
+# ---------------------------------------------------------------------------
+# threading: Rpu, RpuPipeline, serving
+# ---------------------------------------------------------------------------
+
+
+class TestThreading:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return RpuConfig(vlen=VLEN, num_hples=VLEN)
+
+    def test_rpu_run_spatial_verifies(self, config):
+        rpu = Rpu(config)
+        result = rpu.run(_spec(256, 4), verify=True)
+        assert result.verified is True
+        spatial = result.metadata["spatial"]
+        assert spatial["spatial_shards"] == 4
+        assert spatial["exchange"]["ring_class"] == "cross_worker"
+        assert result.cycles == spatial["modeled_cycles"]
+
+    def test_rpu_run_spatial_inverse(self, config):
+        result = Rpu(config).run(
+            _spec(256, 4, direction="inverse"), verify=True
+        )
+        assert result.verified is True
+
+    def test_pipeline_spatial_ntt_charges_ring_stages(self, config):
+        values, table = _values(256, 30, seed=9)
+        with RpuPipeline(config, q_bits=30, backend="vectorized") as pipe:
+            result = pipe.spatial_ntt(values, spatial_shards=4)
+        assert result.output == ntt_forward(values, table)
+        ring_stages = [
+            s for s in result.stages if s.name.startswith("xworker_ring")
+        ]
+        assert len(ring_stages) == 2
+        assert all(s.cycles > 0 for s in ring_stages)
+
+    def test_serving_spatial_single_request(self, pool):
+        values, table = _values(256, 30, seed=10)
+        req = NttRequest(values, q_bits=30, vlen=VLEN, spatial_shards=4)
+        [res] = execute_group([req], shards=4, pool=pool)
+        assert res.output == ntt_forward(values, table)
+        assert res.shards == 4
+        assert res.batched_with == 1
+
+    def test_serving_group_keeps_batching(self, pool):
+        values, table = _values(256, 30, seed=11)
+        reqs = [
+            NttRequest(values, q_bits=30, vlen=VLEN, spatial_shards=4)
+            for _ in range(2)
+        ]
+        results = execute_group(reqs, shards=4, pool=pool)
+        assert all(r.output == ntt_forward(values, table) for r in results)
+        assert all(r.batched_with == 2 for r in results)
+
+    def test_spatial_hint_changes_group_key(self):
+        values, _ = _values(64, 30, seed=12)
+        plain = NttRequest(values, q_bits=30, vlen=VLEN)
+        hinted = NttRequest(values, q_bits=30, vlen=VLEN, spatial_shards=4)
+        assert plain.group_key != hinted.group_key
+
+    def test_min_slice_floor_is_codegen_floor(self):
+        # The planner's floor equals the generator's structural minimum:
+        # the smallest feasible slice still compiles.
+        S = max_feasible_shards(128, VLEN)
+        plan = plan_spatial_ntt(_spec(128, S))
+        assert plan.slice_length == MIN_SLICE_VECTORS * VLEN
