@@ -3,10 +3,13 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: check check-slow bench-femu bench-he bench-serve bench-spatial check-docs eval lint
+.PHONY: check check-kat check-slow bench-femu bench-he bench-kem bench-serve bench-spatial check-docs eval lint
 
 check:  ## tier-1: the fast suite, including the FEMU differential tests
 	$(PY) -m pytest -x -q
+
+check-kat:  ## ML-KEM ACVP known-answer tier: vendored vectors vs engine + oracle
+	$(PY) -m pytest tests/test_kem_kat.py -x -q
 
 lint:  ## ruff over the whole repo (config in pyproject.toml)
 	ruff check .
@@ -21,6 +24,10 @@ bench-femu:  ## FEMU backend benches; writes the speedup metric to JSON
 bench-he:  ## batched HE-pipeline benches (functional multiply + cost model)
 	$(PY) -m pytest benchmarks/bench_he_pipeline.py -q \
 		--benchmark-json=he_bench.json
+
+bench-kem:  ## ML-KEM handshake benches: batched vs serial throughput, latency
+	$(PY) -m pytest benchmarks/bench_kem.py -q \
+		--benchmark-json=kem_bench.json
 
 bench-serve:  ## sharded serving benches: throughput vs shards, p50/p95 latency
 	$(PY) -m pytest benchmarks/bench_serving.py -q \

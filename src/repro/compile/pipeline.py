@@ -57,6 +57,7 @@ from repro.spiral.ir import InfeasibleKernel
 from repro.spiral.heops import (
     build_automorphism_program,
     build_he_tensor_program,
+    build_kem_basemul_program,
     build_keyswitch_program,
     build_rescale_program,
 )
@@ -318,6 +319,7 @@ _DIRECT_KINDS = (
     "keyswitch",
     "rescale",
     "automorphism",
+    "kem_basemul",
     "ntt_xstage",
 )
 
@@ -341,6 +343,12 @@ def _emit_pointwise(spec: KernelSpec, report: CompileReport) -> Program:
     elif spec.kind == "automorphism":
         program = build_automorphism_program(
             spec.n, spec.moduli, spec.galois, spec.vlen
+        )
+    elif spec.kind == "kem_basemul":
+        if spec.q is None:
+            raise ValueError("kem_basemul needs an explicit modulus")
+        program = build_kem_basemul_program(
+            spec.n, spec.q, spec.digits, spec.vlen
         )
     elif spec.kind == "ntt_xstage":
         from repro.compile.spatial import build_xstage_program

@@ -29,6 +29,7 @@ KERNEL_KINDS = (
     "rescale",
     "fused_he_level",
     "automorphism",
+    "kem_basemul",
     "ntt_slice",
     "ntt_xstage",
 )
@@ -197,6 +198,8 @@ class KernelSpec:
         if self.kind == "automorphism":
             towers = self.num_towers if not self.moduli else len(self.moduli)
             return f"automorphism_{self.n}_x{towers}towers_g{self.galois}"
+        if self.kind == "kem_basemul":
+            return f"kem_basemul_{self.n}_x{self.digits}summands"
         if self.kind == "fused_he_level":
             if self.op == "rot":
                 return (

@@ -157,19 +157,20 @@ class BatchExecutor:
         self.sdm_size = resolve_sdm_size(program)
         self.stats = ExecutionStats()
         self._limb_k = self._select_limbs(program)
+        # One contiguous zero block per file, viewed per register: a
+        # single calloc (lazy zero pages) instead of NUM_REGS small
+        # allocations -- constructor cost matters at serving batch sizes.
         if self._limb_k is None:
             self.vdm = np.zeros((batch, self.vdm_size), dtype=np.int64)
-            self.vrf: list[np.ndarray] = [
-                np.zeros((batch, self.vlen), dtype=np.int64)
-                for _ in range(NUM_REGS)
-            ]
+            self.vrf: list[np.ndarray] = list(
+                np.zeros((NUM_REGS, batch, self.vlen), dtype=np.int64)
+            )
         else:
             k = self._limb_k
             self.vdm = np.zeros((k, batch, self.vdm_size), dtype=np.int64)
-            self.vrf = [
-                np.zeros((k, batch, self.vlen), dtype=np.int64)
-                for _ in range(NUM_REGS)
-            ]
+            self.vrf = list(
+                np.zeros((NUM_REGS, k, batch, self.vlen), dtype=np.int64)
+            )
         self.sdm = [0] * self.sdm_size
         self.srf = [0] * NUM_REGS
         self.arf = [0] * NUM_REGS
@@ -277,6 +278,22 @@ class BatchExecutor:
             raise ValueError(
                 f"expected {self.batch} input rows, got {len(rows)}"
             )
+        if isinstance(rows, np.ndarray) and rows.dtype == np.int64:
+            # Array fast path (the KEM engine's bulk rows): already the
+            # int64 plane shape, no per-row Python conversion needed.
+            if rows.ndim != 2 or rows.shape[1] != region.length:
+                raise ValueError(
+                    f"region {region.name!r} holds {region.length} elements, "
+                    f"got shape {rows.shape}"
+                )
+            if self._limb_k is None:
+                self.vdm[:, region.base : region.base + region.length] = rows
+                if self._vdm_canon is not None:
+                    self._vdm_canon[
+                        region.base : region.base + region.length
+                    ] = False
+                return
+            rows = rows.tolist()  # limb planes go through decompose below
         for values in rows:
             if len(values) != region.length:
                 raise ValueError(
@@ -317,6 +334,22 @@ class BatchExecutor:
             return [list(map(int, row)) for row in out.tolist()]
         out = compose(self.vdm[:, :, region.base : region.base + region.length])
         return out.tolist()
+
+    def read_region_ndarray(self, region: RegionSpec | None) -> np.ndarray:
+        """Int64 fast-path read: the region as one ``(batch, length)`` array.
+
+        Only meaningful on the int64 path (the limb path composes to
+        arbitrary-precision Python ints); callers that may widen should
+        use :meth:`read_region`.
+        """
+        if region is None:
+            raise ValueError("program has no such region")
+        if self._limb_k is not None:
+            raise ValueError(
+                "read_region_ndarray is int64-path only; the limb path "
+                "holds wide integers"
+            )
+        return self.vdm[:, region.base : region.base + region.length].copy()
 
     # -- execution ---------------------------------------------------------
     def run(self) -> ExecutionStats:

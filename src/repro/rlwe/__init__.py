@@ -19,8 +19,11 @@ both on top of the :mod:`repro.ntt` / :mod:`repro.rns` substrates:
   relinearization and a genuine modulus-chain rescale;
 * :mod:`repro.rlwe.engine` -- the RNS-native homomorphic-op engine that
   executes full CKKS levels through generated RPU programs;
-* :mod:`repro.rlwe.kyber` -- a Kyber-style IND-CPA KEM over the classic
-  q = 7681 NTT-friendly ring.
+* :mod:`repro.rlwe.kyber` -- ML-KEM (FIPS 203): the standardized
+  module-lattice KEM over q = 3329 with the incomplete 7-layer NTT,
+  kept as the bit-exact oracle for the datapath engine;
+* :mod:`repro.rlwe.kem_engine` -- ML-KEM keygen/encaps/decaps with
+  every NTT and basemul batched through generated RPU programs.
 """
 
 from repro.rlwe.bfv import BfvCiphertext, BfvContext, BfvKeys
@@ -36,7 +39,14 @@ from repro.rlwe.engine import (
     LevelKeyMaterial,
     RotationKeyMaterial,
 )
-from repro.rlwe.kyber import KyberContext
+from repro.rlwe.kem_engine import KemEngine
+from repro.rlwe.kyber import (
+    MLKEM_512,
+    MLKEM_768,
+    MLKEM_1024,
+    MlKem,
+    MlKemParams,
+)
 from repro.rlwe.ring import RingElement
 
 __all__ = [
@@ -49,7 +59,12 @@ __all__ = [
     "CkksLevelEngine",
     "CkksParameters",
     "CkksCiphertext",
-    "KyberContext",
+    "KemEngine",
+    "MlKem",
+    "MlKemParams",
+    "MLKEM_512",
+    "MLKEM_768",
+    "MLKEM_1024",
     "LevelKeyMaterial",
     "RotationKeyMaterial",
     "base_decompose",

@@ -1,0 +1,166 @@
+"""Vectorized host-side ML-KEM helpers for the batched engine.
+
+:mod:`repro.rlwe.kyber` is the bit-exact FIPS 203 oracle and stays pure
+Python on purpose -- every loop there reads like the spec.  At serving
+batch sizes that costs real throughput: profiling a 64-handshake encaps
+batch puts ~80% of wall time in ``sample_ntt`` / ``sample_poly_cbd`` /
+the byte codecs, not in the FEMU passes.  This module provides numpy
+re-implementations of exactly those byte-granular helpers -- same
+function, same bytes out, ``int64`` arrays instead of Python lists --
+plus a seed-keyed cache for the public matrix ``A-hat`` (deterministic
+public data; a serving stack re-derives it for every handshake against
+the same key otherwise).
+
+Bit-exactness is not asserted here, it is *tested*: the KAT tier
+(``tests/test_kem_kat.py``) and the property fuzzer drive the engine --
+which calls these fast paths -- against the oracle byte-for-byte, so a
+divergence in any helper fails known-answer vectors immediately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+import numpy as np
+
+from repro.rlwe.kyber import N, Q, MlKemParams
+
+__all__ = [
+    "byte_decode_block",
+    "byte_encode_block",
+    "check_ek_fast",
+    "compress_poly",
+    "decode_dk_cached",
+    "decode_ek_cached",
+    "decompress_poly",
+    "expand_matrix_fast",
+    "sample_ntt_fast",
+    "sample_poly_cbd_block",
+]
+
+_POWERS = {d: 1 << np.arange(d, dtype=np.int64) for d in range(1, 13)}
+
+
+def byte_encode_block(d: int, values: np.ndarray) -> bytes:
+    """ByteEncode_d over many polynomials in one packbits call.
+
+    ``values`` is ``(..., 256)``; the result is the concatenation of the
+    per-polynomial encodings (32*d bytes each), so a caller batching R
+    requests slices equal chunks back out.
+    """
+    vals = values.reshape(-1, N) & ((1 << d) - 1)
+    bits = ((vals.reshape(-1)[:, None] >> np.arange(d)) & 1).astype(np.uint8)
+    return np.packbits(bits.ravel(), bitorder="little").tobytes()
+
+
+def byte_decode_block(d: int, data: bytes) -> np.ndarray:
+    """ByteDecode_d over concatenated encodings: ``(count, 256)`` out."""
+    if len(data) % (32 * d):
+        raise ValueError(f"byte_decode_block expects a multiple of {32 * d}")
+    bits = np.unpackbits(np.frombuffer(data, np.uint8), bitorder="little")
+    return (bits.reshape(-1, d) @ _POWERS[d]).reshape(-1, N)
+
+
+def compress_poly(d: int, values) -> np.ndarray:
+    """Compress_d over a whole polynomial (the oracle formula, array-wide)."""
+    x = np.asarray(values, dtype=np.int64)
+    return (((x << (d + 1)) + Q) // (2 * Q)) % (1 << d)
+
+
+def decompress_poly(d: int, values) -> np.ndarray:
+    """Decompress_d over a whole polynomial."""
+    y = np.asarray(values, dtype=np.int64)
+    return (Q * y + (1 << (d - 1))) >> d
+
+
+def sample_ntt_fast(seed: bytes) -> np.ndarray:
+    """SampleNTT with the rejection filter vectorized over the stream.
+
+    Candidates are materialized in exactly the oracle's order (d1 then
+    d2 per 3-byte group); taking the first 256 survivors of ``< q`` is
+    therefore the same sequence the spec's sequential loop accepts.
+    """
+    if len(seed) != 34:
+        raise ValueError("sample_ntt expects a 34-byte seed (rho||j||i)")
+    xof = hashlib.shake_128(seed)
+    length = 704  # > the ~472 expected bytes; doubles on the rare miss
+    while True:
+        stream = np.frombuffer(xof.digest(length), np.uint8)
+        groups = len(stream) // 3
+        b = stream[: 3 * groups].reshape(groups, 3).astype(np.int64)
+        cand = np.empty(2 * groups, dtype=np.int64)
+        cand[0::2] = b[:, 0] + 256 * (b[:, 1] % 16)
+        cand[1::2] = (b[:, 1] >> 4) + 16 * b[:, 2]
+        accepted = cand[cand < Q]
+        if len(accepted) >= N:
+            return accepted[:N]
+        length *= 2
+
+
+def sample_poly_cbd_block(eta: int, data: bytes) -> np.ndarray:
+    """SamplePolyCBD_eta over concatenated PRF outputs: ``(count, 256)``.
+
+    One unpackbits for a whole batch of noise polynomials instead of one
+    per polynomial; each 64*eta-byte chunk is sampled independently,
+    exactly as the per-poly oracle does.
+    """
+    if len(data) % (64 * eta):
+        raise ValueError(
+            f"sample_poly_cbd_block expects a multiple of {64 * eta} bytes"
+        )
+    bits = np.unpackbits(np.frombuffer(data, np.uint8), bitorder="little")
+    halves = bits.reshape(-1, N, 2, eta).sum(axis=3, dtype=np.int64)
+    return (halves[:, :, 0] - halves[:, :, 1]) % Q
+
+
+@lru_cache(maxsize=64)
+def decode_ek_cached(ek: bytes, k: int) -> np.ndarray:
+    """The ``t-hat`` rows of an encapsulation key, cached by key bytes.
+
+    A serving stack sees many handshakes against few keys; the decoded
+    ``(k, 256)`` block (read-only; cache hits alias it) also carries the
+    FIPS 203 modulus-check verdict -- see :func:`check_ek_fast`.
+    """
+    t_hat = byte_decode_block(12, ek[: 384 * k])
+    t_hat.setflags(write=False)
+    return t_hat
+
+
+@lru_cache(maxsize=64)
+def decode_dk_cached(dk_pke: bytes, k: int) -> np.ndarray:
+    """The ``s-hat`` rows of a decryption key, cached by key bytes."""
+    s_hat = byte_decode_block(12, dk_pke)
+    s_hat.setflags(write=False)
+    return s_hat
+
+
+@lru_cache(maxsize=64)
+def expand_matrix_fast(rho: bytes, k: int) -> np.ndarray:
+    """ExpandA, cached by seed: ``A[i][j] = SampleNTT(rho || j || i)``.
+
+    The matrix is public, deterministic data; handshakes against one key
+    share it, so the cache turns the dominant per-request sampling cost
+    into a per-key cost.  The returned ``(k, k, 256)`` array is marked
+    read-only -- cache hits alias it.
+    """
+    a = np.stack(
+        [
+            np.stack(
+                [sample_ntt_fast(rho + bytes([j, i])) for j in range(k)]
+            )
+            for i in range(k)
+        ]
+    )
+    a.setflags(write=False)
+    return a
+
+
+def check_ek_fast(params: MlKemParams, ek: bytes) -> None:
+    """FIPS 203 section 7.2 input validation, decode vectorized."""
+    if len(ek) != params.ek_bytes:
+        raise ValueError(
+            f"ek must be {params.ek_bytes} bytes for {params.name}"
+        )
+    if (decode_ek_cached(ek, params.k) >= Q).any():
+        raise ValueError("ek fails the FIPS 203 modulus check")

@@ -1,156 +1,508 @@
-"""A Kyber-style module-LWE KEM (the paper's PQC motivation).
+"""ML-KEM (FIPS 203): the paper's post-quantum motivating workload.
 
-Follows the CRYSTALS-Kyber construction at module rank k over
-R_q = Z_q[x]/(x^256 + 1) with the classic fully-NTT-friendly prime
-q = 7681 (the original Kyber/NewHope modulus, which admits a complete
-negacyclic NTT: q ≡ 1 mod 2n).  Compression parameters are chosen with
-comfortable correctness margins; this is a working demonstration of the
-ring workload, not a constant-time production KEM.
+A spec-faithful implementation of the NIST-standardized module-lattice
+KEM over R_q = Z_q[x]/(x^256 + 1) with q = 3329: SHAKE128 matrix
+expansion (``SampleNTT``), SHAKE256-driven centered-binomial noise,
+the *incomplete* 7-layer negacyclic NTT (q == 1 mod 256 only, so the
+transform bottoms out at 128 degree-2 residues and multiplication
+finishes with per-pair basemuls), compressed ciphertexts, and the
+Fujisaki-Okamoto transform with implicit rejection on decapsulation.
+
+This module is the **pure-Python bit-exact oracle**: every byte it
+produces follows FIPS 203's algorithms directly (validated against the
+vendored ACVP known-answer vectors in ``tests/vendor/acvp`` and
+cross-checked against OpenSSL's ML-KEM for the 768/1024 parameter
+sets).  The batched datapath implementation that runs the NTTs and
+basemuls on the FEMU lives in :mod:`repro.rlwe.kem_engine` and is
+pinned bit-identical to this oracle by the KAT tier
+(``tests/test_kem_kat.py``, ``make check-kat``).
+
+All three FIPS 203 parameter sets are supported:
+
+=============  ===  =====  =====  ====  ====
+set             k   eta1   eta2   d_u   d_v
+=============  ===  =====  =====  ====  ====
+ML-KEM-512      2     3      2     10     4
+ML-KEM-768      3     2      2     10     4
+ML-KEM-1024     4     2      2     11     5
+=============  ===  =====  =====  ====  ====
+
+Not constant-time -- this is a workload reproduction, not a production
+KEM; the interesting part is that every polynomial product inside runs
+through exactly the ring transforms the RPU accelerates.
 """
 
 from __future__ import annotations
 
 import hashlib
-import random
+import os
 from dataclasses import dataclass
 
-from repro.rlwe.ring import RingElement
-from repro.rlwe.sampling import centered_binomial_poly, uniform_poly
-
 N = 256
-Q = 7681  # 7681 = 30 * 256 + 1 = 15 * 512 + 1: supports the negacyclic NTT
-ETA = 2
-DU = 11  # ciphertext compression bits for the u vector
-DV = 5  # ciphertext compression bits for v
+Q = 3329
+ZETA = 17  # the smallest primitive 256th root of unity mod q (FIPS 203)
+_N_INV = pow(128, -1, Q)  # 3303: the inverse transform's final scaling
 
 
-def _compress(x: int, d: int) -> int:
-    return round(x * (1 << d) / Q) % (1 << d)
+def bit_rev7(i: int) -> int:
+    """Reverse the low 7 bits of ``i`` (FIPS 203's NTT index order)."""
+    r = 0
+    for b in range(7):
+        r |= ((i >> b) & 1) << (6 - b)
+    return r
 
 
-def _decompress(x: int, d: int) -> int:
-    return round(x * Q / (1 << d)) % Q
+# zetas[i] = ZETA^BitRev7(i): the layer twiddles of Algorithms 9/10.
+ZETAS = tuple(pow(ZETA, bit_rev7(i), Q) for i in range(128))
+# gammas[i] = ZETA^(2*BitRev7(i)+1): pair i's degree-2 modulus root --
+# the spectrum lives in Z_q[X]/(X^2 - gammas[i]) for i in 0..127.
+GAMMAS = tuple(pow(ZETA, 2 * bit_rev7(i) + 1, Q) for i in range(128))
 
 
-def _compress_poly(p: RingElement, d: int) -> list[int]:
-    return [_compress(c, d) for c in p.coefficients]
+def pair_twiddles(n: int, q: int) -> tuple[int, ...]:
+    """The n/2 degree-2 residue roots of an incomplete NTT over x^n + 1.
 
-
-def _decompress_poly(values: list[int], d: int) -> RingElement:
-    return RingElement(tuple(_decompress(v, d) for v in values), Q)
-
-
-@dataclass(frozen=True)
-class KyberPublicKey:
-    seed_a: int
-    t: tuple[RingElement, ...]
-
-
-@dataclass(frozen=True)
-class KyberSecretKey:
-    s: tuple[RingElement, ...]
-
-
-@dataclass(frozen=True)
-class KyberCiphertext:
-    u: tuple[tuple[int, ...], ...]  # compressed
-    v: tuple[int, ...]  # compressed
-
-
-class KyberContext:
-    """Keygen / encapsulate / decapsulate at module rank ``k``."""
-
-    def __init__(self, k: int = 2, seed: int = 0) -> None:
-        if k < 1:
-            raise ValueError("module rank must be >= 1")
-        self.k = k
-        self._rng = random.Random(seed)
-
-    def _matrix(self, seed_a: int) -> list[list[RingElement]]:
-        """Expand the public matrix A from a seed (deterministic)."""
-        rng = random.Random(seed_a)
-        return [
-            [uniform_poly(N, Q, rng) for _ in range(self.k)]
-            for _ in range(self.k)
-        ]
-
-    def keygen(self) -> tuple[KyberPublicKey, KyberSecretKey]:
-        seed_a = self._rng.getrandbits(64)
-        a = self._matrix(seed_a)
-        s = tuple(centered_binomial_poly(N, Q, ETA, self._rng) for _ in range(self.k))
-        e = tuple(centered_binomial_poly(N, Q, ETA, self._rng) for _ in range(self.k))
-        t = tuple(
-            sum(
-                (a[i][j] * s[j] for j in range(self.k)),
-                RingElement.zero(N, Q),
-            )
-            + e[i]
-            for i in range(self.k)
-        )
-        return KyberPublicKey(seed_a, t), KyberSecretKey(s)
-
-    def encapsulate(
-        self, pk: KyberPublicKey
-    ) -> tuple[KyberCiphertext, bytes]:
-        """Returns (ciphertext, 32-byte shared secret)."""
-        message_bits = [self._rng.getrandbits(1) for _ in range(N)]
-        ct = self._encrypt(pk, message_bits)
-        return ct, _derive_secret(message_bits)
-
-    def decapsulate(self, sk: KyberSecretKey, ct: KyberCiphertext) -> bytes:
-        bits = self._decrypt(sk, ct)
-        return _derive_secret(bits)
-
-    # -- IND-CPA core --------------------------------------------------------
-    def _encrypt(
-        self, pk: KyberPublicKey, message_bits: list[int]
-    ) -> KyberCiphertext:
-        if len(message_bits) != N:
-            raise ValueError(f"message must be {N} bits")
-        a = self._matrix(pk.seed_a)
-        r = tuple(centered_binomial_poly(N, Q, ETA, self._rng) for _ in range(self.k))
-        e1 = tuple(
-            centered_binomial_poly(N, Q, ETA, self._rng) for _ in range(self.k)
-        )
-        e2 = centered_binomial_poly(N, Q, ETA, self._rng)
-        # u = A^T r + e1
-        u = tuple(
-            sum(
-                (a[i][j] * r[i] for i in range(self.k)),
-                RingElement.zero(N, Q),
-            )
-            + e1[j]
-            for j in range(self.k)
-        )
-        # v = t . r + e2 + round(q/2) * m
-        v = sum(
-            (pk.t[i] * r[i] for i in range(self.k)), RingElement.zero(N, Q)
-        ) + e2
-        half_q = (Q + 1) // 2
-        scaled_m = RingElement(
-            tuple(half_q * b % Q for b in message_bits), Q
-        )
-        v = v + scaled_m
-        return KyberCiphertext(
-            u=tuple(tuple(_compress_poly(ui, DU)) for ui in u),
-            v=tuple(_compress_poly(v, DV)),
-        )
-
-    def _decrypt(self, sk: KyberSecretKey, ct: KyberCiphertext) -> list[int]:
-        u = [_decompress_poly(list(ui), DU) for ui in ct.u]
-        v = _decompress_poly(list(ct.v), DV)
-        inner = sum(
-            (sk.s[i] * u[i] for i in range(self.k)), RingElement.zero(N, Q)
-        )
-        noisy = v - inner
-        bits = []
-        for c in noisy.centered():
-            bits.append(1 if abs(c) > Q // 4 else 0)
-        return bits
-
-
-def _derive_secret(bits: list[int]) -> bytes:
-    packed = bytes(
-        sum(bits[8 * i + j] << j for j in range(8)) for i in range(len(bits) // 8)
+    Generic form of :data:`GAMMAS` for the ``kem_basemul`` kernel
+    builder (:func:`repro.spiral.heops.build_kem_basemul_program`):
+    pair ``i``'s basemul constant is ``zeta^(2*BitRev(i)+1)`` where
+    ``zeta`` is the smallest primitive n-th root of unity mod q and the
+    reversal width is ``log2(n/2)``.  For ``(256, 3329)`` this is
+    exactly FIPS 203's ordering.
+    """
+    if n & (n - 1) or n < 4:
+        raise ValueError("ring degree must be a power of two >= 4")
+    if (q - 1) % n != 0:
+        raise ValueError(f"q={q} admits no primitive {n}th root of unity")
+    cofactor = (q - 1) // n
+    zeta = next(
+        g
+        for g in range(2, q)
+        if pow(g, n, q) == 1 and pow(g, n // 2, q) == q - 1
+        if all(pow(g, n // p, q) != 1 for p in _prime_factors(n))
     )
-    return hashlib.sha3_256(packed).digest()
+    pairs = n // 2
+    width = pairs.bit_length() - 1
+
+    def rev(i: int) -> int:
+        r = 0
+        for b in range(width):
+            r |= ((i >> b) & 1) << (width - 1 - b)
+        return r
+
+    del cofactor
+    return tuple(pow(zeta, 2 * rev(i) + 1, q) for i in range(pairs))
+
+
+def _prime_factors(n: int) -> set[int]:
+    factors = set()
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.add(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.add(n)
+    return factors
+
+
+@dataclass(frozen=True)
+class MlKemParams:
+    """One FIPS 203 parameter set."""
+
+    name: str
+    k: int
+    eta1: int
+    eta2: int
+    du: int
+    dv: int
+
+    @property
+    def ek_bytes(self) -> int:
+        return 384 * self.k + 32
+
+    @property
+    def dk_bytes(self) -> int:
+        return 768 * self.k + 96
+
+    @property
+    def ct_bytes(self) -> int:
+        return 32 * (self.du * self.k + self.dv)
+
+
+MLKEM_512 = MlKemParams("ML-KEM-512", 2, 3, 2, 10, 4)
+MLKEM_768 = MlKemParams("ML-KEM-768", 3, 2, 2, 10, 4)
+MLKEM_1024 = MlKemParams("ML-KEM-1024", 4, 2, 2, 11, 5)
+
+PARAM_SETS = {p.name: p for p in (MLKEM_512, MLKEM_768, MLKEM_1024)}
+
+
+def get_params(params: "MlKemParams | str") -> MlKemParams:
+    """Resolve a parameter set by name (or pass one through)."""
+    if isinstance(params, MlKemParams):
+        return params
+    if params not in PARAM_SETS:
+        raise ValueError(
+            f"unknown parameter set {params!r}; expected one of "
+            f"{sorted(PARAM_SETS)}"
+        )
+    return PARAM_SETS[params]
+
+
+# -- hashes and XOFs (FIPS 203 section 4.1) ---------------------------------
+
+
+def hash_g(data: bytes) -> tuple[bytes, bytes]:
+    """G: SHA3-512 split into two 32-byte halves."""
+    d = hashlib.sha3_512(data).digest()
+    return d[:32], d[32:]
+
+
+def hash_h(data: bytes) -> bytes:
+    """H: SHA3-256."""
+    return hashlib.sha3_256(data).digest()
+
+
+def hash_j(data: bytes) -> bytes:
+    """J: SHAKE256 with 32 output bytes (the implicit-rejection secret)."""
+    return hashlib.shake_256(data).digest(32)
+
+
+def prf(eta: int, s: bytes, b: int) -> bytes:
+    """PRF_eta: SHAKE256(s || b) squeezed to 64*eta bytes."""
+    return hashlib.shake_256(s + bytes([b])).digest(64 * eta)
+
+
+# -- bit/byte conversions (FIPS 203 section 4.2.1) --------------------------
+
+
+def byte_encode(d: int, values: list[int]) -> bytes:
+    """ByteEncode_d: 256 d-bit integers to 32*d bytes, bits little-endian."""
+    if len(values) != N:
+        raise ValueError("byte_encode expects 256 values")
+    acc = 0
+    for i, v in enumerate(reversed(values)):
+        acc = (acc << d) | (v & ((1 << d) - 1))
+        del i
+    return acc.to_bytes(32 * d, "little")
+
+
+def byte_decode(d: int, data: bytes) -> list[int]:
+    """ByteDecode_d: 32*d bytes back to 256 d-bit integers."""
+    if len(data) != 32 * d:
+        raise ValueError(f"byte_decode expects {32 * d} bytes")
+    acc = int.from_bytes(data, "little")
+    mask = (1 << d) - 1
+    return [(acc >> (d * i)) & mask for i in range(N)]
+
+
+def compress(d: int, x: int) -> int:
+    """Compress_d: round(2^d / q * x) mod 2^d (ties cannot occur: q odd)."""
+    return ((2 * (x << d) + Q) // (2 * Q)) % (1 << d)
+
+
+def decompress(d: int, y: int) -> int:
+    """Decompress_d: round(q / 2^d * y), ties rounded up."""
+    return (Q * y + (1 << (d - 1))) >> d
+
+
+# -- sampling (FIPS 203 section 4.2.2) --------------------------------------
+
+
+def sample_ntt(seed: bytes) -> list[int]:
+    """SampleNTT: rejection-sample one uniform NTT-domain polynomial.
+
+    ``seed`` is the 34-byte XOF input rho || j || i; the SHAKE128 stream
+    is squeezed in growing prefixes (an XOF's output is prefix-stable)
+    until 256 coefficients < q have been accepted.
+    """
+    if len(seed) != 34:
+        raise ValueError("sample_ntt expects a 34-byte seed (rho||j||i)")
+    xof = hashlib.shake_128(seed)
+    out: list[int] = []
+    length = 704  # > the ~472 expected bytes; doubles on the rare miss
+    offset = 0
+    stream = xof.digest(length)
+    while len(out) < N:
+        if offset + 3 > length:
+            length *= 2
+            stream = xof.digest(length)
+        b0, b1, b2 = stream[offset], stream[offset + 1], stream[offset + 2]
+        offset += 3
+        d1 = b0 + 256 * (b1 % 16)
+        d2 = (b1 // 16) + 16 * b2
+        if d1 < Q:
+            out.append(d1)
+        if d2 < Q and len(out) < N:
+            out.append(d2)
+    return out
+
+
+def sample_poly_cbd(eta: int, data: bytes) -> list[int]:
+    """SamplePolyCBD_eta: centered binomial noise from 64*eta bytes."""
+    if len(data) != 64 * eta:
+        raise ValueError(f"sample_poly_cbd expects {64 * eta} bytes")
+    bits = int.from_bytes(data, "little")
+    out = []
+    for i in range(N):
+        x = 0
+        y = 0
+        for j in range(eta):
+            x += (bits >> (2 * i * eta + j)) & 1
+            y += (bits >> (2 * i * eta + eta + j)) & 1
+        out.append((x - y) % Q)
+    return out
+
+
+# -- the incomplete NTT and degree-2 basemul (FIPS 203 section 4.3) ---------
+
+
+def ntt_poly(f: list[int]) -> list[int]:
+    """Algorithm 9: coefficient form to the 128 degree-2 NTT residues."""
+    f = list(f)
+    i = 1
+    length = 128
+    while length >= 2:
+        for start in range(0, N, 2 * length):
+            z = ZETAS[i]
+            i += 1
+            for j in range(start, start + length):
+                t = z * f[j + length] % Q
+                f[j + length] = (f[j] - t) % Q
+                f[j] = (f[j] + t) % Q
+        length //= 2
+    return f
+
+
+def intt_poly(f: list[int]) -> list[int]:
+    """Algorithm 10: NTT residues back to coefficient form."""
+    f = list(f)
+    i = 127
+    length = 2
+    while length <= 128:
+        for start in range(0, N, 2 * length):
+            z = ZETAS[i]
+            i -= 1
+            for j in range(start, start + length):
+                t = f[j]
+                f[j] = (t + f[j + length]) % Q
+                f[j + length] = z * (f[j + length] - t) % Q
+        length *= 2
+    return [v * _N_INV % Q for v in f]
+
+
+def multiply_ntts(f: list[int], g: list[int]) -> list[int]:
+    """Algorithm 11: the 128 paired-lane degree-2 basemuls.
+
+    Pair i multiplies in Z_q[X]/(X^2 - gamma_i): ``h0 = f0 g0 + f1 g1
+    gamma_i`` and ``h1 = f0 g1 + f1 g0``.  This is the step a complete
+    NTT would replace with a plain pointwise product -- and the one the
+    datapath lowers through the ``kem_basemul`` kernel.
+    """
+    h = [0] * N
+    for i in range(128):
+        f0, f1 = f[2 * i], f[2 * i + 1]
+        g0, g1 = g[2 * i], g[2 * i + 1]
+        h[2 * i] = (f0 * g0 + f1 * g1 % Q * GAMMAS[i]) % Q
+        h[2 * i + 1] = (f0 * g1 + f1 * g0) % Q
+    return h
+
+
+def poly_add(f: list[int], g: list[int]) -> list[int]:
+    return [(a + b) % Q for a, b in zip(f, g)]
+
+
+def poly_sub(f: list[int], g: list[int]) -> list[int]:
+    return [(a - b) % Q for a, b in zip(f, g)]
+
+
+def expand_matrix(rho: bytes, k: int) -> list[list[list[int]]]:
+    """The k x k NTT-domain matrix A-hat from the 32-byte seed rho.
+
+    ``A[i][j] = SampleNTT(rho || j || i)`` -- sampled directly in the
+    transform domain, so key generation and encryption never run a
+    forward NTT for the public matrix.
+    """
+    return [
+        [sample_ntt(rho + bytes([j, i])) for j in range(k)] for i in range(k)
+    ]
+
+
+def derive_noise(
+    params: MlKemParams, seed: bytes, counts: tuple[tuple[int, int], ...]
+) -> tuple[list[list[int]], int]:
+    """CBD noise vectors from one PRF seed with a running domain counter.
+
+    ``counts`` is a sequence of (how many polynomials, which eta);
+    returns the flat polynomial list plus the final counter value.
+    """
+    polys = []
+    n = 0
+    for how_many, eta in counts:
+        for _ in range(how_many):
+            polys.append(sample_poly_cbd(eta, prf(eta, seed, n)))
+            n += 1
+    return polys, n
+
+
+# -- K-PKE (FIPS 203 section 5) ---------------------------------------------
+
+
+def kpke_keygen(params: MlKemParams, d: bytes) -> tuple[bytes, bytes]:
+    """Algorithm 13: the underlying CPA-secure encryption keypair."""
+    k = params.k
+    rho, sigma = hash_g(d + bytes([k]))
+    a_hat = expand_matrix(rho, k)
+    noise, _ = derive_noise(params, sigma, ((2 * k, params.eta1),))
+    s_hat = [ntt_poly(f) for f in noise[:k]]
+    e_hat = [ntt_poly(f) for f in noise[k:]]
+    t_hat = []
+    for i in range(k):
+        acc = e_hat[i]
+        for j in range(k):
+            acc = poly_add(acc, multiply_ntts(a_hat[i][j], s_hat[j]))
+        t_hat.append(acc)
+    ek = b"".join(byte_encode(12, t) for t in t_hat) + rho
+    dk = b"".join(byte_encode(12, s) for s in s_hat)
+    return ek, dk
+
+
+def kpke_encrypt(
+    params: MlKemParams, ek: bytes, m: bytes, r: bytes
+) -> bytes:
+    """Algorithm 14: encrypt the 32-byte message under randomness r."""
+    k = params.k
+    t_hat = [
+        byte_decode(12, ek[384 * i:384 * (i + 1)]) for i in range(k)
+    ]
+    rho = ek[384 * k:]
+    a_hat = expand_matrix(rho, k)
+    noise, n = derive_noise(
+        params, r, ((k, params.eta1), (k, params.eta2))
+    )
+    y = noise[:k]
+    e1 = noise[k:]
+    e2 = sample_poly_cbd(params.eta2, prf(params.eta2, r, n))
+    y_hat = [ntt_poly(f) for f in y]
+    u = []
+    for i in range(k):
+        acc = [0] * N
+        for j in range(k):
+            acc = poly_add(acc, multiply_ntts(a_hat[j][i], y_hat[j]))
+        u.append(poly_add(intt_poly(acc), e1[i]))
+    mu = [decompress(1, b) for b in byte_decode(1, m)]
+    acc = [0] * N
+    for j in range(k):
+        acc = poly_add(acc, multiply_ntts(t_hat[j], y_hat[j]))
+    v = poly_add(poly_add(intt_poly(acc), e2), mu)
+    c1 = b"".join(
+        byte_encode(params.du, [compress(params.du, x) for x in ui])
+        for ui in u
+    )
+    c2 = byte_encode(params.dv, [compress(params.dv, x) for x in v])
+    return c1 + c2
+
+
+def kpke_decrypt(params: MlKemParams, dk: bytes, c: bytes) -> bytes:
+    """Algorithm 15: recover the 32-byte message."""
+    k, du, dv = params.k, params.du, params.dv
+    step = 32 * du
+    u = [
+        [
+            decompress(du, y)
+            for y in byte_decode(du, c[step * i:step * (i + 1)])
+        ]
+        for i in range(k)
+    ]
+    v = [decompress(dv, y) for y in byte_decode(dv, c[step * k:])]
+    s_hat = [byte_decode(12, dk[384 * i:384 * (i + 1)]) for i in range(k)]
+    acc = [0] * N
+    for i in range(k):
+        acc = poly_add(acc, multiply_ntts(s_hat[i], ntt_poly(u[i])))
+    w = poly_sub(v, intt_poly(acc))
+    return byte_encode(1, [compress(1, x) for x in w])
+
+
+# -- ML-KEM (FIPS 203 sections 6-7) -----------------------------------------
+
+
+class MlKem:
+    """Keygen / encapsulate / decapsulate for one FIPS 203 parameter set.
+
+    All three operations are deterministic given their seed inputs --
+    ``keygen(d, z)`` and ``encaps(ek, m)`` take the random values
+    explicitly (the ACVP known-answer interface); omit them for fresh
+    ``os.urandom`` bytes.  ``decaps`` implements implicit rejection: a
+    ciphertext that fails re-encryption yields the secret
+    ``J(z || c)``, never an exception.
+    """
+
+    def __init__(self, params: MlKemParams | str = MLKEM_768) -> None:
+        self.params = get_params(params)
+
+    def keygen(
+        self, d: bytes | None = None, z: bytes | None = None
+    ) -> tuple[bytes, bytes]:
+        """Algorithm 16: returns (ek, dk)."""
+        d = os.urandom(32) if d is None else d
+        z = os.urandom(32) if z is None else z
+        if len(d) != 32 or len(z) != 32:
+            raise ValueError("keygen seeds d and z must be 32 bytes each")
+        ek, dk_pke = kpke_keygen(self.params, d)
+        dk = dk_pke + ek + hash_h(ek) + z
+        return ek, dk
+
+    def encaps(
+        self, ek: bytes, m: bytes | None = None
+    ) -> tuple[bytes, bytes]:
+        """Algorithm 17: returns (shared secret K, ciphertext c)."""
+        self.check_ek(ek)
+        m = os.urandom(32) if m is None else m
+        if len(m) != 32:
+            raise ValueError("the encapsulation seed m must be 32 bytes")
+        shared, r = hash_g(m + hash_h(ek))
+        c = kpke_encrypt(self.params, ek, m, r)
+        return shared, c
+
+    def decaps(self, dk: bytes, c: bytes) -> bytes:
+        """Algorithm 18: returns the 32-byte shared secret.
+
+        Implicit rejection: when the re-encryption check fails the
+        returned secret is ``J(z || c)`` -- indistinguishable from a
+        success to anyone without z.
+        """
+        params = self.params
+        if len(dk) != params.dk_bytes:
+            raise ValueError(
+                f"dk must be {params.dk_bytes} bytes for {params.name}"
+            )
+        if len(c) != params.ct_bytes:
+            raise ValueError(
+                f"ciphertext must be {params.ct_bytes} bytes for "
+                f"{params.name}"
+            )
+        k = params.k
+        dk_pke = dk[:384 * k]
+        ek = dk[384 * k:768 * k + 32]
+        h = dk[768 * k + 32:768 * k + 64]
+        z = dk[768 * k + 64:]
+        m2 = kpke_decrypt(params, dk_pke, c)
+        shared, r2 = hash_g(m2 + h)
+        rejected = hash_j(z + c)
+        c2 = kpke_encrypt(params, ek, m2, r2)
+        return shared if c2 == c else rejected
+
+    def check_ek(self, ek: bytes) -> None:
+        """FIPS 203 section 7.2 input validation (type + modulus check)."""
+        params = self.params
+        if len(ek) != params.ek_bytes:
+            raise ValueError(
+                f"ek must be {params.ek_bytes} bytes for {params.name}"
+            )
+        for i in range(params.k):
+            block = ek[384 * i:384 * (i + 1)]
+            values = byte_decode(12, block)
+            if any(v >= Q for v in values):
+                raise ValueError("ek fails the FIPS 203 modulus check")
+            if byte_encode(12, values) != block:
+                raise ValueError("ek fails the FIPS 203 modulus check")

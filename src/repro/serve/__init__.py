@@ -18,7 +18,8 @@ that in two layers:
   single-program kernel (latency scaling, where batching scales
   throughput; requested per-request via ``NttRequest(spatial_shards=S)``).
 * :mod:`repro.serve.loop` -- :class:`RpuServer`, an asyncio front-end
-  that accepts NTT / polynomial-multiply / HE-multiply / HE-level requests
+  that accepts NTT / polynomial-multiply / HE-multiply / HE-level /
+  ML-KEM handshake requests
   (:mod:`repro.serve.requests`), coalesces compatible requests into
   batches under a latency budget, dispatches them to the shard pool, and
   returns per-request results with merged stats.
@@ -36,6 +37,7 @@ from repro.serve.requests import (
     DeadlineExceeded,
     HeLevelRequest,
     HeMultiplyRequest,
+    KemRequest,
     NttRequest,
     PolymulRequest,
     RotateRequest,
@@ -55,6 +57,7 @@ __all__ = [
     "DeadlineExceeded",
     "HeLevelRequest",
     "HeMultiplyRequest",
+    "KemRequest",
     "NttRequest",
     "PolymulRequest",
     "RotateRequest",

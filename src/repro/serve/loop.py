@@ -46,6 +46,7 @@ from repro.serve.requests import (
     DeadlineExceeded,
     HeLevelRequest,
     HeMultiplyRequest,
+    KemRequest,
     NttRequest,
     PolymulRequest,
     Request,
@@ -261,6 +262,73 @@ class RpuServer:
                 c0_towers=tuple(tuple(t) for t in ct[0]),
                 c1_towers=tuple(tuple(t) for t in ct[1]),
                 material=material,
+                deadline=self._absolute_deadline(deadline_s),
+                **kwargs,
+            )
+        )
+
+    async def kem_keygen(
+        self,
+        d: bytes | None = None,
+        z: bytes | None = None,
+        param_set: str = "ML-KEM-768",
+        deadline_s: float | None = None,
+        **kwargs,
+    ):
+        """One ML-KEM key generation; ``output`` is ``(ek, dk)``.
+
+        Omitted seeds draw fresh ``os.urandom`` bytes at submission, so
+        the enqueued request is already deterministic data."""
+        import os
+
+        return await self.submit(
+            KemRequest(
+                op="keygen",
+                param_set=param_set,
+                d=os.urandom(32) if d is None else d,
+                z=os.urandom(32) if z is None else z,
+                deadline=self._absolute_deadline(deadline_s),
+                **kwargs,
+            )
+        )
+
+    async def kem_encaps(
+        self,
+        ek: bytes,
+        m: bytes | None = None,
+        param_set: str = "ML-KEM-768",
+        deadline_s: float | None = None,
+        **kwargs,
+    ):
+        """One ML-KEM encapsulation; ``output`` is ``(shared, ct)``."""
+        import os
+
+        return await self.submit(
+            KemRequest(
+                op="encaps",
+                param_set=param_set,
+                ek=ek,
+                m=os.urandom(32) if m is None else m,
+                deadline=self._absolute_deadline(deadline_s),
+                **kwargs,
+            )
+        )
+
+    async def kem_decaps(
+        self,
+        dk: bytes,
+        ct: bytes,
+        param_set: str = "ML-KEM-768",
+        deadline_s: float | None = None,
+        **kwargs,
+    ):
+        """One ML-KEM decapsulation; ``output`` is the shared secret."""
+        return await self.submit(
+            KemRequest(
+                op="decaps",
+                param_set=param_set,
+                dk=dk,
+                ct=ct,
                 deadline=self._absolute_deadline(deadline_s),
                 **kwargs,
             )

@@ -65,6 +65,7 @@ __all__ = [
     "DeadlineExceeded",
     "HeLevelRequest",
     "HeMultiplyRequest",
+    "KemRequest",
     "NttRequest",
     "PolymulRequest",
     "RotateRequest",
@@ -319,12 +320,82 @@ class RotateRequest:
         )
 
 
+@dataclass(frozen=True)
+class KemRequest:
+    """One ML-KEM handshake operation: keygen, encaps or decaps.
+
+    The nanoPU-style traffic class: thousands of small latency-critical
+    requests whose ring work (incomplete NTTs, degree-2 basemuls)
+    coalesces into wide batched passes through
+    :class:`~repro.rlwe.kem_engine.KemEngine`.  The payload is the FIPS
+    203 byte interface -- ``op="keygen"`` carries the 32-byte seeds
+    ``(d, z)``, ``op="encaps"`` the encapsulation key and 32-byte seed
+    ``(ek, m)``, ``op="decaps"`` the decapsulation key and ciphertext
+    ``(dk, ct)`` -- and the result ``output`` mirrors the oracle:
+    ``(ek, dk)`` / ``(shared, ct)`` / ``shared``.  Requests coalesce per
+    (parameter set, op): batch row r of every engine pass is request r.
+    """
+
+    op: str
+    param_set: str = "ML-KEM-768"
+    d: bytes | None = None
+    z: bytes | None = None
+    ek: bytes | None = None
+    m: bytes | None = None
+    dk: bytes | None = None
+    ct: bytes | None = None
+    vlen: int = 64
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        from repro.rlwe.kyber import get_params
+
+        params = get_params(self.param_set)
+        needed = {
+            "keygen": ("d", "z"),
+            "encaps": ("ek", "m"),
+            "decaps": ("dk", "ct"),
+        }.get(self.op)
+        if needed is None:
+            raise ValueError(
+                f"unknown KEM op {self.op!r}; expected keygen/encaps/decaps"
+            )
+        for field_name in needed:
+            value = getattr(self, field_name)
+            if not isinstance(value, bytes):
+                raise ValueError(
+                    f"op {self.op!r} needs bytes for {field_name!r}"
+                )
+        sizes = {
+            "d": 32,
+            "z": 32,
+            "m": 32,
+            "ek": params.ek_bytes,
+            "dk": params.dk_bytes,
+            "ct": params.ct_bytes,
+        }
+        for field_name in needed:
+            expected = sizes[field_name]
+            if len(getattr(self, field_name)) != expected:
+                raise ValueError(
+                    f"{field_name!r} must be {expected} bytes for "
+                    f"{params.name}"
+                )
+        if not 1 <= self.vlen <= 64:
+            raise ValueError("KEM vlen must be in 1..64 (128-point NTTs)")
+
+    @property
+    def group_key(self) -> tuple:
+        return ("kem", self.param_set, self.op, self.vlen)
+
+
 Request = (
     NttRequest
     | PolymulRequest
     | HeMultiplyRequest
     | HeLevelRequest
     | RotateRequest
+    | KemRequest
 )
 
 
@@ -763,12 +834,58 @@ def _execute_rotate(
     ]
 
 
+def _execute_kem(
+    requests: Sequence[KemRequest],
+    shards: int,
+    pool: ShardPool | None,
+    fuse: bool,
+) -> list[ServeResult]:
+    """One coalesced batch of ML-KEM handshake ops through the engine.
+
+    Batch row r of every NTT/basemul pass is request r; the programs
+    come from the process-wide plan cache, so repeated KEM groups never
+    recompile.  ``fuse`` has no effect here -- the KEM passes are
+    already the minimal set (the basemul kernel accumulates all k
+    summands in one pass).
+    """
+    from repro.rlwe.kem_engine import KemEngine
+
+    req0 = requests[0]
+    engine = KemEngine(
+        req0.param_set, vlen=req0.vlen, shards=shards, pool=pool
+    )
+    if req0.op == "keygen":
+        outputs, report = engine.keygen_batch(
+            [(r.d, r.z) for r in requests]
+        )
+    elif req0.op == "encaps":
+        outputs, report = engine.encaps_batch(
+            [(r.ek, r.m) for r in requests]
+        )
+    else:
+        outputs, report = engine.decaps_batch(
+            [(r.dk, r.ct) for r in requests]
+        )
+    stats = report["stats"] or ExecutionStats()
+    return [
+        ServeResult(
+            output=out,
+            stats=stats.copy(),
+            dtype_path=report["dtype_path"],
+            shards=report["shards"],
+            batched_with=len(requests),
+        )
+        for out in outputs
+    ]
+
+
 _EXECUTORS = {
     NttRequest: _execute_ntt,
     PolymulRequest: _execute_polymul,
     HeMultiplyRequest: _execute_he,
     HeLevelRequest: _execute_he_level,
     RotateRequest: _execute_rotate,
+    KemRequest: _execute_kem,
 }
 
 

@@ -23,6 +23,17 @@ tensor+key-switch chain is IR-based and lives in
   with the per-tower constants in the SRF and the cross-tower ``delta``
   row (computed from the dropped tower) as a vector input.  Serves both
   the CKKS rescale and the P-drop of hybrid key switching.
+* :func:`build_kem_basemul_program` -- ML-KEM's paired-lane degree-2
+  basemul: q = 3329 admits only a 7-layer *incomplete* NTT (q == 1 mod
+  256, not mod 512), so the transform bottoms out at 128 residues mod
+  ``X^2 - gamma_i`` and multiplication finishes with per-pair products
+  instead of a plain pointwise pass.  With the spectrum split into an
+  even row (``f[2i]``) and an odd row (``f[2i+1]``) the pair product is
+  purely lanewise -- ``ce = sum_j ae_j*be_j + (ao_j*bo_j)*gamma``,
+  ``co = sum_j ae_j*bo_j + ao_j*be_j`` -- with the gamma row baked as a
+  constant segment and a k-summand accumulation so the module-lattice
+  matrix-vector products (``A^ s^``, ``A^T y^``, ``t^T y^``, ``s^T u^``)
+  are each one pass.
 * :func:`build_automorphism_program` -- the Galois automorphism
   ``sigma_g`` over every tower as a masked select: output chunk d is
   ``sum_c in_c * M[d][c]`` against baked sign-mask constant rows
@@ -326,6 +337,118 @@ def build_rescale_program(
             "half": half,
             "moduli": {j + 1: q for j, q in enumerate(rest)},
             "tower_regions": regions,
+        },
+    ).finalize()
+
+
+KEM_BASEMUL_REGIONS_PER_SUMMAND = 4
+
+
+def generate_kem_basemul_program(
+    n: int, q: int, summands: int, vlen: int = 64
+) -> Program:
+    """ML-KEM's k-summand paired-lane degree-2 basemul (cached)."""
+    from repro.compile import KernelSpec, compile_spec
+
+    return compile_spec(
+        KernelSpec(
+            kind="kem_basemul", n=n, vlen=vlen, q=q, digits=summands
+        )
+    )
+
+
+def build_kem_basemul_program(
+    n: int, q: int, summands: int, vlen: int
+) -> Program:
+    """Direct frontend: accumulate S pair products in Z_q[X]/(X^2 - g_i).
+
+    The ring degree ``n`` is the KEM's full degree (256 for FIPS 203);
+    each polynomial's NTT residues arrive as two rows of ``half = n/2``
+    lanes -- lane i of the even row is ``f^[2i]``, of the odd row
+    ``f^[2i+1]`` -- so pair i's degree-2 product is lane i everywhere:
+
+        ce = sum_j  ae_j * be_j + (ao_j * bo_j) * gamma
+        co = sum_j  ae_j * bo_j +  ao_j * be_j
+
+    Region layout (multiples of ``half``): summand j's block is
+    ``(ae_j, ao_j, be_j, bo_j)`` at base ``4*j*half``; outputs ``ce`` /
+    ``co`` at ``4*S*half``; the gamma constant row (pair i's residue
+    root ``zeta^(2*BitRev(i)+1)``, FIPS 203 order for n=256/q=3329) is a
+    baked :class:`DataSegment` after the outputs.
+    """
+    # Imported lazily: the gamma math lives beside the KEM oracle in
+    # rlwe.kyber, whose package pulls in the engine (and so this
+    # module's own compile pipeline) at import time.
+    from repro.rlwe.kyber import pair_twiddles
+
+    if not 1 <= summands <= 8:
+        raise ValueError("supported summand counts: 1..8")
+    half = n // 2
+    _check_shape(half, vlen)
+    gammas = pair_twiddles(n, q)
+    m = half // vlen
+    out_base = 4 * summands * half
+    gamma_base = out_base + 2 * half
+    instructions = []
+    r_g, acc_e, acc_o = 20, 16, 17
+    for i in range(m):
+        off = i * vlen
+        instructions.append(vload(r_g, 1, gamma_base + off))
+        for j in range(summands):
+            slot = j % 2
+            r_ae, r_ao, r_be, r_bo = (slot * 4 + t for t in range(4))
+            p0, p1, p2, p3 = (8 + slot * 4 + t for t in range(4))
+            base = 4 * j * half
+            instructions.append(vload(r_ae, 1, base + off))
+            instructions.append(vload(r_ao, 1, base + half + off))
+            instructions.append(vload(r_be, 1, base + 2 * half + off))
+            instructions.append(vload(r_bo, 1, base + 3 * half + off))
+            instructions.append(vvmul(p0, r_ae, r_be, 1))
+            instructions.append(vvmul(p1, r_ao, r_bo, 1))
+            instructions.append(vvmul(p1, p1, r_g, 1))
+            instructions.append(vvmul(p2, r_ae, r_bo, 1))
+            instructions.append(vvmul(p3, r_ao, r_be, 1))
+            if j == 0:
+                instructions.append(vvadd(acc_e, p0, p1, 1))
+                instructions.append(vvadd(acc_o, p2, p3, 1))
+            else:
+                instructions.append(vvadd(p0, p0, p1, 1))
+                instructions.append(vvadd(acc_e, acc_e, p0, 1))
+                instructions.append(vvadd(p2, p2, p3, 1))
+                instructions.append(vvadd(acc_o, acc_o, p2, 1))
+        instructions.append(vstore(acc_e, 1, out_base + off))
+        instructions.append(vstore(acc_o, 1, out_base + half + off))
+    instructions.append(halt())
+    summand_regions = [
+        (
+            RegionSpec(f"ae_{j}", 4 * j * half, half, "any"),
+            RegionSpec(f"ao_{j}", (4 * j + 1) * half, half, "any"),
+            RegionSpec(f"be_{j}", (4 * j + 2) * half, half, "any"),
+            RegionSpec(f"bo_{j}", (4 * j + 3) * half, half, "any"),
+        )
+        for j in range(summands)
+    ]
+    ce_region = RegionSpec("ce", out_base, half, "any")
+    co_region = RegionSpec("co", out_base + half, half, "any")
+    return Program(
+        name=f"kem_basemul_{n}_x{summands}summands",
+        instructions=instructions,
+        vlen=vlen,
+        vdm_segments=(DataSegment("gammas", gamma_base, tuple(gammas)),),
+        arf_init={1: 0},
+        mrf_init={1: q},
+        input_region=summand_regions[0][0],
+        output_region=ce_region,
+        metadata={
+            "kernel": "kem_basemul",
+            "n": n,
+            "half": half,
+            "vlen": vlen,
+            "summands": summands,
+            "moduli": {1: q},
+            "summand_regions": summand_regions,
+            "ce_region": ce_region,
+            "co_region": co_region,
         },
     ).finalize()
 

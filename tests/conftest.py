@@ -8,12 +8,32 @@ default (it is part of tier-1); exhaustive sweeps are marked
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import pathlib
 import random
 
 import pytest
 
 from repro.ntt.twiddles import TwiddleTable
+
+# The vendored ML-KEM known-answer vectors are integrity-pinned: a
+# silent edit to a vector file must fail the suite, not quietly shift
+# the ground truth.  Regenerate with tests/vendor/acvp/regenerate.py
+# and update both this table and tests/vendor/acvp/README.md.
+ACVP_DIR = pathlib.Path(__file__).resolve().parent / "vendor" / "acvp"
+ACVP_SHA256 = {
+    "mlkem_512.json": (
+        "4e5b3f0290159f54a5a485622b2618832f52c31cf79aa5453c7771f6068b6f0c"
+    ),
+    "mlkem_768.json": (
+        "066d4cacdfb5659b5baa7566406ea9a86e43cdbeb41f2c9f996517f5ab8b65ca"
+    ),
+    "mlkem_1024.json": (
+        "3573224ea265e275147202f9c46ebb772707fe5c19f7706b67838962fa9025bf"
+    ),
+}
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -47,6 +67,24 @@ def pytest_collection_modifyitems(
     for item in items:
         if "slow" in item.keywords:
             item.add_marker(skip_slow)
+
+
+@pytest.fixture(scope="session")
+def acvp_vectors() -> dict[str, dict]:
+    """The vendored ML-KEM KAT files, checksum-verified before parsing."""
+    loaded = {}
+    for name, expected in ACVP_SHA256.items():
+        path = ACVP_DIR / name
+        data = path.read_bytes()
+        actual = hashlib.sha256(data).hexdigest()
+        assert actual == expected, (
+            f"{name}: sha256 {actual} != pinned {expected}; if the "
+            "vectors were intentionally regenerated, update "
+            "tests/conftest.py and tests/vendor/acvp/README.md"
+        )
+        payload = json.loads(data)
+        loaded[payload["parameterSet"]] = payload
+    return loaded
 
 
 @pytest.fixture(scope="session")

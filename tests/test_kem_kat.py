@@ -1,0 +1,216 @@
+"""The ML-KEM known-answer tier (``make check-kat``).
+
+Three differential layers pin the KEM end to end:
+
+1. **Oracle vs vendored vectors** -- every keyGen and encapDecap case
+   in ``tests/vendor/acvp`` (checksum-verified by the ``acvp_vectors``
+   fixture) must reproduce byte-exactly through the pure-Python FIPS
+   203 oracle, for all three parameter sets, including the
+   modified-ciphertext implicit-rejection cases.
+2. **Datapath vs oracle** -- :class:`~repro.rlwe.kem_engine.KemEngine`
+   must produce bit-identical bytes to the oracle across backend
+   (vectorized / scalar) and shard counts {1, 2, 4}: the acceptance
+   criterion that the FEMU lowering (incomplete NTT halves + paired
+   basemul) is exact, not approximate.
+3. **Oracle vs OpenSSL** -- where the installed ``cryptography``
+   package exposes ML-KEM (768/1024 in current builds), fresh random
+   handshakes are cross-validated against an entirely independent
+   implementation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.rlwe.kem_engine import KemEngine, fips_lane_permutation
+from repro.rlwe.kyber import GAMMAS, MlKem, get_params, pair_twiddles
+from repro.serve import ShardPool
+
+PARAM_SETS = ("ML-KEM-512", "ML-KEM-768", "ML-KEM-1024")
+
+
+def _cases(vectors, name):
+    return vectors[name]
+
+
+# -- layer 1: oracle vs vendored vectors ------------------------------------
+
+
+@pytest.mark.parametrize("name", PARAM_SETS)
+def test_keygen_known_answers(acvp_vectors, name):
+    kem = MlKem(name)
+    for case in _cases(acvp_vectors, name)["keyGen"]["tests"]:
+        ek, dk = kem.keygen(
+            bytes.fromhex(case["d"]), bytes.fromhex(case["z"])
+        )
+        assert ek.hex() == case["ek"], f"{name} keyGen tc{case['tcId']}: ek"
+        assert dk.hex() == case["dk"], f"{name} keyGen tc{case['tcId']}: dk"
+
+
+@pytest.mark.parametrize("name", PARAM_SETS)
+def test_encaps_known_answers(acvp_vectors, name):
+    kem = MlKem(name)
+    section = _cases(acvp_vectors, name)["encapDecap"]
+    ek = bytes.fromhex(section["ek"])
+    for case in section["encapsulation"]["tests"]:
+        shared, ct = kem.encaps(ek, bytes.fromhex(case["m"]))
+        assert ct.hex() == case["c"], f"{name} encaps tc{case['tcId']}: c"
+        assert shared.hex() == case["k"], f"{name} encaps tc{case['tcId']}: k"
+
+
+@pytest.mark.parametrize("name", PARAM_SETS)
+def test_decaps_known_answers(acvp_vectors, name):
+    """Valid and modified ciphertexts; the latter hit implicit rejection."""
+    kem = MlKem(name)
+    section = _cases(acvp_vectors, name)["encapDecap"]
+    dk = bytes.fromhex(section["dk"])
+    reasons = set()
+    for case in section["decapsulation"]["tests"]:
+        shared = kem.decaps(dk, bytes.fromhex(case["c"]))
+        assert shared.hex() == case["k"], (
+            f"{name} decaps tc{case['tcId']} ({case['reason']})"
+        )
+        reasons.add(case["reason"])
+    assert "modified ciphertext" in reasons, (
+        "vector file must exercise the implicit-rejection path"
+    )
+
+
+# -- layer 2: datapath vs oracle --------------------------------------------
+
+
+def _kat_subset(acvp_vectors, name, count=3):
+    """The first few keyGen cases + the encapDecap key of one set."""
+    data = _cases(acvp_vectors, name)
+    keygen = data["keyGen"]["tests"][:count]
+    section = data["encapDecap"]
+    return keygen, section
+
+
+@pytest.mark.parametrize("name", PARAM_SETS)
+def test_engine_matches_oracle_on_kats(acvp_vectors, name):
+    """Single-process vectorized engine reproduces the vector bytes."""
+    engine = KemEngine(name)
+    keygen, section = _kat_subset(acvp_vectors, name)
+    outs, report = engine.keygen_batch(
+        [
+            (bytes.fromhex(c["d"]), bytes.fromhex(c["z"]))
+            for c in keygen
+        ]
+    )
+    for case, (ek, dk) in zip(keygen, outs):
+        assert ek.hex() == case["ek"] and dk.hex() == case["dk"]
+    assert report["dtype_path"] == "int64"  # q=3329 products stay narrow
+
+    ek = bytes.fromhex(section["ek"])
+    dk = bytes.fromhex(section["dk"])
+    enc_cases = section["encapsulation"]["tests"][:3]
+    enc_outs, _ = engine.encaps_batch(
+        [(ek, bytes.fromhex(c["m"])) for c in enc_cases]
+    )
+    for case, (shared, ct) in zip(enc_cases, enc_outs):
+        assert ct.hex() == case["c"] and shared.hex() == case["k"]
+
+    dec_cases = section["decapsulation"]["tests"]
+    dec_outs, _ = engine.decaps_batch(
+        [(dk, bytes.fromhex(c["c"])) for c in dec_cases]
+    )
+    for case, shared in zip(dec_cases, dec_outs):
+        assert shared.hex() == case["k"], case["reason"]
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_engine_shard_invariant(acvp_vectors, shards):
+    """Identical bytes for every shard count (768; the widest traffic)."""
+    keygen, section = _kat_subset(acvp_vectors, "ML-KEM-768", count=4)
+    seeds = [
+        (bytes.fromhex(c["d"]), bytes.fromhex(c["z"])) for c in keygen
+    ]
+    pool = ShardPool(shards) if shards > 1 else None
+    try:
+        engine = KemEngine("ML-KEM-768", shards=shards, pool=pool)
+        outs, report = engine.keygen_batch(seeds)
+        for case, (ek, dk) in zip(keygen, outs):
+            assert ek.hex() == case["ek"] and dk.hex() == case["dk"]
+        dec_cases = section["decapsulation"]["tests"][:4]
+        dk = bytes.fromhex(section["dk"])
+        dec_outs, _ = engine.decaps_batch(
+            [(dk, bytes.fromhex(c["c"])) for c in dec_cases]
+        )
+        for case, shared in zip(dec_cases, dec_outs):
+            assert shared.hex() == case["k"]
+        if shards > 1:
+            assert report["shards"] > 1
+    finally:
+        if pool is not None:
+            pool.close()
+
+
+def test_engine_scalar_backend_matches(acvp_vectors):
+    """The scalar FunctionalSimulator path is the same bytes (512 set)."""
+    keygen, _section = _kat_subset(acvp_vectors, "ML-KEM-512", count=2)
+    engine = KemEngine("ML-KEM-512", backend="scalar")
+    outs, report = engine.keygen_batch(
+        [(bytes.fromhex(c["d"]), bytes.fromhex(c["z"])) for c in keygen]
+    )
+    for case, (ek, dk) in zip(keygen, outs):
+        assert ek.hex() == case["ek"] and dk.hex() == case["dk"]
+    assert report["dtype_path"] == "python-int"
+
+
+def test_reference_engine_is_the_oracle(acvp_vectors):
+    """``reference=True`` serves oracle bytes and reports no passes."""
+    keygen, _ = _kat_subset(acvp_vectors, "ML-KEM-768", count=2)
+    engine = KemEngine("ML-KEM-768", reference=True)
+    outs, report = engine.keygen_batch(
+        [(bytes.fromhex(c["d"]), bytes.fromhex(c["z"])) for c in keygen]
+    )
+    for case, (ek, dk) in zip(keygen, outs):
+        assert ek.hex() == case["ek"] and dk.hex() == case["dk"]
+    assert report["reference"] and report["passes"] == []
+
+
+# -- lowering invariants ----------------------------------------------------
+
+
+def test_pair_twiddles_match_fips_gammas():
+    """The kernel's baked gamma row is FIPS 203's pair ordering."""
+    assert pair_twiddles(256, 3329) == GAMMAS
+
+
+def test_lane_permutation_is_a_bijection():
+    perm, inv = fips_lane_permutation()
+    assert sorted(perm) == list(range(128))
+    assert all(inv[perm[i]] == i for i in range(128))
+
+
+# -- layer 3: oracle vs OpenSSL ---------------------------------------------
+
+
+@pytest.mark.parametrize("name", ("ML-KEM-768", "ML-KEM-1024"))
+def test_cross_validate_against_openssl(name):
+    """Fresh random handshakes against OpenSSL's independent ML-KEM."""
+    mlkem = pytest.importorskip(
+        "cryptography.hazmat.primitives.asymmetric.mlkem"
+    )
+    cls = getattr(
+        mlkem, f"{name.replace('ML-KEM-', 'MLKEM')}PrivateKey", None
+    )
+    if cls is None or not hasattr(cls, "from_seed_bytes"):
+        pytest.skip(f"this OpenSSL build does not expose {name}")
+    kem = MlKem(name)
+    params = get_params(name)
+    for _ in range(2):
+        d, z = os.urandom(32), os.urandom(32)
+        ek, dk = kem.keygen(d, z)
+        theirs = cls.from_seed_bytes(d + z)
+        assert theirs.public_key().public_bytes_raw() == ek
+        shared, ct = kem.encaps(ek, os.urandom(32))
+        assert theirs.decapsulate(ct) == shared
+        their_shared, their_ct = theirs.public_key().encapsulate()
+        assert kem.decaps(dk, their_ct) == their_shared
+        bad = bytearray(ct)
+        bad[params.ct_bytes // 2] ^= 0x5A
+        assert theirs.decapsulate(bytes(bad)) == kem.decaps(dk, bytes(bad))

@@ -1,0 +1,263 @@
+"""KemRequest serving: coalescing, mixed traffic, deadlines, shard parity.
+
+The serving satellite of the ML-KEM tentpole.  Three contracts:
+
+* **Bit identity** -- a coalesced ``execute_group`` of KEM requests
+  returns exactly the bytes a directly-driven
+  :class:`~repro.rlwe.kem_engine.KemEngine` batch produces, for every
+  shard count in {1, 2, 4}.
+* **Fair coalescing** -- KEM handshakes and CKKS level requests carry
+  different ``group_key``s, so interleaved traffic forms separate
+  batches and neither class starves the other: every future resolves
+  with its own correct output.
+* **Deadlines** -- an expired KEM request fails fast (error result from
+  ``execute_group``; :exc:`DeadlineExceeded` from the server) without
+  poisoning live riders in the same group.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.rlwe.kem_engine import KemEngine
+from repro.rlwe.kyber import MlKem
+from repro.serve import DeadlineExceeded, KemRequest, RpuServer, ServeConfig, ShardPool
+from repro.serve.requests import execute_group
+
+PARAM = "ML-KEM-512"  # smallest k: the fastest set for serving tests
+
+
+def _seeds(n, tag=0):
+    return [
+        (bytes([tag, i]) + b"\x00" * 30, bytes([i, tag]) + b"\x11" * 30)
+        for i in range(n)
+    ]
+
+
+def _keygen_requests(seeds, **kwargs):
+    return [
+        KemRequest(op="keygen", param_set=PARAM, d=d, z=z, **kwargs)
+        for d, z in seeds
+    ]
+
+
+class TestGroupExecution:
+    """execute_group == direct KemEngine batches, across shard counts."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_served_equals_direct_engine(self, shards):
+        seeds = _seeds(4, tag=shards)
+        direct, _ = KemEngine(PARAM).keygen_batch(seeds)
+        pool = ShardPool(shards) if shards > 1 else None
+        try:
+            results = execute_group(
+                _keygen_requests(seeds), shards=shards, pool=pool
+            )
+        finally:
+            if pool is not None:
+                pool.close()
+        assert [r.output for r in results] == direct
+        for r in results:
+            assert r.batched_with == len(seeds)
+            assert r.dtype_path == "int64"
+            if shards > 1:
+                assert r.shards == shards
+
+    def test_full_handshake_through_groups(self):
+        """keygen -> encaps -> decaps, each op its own coalesced group."""
+        seeds = _seeds(3, tag=9)
+        keys = [r.output for r in execute_group(_keygen_requests(seeds))]
+        enc = execute_group(
+            [
+                KemRequest(op="encaps", param_set=PARAM, ek=ek, m=bytes([i]) * 32)
+                for i, (ek, _dk) in enumerate(keys)
+            ]
+        )
+        dec = execute_group(
+            [
+                KemRequest(op="decaps", param_set=PARAM, dk=dk, ct=r.output[1])
+                for (_ek, dk), r in zip(keys, enc)
+            ]
+        )
+        kem = MlKem(PARAM)
+        for (ek, dk), e, d in zip(keys, enc, dec):
+            shared, ct = e.output
+            assert d.output == shared  # the handshake agrees
+            assert kem.decaps(dk, ct) == shared  # and matches the oracle
+
+    def test_mixed_ops_do_not_coalesce(self):
+        """keygen and encaps carry different group keys."""
+        (d, z), = _seeds(1, tag=3)
+        (ek, _dk), = KemEngine(PARAM).keygen_batch([(d, z)])[0]
+        kg = KemRequest(op="keygen", param_set=PARAM, d=d, z=z)
+        en = KemRequest(op="encaps", param_set=PARAM, ek=ek, m=b"\x22" * 32)
+        assert kg.group_key != en.group_key
+        with pytest.raises(ValueError, match="mixed request groups"):
+            execute_group([kg, en])
+
+    def test_expired_request_fails_fast_in_group(self):
+        """An expired rider gets an error result; live rows still run."""
+        seeds = _seeds(2, tag=7)
+        live, doomed = _keygen_requests(seeds)
+        doomed = KemRequest(
+            op="keygen", param_set=PARAM, d=doomed.d, z=doomed.z, deadline=0.0
+        )
+        results = execute_group([live, doomed])
+        assert results[0].error is None
+        assert results[0].output == KemEngine(PARAM).keygen_batch(seeds[:1])[0][0]
+        assert results[1].error is not None and results[1].output is None
+        # Only the live row occupied the batch.
+        assert results[0].batched_with == 1
+
+
+class TestServerTraffic:
+    """The asyncio loop: coalescing windows, mixed classes, deadlines."""
+
+    def test_handshakes_coalesce_and_roundtrip(self):
+        config = ServeConfig(shards=1, max_batch=8, batch_window_s=0.05)
+        seeds = _seeds(4, tag=1)
+
+        async def main():
+            async with RpuServer(config) as server:
+                keyres = await asyncio.gather(
+                    *[
+                        server.kem_keygen(d=d, z=z, param_set=PARAM)
+                        for d, z in seeds
+                    ]
+                )
+                encres = await asyncio.gather(
+                    *[
+                        server.kem_encaps(
+                            r.output[0], m=bytes([i]) * 32, param_set=PARAM
+                        )
+                        for i, r in enumerate(keyres)
+                    ]
+                )
+                decres = await asyncio.gather(
+                    *[
+                        server.kem_decaps(
+                            k.output[1], e.output[1], param_set=PARAM
+                        )
+                        for k, e in zip(keyres, encres)
+                    ]
+                )
+                return keyres, encres, decres
+
+        keyres, encres, decres = asyncio.run(main())
+        direct, _ = KemEngine(PARAM).keygen_batch(seeds)
+        assert [r.output for r in keyres] == direct
+        assert all(r.batched_with == 4 for r in keyres)  # one dispatch
+        for e, d in zip(encres, decres):
+            assert d.output == e.output[0]
+
+    def test_mixed_kem_and_he_level_traffic(self):
+        """Interleaved KEM + CKKS level requests: both classes complete,
+        each coalescing only within its own group."""
+        from repro.rlwe.ckks import CkksContext, CkksParameters
+        from repro.rlwe.engine import LevelKeyMaterial
+
+        he_vlen = 16
+        params = CkksParameters.demo(n=64, delta_bits=20, levels=2, base_bits=28)
+        ctx = CkksContext(params, seed=7, backend="auto")
+        keys = ctx.keygen()
+        z = np.array([1.5, -0.25, 2.0 + 1j, 0.75])
+        cx = ctx.encrypt(keys, ctx.encode(z))
+        cy = ctx.encrypt(keys, ctx.encode(z * 2))
+        oracle = ctx.rescale(ctx.relinearize(keys, ctx.multiply(cx, cy)))
+        material = LevelKeyMaterial.build(params, keys, 2)
+        x = (cx.components[0].towers, cx.components[1].towers)
+        y = (cy.components[0].towers, cy.components[1].towers)
+        seeds = _seeds(3, tag=2)
+        config = ServeConfig(shards=1, max_batch=16, batch_window_s=0.05)
+
+        async def main():
+            async with RpuServer(config) as server:
+                # Interleave submissions so both classes are pending at once.
+                tasks = []
+                for d, zz in seeds:
+                    tasks.append(
+                        asyncio.create_task(
+                            server.kem_keygen(d=d, z=zz, param_set=PARAM)
+                        )
+                    )
+                    tasks.append(
+                        asyncio.create_task(
+                            server.he_level(x, y, material, vlen=he_vlen)
+                        )
+                    )
+                return await asyncio.gather(*tasks)
+
+        results = asyncio.run(main())
+        kem_results, he_results = results[0::2], results[1::2]
+        direct, _ = KemEngine(PARAM).keygen_batch(seeds)
+        assert [r.output for r in kem_results] == direct
+        for r in he_results:
+            assert r.output[0] == oracle.components[0].towers
+            assert r.output[1] == oracle.components[1].towers
+        # Separate group keys: each class batched only with its own kind.
+        assert all(r.batched_with == 3 for r in kem_results)
+        assert all(r.batched_with == 3 for r in he_results)
+
+    def test_deadline_exceeded_surfaces_from_server(self):
+        (d, z), = _seeds(1, tag=5)
+        config = ServeConfig(shards=1, max_batch=8, batch_window_s=0.25)
+
+        async def main():
+            async with RpuServer(config) as server:
+                doomed = server.kem_keygen(
+                    d=d, z=z, param_set=PARAM, deadline_s=0.001
+                )
+                ok = server.kem_keygen(d=d, z=z, param_set=PARAM)
+                return await asyncio.gather(doomed, ok, return_exceptions=True)
+
+        doomed, ok = asyncio.run(main())
+        assert isinstance(doomed, DeadlineExceeded)
+        assert ok.output == KemEngine(PARAM).keygen_batch([(d, z)])[0][0]
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_server_shard_parity(self, shards):
+        """Sharded serving returns the same bytes as the direct engine."""
+        seeds = _seeds(3, tag=shards + 10)
+        config = ServeConfig(
+            shards=shards, max_batch=8, batch_window_s=0.05
+        )
+
+        async def main():
+            async with RpuServer(config) as server:
+                return await asyncio.gather(
+                    *[
+                        server.kem_keygen(d=d, z=z, param_set=PARAM)
+                        for d, z in seeds
+                    ]
+                )
+
+        results = asyncio.run(main())
+        direct, _ = KemEngine(PARAM).keygen_batch(seeds)
+        assert [r.output for r in results] == direct
+        assert all(r.shards == shards for r in results)
+
+
+class TestRequestValidation:
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError):
+            KemRequest(op="keygen", param_set=PARAM, d=b"\x00" * 32)  # no z
+        with pytest.raises(ValueError):
+            KemRequest(op="encaps", param_set=PARAM, ek=b"short", m=b"\x00" * 32)
+        with pytest.raises(ValueError):
+            KemRequest(op="decaps", param_set=PARAM, dk=b"\x00" * 10, ct=b"")
+        with pytest.raises(ValueError):
+            KemRequest(
+                op="sign", param_set=PARAM, d=b"\x00" * 32, z=b"\x00" * 32
+            )
+
+    def test_group_key_separates_param_sets(self):
+        a = KemRequest(
+            op="keygen", param_set=PARAM, d=b"\x00" * 32, z=b"\x01" * 32
+        )
+        b = KemRequest(
+            op="keygen", param_set="ML-KEM-768", d=b"\x00" * 32, z=b"\x01" * 32
+        )
+        assert a.group_key != b.group_key

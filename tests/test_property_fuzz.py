@@ -211,6 +211,87 @@ class TestBackendDifferentialSweep:
                 assert sims[0].stats == sims[1].stats
 
 
+class TestKemFuzz:
+    """ML-KEM round-trip and implicit rejection over random seeds.
+
+    The oracle is the invariant carrier; one backend-differential case
+    per example keeps the datapath honest without re-running the full
+    engine matrix (that lives in ``test_kem_kat.py``).
+    """
+
+    @given(
+        name=st.sampled_from(["ML-KEM-512", "ML-KEM-768", "ML-KEM-1024"]),
+        seed=st.integers(0, 2**32),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_roundtrip_any_seed(self, name, seed):
+        from repro.rlwe.kyber import MlKem
+
+        rng = random.Random(seed)
+        d, z, m = (
+            bytes(rng.randrange(256) for _ in range(32)) for _ in range(3)
+        )
+        kem = MlKem(name)
+        ek, dk = kem.keygen(d, z)
+        shared, ct = kem.encaps(ek, m)
+        assert kem.decaps(dk, ct) == shared and len(shared) == 32
+
+    @given(
+        name=st.sampled_from(["ML-KEM-512", "ML-KEM-768", "ML-KEM-1024"]),
+        seed=st.integers(0, 2**32),
+        flip=st.integers(0, 2**16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_corrupted_ciphertext_rejects_implicitly(self, name, seed, flip):
+        """Any bit flip decaps to the deterministic J(z||c) secret --
+        never an exception, never the real shared secret."""
+        from repro.rlwe.kyber import MlKem, get_params, hash_j
+
+        rng = random.Random(seed)
+        d, z, m = (
+            bytes(rng.randrange(256) for _ in range(32)) for _ in range(3)
+        )
+        kem = MlKem(name)
+        ek, dk = kem.keygen(d, z)
+        shared, ct = kem.encaps(ek, m)
+        params = get_params(name)
+        bad = bytearray(ct)
+        bit = flip % (8 * params.ct_bytes)
+        bad[bit // 8] ^= 1 << (bit % 8)
+        bad = bytes(bad)
+        rejected = kem.decaps(dk, bad)
+        assert rejected == hash_j(z + bad)
+        assert rejected != shared
+        assert kem.decaps(dk, bad) == rejected
+
+    @given(
+        name=st.sampled_from(["ML-KEM-512", "ML-KEM-768"]),
+        backend=st.sampled_from(["vectorized", "scalar"]),
+        seed=st.integers(0, 2**32),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_engine_matches_oracle_any_seed(self, name, backend, seed):
+        from repro.rlwe.kem_engine import KemEngine
+        from repro.rlwe.kyber import MlKem
+
+        rng = random.Random(seed)
+        d, z, m = (
+            bytes(rng.randrange(256) for _ in range(32)) for _ in range(3)
+        )
+        oracle = MlKem(name)
+        engine = KemEngine(name, backend=backend)
+        ek, dk = engine.keygen(d, z)
+        assert (ek, dk) == oracle.keygen(d, z)
+        shared, ct = engine.encaps(ek, m)
+        assert (shared, ct) == oracle.encaps(ek, m)
+        assert engine.decaps(dk, ct) == shared
+        bad = bytearray(ct)
+        bad[seed % len(bad)] ^= 0xA5
+        assert engine.decaps(dk, bytes(bad)) == oracle.decaps(
+            dk, bytes(bad)
+        )
+
+
 class TestTimingLaws:
     @given(
         hples=st.sampled_from([2, 4, 8]),

@@ -1,4 +1,4 @@
-"""RLWE workload tests: ring algebra, BFV scheme, Kyber-style KEM."""
+"""RLWE workload tests: ring algebra, BFV scheme, ML-KEM (FIPS 203)."""
 
 import random
 
@@ -8,7 +8,17 @@ from hypothesis import given, settings, strategies as st
 from repro.modmath.primes import find_ntt_prime
 from repro.ntt.naive import naive_negacyclic_convolution
 from repro.rlwe.bfv import BfvContext, BfvParameters
-from repro.rlwe.kyber import DU, DV, KyberContext, N, Q, _compress, _decompress
+from repro.rlwe.kyber import (
+    MLKEM_512,
+    MLKEM_768,
+    MLKEM_1024,
+    N,
+    Q,
+    MlKem,
+    compress,
+    decompress,
+    get_params,
+)
 from repro.rlwe.ring import RingElement
 from repro.rlwe.sampling import centered_binomial_poly, ternary_poly, uniform_poly
 
@@ -182,43 +192,72 @@ class TestBfvBackendEquivalence:
         )
 
 
-class TestKyber:
+class TestMlKem:
     def test_kem_roundtrip(self):
-        ctx = KyberContext(k=2, seed=5)
-        pk, sk = ctx.keygen()
-        for _ in range(5):
-            ct, ss_enc = ctx.encapsulate(pk)
-            assert ctx.decapsulate(sk, ct) == ss_enc
+        kem = MlKem(MLKEM_512)
+        ek, dk = kem.keygen(b"\x07" * 32, b"\x08" * 32)
+        for i in range(5):
+            shared, ct = kem.encaps(ek, bytes([i]) * 32)
+            assert kem.decaps(dk, ct) == shared
 
-    def test_rank3(self):
-        ctx = KyberContext(k=3, seed=5)
-        pk, sk = ctx.keygen()
-        ct, ss = ctx.encapsulate(pk)
-        assert ctx.decapsulate(sk, ct) == ss
+    def test_all_parameter_sets_and_sizes(self):
+        for params in (MLKEM_512, MLKEM_768, MLKEM_1024):
+            kem = MlKem(params)
+            ek, dk = kem.keygen(b"\x01" * 32, b"\x02" * 32)
+            assert len(ek) == params.ek_bytes
+            assert len(dk) == params.dk_bytes
+            shared, ct = kem.encaps(ek, b"\x03" * 32)
+            assert len(ct) == params.ct_bytes and len(shared) == 32
+            assert kem.decaps(dk, ct) == shared
 
-    def test_wrong_key_fails(self):
-        ctx = KyberContext(k=2, seed=5)
-        pk, _ = ctx.keygen()
-        _, sk2 = KyberContext(k=2, seed=6).keygen()
-        ct, ss = ctx.encapsulate(pk)
-        assert ctx.decapsulate(sk2, ct) != ss
+    def test_implicit_rejection_never_raises(self):
+        kem = MlKem(MLKEM_512)
+        ek, dk = kem.keygen(b"\x09" * 32, b"\x0a" * 32)
+        shared, ct = kem.encaps(ek, b"\x0b" * 32)
+        bad = bytearray(ct)
+        bad[0] ^= 1
+        rejected = kem.decaps(dk, bytes(bad))
+        assert rejected != shared and len(rejected) == 32
+        # Deterministic: the rejection secret is J(z || c), not noise.
+        assert kem.decaps(dk, bytes(bad)) == rejected
+
+    def test_wrong_key_rejects(self):
+        kem = MlKem(MLKEM_512)
+        ek, _dk = kem.keygen(b"\x0c" * 32, b"\x0d" * 32)
+        _ek2, dk2 = kem.keygen(b"\x0e" * 32, b"\x0f" * 32)
+        shared, ct = kem.encaps(ek, b"\x10" * 32)
+        assert kem.decaps(dk2, ct) != shared
 
     def test_compression_error_bounded(self):
-        for d in (DU, DV):
+        for d in (10, 11, 4, 5):
             for x in range(0, Q, 97):
                 err = min(
-                    abs(_decompress(_compress(x, d), d) - x),
-                    Q - abs(_decompress(_compress(x, d), d) - x),
+                    abs(decompress(d, compress(d, x)) - x),
+                    Q - abs(decompress(d, compress(d, x)) - x),
                 )
                 assert err <= Q // (1 << (d + 1)) + 1
 
-    def test_q_is_ntt_friendly(self):
-        # The classic q=7681 supports the full negacyclic NTT at n=256.
-        assert (Q - 1) % (2 * N) == 0
+    def test_q_admits_only_the_incomplete_ntt(self):
+        # q = 3329 has 256th roots of unity but no 512th: the FIPS 203
+        # NTT stops one layer short and multiplication needs basemuls.
+        assert (Q - 1) % N == 0
+        assert (Q - 1) % (2 * N) != 0
 
-    def test_bad_rank_rejected(self):
+    def test_bad_inputs_rejected(self):
+        kem = MlKem(MLKEM_512)
         with pytest.raises(ValueError):
-            KyberContext(k=0)
+            get_params("ML-KEM-2048")
+        with pytest.raises(ValueError):
+            kem.keygen(b"short", b"\x00" * 32)
+        with pytest.raises(ValueError):
+            kem.encaps(b"\x00" * 17)
+        ek, dk = kem.keygen(b"\x11" * 32, b"\x12" * 32)
+        with pytest.raises(ValueError):
+            kem.decaps(dk, b"\x00" * 5)
+        # ek failing the FIPS modulus check (a residue >= q) is rejected.
+        bad_ek = b"\xff" * MLKEM_512.ek_bytes
+        with pytest.raises(ValueError):
+            kem.encaps(bad_ek)
 
 
 class TestBfvRnsResidency:

@@ -1,0 +1,151 @@
+"""Regenerate the vendored ML-KEM known-answer vector files.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/vendor/acvp/regenerate.py
+
+Writes ``mlkem_512.json`` / ``mlkem_768.json`` / ``mlkem_1024.json``
+next to this script, in the NIST ACVP field vocabulary (``d``, ``z``,
+``ek``, ``dk``, ``m``, ``c``, ``k``, hex-encoded), and prints the
+SHA-256 checksums that ``tests/conftest.py`` pins.
+
+Every test case is derived deterministically from SHAKE256 of a fixed
+label, so re-running this script reproduces the files byte-identically.
+When the host's ``cryptography`` package exposes OpenSSL's ML-KEM
+(768/1024 in current builds), each generated case is cross-validated
+against it before being written; generation aborts on any divergence.
+See README.md in this directory for provenance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+from repro.rlwe.kyber import MLKEM_512, MLKEM_768, MLKEM_1024, MlKem
+
+HERE = pathlib.Path(__file__).resolve().parent
+KEYGEN_CASES = 8
+ENCAPS_CASES = 8
+DECAPS_VALID = 6
+DECAPS_REJECT = 4
+
+try:
+    from cryptography.hazmat.primitives.asymmetric import mlkem as _ossl
+
+    _OSSL = {
+        "ML-KEM-768": getattr(_ossl, "MLKEM768PrivateKey", None),
+        "ML-KEM-1024": getattr(_ossl, "MLKEM1024PrivateKey", None),
+    }
+except ImportError:  # pragma: no cover - generation-time convenience only
+    _OSSL = {}
+
+
+def _seed(label: str, n: int = 32) -> bytes:
+    return hashlib.shake_256(label.encode()).digest(n)
+
+
+def _cross_validate(name, d, z, ek, dk, cases):
+    cls = _OSSL.get(name)
+    if cls is None:
+        return False
+    key = cls.from_seed_bytes(d + z)
+    assert key.public_key().public_bytes_raw() == ek, f"{name}: ek diverges"
+    for c, k in cases:
+        assert key.decapsulate(c) == k, f"{name}: decaps diverges"
+    return True
+
+
+def generate(params) -> dict:
+    kem = MlKem(params)
+    name = params.name
+    cross_validated = False
+
+    keygen_tests = []
+    for i in range(KEYGEN_CASES):
+        d = _seed(f"{name}/keyGen/{i}/d")
+        z = _seed(f"{name}/keyGen/{i}/z")
+        ek, dk = kem.keygen(d, z)
+        keygen_tests.append(
+            {
+                "tcId": i + 1,
+                "d": d.hex(),
+                "z": z.hex(),
+                "ek": ek.hex(),
+                "dk": dk.hex(),
+            }
+        )
+        cross_validated |= _cross_validate(name, d, z, ek, dk, [])
+
+    encaps_tests = []
+    ek, dk = kem.keygen(
+        _seed(f"{name}/encapDecap/d"), _seed(f"{name}/encapDecap/z")
+    )
+    for i in range(ENCAPS_CASES):
+        m = _seed(f"{name}/encaps/{i}/m")
+        k, c = kem.encaps(ek, m)
+        encaps_tests.append(
+            {"tcId": i + 1, "m": m.hex(), "c": c.hex(), "k": k.hex()}
+        )
+
+    decaps_tests = []
+    pairs = []
+    for i in range(DECAPS_VALID + DECAPS_REJECT):
+        m = _seed(f"{name}/decaps/{i}/m")
+        _k, c = kem.encaps(ek, m)
+        if i >= DECAPS_VALID:
+            # Flip one byte: the re-encryption check must fail and the
+            # decapsulation fall through to the implicit-rejection path.
+            bad = bytearray(c)
+            bad[(37 * i) % len(bad)] ^= 0xA5
+            c = bytes(bad)
+        k = kem.decaps(dk, c)
+        reason = "valid" if i < DECAPS_VALID else "modified ciphertext"
+        decaps_tests.append(
+            {"tcId": i + 1, "c": c.hex(), "k": k.hex(), "reason": reason}
+        )
+        pairs.append((c, k))
+    cross_validated |= _cross_validate(
+        name,
+        _seed(f"{name}/encapDecap/d"),
+        _seed(f"{name}/encapDecap/z"),
+        ek,
+        dk,
+        pairs,
+    )
+
+    return {
+        "algorithm": "ML-KEM",
+        "parameterSet": name,
+        "revision": "FIPS203",
+        "crossValidatedAgainstOpenSSL": cross_validated,
+        "keyGen": {"tests": keygen_tests},
+        "encapDecap": {
+            "ek": ek.hex(),
+            "dk": dk.hex(),
+            "encapsulation": {"tests": encaps_tests},
+            "decapsulation": {"tests": decaps_tests},
+        },
+    }
+
+
+def main() -> None:
+    for params, stem in (
+        (MLKEM_512, "mlkem_512"),
+        (MLKEM_768, "mlkem_768"),
+        (MLKEM_1024, "mlkem_1024"),
+    ):
+        payload = generate(params)
+        path = HERE / f"{stem}.json"
+        text = json.dumps(payload, indent=1) + "\n"
+        path.write_text(text)
+        digest = hashlib.sha256(text.encode()).hexdigest()
+        tag = "openssl-x-checked" if payload[
+            "crossValidatedAgainstOpenSSL"
+        ] else "oracle-only"
+        print(f"{digest}  {path.name}  ({tag})")
+
+
+if __name__ == "__main__":
+    main()
