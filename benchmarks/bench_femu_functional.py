@@ -3,26 +3,35 @@
 Times the full functional execution of a 4K NTT kernel on both FEMU
 backends (scalar interpreter vs numpy engine), the batched execution of
 8 independent polynomials, and the reference/numpy baselines.  The
-batch benches emit ``scalar_vs_vectorized_speedup`` *and* the engine's
-``dtype_path`` (int64 / limb<k>x26 -- never object) into the
-pytest-benchmark JSON (``--benchmark-json``) via ``extra_info``.
+batch benches emit ``scalar_vs_vectorized_speedup``, the engine's
+``dtype_path`` (int64 / limb<k>x26 -- never object) *and* its
+``native_path`` (native / numpy / n/a) into the pytest-benchmark JSON
+(``--benchmark-json``) via ``extra_info``.
 
-Two gates:
+Gates:
 
 * int64 path (q < 2^31): >= 5x, the PR-1 contract;
 * multi-limb path (128-bit modulus): must run on int64 limb planes (no
-  object-dtype promotion) and beat the scalar backend >= 2.25x.  The
-  issue that introduced the limb engine aimed for 3x; sustained
-  measurements on the 1-core shared reference container are 2.4-2.6x
-  (the old object-dtype path sat at ~1.3x), so the gate is set at the
-  level the hardware at hand delivers robustly with noise margin.
+  object-dtype promotion).  With the compiled native kernels active the
+  batched pass must beat the scalar backend >= 3x (sustained
+  measurements on the 1-core shared reference container are 3.2-3.6x);
+  on the numpy fallback the prior 2.25x gate is retained (numpy
+  sustains 2.4-2.6x there; the old object-dtype path sat at ~1.3x);
+* numpy-vs-native (128-bit): its own metric row timing the identical
+  batched pass under ``RPU_NATIVE=0`` and the compiled kernels, gated
+  at a modest >= 1.1x (kernel-level measurements are 2-4x; end-to-end
+  the non-limb interpreter overheads dilute it).
 """
 
 import random
+import time
+
+import pytest
 
 from repro.baselines.cpu_ntt import numpy_ntt_forward
 from repro.eval.femu_backends import random_batch, time_scalar_vs_batched
 from repro.femu import BatchExecutor, make_simulator
+from repro.modmath import native
 from repro.ntt.reference import ntt_forward
 from repro.ntt.twiddles import TwiddleTable
 from repro.spiral.kernels import generate_ntt_program
@@ -51,14 +60,18 @@ def _batch_speedup(benchmark, q_bits, repeats=3):
     Uses the shared eval harness with best-of-``repeats`` timing so a
     noisy co-tenant burst cannot flip the gated ratio (observed once in
     CI-like conditions).  Also reports which element representation the
-    engine chose (``dtype_path``) so a silent change of path -- e.g. a
-    regression back to object lanes -- shows up in the JSON and in the
-    gate below.
+    engine chose (``dtype_path``) and which limb-kernel backend produced
+    the wide-modulus compute (``native_path``) so a silent change of
+    path -- e.g. a regression back to object lanes, or a native build
+    quietly falling back to numpy -- shows up in the JSON and in the
+    gates below.
     """
     program = generate_ntt_program(N, q_bits=q_bits)
     table = TwiddleTable.for_ring(N, q_bits=q_bits)
     rows = random_batch(program, table.q, BATCH, seed=q_bits)
-    dtype_path = BatchExecutor(program, batch=BATCH).dtype_path
+    probe = BatchExecutor(program, batch=BATCH)
+    dtype_path = probe.dtype_path
+    native_path = probe.native_path
 
     scalar_s, vectorized_s, bit_exact = time_scalar_vs_batched(
         program, rows, repeats=repeats
@@ -75,10 +88,11 @@ def _batch_speedup(benchmark, q_bits, repeats=3):
     benchmark.extra_info["batch"] = BATCH
     benchmark.extra_info["q_bits"] = q_bits
     benchmark.extra_info["dtype_path"] = dtype_path
+    benchmark.extra_info["native_path"] = native_path
     benchmark.extra_info["scalar_s"] = round(scalar_s, 6)
     benchmark.extra_info["vectorized_s"] = round(vectorized_s, 6)
     benchmark.extra_info["scalar_vs_vectorized_speedup"] = round(speedup, 2)
-    return speedup, dtype_path
+    return speedup, dtype_path, native_path
 
 
 def test_bench_femu_4k_ntt(benchmark, femu_backend):
@@ -104,7 +118,7 @@ def test_bench_femu_batch8_int64_speedup(benchmark):
 
     Acceptance gate: one batched pass must beat 8 scalar runs by >= 5x.
     """
-    speedup, dtype_path = _batch_speedup(benchmark, q_bits=30)
+    speedup, dtype_path, _ = _batch_speedup(benchmark, q_bits=30)
     assert dtype_path == "int64"
     assert speedup >= 5.0, f"vectorized batch speedup {speedup:.2f}x < 5x"
 
@@ -115,13 +129,67 @@ def test_bench_femu_batch8_128bit_limb_speedup(benchmark):
     Acceptance gates: the kernel must run on int64 limb planes (the
     object-dtype promotion this path replaced would report ``object``
     here and sat at ~1.3x), and one batched pass must beat 8 scalar runs
-    by >= 2.25x (see the module docstring for how the bar was chosen).
+    by >= 3x when the compiled native kernels carry the limb rows, or by
+    the retained >= 2.25x bar on the numpy fallback (see the module
+    docstring for how both bars were chosen).
     """
-    speedup, dtype_path = _batch_speedup(benchmark, q_bits=128, repeats=5)
+    speedup, dtype_path, native_path = _batch_speedup(
+        benchmark, q_bits=128, repeats=5
+    )
     assert dtype_path.startswith("limb"), (
         f"128-bit kernel left the limb path: {dtype_path}"
     )
-    assert speedup >= 2.25, f"vectorized batch speedup {speedup:.2f}x < 2.25x"
+    floor = 3.0 if native_path == "native" else 2.25
+    assert speedup >= floor, (
+        f"vectorized batch speedup {speedup:.2f}x < {floor}x "
+        f"(native_path={native_path})"
+    )
+
+
+def test_bench_femu_batch8_128bit_native_vs_numpy(benchmark):
+    """Numpy-vs-native limb kernels on the identical batch-8 128-bit pass.
+
+    The scalar-vs-vectorized rows above measure the batching win; this
+    row isolates the compiled-kernel win by timing the *same* vectorized
+    pass once under ``RPU_NATIVE=0`` and once with the native backend,
+    asserting the outputs bit-identical.  Skipped (not failed) on hosts
+    without a working C toolchain -- the numpy fallback is the contract
+    there, and the 2.25x gate above still covers it.
+    """
+    program = generate_ntt_program(N, q_bits=128)
+    table = TwiddleTable.for_ring(N, q_bits=128)
+    rows = random_batch(program, table.q, BATCH, seed=128)
+
+    def best_of(repeats):
+        best, out = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            out = _run_vectorized_batch(program, rows)
+            best = min(best, time.perf_counter() - t0)
+        return best, out
+
+    with native.forced_mode("auto"):
+        if native.active() is None:
+            pytest.skip("no native limb backend on this host")
+        native_s, native_out = best_of(5)
+        # The timed section the JSON carries a distribution for.
+        benchmark.pedantic(
+            _run_vectorized_batch, args=(program, rows), rounds=1, iterations=1
+        )
+    with native.forced_mode("0"):
+        numpy_s, numpy_out = best_of(5)
+
+    assert native_out == numpy_out  # bit-identical, not just fast
+    speedup = numpy_s / native_s
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["q_bits"] = 128
+    benchmark.extra_info["numpy_s"] = round(numpy_s, 6)
+    benchmark.extra_info["native_s"] = round(native_s, 6)
+    benchmark.extra_info["numpy_vs_native_speedup"] = round(speedup, 2)
+    assert speedup >= 1.1, (
+        f"native limb kernels only {speedup:.2f}x over numpy (< 1.1x)"
+    )
 
 
 def test_bench_reference_ntt_128bit(benchmark):

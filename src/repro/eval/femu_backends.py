@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.eval.common import run_functional
 from repro.femu import BatchExecutor
+from repro.modmath import native
 from repro.ntt.twiddles import TwiddleTable
 from repro.spiral.kernels import generate_ntt_program
 
@@ -95,6 +96,27 @@ def compare_backends(
             )
         )
     return rows
+
+
+def print_native_backend() -> None:
+    """The native limb-kernel probe report (``native.describe()``).
+
+    Printed alongside the backend comparison so every eval dataset
+    records which limb backend -- compiled or numpy -- produced its
+    wide-modulus numbers, and why (probed features, toolchain, cache).
+    """
+    info = native.describe()
+    print("\n== Native limb kernels (RPU_NATIVE) ==")
+    print(f"  mode:         {info['mode']}")
+    print(f"  enabled:      {'yes' if info['enabled'] else 'no'}")
+    print(f"  compiler:     {info['compiler'] or '(none found)'}")
+    print(f"  cpu features: {' '.join(info['cpu_features']) or '(none)'}")
+    print(f"  flags:        {' '.join(info['flags'])}")
+    print(f"  build cache:  {info['cache_dir']}")
+    if info["so_path"]:
+        print(f"  loaded:       {info['so_path']} (abi {info['abi']})")
+    if info["error"]:
+        print(f"  fallback:     {info['error']}")
 
 
 def print_femu_backends(rows: list[BackendRow] | None = None) -> None:

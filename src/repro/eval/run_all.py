@@ -13,7 +13,7 @@ from repro.eval.fig7 import print_fig7
 from repro.eval.fig8 import print_fig8
 from repro.eval.fig9 import print_fig9
 from repro.eval.fig10 import print_fig10
-from repro.eval.femu_backends import print_femu_backends
+from repro.eval.femu_backends import print_femu_backends, print_native_backend
 from repro.eval.he_pipeline import print_he_pipeline
 from repro.eval.he_rotation import print_he_rotation
 from repro.eval.headline import print_headline
@@ -39,6 +39,7 @@ def main() -> None:
     print_headline()
     print_he_pipeline()
     print_he_rotation()
+    print_native_backend()
     print_femu_backends()
 
 

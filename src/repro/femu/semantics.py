@@ -49,6 +49,12 @@ class ExecutionStats:
     )
     vdm_reads: int = 0
     vdm_writes: int = 0
+    # Which limb-kernel backend produced the pass's wide-modulus compute:
+    # "native" (compiled rows), "numpy" (array sweeps), "n/a" (int64-only
+    # or scalar-interpreter passes -- no limb kernels involved), "mixed"
+    # (merged record spanning both).  Informational: excluded from
+    # equality so bit-exactness comparisons across backends still hold.
+    native_path: str = field(default="n/a", compare=False)
 
     def copy(self) -> "ExecutionStats":
         """An independent copy (the ``by_class`` dict is not shared)."""
@@ -57,7 +63,18 @@ class ExecutionStats:
             by_class=dict(self.by_class),
             vdm_reads=self.vdm_reads,
             vdm_writes=self.vdm_writes,
+            native_path=self.native_path,
         )
+
+    @staticmethod
+    def _merge_native_path(a: str, b: str) -> str:
+        if a == b:
+            return a
+        if a == "n/a":
+            return b
+        if b == "n/a":
+            return a
+        return "mixed"
 
     def __add__(self, other: "ExecutionStats") -> "ExecutionStats":
         if not isinstance(other, ExecutionStats):
@@ -71,6 +88,9 @@ class ExecutionStats:
             by_class=by_class,
             vdm_reads=self.vdm_reads + other.vdm_reads,
             vdm_writes=self.vdm_writes + other.vdm_writes,
+            native_path=self._merge_native_path(
+                self.native_path, other.native_path
+            ),
         )
 
     def __radd__(self, other):

@@ -84,6 +84,7 @@ from repro.isa.addressing import AddressMode, element_addresses_array
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program, RegionSpec
+from repro.modmath import native
 from repro.modmath.limb import (
     LIMB_BITS,
     LimbEngine,
@@ -205,6 +206,23 @@ class BatchExecutor:
         if self._limb_k is None:
             return "int64"
         return f"limb{self._limb_k}x{LIMB_BITS}"
+
+    @property
+    def native_path(self) -> str:
+        """Which limb-kernel backend wide-modulus compute dispatches to.
+
+        ``"native"`` (the compiled row kernels of
+        :mod:`repro.modmath.native`), ``"numpy"`` (the limb engine's
+        array sweeps), or ``"n/a"`` on the int64 path, where no limb
+        kernels run at all.  Reported into :class:`ExecutionStats` and
+        the benchmark JSON so the perf trajectory records which backend
+        produced each number.
+        """
+        if self._limb_k is None:
+            return "n/a"
+        if self._limb_k <= native.MAX_K and native.active() is not None:
+            return "native"
+        return "numpy"
 
     @staticmethod
     def _select_limbs(program: Program) -> int | None:
@@ -354,6 +372,7 @@ class BatchExecutor:
     # -- execution ---------------------------------------------------------
     def run(self) -> ExecutionStats:
         """Execute until HALT (or the end of the instruction list)."""
+        self.stats.native_path = self.native_path
         for inst in self.program.instructions:
             if inst.opcode is Opcode.HALT:
                 break
@@ -574,6 +593,11 @@ class VectorizedSimulator:
     def dtype_path(self) -> str:
         """The element representation the engine chose (never object)."""
         return self._engine.dtype_path
+
+    @property
+    def native_path(self) -> str:
+        """Limb-kernel backend for wide compute (see BatchExecutor)."""
+        return self._engine.native_path
 
     def write_region(self, region: RegionSpec | None, values: Sequence[int]) -> None:
         """Place caller data into a VDM region before running."""

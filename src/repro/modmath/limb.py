@@ -51,6 +51,15 @@ modulus, same instance); their constants are immutable and their scratch
 arenas are *thread-local*, so concurrently executing kernels -- e.g. two
 coalesced serving batches flushing in parallel threads -- cannot corrupt
 each other's staging buffers.
+
+Native dispatch: every LAW operation first offers itself to the compiled
+row kernels (:mod:`repro.modmath.native`, built on demand from
+``limb_kernels.c``), which fuse the numpy sweep sequences into one pass
+per block of lanes.  The numpy bodies below remain the always-available
+bit-exact fallback -- ``RPU_NATIVE=0`` forces them, and any shape the
+compiled backend declines (k > 16 limbs, empty operands) silently stays
+here.  ``tests/test_native.py`` fuzzes the two paths against each other
+for every exported kernel.
 """
 
 from __future__ import annotations
@@ -60,6 +69,8 @@ import threading
 from collections.abc import Sequence
 
 import numpy as np
+
+from repro.modmath import native
 
 LIMB_BITS = 26
 """Limb width: 2*26 = 52-bit limb products leave int64 accumulation room."""
@@ -289,6 +300,32 @@ class LimbEngine:
         # modulus => same instance), and the serving loop runs coalesced
         # batches in concurrent threads -- shared arenas would race.
         self._scratch = threading.local()
+        self._native_rows = None  # lazy (L, k+1)/(L, k+1)/(L, km) consts
+
+    # -- native dispatch ---------------------------------------------------
+    def _native_consts(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row-major constant blocks for the compiled kernels (cached).
+
+        The C side wants per-row contiguous ``q``/``2q`` (k+1 limbs,
+        zero top) and ``mu`` (km limbs); built once per engine, shared
+        by every call and thread (read-only after publication).
+        """
+        consts = self._native_rows
+        if consts is None:
+            consts = tuple(
+                np.ascontiguousarray(c[:, :, 0].T)
+                for c in (self.q_ext, self.q2_ext, self.mu_limbs)
+            )
+            self._native_rows = consts
+        return consts
+
+    @property
+    def native_path(self) -> str:
+        """Which backend this engine's ops dispatch to right now:
+        ``"native"`` (compiled row kernels) or ``"numpy"`` (sweeps)."""
+        if self.k <= native.MAX_K and native.active() is not None:
+            return "native"
+        return "numpy"
 
     def _buf(self, shape: tuple[int, ...]) -> dict[str, np.ndarray]:
         """Per-lane-shape scratch arena: reused across calls so the hot
@@ -364,7 +401,48 @@ class LimbEngine:
         return (top < 0) | (top > LIMB_MASK) | (d[-1] >= 0)
 
     # -- the LAW operations ------------------------------------------------
+    # Each public op dispatches to the compiled row kernels when they are
+    # available and accept the shape; the numpy bodies below are the
+    # always-available bit-exact fallback (and the differential oracle
+    # the native path is fuzzed against).
+
     def add_mod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Lanewise ``(a + b) mod q``; operands canonical."""
+        kernels = native.active()
+        if kernels is not None:
+            out = kernels.add_mod(self, a, b)
+            if out is not None:
+                return out
+        return self._add_mod_numpy(a, b)
+
+    def sub_mod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Lanewise ``(a - b) mod q``; operands canonical."""
+        kernels = native.active()
+        if kernels is not None:
+            out = kernels.sub_mod(self, a, b)
+            if out is not None:
+                return out
+        return self._sub_mod_numpy(a, b)
+
+    def mul_mod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Lanewise ``a * b mod q`` via schoolbook product + Barrett."""
+        kernels = native.active()
+        if kernels is not None:
+            out = kernels.mul_mod(self, a, b)
+            if out is not None:
+                return out
+        return self._mul_mod_numpy(a, b)
+
+    def bfly_ct(self, a: np.ndarray, b: np.ndarray, w: np.ndarray):
+        """Cooley-Tukey butterfly ``(a + b*w, a - b*w) mod q`` fused."""
+        kernels = native.active()
+        if kernels is not None:
+            out = kernels.bfly_ct(self, a, b, w)
+            if out is not None:
+                return out
+        return self._bfly_ct_numpy(a, b, w)
+
+    def _add_mod_numpy(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Lanewise ``(a + b) mod q``; operands canonical."""
         a, b, (q, *_), lanes = self._prep(a, b)
         shape = np.broadcast_shapes(a.shape[1:], b.shape[1:])
@@ -379,7 +457,7 @@ class LimbEngine:
         np.copyto(out, s, where=mask)
         return out if lanes is None else out.reshape((self.k,) + lanes)
 
-    def sub_mod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def _sub_mod_numpy(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Lanewise ``(a - b) mod q``; operands canonical."""
         a, b, (q, *_), lanes = self._prep(a, b)
         shape = np.broadcast_shapes(a.shape[1:], b.shape[1:])
@@ -394,7 +472,7 @@ class LimbEngine:
         np.copyto(out, s, where=mask)
         return out if lanes is None else out.reshape((self.k,) + lanes)
 
-    def mul_mod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def _mul_mod_numpy(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Lanewise ``a * b mod q`` via schoolbook product + Barrett."""
         a, b, consts, lanes = self._prep(a, b)
         shape = np.broadcast_shapes(a.shape[1:], b.shape[1:])
@@ -440,7 +518,7 @@ class LimbEngine:
         np.copyto(out, d, where=mask)
         return out[:k]
 
-    def bfly_ct(self, a: np.ndarray, b: np.ndarray, w: np.ndarray):
+    def _bfly_ct_numpy(self, a: np.ndarray, b: np.ndarray, w: np.ndarray):
         """Cooley-Tukey butterfly ``(a + b*w, a - b*w) mod q`` fused.
 
         One Barrett-reduced product, then both outputs corrected jointly:

@@ -1,0 +1,324 @@
+/* Fused multi-limb modular row kernels: the compiled twin of LimbEngine.
+ *
+ * repro.modmath.limb runs wide-modulus arithmetic as sequences of numpy
+ * sweeps over 26-bit limb planes; every sweep is one pass over memory.
+ * These kernels fuse each LAW operation into a single pass per row --
+ * the schoolbook product, the limb-aligned Barrett reduction and the
+ * correction subtracts all happen in registers/L1 for a block of lanes
+ * before the next block is touched.  repro.modmath.native compiles this
+ * file on demand (cc -O3 plus whatever SIMD the host advertises) and
+ * binds it over ctypes; the numpy path remains the bit-exact fallback.
+ *
+ * Layout contract (exactly LimbEngine's):
+ *   - operands are int64 limb planes, plane-major: limb i of element
+ *     (row r, lane x) lives at data[i*rows*lanes + r*lanes + x];
+ *   - limbs 0..k-2 of canonical operands lie in [0, 2^26); the top limb
+ *     is signed;
+ *   - per-row constants: qext = q in k+1 limbs (top limb zero),
+ *     q2ext = 2q in k+1 limbs, mu = floor(2^(26*(s1+s2))/q) in km limbs.
+ *
+ * Why the arithmetic cannot overflow an int64 lane: limb products are
+ * at most 52 bits and every accumulation position sums at most
+ * 2*MAX_K = 32 of them plus one carry, staying under 2^58.  That is the
+ * same headroom argument the numpy engine's docstring makes; k is
+ * capped at MAX_K so the bound is enforced, not assumed.
+ *
+ * Kernels return 0 on success and -1 for unsupported shapes (k out of
+ * range); the Python dispatch layer treats nonzero as "use numpy".
+ * All state is on the stack -- the kernels are reentrant, so the
+ * serving loop's concurrent batch flushes need no locking.
+ */
+
+#include <stdint.h>
+
+#define LIMB_BITS 26
+#define LIMB_MASK ((int64_t)0x3ffffff)
+#define MAX_K 16
+#define BLK 16 /* lanes per block: two AVX-512 int64 vectors (measured best) */
+
+typedef int64_t i64;
+
+/* ----------------------------------------------------------------- */
+/* Block primitives: nv <= BLK lanes, limb planes in local arrays.    */
+/* ----------------------------------------------------------------- */
+
+/* z[0..2k-1] = a*b, schoolbook, then one carry pass so every plane but
+ * the (zero) top is in [0, 2^26).  a/b are strided operand pointers. */
+static inline void school_block(i64 z[][BLK], const i64 *a, const i64 *b,
+                                long stride, int k, int nv) {
+  for (int p = 0; p < 2 * k; p++)
+    for (int v = 0; v < nv; v++)
+      z[p][v] = 0;
+  for (int i = 0; i < k; i++) {
+    const i64 *ai = a + (long)i * stride;
+    for (int j = 0; j < k; j++) {
+      const i64 *bj = b + (long)j * stride;
+      i64 *zp = z[i + j];
+      for (int v = 0; v < nv; v++)
+        zp[v] += ai[v] * bj[v];
+    }
+  }
+  for (int p = 0; p < 2 * k - 1; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = z[p][v] >> LIMB_BITS;
+      z[p][v] &= LIMB_MASK;
+      z[p + 1][v] += c;
+    }
+}
+
+/* Conditionally subtract the (m-limb, nonnegative) constant c from r:
+ * r -= c unless that would go negative.  Branch-free select per lane. */
+static inline void cond_sub_block(i64 r[][BLK], const i64 *c, int m, int nv) {
+  i64 d[MAX_K + 2][BLK];
+  for (int v = 0; v < nv; v++)
+    d[0][v] = r[0][v] - c[0];
+  for (int p = 0; p + 1 < m; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 br = d[p][v] >> LIMB_BITS;
+      d[p][v] &= LIMB_MASK;
+      d[p + 1][v] = r[p + 1][v] - c[p + 1] + br;
+    }
+  for (int p = 0; p < m; p++)
+    for (int v = 0; v < nv; v++)
+      r[p][v] = (d[m - 1][v] < 0) ? r[p][v] : d[p][v];
+}
+
+/* Barrett-reduce the normalized 2k-limb product in z to canonical
+ * r[0..k-1].  Same limb-aligned shift points as LimbEngine._reduce
+ * (slicing the limb axis at s1 and s2), but the quotient product is
+ * computed exactly, so the remainder lands in [0, 4q) at worst; the
+ * 2q-then-q conditional subtracts retire the slack exactly as the
+ * numpy engine does. */
+static inline void barrett_block(i64 z[][BLK], i64 r[][BLK], const i64 *qext,
+                                 const i64 *q2ext, const i64 *mu, int k,
+                                 int km, int s1, int s2, int nv) {
+  i64 t[3 * MAX_K + 2][BLK];
+  int m1 = 2 * k - s1; /* planes of z1 = z >> 26*s1 */
+  int tm = m1 + km;
+  int m = k + 1; /* tail planes: 2^(26*(k+1)) > 4q keeps wrap exact */
+  for (int p = 0; p < tm; p++)
+    for (int v = 0; v < nv; v++)
+      t[p][v] = 0;
+  for (int i = 0; i < m1; i++) {
+    const i64 *zi = z[s1 + i];
+    for (int j = 0; j < km; j++) {
+      i64 *tp = t[i + j];
+      const i64 muj = mu[j];
+      for (int v = 0; v < nv; v++)
+        tp[v] += zi[v] * muj;
+    }
+  }
+  for (int p = 0; p + 1 < tm; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = t[p][v] >> LIMB_BITS;
+      t[p][v] &= LIMB_MASK;
+      t[p + 1][v] += c;
+    }
+  /* q_hat = t[s2..]; q_hat <= z/q < q so k planes suffice. */
+  int mh = tm - s2;
+  if (mh > k)
+    mh = k;
+  for (int p = 0; p < m; p++)
+    for (int v = 0; v < nv; v++)
+      r[p][v] = z[p][v];
+  for (int j = 0; j < k; j++) {
+    const i64 qj = qext[j];
+    if (qj == 0)
+      continue;
+    for (int i = 0; i < mh && i + j < m; i++) {
+      i64 *rp = r[i + j];
+      const i64 *tp = t[s2 + i];
+      for (int v = 0; v < nv; v++)
+        rp[v] -= tp[v] * qj;
+    }
+  }
+  for (int p = 0; p + 1 < m; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = r[p][v] >> LIMB_BITS;
+      r[p][v] &= LIMB_MASK;
+      r[p + 1][v] += c;
+    }
+  for (int v = 0; v < nv; v++)
+    r[m - 1][v] &= LIMB_MASK; /* value mod 2^(26*m): wrap is exact */
+  cond_sub_block(r, q2ext, m, nv);
+  cond_sub_block(r, qext, m, nv);
+}
+
+/* hi = a + t (mod q): one carry pass then a conditional subtract. */
+static inline void add_canon_block(i64 out[][BLK], const i64 *a, i64 t[][BLK],
+                                   long stride, const i64 *qext, int k,
+                                   int nv) {
+  for (int i = 0; i < k; i++) {
+    const i64 *ai = a + (long)i * stride;
+    for (int v = 0; v < nv; v++)
+      out[i][v] = ai[v] + t[i][v];
+  }
+  for (int v = 0; v < nv; v++)
+    out[k][v] = 0;
+  for (int p = 0; p < k; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = out[p][v] >> LIMB_BITS;
+      out[p][v] &= LIMB_MASK;
+      out[p + 1][v] += c;
+    }
+  cond_sub_block(out, qext, k + 1, nv);
+}
+
+/* lo = a - t (mod q): signed difference, +q where negative. */
+static inline void sub_canon_block(i64 out[][BLK], const i64 *a, i64 t[][BLK],
+                                   long stride, const i64 *qext, int k,
+                                   int nv) {
+  i64 s[MAX_K][BLK];
+  for (int i = 0; i < k; i++) {
+    const i64 *ai = a + (long)i * stride;
+    for (int v = 0; v < nv; v++)
+      out[i][v] = ai[v] - t[i][v];
+  }
+  for (int p = 0; p + 1 < k; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = out[p][v] >> LIMB_BITS;
+      out[p][v] &= LIMB_MASK;
+      out[p + 1][v] += c;
+    }
+  for (int i = 0; i < k; i++)
+    for (int v = 0; v < nv; v++)
+      s[i][v] = out[i][v] + qext[i];
+  for (int p = 0; p + 1 < k; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = s[p][v] >> LIMB_BITS;
+      s[p][v] &= LIMB_MASK;
+      s[p + 1][v] += c;
+    }
+  for (int p = 0; p < k; p++)
+    for (int v = 0; v < nv; v++)
+      out[p][v] = (out[k - 1][v] < 0) ? s[p][v] : out[p][v];
+}
+
+static inline void load_block(i64 dst[][BLK], const i64 *src, long stride,
+                              int k, int nv) {
+  for (int i = 0; i < k; i++) {
+    const i64 *si = src + (long)i * stride;
+    for (int v = 0; v < nv; v++)
+      dst[i][v] = si[v];
+  }
+}
+
+static inline void store_block(i64 *dst, i64 src[][BLK], long stride, int k,
+                               int nv) {
+  for (int i = 0; i < k; i++) {
+    i64 *di = dst + (long)i * stride;
+    for (int v = 0; v < nv; v++)
+      di[v] = src[i][v];
+  }
+}
+
+/* ----------------------------------------------------------------- */
+/* Exported row kernels.                                              */
+/* ----------------------------------------------------------------- */
+
+int rpu_limb_abi(void) { return 1; }
+
+int rpu_limb_add_mod(const i64 *a, const i64 *b, i64 *out, const i64 *qext,
+                     i64 k, i64 rows, i64 lanes) {
+  if (k < 1 || k > MAX_K)
+    return -1;
+  long stride = (long)rows * lanes;
+  for (long r = 0; r < rows; r++) {
+    const i64 *qr = qext + r * (k + 1);
+    for (long x = 0; x < lanes; x += BLK) {
+      int nv = (lanes - x < BLK) ? (int)(lanes - x) : BLK;
+      long off = r * lanes + x;
+      i64 s[MAX_K + 2][BLK];
+      for (int i = 0; i < k; i++) {
+        const i64 *ai = a + (long)i * stride + off;
+        const i64 *bi = b + (long)i * stride + off;
+        for (int v = 0; v < nv; v++)
+          s[i][v] = ai[v] + bi[v];
+      }
+      for (int v = 0; v < nv; v++)
+        s[k][v] = 0;
+      for (int p = 0; p < (int)k; p++)
+        for (int v = 0; v < nv; v++) {
+          i64 c = s[p][v] >> LIMB_BITS;
+          s[p][v] &= LIMB_MASK;
+          s[p + 1][v] += c;
+        }
+      cond_sub_block(s, qr, (int)k + 1, nv);
+      store_block(out + off, s, stride, (int)k, nv);
+    }
+  }
+  return 0;
+}
+
+int rpu_limb_sub_mod(const i64 *a, const i64 *b, i64 *out, const i64 *qext,
+                     i64 k, i64 rows, i64 lanes) {
+  if (k < 1 || k > MAX_K)
+    return -1;
+  long stride = (long)rows * lanes;
+  for (long r = 0; r < rows; r++) {
+    const i64 *qr = qext + r * (k + 1);
+    for (long x = 0; x < lanes; x += BLK) {
+      int nv = (lanes - x < BLK) ? (int)(lanes - x) : BLK;
+      long off = r * lanes + x;
+      i64 t[MAX_K][BLK];
+      load_block(t, b + off, stride, (int)k, nv);
+      i64 d[MAX_K + 2][BLK];
+      sub_canon_block(d, a + off, t, stride, qr, (int)k, nv);
+      store_block(out + off, d, stride, (int)k, nv);
+    }
+  }
+  return 0;
+}
+
+int rpu_limb_mul_mod(const i64 *a, const i64 *b, i64 *out, const i64 *qext,
+                     const i64 *q2ext, const i64 *mu, i64 k, i64 km, i64 s1,
+                     i64 s2, i64 rows, i64 lanes) {
+  if (k < 1 || k > MAX_K || km < 1 || km > MAX_K + 1 || s1 < 0 || s2 < 1)
+    return -1;
+  long stride = (long)rows * lanes;
+  for (long r = 0; r < rows; r++) {
+    const i64 *qr = qext + r * (k + 1);
+    const i64 *q2r = q2ext + r * (k + 1);
+    const i64 *mur = mu + r * km;
+    for (long x = 0; x < lanes; x += BLK) {
+      int nv = (lanes - x < BLK) ? (int)(lanes - x) : BLK;
+      long off = r * lanes + x;
+      i64 z[2 * MAX_K][BLK], red[MAX_K + 2][BLK];
+      school_block(z, a + off, b + off, stride, (int)k, nv);
+      barrett_block(z, red, qr, q2r, mur, (int)k, (int)km, (int)s1, (int)s2,
+                    nv);
+      store_block(out + off, red, stride, (int)k, nv);
+    }
+  }
+  return 0;
+}
+
+/* The fused Cooley-Tukey butterfly: (a + b*w, a - b*w) mod q in one
+ * pass -- twiddle product, Barrett reduction and both corrections
+ * without materializing any intermediate plane in memory. */
+int rpu_limb_bfly_ct(const i64 *a, const i64 *b, const i64 *w, i64 *hi,
+                     i64 *lo, const i64 *qext, const i64 *q2ext, const i64 *mu,
+                     i64 k, i64 km, i64 s1, i64 s2, i64 rows, i64 lanes) {
+  if (k < 1 || k > MAX_K || km < 1 || km > MAX_K + 1 || s1 < 0 || s2 < 1)
+    return -1;
+  long stride = (long)rows * lanes;
+  for (long r = 0; r < rows; r++) {
+    const i64 *qr = qext + r * (k + 1);
+    const i64 *q2r = q2ext + r * (k + 1);
+    const i64 *mur = mu + r * km;
+    for (long x = 0; x < lanes; x += BLK) {
+      int nv = (lanes - x < BLK) ? (int)(lanes - x) : BLK;
+      long off = r * lanes + x;
+      i64 z[2 * MAX_K][BLK], t[MAX_K + 2][BLK];
+      i64 h[MAX_K + 2][BLK], l[MAX_K + 2][BLK];
+      school_block(z, b + off, w + off, stride, (int)k, nv);
+      barrett_block(z, t, qr, q2r, mur, (int)k, (int)km, (int)s1, (int)s2,
+                    nv);
+      add_canon_block(h, a + off, t, stride, qr, (int)k, nv);
+      sub_canon_block(l, a + off, t, stride, qr, (int)k, nv);
+      store_block(hi + off, h, stride, (int)k, nv);
+      store_block(lo + off, l, stride, (int)k, nv);
+    }
+  }
+  return 0;
+}

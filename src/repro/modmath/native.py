@@ -1,0 +1,435 @@
+"""Compiled native limb kernels: build-on-demand, CPU-feature dispatched.
+
+:mod:`repro.modmath.limb` expresses wide-modulus arithmetic as numpy
+sweeps over 26-bit limb planes; every sweep is a full pass over memory.
+``limb_kernels.c`` (shipped next to this module) fuses each LAW row
+operation -- ``add_mod``/``sub_mod``, the schoolbook+Barrett ``mul_mod``
+and the fused Cooley-Tukey butterfly ``bfly_ct`` -- into a single pass
+per block of lanes.  This module turns that source into a loadable
+backend without any build system: the C file is compiled with the host's
+``cc`` into a content-addressed cache directory the first time it is
+needed, bound over :mod:`ctypes`, and handed to
+:class:`~repro.modmath.limb.LimbEngine`'s dispatch layer.
+
+Dispatch policy (the ``RPU_NATIVE`` environment variable, validated on
+first use exactly like ``RPU_VEC_MUL_MIN_DEGREE``):
+
+* ``"auto"`` (default) -- probe the CPU and toolchain; use the compiled
+  kernels when the build succeeds, fall back to numpy otherwise.
+* ``"1"`` -- same probe/build, but a failure emits a one-line
+  :class:`RuntimeWarning` naming the reason (the numpy fallback still
+  engages -- the repo never hard-fails on a missing toolchain).
+* ``"0"`` -- never build or load; pure numpy.
+
+The build flags follow the probed CPU features: on an AVX-512 IFMA host
+(the 52-bit limb-product instruction family HEXL-style HE libraries
+target) the compiler is given the full ``-mavx512*`` license, otherwise
+AVX2 or plain ``-O3``.  The compiled object is keyed by a fingerprint of
+the source, compiler and flags, so feature or source changes rebuild
+automatically and concurrent processes (shard-pool workers) can share
+one cache entry; compiles land under a temporary name and are published
+with an atomic ``os.replace``.
+
+Bit-exactness is *tested*, not assumed: ``tests/test_native.py`` fuzzes
+every exported kernel against the numpy engine (which is itself pinned
+to the scalar oracle), including the worst-case Barrett slack inputs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import ctypes
+import functools
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "MAX_K",
+    "NATIVE_ENV",
+    "NativeKernels",
+    "active",
+    "cpu_features",
+    "describe",
+    "forced_mode",
+    "reset",
+]
+
+NATIVE_ENV = "RPU_NATIVE"
+"""Environment override for the native-kernel dispatch: ``0``/``1``/``auto``."""
+
+CACHE_DIR_ENV = "RPU_NATIVE_CACHE_DIR"
+"""Environment override for the build-cache directory."""
+
+CC_ENV = "RPU_NATIVE_CC"
+"""Environment override for the C compiler (used by the failure-injection
+tests, and by deployments that pin a toolchain)."""
+
+ABI_VERSION = 1
+"""Expected ``rpu_limb_abi()`` of a loaded object; mismatches rebuild."""
+
+MAX_K = 16
+"""Widest limb count the compiled kernels accept (matches ``MAX_K`` in
+``limb_kernels.c``); wider engines stay on the numpy path."""
+
+_SOURCE = Path(__file__).with_name("limb_kernels.c")
+
+_MODES = ("0", "1", "auto")
+
+
+@functools.lru_cache(maxsize=8)
+def _parse_mode(raw: str) -> str:
+    """Validate one ``RPU_NATIVE`` setting (parsed once per value)."""
+    if raw not in _MODES:
+        raise ValueError(
+            f"{NATIVE_ENV} must be one of {_MODES}, got {raw!r}"
+        )
+    return raw
+
+
+def native_mode() -> str:
+    """The requested dispatch mode: ``"0"``, ``"1"`` or ``"auto"``."""
+    raw = os.environ.get(NATIVE_ENV)
+    if raw is None:
+        return "auto"
+    return _parse_mode(raw)
+
+
+@functools.lru_cache(maxsize=1)
+def cpu_features() -> frozenset[str]:
+    """Lower-case CPU feature flags probed from the host (may be empty).
+
+    Linux exposes them in ``/proc/cpuinfo``; other platforms simply
+    return an empty set, which selects the portable ``-O3`` build.
+    """
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith(("flags", "features")):
+                    return frozenset(line.split(":", 1)[1].split())
+    except OSError:
+        pass
+    return frozenset()
+
+
+def _compiler() -> str | None:
+    """The C compiler to use, or ``None`` when the host has none."""
+    override = os.environ.get(CC_ENV)
+    if override:
+        return override
+    for cand in ("cc", "gcc", "clang"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def _feature_flags(features: frozenset[str]) -> list[str]:
+    """Per-CPU-feature compile flags: widest probed SIMD family wins."""
+    if "avx512ifma" in features:
+        return [
+            "-mavx512f",
+            "-mavx512vl",
+            "-mavx512dq",
+            "-mavx512ifma",
+        ]
+    if "avx512f" in features:
+        return ["-mavx512f", "-mavx512dq"]
+    if "avx2" in features:
+        return ["-mavx2"]
+    if "neon" in features or "asimd" in features:
+        return []  # aarch64 SIMD is baseline; -O3 already uses it
+    return []
+
+
+def _base_flags() -> list[str]:
+    return ["-O3", "-funroll-loops", "-fPIC", "-shared", "-std=c11"]
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    home = Path.home()
+    base = (
+        home / ".cache"
+        if os.access(home, os.W_OK)
+        else Path(tempfile.gettempdir())
+    )
+    return base / f"rpu_native-{os.getuid() if hasattr(os, 'getuid') else 0}"
+
+
+class NativeBuildError(RuntimeError):
+    """The compiled backend could not be produced or loaded."""
+
+
+def _fingerprint(source: str, cc: str, flags: list[str]) -> str:
+    h = hashlib.sha256()
+    h.update(source.encode())
+    h.update(cc.encode())
+    h.update(" ".join(flags).encode())
+    h.update(f"abi{ABI_VERSION}".encode())
+    h.update(platform.machine().encode())
+    return h.hexdigest()[:16]
+
+
+def _build(cc: str, flags: list[str]) -> Path:
+    """Compile (or reuse) the shared object; returns its path."""
+    try:
+        source = _SOURCE.read_text()
+    except OSError as exc:
+        raise NativeBuildError(f"kernel source unreadable: {exc}") from exc
+    digest = _fingerprint(source, cc, flags)
+    out_dir = _cache_dir() / digest
+    so_path = out_dir / "limb_kernels.so"
+    if so_path.exists():
+        return so_path
+    try:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise NativeBuildError(f"cache dir unwritable: {exc}") from exc
+    tmp = out_dir / f".build-{os.getpid()}.so"
+    cmd = [cc, *flags, "-o", str(tmp), str(_SOURCE)]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120
+        )
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise NativeBuildError(f"compiler failed to run: {exc}") from exc
+    if proc.returncode != 0:
+        tail = (proc.stderr or proc.stdout or "").strip().splitlines()
+        detail = tail[-1] if tail else f"exit {proc.returncode}"
+        raise NativeBuildError(f"compile failed: {detail}")
+    os.replace(tmp, so_path)  # atomic publish; concurrent builders race safely
+    return so_path
+
+
+_PTR = ctypes.POINTER(ctypes.c_int64)
+_I64 = ctypes.c_int64
+
+
+class NativeKernels:
+    """ctypes binding over the compiled row kernels.
+
+    Stateless beyond the loaded library handle: the C kernels keep all
+    scratch on the stack, so one instance serves every engine and
+    thread.  Methods return ``None`` for shapes the compiled backend
+    does not cover (the caller then stays on numpy).
+    """
+
+    def __init__(self, so_path: Path) -> None:
+        self.so_path = so_path
+        lib = ctypes.CDLL(str(so_path))
+        lib.rpu_limb_abi.restype = ctypes.c_int
+        if lib.rpu_limb_abi() != ABI_VERSION:
+            raise NativeBuildError(
+                f"ABI mismatch: {so_path} reports {lib.rpu_limb_abi()}, "
+                f"expected {ABI_VERSION}"
+            )
+        lib.rpu_limb_add_mod.argtypes = [_PTR] * 4 + [_I64] * 3
+        lib.rpu_limb_add_mod.restype = ctypes.c_int
+        lib.rpu_limb_sub_mod.argtypes = [_PTR] * 4 + [_I64] * 3
+        lib.rpu_limb_sub_mod.restype = ctypes.c_int
+        lib.rpu_limb_mul_mod.argtypes = [_PTR] * 6 + [_I64] * 6
+        lib.rpu_limb_mul_mod.restype = ctypes.c_int
+        lib.rpu_limb_bfly_ct.argtypes = [_PTR] * 8 + [_I64] * 6
+        lib.rpu_limb_bfly_ct.restype = ctypes.c_int
+        self._lib = lib
+
+    @staticmethod
+    def _ptr(a: np.ndarray):
+        return a.ctypes.data_as(_PTR)
+
+    def _prepare(self, engine, arrays):
+        """Broadcast operands to one C-contiguous shape; derive rows/lanes.
+
+        Returns ``(ops, shape, rows, lanes)`` or ``None`` when the
+        compiled backend cannot take this call (too many limbs, or a
+        multi-row engine fed operands without the row axis).
+        """
+        if engine.k > MAX_K or engine._km > MAX_K + 1:
+            return None
+        shape = np.broadcast_shapes(*[a.shape for a in arrays])
+        rows = len(engine.moduli)
+        if rows > 1:
+            if len(shape) < 2 or shape[1] != rows:
+                return None
+            lanes = 1
+            for d in shape[2:]:
+                lanes *= d
+        else:
+            lanes = 1
+            for d in shape[1:]:
+                lanes *= d
+        if lanes == 0:
+            return None
+        ops = []
+        for a in arrays:
+            if a.shape != shape:
+                a = np.broadcast_to(a, shape)
+            if not a.flags["C_CONTIGUOUS"]:
+                a = np.ascontiguousarray(a)
+            ops.append(a)
+        return ops, shape, rows, lanes
+
+    def add_mod(self, engine, a, b):
+        prep = self._prepare(engine, (a, b))
+        if prep is None:
+            return None
+        (a, b), shape, rows, lanes = prep
+        qext, _, _ = engine._native_consts()
+        out = np.empty(shape, dtype=np.int64)
+        rc = self._lib.rpu_limb_add_mod(
+            self._ptr(a), self._ptr(b), self._ptr(out), self._ptr(qext),
+            engine.k, rows, lanes,
+        )
+        return out if rc == 0 else None
+
+    def sub_mod(self, engine, a, b):
+        prep = self._prepare(engine, (a, b))
+        if prep is None:
+            return None
+        (a, b), shape, rows, lanes = prep
+        qext, _, _ = engine._native_consts()
+        out = np.empty(shape, dtype=np.int64)
+        rc = self._lib.rpu_limb_sub_mod(
+            self._ptr(a), self._ptr(b), self._ptr(out), self._ptr(qext),
+            engine.k, rows, lanes,
+        )
+        return out if rc == 0 else None
+
+    def mul_mod(self, engine, a, b):
+        prep = self._prepare(engine, (a, b))
+        if prep is None:
+            return None
+        (a, b), shape, rows, lanes = prep
+        qext, q2ext, mu = engine._native_consts()
+        out = np.empty(shape, dtype=np.int64)
+        rc = self._lib.rpu_limb_mul_mod(
+            self._ptr(a), self._ptr(b), self._ptr(out),
+            self._ptr(qext), self._ptr(q2ext), self._ptr(mu),
+            engine.k, mu.shape[1], engine._s1, engine._s2, rows, lanes,
+        )
+        return out if rc == 0 else None
+
+    def bfly_ct(self, engine, a, b, w):
+        prep = self._prepare(engine, (a, b, w))
+        if prep is None:
+            return None
+        (a, b, w), shape, rows, lanes = prep
+        qext, q2ext, mu = engine._native_consts()
+        hi = np.empty(shape, dtype=np.int64)
+        lo = np.empty(shape, dtype=np.int64)
+        rc = self._lib.rpu_limb_bfly_ct(
+            self._ptr(a), self._ptr(b), self._ptr(w),
+            self._ptr(hi), self._ptr(lo),
+            self._ptr(qext), self._ptr(q2ext), self._ptr(mu),
+            engine.k, mu.shape[1], engine._s1, engine._s2, rows, lanes,
+        )
+        return (hi, lo) if rc == 0 else None
+
+
+# -- the process-wide dispatch decision -------------------------------------
+
+_state: dict = {"kernels": None, "resolved": False, "error": None}
+
+
+def _resolve() -> NativeKernels | None:
+    cc = _compiler()
+    if cc is None:
+        raise NativeBuildError("no C compiler on PATH (cc/gcc/clang)")
+    flags = _base_flags() + _feature_flags(cpu_features())
+    return NativeKernels(_build(cc, flags))
+
+
+def active() -> NativeKernels | None:
+    """The loaded native backend, or ``None`` (numpy fallback).
+
+    Resolved at most once per process per :func:`reset`; a failed
+    probe/build memoizes the fallback and emits exactly one one-line
+    warning so long-lived servers do not re-attempt (or re-log) per op.
+    """
+    mode = native_mode()
+    if mode == "0":
+        return None
+    if _state["resolved"]:
+        return _state["kernels"]
+    try:
+        kernels = _resolve()
+    except NativeBuildError as exc:
+        _state["error"] = str(exc)
+        kernels = None
+        warnings.warn(
+            f"RPU native limb kernels unavailable ({exc}); "
+            "using the numpy fallback",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    _state["kernels"] = kernels
+    _state["resolved"] = True
+    return kernels
+
+
+def reset() -> None:
+    """Forget the resolved backend and parsed env (tests re-probe)."""
+    _state.update(kernels=None, resolved=False, error=None)
+    _parse_mode.cache_clear()
+    cpu_features.cache_clear()
+
+
+@contextlib.contextmanager
+def forced_mode(mode: str):
+    """Temporarily pin ``RPU_NATIVE`` to ``mode``, re-resolving the backend.
+
+    Bench/test helper for comparing the two dispatch targets in one
+    process; the prior environment is restored (and the backend
+    re-resolved) on exit, so the surrounding process returns to its
+    configured dispatch.
+    """
+    _parse_mode(mode)  # reject bad modes before touching process state
+    prev = os.environ.get(NATIVE_ENV)
+    os.environ[NATIVE_ENV] = mode
+    reset()
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop(NATIVE_ENV, None)
+        else:
+            os.environ[NATIVE_ENV] = prev
+        reset()
+
+
+def describe() -> dict:
+    """Probe report for humans and ``eval/run_all``: one flat dict.
+
+    Forces resolution (unless ``RPU_NATIVE=0``) so the report reflects
+    what the process would actually execute with.
+    """
+    mode = native_mode()
+    kernels = active()
+    features = cpu_features()
+    interesting = sorted(
+        f
+        for f in features
+        if f.startswith(("avx", "sse4", "fma", "neon", "asimd"))
+    )
+    cc = _compiler()
+    return {
+        "mode": mode,
+        "enabled": kernels is not None,
+        "compiler": cc,
+        "flags": _base_flags() + _feature_flags(features),
+        "cpu_features": interesting,
+        "cache_dir": str(_cache_dir()),
+        "so_path": str(kernels.so_path) if kernels else None,
+        "abi": ABI_VERSION if kernels else None,
+        "error": _state["error"],
+    }

@@ -52,6 +52,7 @@ from repro.rlwe.kem_host import (
     decode_ek_cached,
     decompress_poly,
     expand_matrix_fast,
+    key_cache_stats,
     sample_poly_cbd_block,
 )
 from repro.rlwe.kyber import (
@@ -284,6 +285,9 @@ class KemEngine:
             "wall_s": wall_s,
             "requests": run.requests,
             "reference": False,
+            # Process-wide decoded-key cache counters (monotonic across
+            # reports): lets a serving stack judge key reuse vs thrash.
+            "key_cache": key_cache_stats(),
         }
 
     # -- keygen -------------------------------------------------------------
@@ -539,4 +543,5 @@ class KemEngine:
             "wall_s": time.perf_counter() - t0,
             "requests": requests,
             "reference": True,
+            "key_cache": key_cache_stats(),
         }

@@ -20,6 +20,7 @@ divergence in any helper fails known-answer vectors immediately.
 from __future__ import annotations
 
 import hashlib
+import os
 from functools import lru_cache
 
 import numpy as np
@@ -27,6 +28,7 @@ import numpy as np
 from repro.rlwe.kyber import N, Q, MlKemParams
 
 __all__ = [
+    "KEY_CACHE_ENV",
     "byte_decode_block",
     "byte_encode_block",
     "check_ek_fast",
@@ -35,9 +37,40 @@ __all__ = [
     "decode_ek_cached",
     "decompress_poly",
     "expand_matrix_fast",
+    "key_cache_stats",
     "sample_ntt_fast",
     "sample_poly_cbd_block",
 ]
+
+KEY_CACHE_ENV = "RPU_KEM_KEY_CACHE"
+"""Environment override for the per-process key-material cache bound."""
+
+_DEFAULT_KEY_CACHE = 64
+
+
+def _key_cache_size() -> int:
+    """The decoded-key cache bound, validated once at import.
+
+    Each entry pins one tenant key's decoded material (the dominant one
+    is ExpandA's ``(k, k, 256)`` matrix, ~0.5-2 MB int64 per key), so a
+    multi-tenant server sizes the bound to its working set of keys; the
+    LRU policy evicts cold tenants beyond it.
+    """
+    raw = os.environ.get(KEY_CACHE_ENV)
+    if raw is None:
+        return _DEFAULT_KEY_CACHE
+    try:
+        size = int(raw)
+    except ValueError:
+        size = 0
+    if size <= 0:
+        raise ValueError(
+            f"{KEY_CACHE_ENV} must be a positive integer, got {raw!r}"
+        )
+    return size
+
+
+_KEY_CACHE_SIZE = _key_cache_size()
 
 _POWERS = {d: 1 << np.arange(d, dtype=np.int64) for d in range(1, 13)}
 
@@ -114,7 +147,7 @@ def sample_poly_cbd_block(eta: int, data: bytes) -> np.ndarray:
     return (halves[:, :, 0] - halves[:, :, 1]) % Q
 
 
-@lru_cache(maxsize=64)
+@lru_cache(maxsize=_KEY_CACHE_SIZE)
 def decode_ek_cached(ek: bytes, k: int) -> np.ndarray:
     """The ``t-hat`` rows of an encapsulation key, cached by key bytes.
 
@@ -127,7 +160,7 @@ def decode_ek_cached(ek: bytes, k: int) -> np.ndarray:
     return t_hat
 
 
-@lru_cache(maxsize=64)
+@lru_cache(maxsize=_KEY_CACHE_SIZE)
 def decode_dk_cached(dk_pke: bytes, k: int) -> np.ndarray:
     """The ``s-hat`` rows of a decryption key, cached by key bytes."""
     s_hat = byte_decode_block(12, dk_pke)
@@ -135,7 +168,7 @@ def decode_dk_cached(dk_pke: bytes, k: int) -> np.ndarray:
     return s_hat
 
 
-@lru_cache(maxsize=64)
+@lru_cache(maxsize=_KEY_CACHE_SIZE)
 def expand_matrix_fast(rho: bytes, k: int) -> np.ndarray:
     """ExpandA, cached by seed: ``A[i][j] = SampleNTT(rho || j || i)``.
 
@@ -154,6 +187,26 @@ def expand_matrix_fast(rho: bytes, k: int) -> np.ndarray:
     )
     a.setflags(write=False)
     return a
+
+
+def key_cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss counters for the decoded-key caches, one row per cache.
+
+    Surfaced by :meth:`repro.rlwe.kem_engine.KemEngine` reports so a
+    serving deployment can see whether its handshake mix actually reuses
+    keys (high hit rate) or is thrashing the bound (misses tracking
+    requests) and retune :data:`KEY_CACHE_ENV`.
+    """
+    stats = {}
+    for fn in (decode_ek_cached, decode_dk_cached, expand_matrix_fast):
+        info = fn.cache_info()
+        stats[fn.__name__] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "entries": info.currsize,
+            "bound": info.maxsize,
+        }
+    return stats
 
 
 def check_ek_fast(params: MlKemParams, ek: bytes) -> None:

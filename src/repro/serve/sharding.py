@@ -544,6 +544,19 @@ class ShardedBatchExecutor:
         k = self._representation()
         return "int64" if k is None else f"limb{k}x{LIMB_BITS}"
 
+    @property
+    def native_path(self) -> str:
+        """Limb-kernel backend of the executed pass (see BatchExecutor).
+
+        Shard workers inherit the process environment, so every shard
+        resolves the same backend as the single-process executor; the
+        per-shard stats replies carry the verdict back (and the
+        shard-parity check would flag any drift).
+        """
+        if self._inline is not None:
+            return self._inline.native_path
+        return self.stats.native_path
+
     # -- region I/O --------------------------------------------------------
     def write_region(self, region: RegionSpec | None, rows) -> None:
         """Stage ``batch`` input rows for a VDM region (validated now,

@@ -1,0 +1,404 @@
+"""The compiled native limb kernels: dispatch, differentials, fallback.
+
+Three contracts under test:
+
+1. **Bit-exactness.** Every exported kernel row (``add_mod``,
+   ``sub_mod``, the schoolbook+Barrett ``mul_mod``, the fused
+   Cooley-Tukey ``bfly_ct``) must agree with the numpy limb engine --
+   itself pinned to Python-int arithmetic by ``test_modmath`` -- on
+   edge inputs, worst-case Barrett slack inputs, tower stacks and
+   broadcast operands.  Property-fuzzed with hypothesis on top of the
+   deterministic sweeps.
+2. **Dispatch.** ``RPU_NATIVE`` is validated once with a clear
+   ``ValueError``; ``native_path`` is observable at every layer
+   (engine, executor, stats, sharded executor) and never affects
+   stats equality.
+3. **Fallback.** A broken toolchain must degrade to numpy with exactly
+   one one-line warning -- never an exception, never silence about it.
+
+Differential tests skip (not fail) on hosts where no native backend can
+be built; the fallback tests run everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.modmath import native
+from repro.modmath.limb import LimbEngine, compose
+from repro.modmath.primes import find_ntt_prime
+
+pytestmark = pytest.mark.filterwarnings(
+    # Tests that *force* RPU_NATIVE=1 on a host with a broken/missing
+    # toolchain assert on this warning explicitly; everywhere else the
+    # ambient probe result is whatever the host provides.
+    "ignore:RPU native limb kernels unavailable"
+)
+
+
+def _native_or_skip():
+    with native.forced_mode("auto"):
+        available = native.active() is not None
+    if not available:
+        pytest.skip("no native limb backend buildable on this host")
+
+
+def _pairs(q, count, seed):
+    rng = random.Random(seed)
+    edge = [0, 1, 2, q - 1, q - 2, q // 2]
+    a = edge + [rng.randrange(q) for _ in range(count - len(edge))]
+    b = list(reversed(a))
+    return a, b
+
+
+def _both_modes(fn):
+    """Run ``fn()`` under the native and numpy dispatch; return both."""
+    with native.forced_mode("auto"):
+        assert native.active() is not None
+        native_out = fn()
+    with native.forced_mode("0"):
+        numpy_out = fn()
+    return native_out, numpy_out
+
+
+class TestKernelDifferentials:
+    """native == numpy, kernel by kernel (numpy == ints via test_modmath)."""
+
+    @pytest.mark.parametrize("q_bits", [27, 52, 64, 100, 128, 200])
+    def test_all_ops_bit_identical(self, q_bits):
+        _native_or_skip()
+        q = find_ntt_prime(q_bits, 4)
+        eng = LimbEngine(q)
+        a, b = _pairs(q, 300, q_bits)
+        # (q-1)^2 products maximize the Barrett correction count.
+        w = [q - 1] * 150 + b[150:]
+        pa, pb, pw = eng.encode([a]), eng.encode([b]), eng.encode([w])
+
+        def run():
+            hi, lo = eng.bfly_ct(pa, pb, pw)
+            return tuple(
+                arr.tolist()
+                for arr in (
+                    eng.add_mod(pa, pb),
+                    eng.sub_mod(pa, pb),
+                    eng.mul_mod(pa, pw),
+                    hi,
+                    lo,
+                )
+            )
+
+        native_out, numpy_out = _both_modes(run)
+        assert native_out == numpy_out
+        # And both are the Python-int truth, not merely mutually wrong.
+        add, sub, mul, hi, lo = native_out
+        assert compose(np.array(mul))[0].tolist() == [
+            x * y % q for x, y in zip(a, w)
+        ]
+        assert compose(np.array(hi))[0].tolist() == [
+            (x + y * z) % q for x, y, z in zip(a, b, w)
+        ]
+        assert compose(np.array(lo))[0].tolist() == [
+            (x - y * z) % q for x, y, z in zip(a, b, w)
+        ]
+
+    def test_tower_stack_rows_use_their_own_modulus(self):
+        _native_or_skip()
+        moduli = [find_ntt_prime(bits, 4) for bits in (40, 40, 40)]
+        eng = LimbEngine(moduli)
+        rng = random.Random(7)
+        rows_a = [[rng.randrange(m) for _ in range(64)] for m in moduli]
+        rows_b = [[rng.randrange(m) for _ in range(64)] for m in moduli]
+        pa, pb = eng.encode(rows_a), eng.encode(rows_b)
+
+        def run():
+            return eng.mul_mod(pa, pb).tolist()
+
+        native_out, numpy_out = _both_modes(run)
+        assert native_out == numpy_out
+        assert compose(np.array(native_out)).tolist() == [
+            [x * y % m for x, y in zip(ra, rb)]
+            for ra, rb, m in zip(rows_a, rows_b, moduli)
+        ]
+
+    def test_broadcast_operands(self):
+        # A twiddle shaped (k, 1, 1) against rows shaped (k, 1, n): the
+        # native path broadcasts exactly like numpy does.
+        _native_or_skip()
+        q = find_ntt_prime(128, 4)
+        eng = LimbEngine(q)
+        a, _ = _pairs(q, 64, 11)
+        pa = eng.encode([a])
+        pw = eng.encode([[q - 1]])
+        assert pw.shape[1:] == (1, 1)
+
+        def run():
+            hi, lo = eng.bfly_ct(pa, pa, pw)
+            return eng.mul_mod(pa, pw).tolist(), hi.tolist(), lo.tolist()
+
+        native_out, numpy_out = _both_modes(run)
+        assert native_out == numpy_out
+
+    def test_batched_axis_beyond_rows(self):
+        # Executor-shaped operands: (k, B, n) for a single-modulus engine.
+        _native_or_skip()
+        q = find_ntt_prime(100, 4)
+        eng = LimbEngine(q)
+        rows = [_pairs(q, 32, 13 + r)[0] for r in range(4)]
+        pa = eng.encode(rows)
+        pb = eng.encode(list(reversed(rows)))
+
+        def run():
+            return eng.mul_mod(pa, pb).tolist()
+
+        native_out, numpy_out = _both_modes(run)
+        assert native_out == numpy_out
+
+    def test_too_wide_engine_stays_on_numpy(self):
+        # k > MAX_K: the native layer must decline, not truncate.
+        _native_or_skip()
+        q = (1 << (26 * (native.MAX_K + 1))) - 159  # k = MAX_K + 1 limbs
+        eng = LimbEngine(q)
+        assert eng.k > native.MAX_K
+        a, b = _pairs(q, 16, 17)
+        pa, pb = eng.encode([a]), eng.encode([b])
+        with native.forced_mode("auto"):
+            assert eng.native_path == "numpy"
+            got = compose(eng.mul_mod(pa, pb))[0].tolist()
+        assert got == [x * y % q for x, y in zip(a, b)]
+
+    @given(
+        q_bits=st.sampled_from([27, 64, 128]),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_fuzz_mul_and_bfly(self, q_bits, seed):
+        _native_or_skip()
+        q = find_ntt_prime(q_bits, 4)
+        eng = LimbEngine(q)
+        rng = random.Random(seed)
+        a = [rng.randrange(q) for _ in range(48)]
+        b = [rng.randrange(q) for _ in range(48)]
+        w = [rng.choice([0, 1, q - 1, rng.randrange(q)]) for _ in range(48)]
+        pa, pb, pw = eng.encode([a]), eng.encode([b]), eng.encode([w])
+
+        def run():
+            hi, lo = eng.bfly_ct(pa, pb, pw)
+            return eng.mul_mod(pa, pb).tolist(), hi.tolist(), lo.tolist()
+
+        native_out, numpy_out = _both_modes(run)
+        assert native_out == numpy_out
+
+    def test_thread_safety(self):
+        # The kernels keep scratch on the stack; concurrent callers on
+        # one shared engine must not interfere.
+        _native_or_skip()
+        q = find_ntt_prime(128, 4)
+        eng = LimbEngine(q)
+        a, b = _pairs(q, 256, 19)
+        pa, pb = eng.encode([a]), eng.encode([b])
+        with native.forced_mode("auto"):
+            expected = eng.mul_mod(pa, pb).tolist()
+            results = [None] * 8
+            errors = []
+
+            def work(i):
+                try:
+                    for _ in range(5):
+                        results[i] = eng.mul_mod(pa, pb).tolist()
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=work, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert all(r == expected for r in results)
+
+
+class TestDispatch:
+    """RPU_NATIVE parsing, the probe report, and the observables."""
+
+    def test_bad_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv(native.NATIVE_ENV, "yes")
+        native.reset()
+        try:
+            with pytest.raises(ValueError, match="RPU_NATIVE"):
+                native.native_mode()
+        finally:
+            monkeypatch.delenv(native.NATIVE_ENV)
+            native.reset()
+
+    def test_forced_mode_rejects_bad_mode_and_restores(self, monkeypatch):
+        monkeypatch.setenv(native.NATIVE_ENV, "0")
+        with pytest.raises(ValueError, match="RPU_NATIVE"):
+            with native.forced_mode("maybe"):
+                pass  # pragma: no cover - never entered
+        with native.forced_mode("auto"):
+            pass
+        assert native.native_mode() == "0"
+        monkeypatch.delenv(native.NATIVE_ENV)
+        native.reset()
+
+    def test_describe_reports_the_probe(self):
+        info = native.describe()
+        assert info["mode"] in ("0", "1", "auto")
+        assert isinstance(info["enabled"], bool)
+        assert set(info) >= {
+            "compiler",
+            "flags",
+            "cpu_features",
+            "cache_dir",
+            "so_path",
+            "abi",
+            "error",
+        }
+        if info["enabled"]:
+            assert info["so_path"] is not None
+            assert info["error"] is None
+
+    def test_mode_zero_never_loads(self):
+        with native.forced_mode("0"):
+            assert native.active() is None
+            info = native.describe()
+            assert info["enabled"] is False
+            assert LimbEngine(find_ntt_prime(64, 4)).native_path == "numpy"
+
+    def test_engine_native_path_tracks_mode(self):
+        _native_or_skip()
+        eng = LimbEngine(find_ntt_prime(128, 4))
+        with native.forced_mode("auto"):
+            assert eng.native_path == "native"
+        with native.forced_mode("0"):
+            assert eng.native_path == "numpy"
+
+
+class TestExecutorPath:
+    """native_path through BatchExecutor / stats / the sharded layer."""
+
+    def _program(self):
+        from repro.spiral.kernels import generate_ntt_program
+
+        return generate_ntt_program(64, vlen=16, q_bits=128)
+
+    def _run(self, program, rows):
+        from repro.femu import BatchExecutor
+
+        ex = BatchExecutor(program, batch=len(rows))
+        ex.write_region(program.input_region, rows)
+        stats = ex.run()
+        return ex, stats, ex.read_region(program.output_region)
+
+    def test_batch_executor_paths_and_outputs(self):
+        _native_or_skip()
+        program = self._program()
+        q = program.metadata["modulus"]
+        rng = random.Random(23)
+        rows = [[rng.randrange(q) for _ in range(64)] for _ in range(4)]
+        with native.forced_mode("auto"):
+            ex_n, stats_n, outs_n = self._run(program, rows)
+            assert ex_n.native_path == "native"
+            assert stats_n.native_path == "native"
+        with native.forced_mode("0"):
+            ex_p, stats_p, outs_p = self._run(program, rows)
+            assert ex_p.native_path == "numpy"
+            assert stats_p.native_path == "numpy"
+        assert outs_n == outs_p
+        # native_path is informational: stats equality (the cross-backend
+        # bit-exactness contract) must hold across dispatch modes.
+        assert stats_n == stats_p
+
+    def test_int64_programs_report_no_limb_backend(self):
+        from repro.femu import BatchExecutor
+        from repro.spiral.kernels import generate_ntt_program
+
+        program = generate_ntt_program(64, vlen=16, q_bits=30)
+        assert BatchExecutor(program, batch=2).native_path == "n/a"
+
+    def test_stats_merge_semantics(self):
+        from repro.femu.semantics import ExecutionStats
+
+        merge = ExecutionStats._merge_native_path
+        assert merge("native", "native") == "native"
+        assert merge("n/a", "numpy") == "numpy"
+        assert merge("native", "n/a") == "native"
+        assert merge("native", "numpy") == "mixed"
+        a = ExecutionStats(executed=1, native_path="native")
+        b = ExecutionStats(executed=1, native_path="n/a")
+        assert (a + b).native_path == "native"
+        assert a.copy().native_path == "native"
+
+    def test_sharded_executor_carries_native_path(self):
+        from repro.serve import ShardedBatchExecutor
+
+        program = self._program()
+        q = program.metadata["modulus"]
+        rng = random.Random(29)
+        rows = [[rng.randrange(q) for _ in range(64)] for _ in range(4)]
+        with ShardedBatchExecutor(program, batch=4, shards=1) as ex:
+            ex.write_region(program.input_region, rows)
+            stats = ex.run()
+            assert ex.native_path == stats.native_path
+            assert stats.native_path in ("native", "numpy")
+
+
+class TestBuildFallback:
+    """A broken toolchain degrades to numpy: one warning, right answers."""
+
+    def _broken_toolchain(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(native.CC_ENV, str(tmp_path / "missing-cc"))
+        monkeypatch.setenv(native.CACHE_DIR_ENV, str(tmp_path / "cache"))
+
+    def test_requested_native_warns_once_and_falls_back(
+        self, monkeypatch, tmp_path
+    ):
+        self._broken_toolchain(monkeypatch, tmp_path)
+        with native.forced_mode("1"):
+            with pytest.warns(
+                RuntimeWarning, match="native limb kernels unavailable"
+            ):
+                assert native.active() is None
+            # Memoized: no second warning, no rebuild attempt per op.
+            with warnings.catch_warnings(record=True) as record:
+                warnings.simplefilter("always")
+                assert native.active() is None
+            assert not record
+            q = find_ntt_prime(128, 4)
+            eng = LimbEngine(q)
+            assert eng.native_path == "numpy"
+            a, b = _pairs(q, 32, 31)
+            got = compose(eng.mul_mod(eng.encode([a]), eng.encode([b])))
+            assert got[0].tolist() == [x * y % q for x, y in zip(a, b)]
+            assert native.describe()["error"]
+
+    def test_auto_mode_swallows_nothing_but_still_warns(
+        self, monkeypatch, tmp_path
+    ):
+        # "auto" also surfaces the one-line reason -- a silent 25% perf
+        # cliff is worse than one warning line.
+        self._broken_toolchain(monkeypatch, tmp_path)
+        with native.forced_mode("auto"):
+            with pytest.warns(
+                RuntimeWarning, match="native limb kernels unavailable"
+            ):
+                assert native.active() is None
+
+    def test_compile_error_reports_stderr_tail(self, monkeypatch, tmp_path):
+        # A compiler that exists but fails: the error names the failure.
+        bad_cc = tmp_path / "cc"
+        bad_cc.write_text("#!/bin/sh\necho 'boom: no such register' >&2\nexit 1\n")
+        bad_cc.chmod(0o755)
+        monkeypatch.setenv(native.CC_ENV, str(bad_cc))
+        monkeypatch.setenv(native.CACHE_DIR_ENV, str(tmp_path / "cache"))
+        with native.forced_mode("1"):
+            with pytest.warns(RuntimeWarning, match="boom"):
+                assert native.active() is None
