@@ -188,6 +188,12 @@ def test_bench_fused_he_level(benchmark):
     assert fused["cycles"] < staged["cycles"]
     assert fused["hbm_rings"] < staged["hbm_rings"]
     assert fused["hbm_us"] < staged["hbm_us"]
+    # Re-baselined with the whole-transform native NTT landed: the
+    # reductions are modeled (deterministic), measuring 17.15% cycles /
+    # 24.1% rings -- the long-documented -17%/-24% bars now enforced as
+    # numeric floors rather than bare strict inequalities.
+    assert data["cycle_reduction"] >= 0.17
+    assert data["hbm_reduction"] >= 0.24
     benchmark.extra_info["n"] = data["n"]
     benchmark.extra_info["levels"] = data["levels"]
     benchmark.extra_info["digits"] = data["digits"]
@@ -228,6 +234,10 @@ def test_bench_fused_rotation(benchmark):
     assert fused["hbm_rings"] < staged["hbm_rings"]
     assert fused["hbm_us"] < staged["hbm_us"]
     assert fused["instructions"] < staged["instructions"]
+    # Re-baselined alongside the level gate above: measured 26.27%
+    # cycles / 38.57% rings, pinned at the documented -26%/-38% bars.
+    assert data["cycle_reduction"] >= 0.26
+    assert data["hbm_reduction"] >= 0.38
     benchmark.extra_info["n"] = data["n"]
     benchmark.extra_info["levels"] = data["levels"]
     benchmark.extra_info["digits"] = data["digits"]

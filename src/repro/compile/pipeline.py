@@ -169,6 +169,11 @@ def build_program(spec: KernelSpec) -> Program:
     report.estimated_cycles = estimated_cycles(program)
     report.wall_s = time.perf_counter() - t0
     program.metadata["plan_key"] = spec.cache_key
+    # The family the spec compiled as: the FEMU backend keys its
+    # whole-transform fast path off this (only "ntt"/"ntt_slice"
+    # programs are single complete transforms it can lower to one
+    # native call).
+    program.metadata["kind"] = spec.kind
     program.metadata["compile"] = report.as_dict()
     return program
 

@@ -140,7 +140,7 @@ class KernelSpec:
         benchmark JSON.
         """
         canonical = (
-            "rpu-plan-v4",
+            "rpu-plan-v5",
             self.kind,
             self.n,
             self.vlen,

@@ -50,7 +50,8 @@ class ExecutionStats:
     vdm_reads: int = 0
     vdm_writes: int = 0
     # Which limb-kernel backend produced the pass's wide-modulus compute:
-    # "native" (compiled rows), "numpy" (array sweeps), "n/a" (int64-only
+    # "native+ntt" (whole transform in one C call per tower), "native"
+    # (compiled rows), "numpy" (array sweeps), "n/a" (int64-only
     # or scalar-interpreter passes -- no limb kernels involved), "mixed"
     # (merged record spanning both).  Informational: excluded from
     # equality so bit-exactness comparisons across backends still hold.

@@ -92,6 +92,7 @@ from repro.modmath.limb import (
     compose,
     decompose,
     limbs_for_bits,
+    pack52,
     widen,
 )
 from repro.modmath.vectorized import INT64_MODULUS_LIMIT, fits_int64
@@ -114,6 +115,159 @@ def _segment_limbs(seg, k: int) -> np.ndarray:
 def _segment_canonical(seg, q: int) -> bool:
     """Whether a launch segment holds only canonical residues mod ``q``."""
     return all(0 <= v < q for v in seg.values)
+
+
+class _NttPlan:
+    """Host-side whole-transform plan for one generated NTT program.
+
+    A compiled ``ntt``/``ntt_slice`` program is one complete transform:
+    natural input region in, (bit-reversed) output region out, with the
+    full twiddle table materialized as a launch segment and -- for the
+    inverse -- the ``n^{-1}`` scale in the SDM.  That is exactly the
+    contract of :meth:`repro.modmath.limb.LimbEngine.ntt`, so on the
+    limb path the whole program collapses to one native call instead of
+    an instruction-by-instruction interpretation.  The plan caches
+    everything that is static per program: the direction-matched
+    twiddle values (read straight from the program's own launch
+    segment, so sliced spatial tables ride the same path), their limb
+    decompositions per representation width, and the stats template of
+    one interpreted pass (stats are data-independent, so one probe run
+    serves every batch).
+
+    Bit-exactness is preserved by construction: canonical residue
+    results are unique, the repo's differential tests pin the compiled
+    kernel to the scalar reference, and the generated programs are
+    pinned to the same reference -- so fast path and interpretation
+    cannot disagree on canonical inputs.  Non-canonical inputs (which
+    must fault with interpretation's exact partial stats) are detected
+    up front and sent to the interpreter.
+    """
+
+    __slots__ = (
+        "q", "n", "inverse", "tw", "n_inv",
+        "input", "output", "stats_template", "_planes",
+    )
+
+    def __init__(self, q, n, inverse, tw, n_inv, input_region, output_region):
+        self.q = q
+        self.n = n
+        self.inverse = inverse
+        self.tw = tw
+        self.n_inv = n_inv
+        self.input = input_region
+        self.output = output_region
+        self.stats_template: ExecutionStats | None = None
+        self._planes: dict[int, tuple] = {}
+
+    def planes(self, k: int):
+        """Limb planes of the twiddle table (and scale) at width ``k``.
+
+        Returns ``(tw26, tw52, ninv26, ninv52)`` -- the 26-bit
+        decompositions plus their packed base-2^52 copies so the IFMA
+        kernel skips its per-call pack.  Cached per ``k`` because an
+        executor may widen past the engine's canonical width.
+        """
+        cached = self._planes.get(k)
+        if cached is None:
+            tw26 = np.ascontiguousarray(decompose([list(self.tw)], k))
+            tw52 = pack52(tw26)
+            if self.inverse:
+                ninv26 = np.ascontiguousarray(
+                    decompose([[self.n_inv]], k)
+                )
+                ninv52 = pack52(ninv26)
+            else:
+                ninv26 = ninv52 = None
+            cached = (tw26, tw52, ninv26, ninv52)
+            self._planes[k] = cached
+        return cached
+
+
+# plan_key -> plan (None memoizes "not a whole-transform program").
+_NTT_PLANS: dict[str, _NttPlan | None] = {}
+_NTT_KINDS = ("ntt", "ntt_slice")
+
+
+def _ntt_plan(program: Program) -> _NttPlan | None:
+    """The whole-transform plan for ``program``, or ``None``.
+
+    Eligibility is decided from the program object alone: the compile
+    pipeline stamps ``metadata["kind"]``, the twiddle table is the
+    program's own ``twiddles_*`` launch segment (direction-matched by
+    construction), and the inverse scale sits at SDM address
+    ``sdm_base`` -- all validated here once and memoized by the
+    program's content-addressed ``plan_key``.
+    """
+    key = program.metadata.get("plan_key")
+    if key is None or program.metadata.get("kind") not in _NTT_KINDS:
+        return None
+    if key in _NTT_PLANS:
+        return _NTT_PLANS[key]
+    plan = _build_ntt_plan(program)
+    _NTT_PLANS[key] = plan
+    return plan
+
+
+def _build_ntt_plan(program: Program) -> _NttPlan | None:
+    md = program.metadata
+    q, n, direction = md.get("modulus"), md.get("n"), md.get("direction")
+    rin, rout = program.input_region, program.output_region
+    if (
+        not isinstance(q, int)
+        or not isinstance(n, int)
+        or direction not in ("forward", "inverse")
+        or rin is None
+        or rout is None
+        or rin.length != n
+        or rout.length != n
+    ):
+        return None
+    tw_segs = [
+        seg for seg in program.vdm_segments
+        if seg.name.startswith("twiddles")
+    ]
+    if len(tw_segs) != 1 or len(tw_segs[0].values) != n:
+        return None
+    # Launch data must be canonical: a non-canonical constant would
+    # fault under interpretation, which the fast path cannot reproduce.
+    for seg in (*program.vdm_segments, *program.sdm_segments):
+        if not all(0 <= v < q for v in seg.values):
+            return None
+    n_inv = None
+    if direction == "inverse":
+        addr = md.get("sdm_base", 0)
+        for seg in program.sdm_segments:
+            if seg.base <= addr < seg.end:
+                n_inv = seg.values[addr - seg.base]
+        if n_inv is None:
+            return None
+    return _NttPlan(
+        q, n, direction == "inverse", tw_segs[0].values, n_inv, rin, rout
+    )
+
+
+def _ntt_stats_template(
+    program: Program, plan: _NttPlan
+) -> ExecutionStats | None:
+    """Stats of one interpreted pass (cached on the plan).
+
+    Stats are data-independent -- each instruction counts once and the
+    load/store traffic is fixed by the address plans -- so one probe
+    interpretation on a zero input (canonical for every modulus) yields
+    the exact record of any successful run at any batch width.  A probe
+    that faults anyway (e.g. a hand-built program with out-of-bounds
+    addresses) permanently rejects the plan.
+    """
+    if plan.stats_template is None:
+        probe = BatchExecutor(program, batch=1)
+        probe._ntt_fast = False
+        try:
+            probe.write_region(program.input_region, [[0] * plan.n])
+            plan.stats_template = probe.run()
+        except SimulationFault:
+            _NTT_PLANS[program.metadata["plan_key"]] = None
+            return None
+    return plan.stats_template
 
 
 @dataclass(frozen=True)
@@ -177,6 +331,9 @@ class BatchExecutor:
         self.arf = [0] * NUM_REGS
         self.mrf = [0] * NUM_REGS
         self._plans: dict[Instruction, _AddressPlan] = {}
+        # Whole-transform fast path: on by default, disabled for stats
+        # probes (and by tests that need a pure interpretation).
+        self._ntt_fast = True
         # Canonicality ledger: register -> modulus it is known canonical
         # for, plus (for single-modulus programs) a per-address VDM map.
         self._canon_reg: dict[int, int] = {}
@@ -211,18 +368,39 @@ class BatchExecutor:
     def native_path(self) -> str:
         """Which limb-kernel backend wide-modulus compute dispatches to.
 
-        ``"native"`` (the compiled row kernels of
-        :mod:`repro.modmath.native`), ``"numpy"`` (the limb engine's
-        array sweeps), or ``"n/a"`` on the int64 path, where no limb
-        kernels run at all.  Reported into :class:`ExecutionStats` and
-        the benchmark JSON so the perf trajectory records which backend
+        ``"native+ntt"`` (the whole program lowers to one
+        whole-transform call of the compiled kernels -- transform-level
+        dispatch), ``"native"`` (the compiled row kernels of
+        :mod:`repro.modmath.native` under the interpreter loop --
+        row-level dispatch), ``"numpy"`` (the limb engine's array
+        sweeps), or ``"n/a"`` on the int64 path, where no limb kernels
+        run at all.  Reported into :class:`ExecutionStats` and the
+        benchmark JSON so the perf trajectory records which backend
         produced each number.
         """
         if self._limb_k is None:
             return "n/a"
         if self._limb_k <= native.MAX_K and native.active() is not None:
+            if self._ntt_fast and self._ntt_engine() is not None:
+                return "native+ntt"
             return "native"
         return "numpy"
+
+    def _ntt_engine(self) -> LimbEngine | None:
+        """The engine the whole-transform fast path would dispatch to.
+
+        ``None`` when the program is not a single complete transform,
+        the executor is not on the single-modulus limb path, or the
+        compiled whole-transform kernel is unavailable (``RPU_NATIVE=0``,
+        ``RPU_NATIVE_NTT=0``, build failure, k too wide).
+        """
+        if self._limb_k is None or self._q0 is None:
+            return None
+        plan = _ntt_plan(self.program)
+        if plan is None or plan.q != self._q0:
+            return None
+        engine = self._engine(plan.q)
+        return engine if engine.ntt_native else None
 
     @staticmethod
     def _select_limbs(program: Program) -> int | None:
@@ -373,11 +551,57 @@ class BatchExecutor:
     def run(self) -> ExecutionStats:
         """Execute until HALT (or the end of the instruction list)."""
         self.stats.native_path = self.native_path
+        if self._ntt_fast and self._run_ntt_native():
+            return self.stats
         for inst in self.program.instructions:
             if inst.opcode is Opcode.HALT:
                 break
             self._execute(inst)
         return self.stats
+
+    def _run_ntt_native(self) -> bool:
+        """One native call for the whole transform; False falls back.
+
+        Reads the input region's limb planes, checks them canonical (a
+        non-canonical row must fault through interpretation so the
+        partial stats and fault text stay bit-identical to the scalar
+        backend), runs every NTT stage inside the compiled kernel, and
+        drops the result into the output region.  Stats come from the
+        plan's one-pass template -- identical to what the interpreter
+        loop would have counted.
+        """
+        engine = self._ntt_engine()
+        if engine is None:
+            return False
+        plan = _ntt_plan(self.program)
+        template = _ntt_stats_template(self.program, plan)
+        if template is None:
+            return False
+        span = slice(plan.input.base, plan.input.base + plan.n)
+        a = np.ascontiguousarray(self.vdm[:, :, span])
+        if not self._vdm_canon[span].all() and bool(
+            engine.noncanonical_mask(a).any()
+        ):
+            return False
+        tw26, tw52, ninv26, ninv52 = plan.planes(self._limb_k)
+        if not engine.ntt(
+            a, tw26, ninv26, inverse=plan.inverse,
+            tw52=tw52, n_inv52=ninv52,
+        ):
+            return False
+        out = slice(plan.output.base, plan.output.base + plan.n)
+        self.vdm[:, :, out] = a
+        self._vdm_canon[out] = True
+        # Accumulate (not assign): repeated run() calls keep counting,
+        # exactly like the interpreter loop.
+        self.stats.executed += template.executed
+        for klass, count in template.by_class.items():
+            self.stats.by_class[klass] = (
+                self.stats.by_class.get(klass, 0) + count
+            )
+        self.stats.vdm_reads += template.vdm_reads
+        self.stats.vdm_writes += template.vdm_writes
+        return True
 
     def _address_plan(self, inst: Instruction) -> _AddressPlan:
         """Addresses of a load/store, bounds-checked and cached.

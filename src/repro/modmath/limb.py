@@ -133,6 +133,11 @@ def decompose(values, k: int) -> np.ndarray:
 def compose(limbs: np.ndarray) -> np.ndarray:
     """Inverse of :func:`decompose`: an object array of exact Python ints."""
     k = limbs.shape[0]
+    if limbs.ndim == 1:
+        # Single element: numpy turns 0-d object accumulators back into
+        # int64 scalars mid-expression (silently wrapping wide values),
+        # so compose one element in plain Python.
+        return sum(int(limbs[i]) << (LIMB_BITS * i) for i in range(k))
     pairs = (k - 1) // 2
     if k - 2 * pairs == 1:
         acc = limbs[k - 1].astype(object)
@@ -142,6 +147,26 @@ def compose(limbs: np.ndarray) -> np.ndarray:
         piece = limbs[2 * p] + (limbs[2 * p + 1] << LIMB_BITS)  # pure int64
         acc = (acc << _STAGE_BITS) + piece
     return acc
+
+
+def pack52(planes: np.ndarray) -> np.ndarray:
+    """Pack base-2^26 limb planes into base-2^52 planes (leading axis).
+
+    ``(k, ...)`` canonical-residue planes become ``(ceil(k/2), ...)``
+    planes of paired limbs -- the representation the compiled
+    ``rpu_limb_ntt52`` kernel (AVX-512 IFMA ``madd52`` chains) works in.
+    Used host-side to pre-pack twiddle tables; the kernel itself packs
+    and unpacks its data planes in place.
+    """
+    k = planes.shape[0]
+    k2 = (k + 1) // 2
+    out = np.empty((k2,) + planes.shape[1:], dtype=np.int64)
+    for i in range(k2):
+        if 2 * i + 1 < k:
+            out[i] = planes[2 * i] | (planes[2 * i + 1] << LIMB_BITS)
+        else:
+            out[i] = planes[2 * i]
+    return out
 
 
 def widen(limbs: np.ndarray, new_k: int) -> np.ndarray:
@@ -301,6 +326,7 @@ class LimbEngine:
         # batches in concurrent threads -- shared arenas would race.
         self._scratch = threading.local()
         self._native_rows = None  # lazy (L, k+1)/(L, k+1)/(L, km) consts
+        self._native_rows52 = None  # lazy base-2^52 Barrett constant rows
 
     # -- native dispatch ---------------------------------------------------
     def _native_consts(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -319,6 +345,128 @@ class LimbEngine:
             self._native_rows = consts
         return consts
 
+    def _native_consts52(self):
+        """Base-2^52 Barrett constant rows for the packed IFMA kernel.
+
+        Same limb-aligned Barrett derivation as the 26-bit engine, with
+        the limb base doubled: ``s1' = (qbits-1)//52``, ``s2'`` its
+        ``2*qbits`` companion, ``mu' = 2^(52*(s1'+s2')) // q``.  Returns
+        ``(q52ext, q2_52ext, mu52, k2, km2, s1p, s2p)`` with the arrays
+        row-major ``(L, planes)`` contiguous, or ``None`` when the
+        packed representation cannot hold this engine (never for
+        canonical k <= MAX_K engines; kept as a guard).
+        """
+        consts = self._native_rows52
+        if consts is None:
+            bits2 = 2 * LIMB_BITS
+            k2 = (self.k + 1) // 2
+            s1p = (self.qbits - 1) // bits2
+            s2p = -(-(2 * self.qbits - s1p * bits2) // bits2)
+            mus = [(1 << (s1p + s2p) * bits2) // q for q in self.moduli]
+            km2 = max(
+                1, -(-(max(mu.bit_length() for mu in mus) + 1) // bits2)
+            )
+
+            def rows(values, count):
+                mask = (1 << bits2) - 1
+                data = []
+                for v in values:
+                    cur, row = int(v), []
+                    for _ in range(count):
+                        row.append(cur & mask)
+                        cur >>= bits2
+                    if cur:
+                        return None
+                    data.append(row)
+                return np.array(data, dtype=np.int64)
+
+            q52 = rows(self.moduli, k2 + 1)
+            q252 = rows([2 * q for q in self.moduli], k2 + 1)
+            mu52 = rows(mus, km2)
+            if q52 is None or q252 is None or mu52 is None:
+                consts = (None,)
+            else:
+                consts = (q52, q252, mu52, k2, km2, s1p, s2p)
+            self._native_rows52 = consts
+        return None if consts[0] is None else consts
+
+    def ntt(
+        self,
+        a: np.ndarray,
+        tw: np.ndarray,
+        n_inv: np.ndarray | None = None,
+        *,
+        inverse: bool = False,
+        tw52: np.ndarray | None = None,
+        n_inv52: np.ndarray | None = None,
+    ) -> bool:
+        """Run every stage of a batch of NTTs in one compiled call.
+
+        ``a`` is the C-contiguous ``(k, rows, n)`` plane block of
+        canonical residues, mutated *in place* (natural -> bit-reversed
+        for the forward transform; the inverse folds the ``n^{-1}``
+        sweep in).  ``tw`` is the ``(k, L, n)`` limb decomposition of
+        the full ``psi_rev`` (forward) / ``psi_inv_rev`` (inverse)
+        table; ``n_inv`` the ``(k, L, 1)`` decomposition of the scale
+        (inverse only).  ``tw52``/``n_inv52`` are optional pre-packed
+        base-2^52 copies (see :func:`pack52`) so cached callers skip
+        the per-call pack.
+
+        Returns ``True`` when a compiled whole-transform kernel ran;
+        ``False`` sends the caller to the per-stage path (wrong shape,
+        kernels unavailable, or ``RPU_NATIVE_NTT=0``).
+        """
+        kernels = native.active()
+        if (
+            kernels is None
+            or not kernels.has_ntt
+            or not native.ntt_enabled()
+            or self.k > native.MAX_K
+        ):
+            return False
+        if (
+            a.ndim != 3
+            or a.dtype != np.int64
+            or not a.flags["C_CONTIGUOUS"]
+        ):
+            return False
+        k, rows, n = a.shape
+        if k != self.k or rows < 1 or n < 2 or n & (n - 1):
+            return False
+        L = len(self.moduli)
+        crows = 1 if L == 1 else L
+        if crows != 1 and rows != crows:
+            return False
+        if inverse and n_inv is None:
+            return False
+        if kernels.has_ifma and n >= 16:
+            c52 = self._native_consts52()
+            if c52 is not None:
+                q52, q252, mu52, k2, km2, s1p, s2p = c52
+                if tw52 is None:
+                    tw52 = pack52(np.ascontiguousarray(tw))
+                if inverse:
+                    if n_inv52 is None:
+                        n_inv52 = pack52(np.ascontiguousarray(n_inv))
+                    ninv_rows = np.ascontiguousarray(n_inv52[:, :, 0].T)
+                else:
+                    ninv_rows = q52  # any valid pointer; unread forward
+                if kernels.ntt52(
+                    a, np.ascontiguousarray(tw52), ninv_rows, q52, q252,
+                    mu52, self.k, km2, s1p, s2p, rows, n, crows, inverse,
+                ):
+                    return True
+        qext, q2ext, mu = self._native_consts()
+        if inverse:
+            ninv_rows = np.ascontiguousarray(n_inv[:, :, 0].T)
+        else:
+            ninv_rows = qext  # any valid pointer; unread forward
+        return kernels.ntt26(
+            a, np.ascontiguousarray(tw), ninv_rows, qext, q2ext, mu,
+            self.k, mu.shape[1], self._s1, self._s2, rows, n, crows,
+            inverse,
+        )
+
     @property
     def native_path(self) -> str:
         """Which backend this engine's ops dispatch to right now:
@@ -326,6 +474,17 @@ class LimbEngine:
         if self.k <= native.MAX_K and native.active() is not None:
             return "native"
         return "numpy"
+
+    @property
+    def ntt_native(self) -> bool:
+        """Whether :meth:`ntt` would run compiled for this engine."""
+        kernels = native.active()
+        return (
+            kernels is not None
+            and kernels.has_ntt
+            and native.ntt_enabled()
+            and self.k <= native.MAX_K
+        )
 
     def _buf(self, shape: tuple[int, ...]) -> dict[str, np.ndarray]:
         """Per-lane-shape scratch arena: reused across calls so the hot

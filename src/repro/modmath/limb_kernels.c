@@ -31,31 +31,90 @@
 
 #include <stdint.h>
 
+#if defined(__AVX512IFMA__)
+#include <immintrin.h>
+#define HAVE_IFMA 1
+#else
+#define HAVE_IFMA 0
+#endif
+
 #define LIMB_BITS 26
 #define LIMB_MASK ((int64_t)0x3ffffff)
 #define MAX_K 16
 #define BLK 16 /* lanes per block: two AVX-512 int64 vectors (measured best) */
 
+/* Whole-transform kernel: lanes per cache-resident segment.  A segment
+ * holds every stage with butterfly width 2t <= SPAN entirely in a stack
+ * buffer, so the last log2(SPAN) stages of a forward transform (the
+ * first of an inverse) touch main memory exactly twice. */
+#define SPAN 64
+#define HSPAN (SPAN / 2)
+
+/* 52-bit packed domain (pairs of 26-bit limbs per lane). */
+#define LIMB2_BITS 52
+#define LIMB2_MASK ((int64_t)0xfffffffffffffLL)
+#define MAX_K2 ((MAX_K + 1) / 2 + 1)
+
 typedef int64_t i64;
+typedef uint64_t u64;
+
+/* The butterfly bodies already amortize their call over k^2 * BLK limb
+ * products; keeping them out-of-line stops the stage/row drivers from
+ * flattening into multi-megabyte functions (90s+ compiles under the
+ * AVX-512 cost models). */
+#if defined(__GNUC__)
+#define NOINLINE __attribute__((noinline))
+#else
+#define NOINLINE
+#endif
 
 /* ----------------------------------------------------------------- */
 /* Block primitives: nv <= BLK lanes, limb planes in local arrays.    */
 /* ----------------------------------------------------------------- */
 
 /* z[0..2k-1] = a*b, schoolbook, then one carry pass so every plane but
- * the (zero) top is in [0, 2^26).  a/b are strided operand pointers. */
-static inline void school_block(i64 z[][BLK], const i64 *a, const i64 *b,
-                                long stride, int k, int nv) {
+ * the (zero) top is in [0, 2^26).  a/b are strided operand pointers;
+ * the strides are independent so a gathered block (stride HSPAN or BLK)
+ * can multiply a full-plane operand (stride rows*lanes). */
+static inline void school_block(i64 z[][BLK], const i64 *a, long astride,
+                                const i64 *b, long bstride, int k, int nv) {
   for (int p = 0; p < 2 * k; p++)
     for (int v = 0; v < nv; v++)
       z[p][v] = 0;
   for (int i = 0; i < k; i++) {
-    const i64 *ai = a + (long)i * stride;
+    const i64 *ai = a + (long)i * astride;
     for (int j = 0; j < k; j++) {
-      const i64 *bj = b + (long)j * stride;
+      const i64 *bj = b + (long)j * bstride;
       i64 *zp = z[i + j];
       for (int v = 0; v < nv; v++)
         zp[v] += ai[v] * bj[v];
+    }
+  }
+  for (int p = 0; p < 2 * k - 1; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = z[p][v] >> LIMB_BITS;
+      z[p][v] &= LIMB_MASK;
+      z[p + 1][v] += c;
+    }
+}
+
+/* z[0..2k-1] = a * w where w is one k-limb scalar (a twiddle, n_inv):
+ * every limb product is vector*constant, the whole-transform kernel's
+ * hot multiply for stages with butterfly width >= BLK. */
+static inline void school_vs_block(i64 z[][BLK], const i64 *a, long astride,
+                                   const i64 *w, int k, int nv) {
+  for (int p = 0; p < 2 * k; p++)
+    for (int v = 0; v < nv; v++)
+      z[p][v] = 0;
+  for (int i = 0; i < k; i++) {
+    const i64 *ai = a + (long)i * astride;
+    for (int j = 0; j < k; j++) {
+      const i64 wj = w[j];
+      if (wj == 0)
+        continue;
+      i64 *zp = z[i + j];
+      for (int v = 0; v < nv; v++)
+        zp[v] += ai[v] * wj;
     }
   }
   for (int p = 0; p < 2 * k - 1; p++)
@@ -216,7 +275,9 @@ static inline void store_block(i64 *dst, i64 src[][BLK], long stride, int k,
 /* Exported row kernels.                                              */
 /* ----------------------------------------------------------------- */
 
-int rpu_limb_abi(void) { return 1; }
+int rpu_limb_abi(void) { return 2; }
+
+int rpu_limb_has_ifma(void) { return HAVE_IFMA; }
 
 int rpu_limb_add_mod(const i64 *a, const i64 *b, i64 *out, const i64 *qext,
                      i64 k, i64 rows, i64 lanes) {
@@ -284,13 +345,205 @@ int rpu_limb_mul_mod(const i64 *a, const i64 *b, i64 *out, const i64 *qext,
       int nv = (lanes - x < BLK) ? (int)(lanes - x) : BLK;
       long off = r * lanes + x;
       i64 z[2 * MAX_K][BLK], red[MAX_K + 2][BLK];
-      school_block(z, a + off, b + off, stride, (int)k, nv);
+      school_block(z, a + off, stride, b + off, stride, (int)k, nv);
       barrett_block(z, red, qr, q2r, mur, (int)k, (int)km, (int)s1, (int)s2,
                     nv);
       store_block(out + off, red, stride, (int)k, nv);
     }
   }
   return 0;
+}
+
+/* ----------------------------------------------------------------- */
+/* Whole-transform NTT (26-bit limb domain).                          */
+/*                                                                    */
+/* One exported call runs every Cooley-Tukey stage of an n-point      */
+/* transform over a row's limb planes.  Twiddle indexing follows      */
+/* repro.ntt.reference exactly: stage t (butterfly distance) has      */
+/* n/(2t) groups and group i uses table entry n/(2t) + i, for both    */
+/* directions.  Stages with 2t <= SPAN run on a stack-resident        */
+/* segment buffer, so each coefficient block crosses main memory      */
+/* twice regardless of how many local stages touch it.                */
+/* ----------------------------------------------------------------- */
+
+/* CT butterfly, scalar twiddle: (u, v) <- (u + v*w, u - v*w) mod q. */
+static NOINLINE void bfly_ct_w(i64 *u, i64 *v, long stride, const i64 *wl,
+                             const i64 *qr, const i64 *q2r, const i64 *mur,
+                             int k, int km, int s1, int s2, int nv) {
+  i64 z[2 * MAX_K][BLK], t[MAX_K + 2][BLK];
+  i64 h[MAX_K + 2][BLK], l[MAX_K + 2][BLK];
+  school_vs_block(z, v, stride, wl, k, nv);
+  barrett_block(z, t, qr, q2r, mur, k, km, s1, s2, nv);
+  add_canon_block(h, u, t, stride, qr, k, nv);
+  sub_canon_block(l, u, t, stride, qr, k, nv);
+  store_block(u, h, stride, k, nv);
+  store_block(v, l, stride, k, nv);
+}
+
+/* CT butterfly, per-lane twiddle operand (gathered small-t stages). */
+static NOINLINE void bfly_ct_vv(i64 *u, i64 *v, const i64 *w, long stride,
+                              long wstride, const i64 *qr, const i64 *q2r,
+                              const i64 *mur, int k, int km, int s1, int s2,
+                              int nv) {
+  i64 z[2 * MAX_K][BLK], t[MAX_K + 2][BLK];
+  i64 h[MAX_K + 2][BLK], l[MAX_K + 2][BLK];
+  school_block(z, v, stride, w, wstride, k, nv);
+  barrett_block(z, t, qr, q2r, mur, k, km, s1, s2, nv);
+  add_canon_block(h, u, t, stride, qr, k, nv);
+  sub_canon_block(l, u, t, stride, qr, k, nv);
+  store_block(u, h, stride, k, nv);
+  store_block(v, l, stride, k, nv);
+}
+
+/* GS butterfly, scalar twiddle: (u, v) <- (u + v, (u - v)*w) mod q. */
+static NOINLINE void bfly_gs_w(i64 *u, i64 *v, long stride, const i64 *wl,
+                             const i64 *qr, const i64 *q2r, const i64 *mur,
+                             int k, int km, int s1, int s2, int nv) {
+  i64 vb[MAX_K][BLK], sum[MAX_K + 2][BLK], dif[MAX_K + 2][BLK];
+  i64 z[2 * MAX_K][BLK], l[MAX_K + 2][BLK];
+  load_block(vb, v, stride, k, nv);
+  add_canon_block(sum, u, vb, stride, qr, k, nv);
+  sub_canon_block(dif, u, vb, stride, qr, k, nv);
+  school_vs_block(z, &dif[0][0], BLK, wl, k, nv);
+  barrett_block(z, l, qr, q2r, mur, k, km, s1, s2, nv);
+  store_block(u, sum, stride, k, nv);
+  store_block(v, l, stride, k, nv);
+}
+
+/* GS butterfly, per-lane twiddle operand. */
+static NOINLINE void bfly_gs_vv(i64 *u, i64 *v, const i64 *w, long stride,
+                              long wstride, const i64 *qr, const i64 *q2r,
+                              const i64 *mur, int k, int km, int s1, int s2,
+                              int nv) {
+  i64 vb[MAX_K][BLK], sum[MAX_K + 2][BLK], dif[MAX_K + 2][BLK];
+  i64 z[2 * MAX_K][BLK], l[MAX_K + 2][BLK];
+  load_block(vb, v, stride, k, nv);
+  add_canon_block(sum, u, vb, stride, qr, k, nv);
+  sub_canon_block(dif, u, vb, stride, qr, k, nv);
+  school_block(z, &dif[0][0], BLK, w, wstride, k, nv);
+  barrett_block(z, l, qr, q2r, mur, k, km, s1, s2, nv);
+  store_block(u, sum, stride, k, nv);
+  store_block(v, l, stride, k, nv);
+}
+
+/* One stage (all groups) over a contiguous region of `len` lanes whose
+ * global lane offset divided by 2t is `gbase`.  widx0 = n/(2t) + gbase
+ * is the table index of the region's first group.  Stages with t < BLK
+ * gather butterflies into contiguous half-region blocks so the block
+ * primitives always sweep full vectors. */
+static void stage26(i64 *dat, long stride, long len, long t, const i64 *twr,
+                    long ts, long widx0, int gs, const i64 *qr,
+                    const i64 *q2r, const i64 *mur, int k, int km, int s1,
+                    int s2) {
+  long groups = len / (2 * t);
+  if (t >= BLK) {
+    for (long g = 0; g < groups; g++) {
+      long j1 = 2 * g * t;
+      i64 wl[MAX_K];
+      for (int i = 0; i < k; i++)
+        wl[i] = twr[(long)i * ts + widx0 + g];
+      for (long j = 0; j < t; j += BLK) {
+        int nv = (t - j < BLK) ? (int)(t - j) : BLK;
+        if (gs)
+          bfly_gs_w(dat + j1 + j, dat + j1 + t + j, stride, wl, qr, q2r, mur,
+                    k, km, s1, s2, nv);
+        else
+          bfly_ct_w(dat + j1 + j, dat + j1 + t + j, stride, wl, qr, q2r, mur,
+                    k, km, s1, s2, nv);
+      }
+    }
+    return;
+  }
+  i64 ub[MAX_K][HSPAN], vb[MAX_K][HSPAN], wb[MAX_K][HSPAN];
+  long nb = len / 2;
+  long idx = 0;
+  for (long g = 0; g < groups; g++) {
+    long j1 = 2 * g * t;
+    for (long j = 0; j < t; j++, idx++)
+      for (int i = 0; i < k; i++) {
+        ub[i][idx] = dat[(long)i * stride + j1 + j];
+        vb[i][idx] = dat[(long)i * stride + j1 + t + j];
+        wb[i][idx] = twr[(long)i * ts + widx0 + g];
+      }
+  }
+  for (long xb = 0; xb < nb; xb += BLK) {
+    int nv = (nb - xb < BLK) ? (int)(nb - xb) : BLK;
+    if (gs)
+      bfly_gs_vv(&ub[0][xb], &vb[0][xb], &wb[0][xb], HSPAN, HSPAN, qr, q2r,
+                 mur, k, km, s1, s2, nv);
+    else
+      bfly_ct_vv(&ub[0][xb], &vb[0][xb], &wb[0][xb], HSPAN, HSPAN, qr, q2r,
+                 mur, k, km, s1, s2, nv);
+  }
+  idx = 0;
+  for (long g = 0; g < groups; g++) {
+    long j1 = 2 * g * t;
+    for (long j = 0; j < t; j++, idx++)
+      for (int i = 0; i < k; i++) {
+        dat[(long)i * stride + j1 + j] = ub[i][idx];
+        dat[(long)i * stride + j1 + t + j] = vb[i][idx];
+      }
+  }
+}
+
+/* out = in * w (scalar k-limb constant) mod q for one block: the
+ * inverse transform's n^-1 scale. */
+static NOINLINE void mul_vs_block(i64 *dat, long stride, const i64 *wl,
+                                const i64 *qr, const i64 *q2r, const i64 *mur,
+                                int k, int km, int s1, int s2, int nv) {
+  i64 z[2 * MAX_K][BLK], red[MAX_K + 2][BLK];
+  school_vs_block(z, dat, stride, wl, k, nv);
+  barrett_block(z, red, qr, q2r, mur, k, km, s1, s2, nv);
+  store_block(dat, red, stride, k, nv);
+}
+
+/* All log2(n) stages of one row's transform, in place.  Forward runs
+ * the strided global stages first, then finishes each SPAN-lane
+ * segment in a stack buffer; the inverse mirrors that (local stages
+ * first, t ascending) and folds the n^-1 scale in before returning. */
+static void ntt_row26(i64 *row, long ds, const i64 *twr, long ts,
+                      const i64 *ninvr, const i64 *qr, const i64 *q2r,
+                      const i64 *mur, int k, int km, int s1, int s2, long n,
+                      int inverse) {
+  long span = n < SPAN ? n : SPAN;
+  i64 buf[MAX_K][SPAN];
+  if (!inverse) {
+    long t = n >> 1;
+    for (; t >= span; t >>= 1)
+      stage26(row, ds, n, t, twr, ts, n / (2 * t), 0, qr, q2r, mur, k, km,
+              s1, s2);
+    for (long off = 0; off < n; off += span) {
+      for (int i = 0; i < k; i++)
+        for (long v = 0; v < span; v++)
+          buf[i][v] = row[(long)i * ds + off + v];
+      for (long tt = t; tt >= 1; tt >>= 1)
+        stage26(&buf[0][0], SPAN, span, tt, twr, ts,
+                n / (2 * tt) + off / (2 * tt), 0, qr, q2r, mur, k, km, s1,
+                s2);
+      for (int i = 0; i < k; i++)
+        for (long v = 0; v < span; v++)
+          row[(long)i * ds + off + v] = buf[i][v];
+    }
+    return;
+  }
+  for (long off = 0; off < n; off += span) {
+    for (int i = 0; i < k; i++)
+      for (long v = 0; v < span; v++)
+        buf[i][v] = row[(long)i * ds + off + v];
+    for (long tt = 1; tt <= span / 2; tt <<= 1)
+      stage26(&buf[0][0], SPAN, span, tt, twr, ts,
+              n / (2 * tt) + off / (2 * tt), 1, qr, q2r, mur, k, km, s1, s2);
+    for (int i = 0; i < k; i++)
+      for (long v = 0; v < span; v++)
+        row[(long)i * ds + off + v] = buf[i][v];
+  }
+  for (long t = span; t <= n / 2; t <<= 1)
+    stage26(row, ds, n, t, twr, ts, n / (2 * t), 1, qr, q2r, mur, k, km, s1,
+            s2);
+  for (long x = 0; x < n; x += BLK) {
+    int nv = (n - x < BLK) ? (int)(n - x) : BLK;
+    mul_vs_block(row + x, ds, ninvr, qr, q2r, mur, k, km, s1, s2, nv);
+  }
 }
 
 /* The fused Cooley-Tukey butterfly: (a + b*w, a - b*w) mod q in one
@@ -311,7 +564,7 @@ int rpu_limb_bfly_ct(const i64 *a, const i64 *b, const i64 *w, i64 *hi,
       long off = r * lanes + x;
       i64 z[2 * MAX_K][BLK], t[MAX_K + 2][BLK];
       i64 h[MAX_K + 2][BLK], l[MAX_K + 2][BLK];
-      school_block(z, b + off, w + off, stride, (int)k, nv);
+      school_block(z, b + off, stride, w + off, stride, (int)k, nv);
       barrett_block(z, t, qr, q2r, mur, (int)k, (int)km, (int)s1, (int)s2,
                     nv);
       add_canon_block(h, a + off, t, stride, qr, (int)k, nv);
@@ -320,5 +573,536 @@ int rpu_limb_bfly_ct(const i64 *a, const i64 *b, const i64 *w, i64 *hi,
       store_block(lo + off, l, stride, (int)k, nv);
     }
   }
+  return 0;
+}
+
+/* The whole-transform kernel: every stage of `rows` independent
+ * n-point transforms in one call.  data is (k, rows, n) plane-major
+ * and mutated in place; tw is (k, crows, n) holding the full psi_rev
+ * (forward) / psi_inv_rev (inverse) table per constants row; ninv is
+ * (crows, k) row-major (ignored on forward).  crows is 1 (one modulus
+ * for every row, the batched executor) or rows (one modulus per row,
+ * the RNS tower path).  Inputs must be canonical residues -- callers
+ * pre-check, exactly as the numpy stage loop does. */
+int rpu_limb_ntt(i64 *data, const i64 *tw, const i64 *ninv, const i64 *qext,
+                 const i64 *q2ext, const i64 *mu, i64 k, i64 km, i64 s1,
+                 i64 s2, i64 rows, i64 n, i64 crows, i64 inverse) {
+  if (k < 1 || k > MAX_K || km < 1 || km > MAX_K + 1 || s1 < 0 || s2 < 1)
+    return -1;
+  if (n < 2 || (n & (n - 1)) || rows < 1 || (crows != 1 && crows != rows))
+    return -1;
+  long ds = (long)rows * n;
+  long ts = (long)crows * n;
+  for (long r = 0; r < rows; r++) {
+    long cr = (crows == 1) ? 0 : r;
+    ntt_row26(data + r * n, ds, tw + cr * n, ts, ninv + cr * k,
+              qext + cr * (k + 1), q2ext + cr * (k + 1), mu + cr * km,
+              (int)k, (int)km, (int)s1, (int)s2, n, (int)inverse);
+  }
+  return 0;
+}
+
+/* ----------------------------------------------------------------- */
+/* 52-bit packed domain: pairs of 26-bit limbs per int64 lane.        */
+/*                                                                    */
+/* On avx512ifma hosts every limb product runs through the            */
+/* _mm512_madd52{lo,hi}_epu64 chain -- half the limb count, one       */
+/* instruction per 8-lane product half.  Elsewhere the same code      */
+/* compiles through unsigned __int128, so the tier is buildable (and  */
+/* differential-testable) everywhere; dispatch prefers it only when   */
+/* rpu_limb_has_ifma() reports the intrinsics were compiled in.       */
+/* Values are canonical residues in base 2^52: k2 = ceil(k/2) limbs,  */
+/* all in [0, 2^52), so every madd52 operand is exact.                */
+/* ----------------------------------------------------------------- */
+
+/* zlo/zhi += lo52/hi52(a * b) for nv lanes, b a scalar.  The IFMA
+ * path assumes nv is a multiple of 8; the ntt52 call sites only issue
+ * full BLK blocks (n >= 16 is validated by the exported kernel). */
+static inline void mac52_vs(i64 *zlo, i64 *zhi, const i64 *a, i64 b,
+                            int nv) {
+#if HAVE_IFMA
+  __m512i vb = _mm512_set1_epi64(b);
+  for (int v = 0; v < nv; v += 8) {
+    __m512i va = _mm512_loadu_si512((const void *)(a + v));
+    __m512i lo = _mm512_loadu_si512((const void *)(zlo + v));
+    __m512i hi = _mm512_loadu_si512((const void *)(zhi + v));
+    lo = _mm512_madd52lo_epu64(lo, va, vb);
+    hi = _mm512_madd52hi_epu64(hi, va, vb);
+    _mm512_storeu_si512((void *)(zlo + v), lo);
+    _mm512_storeu_si512((void *)(zhi + v), hi);
+  }
+#else
+  for (int v = 0; v < nv; v++) {
+    unsigned __int128 p = (unsigned __int128)(u64)a[v] * (u64)b;
+    zlo[v] += (i64)((u64)p & (u64)LIMB2_MASK);
+    zhi[v] += (i64)(p >> LIMB2_BITS);
+  }
+#endif
+}
+
+/* Same, with a per-lane multiplier vector. */
+static inline void mac52_vv(i64 *zlo, i64 *zhi, const i64 *a, const i64 *b,
+                            int nv) {
+#if HAVE_IFMA
+  for (int v = 0; v < nv; v += 8) {
+    __m512i va = _mm512_loadu_si512((const void *)(a + v));
+    __m512i vb = _mm512_loadu_si512((const void *)(b + v));
+    __m512i lo = _mm512_loadu_si512((const void *)(zlo + v));
+    __m512i hi = _mm512_loadu_si512((const void *)(zhi + v));
+    lo = _mm512_madd52lo_epu64(lo, va, vb);
+    hi = _mm512_madd52hi_epu64(hi, va, vb);
+    _mm512_storeu_si512((void *)(zlo + v), lo);
+    _mm512_storeu_si512((void *)(zhi + v), hi);
+  }
+#else
+  for (int v = 0; v < nv; v++) {
+    unsigned __int128 p = (unsigned __int128)(u64)a[v] * (u64)b[v];
+    zlo[v] += (i64)((u64)p & (u64)LIMB2_MASK);
+    zhi[v] += (i64)(p >> LIMB2_BITS);
+  }
+#endif
+}
+
+/* Fold hi-half accumulators into the next column and normalize every
+ * digit into [0, 2^52).  Accumulation headroom: each column sums at
+ * most ~2*MAX_K2 values below 2^52 plus carries -- under 2^57. */
+static inline void fold_carry52(i64 z[][BLK], i64 zh[][BLK], int planes,
+                                int nv) {
+  for (int p = planes - 1; p >= 1; p--)
+    for (int v = 0; v < nv; v++)
+      z[p][v] += zh[p - 1][v];
+  for (int p = 0; p + 1 < planes; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = z[p][v] >> LIMB2_BITS;
+      z[p][v] &= LIMB2_MASK;
+      z[p + 1][v] += c;
+    }
+}
+
+static inline void cond_sub52(i64 r[][BLK], const i64 *c, int m, int nv) {
+  i64 d[MAX_K2 + 2][BLK];
+  for (int v = 0; v < nv; v++)
+    d[0][v] = r[0][v] - c[0];
+  for (int p = 0; p + 1 < m; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 br = d[p][v] >> LIMB2_BITS;
+      d[p][v] &= LIMB2_MASK;
+      d[p + 1][v] = r[p + 1][v] - c[p + 1] + br;
+    }
+  for (int p = 0; p < m; p++)
+    for (int v = 0; v < nv; v++)
+      r[p][v] = (d[m - 1][v] < 0) ? r[p][v] : d[p][v];
+}
+
+/* z[0..2k2-1] = a * w (scalar k2-limb constant), base-2^52 schoolbook. */
+static inline void school52_vs(i64 z[][BLK], const i64 *a, long astride,
+                               const i64 *w, int k2, int nv) {
+  i64 zh[2 * MAX_K2][BLK];
+  for (int p = 0; p < 2 * k2; p++)
+    for (int v = 0; v < nv; v++) {
+      z[p][v] = 0;
+      zh[p][v] = 0;
+    }
+  for (int i = 0; i < k2; i++) {
+    const i64 *ai = a + (long)i * astride;
+    for (int j = 0; j < k2; j++) {
+      if (w[j] == 0)
+        continue;
+      mac52_vs(&z[i + j][0], &zh[i + j][0], ai, w[j], nv);
+    }
+  }
+  fold_carry52(z, zh, 2 * k2, nv);
+}
+
+/* z[0..2k2-1] = a * b with per-lane b, base-2^52 schoolbook. */
+static inline void school52_vv(i64 z[][BLK], const i64 *a, long astride,
+                               const i64 *b, long bstride, int k2, int nv) {
+  i64 zh[2 * MAX_K2][BLK];
+  for (int p = 0; p < 2 * k2; p++)
+    for (int v = 0; v < nv; v++) {
+      z[p][v] = 0;
+      zh[p][v] = 0;
+    }
+  for (int i = 0; i < k2; i++)
+    for (int j = 0; j < k2; j++)
+      mac52_vv(&z[i + j][0], &zh[i + j][0], a + (long)i * astride,
+               b + (long)j * bstride, nv);
+  fold_carry52(z, zh, 2 * k2, nv);
+}
+
+/* Barrett in base 2^52: the same limb-aligned shift points as the
+ * 26-bit version (s1' = (qbits-1)//52, s2' its companion), but the
+ * q_hat*q product accumulates into its own lo/hi pair (madd52 has no
+ * subtract form) and is then retired digitwise -- both sides are
+ * taken mod 2^(52m), so the signed normalize is exact. */
+static inline void barrett52(i64 z[][BLK], i64 r[][BLK], const i64 *qext,
+                             const i64 *q2ext, const i64 *mu, int k2, int km2,
+                             int s1, int s2, int nv) {
+  i64 t[3 * MAX_K2 + 2][BLK], th[3 * MAX_K2 + 2][BLK];
+  i64 pl[MAX_K2 + 2][BLK], ph[MAX_K2 + 2][BLK];
+  int m1 = 2 * k2 - s1;
+  int tm = m1 + km2;
+  int m = k2 + 1;
+  for (int p = 0; p < tm; p++)
+    for (int v = 0; v < nv; v++) {
+      t[p][v] = 0;
+      th[p][v] = 0;
+    }
+  for (int i = 0; i < m1; i++)
+    for (int j = 0; j < km2; j++) {
+      if (mu[j] == 0)
+        continue;
+      mac52_vs(&t[i + j][0], &th[i + j][0], &z[s1 + i][0], mu[j], nv);
+    }
+  fold_carry52(t, th, tm, nv);
+  int mh = tm - s2;
+  if (mh > k2)
+    mh = k2;
+  for (int p = 0; p < m; p++)
+    for (int v = 0; v < nv; v++) {
+      pl[p][v] = 0;
+      ph[p][v] = 0;
+    }
+  for (int j = 0; j < k2; j++) {
+    if (qext[j] == 0)
+      continue;
+    for (int i = 0; i < mh && i + j < m; i++)
+      mac52_vs(&pl[i + j][0], &ph[i + j][0], &t[s2 + i][0], qext[j], nv);
+  }
+  /* r = (z - q_hat*q) mod 2^(52m): fold hi halves (no carry pass --
+   * the signed normalize below absorbs digit overflow), subtract,
+   * normalize with arithmetic-shift carries, mask the top. */
+  for (int p = m - 1; p >= 1; p--)
+    for (int v = 0; v < nv; v++)
+      pl[p][v] += ph[p - 1][v];
+  for (int p = 0; p < m; p++)
+    for (int v = 0; v < nv; v++)
+      r[p][v] = z[p][v] - pl[p][v];
+  for (int p = 0; p + 1 < m; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = r[p][v] >> LIMB2_BITS;
+      r[p][v] &= LIMB2_MASK;
+      r[p + 1][v] += c;
+    }
+  for (int v = 0; v < nv; v++)
+    r[m - 1][v] &= LIMB2_MASK;
+  cond_sub52(r, q2ext, m, nv);
+  cond_sub52(r, qext, m, nv);
+}
+
+static inline void add_canon52(i64 out[][BLK], const i64 *a, i64 t[][BLK],
+                               long stride, const i64 *qext, int k2, int nv) {
+  for (int i = 0; i < k2; i++) {
+    const i64 *ai = a + (long)i * stride;
+    for (int v = 0; v < nv; v++)
+      out[i][v] = ai[v] + t[i][v];
+  }
+  for (int v = 0; v < nv; v++)
+    out[k2][v] = 0;
+  for (int p = 0; p < k2; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = out[p][v] >> LIMB2_BITS;
+      out[p][v] &= LIMB2_MASK;
+      out[p + 1][v] += c;
+    }
+  cond_sub52(out, qext, k2 + 1, nv);
+}
+
+static inline void sub_canon52(i64 out[][BLK], const i64 *a, i64 t[][BLK],
+                               long stride, const i64 *qext, int k2, int nv) {
+  i64 s[MAX_K2][BLK];
+  for (int i = 0; i < k2; i++) {
+    const i64 *ai = a + (long)i * stride;
+    for (int v = 0; v < nv; v++)
+      out[i][v] = ai[v] - t[i][v];
+  }
+  for (int p = 0; p + 1 < k2; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = out[p][v] >> LIMB2_BITS;
+      out[p][v] &= LIMB2_MASK;
+      out[p + 1][v] += c;
+    }
+  for (int i = 0; i < k2; i++)
+    for (int v = 0; v < nv; v++)
+      s[i][v] = out[i][v] + qext[i];
+  for (int p = 0; p + 1 < k2; p++)
+    for (int v = 0; v < nv; v++) {
+      i64 c = s[p][v] >> LIMB2_BITS;
+      s[p][v] &= LIMB2_MASK;
+      s[p + 1][v] += c;
+    }
+  for (int p = 0; p < k2; p++)
+    for (int v = 0; v < nv; v++)
+      out[p][v] = (out[k2 - 1][v] < 0) ? s[p][v] : out[p][v];
+}
+
+static inline void load52(i64 dst[][BLK], const i64 *src, long stride, int k2,
+                          int nv) {
+  for (int i = 0; i < k2; i++) {
+    const i64 *si = src + (long)i * stride;
+    for (int v = 0; v < nv; v++)
+      dst[i][v] = si[v];
+  }
+}
+
+static inline void store52(i64 *dst, i64 src[][BLK], long stride, int k2,
+                           int nv) {
+  for (int i = 0; i < k2; i++) {
+    i64 *di = dst + (long)i * stride;
+    for (int v = 0; v < nv; v++)
+      di[v] = src[i][v];
+  }
+}
+
+static NOINLINE void bfly52_ct_w(i64 *u, i64 *v, long stride, const i64 *wl,
+                               const i64 *qr, const i64 *q2r, const i64 *mur,
+                               int k2, int km2, int s1, int s2, int nv) {
+  i64 z[2 * MAX_K2][BLK], t[MAX_K2 + 2][BLK];
+  i64 h[MAX_K2 + 2][BLK], l[MAX_K2 + 2][BLK];
+  school52_vs(z, v, stride, wl, k2, nv);
+  barrett52(z, t, qr, q2r, mur, k2, km2, s1, s2, nv);
+  add_canon52(h, u, t, stride, qr, k2, nv);
+  sub_canon52(l, u, t, stride, qr, k2, nv);
+  store52(u, h, stride, k2, nv);
+  store52(v, l, stride, k2, nv);
+}
+
+static NOINLINE void bfly52_ct_vv(i64 *u, i64 *v, const i64 *w, long stride,
+                                long wstride, const i64 *qr, const i64 *q2r,
+                                const i64 *mur, int k2, int km2, int s1,
+                                int s2, int nv) {
+  i64 z[2 * MAX_K2][BLK], t[MAX_K2 + 2][BLK];
+  i64 h[MAX_K2 + 2][BLK], l[MAX_K2 + 2][BLK];
+  school52_vv(z, v, stride, w, wstride, k2, nv);
+  barrett52(z, t, qr, q2r, mur, k2, km2, s1, s2, nv);
+  add_canon52(h, u, t, stride, qr, k2, nv);
+  sub_canon52(l, u, t, stride, qr, k2, nv);
+  store52(u, h, stride, k2, nv);
+  store52(v, l, stride, k2, nv);
+}
+
+static NOINLINE void bfly52_gs_w(i64 *u, i64 *v, long stride, const i64 *wl,
+                               const i64 *qr, const i64 *q2r, const i64 *mur,
+                               int k2, int km2, int s1, int s2, int nv) {
+  i64 vb[MAX_K2][BLK], sum[MAX_K2 + 2][BLK], dif[MAX_K2 + 2][BLK];
+  i64 z[2 * MAX_K2][BLK], l[MAX_K2 + 2][BLK];
+  load52(vb, v, stride, k2, nv);
+  add_canon52(sum, u, vb, stride, qr, k2, nv);
+  sub_canon52(dif, u, vb, stride, qr, k2, nv);
+  school52_vs(z, &dif[0][0], BLK, wl, k2, nv);
+  barrett52(z, l, qr, q2r, mur, k2, km2, s1, s2, nv);
+  store52(u, sum, stride, k2, nv);
+  store52(v, l, stride, k2, nv);
+}
+
+static NOINLINE void bfly52_gs_vv(i64 *u, i64 *v, const i64 *w, long stride,
+                                long wstride, const i64 *qr, const i64 *q2r,
+                                const i64 *mur, int k2, int km2, int s1,
+                                int s2, int nv) {
+  i64 vb[MAX_K2][BLK], sum[MAX_K2 + 2][BLK], dif[MAX_K2 + 2][BLK];
+  i64 z[2 * MAX_K2][BLK], l[MAX_K2 + 2][BLK];
+  load52(vb, v, stride, k2, nv);
+  add_canon52(sum, u, vb, stride, qr, k2, nv);
+  sub_canon52(dif, u, vb, stride, qr, k2, nv);
+  school52_vv(z, &dif[0][0], BLK, w, wstride, k2, nv);
+  barrett52(z, l, qr, q2r, mur, k2, km2, s1, s2, nv);
+  store52(u, sum, stride, k2, nv);
+  store52(v, l, stride, k2, nv);
+}
+
+static void stage52(i64 *dat, long stride, long len, long t, const i64 *twr,
+                    long ts, long widx0, int gs, const i64 *qr,
+                    const i64 *q2r, const i64 *mur, int k2, int km2, int s1,
+                    int s2) {
+  long groups = len / (2 * t);
+  if (t >= BLK) {
+    for (long g = 0; g < groups; g++) {
+      long j1 = 2 * g * t;
+      i64 wl[MAX_K2];
+      for (int i = 0; i < k2; i++)
+        wl[i] = twr[(long)i * ts + widx0 + g];
+      for (long j = 0; j < t; j += BLK) {
+        int nv = (t - j < BLK) ? (int)(t - j) : BLK;
+        if (gs)
+          bfly52_gs_w(dat + j1 + j, dat + j1 + t + j, stride, wl, qr, q2r,
+                      mur, k2, km2, s1, s2, nv);
+        else
+          bfly52_ct_w(dat + j1 + j, dat + j1 + t + j, stride, wl, qr, q2r,
+                      mur, k2, km2, s1, s2, nv);
+      }
+    }
+    return;
+  }
+  i64 ub[MAX_K2][HSPAN], vb[MAX_K2][HSPAN], wb[MAX_K2][HSPAN];
+  long nb = len / 2;
+  long idx = 0;
+  for (long g = 0; g < groups; g++) {
+    long j1 = 2 * g * t;
+    for (long j = 0; j < t; j++, idx++)
+      for (int i = 0; i < k2; i++) {
+        ub[i][idx] = dat[(long)i * stride + j1 + j];
+        vb[i][idx] = dat[(long)i * stride + j1 + t + j];
+        wb[i][idx] = twr[(long)i * ts + widx0 + g];
+      }
+  }
+  for (long xb = 0; xb < nb; xb += BLK) {
+    int nv = (nb - xb < BLK) ? (int)(nb - xb) : BLK;
+    if (gs)
+      bfly52_gs_vv(&ub[0][xb], &vb[0][xb], &wb[0][xb], HSPAN, HSPAN, qr, q2r,
+                   mur, k2, km2, s1, s2, nv);
+    else
+      bfly52_ct_vv(&ub[0][xb], &vb[0][xb], &wb[0][xb], HSPAN, HSPAN, qr, q2r,
+                   mur, k2, km2, s1, s2, nv);
+  }
+  idx = 0;
+  for (long g = 0; g < groups; g++) {
+    long j1 = 2 * g * t;
+    for (long j = 0; j < t; j++, idx++)
+      for (int i = 0; i < k2; i++) {
+        dat[(long)i * stride + j1 + j] = ub[i][idx];
+        dat[(long)i * stride + j1 + t + j] = vb[i][idx];
+      }
+  }
+}
+
+static NOINLINE void mul52_vs(i64 *dat, long stride, const i64 *wl,
+                            const i64 *qr, const i64 *q2r, const i64 *mur,
+                            int k2, int km2, int s1, int s2, int nv) {
+  i64 z[2 * MAX_K2][BLK], red[MAX_K2 + 2][BLK];
+  school52_vs(z, dat, stride, wl, k2, nv);
+  barrett52(z, red, qr, q2r, mur, k2, km2, s1, s2, nv);
+  store52(dat, red, stride, k2, nv);
+}
+
+static void ntt_row52(i64 *row, long ds, const i64 *twr, long ts,
+                      const i64 *ninvr, const i64 *qr, const i64 *q2r,
+                      const i64 *mur, int k2, int km2, int s1, int s2, long n,
+                      int inverse) {
+  long span = n < SPAN ? n : SPAN;
+  i64 buf[MAX_K2][SPAN];
+  if (!inverse) {
+    long t = n >> 1;
+    for (; t >= span; t >>= 1)
+      stage52(row, ds, n, t, twr, ts, n / (2 * t), 0, qr, q2r, mur, k2, km2,
+              s1, s2);
+    for (long off = 0; off < n; off += span) {
+      for (int i = 0; i < k2; i++)
+        for (long v = 0; v < span; v++)
+          buf[i][v] = row[(long)i * ds + off + v];
+      for (long tt = t; tt >= 1; tt >>= 1)
+        stage52(&buf[0][0], SPAN, span, tt, twr, ts,
+                n / (2 * tt) + off / (2 * tt), 0, qr, q2r, mur, k2, km2, s1,
+                s2);
+      for (int i = 0; i < k2; i++)
+        for (long v = 0; v < span; v++)
+          row[(long)i * ds + off + v] = buf[i][v];
+    }
+    return;
+  }
+  for (long off = 0; off < n; off += span) {
+    for (int i = 0; i < k2; i++)
+      for (long v = 0; v < span; v++)
+        buf[i][v] = row[(long)i * ds + off + v];
+    for (long tt = 1; tt <= span / 2; tt <<= 1)
+      stage52(&buf[0][0], SPAN, span, tt, twr, ts,
+              n / (2 * tt) + off / (2 * tt), 1, qr, q2r, mur, k2, km2, s1,
+              s2);
+    for (int i = 0; i < k2; i++)
+      for (long v = 0; v < span; v++)
+        row[(long)i * ds + off + v] = buf[i][v];
+  }
+  for (long t = span; t <= n / 2; t <<= 1)
+    stage52(row, ds, n, t, twr, ts, n / (2 * t), 1, qr, q2r, mur, k2, km2,
+            s1, s2);
+  for (long x = 0; x < n; x += BLK) {
+    int nv = (n - x < BLK) ? (int)(n - x) : BLK;
+    mul52_vs(row + x, ds, ninvr, qr, q2r, mur, k2, km2, s1, s2, nv);
+  }
+}
+
+/* In-place 26 -> 52 pack over a (k, count) plane block: 52-limb i is
+ * 26-limbs 2i and 2i+1.  Ascending i never clobbers an unread source
+ * plane (2i >= i+1 for i >= 1; the i = 0 read happens lane-by-lane
+ * before its write). */
+static void pack52_planes(i64 *data, long plane, int k) {
+  int k2 = (k + 1) / 2;
+  for (int i = 0; i < k2; i++) {
+    i64 *dst = data + (long)i * plane;
+    const i64 *lo = data + (long)(2 * i) * plane;
+    if (2 * i + 1 < k) {
+      const i64 *hi = data + (long)(2 * i + 1) * plane;
+      for (long x = 0; x < plane; x++)
+        dst[x] = lo[x] | (hi[x] << LIMB_BITS);
+    } else if (dst != lo) {
+      for (long x = 0; x < plane; x++)
+        dst[x] = lo[x];
+    }
+  }
+}
+
+/* In-place 52 -> 26 unpack, descending i so sources survive until
+ * read.  Canonical residues keep the odd-k top 52-limb below 2^26
+ * (q < 2^(26k) and 26k - 52*(k2-1) = 26), so no plane k is written. */
+static void unpack52_planes(i64 *data, long plane, int k) {
+  int k2 = (k + 1) / 2;
+  for (int i = k2 - 1; i >= 0; i--) {
+    const i64 *src = data + (long)i * plane;
+    i64 *lo = data + (long)(2 * i) * plane;
+    if (2 * i + 1 < k) {
+      i64 *hi = data + (long)(2 * i + 1) * plane;
+      for (long x = 0; x < plane; x++) {
+        i64 val = src[x];
+        lo[x] = val & LIMB_MASK;
+        hi[x] = val >> LIMB_BITS;
+      }
+    } else if (lo != src) {
+      for (long x = 0; x < plane; x++)
+        lo[x] = src[x];
+    }
+  }
+}
+
+int rpu_limb_pack52(i64 *data, i64 k, i64 count) {
+  if (k < 1 || k > MAX_K || count < 1)
+    return -1;
+  pack52_planes(data, (long)count, (int)k);
+  return 0;
+}
+
+int rpu_limb_unpack52(i64 *data, i64 k, i64 count) {
+  if (k < 1 || k > MAX_K || count < 1)
+    return -1;
+  unpack52_planes(data, (long)count, (int)k);
+  return 0;
+}
+
+/* The 52-bit whole-transform kernel.  data arrives as (k, rows, n)
+ * 26-bit planes and is packed in place on entry / unpacked on exit,
+ * so the external representation is identical to rpu_limb_ntt's.
+ * tw52 is (k2, crows, n) pre-packed host-side; ninv52 is (crows, k2);
+ * the q/2q/mu constants are the base-2^52 row sets.  n >= 16 keeps
+ * every block a full 8-lane multiple for the IFMA path. */
+int rpu_limb_ntt52(i64 *data, const i64 *tw52, const i64 *ninv52,
+                   const i64 *q52ext, const i64 *q252ext, const i64 *mu52,
+                   i64 k, i64 km2, i64 s1, i64 s2, i64 rows, i64 n,
+                   i64 crows, i64 inverse) {
+  if (k < 1 || k > MAX_K || km2 < 1 || km2 > MAX_K2 + 1 || s1 < 0 || s2 < 1)
+    return -1;
+  if (n < 16 || (n & (n - 1)) || rows < 1 || (crows != 1 && crows != rows))
+    return -1;
+  int k2 = (int)((k + 1) / 2);
+  if (2 * k2 - s1 + km2 > 3 * MAX_K2 + 2)
+    return -1;
+  long plane = (long)rows * n;
+  pack52_planes(data, plane, (int)k);
+  long ts = (long)crows * n;
+  for (long r = 0; r < rows; r++) {
+    long cr = (crows == 1) ? 0 : r;
+    ntt_row52(data + r * n, plane, tw52 + cr * n, ts, ninv52 + cr * k2,
+              q52ext + cr * (k2 + 1), q252ext + cr * (k2 + 1),
+              mu52 + cr * km2, k2, (int)km2, (int)s1, (int)s2, n,
+              (int)inverse);
+  }
+  unpack52_planes(data, plane, (int)k);
   return 0;
 }

@@ -24,7 +24,14 @@ first use exactly like ``RPU_VEC_MUL_MIN_DEGREE``):
 The build flags follow the probed CPU features: on an AVX-512 IFMA host
 (the 52-bit limb-product instruction family HEXL-style HE libraries
 target) the compiler is given the full ``-mavx512*`` license, otherwise
-AVX2 or plain ``-O3``.  The compiled object is keyed by a fingerprint of
+AVX2 or plain ``-O3``.  ``RPU_NATIVE_FLAGS`` *caps* that ladder by tier
+name (``generic``/``avx2``/``avx512f``/``avx512ifma``) -- the effective
+tier is the highest one both allowed and supported by the CPU, so
+forcing a tier the host lacks degrades safely instead of emitting
+illegal instructions.  ``RPU_NATIVE_NTT=0|1|auto`` independently gates
+the whole-transform NTT kernel (the per-row kernels stay native), which
+lets benches compare stage-loop-native against whole-transform-native
+in one process.  The compiled object is keyed by a fingerprint of
 the source, compiler and flags, so feature or source changes rebuild
 automatically and concurrent processes (shard-pool workers) can share
 one cache entry; compiles land under a temporary name and are published
@@ -54,11 +61,16 @@ import numpy as np
 __all__ = [
     "MAX_K",
     "NATIVE_ENV",
+    "FLAGS_ENV",
+    "NTT_ENV",
     "NativeKernels",
     "active",
     "cpu_features",
     "describe",
     "forced_mode",
+    "forced_ntt",
+    "forced_tier",
+    "ntt_enabled",
     "reset",
 ]
 
@@ -72,7 +84,17 @@ CC_ENV = "RPU_NATIVE_CC"
 """Environment override for the C compiler (used by the failure-injection
 tests, and by deployments that pin a toolchain)."""
 
-ABI_VERSION = 1
+FLAGS_ENV = "RPU_NATIVE_FLAGS"
+"""Environment cap on the compile-flag tier: ``generic``/``avx2``/
+``avx512f``/``avx512ifma``.  The effective tier is the highest one both
+allowed by this cap and supported by the probed CPU."""
+
+NTT_ENV = "RPU_NATIVE_NTT"
+"""Gate for the whole-transform NTT kernel only: ``0``/``1``/``auto``.
+``0`` keeps the per-row kernels native but drives the transform from the
+Python stage loop -- the bench/test knob for transform-vs-stage-loop."""
+
+ABI_VERSION = 2
 """Expected ``rpu_limb_abi()`` of a loaded object; mismatches rebuild."""
 
 MAX_K = 16
@@ -83,15 +105,20 @@ _SOURCE = Path(__file__).with_name("limb_kernels.c")
 
 _MODES = ("0", "1", "auto")
 
+_TIER_NAMES = ("generic", "avx2", "avx512f", "avx512ifma")
 
-@functools.lru_cache(maxsize=8)
+
+@functools.lru_cache(maxsize=32)
+def _parse_choice(env: str, raw: str, choices: tuple[str, ...]) -> str:
+    """Validate one environment setting (parsed once per value)."""
+    if raw not in choices:
+        raise ValueError(f"{env} must be one of {choices}, got {raw!r}")
+    return raw
+
+
 def _parse_mode(raw: str) -> str:
     """Validate one ``RPU_NATIVE`` setting (parsed once per value)."""
-    if raw not in _MODES:
-        raise ValueError(
-            f"{NATIVE_ENV} must be one of {_MODES}, got {raw!r}"
-        )
-    return raw
+    return _parse_choice(NATIVE_ENV, raw, _MODES)
 
 
 def native_mode() -> str:
@@ -100,6 +127,27 @@ def native_mode() -> str:
     if raw is None:
         return "auto"
     return _parse_mode(raw)
+
+
+def flags_cap() -> str | None:
+    """The ``RPU_NATIVE_FLAGS`` tier cap, or ``None`` (no cap)."""
+    raw = os.environ.get(FLAGS_ENV)
+    if raw is None:
+        return None
+    return _parse_choice(FLAGS_ENV, raw, _TIER_NAMES)
+
+
+def ntt_mode() -> str:
+    """The requested whole-transform-NTT mode: ``"0"``/``"1"``/``"auto"``."""
+    raw = os.environ.get(NTT_ENV)
+    if raw is None:
+        return "auto"
+    return _parse_choice(NTT_ENV, raw, _MODES)
+
+
+def ntt_enabled() -> bool:
+    """Whether dispatch may use the whole-transform NTT kernel."""
+    return ntt_mode() != "0"
 
 
 @functools.lru_cache(maxsize=1)
@@ -131,22 +179,45 @@ def _compiler() -> str | None:
     return None
 
 
+# Flag-tier ladder, widest first.  Each entry: (name, CPU features the
+# tier requires, extra compile flags).  ``generic`` always matches --
+# plain -O3 (aarch64 SIMD is baseline there; -O3 already uses it).
+_TIERS: tuple[tuple[str, tuple[str, ...], tuple[str, ...]], ...] = (
+    (
+        "avx512ifma",
+        ("avx512ifma",),
+        ("-mavx512f", "-mavx512vl", "-mavx512dq", "-mavx512ifma"),
+    ),
+    ("avx512f", ("avx512f",), ("-mavx512f", "-mavx512dq")),
+    ("avx2", ("avx2",), ("-mavx2",)),
+    ("generic", (), ()),
+)
+
+
+def selected_tier() -> tuple[str, list[str]]:
+    """The effective flag tier: highest one probed *and* allowed.
+
+    ``RPU_NATIVE_FLAGS`` caps the ladder by name; the CPU probe still
+    has to support the tier, so a forced cap can only lower the
+    selection, never emit instructions the host would fault on.
+    """
+    features = cpu_features()
+    cap = flags_cap()
+    below_cap = cap is None
+    for name, needs, flags in _TIERS:
+        if not below_cap:
+            if name != cap:
+                continue
+            below_cap = True
+        if all(f in features for f in needs):
+            return name, list(flags)
+    return "generic", []
+
+
 def _feature_flags(features: frozenset[str]) -> list[str]:
-    """Per-CPU-feature compile flags: widest probed SIMD family wins."""
-    if "avx512ifma" in features:
-        return [
-            "-mavx512f",
-            "-mavx512vl",
-            "-mavx512dq",
-            "-mavx512ifma",
-        ]
-    if "avx512f" in features:
-        return ["-mavx512f", "-mavx512dq"]
-    if "avx2" in features:
-        return ["-mavx2"]
-    if "neon" in features or "asimd" in features:
-        return []  # aarch64 SIMD is baseline; -O3 already uses it
-    return []
+    """Per-CPU-feature compile flags: widest probed+allowed tier wins."""
+    del features  # the probe is read inside selected_tier()
+    return selected_tier()[1]
 
 
 def _base_flags() -> list[str]:
@@ -241,6 +312,25 @@ class NativeKernels:
         lib.rpu_limb_mul_mod.restype = ctypes.c_int
         lib.rpu_limb_bfly_ct.argtypes = [_PTR] * 8 + [_I64] * 6
         lib.rpu_limb_bfly_ct.restype = ctypes.c_int
+        # Whole-transform entry points (ABI 2).  Bound tolerantly: a
+        # stale or stripped object without them keeps the per-row
+        # kernels working and just reports has_ntt=False, so dispatch
+        # falls back to the Python stage loop instead of failing.
+        try:
+            lib.rpu_limb_has_ifma.restype = ctypes.c_int
+            self.has_ifma = bool(lib.rpu_limb_has_ifma())
+            lib.rpu_limb_ntt.argtypes = [_PTR] * 6 + [_I64] * 8
+            lib.rpu_limb_ntt.restype = ctypes.c_int
+            lib.rpu_limb_ntt52.argtypes = [_PTR] * 6 + [_I64] * 8
+            lib.rpu_limb_ntt52.restype = ctypes.c_int
+            lib.rpu_limb_pack52.argtypes = [_PTR, _I64, _I64]
+            lib.rpu_limb_pack52.restype = ctypes.c_int
+            lib.rpu_limb_unpack52.argtypes = [_PTR, _I64, _I64]
+            lib.rpu_limb_unpack52.restype = ctypes.c_int
+            self.has_ntt = True
+        except AttributeError:
+            self.has_ifma = False
+            self.has_ntt = False
         self._lib = lib
 
     @staticmethod
@@ -335,6 +425,49 @@ class NativeKernels:
         )
         return (hi, lo) if rc == 0 else None
 
+    # -- whole-transform entry points (ABI 2) -------------------------------
+
+    def ntt26(self, data, tw, ninv, qext, q2ext, mu, k, km, s1, s2, rows, n,
+              crows, inverse):
+        """All log2(n) stages of ``rows`` transforms in one call.
+
+        ``data`` is the C-contiguous ``(k, rows, n)`` plane block,
+        mutated in place; returns ``True`` on success (``False`` sends
+        the caller back to the stage loop).
+        """
+        if not self.has_ntt:
+            return False
+        rc = self._lib.rpu_limb_ntt(
+            self._ptr(data), self._ptr(tw), self._ptr(ninv),
+            self._ptr(qext), self._ptr(q2ext), self._ptr(mu),
+            k, km, s1, s2, rows, n, crows, 1 if inverse else 0,
+        )
+        return rc == 0
+
+    def ntt52(self, data, tw52, ninv52, q52ext, q252ext, mu52, k, km2, s1p,
+              s2p, rows, n, crows, inverse):
+        """The 52-bit packed tier: same external planes as :meth:`ntt26`."""
+        if not self.has_ntt:
+            return False
+        rc = self._lib.rpu_limb_ntt52(
+            self._ptr(data), self._ptr(tw52), self._ptr(ninv52),
+            self._ptr(q52ext), self._ptr(q252ext), self._ptr(mu52),
+            k, km2, s1p, s2p, rows, n, crows, 1 if inverse else 0,
+        )
+        return rc == 0
+
+    def pack52(self, data, k, count):
+        """In-place 26->52 pack of a ``(k, count)`` plane block (tests)."""
+        if not self.has_ntt:
+            return False
+        return self._lib.rpu_limb_pack52(self._ptr(data), k, count) == 0
+
+    def unpack52(self, data, k, count):
+        """In-place 52->26 unpack of a ``(k, count)`` plane block (tests)."""
+        if not self.has_ntt:
+            return False
+        return self._lib.rpu_limb_unpack52(self._ptr(data), k, count) == 0
+
 
 # -- the process-wide dispatch decision -------------------------------------
 
@@ -380,8 +513,23 @@ def active() -> NativeKernels | None:
 def reset() -> None:
     """Forget the resolved backend and parsed env (tests re-probe)."""
     _state.update(kernels=None, resolved=False, error=None)
-    _parse_mode.cache_clear()
+    _parse_choice.cache_clear()
     cpu_features.cache_clear()
+
+
+@contextlib.contextmanager
+def _forced_env(env: str, value: str):
+    prev = os.environ.get(env)
+    os.environ[env] = value
+    reset()
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop(env, None)
+        else:
+            os.environ[env] = prev
+        reset()
 
 
 @contextlib.contextmanager
@@ -394,17 +542,29 @@ def forced_mode(mode: str):
     configured dispatch.
     """
     _parse_mode(mode)  # reject bad modes before touching process state
-    prev = os.environ.get(NATIVE_ENV)
-    os.environ[NATIVE_ENV] = mode
-    reset()
-    try:
+    with _forced_env(NATIVE_ENV, mode):
         yield
-    finally:
-        if prev is None:
-            os.environ.pop(NATIVE_ENV, None)
-        else:
-            os.environ[NATIVE_ENV] = prev
-        reset()
+
+
+@contextlib.contextmanager
+def forced_tier(name: str):
+    """Temporarily cap ``RPU_NATIVE_FLAGS`` to ``name`` and rebuild.
+
+    The differential tests run the same inputs under ``generic``,
+    ``avx512f`` and ``avx512ifma`` builds; each cap fingerprints to its
+    own cache entry, so tiers coexist on disk.
+    """
+    _parse_choice(FLAGS_ENV, name, _TIER_NAMES)
+    with _forced_env(FLAGS_ENV, name):
+        yield
+
+
+@contextlib.contextmanager
+def forced_ntt(mode: str):
+    """Temporarily pin ``RPU_NATIVE_NTT`` (whole-transform gate) to ``mode``."""
+    _parse_choice(NTT_ENV, mode, _MODES)
+    with _forced_env(NTT_ENV, mode):
+        yield
 
 
 def describe() -> dict:
@@ -422,14 +582,19 @@ def describe() -> dict:
         if f.startswith(("avx", "sse4", "fma", "neon", "asimd"))
     )
     cc = _compiler()
+    tier, tier_flags = selected_tier()
     return {
         "mode": mode,
         "enabled": kernels is not None,
         "compiler": cc,
-        "flags": _base_flags() + _feature_flags(features),
+        "flags": _base_flags() + tier_flags,
+        "tier": tier,
         "cpu_features": interesting,
         "cache_dir": str(_cache_dir()),
         "so_path": str(kernels.so_path) if kernels else None,
         "abi": ABI_VERSION if kernels else None,
+        "has_ifma": kernels.has_ifma if kernels else None,
+        "ntt_mode": ntt_mode(),
+        "has_ntt": kernels.has_ntt if kernels else None,
         "error": _state["error"],
     }

@@ -28,7 +28,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.modmath.limb import compose, decompose, grouped_engines
+from repro.modmath import native
+from repro.modmath.limb import compose, decompose, grouped_engines, pack52
 from repro.modmath.vectorized import (
     INT64_MODULUS_LIMIT,
     as_array,
@@ -122,6 +123,45 @@ def _limb_n_inv(tabs: tuple, k: int) -> np.ndarray:
     return decompose([[t.n_inv] for t in tabs], k)
 
 
+@functools.lru_cache(maxsize=None)
+def _limb_twiddles52(tabs: tuple, attr: str, k: int) -> np.ndarray:
+    """Base-2^52 packed twiddle planes for the IFMA kernel (cached)."""
+    return pack52(np.ascontiguousarray(_limb_twiddles(tabs, attr, k)))
+
+
+@functools.lru_cache(maxsize=None)
+def _limb_n_inv52(tabs: tuple, k: int) -> np.ndarray:
+    """Base-2^52 packed inverse-scale planes (cached)."""
+    return pack52(np.ascontiguousarray(_limb_n_inv(tabs, k)))
+
+
+def _whole_transform(a, sub_tabs: tuple, attr: str, engine, inverse: bool) -> bool:
+    """One compiled call for all stages of this group's transforms.
+
+    Mutates ``a`` (the group's ``(k, L, n)`` planes) in place and
+    returns ``True``; ``False`` leaves ``a`` untouched so the caller
+    runs the per-stage path.  O(1) Python dispatches per transform
+    instead of the stage loop's O(log n).
+    """
+    if not engine.ntt_native:
+        return False
+    kernels = native.active()
+    k = engine.k
+    tw = _limb_twiddles(sub_tabs, attr, k)
+    use52 = kernels.has_ifma and a.shape[2] >= 16
+    tw52 = _limb_twiddles52(sub_tabs, attr, k) if use52 else None
+    if inverse:
+        return engine.ntt(
+            a,
+            tw,
+            _limb_n_inv(sub_tabs, k),
+            inverse=True,
+            tw52=tw52,
+            n_inv52=_limb_n_inv52(sub_tabs, k) if use52 else None,
+        )
+    return engine.ntt(a, tw, tw52=tw52)
+
+
 def _checked_planes(rows, idx, engine, n: int) -> np.ndarray:
     """Decompose selected rows into limb planes, enforcing canonicality."""
     sub = rows[idx] if isinstance(rows, np.ndarray) else [rows[i] for i in idx]
@@ -167,12 +207,20 @@ def _limb_transform(rows, tabs: list[TwiddleTable], direction: str) -> np.ndarra
     for engine, idx in grouped_engines([t.q for t in tabs]):
         sub_tabs = tuple(tabs[i] for i in idx)
         a = _checked_planes(rows, idx, engine, n)
-        tw = _limb_twiddles(sub_tabs, attr, engine.k)
-        if direction == "forward":
-            a = _limb_forward_planes(a, tw, engine, n)
+        inverse = direction != "forward"
+        if _whole_transform(a, sub_tabs, attr, engine, inverse):
+            pass  # all stages ran in one compiled call, in place
+        elif direction == "forward":
+            a = _limb_forward_planes(
+                a, _limb_twiddles(sub_tabs, attr, engine.k), engine, n
+            )
         else:
             a = _limb_inverse_planes(
-                a, tw, _limb_n_inv(sub_tabs, engine.k), engine, n
+                a,
+                _limb_twiddles(sub_tabs, attr, engine.k),
+                _limb_n_inv(sub_tabs, engine.k),
+                engine,
+                n,
             )
         out[idx] = compose(a)
     return out
@@ -184,14 +232,25 @@ def _limb_polymul(a_rows, b_rows, tabs: list[TwiddleTable]) -> np.ndarray:
     out = np.empty((len(tabs), n), dtype=object)
     for engine, idx in grouped_engines([t.q for t in tabs]):
         sub_tabs = tuple(tabs[i] for i in idx)
-        fwd = _limb_twiddles(sub_tabs, "psi_rev", engine.k)
-        inv = _limb_twiddles(sub_tabs, "psi_inv_rev", engine.k)
-        a = _limb_forward_planes(_checked_planes(a_rows, idx, engine, n), fwd, engine, n)
-        b = _limb_forward_planes(_checked_planes(b_rows, idx, engine, n), fwd, engine, n)
-        prod = engine.mul_mod(a, b)
-        prod = _limb_inverse_planes(
-            prod, inv, _limb_n_inv(sub_tabs, engine.k), engine, n
-        )
+        a = _checked_planes(a_rows, idx, engine, n)
+        b = _checked_planes(b_rows, idx, engine, n)
+        if not _whole_transform(a, sub_tabs, "psi_rev", engine, False):
+            a = _limb_forward_planes(
+                a, _limb_twiddles(sub_tabs, "psi_rev", engine.k), engine, n
+            )
+        if not _whole_transform(b, sub_tabs, "psi_rev", engine, False):
+            b = _limb_forward_planes(
+                b, _limb_twiddles(sub_tabs, "psi_rev", engine.k), engine, n
+            )
+        prod = np.ascontiguousarray(engine.mul_mod(a, b))
+        if not _whole_transform(prod, sub_tabs, "psi_inv_rev", engine, True):
+            prod = _limb_inverse_planes(
+                prod,
+                _limb_twiddles(sub_tabs, "psi_inv_rev", engine.k),
+                _limb_n_inv(sub_tabs, engine.k),
+                engine,
+                n,
+            )
         out[idx] = compose(prod)
     return out
 

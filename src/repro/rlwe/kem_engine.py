@@ -53,6 +53,7 @@ from repro.rlwe.kem_host import (
     decompress_poly,
     expand_matrix_fast,
     key_cache_stats,
+    key_material_digest,
     sample_poly_cbd_block,
 )
 from repro.rlwe.kyber import (
@@ -272,12 +273,31 @@ class KemEngine:
         out[:, 1::2] = read(program.metadata["co_region"])
         return out
 
-    @staticmethod
-    def _report(run: _LevelRun, wall_s: float) -> dict:
+    def _ship_key_material(
+        self, entries: list[tuple[str, bytes, int, np.ndarray]]
+    ) -> None:
+        """Prime pool workers with decoded key material, once per key.
+
+        ``entries`` rows are ``(kind, key_bytes, k, array)``; the pool
+        digests them (:func:`key_material_digest`) and ships only keys
+        it has never shipped, so steady-state traffic against a warm key
+        set costs one membership check per batch.
+        """
+        pool = self.pool
+        if pool is None or pool.closed:
+            return
+        pool.prime_kem_keys(
+            [
+                (key_material_digest(kind, key, k), kind, key, k, arr)
+                for kind, key, k, arr in entries
+            ]
+        )
+
+    def _report(self, run: _LevelRun, wall_s: float) -> dict:
         stats = None
         for log in run.passes:
             stats = log.stats if stats is None else stats + log.stats
-        return {
+        report = {
             "passes": run.passes,
             "stats": stats,
             "dtype_path": run.dtype_path,
@@ -289,6 +309,11 @@ class KemEngine:
             # reports): lets a serving stack judge key reuse vs thrash.
             "key_cache": key_cache_stats(),
         }
+        if self.pool is not None and not self.pool.closed:
+            # One row per pool worker: shipped keys land as ``primed``
+            # entries, so re-derivation shows up as worker ``misses``.
+            report["key_cache_workers"] = self.pool.kem_key_stats()
+        return report
 
     # -- keygen -------------------------------------------------------------
 
@@ -349,6 +374,21 @@ class KemEngine:
             dk_pke = s_bytes[chunk * r:chunk * (r + 1)]
             dk = dk_pke + ek + hash_h(ek) + z
             outs.append((ek, dk))
+        if self.pool is not None:
+            # Newly minted keys: warm the pool workers now so the first
+            # encaps/decaps against them never re-derives A-hat.
+            self._ship_key_material(
+                [
+                    entry
+                    for (ek, _dk), (rho, _z, a_hat), t_hat in zip(
+                        outs, per_request, t_hats
+                    )
+                    for entry in (
+                        ("ek", ek, k, t_hat),
+                        ("rho", rho, k, a_hat),
+                    )
+                ]
+            )
         return outs, self._report(run, time.perf_counter() - t0)
 
     # -- encaps -------------------------------------------------------------
@@ -496,6 +536,25 @@ class KemEngine:
                 prf(params.eta2, r, n) for n in range(k, 2 * k + 1)
             )
             prepared.append((m, t_hat, a_hat))
+        if self.pool is not None:
+            # Close the ROADMAP item 5 gap: the master just decoded this
+            # batch's t-hat/A-hat material, so ship it to the pool
+            # workers (deduplicated by digest) before they see any
+            # handshake against these keys.
+            unique = {}
+            for (ek, _m, _r), (_m2, t_hat, a_hat) in zip(items, prepared):
+                if ek not in unique:
+                    unique[ek] = (t_hat, a_hat)
+            self._ship_key_material(
+                [
+                    entry
+                    for ek, (t_hat, a_hat) in unique.items()
+                    for entry in (
+                        ("ek", ek, k, t_hat),
+                        ("rho", ek[384 * k:], k, a_hat),
+                    )
+                ]
+            )
         y = sample_poly_cbd_block(params.eta1, b"".join(p1_bytes))
         rest = sample_poly_cbd_block(
             params.eta2, b"".join(p2_bytes)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import os
-from functools import lru_cache
+from collections import OrderedDict
 
 import numpy as np
 
@@ -38,6 +38,9 @@ __all__ = [
     "decompress_poly",
     "expand_matrix_fast",
     "key_cache_stats",
+    "key_material_digest",
+    "prime_ek",
+    "prime_matrix",
     "sample_ntt_fast",
     "sample_poly_cbd_block",
 ]
@@ -71,6 +74,72 @@ def _key_cache_size() -> int:
 
 
 _KEY_CACHE_SIZE = _key_cache_size()
+
+
+class _KeyCache:
+    """A primable LRU over decoded key material.
+
+    ``functools.lru_cache`` almost fits, but a shard worker needs to
+    *insert* material its master already decoded (:func:`prime_ek` /
+    :func:`prime_matrix`) so the first handshake it sees against a key
+    is a hit, not a re-derivation.  Same bound and eviction policy as
+    the ``lru_cache`` it replaces, plus a ``primed`` counter so the
+    sharded reports distinguish shipped keys from locally decoded ones.
+    """
+
+    def __init__(self, name: str, maxsize: int) -> None:
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.primed = 0
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+
+    def get(self, key: tuple, compute) -> np.ndarray:
+        value = self._entries.get(key)
+        if value is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value
+        self.misses += 1
+        value = compute()
+        value.setflags(write=False)
+        self._insert(key, value)
+        return value
+
+    def prime(self, key: tuple, value: np.ndarray) -> None:
+        """Insert already-decoded material without counting a miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        value = np.ascontiguousarray(value, dtype=np.int64)
+        value.setflags(write=False)
+        self.primed += 1
+        self._insert(key, value)
+
+    def _insert(self, key: tuple, value: np.ndarray) -> None:
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "primed": self.primed,
+            "entries": len(self._entries),
+            "bound": self.maxsize,
+        }
+
+    def clear(self) -> None:
+        self.hits = self.misses = self.primed = 0
+        self._entries.clear()
+
+
+_EK_CACHE = _KeyCache("decode_ek_cached", _KEY_CACHE_SIZE)
+_DK_CACHE = _KeyCache("decode_dk_cached", _KEY_CACHE_SIZE)
+_A_CACHE = _KeyCache("expand_matrix_fast", _KEY_CACHE_SIZE)
+_KEY_CACHES = (_EK_CACHE, _DK_CACHE, _A_CACHE)
 
 _POWERS = {d: 1 << np.arange(d, dtype=np.int64) for d in range(1, 13)}
 
@@ -147,7 +216,6 @@ def sample_poly_cbd_block(eta: int, data: bytes) -> np.ndarray:
     return (halves[:, :, 0] - halves[:, :, 1]) % Q
 
 
-@lru_cache(maxsize=_KEY_CACHE_SIZE)
 def decode_ek_cached(ek: bytes, k: int) -> np.ndarray:
     """The ``t-hat`` rows of an encapsulation key, cached by key bytes.
 
@@ -155,20 +223,27 @@ def decode_ek_cached(ek: bytes, k: int) -> np.ndarray:
     ``(k, 256)`` block (read-only; cache hits alias it) also carries the
     FIPS 203 modulus-check verdict -- see :func:`check_ek_fast`.
     """
-    t_hat = byte_decode_block(12, ek[: 384 * k])
-    t_hat.setflags(write=False)
-    return t_hat
+    return _EK_CACHE.get(
+        (ek, k), lambda: byte_decode_block(12, ek[: 384 * k])
+    )
 
 
-@lru_cache(maxsize=_KEY_CACHE_SIZE)
 def decode_dk_cached(dk_pke: bytes, k: int) -> np.ndarray:
     """The ``s-hat`` rows of a decryption key, cached by key bytes."""
-    s_hat = byte_decode_block(12, dk_pke)
-    s_hat.setflags(write=False)
-    return s_hat
+    return _DK_CACHE.get((dk_pke, k), lambda: byte_decode_block(12, dk_pke))
 
 
-@lru_cache(maxsize=_KEY_CACHE_SIZE)
+def _expand_matrix(rho: bytes, k: int) -> np.ndarray:
+    return np.stack(
+        [
+            np.stack(
+                [sample_ntt_fast(rho + bytes([j, i])) for j in range(k)]
+            )
+            for i in range(k)
+        ]
+    )
+
+
 def expand_matrix_fast(rho: bytes, k: int) -> np.ndarray:
     """ExpandA, cached by seed: ``A[i][j] = SampleNTT(rho || j || i)``.
 
@@ -177,16 +252,38 @@ def expand_matrix_fast(rho: bytes, k: int) -> np.ndarray:
     into a per-key cost.  The returned ``(k, k, 256)`` array is marked
     read-only -- cache hits alias it.
     """
-    a = np.stack(
-        [
-            np.stack(
-                [sample_ntt_fast(rho + bytes([j, i])) for j in range(k)]
-            )
-            for i in range(k)
-        ]
-    )
-    a.setflags(write=False)
-    return a
+    return _A_CACHE.get((rho, k), lambda: _expand_matrix(rho, k))
+
+
+def prime_ek(ek: bytes, k: int, t_hat: np.ndarray) -> None:
+    """Insert a decoded ``t-hat`` block so ``decode_ek_cached`` hits.
+
+    The shard-pool key-shipping path (``ShardPool.prime_kem_keys``)
+    calls this in the workers with material the master already decoded;
+    no validation happens here -- the bytes/array pairing is the
+    master's (already modulus-checked) cache entry.
+    """
+    _EK_CACHE.prime((ek, k), t_hat)
+
+
+def prime_matrix(rho: bytes, k: int, a_hat: np.ndarray) -> None:
+    """Insert an expanded ``A-hat`` matrix so ``expand_matrix_fast`` hits."""
+    _A_CACHE.prime((rho, k), a_hat)
+
+
+def key_material_digest(kind: str, key: bytes, k: int) -> str:
+    """Content address of one decoded-key cache entry.
+
+    The shard pool keys its ship-at-most-once bookkeeping by this digest
+    (mirroring the ``plan_key`` program-image pattern), so the same key
+    arriving through two engines sharing one pool still crosses the
+    pipes once.
+    """
+    h = hashlib.sha256()
+    h.update(kind.encode())
+    h.update(bytes([k]))
+    h.update(key)
+    return h.hexdigest()
 
 
 def key_cache_stats() -> dict[str, dict[str, int]]:
@@ -195,18 +292,11 @@ def key_cache_stats() -> dict[str, dict[str, int]]:
     Surfaced by :meth:`repro.rlwe.kem_engine.KemEngine` reports so a
     serving deployment can see whether its handshake mix actually reuses
     keys (high hit rate) or is thrashing the bound (misses tracking
-    requests) and retune :data:`KEY_CACHE_ENV`.
+    requests) and retune :data:`KEY_CACHE_ENV`.  ``primed`` counts
+    entries inserted by the shard pool's key shipping rather than local
+    decoding -- on a worker, re-derivation avoided entirely.
     """
-    stats = {}
-    for fn in (decode_ek_cached, decode_dk_cached, expand_matrix_fast):
-        info = fn.cache_info()
-        stats[fn.__name__] = {
-            "hits": info.hits,
-            "misses": info.misses,
-            "entries": info.currsize,
-            "bound": info.maxsize,
-        }
-    return stats
+    return {cache.name: cache.stats() for cache in _KEY_CACHES}
 
 
 def check_ek_fast(params: MlKemParams, ek: bytes) -> None:

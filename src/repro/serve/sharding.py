@@ -237,6 +237,39 @@ def _run_spatial_in_worker(programs: dict, msg: tuple, untrack: bool) -> tuple:
     return ("ok", stats, ex.dtype_path)
 
 
+def _prime_kem_keys_in_worker(msg: tuple, untrack: bool) -> tuple:
+    """Execute one ("kemkeys", ...) message: prime decoded-key caches.
+
+    The payload is one shared-memory block of int64 planes plus, per
+    entry, the original cache key (key bytes + module rank) and the
+    array's (offset, shape) within the block.  Priming copies the
+    material out -- the master unlinks the block as soon as every worker
+    has replied.
+    """
+    from repro.rlwe import kem_host
+
+    (_tag, shm_name, entries) = msg
+    primers = {"ek": kem_host.prime_ek, "rho": kem_host.prime_matrix}
+    shm = _attach(shm_name, untrack)
+    try:
+        flat = np.ndarray(
+            (shm.size // 8,), dtype=np.int64, buffer=shm.buf
+        )
+        for kind, key, k, offset, shape in entries:
+            count = int(np.prod(shape))
+            value = flat[offset:offset + count].reshape(shape).copy()
+            primers[kind](key, k, value)
+    finally:
+        shm.close()
+    return ("ok", len(entries))
+
+
+def _kem_key_stats_in_worker() -> tuple:
+    from repro.rlwe import kem_host
+
+    return ("ok", kem_host.key_cache_stats())
+
+
 def _shard_worker(conn, untrack_shm: bool = False) -> None:
     """Worker main loop: cache programs, execute run requests until close."""
     programs: dict[int, Program] = {}
@@ -254,6 +287,10 @@ def _shard_worker(conn, untrack_shm: bool = False) -> None:
         try:
             if tag == "srun":
                 reply = _run_spatial_in_worker(programs, msg, untrack_shm)
+            elif tag == "kemkeys":
+                reply = _prime_kem_keys_in_worker(msg, untrack_shm)
+            elif tag == "kemstats":
+                reply = _kem_key_stats_in_worker()
             else:
                 reply = _run_in_worker(programs, msg, untrack_shm)
         except BaseException:  # keep the worker alive; master re-raises
@@ -320,6 +357,7 @@ class ShardPool:
         self._known: list[set[int]] = [set() for _ in range(shards)]
         self._programs: dict[tuple, tuple[int, Program]] = {}
         self._next_key = 0
+        self._kem_digests: set[str] = set()
         self._lock = threading.Lock()
         self._finalizer = weakref.finalize(
             self, _shutdown, self._procs, self._conns
@@ -438,6 +476,102 @@ class ShardPool:
                 self._finalizer()
                 raise RuntimeError(
                     "shard pool lost a worker mid-dispatch"
+                ) from exc
+
+    def prime_kem_keys(
+        self, entries: list[tuple[str, str, bytes, int, np.ndarray]]
+    ) -> int:
+        """Ship decoded KEM key material to every worker, at most once.
+
+        ``entries`` rows are ``(digest, kind, key_bytes, k, array)`` with
+        ``kind`` in {"ek", "rho"} (``t-hat`` block / expanded ``A-hat``
+        matrix).  Digests already shipped over this pool's lifetime are
+        skipped -- the same ship-at-most-once bookkeeping the program
+        images use, keyed by content instead of object identity.  The
+        arrays cross as one shared-memory int64 plane per dispatch;
+        workers copy them into their :mod:`repro.rlwe.kem_host` caches,
+        so their first handshake against the key is a hit instead of a
+        re-derivation.  Returns the number of entries actually shipped.
+        """
+        if self.closed:
+            raise RuntimeError("ShardPool is closed")
+        with self._lock:
+            fresh = [e for e in entries if e[0] not in self._kem_digests]
+            if not fresh:
+                return 0
+            payload = []
+            offset = 0
+            for _digest, kind, key, k, arr in fresh:
+                arr = np.ascontiguousarray(arr, dtype=np.int64)
+                payload.append((kind, key, k, offset, arr.shape, arr))
+                offset += arr.size
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(8 * offset, 1)
+            )
+            try:
+                flat = np.ndarray((offset,), dtype=np.int64, buffer=shm.buf)
+                for _kind, _key, _k, start, _shape, arr in payload:
+                    flat[start:start + arr.size] = arr.reshape(-1)
+                wire = [
+                    (kind, key, k, start, shape)
+                    for kind, key, k, start, shape, _arr in payload
+                ]
+                try:
+                    for conn in self._conns:
+                        conn.send(("kemkeys", shm.name, wire))
+                    for idx, conn in enumerate(self._conns):
+                        reply = conn.recv()
+                        if reply[0] != "ok":
+                            raise RuntimeError(
+                                f"shard worker {idx} failed to prime KEM "
+                                f"keys:\n{reply[1]}"
+                            )
+                except RuntimeError:
+                    self._finalizer()
+                    raise
+                except (EOFError, OSError) as exc:
+                    self._finalizer()
+                    raise RuntimeError(
+                        "shard pool lost a worker while shipping KEM keys"
+                    ) from exc
+            finally:
+                shm.close()
+                shm.unlink()
+            self._kem_digests.update(e[0] for e in fresh)
+            return len(fresh)
+
+    def kem_key_stats(self) -> list[dict[str, dict[str, int]]]:
+        """Per-worker decoded-key cache counters, in worker order.
+
+        Each row is one worker's
+        :func:`repro.rlwe.kem_host.key_cache_stats` -- the sharded
+        :class:`~repro.rlwe.kem_engine.KemEngine` embeds this in its
+        reports so a deployment can see shipped keys landing
+        (``primed``) instead of being re-derived (``misses``).
+        """
+        if self.closed:
+            raise RuntimeError("ShardPool is closed")
+        with self._lock:
+            try:
+                for conn in self._conns:
+                    conn.send(("kemstats",))
+                stats = []
+                for idx, conn in enumerate(self._conns):
+                    reply = conn.recv()
+                    if reply[0] != "ok":
+                        raise RuntimeError(
+                            f"shard worker {idx} failed to report KEM key "
+                            f"stats:\n{reply[1]}"
+                        )
+                    stats.append(reply[1])
+                return stats
+            except RuntimeError:
+                self._finalizer()
+                raise
+            except (EOFError, OSError) as exc:
+                self._finalizer()
+                raise RuntimeError(
+                    "shard pool lost a worker while collecting KEM stats"
                 ) from exc
 
     def close(self) -> None:

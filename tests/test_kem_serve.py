@@ -261,3 +261,64 @@ class TestRequestValidation:
             op="keygen", param_set="ML-KEM-768", d=b"\x00" * 32, z=b"\x01" * 32
         )
         assert a.group_key != b.group_key
+
+
+class TestKeyShipping:
+    """Decoded-key shipping: pool workers get primed, never re-derive."""
+
+    def test_prime_roundtrip_in_process(self):
+        """prime_ek/prime_matrix insert exactly what a decode would."""
+        from repro.rlwe import kem_host
+
+        (d, z), = _seeds(1, tag=21)
+        (ek, _dk), = KemEngine(PARAM).keygen_batch([(d, z)])[0]
+        k = 2  # ML-KEM-512
+        expected_t = kem_host.byte_decode_block(12, ek[: 384 * k])
+        expected_a = kem_host._expand_matrix(ek[384 * k:], k)
+        kem_host.prime_ek(ek, k, expected_t)
+        kem_host.prime_matrix(ek[384 * k:], k, expected_a)
+        before = kem_host.key_cache_stats()
+        t_hat = kem_host.decode_ek_cached(ek, k)
+        a_hat = kem_host.expand_matrix_fast(ek[384 * k:], k)
+        after = kem_host.key_cache_stats()
+        np.testing.assert_array_equal(t_hat, expected_t)
+        np.testing.assert_array_equal(a_hat, expected_a)
+        # Both lookups hit the primed entries -- no decode happened.
+        for name in ("decode_ek_cached", "expand_matrix_fast"):
+            assert after[name]["hits"] == before[name]["hits"] + 1
+            assert after[name]["misses"] == before[name]["misses"]
+
+    def test_pool_workers_receive_keys_once(self):
+        """Sharded batches prime every worker; digests ship at most once."""
+        seeds = _seeds(2, tag=33)
+        with ShardPool(2) as pool:
+            # Forked workers inherit the master's counters, so assert
+            # deltas against the at-fork baseline.
+            base = pool.kem_key_stats()
+            engine = KemEngine(PARAM, shards=2, pool=pool)
+            keys, report = engine.keygen_batch(seeds)
+            workers = report["key_cache_workers"]
+            assert len(workers) == 2
+            for stats, b in zip(workers, base):
+                # Both freshly minted keys landed as primed entries, and
+                # no worker decoded anything itself.
+                for name in ("decode_ek_cached", "expand_matrix_fast"):
+                    assert stats[name]["primed"] == b[name]["primed"] + 2
+                    assert stats[name]["misses"] == b[name]["misses"]
+            primed0 = workers[0]["expand_matrix_fast"]["primed"]
+            (ek, dk), _ = keys
+            outs, report = engine.encaps_batch([(ek, b"\x07" * 32)] * 3)
+            workers = report["key_cache_workers"]
+            # Same key again: the digest dedup means nothing new shipped.
+            assert workers[0]["expand_matrix_fast"]["primed"] == primed0
+            (shared, ct), *_rest = outs
+            secrets, report = engine.decaps_batch([(dk, ct)])
+            assert secrets[0] == shared
+            assert "key_cache_workers" in report
+            # Master-side counters still report the process-wide caches.
+            assert report["key_cache"]["decode_ek_cached"]["bound"] >= 1
+
+    def test_unpooled_reports_omit_worker_stats(self):
+        seeds = _seeds(1, tag=41)
+        _keys, report = KemEngine(PARAM).keygen_batch(seeds)
+        assert "key_cache_workers" not in report

@@ -305,9 +305,16 @@ class TestExecutorPath:
         rng = random.Random(23)
         rows = [[rng.randrange(q) for _ in range(64)] for _ in range(4)]
         with native.forced_mode("auto"):
+            # Transform-level dispatch when the whole-transform kernel
+            # is in the build; row-level dispatch otherwise.
+            expected = (
+                "native+ntt"
+                if native.active().has_ntt and native.ntt_enabled()
+                else "native"
+            )
             ex_n, stats_n, outs_n = self._run(program, rows)
-            assert ex_n.native_path == "native"
-            assert stats_n.native_path == "native"
+            assert ex_n.native_path == expected
+            assert stats_n.native_path == expected
         with native.forced_mode("0"):
             ex_p, stats_p, outs_p = self._run(program, rows)
             assert ex_p.native_path == "numpy"
@@ -348,7 +355,189 @@ class TestExecutorPath:
             ex.write_region(program.input_region, rows)
             stats = ex.run()
             assert ex.native_path == stats.native_path
-            assert stats.native_path in ("native", "numpy")
+            assert stats.native_path in ("native+ntt", "native", "numpy")
+
+
+class TestWholeTransform:
+    """The one-call NTT kernel: build tiers, 52-bit packing, fallback.
+
+    Every ``RPU_NATIVE_FLAGS`` build tier (plain ``-O3`` generic C,
+    ``-mavx512f``, ``-mavx512ifma``) must produce transforms
+    bit-identical to the scalar Python reference on worst-case
+    Barrett-slack inputs; tiers the host CPU cannot execute are skipped
+    (the cap-intersect-probe dispatch never selects them anyway).
+    """
+
+    TIERS = ["generic", "avx512f", "avx512ifma"]
+
+    def _tier_or_skip(self, tier):
+        if native.selected_tier()[0] != tier:
+            pytest.skip(f"host CPU lacks the {tier} feature set")
+        kernels = native.active()
+        if kernels is None or not kernels.has_ntt:
+            pytest.skip("no whole-transform kernel buildable at this tier")
+        return kernels
+
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize("q_bits", [64, 128])
+    def test_forced_tier_matches_scalar_oracle(self, tier, q_bits):
+        _native_or_skip()
+        from repro.modmath.limb import decompose
+        from repro.ntt.reference import ntt_forward
+        from repro.ntt.twiddles import TwiddleTable
+
+        n = 64
+        q = find_ntt_prime(q_bits, n)
+        tab = TwiddleTable.for_ring(n, q)
+        eng = LimbEngine(q)
+        k = eng.k
+        rng = random.Random(41 + q_bits)
+        # A row of q-1 maximizes the Barrett correction count; the
+        # twiddle table supplies the worst-case multiplier spread.
+        rows = [[q - 1] * n] + [
+            [rng.randrange(q) for _ in range(n)] for _ in range(2)
+        ]
+        want_fwd = [ntt_forward(list(r), tab) for r in rows]
+        tw = np.ascontiguousarray(decompose([list(tab.psi_rev)], k))
+        twi = np.ascontiguousarray(decompose([list(tab.psi_inv_rev)], k))
+        ninv = np.ascontiguousarray(decompose([[tab.n_inv]], k))
+        with native.forced_tier(tier):
+            self._tier_or_skip(tier)
+            a = np.ascontiguousarray(decompose(rows, k))
+            assert eng.ntt(a, tw)
+            assert compose(a).tolist() == want_fwd
+            assert eng.ntt(a, twi, ninv, inverse=True)
+            assert compose(a).tolist() == rows
+
+    def test_all_buildable_tiers_agree_with_numpy_stage_loop(self):
+        # The numpy stage loop (pinned to the scalar oracle by
+        # test_vectorized_femu) against every buildable tier, through
+        # the full executor stack.
+        _native_or_skip()
+        from repro.femu import BatchExecutor
+        from repro.spiral.kernels import generate_ntt_program
+
+        program = generate_ntt_program(64, vlen=16, q_bits=128)
+        q = program.metadata["modulus"]
+        rng = random.Random(47)
+        rows = [[q - 1] * 64] + [
+            [rng.randrange(q) for _ in range(64)] for _ in range(3)
+        ]
+
+        def run():
+            ex = BatchExecutor(program, batch=len(rows))
+            ex.write_region(program.input_region, rows)
+            stats = ex.run()
+            return ex.read_region(program.output_region), stats
+
+        with native.forced_mode("0"):
+            want, stats_numpy = run()
+        for tier in self.TIERS:
+            with native.forced_tier(tier):
+                if native.selected_tier()[0] != tier:
+                    continue
+                kernels = native.active()
+                if kernels is None:
+                    continue
+                got, stats_tier = run()
+                assert got == want, f"tier {tier} diverged"
+                assert stats_tier == stats_numpy
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        k=st.integers(min_value=1, max_value=native.MAX_K),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pack52_unpack52_roundtrip_fuzz(self, seed, k):
+        # The in-place 26<->52-bit repack at the IFMA kernel's entry and
+        # exit: C pack == host-side pack52, and unpack restores the
+        # planes exactly (aliasing-safe in both directions).
+        _native_or_skip()
+        from repro.modmath.limb import pack52
+
+        with native.forced_mode("auto"):
+            kernels = native.active()
+            if not kernels.has_ntt:
+                pytest.skip("whole-transform kernels not in this build")
+            rng = random.Random(seed)
+            count = 48
+            planes = np.array(
+                [
+                    [rng.randrange(1 << 26) for _ in range(count)]
+                    for _ in range(k)
+                ],
+                dtype=np.int64,
+            )
+            data = np.ascontiguousarray(planes.copy())
+            assert kernels.pack52(data, k, count)
+            k2 = (k + 1) // 2
+            assert data[:k2].tolist() == pack52(planes).tolist()
+            assert kernels.unpack52(data, k, count)
+            assert data.tolist() == planes.tolist()
+
+    def test_ntt_toggle_gates_only_the_transform_kernel(self):
+        # RPU_NATIVE_NTT=0 drops back to the stage loop (row kernels
+        # still native): outputs and stats must not move, only the
+        # dispatch label.
+        _native_or_skip()
+        from repro.femu import BatchExecutor
+        from repro.spiral.kernels import generate_ntt_program
+
+        program = generate_ntt_program(64, vlen=16, q_bits=128)
+        q = program.metadata["modulus"]
+        rng = random.Random(53)
+        rows = [[rng.randrange(q) for _ in range(64)] for _ in range(2)]
+        results = {}
+        with native.forced_mode("auto"):
+            if not native.active().has_ntt:
+                pytest.skip("whole-transform kernels not in this build")
+            for mode, expected in (("0", "native"), ("auto", "native+ntt")):
+                with native.forced_ntt(mode):
+                    ex = BatchExecutor(program, batch=2)
+                    assert ex.native_path == expected
+                    ex.write_region(program.input_region, rows)
+                    stats = ex.run()
+                    assert stats.native_path == expected
+                    results[mode] = (
+                        ex.read_region(program.output_region),
+                        stats.copy(),
+                    )
+        outs0, stats0 = results["0"]
+        outs1, stats1 = results["auto"]
+        assert outs0 == outs1
+        assert stats0 == stats1  # native_path is compare=False
+
+    def test_broken_toolchain_falls_back_to_stage_loop(
+        self, monkeypatch, tmp_path
+    ):
+        # Build-failure injection: with no compiler the whole-transform
+        # fast path (and the row kernels) must degrade to the numpy
+        # stage loop with the right answers, scalar-oracle-identical.
+        from repro.femu import BatchExecutor
+        from repro.femu.executor import FunctionalSimulator
+        from repro.spiral.kernels import generate_ntt_program
+
+        program = generate_ntt_program(64, vlen=16, q_bits=128)
+        q = program.metadata["modulus"]
+        rng = random.Random(59)
+        rows = [[rng.randrange(q) for _ in range(64)] for _ in range(2)]
+        monkeypatch.setenv(native.CC_ENV, str(tmp_path / "missing-cc"))
+        monkeypatch.setenv(native.CACHE_DIR_ENV, str(tmp_path / "cache"))
+        with native.forced_mode("1"):
+            with pytest.warns(
+                RuntimeWarning, match="native limb kernels unavailable"
+            ):
+                assert native.active() is None
+            ex = BatchExecutor(program, batch=2)
+            assert ex.native_path == "numpy"
+            ex.write_region(program.input_region, rows)
+            stats = ex.run()
+            assert stats.native_path == "numpy"
+            outs = ex.read_region(program.output_region)
+        sim = FunctionalSimulator(program)
+        sim.write_region(program.input_region, rows[0])
+        sim.run()
+        assert outs[0] == sim.read_region(program.output_region)
 
 
 class TestBuildFallback:
